@@ -1,0 +1,85 @@
+"""Ablation — how much observation information does MCL need?
+
+The paper's headline difficulty is the sensor's *low element count*; this
+ablation varies how many zone measurements feed each update, from a
+single 8-zone row per sensor up to the paper-equivalent full-frame
+weighting (2 rows at 4x replication == all 8 rows, see DESIGN.md).
+
+Expected shape: success degrades as the observation thins out — the
+dual-sensor full-frame configuration is the most reliable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.config import MclConfig
+from repro.eval.runner import run_localization
+from repro.viz.export import write_csv
+from repro.viz.tables import format_table
+
+CONFIGS = [
+    ("1 row, no replication (16 beams)", (3,), 1.0),
+    ("2 rows, no replication (32 beams)", (3, 4), 1.0),
+    ("4 rows, no replication (64 beams)", (2, 3, 4, 5), 1.0),
+    ("2 rows x4 = full frame (paper)", (3, 4), 4.0),
+]
+
+SEEDS = (0, 1)
+
+
+def test_ablation_zone_information(benchmark, world, sequences):
+    sequence = sequences[0]
+
+    def compute():
+        outcomes = {}
+        for label, rows, replication in CONFIGS:
+            config = dataclasses.replace(
+                MclConfig(particle_count=4096),
+                beam_rows=rows,
+                beam_replication=replication,
+            )
+            results = [
+                run_localization(world.grid, sequence, config, seed=seed)
+                for seed in SEEDS
+            ]
+            outcomes[label] = results
+        return outcomes
+
+    outcomes = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    rows_out = []
+    csv_rows = []
+    for label, results in outcomes.items():
+        successes = sum(1 for r in results if r.metrics.success)
+        ates = [r.metrics.ate_mean_m for r in results if r.metrics.converged]
+        ate = float(np.mean(ates)) if ates else float("nan")
+        rows_out.append(
+            [
+                label,
+                f"{successes}/{len(results)}",
+                f"{ate:.3f}" if ates else "n/a",
+            ]
+        )
+        csv_rows.append([label, successes / len(results), ate])
+
+    print()
+    print(
+        format_table(
+            ["configuration", "success", "ATE (m)"],
+            rows_out,
+            title="Ablation — observation information per update (seq0, N=4096)",
+        )
+    )
+    write_csv(
+        "results/ablation_zones.csv",
+        ["config", "success_rate", "ate_m"],
+        csv_rows,
+    )
+
+    # The paper configuration must be at least as reliable as the thinnest one.
+    full = sum(1 for r in outcomes[CONFIGS[-1][0]] if r.metrics.success)
+    thin = sum(1 for r in outcomes[CONFIGS[0][0]] if r.metrics.success)
+    assert full >= thin

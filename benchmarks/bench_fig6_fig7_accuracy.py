@@ -1,0 +1,107 @@
+"""Fig. 6 (ATE vs particle number) and Fig. 7 (success rate vs particle
+number) for the four paper variants: fp32, fp321tof, fp32qm, fp16qm.
+
+Regenerates both figures' series by sweeping the evaluation protocol over
+{variant} x {64..16384 particles} x {sequences} x {seeds}, prints the
+numeric tables plus ASCII renderings, and exports CSVs under results/.
+
+Expected shape (paper Sec. IV-B/C):
+* ATE ~0.15 m and roughly flat in N for the dual-sensor variants,
+* success rate rising with N, above 95 % at high N for dual-sensor,
+* fp321tof clearly below the others in success rate,
+* the quantized variants at least as good as fp32.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import accuracy_protocol, particle_grid
+
+from repro.eval.aggregate import run_sweep
+from repro.viz.ascii import line_plot
+from repro.viz.export import export_series
+from repro.viz.tables import format_table
+
+VARIANTS = ["fp32", "fp321tof", "fp32qm", "fp16qm"]
+
+
+def test_fig6_fig7_accuracy_sweep(benchmark, world, sequences, sweep_cache):
+    protocol = accuracy_protocol()
+    counts = particle_grid()
+
+    def sweep():
+        return run_sweep(
+            world.grid,
+            sequences,
+            variants=VARIANTS,
+            particle_counts=counts,
+            protocol=protocol,
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sweep_cache["accuracy"] = result
+    sweep_cache["counts"] = counts
+
+    ate_rows = []
+    success_rows = []
+    ate_series = {}
+    success_series = {}
+    for variant in VARIANTS:
+        ates = result.ate_series(variant, counts)
+        successes = result.success_series(variant, counts)
+        ate_rows.append(
+            [variant] + [f"{a:.3f}" if not math.isnan(a) else "n/a" for a in ates]
+        )
+        success_rows.append([variant] + [f"{s:.0f}%" for s in successes])
+        ate_series[variant] = (list(map(float, counts)), ates)
+        success_series[variant] = (list(map(float, counts)), successes)
+
+    header = ["variant"] + [str(c) for c in counts]
+    runs = next(iter(result.cells.values())).aggregate.run_count
+    print()
+    print(
+        format_table(
+            header,
+            ate_rows,
+            title=f"Fig. 6 — ATE (m) vs particle number  [{runs} runs/cell]",
+            footnote="paper: ~0.15 m, flat in N for dual-sensor variants",
+        )
+    )
+    print()
+    print(
+        format_table(
+            header,
+            success_rows,
+            title="Fig. 7 — success rate vs particle number",
+            footnote="paper: >95 % at high N (dual sensor); fp321tof markedly lower",
+        )
+    )
+    print()
+    print(line_plot(ate_series, title="Fig. 6 — ATE (m)", log_x=True, y_label="ATE"))
+    print()
+    print(
+        line_plot(
+            success_series, title="Fig. 7 — success rate (%)", log_x=True, y_label="%"
+        )
+    )
+    export_series("fig6_ate", ate_series, x_label="particles", y_label="ate_m")
+    export_series(
+        "fig7_success", success_series, x_label="particles", y_label="success_pct"
+    )
+
+    # Shape assertions (who wins, by roughly what factor).  The margins
+    # account for the protocol size: quick scale has 6 runs/cell vs the
+    # paper's 36, so per-cell rates carry +-1-run granularity.
+    best_n = counts[-1]
+    for variant in ("fp32", "fp32qm", "fp16qm"):
+        cell = result.cells[(variant, best_n)]
+        assert cell.aggregate.success_rate >= 0.6, (
+            f"{variant} at N={best_n} must succeed in most runs"
+        )
+        assert cell.aggregate.mean_ate_m < 0.25, (
+            f"{variant} accuracy should be near the paper's 0.15 m"
+        )
+    dual = result.cells[("fp32", best_n)].aggregate.success_rate
+    single = result.cells[("fp321tof", best_n)].aggregate.success_rate
+    assert single <= dual, "single-ToF must not beat the dual-sensor setup"

@@ -1,0 +1,86 @@
+"""Fig. 8 — probability of convergence over time at 4096 particles.
+
+Builds the empirical convergence-probability curve per variant from the
+per-run convergence instants of the accuracy sweep (shared with the
+Fig. 6/7 bench when run in the same session, recomputed otherwise).
+
+Expected shape: all dual-sensor variants' curves rise toward ~1 within
+the sequence duration; the single-ToF curve rises later and saturates
+lower (paper: "the convergence is slower when using only 1 ToF sensor").
+"""
+
+from __future__ import annotations
+
+from conftest import accuracy_protocol
+
+from repro.eval.aggregate import run_sweep
+from repro.eval.metrics import convergence_curve
+from repro.viz.ascii import line_plot
+from repro.viz.export import export_series
+from repro.viz.tables import format_table
+
+VARIANTS = ["fp32", "fp321tof", "fp32qm", "fp16qm"]
+PARTICLES = 4096
+HORIZON_S = 60.0
+
+
+def test_fig8_convergence_probability(benchmark, world, sequences, sweep_cache):
+    def compute():
+        cached = sweep_cache.get("accuracy")
+        if cached is not None and ("fp32", PARTICLES) in cached.cells:
+            return cached
+        return run_sweep(
+            world.grid,
+            sequences,
+            variants=VARIANTS,
+            particle_counts=[PARTICLES],
+            protocol=accuracy_protocol(),
+        )
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    series = {}
+    rows = []
+    for variant in VARIANTS:
+        times = result.convergence_times(variant, PARTICLES)
+        xs, probs = convergence_curve(times, horizon_s=HORIZON_S, resolution_s=2.0)
+        series[variant] = (list(xs), list(probs))
+        converged = [t for t in times if t is not None]
+        rows.append(
+            [
+                variant,
+                len(times),
+                len(converged),
+                f"{min(converged):.1f}" if converged else "n/a",
+                f"{sorted(converged)[len(converged) // 2]:.1f}" if converged else "n/a",
+                f"{probs[-1]:.2f}",
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["variant", "runs", "converged", "first (s)", "median (s)", "P(conv) @60s"],
+            rows,
+            title=f"Fig. 8 — convergence probability over time (N={PARTICLES})",
+        )
+    )
+    print()
+    print(
+        line_plot(
+            series,
+            title="Fig. 8 — P(converged) vs time (s)",
+            y_label="P",
+        )
+    )
+    export_series("fig8_convergence", series, x_label="time_s", y_label="p_converged")
+
+    # Shape: dual-sensor variants converge in most runs; single ToF is
+    # the weakest curve at the horizon (one-run tolerance at quick scale).
+    final_probability = {variant: series[variant][1][-1] for variant in VARIANTS}
+    run_count = max(len(result.convergence_times("fp32", PARTICLES)), 1)
+    tolerance = 1.0 / run_count + 1e-9
+    assert final_probability["fp32"] >= 0.5
+    assert final_probability["fp321tof"] <= min(
+        final_probability[v] for v in ("fp32", "fp32qm", "fp16qm")
+    ) + tolerance

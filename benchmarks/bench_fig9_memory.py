@@ -1,0 +1,91 @@
+"""Fig. 9 — particle count vs map size fitting in GAP9's L1 / L2.
+
+Regenerates the memory trade-off curves: for map sizes 2^1 .. 2^11 m² at
+0.05 m/cell, the maximum particle population that fits next to the map in
+L1 (128 kB) and L2 (1.5 MB), for the fp32 and fp16qm representations.
+
+Expected shape: the quantized/fp16 lines sit strictly above the fp32
+lines, L2 lines above L1 lines, and each line collapses to zero once the
+map alone exceeds the memory level.
+"""
+
+from __future__ import annotations
+
+from repro.common.precision import PrecisionMode
+from repro.soc.memory import MemoryLevel, max_particles
+from repro.viz.ascii import line_plot
+from repro.viz.export import export_series
+from repro.viz.tables import format_table
+
+MAP_SIZES_M2 = [2.0**e for e in range(1, 12)]
+
+SERIES_SPECS = [
+    ("fp32 L1", PrecisionMode.FP32, MemoryLevel.L1),
+    ("fp16qm L1", PrecisionMode.FP16_QM, MemoryLevel.L1),
+    ("fp32 L2", PrecisionMode.FP32, MemoryLevel.L2),
+    ("fp16qm L2", PrecisionMode.FP16_QM, MemoryLevel.L2),
+]
+
+
+def test_fig9_memory_tradeoff(benchmark):
+    def compute():
+        table = {}
+        for label, mode, level in SERIES_SPECS:
+            table[label] = [
+                max_particles(area, mode, level) for area in MAP_SIZES_M2
+            ]
+        return table
+
+    table = benchmark(compute)
+
+    rows = []
+    for index, area in enumerate(MAP_SIZES_M2):
+        rows.append(
+            [f"{area:.0f}"]
+            + [str(table[label][index]) for label, __, __ in SERIES_SPECS]
+        )
+    print()
+    print(
+        format_table(
+            ["map m2"] + [label for label, __, __ in SERIES_SPECS],
+            rows,
+            title="Fig. 9 — max particles vs map size (0.05 m cells)",
+            footnote="L1 = 128 kB, L2 = 1.5 MB; fp32: 5 B/cell + 32 B/particle, "
+            "fp16qm: 2 B/cell + 16 B/particle",
+        )
+    )
+    plot_series = {
+        label: (
+            [a for a, n in zip(MAP_SIZES_M2, table[label]) if n > 0],
+            [float(n) for n in table[label] if n > 0],
+        )
+        for label, __, __ in SERIES_SPECS
+    }
+    print()
+    print(
+        line_plot(
+            plot_series, title="Fig. 9 — max particles (log2 map size)", log_x=True
+        )
+    )
+    export_series(
+        "fig9_memory",
+        {k: (list(map(float, MAP_SIZES_M2)), list(map(float, v))) for k, v in table.items()},
+        x_label="map_m2",
+        y_label="max_particles",
+    )
+
+    # Shape assertions.
+    for index in range(len(MAP_SIZES_M2)):
+        assert table["fp16qm L1"][index] >= table["fp32 L1"][index]
+        assert table["fp16qm L2"][index] >= table["fp32 L2"][index]
+        assert table["fp32 L2"][index] >= table["fp32 L1"][index]
+    # Paper operating points: 1024 particles + 31.2 m² quantized map in L1;
+    # 16384 particles only in L2.
+    assert max_particles(31.2, PrecisionMode.FP16_QM, MemoryLevel.L1) >= 1024
+    assert max_particles(31.2, PrecisionMode.FP32, MemoryLevel.L1) < 16384
+    assert max_particles(31.2, PrecisionMode.FP32, MemoryLevel.L2) >= 16384
+    # The L1 fp32 line dies at the 128 m² map (5 B/cell x 51200 cells
+    # overflows 128 kB); fp16qm still fits there — the crossover Fig. 9
+    # shows between the blue and yellow lines.
+    assert table["fp32 L1"][6] == 0  # 128 m²
+    assert table["fp16qm L1"][6] > 0

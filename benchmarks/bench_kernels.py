@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the numpy MCL kernels (host-side timings).
+
+Complementary to the GAP9 latency model: these measure the *Python
+implementation's* per-step cost with pytest-benchmark so regressions in
+the vectorized kernels are caught.  Absolute numbers are host-dependent
+and not comparable to Table I — the structure (observation dominating,
+resampling cheap) is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.geometry import Pose2D
+from repro.common.rng import make_rng
+from repro.core.config import MclConfig
+from repro.core.motion import apply_motion_model
+from repro.core.observation import apply_observation_model, extract_beams
+from repro.core.particles import ParticleSet
+from repro.core.pose_estimate import estimate_pose
+from repro.core.resampling import (
+    draw_wheel_offset,
+    parallel_systematic_resample,
+    systematic_resample,
+)
+from repro.maps.distance_field import DistanceField
+from repro.maps.edt import euclidean_distance_field
+from repro.maps.maze import build_drone_maze_world, main_drone_maze
+from repro.sensors.tof import TofSensor, TofSensorSpec
+
+N_PARTICLES = 4096
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_drone_maze_world()
+
+
+@pytest.fixture(scope="module")
+def field(world):
+    return DistanceField.build(world.grid, 1.5)
+
+
+@pytest.fixture(scope="module")
+def populated_particles(world):
+    particles = ParticleSet(N_PARTICLES)
+    particles.init_uniform(world.grid, make_rng(0, "bench"))
+    return particles
+
+
+@pytest.fixture(scope="module")
+def beam_bundle(world):
+    pose = Pose2D(world.main.origin_x + 2.0, world.main.origin_y + 0.5, 0.3)
+    spec = TofSensorSpec(interference_prob=0.0, edge_row_dropout_prob=0.0)
+    frame = TofSensor(spec, "tof-front", make_rng(1, "bench")).measure(
+        world.grid, pose, 0.0
+    )
+    return extract_beams([frame], MclConfig(particle_count=N_PARTICLES))
+
+
+def test_kernel_observation(benchmark, populated_particles, beam_bundle, field):
+    config = MclConfig(particle_count=N_PARTICLES)
+
+    def run():
+        apply_observation_model(populated_particles, beam_bundle, field, config)
+
+    benchmark(run)
+
+
+def test_kernel_motion(benchmark, populated_particles):
+    config = MclConfig(particle_count=N_PARTICLES)
+    rng = make_rng(2, "bench")
+    increment = Pose2D(0.1, 0.0, 0.05)
+
+    def run():
+        apply_motion_model(populated_particles, increment, config, rng)
+
+    benchmark(run)
+
+
+def test_kernel_resampling_serial(benchmark):
+    rng = make_rng(3, "bench")
+    weights = rng.random(N_PARTICLES) + 1e-9
+    u0 = draw_wheel_offset(rng, N_PARTICLES)
+    benchmark(lambda: systematic_resample(weights, u0))
+
+
+def test_kernel_resampling_parallel_wheel(benchmark):
+    rng = make_rng(4, "bench")
+    weights = rng.random(N_PARTICLES) + 1e-9
+    u0 = draw_wheel_offset(rng, N_PARTICLES)
+    benchmark(lambda: parallel_systematic_resample(weights, u0, 8))
+
+
+def test_kernel_pose_estimate(benchmark, populated_particles):
+    benchmark(lambda: estimate_pose(populated_particles))
+
+
+def test_kernel_edt_build(benchmark):
+    grid = main_drone_maze()
+    benchmark.pedantic(
+        lambda: euclidean_distance_field(grid, r_max=1.5), rounds=3, iterations=1
+    )
+
+
+def test_kernel_particle_gather(benchmark, populated_particles):
+    rng = make_rng(5, "bench")
+    indices = rng.integers(0, N_PARTICLES, size=N_PARTICLES)
+
+    def run():
+        populated_particles.swap_from_indices(indices)
+
+    benchmark(run)

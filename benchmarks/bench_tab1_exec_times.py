@@ -1,0 +1,100 @@
+"""Table I — per-particle execution times of the four MCL steps.
+
+Prints the calibrated GAP9 model's prediction next to every published
+cell of Table I and asserts the reproduction tolerance (<=10 % per cell).
+The paper's measurement is the calibration target, so this bench is the
+regression gate for the whole latency model.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PAPER_PARTICLE_COUNTS
+from repro.soc.perf import Gap9PerfModel, MclStep
+from repro.viz.export import write_csv
+from repro.viz.tables import format_table
+
+#: Published Table I values: {step: {N: (1-core ns, 8-core ns)}}.
+PAPER_TABLE_I = {
+    MclStep.OBSERVATION: {
+        64: (8531, 1412), 256: (8484, 1313), 1024: (8518, 1283),
+        4096: (8649, 1294), 16384: (8704, 1295),
+    },
+    MclStep.MOTION: {
+        64: (2828, 500), 256: (2715, 391), 1024: (2689, 357),
+        4096: (3002, 390), 16384: (2985, 386),
+    },
+    MclStep.RESAMPLING: {
+        64: (313, 250), 256: (191, 121), 1024: (161, 84),
+        4096: (558, 108), 16384: (556, 104),
+    },
+    MclStep.POSE_COMPUTATION: {
+        64: (750, 234), 256: (633, 117), 1024: (604, 86),
+        4096: (777, 101), 16384: (775, 99),
+    },
+}
+
+
+def test_tab1_execution_times(benchmark):
+    model = Gap9PerfModel()
+
+    def compute():
+        table = {}
+        for step in MclStep:
+            for count in PAPER_PARTICLE_COUNTS:
+                table[(step, count)] = (
+                    model.step_time_per_particle_ns(step, count, 1),
+                    model.step_time_per_particle_ns(step, count, 8),
+                )
+        return table
+
+    table = benchmark(compute)
+
+    rows = []
+    csv_rows = []
+    worst_error = 0.0
+    for step in MclStep:
+        for count in PAPER_PARTICLE_COUNTS:
+            ours_1, ours_8 = table[(step, count)]
+            ref_1, ref_8 = PAPER_TABLE_I[step][count]
+            err_1 = abs(ours_1 - ref_1) / ref_1 * 100
+            err_8 = abs(ours_8 - ref_8) / ref_8 * 100
+            worst_error = max(worst_error, err_1, err_8)
+            rows.append(
+                [
+                    step.value,
+                    count,
+                    f"{ours_1:.0f} / {ref_1}",
+                    f"{err_1:.1f}%",
+                    f"{ours_8:.0f} / {ref_8}",
+                    f"{err_8:.1f}%",
+                ]
+            )
+            csv_rows.append(
+                [step.value, count, ours_1, ref_1, ours_8, ref_8]
+            )
+
+    print()
+    print(
+        format_table(
+            ["step", "N", "1 core: model/paper (ns)", "err", "8 cores: model/paper (ns)", "err"],
+            rows,
+            title="Table I — per-particle execution times, model vs paper",
+            footnote=f"worst cell error {worst_error:.1f} % "
+            "(particles in L2 beyond 1024)",
+        )
+    )
+    write_csv(
+        "results/tab1_exec_times.csv",
+        ["step", "particles", "model_1c_ns", "paper_1c_ns", "model_8c_ns", "paper_8c_ns"],
+        csv_rows,
+    )
+
+    assert worst_error <= 10.0, "Table I reproduction must stay within 10 % per cell"
+
+    # Derived headline numbers.
+    low_ms = model.update_time_ns(64, 8) / 1e6
+    high_ms = model.update_time_ns(16384, 8) / 1e6
+    print(f"\nupdate latency span: {low_ms:.2f} ms (N=64) .. {high_ms:.2f} ms (N=16384)")
+    print("paper abstract: 0.2-30 ms")
+    assert 0.15 <= low_ms <= 0.3
+    assert 28.0 <= high_ms <= 33.0

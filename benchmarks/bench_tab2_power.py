@@ -1,0 +1,99 @@
+"""Table II — average power and execution time at the four operating
+points, plus the Sec. IV-E whole-drone power budget (the 7 % claim).
+
+Power comes from the DVFS model calibrated on the paper's three measured
+clock/power pairs; execution times from the Table-I-calibrated latency
+model.  Derived results asserted: the minimum real-time clocks (12 MHz at
+1024 particles, 200 MHz at 16384) and the 981 mW / ~7 % system budget.
+"""
+
+from __future__ import annotations
+
+from repro.board.system import system_power_budget
+from repro.soc.perf import Gap9PerfModel
+from repro.soc.power import Gap9PowerModel
+from repro.viz.export import write_csv
+from repro.viz.tables import format_table
+
+#: Paper Table II: (clock Hz, particles) -> (power mW, execution ms).
+PAPER_TABLE_II = {
+    (400e6, 1024): (61, 1.901),
+    (12e6, 1024): (13, 59.898),
+    (400e6, 16384): (61, 30.880),
+    (200e6, 16384): (38, 61.524),
+}
+
+
+def test_tab2_operating_points(benchmark):
+    power = Gap9PowerModel()
+
+    def compute():
+        return {
+            key: power.operating_point(key[0], key[1]) for key in PAPER_TABLE_II
+        }
+
+    points = benchmark(compute)
+
+    rows = []
+    csv_rows = []
+    for (freq, count), (ref_mw, ref_ms) in PAPER_TABLE_II.items():
+        op = points[(freq, count)]
+        rows.append(
+            [
+                f"{freq / 1e6:.0f} MHz",
+                count,
+                f"{op['avg_power_mw']:.0f} / {ref_mw}",
+                f"{op['execution_time_ms']:.3f} / {ref_ms}",
+                f"{op['energy_per_update_uj']:.0f} uJ",
+            ]
+        )
+        csv_rows.append(
+            [freq / 1e6, count, op["avg_power_mw"], ref_mw, op["execution_time_ms"], ref_ms]
+        )
+        assert abs(op["avg_power_mw"] - ref_mw) / ref_mw <= 0.05
+        assert abs(op["execution_time_ms"] - ref_ms) / ref_ms <= 0.06
+
+    print()
+    print(
+        format_table(
+            ["clock", "particles", "power mW: model/paper", "exec ms: model/paper", "energy"],
+            rows,
+            title="Table II — MCL operating points, model vs paper",
+        )
+    )
+    write_csv(
+        "results/tab2_power.csv",
+        ["freq_mhz", "particles", "model_mw", "paper_mw", "model_ms", "paper_ms"],
+        csv_rows,
+    )
+
+    # Minimum real-time clocks implied by the 67 ms budget.
+    f_1024 = Gap9PerfModel.min_realtime_frequency_hz(1024) / 1e6
+    f_16384 = Gap9PerfModel.min_realtime_frequency_hz(16384) / 1e6
+    print(f"\nminimum real-time clock: {f_1024:.1f} MHz @1024, {f_16384:.1f} MHz @16384")
+    print("paper chooses 12 MHz and 200 MHz as the catalogue operating points")
+    assert f_1024 <= 12.0
+    assert f_16384 <= 200.0
+
+
+def test_system_power_budget(benchmark):
+    budget = benchmark(system_power_budget)
+    rows = [
+        ["motors (hover)", f"{budget.motors_w * 1e3:.0f} mW"],
+        ["Crazyflie electronics", f"{budget.electronics_w * 1e3:.0f} mW"],
+        ["2x VL53L5CX", f"{budget.tof_sensors_w * 1e3:.0f} mW"],
+        ["GAP9 @ 400 MHz", f"{budget.gap9_w * 1e3:.0f} mW"],
+        ["sensing + processing", f"{budget.sensing_processing_w * 1e3:.0f} mW"],
+        ["fraction of total", f"{budget.sensing_processing_fraction * 100:.1f} %"],
+    ]
+    print()
+    print(
+        format_table(
+            ["component", "power"],
+            rows,
+            title="Sec. IV-E — whole-drone power budget",
+            footnote="paper: 981 mW sensing+processing, ~7 % of the drone's power",
+        )
+    )
+    assert abs(budget.sensing_processing_w - 0.981) < 0.002
+    assert 0.065 <= budget.sensing_processing_fraction <= 0.075

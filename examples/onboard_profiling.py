@@ -1,0 +1,105 @@
+"""On-board execution profile: latency, power, energy and memory on GAP9.
+
+Walks the calibrated GAP9 models through the paper's operating envelope:
+
+* per-step execution times and the parallel speedup (Table I / Fig. 10),
+* operating points with power and energy per update (Table II),
+* the whole-drone power budget (the "below 7 %" claim),
+* which (particles, map) working sets fit L1 vs L2 (Fig. 9).
+
+Run with:  python examples/onboard_profiling.py
+"""
+
+from repro import PrecisionMode
+from repro.board import end_to_end_latency, system_power_budget
+from repro.soc import (
+    Gap9PerfModel,
+    Gap9PowerModel,
+    MclStep,
+    MemoryLevel,
+    max_particles,
+)
+from repro.viz import format_table
+
+
+def main() -> None:
+    perf = Gap9PerfModel()
+    power = Gap9PowerModel()
+
+    print("== Latency and speedup (GAP9 @ 400 MHz) ==")
+    rows = []
+    for count in (64, 1024, 16384):
+        rows.append(
+            [
+                count,
+                f"{perf.update_time_ns(count, 1) / 1e6:.3f} ms",
+                f"{perf.update_time_ns(count, 8) / 1e6:.3f} ms",
+                f"{perf.total_speedup(count):.2f}x",
+                "yes" if perf.is_realtime(count, 8) else "no",
+            ]
+        )
+    print(format_table(["particles", "1 core", "8 cores", "speedup", "real-time@15Hz"], rows))
+
+    print("\n== Step breakdown at N=16384, 8 cores ==")
+    rows = [
+        [step.value, f"{perf.step_time_ns(step, 16384, 8) / 1e6:.2f} ms"]
+        for step in MclStep
+    ]
+    print(format_table(["step", "time"], rows))
+
+    print("\n== Operating points (Table II) ==")
+    rows = []
+    for freq, count in ((400e6, 1024), (12e6, 1024), (400e6, 16384), (200e6, 16384)):
+        op = power.operating_point(freq, count)
+        rows.append(
+            [
+                f"{op['frequency_mhz']:.0f} MHz",
+                count,
+                f"{op['avg_power_mw']:.0f} mW",
+                f"{op['execution_time_ms']:.2f} ms",
+                f"{op['energy_per_update_uj']:.0f} uJ",
+            ]
+        )
+    print(format_table(["clock", "particles", "power", "latency", "energy/update"], rows))
+
+    print("\n== Whole-drone power budget ==")
+    budget = system_power_budget(gap9_frequency_hz=400e6)
+    print(f"  motors            : {budget.motors_w * 1e3:7.0f} mW")
+    print(f"  electronics       : {budget.electronics_w * 1e3:7.0f} mW")
+    print(f"  2x multizone ToF  : {budget.tof_sensors_w * 1e3:7.0f} mW")
+    print(f"  GAP9 (MCL)        : {budget.gap9_w * 1e3:7.0f} mW")
+    print(
+        f"  sensing+processing: {budget.sensing_processing_w * 1e3:7.0f} mW "
+        f"= {budget.sensing_processing_fraction * 100:.1f} % of total (paper: ~7 %)"
+    )
+
+    print("\n== End-to-end latency pipeline (N=4096) ==")
+    pipeline = end_to_end_latency(4096)
+    print(f"  sensor integration: {pipeline.sensor_frame_s * 1e3:6.1f} ms")
+    print(f"  bus transfer      : {pipeline.transfer_s * 1e6:6.1f} us")
+    print(f"  MCL update        : {pipeline.mcl_update_s * 1e3:6.2f} ms")
+    print(f"  total             : {pipeline.total_s * 1e3:6.1f} ms")
+
+    print("\n== Memory capacity (Fig. 9 cross-sections) ==")
+    rows = []
+    for area in (8.0, 31.2, 128.0):
+        rows.append(
+            [
+                f"{area:.1f} m2",
+                max_particles(area, PrecisionMode.FP32, MemoryLevel.L1),
+                max_particles(area, PrecisionMode.FP16_QM, MemoryLevel.L1),
+                max_particles(area, PrecisionMode.FP32, MemoryLevel.L2),
+                max_particles(area, PrecisionMode.FP16_QM, MemoryLevel.L2),
+            ]
+        )
+    print(
+        format_table(
+            ["map size", "fp32 L1", "fp16qm L1", "fp32 L2", "fp16qm L2"],
+            rows,
+            footnote="max particle count fitting next to the map (0.05 m cells)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

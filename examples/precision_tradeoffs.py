@@ -1,0 +1,61 @@
+"""Memory-precision trade-offs: fp32 vs quantized map vs fp16 particles.
+
+Reproduces the paper's Sec. IV-C result at single-sequence scale: the
+8-bit quantized EDT (fp32qm) and the additional half-precision particles
+(fp16qm) cut the memory footprint 2.5x / 5x on the map and 2x on the
+particles **without losing accuracy**.
+
+Run with:  python examples/precision_tradeoffs.py
+"""
+
+from repro import MclConfig, build_drone_maze_world
+from repro.dataset import load_sequence
+from repro.eval import run_localization
+from repro.soc.memory import memory_budget
+from repro.viz import format_table
+
+
+def main() -> None:
+    world = build_drone_maze_world()
+    sequence = load_sequence(1, world)
+    area = world.grid.structured_area_m2()
+    particle_count = 4096
+
+    rows = []
+    for variant in ("fp32", "fp32qm", "fp16qm"):
+        config = MclConfig(particle_count=particle_count).with_variant(variant)
+        result = run_localization(world.grid, sequence, config, seed=0)
+        metrics = result.metrics
+        budget = memory_budget(particle_count, area, config.precision)
+        rows.append(
+            [
+                variant,
+                f"{metrics.ate_mean_m:.3f} m" if metrics.converged else "n/a",
+                f"{metrics.convergence_time_s:.1f} s" if metrics.converged else "n/a",
+                "yes" if metrics.success else "no",
+                f"{budget.map_bytes / 1024:.1f} kB",
+                f"{budget.particle_bytes / 1024:.1f} kB",
+            ]
+        )
+
+    print(
+        format_table(
+            ["variant", "ATE", "convergence", "success", "map memory", "particle memory"],
+            rows,
+            title=f"Precision trade-offs on {sequence.name} (N={particle_count}, "
+            f"{area:.1f} m2 map)",
+            footnote="map: 5 B/cell fp32 vs 2 B/cell quantized; particles: 32 B fp32 vs 16 B fp16",
+        )
+    )
+
+    # The quantization error that buys the 2.5x map saving:
+    step_m = 1.5 / 255
+    print(
+        f"\nquantized EDT resolution: {step_m * 1000:.1f} mm per code "
+        f"(max error {step_m / 2 * 1000:.1f} mm) — negligible vs the 50 mm map cells,"
+    )
+    print("which is why accuracy does not degrade (paper Sec. IV-C).")
+
+
+if __name__ == "__main__":
+    main()

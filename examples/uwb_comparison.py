@@ -1,0 +1,63 @@
+"""Infrastructure-less MCL vs infrastructure baselines.
+
+The paper's positioning argument (Sec. II / IV-B): UWB localization needs
+pre-installed anchors and still achieves 0.22-0.28 m mean error, while
+dead reckoning drifts unboundedly; map-based MCL needs no infrastructure
+and reaches ~0.15 m.  This example runs all three on the same sequence.
+
+Run with:  python examples/uwb_comparison.py
+"""
+
+from repro import MclConfig, build_drone_maze_world
+from repro.baselines import run_dead_reckoning, run_uwb_baseline
+from repro.dataset import load_sequence
+from repro.eval import run_localization
+from repro.viz import format_table
+
+
+def main() -> None:
+    world = build_drone_maze_world()
+    sequence = load_sequence(2, world)
+    print(f"Comparing localizers on {sequence.name} ({sequence.duration_s:.0f} s)\n")
+
+    mcl = run_localization(
+        world.grid, sequence, MclConfig(particle_count=4096), seed=0
+    )
+    uwb = run_uwb_baseline(
+        sequence.ground_truth[:, :2],
+        sequence.timestamps,
+        volume_size=(world.grid.width_m, world.grid.height_m),
+        seed=0,
+    )
+    reckoning = run_dead_reckoning(sequence)
+
+    mcl_err = (
+        f"{mcl.metrics.ate_mean_m:.3f} m" if mcl.metrics.converged else "no convergence"
+    )
+    rows = [
+        ["MCL (this work)", "none", mcl_err, "yes"],
+        ["UWB EKF (cf. [6],[7])", "4 anchors", f"{uwb.mean_error_m:.3f} m", "no"],
+        [
+            "dead reckoning",
+            "none",
+            f"{reckoning.mean_error_m:.3f} m (final {reckoning.final_error_m:.2f} m)",
+            "no",
+        ],
+    ]
+    print(
+        format_table(
+            ["method", "infrastructure", "mean error", "estimates yaw"],
+            rows,
+            footnote="published UWB references: 0.22 m [7], 0.28 m [6]; paper MCL: 0.15 m",
+        )
+    )
+
+    print("\nDrift over time (dead reckoning position error):")
+    quarter = len(reckoning.position_errors) // 4
+    for i in range(0, len(reckoning.position_errors), quarter):
+        t = reckoning.timestamps[i]
+        print(f"  t={t:5.1f} s: {reckoning.position_errors[i]:.3f} m")
+
+
+if __name__ == "__main__":
+    main()

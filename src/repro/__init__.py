@@ -1,0 +1,110 @@
+"""repro — reproduction of "Fully On-board Low-Power Localization with
+Multizone Time-of-Flight Sensors on Nano-UAVs" (DATE 2023).
+
+The package implements the paper's Monte Carlo localization stack for
+nano-UAVs with multizone time-of-flight sensors, together with every
+substrate the evaluation depends on: occupancy-grid maze worlds, an exact
+Euclidean distance transform with fp32/fp16/uint8 storage, VL53L5CX and
+flow-deck sensor models, a Crazyflie flight simulator, calibrated GAP9
+performance/power/memory models, the six-sequence evaluation dataset, the
+paper's metrics, and the UWB comparison baseline.
+
+Quickstart::
+
+    from repro import build_drone_maze_world, MclConfig, MonteCarloLocalization
+    world = build_drone_maze_world()
+    config = MclConfig(particle_count=4096)
+    mcl = MonteCarloLocalization(world.grid, config, seed=0)
+
+See ``examples/quickstart.py`` for a full closed loop.
+"""
+
+from .common import (
+    PAPER_SEEDS,
+    Pose2D,
+    PrecisionMode,
+    ReproError,
+    RngPool,
+    make_rng,
+)
+from .core import (
+    PAPER_PARTICLE_COUNTS,
+    PAPER_VARIANTS,
+    MclConfig,
+    MonteCarloLocalization,
+    ParticleSet,
+    PoseEstimate,
+    estimate_pose,
+    parallel_systematic_resample,
+    systematic_resample,
+)
+from .core.adaptive import AdaptiveConfig, AdaptiveMcl
+from .dataset import RecordedSequence, load_all_sequences, load_sequence
+from .eval import RunResult, SweepProtocol, run_localization, run_sweep
+from .mapping import GridMapper, MapperConfig, select_goal
+from .maps import (
+    CellState,
+    DistanceField,
+    DroneWorld,
+    FieldKind,
+    MapBuilder,
+    OccupancyGrid,
+    build_drone_maze_world,
+    generate_maze,
+    main_drone_maze,
+)
+from .sensors import TofFrame, TofSensor, TofSensorSpec, ZoneStatus
+from .soc import GAP9, Gap9PerfModel, Gap9PowerModel, MclStep
+from .vehicle import CrazyflieSimulator, SimConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_SEEDS",
+    "Pose2D",
+    "PrecisionMode",
+    "ReproError",
+    "RngPool",
+    "make_rng",
+    "PAPER_PARTICLE_COUNTS",
+    "PAPER_VARIANTS",
+    "MclConfig",
+    "MonteCarloLocalization",
+    "ParticleSet",
+    "PoseEstimate",
+    "estimate_pose",
+    "parallel_systematic_resample",
+    "systematic_resample",
+    "AdaptiveConfig",
+    "AdaptiveMcl",
+    "GridMapper",
+    "MapperConfig",
+    "select_goal",
+    "RecordedSequence",
+    "load_all_sequences",
+    "load_sequence",
+    "RunResult",
+    "SweepProtocol",
+    "run_localization",
+    "run_sweep",
+    "CellState",
+    "DistanceField",
+    "DroneWorld",
+    "FieldKind",
+    "MapBuilder",
+    "OccupancyGrid",
+    "build_drone_maze_world",
+    "generate_maze",
+    "main_drone_maze",
+    "TofFrame",
+    "TofSensor",
+    "TofSensorSpec",
+    "ZoneStatus",
+    "GAP9",
+    "Gap9PerfModel",
+    "Gap9PowerModel",
+    "MclStep",
+    "CrazyflieSimulator",
+    "SimConfig",
+    "__version__",
+]

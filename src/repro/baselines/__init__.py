@@ -1,0 +1,22 @@
+"""Comparison baselines: UWB anchor localization and dead reckoning."""
+
+from .dead_reckoning import DeadReckoningResult, run_dead_reckoning
+from .uwb import (
+    UwbEkf,
+    UwbRanging,
+    UwbRunResult,
+    UwbSpec,
+    corner_anchors,
+    run_uwb_baseline,
+)
+
+__all__ = [
+    "DeadReckoningResult",
+    "run_dead_reckoning",
+    "UwbEkf",
+    "UwbRanging",
+    "UwbRunResult",
+    "UwbSpec",
+    "corner_anchors",
+    "run_uwb_baseline",
+]

@@ -1,0 +1,69 @@
+"""Odometry-only dead reckoning: the no-correction baseline.
+
+Most prior nano-UAV navigation "only rely[s] on simple state estimation
+techniques such as an inertial measurement unit and odometry", whose
+"major drawback ... is their inability to compensate for drift" (paper
+Sec. II).  This baseline quantifies that drawback on the same sequences:
+integrate the recorded on-board odometry from the (known) start pose and
+watch the error grow — the error MCL exists to bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..dataset.recorder import RecordedSequence
+
+
+@dataclass
+class DeadReckoningResult:
+    """Error trace of pure odometry integration."""
+
+    timestamps: np.ndarray
+    position_errors: np.ndarray
+    yaw_errors: np.ndarray
+
+    @property
+    def final_error_m(self) -> float:
+        return float(self.position_errors[-1])
+
+    @property
+    def mean_error_m(self) -> float:
+        return float(np.mean(self.position_errors))
+
+    @property
+    def max_error_m(self) -> float:
+        return float(np.max(self.position_errors))
+
+
+def run_dead_reckoning(sequence: RecordedSequence) -> DeadReckoningResult:
+    """Integrate the recorded odometry from the true start pose.
+
+    The baseline is given the exact initial pose (an advantage MCL's
+    global localization does not get) — drift still accumulates.
+    """
+    if len(sequence) < 2:
+        raise ConfigurationError("sequence too short for dead reckoning")
+
+    estimate = sequence.ground_truth_pose(0)
+    previous_odometry = sequence.odometry_pose(0)
+
+    position_errors = [0.0]
+    yaw_errors = [0.0]
+    for index in range(1, len(sequence)):
+        current = sequence.odometry_pose(index)
+        increment = previous_odometry.between(current)
+        previous_odometry = current
+        estimate = estimate.compose(increment)
+        truth = sequence.ground_truth_pose(index)
+        position_errors.append(estimate.distance_to(truth))
+        yaw_errors.append(estimate.heading_error_to(truth))
+
+    return DeadReckoningResult(
+        timestamps=sequence.timestamps.copy(),
+        position_errors=np.array(position_errors),
+        yaw_errors=np.array(yaw_errors),
+    )

@@ -1,0 +1,31 @@
+"""Board-level models: buses and the whole-drone power/latency budget."""
+
+from .buses import (
+    SPI_UPDATE_PAYLOAD_BYTES,
+    VL53L5CX_FRAME_BYTES_8X8,
+    I2cBus,
+    SpiBus,
+    pipeline_transfer_overhead_s,
+)
+from .system import (
+    ELECTRONICS_POWER_W,
+    MOTOR_HOVER_POWER_W,
+    LatencyPipeline,
+    SystemPowerBudget,
+    end_to_end_latency,
+    system_power_budget,
+)
+
+__all__ = [
+    "SPI_UPDATE_PAYLOAD_BYTES",
+    "VL53L5CX_FRAME_BYTES_8X8",
+    "I2cBus",
+    "SpiBus",
+    "pipeline_transfer_overhead_s",
+    "ELECTRONICS_POWER_W",
+    "MOTOR_HOVER_POWER_W",
+    "LatencyPipeline",
+    "SystemPowerBudget",
+    "end_to_end_latency",
+    "system_power_budget",
+]

@@ -1,0 +1,78 @@
+"""Bus transfer-time models for the sensing data path (paper Fig. 2).
+
+The data path of the paper's system: the STM32 reads each VL53L5CX zone
+matrix over **I2C**, then ships ranges plus the internal state estimate to
+the GAP9 over **SPI**.  Neither link is a bottleneck at 15 Hz, but both
+contribute to the constant per-iteration pipeline overhead the paper
+reports (~40 us of "preprocessing the sensor data and transferring
+information to the tasks") — these models quantify that contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import PlatformModelError
+
+#: Payload bytes of one VL53L5CX 8x8 frame over I2C: per zone the driver
+#: reads a 2-byte distance plus a 1-byte target status, and the frame
+#: carries a ~16-byte header block.
+VL53L5CX_FRAME_BYTES_8X8 = 64 * 3 + 16
+
+#: Bytes shipped from the STM32 to GAP9 per update over SPI: two sensors'
+#: ranges+status (2 x 192 B) plus the 12-byte state estimate and framing.
+SPI_UPDATE_PAYLOAD_BYTES = 2 * 192 + 12 + 4
+
+
+@dataclass(frozen=True)
+class I2cBus:
+    """I2C fast-mode-plus link between the ToF sensors and the STM32."""
+
+    clock_hz: float = 1_000_000.0
+    #: Effective bits on the wire per payload byte (start/ack framing).
+    bits_per_byte: float = 9.0
+
+    def transfer_time_s(self, payload_bytes: int) -> float:
+        """Wire time for a payload of the given size."""
+        if payload_bytes < 0:
+            raise PlatformModelError("payload must be non-negative")
+        return payload_bytes * self.bits_per_byte / self.clock_hz
+
+    def frame_time_s(self) -> float:
+        """Wire time of one full 8x8 zone frame."""
+        return self.transfer_time_s(VL53L5CX_FRAME_BYTES_8X8)
+
+    def max_frame_rate_hz(self) -> float:
+        """Upper bound on the frame rate the bus alone could sustain."""
+        return 1.0 / self.frame_time_s()
+
+
+@dataclass(frozen=True)
+class SpiBus:
+    """SPI link from the STM32 to the GAP9 deck."""
+
+    clock_hz: float = 10_000_000.0
+
+    def transfer_time_s(self, payload_bytes: int) -> float:
+        """Wire time for a payload (SPI moves one bit per clock)."""
+        if payload_bytes < 0:
+            raise PlatformModelError("payload must be non-negative")
+        return payload_bytes * 8.0 / self.clock_hz
+
+    def update_time_s(self) -> float:
+        """Wire time of one full MCL input package."""
+        return self.transfer_time_s(SPI_UPDATE_PAYLOAD_BYTES)
+
+
+def pipeline_transfer_overhead_s(
+    i2c: I2cBus | None = None, spi: SpiBus | None = None
+) -> float:
+    """Per-update data-movement component of the 40 us pipeline overhead.
+
+    The I2C readout overlaps the previous compute window (the sensor
+    streams continuously), so only the SPI shipment plus a DMA setup
+    allowance land on the critical path.
+    """
+    spi = spi or SpiBus()
+    dma_setup_s = 5e-6
+    return spi.update_time_s() + dma_setup_s

@@ -1,0 +1,107 @@
+"""Whole-drone power budget: the paper's "below 7 %" claim (Sec. IV-E).
+
+The paper accounts the sensing + processing power as:
+
+* two VL53L5CX multizone ToF sensors at 320 mW each,
+* the remaining Crazyflie electronics (everything except motors) at
+  280 mW,
+* the GAP9 running MCL (13-61 mW depending on the operating point),
+
+summing to 981 mW at the most powerful configuration — around 7 % of the
+overall drone power, which puts hover propulsion at ~13 W.  This module
+reproduces that arithmetic and the end-to-end latency pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import PlatformModelError
+from ..sensors.tof import VL53L5CX_POWER_W
+from ..soc.gap9 import GAP9
+from ..soc.perf import Gap9PerfModel
+from ..soc.power import Gap9PowerModel
+from .buses import pipeline_transfer_overhead_s
+
+#: Crazyflie electronics (except motors) power, paper Sec. IV-E.
+ELECTRONICS_POWER_W = 0.280
+
+#: Hover propulsion power implied by the paper's 7 % figure:
+#: 0.981 W of sensing+processing == ~7 % of total -> motors ~= 13.0 W.
+MOTOR_HOVER_POWER_W = 13.02
+
+
+@dataclass(frozen=True)
+class SystemPowerBudget:
+    """Breakdown of the drone's power at one operating point, in watts."""
+
+    motors_w: float
+    electronics_w: float
+    tof_sensors_w: float
+    gap9_w: float
+
+    @property
+    def sensing_processing_w(self) -> float:
+        """Everything the localization payload adds: sensors + electronics + SoC."""
+        return self.electronics_w + self.tof_sensors_w + self.gap9_w
+
+    @property
+    def total_w(self) -> float:
+        return self.motors_w + self.sensing_processing_w
+
+    @property
+    def sensing_processing_fraction(self) -> float:
+        """Fraction of total drone power spent on sensing + processing."""
+        return self.sensing_processing_w / self.total_w
+
+
+def system_power_budget(
+    gap9_frequency_hz: float = GAP9.max_frequency_hz,
+    tof_sensor_count: int = 2,
+) -> SystemPowerBudget:
+    """Assemble the paper's power budget at a GAP9 operating point."""
+    if tof_sensor_count < 0:
+        raise PlatformModelError("sensor count must be non-negative")
+    gap9_w = Gap9PowerModel().average_power_w(gap9_frequency_hz)
+    return SystemPowerBudget(
+        motors_w=MOTOR_HOVER_POWER_W,
+        electronics_w=ELECTRONICS_POWER_W,
+        tof_sensors_w=tof_sensor_count * VL53L5CX_POWER_W,
+        gap9_w=gap9_w,
+    )
+
+
+@dataclass(frozen=True)
+class LatencyPipeline:
+    """End-to-end latency from sensor frame to pose estimate, seconds."""
+
+    sensor_frame_s: float
+    transfer_s: float
+    mcl_update_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.sensor_frame_s + self.transfer_s + self.mcl_update_s
+
+
+def end_to_end_latency(
+    particle_count: int,
+    cores: int = 8,
+    frequency_hz: float = GAP9.max_frequency_hz,
+    tof_rate_hz: float = 15.0,
+) -> LatencyPipeline:
+    """Latency pipeline of one localization update.
+
+    ``sensor_frame_s`` is the ranging integration window (one frame
+    period); ``transfer_s`` the bus shipment; ``mcl_update_s`` the GAP9
+    compute (which already contains the paper's 40 us preprocessing
+    overhead).
+    """
+    if tof_rate_hz <= 0:
+        raise PlatformModelError("tof_rate_hz must be positive")
+    mcl_s = Gap9PerfModel(frequency_hz).update_time_ns(particle_count, cores) * 1e-9
+    return LatencyPipeline(
+        sensor_frame_s=1.0 / tof_rate_hz,
+        transfer_s=pipeline_transfer_overhead_s(),
+        mcl_update_s=mcl_s,
+    )

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands:
+
+* ``info``            — library, paper and platform-model summary
+* ``show-map``        — render the combined evaluation world as ASCII
+* ``generate-data``   — build and cache the six evaluation sequences
+* ``run``             — localize one sequence with one configuration
+* ``perf``            — print the Table I / Table II model predictions
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+
+from . import __version__
+from .core.config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
+from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequence
+from .eval.runner import run_localization
+from .maps.maze import build_drone_maze_world
+from .soc.gap9 import GAP9
+from .soc.perf import Gap9PerfModel, MclStep
+from .soc.power import Gap9PowerModel
+from .viz.tables import format_table
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    world = build_drone_maze_world()
+    print(f"repro {__version__} — nano-UAV multizone-ToF Monte Carlo localization")
+    print('Reproduction of: "Fully On-board Low-Power Localization with')
+    print(' Multizone Time-of-Flight Sensors on Nano-UAVs" (DATE 2023)')
+    print()
+    print(f"Evaluation world : {world.grid.structured_area_m2():.2f} m2 structured")
+    print(f"Map resolution   : {world.grid.resolution} m/cell")
+    print(f"Sequences        : {len(SEQUENCE_SCRIPTS)}")
+    print(f"Paper variants   : {', '.join(PAPER_VARIANTS)}")
+    print(f"Particle sweeps  : {PAPER_PARTICLE_COUNTS}")
+    print(
+        f"GAP9             : {GAP9.cluster_worker_cores}+1 cluster cores, "
+        f"{GAP9.l1_bytes // 1024} kB L1, {GAP9.l2_bytes // 1024} kB L2, "
+        f"{GAP9.max_frequency_hz / 1e6:.0f} MHz"
+    )
+    return 0
+
+
+def _cmd_show_map(args: argparse.Namespace) -> int:
+    world = build_drone_maze_world(seed=args.seed)
+    print(world.grid.to_ascii())
+    return 0
+
+
+def _cmd_generate_data(_args: argparse.Namespace) -> int:
+    sequences = load_all_sequences()
+    for sequence in sequences:
+        print(
+            f"{sequence.name:24s} frames={len(sequence):5d} "
+            f"duration={sequence.duration_s:5.1f} s"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    world = build_drone_maze_world()
+    sequence = load_sequence(args.sequence, world)
+    config = MclConfig(particle_count=args.particles).with_variant(args.variant)
+    result = run_localization(world.grid, sequence, config, seed=args.seed)
+    metrics = result.metrics
+    print(f"sequence   : {sequence.name} ({sequence.duration_s:.1f} s)")
+    print(f"variant    : {config.variant_label}, N={config.particle_count}, seed={args.seed}")
+    print(f"updates    : {result.update_count}")
+    print(f"converged  : {metrics.converged}")
+    if metrics.converged:
+        print(f"conv. time : {metrics.convergence_time_s:.1f} s")
+        print(f"ATE mean   : {metrics.ate_mean_m:.3f} m  (rmse {metrics.ate_rmse_m:.3f}, max {metrics.ate_max_m:.3f})")
+        print(f"yaw mean   : {math.degrees(metrics.yaw_mean_rad):.1f} deg")
+        print(f"success    : {metrics.success}")
+    return 0
+
+
+def _cmd_perf(_args: argparse.Namespace) -> int:
+    model = Gap9PerfModel()
+    rows = []
+    for count in PAPER_PARTICLE_COUNTS:
+        row: list[object] = [count]
+        for step in MclStep:
+            one = model.step_time_per_particle_ns(step, count, 1)
+            eight = model.step_time_per_particle_ns(step, count, 8)
+            row.append(f"{one:.0f}/{eight:.0f}")
+        row.append(f"{model.total_speedup(count):.2f}x")
+        rows.append(row)
+    print(
+        format_table(
+            ["N", "observation", "motion", "resampling", "pose comp.", "speedup"],
+            rows,
+            title="Per-particle execution time ns (1 core / 8 cores), GAP9@400MHz",
+            footnote="particles stored in L2 beyond 1024 (paper Table I)",
+        )
+    )
+    print()
+    power = Gap9PowerModel()
+    op_rows = []
+    for freq, count in ((400e6, 1024), (12e6, 1024), (400e6, 16384), (200e6, 16384)):
+        op = power.operating_point(freq, count)
+        op_rows.append(
+            [
+                f"{op['frequency_mhz']:.0f} MHz",
+                count,
+                f"{op['avg_power_mw']:.0f} mW",
+                f"{op['execution_time_ms']:.3f} ms",
+            ]
+        )
+    print(
+        format_table(
+            ["clock", "particles", "avg power", "execution time"],
+            op_rows,
+            title="MCL operating points (paper Table II)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nano-UAV multizone-ToF Monte Carlo localization (DATE 2023 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library and platform summary").set_defaults(
+        func=_cmd_info
+    )
+
+    show = sub.add_parser("show-map", help="render the evaluation world")
+    show.add_argument("--seed", type=int, default=7, help="world layout seed")
+    show.set_defaults(func=_cmd_show_map)
+
+    sub.add_parser(
+        "generate-data", help="build and cache the six evaluation sequences"
+    ).set_defaults(func=_cmd_generate_data)
+
+    run = sub.add_parser("run", help="localize one sequence")
+    run.add_argument("--sequence", type=int, default=0, help="sequence index 0-5")
+    run.add_argument(
+        "--variant", choices=list(PAPER_VARIANTS), default="fp32", help="paper variant"
+    )
+    run.add_argument("--particles", type=int, default=4096)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("perf", help="print Table I / II model predictions").set_defaults(
+        func=_cmd_perf
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

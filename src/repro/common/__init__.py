@@ -1,0 +1,51 @@
+"""Shared primitives: geometry, RNG streams, precision policies, errors."""
+
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    EvaluationError,
+    MapError,
+    PlatformModelError,
+    ReproError,
+    SensorError,
+)
+from .geometry import (
+    Pose2D,
+    angle_difference,
+    circular_mean,
+    compose_arrays,
+    transform_points,
+    wrap_angle,
+)
+from .precision import (
+    PrecisionMode,
+    dequantize_distances,
+    quantization_step,
+    quantize_distances,
+    round_to_storage,
+)
+from .rng import PAPER_SEEDS, RngPool, make_rng
+
+__all__ = [
+    "ConfigurationError",
+    "DatasetError",
+    "EvaluationError",
+    "MapError",
+    "PlatformModelError",
+    "ReproError",
+    "SensorError",
+    "Pose2D",
+    "angle_difference",
+    "circular_mean",
+    "compose_arrays",
+    "transform_points",
+    "wrap_angle",
+    "PrecisionMode",
+    "dequantize_distances",
+    "quantization_step",
+    "quantize_distances",
+    "round_to_storage",
+    "PAPER_SEEDS",
+    "RngPool",
+    "make_rng",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains inconsistent or invalid values."""
+
+
+class MapError(ReproError):
+    """An occupancy-grid or distance-field operation is invalid.
+
+    Typical causes: indexing outside the grid, maps with no free space,
+    or a resolution that does not match between grid and field.
+    """
+
+
+class SensorError(ReproError):
+    """A sensor model was configured or driven outside its envelope."""
+
+
+class DatasetError(ReproError):
+    """A recorded sequence is missing, corrupt, or inconsistent."""
+
+
+class PlatformModelError(ReproError):
+    """A SoC/board model was queried outside its calibrated domain.
+
+    For example: asking the GAP9 performance model for a core count the
+    calibration does not cover, or a memory placement that does not fit.
+    """
+
+
+class EvaluationError(ReproError):
+    """An evaluation run was set up inconsistently (e.g. empty sweep)."""

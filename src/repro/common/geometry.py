@@ -1,0 +1,207 @@
+"""2-D rigid-body geometry used throughout the localization stack.
+
+The nano-UAV flies at a fixed height and localizes in a 2-D occupancy grid
+map (paper Sec. III-C1), so its state is an element of SE(2): position
+``(x, y)`` in metres plus yaw ``theta`` in radians, normalized to
+``[-pi, pi)``.
+
+This module provides:
+
+* :class:`Pose2D` — an immutable SE(2) element with compose / inverse /
+  relative-pose operations,
+* angle utilities (:func:`wrap_angle`, :func:`angle_difference`,
+  :func:`circular_mean`),
+* vectorized helpers used by the particle filter
+  (:func:`transform_points`, :func:`compose_arrays`).
+
+All vectorized helpers take and return ``numpy`` arrays and never mutate
+their inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+def wrap_angle(angle):
+    """Normalize an angle (scalar or array) to the interval ``[-pi, pi)``.
+
+    >>> wrap_angle(math.pi)
+    -3.141592653589793
+    >>> wrap_angle(0.5)
+    0.5
+    """
+    wrapped = (np.asarray(angle, dtype=np.float64) + math.pi) % TWO_PI - math.pi
+    if np.ndim(angle) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def angle_difference(a, b):
+    """Smallest signed difference ``a - b`` between two angles.
+
+    The result lies in ``[-pi, pi)``.  Works on scalars and arrays alike.
+    """
+    return wrap_angle(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+
+
+def circular_mean(angles: np.ndarray, weights: np.ndarray | None = None) -> float:
+    """Weighted circular mean of ``angles`` (radians).
+
+    This is the correct way to average yaw across particles: averaging raw
+    radians breaks at the ``+-pi`` wrap.  With all-zero weights (a degenerate
+    particle set) the unweighted mean is returned instead of NaN.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    if weights is None:
+        weights = np.ones_like(angles)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+    total = float(np.sum(weights))
+    if total <= 0.0 or not math.isfinite(total):
+        weights = np.ones_like(angles)
+        total = float(angles.size)
+    sin_sum = float(np.dot(weights, np.sin(angles)))
+    cos_sum = float(np.dot(weights, np.cos(angles)))
+    eps = 1e-9 * max(1.0, total)
+    if abs(sin_sum) < eps and abs(cos_sum) < eps:
+        # Perfectly opposed angles: the mean direction is undefined;
+        # return 0 by convention rather than amplifying rounding noise.
+        return 0.0
+    return math.atan2(sin_sum / total, cos_sum / total)
+
+
+@dataclass(frozen=True)
+class Pose2D:
+    """An SE(2) pose: position in metres, yaw in radians.
+
+    Instances are immutable; all operations return new poses.  Yaw is
+    normalized on construction, so ``Pose2D(0, 0, 3 * math.pi).theta``
+    equals ``-pi``... wrapped into ``[-pi, pi)``.
+    """
+
+    x: float
+    y: float
+    theta: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "theta", wrap_angle(float(self.theta)))
+        object.__setattr__(self, "x", float(self.x))
+        object.__setattr__(self, "y", float(self.y))
+
+    # ------------------------------------------------------------------
+    # SE(2) group operations
+    # ------------------------------------------------------------------
+    def compose(self, other: "Pose2D") -> "Pose2D":
+        """Return ``self * other``: ``other`` expressed in the world frame
+        when ``other`` is given in the frame of ``self``.
+
+        Used to apply a body-frame odometry increment to a world pose.
+        """
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        return Pose2D(
+            self.x + cos_t * other.x - sin_t * other.y,
+            self.y + sin_t * other.x + cos_t * other.y,
+            self.theta + other.theta,
+        )
+
+    def inverse(self) -> "Pose2D":
+        """Return the SE(2) inverse of this pose."""
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        return Pose2D(
+            -(cos_t * self.x + sin_t * self.y),
+            -(-sin_t * self.x + cos_t * self.y),
+            -self.theta,
+        )
+
+    def between(self, other: "Pose2D") -> "Pose2D":
+        """Return the body-frame increment taking ``self`` to ``other``.
+
+        Satisfies ``self.compose(self.between(other)) == other``; this is
+        how odometry inputs ``u_t`` are produced from consecutive state
+        estimates.
+        """
+        return self.inverse().compose(other)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def transform_point(self, px: float, py: float) -> tuple[float, float]:
+        """Map a body-frame point into the world frame."""
+        cos_t = math.cos(self.theta)
+        sin_t = math.sin(self.theta)
+        return (
+            self.x + cos_t * px - sin_t * py,
+            self.y + sin_t * px + cos_t * py,
+        )
+
+    def distance_to(self, other: "Pose2D") -> float:
+        """Euclidean distance between the two positions (yaw ignored)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading_error_to(self, other: "Pose2D") -> float:
+        """Absolute yaw difference to ``other`` in radians, in ``[0, pi]``."""
+        return abs(angle_difference(self.theta, other.theta))
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[x, y, theta]`` as a float64 array."""
+        return np.array([self.x, self.y, self.theta], dtype=np.float64)
+
+    @staticmethod
+    def from_array(arr) -> "Pose2D":
+        """Build a pose from any length-3 sequence ``[x, y, theta]``."""
+        return Pose2D(float(arr[0]), float(arr[1]), float(arr[2]))
+
+    @staticmethod
+    def identity() -> "Pose2D":
+        """The identity element of SE(2)."""
+        return Pose2D(0.0, 0.0, 0.0)
+
+
+# ----------------------------------------------------------------------
+# Vectorized helpers for particle arrays
+# ----------------------------------------------------------------------
+def transform_points(
+    x: np.ndarray, y: np.ndarray, theta: np.ndarray, px: np.ndarray, py: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map body-frame points into world frame for many poses at once.
+
+    ``x, y, theta`` have shape ``(N,)`` (one per particle); ``px, py`` have
+    shape ``(K,)`` (one per beam endpoint).  Returns two ``(N, K)`` arrays
+    with the world coordinates of every (particle, point) combination.
+    This is the hot path of the observation model.
+    """
+    cos_t = np.cos(theta)[:, None]
+    sin_t = np.sin(theta)[:, None]
+    world_x = x[:, None] + cos_t * px[None, :] - sin_t * py[None, :]
+    world_y = y[:, None] + sin_t * px[None, :] + cos_t * py[None, :]
+    return world_x, world_y
+
+
+def compose_arrays(
+    x: np.ndarray,
+    y: np.ndarray,
+    theta: np.ndarray,
+    dx: float | np.ndarray,
+    dy: float | np.ndarray,
+    dtheta: float | np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply a body-frame increment to arrays of poses.
+
+    ``dx, dy, dtheta`` may be scalars (shared increment) or ``(N,)`` arrays
+    (per-particle noisy increments, as drawn by the motion model).  Returns
+    new ``(N,)`` arrays; yaw is wrapped to ``[-pi, pi)``.
+    """
+    cos_t = np.cos(theta)
+    sin_t = np.sin(theta)
+    new_x = x + cos_t * dx - sin_t * dy
+    new_y = y + sin_t * dx + cos_t * dy
+    new_theta = wrap_angle(np.asarray(theta + dtheta))
+    return new_x, new_y, new_theta

@@ -1,0 +1,124 @@
+"""Numeric-precision policies for the memory-optimized MCL variants.
+
+The paper evaluates three implementations (Sec. IV-C):
+
+* ``fp32``    — 32-bit floats for the EDT and for particle state/weights,
+* ``fp32qm``  — 8-bit quantized EDT ("qm" = quantized map), fp32 particles,
+* ``fp16qm``  — 8-bit quantized EDT and 16-bit half-precision particles.
+
+This module centralizes what those modes mean numerically:
+
+* :class:`PrecisionMode` names the variant and knows its storage dtypes and
+  per-particle / per-cell byte costs (used by the Fig. 9 memory model),
+* :func:`quantize_distances` / :func:`dequantize_distances` implement the
+  uint8 EDT encoding ``q = round(d / r_max * 255)``,
+* :func:`round_to_storage` emulates GAP9's behaviour of computing in a wide
+  register and writing back to a narrow storage type at kernel boundaries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Number of quantization levels of the uint8 EDT encoding.
+QUANT_LEVELS = 256
+
+
+class PrecisionMode(Enum):
+    """The three evaluated implementations of the paper.
+
+    The member value is the label used in the paper's figures, so series
+    printed by the benchmark harness match Fig. 6-8 legends verbatim.
+    """
+
+    FP32 = "fp32"
+    FP32_QM = "fp32qm"
+    FP16_QM = "fp16qm"
+
+    # ------------------------------------------------------------------
+    # Storage dtypes
+    # ------------------------------------------------------------------
+    @property
+    def particle_dtype(self) -> np.dtype:
+        """Storage dtype of particle state and weight arrays."""
+        if self is PrecisionMode.FP16_QM:
+            return np.dtype(np.float16)
+        return np.dtype(np.float32)
+
+    @property
+    def edt_quantized(self) -> bool:
+        """Whether the distance field is stored as quantized uint8."""
+        return self in (PrecisionMode.FP32_QM, PrecisionMode.FP16_QM)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (paper Sec. III-C2 / Fig. 9)
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_particle(self) -> int:
+        """Bytes per particle including resampling double buffering.
+
+        A particle is four numbers (x, y, yaw, weight).  fp32 costs
+        16 bytes which doubles to 32 with the second buffer; fp16 costs
+        8 bytes doubling to 16 (paper Sec. III-C2).
+        """
+        return 4 * 2 * self.particle_dtype.itemsize
+
+    @property
+    def bytes_per_map_cell(self) -> int:
+        """Bytes per map cell: 1 byte occupancy + the EDT value.
+
+        The 3-state occupancy needs 2 bits but is stored as one byte for
+        access simplicity (paper Sec. III-C2).  The EDT adds 4 bytes in
+        fp32 and 1 byte when quantized.
+        """
+        edt_bytes = 1 if self.edt_quantized else 4
+        return 1 + edt_bytes
+
+    @classmethod
+    def from_label(cls, label: str) -> "PrecisionMode":
+        """Parse a paper label such as ``"fp16qm"`` into a mode."""
+        for mode in cls:
+            if mode.value == label:
+                return mode
+        valid = ", ".join(m.value for m in cls)
+        raise ConfigurationError(f"unknown precision mode {label!r}; expected one of: {valid}")
+
+
+def quantize_distances(distances: np.ndarray, r_max: float) -> np.ndarray:
+    """Encode truncated EDT values into uint8.
+
+    ``q = round(clip(d, 0, r_max) / r_max * 255)``.  The encoding is exact at
+    0 and ``r_max`` and has a worst-case absolute error of
+    ``r_max / (2 * 255)`` (~2.9 mm for the paper's 1.5 m truncation), which
+    is why the paper observes no accuracy loss.
+    """
+    if r_max <= 0:
+        raise ConfigurationError(f"r_max must be positive, got {r_max}")
+    clipped = np.clip(np.asarray(distances, dtype=np.float64), 0.0, r_max)
+    return np.round(clipped / r_max * (QUANT_LEVELS - 1)).astype(np.uint8)
+
+
+def dequantize_distances(codes: np.ndarray, r_max: float) -> np.ndarray:
+    """Decode uint8 EDT codes back to metres (float32)."""
+    if r_max <= 0:
+        raise ConfigurationError(f"r_max must be positive, got {r_max}")
+    return (np.asarray(codes, dtype=np.float32) * (np.float32(r_max) / (QUANT_LEVELS - 1)))
+
+
+def quantization_step(r_max: float) -> float:
+    """Size in metres of one uint8 quantization step."""
+    return r_max / (QUANT_LEVELS - 1)
+
+
+def round_to_storage(values: np.ndarray, mode: PrecisionMode) -> np.ndarray:
+    """Round computed values to the mode's particle storage precision.
+
+    Emulates writing fp32 intermediate results back to fp16 storage: the
+    returned array has the storage dtype, so downstream arithmetic sees
+    exactly the precision the on-board implementation would.
+    """
+    return np.asarray(values).astype(mode.particle_dtype)

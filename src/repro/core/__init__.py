@@ -1,0 +1,44 @@
+"""Monte Carlo localization: the paper's primary contribution."""
+
+from .config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
+from .mcl import McUpdateReport, MonteCarloLocalization
+from .motion import apply_motion_model
+from .observation import (
+    BeamBundle,
+    apply_observation_model,
+    extract_beams,
+    log_likelihoods,
+)
+from .particles import ParticleSet
+from .pose_estimate import PoseEstimate, estimate_pose, pose_error
+from .resampling import (
+    GAP9_WORKER_CORES,
+    CoreAssignment,
+    ParallelResampleResult,
+    draw_wheel_offset,
+    parallel_systematic_resample,
+    systematic_resample,
+)
+
+__all__ = [
+    "PAPER_PARTICLE_COUNTS",
+    "PAPER_VARIANTS",
+    "MclConfig",
+    "McUpdateReport",
+    "MonteCarloLocalization",
+    "apply_motion_model",
+    "BeamBundle",
+    "apply_observation_model",
+    "extract_beams",
+    "log_likelihoods",
+    "ParticleSet",
+    "PoseEstimate",
+    "estimate_pose",
+    "pose_error",
+    "GAP9_WORKER_CORES",
+    "CoreAssignment",
+    "ParallelResampleResult",
+    "draw_wheel_offset",
+    "parallel_systematic_resample",
+    "systematic_resample",
+]

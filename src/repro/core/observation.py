@@ -1,0 +1,137 @@
+"""Beam-end-point observation model (paper Eq. 1).
+
+Each ToF zone contributes one beam: a body-frame azimuth and a measured
+range.  For a particle pose ``x_t``, the beam's end point is projected into
+the map and scored by its distance to the nearest obstacle — looked up in
+the precomputed (truncated, possibly quantized) EDT:
+
+    p(z_t^k | x_t, m) = N(EDT(z_hat_t^k); 0, sigma_obs)
+
+The per-beam likelihoods multiply over the K beams of an observation; in
+log space the exponents sum, and the common Gaussian normalization constant
+cancels during weight normalization.  The implementation subtracts the
+max log-likelihood before exponentiation so the fp16 variant cannot
+underflow to an all-zero weight vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import SensorError
+from ..common.geometry import transform_points
+from ..maps.distance_field import DistanceField
+from ..sensors.tof import TofFrame
+from .config import MclConfig
+from .particles import ParticleSet
+
+
+@dataclass
+class BeamBundle:
+    """Preprocessed beams of one observation instant.
+
+    ``azimuths`` are body-frame beam directions (sensor mounting yaw
+    already folded in), ``ranges`` the measured distances, and
+    ``origins_x/y`` the body-frame sensor positions each beam starts from.
+    Only beams that survived flag filtering are present.
+    """
+
+    azimuths: np.ndarray
+    ranges: np.ndarray
+    origins_x: np.ndarray
+    origins_y: np.ndarray
+
+    @property
+    def beam_count(self) -> int:
+        return int(self.azimuths.size)
+
+    def endpoints_body(self) -> tuple[np.ndarray, np.ndarray]:
+        """Body-frame beam end points (K,) pair."""
+        end_x = self.origins_x + self.ranges * np.cos(self.azimuths)
+        end_y = self.origins_y + self.ranges * np.sin(self.azimuths)
+        return end_x, end_y
+
+
+def extract_beams(frames: list[TofFrame], config: MclConfig) -> BeamBundle:
+    """Filter and flatten sensor frames into the observation beam set.
+
+    Applies the paper's data hygiene: zones with raised error flags are
+    dropped, as are ranges at/after the sensor limit; the rear sensor is
+    skipped entirely in the single-ToF variant.  ``config.beam_rows``
+    selects the zone-matrix rows that become beams.
+    """
+    azimuths = []
+    ranges = []
+    origins_x = []
+    origins_y = []
+    for frame in frames:
+        if not config.use_rear_sensor and frame.sensor_name == "tof-rear":
+            continue
+        rows = tuple(r for r in config.beam_rows if r < frame.zones_per_side)
+        if not rows:
+            raise SensorError(
+                f"beam_rows {config.beam_rows} selects nothing from a "
+                f"{frame.zones_per_side}x{frame.zones_per_side} frame"
+            )
+        az, rng_m, valid = frame.beams(rows=rows)
+        keep = valid & (rng_m < config.max_beam_range_m)
+        azimuths.append(az[keep])
+        ranges.append(rng_m[keep])
+        origins_x.append(np.full(int(keep.sum()), frame.mount_x))
+        origins_y.append(np.full(int(keep.sum()), frame.mount_y))
+    if azimuths:
+        return BeamBundle(
+            azimuths=np.concatenate(azimuths),
+            ranges=np.concatenate(ranges),
+            origins_x=np.concatenate(origins_x),
+            origins_y=np.concatenate(origins_y),
+        )
+    empty = np.empty(0, dtype=np.float64)
+    return BeamBundle(empty, empty, empty, empty)
+
+
+def log_likelihoods(
+    particles: ParticleSet, beams: BeamBundle, field: DistanceField, sigma_obs: float
+) -> np.ndarray:
+    """Per-particle observation log-likelihood, shape ``(N,)``.
+
+    Computes the beam end points of every (particle, beam) pair, looks up
+    the truncated EDT, and sums ``-d^2 / (2 sigma_obs^2)`` over beams.
+    The Gaussian normalization constant is omitted (it cancels).
+    """
+    end_x, end_y = beams.endpoints_body()
+    world_x, world_y = transform_points(
+        particles.x.astype(np.float64),
+        particles.y.astype(np.float64),
+        particles.theta.astype(np.float64),
+        end_x,
+        end_y,
+    )
+    distances = field.lookup_world(world_x, world_y).astype(np.float64)
+    return -np.sum(distances**2, axis=1) / (2.0 * sigma_obs**2)
+
+
+def apply_observation_model(
+    particles: ParticleSet,
+    beams: BeamBundle,
+    field: DistanceField,
+    config: MclConfig,
+) -> bool:
+    """Re-weight the particle population against one observation.
+
+    Multiplies current weights by the beam likelihood (max-shifted for
+    numerical stability), stores back at particle precision and
+    normalizes.  Returns False — leaving weights untouched — when no
+    usable beams survived filtering.
+    """
+    if beams.beam_count == 0:
+        return False
+    log_lik = log_likelihoods(particles, beams, field, config.sigma_obs)
+    log_lik *= config.beam_replication
+    log_lik -= log_lik.max()
+    updated = particles.weights.astype(np.float64) * np.exp(log_lik)
+    particles.weights[:] = updated.astype(particles.precision.particle_dtype)
+    particles.normalize_weights()
+    return True

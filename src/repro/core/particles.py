@@ -1,0 +1,173 @@
+"""Particle storage in structure-of-arrays layout with double buffering.
+
+Mirrors the paper's on-board memory layout (Sec. III-C2): each particle is
+four numbers — x, y, yaw, weight — stored either as 32-bit floats (16 bytes)
+or half-precision floats (8 bytes).  Because the resampling step reads the
+old particle set while writing the new one, the storage is **double
+buffered**, doubling the per-particle cost to 32 / 16 bytes.  The
+``memory_bytes`` accounting below is what feeds the Fig. 9 capacity model.
+
+Arithmetic that is sensitive to rounding (weight normalization, sums) runs
+in float64 regardless of the storage dtype; results are rounded back to
+storage precision, emulating GAP9 writing back fp16 registers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, MapError
+from ..common.geometry import wrap_angle
+from ..common.precision import PrecisionMode
+from ..maps.occupancy import OccupancyGrid
+
+
+class ParticleSet:
+    """A double-buffered SoA particle population.
+
+    Attributes ``x``, ``y``, ``theta``, ``weights`` expose the *front*
+    buffer.  ``swap_from_indices`` performs the resampling gather into the
+    back buffer and swaps, exactly like the embedded implementation.
+    """
+
+    def __init__(self, count: int, precision: PrecisionMode = PrecisionMode.FP32) -> None:
+        if count < 1:
+            raise ConfigurationError(f"particle count must be >= 1, got {count}")
+        self.count = int(count)
+        self.precision = precision
+        dtype = precision.particle_dtype
+        # Front and back buffers for the four per-particle numbers.
+        self._buffers = [
+            {
+                "x": np.zeros(count, dtype=dtype),
+                "y": np.zeros(count, dtype=dtype),
+                "theta": np.zeros(count, dtype=dtype),
+                "weights": np.full(count, 1.0 / count, dtype=dtype),
+            }
+            for _ in range(2)
+        ]
+        self._front = 0
+
+    # ------------------------------------------------------------------
+    # Buffer access
+    # ------------------------------------------------------------------
+    @property
+    def x(self) -> np.ndarray:
+        return self._buffers[self._front]["x"]
+
+    @property
+    def y(self) -> np.ndarray:
+        return self._buffers[self._front]["y"]
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self._buffers[self._front]["theta"]
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._buffers[self._front]["weights"]
+
+    def set_state(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        theta: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Overwrite the front buffer (rounding to storage precision)."""
+        front = self._buffers[self._front]
+        dtype = self.precision.particle_dtype
+        front["x"][:] = np.asarray(x).astype(dtype)
+        front["y"][:] = np.asarray(y).astype(dtype)
+        front["theta"][:] = wrap_angle(np.asarray(theta, dtype=np.float64)).astype(dtype)
+        if weights is not None:
+            front["weights"][:] = np.asarray(weights).astype(dtype)
+
+    # ------------------------------------------------------------------
+    # Initialization
+    # ------------------------------------------------------------------
+    def init_uniform(self, grid: OccupancyGrid, rng: np.random.Generator) -> None:
+        """Global localization init: uniform over FREE space, uniform yaw."""
+        x, y = grid.sample_free_points(self.count, rng)
+        theta = rng.uniform(-np.pi, np.pi, size=self.count)
+        self.set_state(x, y, theta, np.full(self.count, 1.0 / self.count))
+
+    def init_gaussian(
+        self,
+        mean_x: float,
+        mean_y: float,
+        mean_theta: float,
+        sigma_xy: float,
+        sigma_theta: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Pose-tracking init: Gaussian cloud around a known pose."""
+        if sigma_xy < 0 or sigma_theta < 0:
+            raise ConfigurationError("init sigmas must be non-negative")
+        x = rng.normal(mean_x, sigma_xy, size=self.count)
+        y = rng.normal(mean_y, sigma_xy, size=self.count)
+        theta = rng.normal(mean_theta, sigma_theta, size=self.count)
+        self.set_state(x, y, theta, np.full(self.count, 1.0 / self.count))
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+    def normalize_weights(self) -> float:
+        """Normalize weights to sum 1; returns the pre-normalization sum.
+
+        The sum runs in float64 (the paper's parallel implementation keeps
+        a full-precision accumulator per core for the same reason).  A
+        fully degenerate population (all weights zero or non-finite) is
+        reset to uniform — the filter lost, but must stay operational.
+        """
+        weights = self.weights.astype(np.float64)
+        weights[~np.isfinite(weights)] = 0.0
+        total = float(weights.sum())
+        if total <= 0.0:
+            self.weights[:] = np.asarray(1.0 / self.count, dtype=self.precision.particle_dtype)
+            return 0.0
+        normalized = weights / total
+        self.weights[:] = normalized.astype(self.precision.particle_dtype)
+        return total
+
+    def effective_sample_size(self) -> float:
+        """ESS = 1 / sum(w^2); ranges from 1 (degenerate) to N (uniform)."""
+        weights = self.weights.astype(np.float64)
+        total = weights.sum()
+        if total <= 0:
+            return 0.0
+        weights = weights / total
+        return float(1.0 / np.sum(weights**2))
+
+    # ------------------------------------------------------------------
+    # Resampling support
+    # ------------------------------------------------------------------
+    def swap_from_indices(self, indices: np.ndarray) -> None:
+        """Gather ``indices`` from the front buffer into the back and swap.
+
+        After the call, the front buffer holds the resampled population
+        with uniform weights — the systematic-resampling post-state.
+        """
+        indices = np.asarray(indices)
+        if indices.shape != (self.count,):
+            raise MapError(
+                f"resampling must draw exactly {self.count} particles, got {indices.shape}"
+            )
+        front = self._buffers[self._front]
+        back = self._buffers[1 - self._front]
+        for key in ("x", "y", "theta"):
+            np.take(front[key], indices, out=back[key])
+        back["weights"][:] = np.asarray(
+            1.0 / self.count, dtype=self.precision.particle_dtype
+        )
+        self._front = 1 - self._front
+
+    # ------------------------------------------------------------------
+    # Memory accounting (paper Sec. III-C2 / Fig. 9)
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Bytes of particle storage including the double buffer."""
+        return self.count * self.precision.bytes_per_particle
+
+    def __len__(self) -> int:
+        return self.count

@@ -1,0 +1,165 @@
+"""Systematic (wheel) resampling and its parallel decomposition (Fig. 4).
+
+The paper uses systematic resampling [22]: one random number ``u0`` places
+the first of N equally spaced arrows on the cumulative-weight wheel; arrow
+``i`` sits at position ``(u0 + i) / N`` of the total weight and selects the
+particle whose cumulative interval contains it.
+
+The parallel scheme follows the paper exactly:
+
+1. **Partial sums.**  Particles are split into one contiguous block per
+   core.  During weight normalization each core computes its block sum;
+   the exclusive prefix over block sums tells every core where its block
+   starts on the wheel.
+2. **Arrow ownership.**  Because arrow positions are an arithmetic
+   progression, the sub-range of arrows falling inside a block's weight
+   interval is computed in O(1) from the partial sums — no core needs the
+   other cores' individual weights.
+3. **Local draw.**  Each core walks only its own block's cumulative
+   weights to resolve its arrows into particle indices.
+
+The parallel result equals the serial wheel except for degenerate
+floating-point ties where an arrow lands within one ulp of a block
+boundary (probability zero for continuous random ``u0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+#: Number of worker cores in the GAP9 cluster (paper Sec. III-B).
+GAP9_WORKER_CORES = 8
+
+
+def draw_wheel_offset(rng: np.random.Generator, count: int) -> float:
+    """Draw the single random number of systematic resampling.
+
+    Returns ``u0`` uniform in ``[0, 1/N)``; arrow ``i`` then sits at
+    normalized position ``u0 + i / N``.
+    """
+    return float(rng.uniform(0.0, 1.0 / count))
+
+
+def _normalized(weights: np.ndarray) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ConfigurationError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigurationError("weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must not sum to zero")
+    return weights / total
+
+
+def systematic_resample(weights: np.ndarray, u0: float) -> np.ndarray:
+    """Serial systematic resampling; returns N source indices.
+
+    ``u0`` must lie in ``[0, 1/N)`` (use :func:`draw_wheel_offset`).
+    The returned indices are non-decreasing, and each particle ``i`` is
+    drawn either ``floor(N w_i)`` or ``ceil(N w_i)`` times — the classic
+    low-variance guarantees.
+    """
+    weights = _normalized(weights)
+    count = weights.size
+    if not 0.0 <= u0 < 1.0 / count:
+        raise ConfigurationError(f"u0 must be in [0, 1/N), got {u0}")
+    positions = u0 + np.arange(count, dtype=np.float64) / count
+    cumulative = np.cumsum(weights)
+    cumulative[-1] = 1.0  # guard against rounding shortfall
+    return np.searchsorted(cumulative, positions, side="right").astype(np.int64)
+
+
+@dataclass
+class CoreAssignment:
+    """What one core contributes to the parallel wheel.
+
+    ``particle_lo:particle_hi`` is the block of *source* particles whose
+    weights the core summed; ``arrow_lo:arrow_hi`` the range of output
+    slots (arrows) it resolves; ``block_weight`` its partial sum.
+    """
+
+    core: int
+    particle_lo: int
+    particle_hi: int
+    arrow_lo: int
+    arrow_hi: int
+    block_weight: float
+
+    @property
+    def draw_count(self) -> int:
+        """How many new particles this core draws."""
+        return self.arrow_hi - self.arrow_lo
+
+
+@dataclass
+class ParallelResampleResult:
+    """Indices plus the per-core schedule (for the multicore simulator)."""
+
+    indices: np.ndarray
+    assignments: list[CoreAssignment]
+
+    def draw_counts(self) -> list[int]:
+        """Per-core draw counts — the load balance of the resampling step."""
+        return [a.draw_count for a in self.assignments]
+
+
+def parallel_systematic_resample(
+    weights: np.ndarray, u0: float, n_cores: int = GAP9_WORKER_CORES
+) -> ParallelResampleResult:
+    """Parallel wheel resampling via partial sums (paper Fig. 4).
+
+    Produces the same indices as :func:`systematic_resample` while only
+    using block-local cumulative weights plus the shared block partial
+    sums, mirroring the GAP9 implementation's data dependencies.
+    """
+    if n_cores < 1:
+        raise ConfigurationError(f"n_cores must be >= 1, got {n_cores}")
+    weights = _normalized(weights)
+    count = weights.size
+    if not 0.0 <= u0 < 1.0 / count:
+        raise ConfigurationError(f"u0 must be in [0, 1/N), got {u0}")
+
+    blocks = np.array_split(np.arange(count), n_cores)
+    # Phase 1 (normalization pass): per-core partial sums.
+    block_sums = [float(weights[b].sum()) if b.size else 0.0 for b in blocks]
+    # Exclusive prefix of the partial sums = each block's wheel offset.
+    prefix = np.concatenate([[0.0], np.cumsum(block_sums)])
+    prefix[-1] = 1.0  # guard rounding so the last arrow stays in range
+
+    indices = np.empty(count, dtype=np.int64)
+    assignments: list[CoreAssignment] = []
+    for core, block in enumerate(blocks):
+        if block.size == 0:
+            assignments.append(CoreAssignment(core, 0, 0, 0, 0, 0.0))
+            continue
+        lo_weight = prefix[core]
+        hi_weight = prefix[core + 1]
+        # Arrows at (u0 + i)/N land in [lo_weight, hi_weight):
+        #   i >= N*lo_weight - N*u0  and  i < N*hi_weight - N*u0.
+        arrow_lo = int(np.ceil(count * lo_weight - count * u0 - 1e-12))
+        arrow_hi = int(np.ceil(count * hi_weight - count * u0 - 1e-12))
+        arrow_lo = max(arrow_lo, 0)
+        arrow_hi = min(arrow_hi, count)
+        if arrow_hi > arrow_lo:
+            positions = u0 + np.arange(arrow_lo, arrow_hi, dtype=np.float64) / count
+            local_cum = lo_weight + np.cumsum(weights[block])
+            local_cum[-1] = hi_weight  # consistent with the prefix table
+            local = np.searchsorted(local_cum, positions, side="right")
+            local = np.minimum(local, block.size - 1)
+            indices[arrow_lo:arrow_hi] = block[0] + local
+        assignments.append(
+            CoreAssignment(
+                core=core,
+                particle_lo=int(block[0]),
+                particle_hi=int(block[-1]) + 1,
+                arrow_lo=arrow_lo,
+                arrow_hi=arrow_hi,
+                block_weight=block_sums[core],
+            )
+        )
+    return ParallelResampleResult(indices=indices, assignments=assignments)

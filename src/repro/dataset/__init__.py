@@ -1,0 +1,25 @@
+"""Evaluation dataset: recorded sequences and the mocap ground truth."""
+
+from .recorder import RecordedSequence, SensorTrack
+from .sequences import (
+    SEQUENCE_SCRIPTS,
+    SequenceScript,
+    data_directory,
+    generate_sequence,
+    load_all_sequences,
+    load_sequence,
+)
+from .vicon import ViconSpec, ViconTracker
+
+__all__ = [
+    "RecordedSequence",
+    "SensorTrack",
+    "SEQUENCE_SCRIPTS",
+    "SequenceScript",
+    "data_directory",
+    "generate_sequence",
+    "load_all_sequences",
+    "load_sequence",
+    "ViconSpec",
+    "ViconTracker",
+]

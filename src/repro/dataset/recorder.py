@@ -1,0 +1,179 @@
+"""Recorded flight sequences: the paper's dataset format.
+
+The paper's dataset has six sequences, each containing "ToF measurements
+from two sensors, internal state estimation based on the FlowDeck's
+optical flow and ground truth pose" (Sec. IV-A).  :class:`RecordedSequence`
+holds exactly that, in flat numpy arrays for compact ``.npz``
+serialization, and reconstructs per-step :class:`TofFrame` objects for the
+localizer on replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import DatasetError
+from ..common.geometry import Pose2D
+from ..sensors.tof import TofFrame
+from ..vehicle.crazyflie import SimStep
+
+
+@dataclass
+class SensorTrack:
+    """All frames of one ToF sensor across a sequence."""
+
+    sensor_name: str
+    ranges_m: np.ndarray  # (T, n, n)
+    status: np.ndarray  # (T, n, n)
+    azimuths: np.ndarray  # (n,)
+    mount_x: float
+    mount_y: float
+
+    def frame(self, index: int, timestamp: float) -> TofFrame:
+        """Materialize one frame for the localizer."""
+        return TofFrame(
+            timestamp=timestamp,
+            sensor_name=self.sensor_name,
+            ranges_m=self.ranges_m[index],
+            status=self.status[index],
+            azimuths=self.azimuths,
+            mount_x=self.mount_x,
+            mount_y=self.mount_y,
+        )
+
+
+@dataclass
+class RecordedSequence:
+    """One evaluation flight: timestamps, poses, odometry, ToF tracks."""
+
+    name: str
+    timestamps: np.ndarray  # (T,)
+    ground_truth: np.ndarray  # (T, 3): x, y, theta from mocap
+    odometry: np.ndarray  # (T, 3): the on-board drifting estimate
+    tracks: list[SensorTrack]
+
+    def __post_init__(self) -> None:
+        count = self.timestamps.shape[0]
+        if self.ground_truth.shape != (count, 3) or self.odometry.shape != (count, 3):
+            raise DatasetError("pose arrays must be (T, 3) matching timestamps")
+        for track in self.tracks:
+            if track.ranges_m.shape[0] != count:
+                raise DatasetError(
+                    f"sensor track {track.sensor_name} length mismatch"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Flight duration in seconds."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.timestamps[-1] - self.timestamps[0])
+
+    def ground_truth_pose(self, index: int) -> Pose2D:
+        return Pose2D.from_array(self.ground_truth[index])
+
+    def odometry_pose(self, index: int) -> Pose2D:
+        return Pose2D.from_array(self.odometry[index])
+
+    def steps(self) -> Iterator[SimStep]:
+        """Replay the sequence as :class:`SimStep` objects."""
+        for index in range(len(self)):
+            timestamp = float(self.timestamps[index])
+            yield SimStep(
+                timestamp=timestamp,
+                ground_truth=self.ground_truth_pose(index),
+                odometry=self.odometry_pose(index),
+                frames=[track.frame(index, timestamp) for track in self.tracks],
+            )
+
+    # ------------------------------------------------------------------
+    # Construction from a simulation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_sim_steps(name: str, steps: list[SimStep]) -> "RecordedSequence":
+        """Pack simulator output into the recorded format."""
+        if not steps:
+            raise DatasetError("cannot record an empty flight")
+        timestamps = np.array([s.timestamp for s in steps], dtype=np.float64)
+        ground_truth = np.stack([s.ground_truth.as_array() for s in steps])
+        odometry = np.stack([s.odometry.as_array() for s in steps])
+        tracks = []
+        sensor_names = [frame.sensor_name for frame in steps[0].frames]
+        for slot, sensor_name in enumerate(sensor_names):
+            first = steps[0].frames[slot]
+            tracks.append(
+                SensorTrack(
+                    sensor_name=sensor_name,
+                    ranges_m=np.stack([s.frames[slot].ranges_m for s in steps]),
+                    status=np.stack([s.frames[slot].status for s in steps]),
+                    azimuths=first.azimuths.copy(),
+                    mount_x=first.mount_x,
+                    mount_y=first.mount_y,
+                )
+            )
+        return RecordedSequence(
+            name=name,
+            timestamps=timestamps,
+            ground_truth=ground_truth,
+            odometry=odometry,
+            tracks=tracks,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str | Path) -> None:
+        """Write the sequence to a compressed ``.npz`` archive."""
+        payload: dict[str, np.ndarray] = {
+            "name": np.array(self.name),
+            "timestamps": self.timestamps,
+            "ground_truth": self.ground_truth,
+            "odometry": self.odometry,
+            "sensor_names": np.array([t.sensor_name for t in self.tracks]),
+        }
+        for track in self.tracks:
+            prefix = f"track_{track.sensor_name}"
+            payload[f"{prefix}_ranges"] = track.ranges_m
+            payload[f"{prefix}_status"] = track.status
+            payload[f"{prefix}_azimuths"] = track.azimuths
+            payload[f"{prefix}_mount"] = np.array([track.mount_x, track.mount_y])
+        np.savez_compressed(Path(path), **payload)
+
+    @staticmethod
+    def load_npz(path: str | Path) -> "RecordedSequence":
+        """Load a sequence written by :meth:`save_npz`."""
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"sequence file not found: {path}")
+        with np.load(path) as data:
+            tracks = []
+            for sensor_name in [str(n) for n in data["sensor_names"]]:
+                prefix = f"track_{sensor_name}"
+                mount = data[f"{prefix}_mount"]
+                tracks.append(
+                    SensorTrack(
+                        sensor_name=sensor_name,
+                        ranges_m=data[f"{prefix}_ranges"],
+                        status=data[f"{prefix}_status"],
+                        azimuths=data[f"{prefix}_azimuths"],
+                        mount_x=float(mount[0]),
+                        mount_y=float(mount[1]),
+                    )
+                )
+            return RecordedSequence(
+                name=str(data["name"]),
+                timestamps=data["timestamps"],
+                ground_truth=data["ground_truth"],
+                odometry=data["odometry"],
+                tracks=tracks,
+            )

@@ -1,0 +1,48 @@
+"""Evaluation: the paper's metrics, run harness and sweep protocol."""
+
+from .aggregate import (
+    SweepCell,
+    SweepProtocol,
+    SweepResult,
+    build_shared_fields,
+    run_sweep,
+)
+from .diagnostics import (
+    BeliefMode,
+    FilterTrace,
+    belief_modes,
+    trace_filter_health,
+)
+from .metrics import (
+    CONVERGENCE_POSITION_M,
+    CONVERGENCE_YAW_RAD,
+    SUCCESS_ATE_LIMIT_M,
+    AggregateMetrics,
+    RunMetrics,
+    convergence_curve,
+    evaluate_run,
+    first_convergence_index,
+)
+from .runner import RunResult, run_localization
+
+__all__ = [
+    "SweepCell",
+    "SweepProtocol",
+    "SweepResult",
+    "build_shared_fields",
+    "run_sweep",
+    "BeliefMode",
+    "FilterTrace",
+    "belief_modes",
+    "trace_filter_health",
+    "CONVERGENCE_POSITION_M",
+    "CONVERGENCE_YAW_RAD",
+    "SUCCESS_ATE_LIMIT_M",
+    "AggregateMetrics",
+    "RunMetrics",
+    "convergence_curve",
+    "evaluate_run",
+    "first_convergence_index",
+    "RunResult",
+    "run_localization",
+]

@@ -1,0 +1,152 @@
+"""Sweep orchestration: the paper's full evaluation protocol.
+
+The paper evaluates each configuration over **6 sequences x 6 random
+seeds** (Sec. IV-B).  :func:`run_sweep` executes that protocol for any set
+of variants and particle counts, sharing one distance field per precision
+kind, and reduces everything into the per-(variant, N) series that Fig. 6
+(ATE), Fig. 7 (success rate) and Fig. 8 (convergence probability) plot.
+
+Because a full paper-scale sweep is hours of pure-Python compute, the
+protocol scale is controlled by ``REPRO_SCALE``:
+
+* ``quick`` (default): 3 sequences x 2 seeds — same qualitative shape,
+  minutes of runtime;
+* ``paper``: the full 6 x 6 protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from ..common.errors import EvaluationError
+from ..common.rng import PAPER_SEEDS
+from ..core.config import MclConfig
+from ..dataset.recorder import RecordedSequence
+from ..maps.distance_field import DistanceField, FieldKind
+from ..maps.occupancy import OccupancyGrid
+from .metrics import AggregateMetrics
+from .runner import RunResult, run_localization
+
+
+@dataclass(frozen=True)
+class SweepProtocol:
+    """How many sequences and seeds a sweep covers."""
+
+    sequence_count: int
+    seeds: tuple[int, ...]
+
+    @staticmethod
+    def from_env() -> "SweepProtocol":
+        """Resolve the protocol from the ``REPRO_SCALE`` env variable."""
+        scale = os.environ.get("REPRO_SCALE", "quick").lower()
+        if scale == "paper":
+            return SweepProtocol(sequence_count=6, seeds=PAPER_SEEDS)
+        if scale == "quick":
+            return SweepProtocol(sequence_count=3, seeds=PAPER_SEEDS[:2])
+        raise EvaluationError(
+            f"REPRO_SCALE must be 'quick' or 'paper', got {scale!r}"
+        )
+
+
+@dataclass
+class SweepCell:
+    """Aggregated outcome of one (variant, particle count) cell."""
+
+    variant: str
+    particle_count: int
+    aggregate: AggregateMetrics = field(default_factory=AggregateMetrics)
+    runs: list[RunResult] = field(default_factory=list)
+
+    def add(self, result: RunResult) -> None:
+        self.runs.append(result)
+        self.aggregate.add(result.metrics)
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep, indexed by (variant, particle count)."""
+
+    cells: dict[tuple[str, int], SweepCell] = field(default_factory=dict)
+
+    def cell(self, variant: str, particle_count: int) -> SweepCell:
+        key = (variant, particle_count)
+        if key not in self.cells:
+            self.cells[key] = SweepCell(variant, particle_count)
+        return self.cells[key]
+
+    def ate_series(self, variant: str, particle_counts: list[int]) -> list[float]:
+        """Fig. 6 series: mean ATE per particle count."""
+        return [
+            self.cells[(variant, n)].aggregate.mean_ate_m for n in particle_counts
+        ]
+
+    def success_series(self, variant: str, particle_counts: list[int]) -> list[float]:
+        """Fig. 7 series: success rate (percent) per particle count."""
+        return [
+            100.0 * self.cells[(variant, n)].aggregate.success_rate
+            for n in particle_counts
+        ]
+
+    def convergence_times(self, variant: str, particle_count: int) -> list[float | None]:
+        """Fig. 8 input: convergence instants of every run in a cell."""
+        return self.cells[(variant, particle_count)].aggregate.convergence_times
+
+
+def build_shared_fields(
+    grid: OccupancyGrid, r_max: float, variants: list[str]
+) -> dict[str, DistanceField]:
+    """One distance field per storage kind used by the requested variants."""
+    fields: dict[str, DistanceField] = {}
+    needs_fp32 = any(v in ("fp32", "fp321tof") for v in variants)
+    needs_quant = any(v in ("fp32qm", "fp16qm") for v in variants)
+    if needs_fp32:
+        fields["float32"] = DistanceField.build(grid, r_max, FieldKind.FLOAT32)
+    if needs_quant:
+        fields["quantized_u8"] = DistanceField.build(grid, r_max, FieldKind.QUANTIZED_U8)
+    return fields
+
+
+def run_sweep(
+    grid: OccupancyGrid,
+    sequences: list[RecordedSequence],
+    variants: list[str],
+    particle_counts: list[int],
+    protocol: SweepProtocol | None = None,
+    base_config: MclConfig | None = None,
+    progress=None,
+) -> SweepResult:
+    """Execute the full evaluation protocol.
+
+    ``progress`` is an optional callable receiving a one-line status
+    string per completed run (for long sweeps under pytest-benchmark).
+    """
+    protocol = protocol or SweepProtocol.from_env()
+    base_config = base_config or MclConfig()
+    if not sequences:
+        raise EvaluationError("sweep needs at least one sequence")
+    used_sequences = sequences[: protocol.sequence_count]
+    fields = build_shared_fields(grid, base_config.r_max, variants)
+
+    result = SweepResult()
+    for variant in variants:
+        for count in particle_counts:
+            config = dataclasses.replace(
+                base_config, particle_count=count
+            ).with_variant(variant)
+            shared = fields[
+                "quantized_u8" if config.precision.edt_quantized else "float32"
+            ]
+            cell = result.cell(variant, count)
+            for sequence in used_sequences:
+                for seed in protocol.seeds:
+                    run = run_localization(grid, sequence, config, seed, field=shared)
+                    cell.add(run)
+                    if progress is not None:
+                        metrics = run.metrics
+                        progress(
+                            f"{variant} N={count} {sequence.name} seed={seed}: "
+                            f"success={metrics.success} ate={metrics.ate_mean_m:.3f}"
+                        )
+    return result

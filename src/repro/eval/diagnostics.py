@@ -1,0 +1,168 @@
+"""Filter-health diagnostics: what the belief looked like over a run.
+
+The headline metrics (ATE, success) say *whether* localization worked;
+these diagnostics say *why not* when it didn't.  They operate on a live
+filter (callback-style probing during replay) and extract:
+
+* effective sample size over time (weight degeneracy),
+* position/yaw spread over time (belief concentration),
+* the belief's **mode structure**: particles grouped into spatial
+  clusters with their weight shares — the direct view of the wrong-maze
+  ambiguity of Fig. 1 (two maze-sized modes trading weight until the
+  observations break the tie).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import EvaluationError
+from ..core.mcl import MonteCarloLocalization
+from ..dataset.recorder import RecordedSequence
+from ..maps.occupancy import OccupancyGrid
+
+
+@dataclass
+class BeliefMode:
+    """One spatial cluster of the particle population."""
+
+    center_x: float
+    center_y: float
+    weight_share: float
+    particle_count: int
+
+
+def belief_modes(
+    mcl: MonteCarloLocalization, cell_m: float = 0.75, min_share: float = 0.02
+) -> list[BeliefMode]:
+    """Cluster the current population into coarse spatial modes.
+
+    Particles are binned on a ``cell_m`` grid; connected bins (8-adjacent)
+    merge into one mode.  Modes below ``min_share`` of the total weight
+    are dropped.  Sorted by descending weight share.
+    """
+    if cell_m <= 0:
+        raise EvaluationError("cell_m must be positive")
+    if not 0.0 <= min_share < 1.0:
+        raise EvaluationError("min_share must be in [0, 1)")
+    x = mcl.particles.x.astype(np.float64)
+    y = mcl.particles.y.astype(np.float64)
+    weights = mcl.particles.weights.astype(np.float64)
+    total = weights.sum()
+    if total <= 0:
+        weights = np.full_like(weights, 1.0 / weights.size)
+        total = 1.0
+    weights = weights / total
+
+    bin_x = np.floor(x / cell_m).astype(np.int64)
+    bin_y = np.floor(y / cell_m).astype(np.int64)
+    bins: dict[tuple[int, int], list[int]] = {}
+    for index, key in enumerate(zip(bin_x.tolist(), bin_y.tolist())):
+        bins.setdefault(key, []).append(index)
+
+    # Merge adjacent occupied bins into connected components.
+    unvisited = set(bins)
+    modes: list[BeliefMode] = []
+    while unvisited:
+        seed_bin = unvisited.pop()
+        component = [seed_bin]
+        stack = [seed_bin]
+        while stack:
+            bx, by = stack.pop()
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    neighbour = (bx + dx, by + dy)
+                    if neighbour in unvisited:
+                        unvisited.remove(neighbour)
+                        component.append(neighbour)
+                        stack.append(neighbour)
+        members = np.array(
+            [i for key in component for i in bins[key]], dtype=np.int64
+        )
+        share = float(weights[members].sum())
+        if share < min_share:
+            continue
+        member_weights = weights[members]
+        norm = member_weights.sum()
+        modes.append(
+            BeliefMode(
+                center_x=float(np.dot(member_weights, x[members]) / norm),
+                center_y=float(np.dot(member_weights, y[members]) / norm),
+                weight_share=share,
+                particle_count=int(members.size),
+            )
+        )
+    modes.sort(key=lambda m: m.weight_share, reverse=True)
+    return modes
+
+
+@dataclass
+class FilterTrace:
+    """Per-update health time series of one localization run."""
+
+    timestamps: list[float] = field(default_factory=list)
+    ess: list[float] = field(default_factory=list)
+    position_std: list[float] = field(default_factory=list)
+    yaw_std: list[float] = field(default_factory=list)
+    mode_count: list[int] = field(default_factory=list)
+    top_mode_share: list[float] = field(default_factory=list)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """All series as numpy arrays keyed by name."""
+        return {
+            "timestamps": np.array(self.timestamps),
+            "ess": np.array(self.ess),
+            "position_std": np.array(self.position_std),
+            "yaw_std": np.array(self.yaw_std),
+            "mode_count": np.array(self.mode_count, dtype=np.int64),
+            "top_mode_share": np.array(self.top_mode_share),
+        }
+
+    def collapse_time(self, share_threshold: float = 0.9) -> float | None:
+        """First time the top mode holds ``share_threshold`` of the weight.
+
+        The mode-collapse instant usually precedes metric convergence: the
+        belief commits to one hypothesis, then sharpens inside it.
+        """
+        for timestamp, share in zip(self.timestamps, self.top_mode_share):
+            if share >= share_threshold:
+                return timestamp
+        return None
+
+
+def trace_filter_health(
+    grid: OccupancyGrid,
+    sequence: RecordedSequence,
+    mcl: MonteCarloLocalization,
+    mode_cell_m: float = 0.75,
+) -> FilterTrace:
+    """Replay a sequence through ``mcl``, probing belief health per update.
+
+    The filter is driven exactly like :func:`repro.eval.runner.run_localization`
+    drives it; diagnostics are sampled only on updates that actually fired
+    (motion-gated no-ops carry no new information).
+    """
+    if len(sequence) < 2:
+        raise EvaluationError("sequence too short to trace")
+    trace = FilterTrace()
+    previous_odometry = sequence.odometry_pose(0)
+    for index, step in enumerate(sequence.steps()):
+        if index == 0:
+            continue
+        increment = previous_odometry.between(step.odometry)
+        previous_odometry = step.odometry
+        mcl.add_odometry(increment)
+        report = mcl.process(step.frames)
+        if not report.motion_applied:
+            continue
+        estimate = mcl.estimate
+        modes = belief_modes(mcl, cell_m=mode_cell_m)
+        trace.timestamps.append(step.timestamp)
+        trace.ess.append(estimate.ess)
+        trace.position_std.append(estimate.position_std)
+        trace.yaw_std.append(estimate.yaw_std)
+        trace.mode_count.append(len(modes))
+        trace.top_mode_share.append(modes[0].weight_share if modes else 0.0)
+    return trace

@@ -1,0 +1,171 @@
+"""The paper's evaluation metrics (Sec. IV-A).
+
+Three accuracy aspects are measured:
+
+* **Convergence**: the estimate first comes within 0.2 m *and* 36° of the
+  ground-truth pose;
+* **Success**: "the pose tracking remains reliable from convergence until
+  the end of the sequence, meaning that the ATE does not exceed 1 m";
+* **ATE after convergence**: the absolute trajectory error over the
+  post-convergence segment (we report the mean — the paper quotes "mean
+  localization errors" when comparing to UWB — and the RMSE alongside).
+
+:func:`convergence_curve` turns many runs into the Fig. 8 empirical
+probability-of-convergence-over-time series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import EvaluationError
+
+#: Convergence thresholds (paper: "within a distance of (36° / 0.2 m)").
+CONVERGENCE_POSITION_M = 0.2
+CONVERGENCE_YAW_RAD = math.radians(36.0)
+
+#: Tracking is lost (run unsuccessful) if post-convergence error exceeds this.
+SUCCESS_ATE_LIMIT_M = 1.0
+
+
+@dataclass
+class RunMetrics:
+    """Scalar metrics of one localization run."""
+
+    converged: bool
+    convergence_time_s: float | None
+    success: bool
+    ate_mean_m: float
+    ate_rmse_m: float
+    ate_max_m: float
+    yaw_mean_rad: float
+
+    @staticmethod
+    def failed() -> "RunMetrics":
+        """Metrics of a run that never converged."""
+        nan = float("nan")
+        return RunMetrics(
+            converged=False,
+            convergence_time_s=None,
+            success=False,
+            ate_mean_m=nan,
+            ate_rmse_m=nan,
+            ate_max_m=nan,
+            yaw_mean_rad=nan,
+        )
+
+
+def first_convergence_index(
+    position_errors: np.ndarray,
+    yaw_errors: np.ndarray,
+    position_threshold: float = CONVERGENCE_POSITION_M,
+    yaw_threshold: float = CONVERGENCE_YAW_RAD,
+) -> int | None:
+    """Index of the first sample meeting both convergence thresholds."""
+    hits = (position_errors < position_threshold) & (yaw_errors < yaw_threshold)
+    indices = np.nonzero(hits)[0]
+    if indices.size == 0:
+        return None
+    return int(indices[0])
+
+
+def evaluate_run(
+    timestamps: np.ndarray,
+    position_errors: np.ndarray,
+    yaw_errors: np.ndarray,
+) -> RunMetrics:
+    """Compute the paper's metrics for one error trajectory.
+
+    All three arrays must be aligned per observation instant.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    position_errors = np.asarray(position_errors, dtype=np.float64)
+    yaw_errors = np.asarray(yaw_errors, dtype=np.float64)
+    if not (timestamps.shape == position_errors.shape == yaw_errors.shape):
+        raise EvaluationError("metric arrays must share one shape")
+    if timestamps.size == 0:
+        raise EvaluationError("cannot evaluate an empty run")
+
+    start = first_convergence_index(position_errors, yaw_errors)
+    if start is None:
+        return RunMetrics.failed()
+
+    post_position = position_errors[start:]
+    post_yaw = yaw_errors[start:]
+    ate_max = float(post_position.max())
+    return RunMetrics(
+        converged=True,
+        convergence_time_s=float(timestamps[start] - timestamps[0]),
+        success=ate_max <= SUCCESS_ATE_LIMIT_M,
+        ate_mean_m=float(post_position.mean()),
+        ate_rmse_m=float(np.sqrt(np.mean(post_position**2))),
+        ate_max_m=ate_max,
+        yaw_mean_rad=float(post_yaw.mean()),
+    )
+
+
+def convergence_curve(
+    convergence_times: list[float | None],
+    horizon_s: float,
+    resolution_s: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical P(converged by t) over a set of runs (Fig. 8).
+
+    Runs that never converged count as never-converging mass (the curve
+    saturates below 1).  Returns ``(times, probabilities)``.
+    """
+    if horizon_s <= 0 or resolution_s <= 0:
+        raise EvaluationError("horizon and resolution must be positive")
+    if not convergence_times:
+        raise EvaluationError("need at least one run")
+    times = np.arange(0.0, horizon_s + resolution_s / 2, resolution_s)
+    total = len(convergence_times)
+    probabilities = np.empty_like(times)
+    for i, t in enumerate(times):
+        converged = sum(
+            1 for ct in convergence_times if ct is not None and ct <= t
+        )
+        probabilities[i] = converged / total
+    return times, probabilities
+
+
+@dataclass
+class AggregateMetrics:
+    """Paper-style aggregation over runs (sequences x seeds)."""
+
+    run_metrics: list[RunMetrics] = field(default_factory=list)
+
+    def add(self, metrics: RunMetrics) -> None:
+        self.run_metrics.append(metrics)
+
+    @property
+    def run_count(self) -> int:
+        return len(self.run_metrics)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of successful runs, in [0, 1] (Fig. 7 series)."""
+        if not self.run_metrics:
+            raise EvaluationError("no runs aggregated")
+        return sum(1 for m in self.run_metrics if m.success) / self.run_count
+
+    @property
+    def mean_ate_m(self) -> float:
+        """Mean ATE over converged runs (Fig. 6 series).
+
+        Runs that never converged have no defined ATE; like the paper's
+        figure, the average is over runs that produced a trajectory.
+        Returns NaN when no run converged.
+        """
+        values = [m.ate_mean_m for m in self.run_metrics if m.converged]
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    @property
+    def convergence_times(self) -> list[float | None]:
+        """Per-run convergence instants (None = never), for Fig. 8."""
+        return [m.convergence_time_s for m in self.run_metrics]

@@ -1,0 +1,132 @@
+"""Statistical tooling for the evaluation: intervals and comparisons.
+
+The paper reports point estimates (mean ATE, success rate over 36 runs);
+for a software reproduction it is worth knowing how tight those numbers
+are.  This module provides the small-sample machinery the EXPERIMENTS.md
+record and the sweep reports use:
+
+* Wilson score intervals for success rates (well-behaved at 0 and 1,
+  unlike the normal approximation),
+* bootstrap percentile intervals for mean ATE,
+* a paired bootstrap test for "variant A is no worse than variant B on
+  the same (sequence, seed) runs" — the right comparison structure for
+  the fp32-vs-quantized claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A point estimate with a confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def wilson_interval(successes: int, trials: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 1:
+        raise EvaluationError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise EvaluationError("successes must lie in [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError("confidence must be in (0, 1)")
+    # Two-sided normal quantile.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    p = successes / trials
+    denominator = 1.0 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    # Clamp against rounding so the interval always contains the estimate
+    # (at p = 0 the center-margin arithmetic can leave ~1e-17 residue).
+    return Interval(
+        estimate=p,
+        lower=min(max(0.0, center - margin), p),
+        upper=max(min(1.0, center + margin), p),
+        confidence=confidence,
+    )
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki's approximation, <2e-3 rel)."""
+    if not -1.0 < x < 1.0:
+        raise EvaluationError("erfinv argument must be in (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    inner = first * first - ln_term / a
+    return math.copysign(math.sqrt(math.sqrt(inner) - first), x)
+
+
+def bootstrap_mean_interval(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Interval:
+    """Percentile bootstrap interval for the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size < 2:
+        raise EvaluationError("need at least two finite values to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise EvaluationError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[draws].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return Interval(
+        estimate=float(values.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_no_worse(
+    candidate: np.ndarray,
+    reference: np.ndarray,
+    margin: float = 0.0,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """P(mean(candidate - reference) <= margin) under the paired bootstrap.
+
+    ``candidate`` and ``reference`` must be aligned per run (same
+    sequence and seed).  A value near 1 supports "candidate is no worse
+    than reference by more than ``margin``" — the structure of the
+    paper's quantization claim (fp16qm no worse than fp32).
+    """
+    candidate = np.asarray(candidate, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if candidate.shape != reference.shape or candidate.size < 2:
+        raise EvaluationError("need aligned arrays with >= 2 paired runs")
+    keep = np.isfinite(candidate) & np.isfinite(reference)
+    differences = candidate[keep] - reference[keep]
+    if differences.size < 2:
+        raise EvaluationError("need >= 2 finite paired differences")
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, differences.size, size=(resamples, differences.size))
+    means = differences[draws].mean(axis=1)
+    return float(np.mean(means <= margin))

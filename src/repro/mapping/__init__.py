@@ -1,0 +1,26 @@
+"""Mapping and exploration: the paper's named future-work extensions."""
+
+from .exploration import (
+    ExplorationGoal,
+    FrontierCluster,
+    cluster_frontiers,
+    frontier_mask,
+    select_goal,
+)
+from .grid_mapper import GridMapper, MapperConfig, map_agreement
+from .inverse_model import BeamUpdate, InverseModelConfig, beam_evidence, trace_beam_cells
+
+__all__ = [
+    "ExplorationGoal",
+    "FrontierCluster",
+    "cluster_frontiers",
+    "frontier_mask",
+    "select_goal",
+    "GridMapper",
+    "MapperConfig",
+    "map_agreement",
+    "BeamUpdate",
+    "InverseModelConfig",
+    "beam_evidence",
+    "trace_beam_cells",
+]

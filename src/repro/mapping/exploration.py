@@ -1,0 +1,178 @@
+"""Frontier-based exploration — the paper's named future work.
+
+"Future works will extend the proposed system to applications such as
+path planning and exploration" (paper Sec. V).  This module implements
+the classic frontier pipeline on the library's substrates:
+
+1. **Frontier detection** — FREE cells adjacent to UNKNOWN cells in the
+   current (partially mapped) grid are the information boundary;
+2. **Clustering** — connected frontier cells group into reachable targets;
+3. **Goal selection** — nearest-centroid-first with a minimum cluster
+   size, planned with the clearance-aware A* from ``repro.maps.planning``.
+
+Combined with :class:`~repro.mapping.grid_mapper.GridMapper`, this closes
+the explore-map-localize loop demonstrated in
+``examples/exploration_demo.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import MapError
+from ..maps.occupancy import CellState, OccupancyGrid
+from ..maps.planning import clearance_map, plan_route
+
+
+def frontier_mask(grid: OccupancyGrid) -> np.ndarray:
+    """Boolean mask of frontier cells: FREE with a 4-adjacent UNKNOWN."""
+    free = grid.cells == CellState.FREE
+    unknown = grid.cells == CellState.UNKNOWN
+    neighbour_unknown = np.zeros_like(unknown)
+    neighbour_unknown[1:, :] |= unknown[:-1, :]
+    neighbour_unknown[:-1, :] |= unknown[1:, :]
+    neighbour_unknown[:, 1:] |= unknown[:, :-1]
+    neighbour_unknown[:, :-1] |= unknown[:, 1:]
+    return free & neighbour_unknown
+
+
+@dataclass
+class FrontierCluster:
+    """One connected group of frontier cells."""
+
+    rows: np.ndarray
+    cols: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return int(self.rows.size)
+
+    def centroid_cell(self) -> tuple[int, int]:
+        """The member cell closest to the cluster's mean (always on the
+        frontier, unlike the raw mean)."""
+        mean_row = float(self.rows.mean())
+        mean_col = float(self.cols.mean())
+        index = int(
+            np.argmin((self.rows - mean_row) ** 2 + (self.cols - mean_col) ** 2)
+        )
+        return int(self.rows[index]), int(self.cols[index])
+
+
+def cluster_frontiers(grid: OccupancyGrid, min_size: int = 3) -> list[FrontierCluster]:
+    """Group frontier cells into 8-connected clusters of at least ``min_size``."""
+    if min_size < 1:
+        raise MapError(f"min_size must be >= 1, got {min_size}")
+    mask = frontier_mask(grid)
+    seen = np.zeros_like(mask)
+    clusters: list[FrontierCluster] = []
+    for start in zip(*np.nonzero(mask)):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        members = []
+        while stack:
+            row, col = stack.pop()
+            members.append((row, col))
+            for d_row in (-1, 0, 1):
+                for d_col in (-1, 0, 1):
+                    nxt = (row + d_row, col + d_col)
+                    if (
+                        0 <= nxt[0] < grid.rows
+                        and 0 <= nxt[1] < grid.cols
+                        and mask[nxt]
+                        and not seen[nxt]
+                    ):
+                        seen[nxt] = True
+                        stack.append(nxt)
+        if len(members) >= min_size:
+            rows = np.array([m[0] for m in members])
+            cols = np.array([m[1] for m in members])
+            clusters.append(FrontierCluster(rows, cols))
+    return clusters
+
+
+@dataclass
+class ExplorationGoal:
+    """A selected frontier target and the route to it."""
+
+    target_xy: tuple[float, float]
+    route: list[tuple[float, float]]
+    cluster_size: int
+
+
+def select_goal(
+    grid: OccupancyGrid,
+    from_xy: tuple[float, float],
+    clearance_m: float = 0.15,
+    min_cluster_size: int = 3,
+    exclude_near: list[tuple[float, float]] | None = None,
+    exclude_radius_m: float = 0.3,
+) -> ExplorationGoal | None:
+    """Pick the nearest reachable frontier cluster and plan a route to it.
+
+    Returns None when exploration is complete (no reachable frontier) —
+    either the map is closed or remaining frontiers are unreachable at the
+    requested clearance.  Unreachable clusters are skipped, not fatal.
+
+    ``exclude_near`` blacklists previously attempted targets: clusters
+    whose centroid lies within ``exclude_radius_m`` of a blacklisted point
+    are skipped.  Exploration loops use this to escape frontiers the
+    sensor geometry can never clear (e.g. slivers behind wall stubs).
+    """
+    clusters = cluster_frontiers(grid, min_cluster_size)
+    if exclude_near:
+        def blacklisted(cluster: FrontierCluster) -> bool:
+            row, col = cluster.centroid_cell()
+            x, y = grid.grid_to_world(row, col)
+            return any(
+                math.hypot(float(x) - ex, float(y) - ey) < exclude_radius_m
+                for ex, ey in exclude_near
+            )
+
+        clusters = [c for c in clusters if not blacklisted(c)]
+    if not clusters:
+        return None
+    traversable = clearance_map(grid, clearance_m)
+
+    def snapped_target(cluster: FrontierCluster) -> tuple[float, float] | None:
+        """Nearest traversable cell to the cluster centroid."""
+        row, col = cluster.centroid_cell()
+        best = None
+        best_dist = math.inf
+        reach = 8  # cells
+        for d_row in range(-reach, reach + 1):
+            for d_col in range(-reach, reach + 1):
+                r, c = row + d_row, col + d_col
+                if 0 <= r < grid.rows and 0 <= c < grid.cols and traversable[r, c]:
+                    dist = d_row * d_row + d_col * d_col
+                    if dist < best_dist:
+                        best_dist = dist
+                        best = (r, c)
+        if best is None:
+            return None
+        x, y = grid.grid_to_world(best[0], best[1])
+        return (float(x), float(y))
+
+    ordered = sorted(
+        clusters,
+        key=lambda cluster: (
+            (grid.grid_to_world(*cluster.centroid_cell())[0] - from_xy[0]) ** 2
+            + (grid.grid_to_world(*cluster.centroid_cell())[1] - from_xy[1]) ** 2
+        ),
+    )
+    for cluster in ordered:
+        target = snapped_target(cluster)
+        if target is None:
+            continue
+        try:
+            route = plan_route(grid, from_xy, target, clearance_m)
+        except MapError:
+            continue
+        return ExplorationGoal(
+            target_xy=target, route=route, cluster_size=cluster.size
+        )
+    return None

@@ -1,0 +1,151 @@
+"""Log-odds occupancy grid mapping from multizone ToF frames.
+
+Accumulates :mod:`inverse_model` beam evidence into a log-odds grid and
+thresholds it into the library's three-state :class:`OccupancyGrid` — the
+same format the localizer consumes, so a mapped environment can be used
+for localization directly (mapping-then-localizing, the stepping stone to
+the paper's exploration future work).
+
+The mapper assumes poses are known (from mocap, or from MCL in a
+map-sharing session); full SLAM is out of the reproduction's scope and
+the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError, MapError
+from ..common.geometry import Pose2D
+from ..maps.occupancy import PAPER_RESOLUTION, CellState, OccupancyGrid
+from ..sensors.tof import TofFrame, ZoneStatus
+from .inverse_model import InverseModelConfig, beam_evidence
+
+
+@dataclass(frozen=True)
+class MapperConfig:
+    """Grid extent and classification thresholds."""
+
+    width_m: float
+    height_m: float
+    resolution: float = PAPER_RESOLUTION
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+    #: Log-odds magnitude clamp (prevents saturation lock-in).
+    l_clamp: float = 6.0
+    #: Classification thresholds into FREE / OCCUPIED.
+    l_free_threshold: float = -1.0
+    l_occupied_threshold: float = 1.5
+    inverse_model: InverseModelConfig = InverseModelConfig()
+    #: Rows of the zone matrix used for mapping (middle rows, like MCL).
+    beam_rows: tuple[int, ...] = (3, 4)
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0 or self.height_m <= 0:
+            raise ConfigurationError("mapper extent must be positive")
+        if self.resolution <= 0:
+            raise ConfigurationError("resolution must be positive")
+        if self.l_clamp <= 0:
+            raise ConfigurationError("l_clamp must be positive")
+        if not self.l_free_threshold < self.l_occupied_threshold:
+            raise ConfigurationError("free threshold must lie below occupied threshold")
+
+
+class GridMapper:
+    """Accumulates ToF frames into a log-odds occupancy map."""
+
+    def __init__(self, config: MapperConfig) -> None:
+        self.config = config
+        self._rows = int(round(config.height_m / config.resolution))
+        self._cols = int(round(config.width_m / config.resolution))
+        self.log_odds = np.zeros((self._rows, self._cols), dtype=np.float64)
+        self.frames_integrated = 0
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def integrate_frame(self, frame: TofFrame, body_pose: Pose2D) -> int:
+        """Integrate one zone-matrix frame taken from ``body_pose``.
+
+        Returns the number of beams that contributed evidence.  Zones with
+        error flags are skipped except OUT_OF_RANGE, which still clears
+        free space along the beam (a miss is information too).
+        """
+        config = self.config
+        rows = tuple(r for r in config.beam_rows if r < frame.zones_per_side)
+        if not rows:
+            raise ConfigurationError("beam_rows select nothing from this frame")
+        sensor_x, sensor_y = body_pose.transform_point(frame.mount_x, frame.mount_y)
+        used = 0
+        sensor_max = 4.0
+        for row in rows:
+            for col in range(frame.zones_per_side):
+                status = ZoneStatus(int(frame.status[row, col]))
+                if status not in (ZoneStatus.VALID, ZoneStatus.OUT_OF_RANGE):
+                    continue
+                angle = float(frame.azimuths[col]) + body_pose.theta
+                measured = float(frame.ranges_m[row, col])
+                update = beam_evidence(
+                    sensor_x, sensor_y, angle, measured, sensor_max,
+                    config.resolution, config.origin_x, config.origin_y,
+                    config.inverse_model,
+                )
+                self._apply(update.free_rows, update.free_cols, -config.inverse_model.l_free)
+                self._apply(update.hit_rows, update.hit_cols, config.inverse_model.l_occupied)
+                used += 1
+        self.frames_integrated += 1
+        return used
+
+    def _apply(self, rows: np.ndarray, cols: np.ndarray, delta: float) -> None:
+        inside = (rows >= 0) & (rows < self._rows) & (cols >= 0) & (cols < self._cols)
+        rows = rows[inside]
+        cols = cols[inside]
+        self.log_odds[rows, cols] = np.clip(
+            self.log_odds[rows, cols] + delta,
+            -self.config.l_clamp,
+            self.config.l_clamp,
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def occupancy_probabilities(self) -> np.ndarray:
+        """Per-cell occupancy probability from the log odds."""
+        return 1.0 - 1.0 / (1.0 + np.exp(self.log_odds))
+
+    def to_occupancy_grid(self) -> OccupancyGrid:
+        """Threshold the log odds into the three-state grid format."""
+        config = self.config
+        cells = np.full(self.log_odds.shape, int(CellState.UNKNOWN), dtype=np.uint8)
+        cells[self.log_odds <= config.l_free_threshold] = int(CellState.FREE)
+        cells[self.log_odds >= config.l_occupied_threshold] = int(CellState.OCCUPIED)
+        return OccupancyGrid(
+            cells, config.resolution, config.origin_x, config.origin_y
+        )
+
+    def coverage_fraction(self) -> float:
+        """Fraction of cells classified as other than UNKNOWN."""
+        grid = self.to_occupancy_grid()
+        known = np.count_nonzero(grid.cells != CellState.UNKNOWN)
+        return known / grid.cells.size
+
+
+def map_agreement(estimated: OccupancyGrid, reference: OccupancyGrid) -> float:
+    """Fraction of reference-known cells the estimate classifies identically.
+
+    Cells UNKNOWN in either grid are excluded — this scores *classification
+    agreement on jointly observed space*, the mapping quality metric used
+    by the tests and the exploration demo.
+    """
+    if estimated.cells.shape != reference.cells.shape:
+        raise MapError("grids must share a shape to compare")
+    both_known = (estimated.cells != CellState.UNKNOWN) & (
+        reference.cells != CellState.UNKNOWN
+    )
+    total = int(np.count_nonzero(both_known))
+    if total == 0:
+        return 0.0
+    agree = int(np.count_nonzero(both_known & (estimated.cells == reference.cells)))
+    return agree / total

@@ -1,0 +1,197 @@
+"""Inverse sensor model: what one ToF beam says about the map.
+
+The paper's map is acquired "by manually measuring the maze objects"
+(Sec. IV-A); building it from the drone's own multizone ToF data is the
+natural next step (and a prerequisite for the exploration extension the
+paper names as future work).  This module provides the per-beam update:
+given a beam origin, direction and measured range, which cells become
+more likely FREE and which more likely OCCUPIED.
+
+The model is the standard log-odds formulation (Thrun et al.,
+*Probabilistic Robotics*, the same reference the paper cites for the
+beam-end-point model): cells traversed by the beam before the hit get a
+free-space decrement, cells in a small window around the measured range
+get an occupied increment, cells beyond stay untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InverseModelConfig:
+    """Log-odds increments of the beam update."""
+
+    #: Log-odds added to cells in the hit window (evidence of occupancy).
+    l_occupied: float = 0.85
+    #: Log-odds subtracted from traversed cells (evidence of free space).
+    l_free: float = 0.4
+    #: Half-width of the hit window around the measured range, metres.
+    hit_window_m: float = 0.05
+    #: Ranges at/above this fraction of the sensor limit carry no hit
+    #: evidence (out-of-range readings only clear free space).
+    max_range_fraction: float = 0.95
+    #: Half-angle of one zone's acceptance cone, radians.  A VL53L5CX
+    #: zone spans 45°/8 = 5.6° of the FoV — its photons cover a *cone*,
+    #: so free-space evidence must widen with range or mapped free space
+    #: degenerates into single-cell stripes between ray samples.
+    cone_half_angle_rad: float = math.radians(45.0 / 8 / 2)
+    #: Cap on sub-rays used to fill the cone (compute bound).
+    max_sub_rays: int = 7
+
+    def __post_init__(self) -> None:
+        if self.l_occupied <= 0 or self.l_free <= 0:
+            raise ConfigurationError("log-odds increments must be positive")
+        if self.hit_window_m <= 0:
+            raise ConfigurationError("hit window must be positive")
+        if not 0.0 < self.max_range_fraction <= 1.0:
+            raise ConfigurationError("max_range_fraction must be in (0, 1]")
+        if self.cone_half_angle_rad < 0:
+            raise ConfigurationError("cone half-angle must be non-negative")
+        if self.max_sub_rays < 1:
+            raise ConfigurationError("need at least one sub-ray")
+
+
+@dataclass
+class BeamUpdate:
+    """Cell-index evidence produced by one beam."""
+
+    free_rows: np.ndarray
+    free_cols: np.ndarray
+    hit_rows: np.ndarray
+    hit_cols: np.ndarray
+
+
+def trace_beam_cells(
+    origin_x: float,
+    origin_y: float,
+    angle: float,
+    length_m: float,
+    resolution: float,
+    grid_origin_x: float,
+    grid_origin_y: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cells traversed by a segment, sampled at half-cell steps.
+
+    Returns unique (rows, cols) along the segment, unclipped — the caller
+    applies bounds.  Half-cell sampling guarantees no traversed cell is
+    skipped at any angle (sampling step < cell edge / sqrt(2) fails only
+    beyond 45° which half-cell covers).
+    """
+    if length_m <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    steps = max(int(math.ceil(length_m / (resolution * 0.5))), 1)
+    distances = np.linspace(0.0, length_m, steps + 1)
+    xs = origin_x + np.cos(angle) * distances
+    ys = origin_y + np.sin(angle) * distances
+    cols = np.floor((xs - grid_origin_x) / resolution).astype(np.int64)
+    rows = np.floor((ys - grid_origin_y) / resolution).astype(np.int64)
+    # Deduplicate while keeping it vectorized: pack into one key.
+    keys = rows * (1 << 32) + cols
+    __, first = np.unique(keys, return_index=True)
+    order = np.sort(first)
+    return rows[order], cols[order]
+
+
+def _cone_sub_angles(
+    angle: float, length_m: float, resolution: float, config: InverseModelConfig
+) -> np.ndarray:
+    """Sub-ray angles covering the zone's acceptance cone.
+
+    Enough sub-rays that adjacent traces at the far end of the beam are
+    at most one cell apart, capped at ``max_sub_rays``.
+    """
+    if config.cone_half_angle_rad == 0.0 or length_m <= 0.0:
+        return np.array([angle])
+    arc = 2.0 * config.cone_half_angle_rad * length_m
+    count = int(math.ceil(arc / resolution)) + 1
+    count = min(max(count, 1), config.max_sub_rays)
+    if count == 1:
+        return np.array([angle])
+    return angle + np.linspace(
+        -config.cone_half_angle_rad, config.cone_half_angle_rad, count
+    )
+
+
+def _dedupe(rows: np.ndarray, cols: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    keys = rows * (1 << 32) + cols
+    __, first = np.unique(keys, return_index=True)
+    return rows[first], cols[first]
+
+
+def beam_evidence(
+    origin_x: float,
+    origin_y: float,
+    angle: float,
+    measured_range: float,
+    sensor_max_range: float,
+    resolution: float,
+    grid_origin_x: float,
+    grid_origin_y: float,
+    config: InverseModelConfig,
+) -> BeamUpdate:
+    """Split one zone measurement into free-space and hit-window cells.
+
+    Free-space evidence covers the zone's acceptance cone (sub-ray fan);
+    hit evidence covers the arc of the cone at the measured range.
+    """
+    if measured_range < 0:
+        raise ConfigurationError(f"range must be non-negative, got {measured_range}")
+    out_of_range = measured_range >= config.max_range_fraction * sensor_max_range
+    free_length = max(
+        measured_range - (0.0 if out_of_range else config.hit_window_m), 0.0
+    )
+    sub_angles = _cone_sub_angles(angle, free_length, resolution, config)
+
+    free_rows_parts = []
+    free_cols_parts = []
+    for sub_angle in sub_angles:
+        rows, cols = trace_beam_cells(
+            origin_x, origin_y, float(sub_angle), free_length, resolution,
+            grid_origin_x, grid_origin_y,
+        )
+        free_rows_parts.append(rows)
+        free_cols_parts.append(cols)
+    free_rows = np.concatenate(free_rows_parts) if free_rows_parts else np.empty(0, np.int64)
+    free_cols = np.concatenate(free_cols_parts) if free_cols_parts else np.empty(0, np.int64)
+    if free_rows.size:
+        free_rows, free_cols = _dedupe(free_rows, free_cols)
+
+    if out_of_range:
+        return BeamUpdate(
+            free_rows, free_cols,
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+        )
+
+    hit_lo = max(measured_range - config.hit_window_m, 0.0)
+    hit_span = 2 * config.hit_window_m
+    hit_rows_parts = []
+    hit_cols_parts = []
+    for sub_angle in sub_angles:
+        hit_x = origin_x + math.cos(float(sub_angle)) * hit_lo
+        hit_y = origin_y + math.sin(float(sub_angle)) * hit_lo
+        rows, cols = trace_beam_cells(
+            hit_x, hit_y, float(sub_angle), hit_span, resolution,
+            grid_origin_x, grid_origin_y,
+        )
+        hit_rows_parts.append(rows)
+        hit_cols_parts.append(cols)
+    hit_rows = np.concatenate(hit_rows_parts)
+    hit_cols = np.concatenate(hit_cols_parts)
+    if hit_rows.size:
+        hit_rows, hit_cols = _dedupe(hit_rows, hit_cols)
+    # Hit cells must not also carry free evidence from a neighbouring
+    # sub-ray grazing past the surface.
+    if hit_rows.size and free_rows.size:
+        hit_keys = set((hit_rows * (1 << 32) + hit_cols).tolist())
+        free_keys = free_rows * (1 << 32) + free_cols
+        keep = np.array([k not in hit_keys for k in free_keys.tolist()])
+        free_rows = free_rows[keep]
+        free_cols = free_cols[keep]
+    return BeamUpdate(free_rows, free_cols, hit_rows, hit_cols)

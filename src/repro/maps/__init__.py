@@ -1,0 +1,41 @@
+"""Occupancy grids, distance fields and the evaluation maze worlds."""
+
+from .builder import MapBuilder
+from .distance_field import DistanceField, FieldKind
+from .edt import brute_force_edt, euclidean_distance_field, squared_edt
+from .maze import (
+    ARTIFICIAL_MAZE_SIZE_M,
+    MAIN_MAZE_SIZE_M,
+    TOTAL_STRUCTURED_AREA_M2,
+    DroneWorld,
+    MazePlacement,
+    build_drone_maze_world,
+    generate_maze,
+    main_drone_maze,
+)
+from .occupancy import PAPER_RESOLUTION, CellState, OccupancyGrid
+from .planning import DEFAULT_CLEARANCE_M, clearance_map, plan_route, plan_tour
+
+__all__ = [
+    "MapBuilder",
+    "DistanceField",
+    "FieldKind",
+    "brute_force_edt",
+    "euclidean_distance_field",
+    "squared_edt",
+    "ARTIFICIAL_MAZE_SIZE_M",
+    "MAIN_MAZE_SIZE_M",
+    "TOTAL_STRUCTURED_AREA_M2",
+    "DroneWorld",
+    "MazePlacement",
+    "build_drone_maze_world",
+    "generate_maze",
+    "main_drone_maze",
+    "PAPER_RESOLUTION",
+    "CellState",
+    "OccupancyGrid",
+    "DEFAULT_CLEARANCE_M",
+    "clearance_map",
+    "plan_route",
+    "plan_tour",
+]

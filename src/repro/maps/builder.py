@@ -1,0 +1,167 @@
+"""Rasterization of geometric primitives into occupancy grids.
+
+The paper's map was acquired "by manually measuring the maze objects"
+(Sec. IV-A): walls and boxes measured in metres, rasterized onto a 0.05 m
+grid.  :class:`MapBuilder` mirrors that workflow — declare free regions,
+wall segments and boxes in world coordinates, then :meth:`build` the grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.errors import MapError
+from .occupancy import PAPER_RESOLUTION, CellState, OccupancyGrid
+
+#: Default physical wall thickness in metres (one grid cell).
+DEFAULT_WALL_THICKNESS = 0.05
+
+
+class MapBuilder:
+    """Accumulates primitives and rasterizes them into an :class:`OccupancyGrid`.
+
+    Cells start as UNKNOWN.  Primitives are applied in call order, so a wall
+    drawn after a free region overwrites it (walls win), which matches how
+    a physical maze is assembled inside a room.
+    """
+
+    def __init__(
+        self,
+        width_m: float,
+        height_m: float,
+        resolution: float = PAPER_RESOLUTION,
+        origin_x: float = 0.0,
+        origin_y: float = 0.0,
+    ) -> None:
+        if width_m <= 0 or height_m <= 0:
+            raise MapError(f"map extent must be positive, got {width_m} x {height_m}")
+        if resolution <= 0:
+            raise MapError(f"resolution must be positive, got {resolution}")
+        self.resolution = float(resolution)
+        self.origin_x = float(origin_x)
+        self.origin_y = float(origin_y)
+        self._cols = int(round(width_m / resolution))
+        self._rows = int(round(height_m / resolution))
+        self._cells = np.full((self._rows, self._cols), int(CellState.UNKNOWN), dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Coordinate helpers
+    # ------------------------------------------------------------------
+    def _cell_centers(self) -> tuple[np.ndarray, np.ndarray]:
+        """World coordinates of all cell centers as ``(X, Y)`` meshgrids."""
+        xs = self.origin_x + (np.arange(self._cols) + 0.5) * self.resolution
+        ys = self.origin_y + (np.arange(self._rows) + 0.5) * self.resolution
+        return np.meshgrid(xs, ys)
+
+    def _clip_index_range(self, lo: float, hi: float, origin: float, count: int) -> tuple[int, int]:
+        """Convert a world interval into a clipped half-open cell index range."""
+        first = int(np.floor((lo - origin) / self.resolution))
+        last = int(np.ceil((hi - origin) / self.resolution))
+        return max(first, 0), min(last, count)
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def fill_rect(
+        self, x0: float, y0: float, x1: float, y1: float, state: CellState = CellState.FREE
+    ) -> "MapBuilder":
+        """Set all cells whose centers lie in ``[x0, x1] x [y0, y1]`` to ``state``."""
+        if x1 < x0 or y1 < y0:
+            raise MapError(f"degenerate rectangle ({x0},{y0})-({x1},{y1})")
+        col_lo, col_hi = self._clip_index_range(x0, x1, self.origin_x, self._cols)
+        row_lo, row_hi = self._clip_index_range(y0, y1, self.origin_y, self._rows)
+        self._cells[row_lo:row_hi, col_lo:col_hi] = int(state)
+        return self
+
+    def add_box(self, x0: float, y0: float, x1: float, y1: float) -> "MapBuilder":
+        """Mark a solid rectangular obstacle as OCCUPIED."""
+        return self.fill_rect(x0, y0, x1, y1, CellState.OCCUPIED)
+
+    def add_wall(
+        self,
+        x0: float,
+        y0: float,
+        x1: float,
+        y1: float,
+        thickness: float = DEFAULT_WALL_THICKNESS,
+    ) -> "MapBuilder":
+        """Rasterize a wall segment of the given physical thickness.
+
+        A cell becomes OCCUPIED when its center lies within ``thickness/2``
+        of the segment.  The working window is the segment's bounding box
+        expanded by the thickness, so long maps stay cheap to edit.
+        """
+        if thickness <= 0:
+            raise MapError(f"wall thickness must be positive, got {thickness}")
+        half = thickness / 2.0 + 1e-9
+        margin = half + self.resolution
+        col_lo, col_hi = self._clip_index_range(
+            min(x0, x1) - margin, max(x0, x1) + margin, self.origin_x, self._cols
+        )
+        row_lo, row_hi = self._clip_index_range(
+            min(y0, y1) - margin, max(y0, y1) + margin, self.origin_y, self._rows
+        )
+        if col_lo >= col_hi or row_lo >= row_hi:
+            return self
+
+        xs = self.origin_x + (np.arange(col_lo, col_hi) + 0.5) * self.resolution
+        ys = self.origin_y + (np.arange(row_lo, row_hi) + 0.5) * self.resolution
+        grid_x, grid_y = np.meshgrid(xs, ys)
+
+        seg_dx = x1 - x0
+        seg_dy = y1 - y0
+        seg_len_sq = seg_dx * seg_dx + seg_dy * seg_dy
+        if seg_len_sq == 0.0:
+            dist = np.hypot(grid_x - x0, grid_y - y0)
+        else:
+            t = ((grid_x - x0) * seg_dx + (grid_y - y0) * seg_dy) / seg_len_sq
+            t = np.clip(t, 0.0, 1.0)
+            dist = np.hypot(grid_x - (x0 + t * seg_dx), grid_y - (y0 + t * seg_dy))
+
+        window = self._cells[row_lo:row_hi, col_lo:col_hi]
+        window[dist <= half] = int(CellState.OCCUPIED)
+        return self
+
+    def add_border(self, thickness: float = DEFAULT_WALL_THICKNESS) -> "MapBuilder":
+        """Draw OCCUPIED walls along the full map perimeter."""
+        x_max = self.origin_x + self._cols * self.resolution
+        y_max = self.origin_y + self._rows * self.resolution
+        self.add_wall(self.origin_x, self.origin_y, x_max, self.origin_y, thickness)
+        self.add_wall(self.origin_x, y_max, x_max, y_max, thickness)
+        self.add_wall(self.origin_x, self.origin_y, self.origin_x, y_max, thickness)
+        self.add_wall(x_max, self.origin_y, x_max, y_max, thickness)
+        return self
+
+    def stamp(self, grid: OccupancyGrid, at_x: float, at_y: float) -> "MapBuilder":
+        """Copy another grid's non-UNKNOWN cells into this map.
+
+        ``(at_x, at_y)`` is the world position where the source grid's
+        origin lands.  Both grids must share the same resolution.  Used to
+        compose the combined evaluation map from individual mazes.
+        """
+        if not np.isclose(grid.resolution, self.resolution):
+            raise MapError(
+                f"resolution mismatch: builder {self.resolution} vs stamp {grid.resolution}"
+            )
+        col_off = int(round((at_x - self.origin_x) / self.resolution))
+        row_off = int(round((at_y - self.origin_y) / self.resolution))
+        if (
+            row_off < 0
+            or col_off < 0
+            or row_off + grid.rows > self._rows
+            or col_off + grid.cols > self._cols
+        ):
+            raise MapError("stamped grid does not fit inside the builder extent")
+        target = self._cells[row_off : row_off + grid.rows, col_off : col_off + grid.cols]
+        known = grid.cells != int(CellState.UNKNOWN)
+        target[known] = grid.cells[known]
+        return self
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def build(self) -> OccupancyGrid:
+        """Return the rasterized occupancy grid (a copy; the builder stays usable)."""
+        return OccupancyGrid(
+            self._cells.copy(), self.resolution, self.origin_x, self.origin_y
+        )

@@ -1,0 +1,194 @@
+"""Distance-field storage variants: fp32, fp16 and quantized uint8.
+
+The paper compares three in-memory representations of the precomputed EDT
+(Sec. III-C2): 32-bit floats, 16-bit floats and 8-bit quantized unsigned
+integers.  All three are exposed here behind one lookup API so the
+observation model is agnostic to the storage choice; the memory accounting
+(bytes per cell) feeds the Fig. 9 capacity analysis.
+
+Lookups happen in world coordinates.  Points outside the stored grid
+return ``r_max`` — off-map space is maximally far from any known obstacle,
+which makes the beam-end-point likelihood saturate exactly like a truncated
+in-map cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..common.errors import MapError
+from ..common.precision import (
+    PrecisionMode,
+    dequantize_distances,
+    quantize_distances,
+)
+from .edt import euclidean_distance_field
+from .occupancy import CellState, OccupancyGrid
+
+
+class FieldKind(Enum):
+    """Storage representation of the distance field."""
+
+    FLOAT32 = "float32"
+    FLOAT16 = "float16"
+    QUANTIZED_U8 = "quantized_u8"
+
+    @property
+    def bytes_per_cell(self) -> int:
+        """Bytes per cell of the EDT payload alone (occupancy excluded)."""
+        return {"float32": 4, "float16": 2, "quantized_u8": 1}[self.value]
+
+    @staticmethod
+    def for_mode(mode: PrecisionMode) -> "FieldKind":
+        """Field kind used by a paper precision mode (fp32 vs *qm)."""
+        return FieldKind.QUANTIZED_U8 if mode.edt_quantized else FieldKind.FLOAT32
+
+
+@dataclass
+class DistanceField:
+    """A truncated EDT over a metric grid with pluggable storage.
+
+    Attributes
+    ----------
+    data:
+        ``(rows, cols)`` array in the storage dtype (float32/float16/uint8).
+    kind:
+        Which representation ``data`` uses.
+    r_max:
+        Truncation distance in metres; also the quantization full scale.
+    resolution, origin_x, origin_y:
+        Metric frame, identical to the source occupancy grid's.
+    """
+
+    data: np.ndarray
+    kind: FieldKind
+    r_max: float
+    resolution: float
+    origin_x: float
+    origin_y: float
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 2:
+            raise MapError(f"distance field must be 2-D, got shape {self.data.shape}")
+        if self.r_max <= 0:
+            raise MapError(f"r_max must be positive, got {self.r_max}")
+        expected = {
+            FieldKind.FLOAT32: np.float32,
+            FieldKind.FLOAT16: np.float16,
+            FieldKind.QUANTIZED_U8: np.uint8,
+        }[self.kind]
+        if self.data.dtype != np.dtype(expected):
+            raise MapError(
+                f"{self.kind.value} field requires dtype {np.dtype(expected)}, got {self.data.dtype}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def build(
+        grid: OccupancyGrid, r_max: float, kind: FieldKind = FieldKind.FLOAT32
+    ) -> "DistanceField":
+        """Compute the truncated EDT of ``grid`` and store it as ``kind``.
+
+        The EDT is evaluated on a canvas **padded by r_max** on every side:
+        a measured range that overshoots a border wall by a few
+        centimetres (plain ranging noise) must score as "centimetres from
+        an obstacle", not as the maximal off-map penalty — otherwise maps
+        whose walls coincide with the grid edge punish the *true* pose.
+        Beyond the padding the lookup saturates at ``r_max``, which is
+        exact because no obstacle can be closer than the padding width.
+        """
+        if r_max <= 0:
+            raise MapError(f"r_max must be positive, got {r_max}")
+        pad = int(np.ceil(r_max / grid.resolution))
+        padded_cells = np.full(
+            (grid.rows + 2 * pad, grid.cols + 2 * pad),
+            int(CellState.UNKNOWN),
+            dtype=np.uint8,
+        )
+        padded_cells[pad : pad + grid.rows, pad : pad + grid.cols] = grid.cells
+        padded = OccupancyGrid(
+            padded_cells,
+            resolution=grid.resolution,
+            origin_x=grid.origin_x - pad * grid.resolution,
+            origin_y=grid.origin_y - pad * grid.resolution,
+        )
+        metric = euclidean_distance_field(padded, r_max)
+        if kind is FieldKind.FLOAT32:
+            data = metric.astype(np.float32)
+        elif kind is FieldKind.FLOAT16:
+            data = metric.astype(np.float16)
+        else:
+            data = quantize_distances(metric, r_max)
+        return DistanceField(
+            data=data,
+            kind=kind,
+            r_max=float(r_max),
+            resolution=padded.resolution,
+            origin_x=padded.origin_x,
+            origin_y=padded.origin_y,
+        )
+
+    @staticmethod
+    def build_for_mode(
+        grid: OccupancyGrid, r_max: float, mode: PrecisionMode
+    ) -> "DistanceField":
+        """Build the field variant a paper precision mode calls for."""
+        return DistanceField.build(grid, r_max, FieldKind.for_mode(mode))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def values_metres(self) -> np.ndarray:
+        """The full field decoded to float32 metres (copies for quantized)."""
+        if self.kind is FieldKind.QUANTIZED_U8:
+            return dequantize_distances(self.data, self.r_max)
+        return self.data.astype(np.float32)
+
+    def lookup_world(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Distances (float32, metres) at world points of any shape.
+
+        Out-of-bounds points return ``r_max``.  This is the hot path of the
+        observation model: it must stay fully vectorized.
+        """
+        col = np.floor((np.asarray(x) - self.origin_x) / self.resolution).astype(np.int64)
+        row = np.floor((np.asarray(y) - self.origin_y) / self.resolution).astype(np.int64)
+        rows, cols = self.data.shape
+        inside = (row >= 0) & (row < rows) & (col >= 0) & (col < cols)
+        # Clip to gather safely, then overwrite out-of-bounds with r_max.
+        row_safe = np.clip(row, 0, rows - 1)
+        col_safe = np.clip(col, 0, cols - 1)
+        raw = self.data[row_safe, col_safe]
+        if self.kind is FieldKind.QUANTIZED_U8:
+            dist = dequantize_distances(raw, self.r_max)
+        else:
+            dist = raw.astype(np.float32)
+        return np.where(inside, dist, np.float32(self.r_max))
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Fig. 9)
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_cell(self) -> int:
+        """Bytes per cell of the EDT payload."""
+        return self.kind.bytes_per_cell
+
+    def memory_bytes(self) -> int:
+        """Total bytes of the stored field."""
+        return int(self.data.nbytes)
+
+    def max_abs_error_metres(self) -> float:
+        """Worst-case representation error of this storage kind in metres.
+
+        fp32 is treated as exact; fp16 error is bounded by half ULP at
+        ``r_max``; quantized error is half a quantization step.
+        """
+        if self.kind is FieldKind.QUANTIZED_U8:
+            return self.r_max / (2 * 255)
+        if self.kind is FieldKind.FLOAT16:
+            return float(np.spacing(np.float16(self.r_max))) / 2
+        return 0.0

@@ -1,0 +1,263 @@
+"""The evaluation worlds: the "drone maze" and its artificial extensions.
+
+The paper flies in a physical 4 m x 4 m "drone maze" (Fig. 5) inside a
+16 m² mocap volume, and extends the localization map with **three artificial
+mazes** to a total of **31.2 m² of structured area** — making global
+localization genuinely ambiguous (Fig. 1 shows the estimate starting in the
+wrong maze).
+
+This module reproduces that setup:
+
+* :func:`main_drone_maze` — a hand-crafted 4 m x 4 m maze with corridors,
+  wall stubs and boxes, raster-measured onto the 0.05 m grid exactly like
+  the paper's manually measured map;
+* :func:`generate_maze` — recursive-backtracker procedural mazes used for
+  the three artificial extensions (structurally distinct per seed);
+* :func:`build_drone_maze_world` — the combined evaluation map
+  (31.19 m² structured area at 0.05 m/cell) plus per-maze placement
+  metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..common.errors import MapError
+from ..common.rng import make_rng
+from .builder import MapBuilder
+from .occupancy import PAPER_RESOLUTION, CellState, OccupancyGrid
+
+#: Side length of the main physical maze in metres (16 m² mocap area).
+MAIN_MAZE_SIZE_M = 4.0
+
+#: Side length of each artificial maze in metres.
+ARTIFICIAL_MAZE_SIZE_M = 2.25
+
+#: Number of corridor cells per side of an artificial maze.
+ARTIFICIAL_MAZE_CELLS = 5
+
+#: Paper's total structured area: 16 + 3 * 5.0625 = 31.1875 ~= 31.2 m².
+TOTAL_STRUCTURED_AREA_M2 = (
+    MAIN_MAZE_SIZE_M**2 + 3 * ARTIFICIAL_MAZE_SIZE_M**2
+)
+
+#: Wall segments of the main maze: (x0, y0, x1, y1) in metres.
+#: Horizontal shelf walls with staggered gaps create a serpentine corridor
+#: system roughly 0.9 m wide, with short stubs and boxes adding structure.
+MAIN_MAZE_WALLS: tuple[tuple[float, float, float, float], ...] = (
+    # Horizontal walls with alternating gaps (gap positions in comments).
+    (0.0, 1.0, 3.0, 1.0),  # gap at x in (3.0, 4.0)
+    (1.0, 2.0, 4.0, 2.0),  # gap at x in (0.0, 1.0)
+    (0.0, 3.0, 2.5, 3.0),  # first part; gap at x in (2.5, 3.2)
+    (3.2, 3.0, 4.0, 3.0),  # second part
+    # Vertical stubs breaking corridor symmetry.
+    (2.0, 0.0, 2.0, 0.5),
+    (1.2, 1.0, 1.2, 1.45),
+    (2.8, 2.0, 2.8, 2.5),
+    (1.6, 3.0, 1.6, 3.45),
+)
+
+#: Boxes (obstacles) of the main maze: (x0, y0, x1, y1) in metres.
+MAIN_MAZE_BOXES: tuple[tuple[float, float, float, float], ...] = (
+    (3.3, 0.25, 3.7, 0.6),
+    (0.3, 2.3, 0.65, 2.65),
+)
+
+
+def main_drone_maze(resolution: float = PAPER_RESOLUTION) -> OccupancyGrid:
+    """Build the 4 m x 4 m main drone maze at the given resolution.
+
+    The returned grid has its origin at (0, 0); all interior non-wall cells
+    are FREE.
+    """
+    builder = MapBuilder(MAIN_MAZE_SIZE_M, MAIN_MAZE_SIZE_M, resolution)
+    builder.fill_rect(0.0, 0.0, MAIN_MAZE_SIZE_M, MAIN_MAZE_SIZE_M, CellState.FREE)
+    builder.add_border()
+    for x0, y0, x1, y1 in MAIN_MAZE_WALLS:
+        builder.add_wall(x0, y0, x1, y1)
+    for x0, y0, x1, y1 in MAIN_MAZE_BOXES:
+        builder.add_box(x0, y0, x1, y1)
+    return builder.build()
+
+
+def _carve_passages(cells: int, rng: np.random.Generator) -> tuple[set, set]:
+    """Run a recursive backtracker over a ``cells x cells`` lattice.
+
+    Returns the sets of carved passages as frozenset cell-index pairs:
+    ``(horizontal_open, vertical_open)`` where a horizontal passage opens
+    the wall between ``(r, c)`` and ``(r, c+1)`` and a vertical one between
+    ``(r, c)`` and ``(r+1, c)``.
+    """
+    visited = np.zeros((cells, cells), dtype=bool)
+    horizontal_open: set[tuple[int, int]] = set()
+    vertical_open: set[tuple[int, int]] = set()
+    stack = [(0, 0)]
+    visited[0, 0] = True
+    while stack:
+        row, col = stack[-1]
+        neighbours = []
+        if col + 1 < cells and not visited[row, col + 1]:
+            neighbours.append((row, col + 1, "h", (row, col)))
+        if col - 1 >= 0 and not visited[row, col - 1]:
+            neighbours.append((row, col - 1, "h", (row, col - 1)))
+        if row + 1 < cells and not visited[row + 1, col]:
+            neighbours.append((row + 1, col, "v", (row, col)))
+        if row - 1 >= 0 and not visited[row - 1, col]:
+            neighbours.append((row - 1, col, "v", (row - 1, col)))
+        if not neighbours:
+            stack.pop()
+            continue
+        next_row, next_col, direction, wall_key = neighbours[rng.integers(len(neighbours))]
+        if direction == "h":
+            horizontal_open.add(wall_key)
+        else:
+            vertical_open.add(wall_key)
+        visited[next_row, next_col] = True
+        stack.append((next_row, next_col))
+    return horizontal_open, vertical_open
+
+
+def generate_maze(
+    size_m: float = ARTIFICIAL_MAZE_SIZE_M,
+    cells: int = ARTIFICIAL_MAZE_CELLS,
+    seed: int = 0,
+    resolution: float = PAPER_RESOLUTION,
+    braid_fraction: float = 0.35,
+) -> OccupancyGrid:
+    """Generate a procedural maze grid with a recursive backtracker.
+
+    Parameters
+    ----------
+    size_m:
+        Physical side length of the maze.
+    cells:
+        Corridor cells per side; corridor pitch is ``size_m / cells``.
+    seed:
+        Layout seed — different seeds give structurally distinct mazes,
+        which is what makes the combined map's global localization
+        disambiguable.
+    braid_fraction:
+        Fraction of remaining interior walls knocked out after carving.
+        A perfect maze (0.0) has many dead ends a drone cannot sensibly
+        fly; braiding opens loops like the paper's corridor mazes.
+    """
+    if cells < 2:
+        raise MapError(f"maze needs at least 2 cells per side, got {cells}")
+    rng = make_rng(seed, "maze-layout")
+    horizontal_open, vertical_open = _carve_passages(cells, rng)
+
+    # Braiding: open a random subset of the still-closed interior walls.
+    closed_h = [
+        (r, c) for r in range(cells) for c in range(cells - 1)
+        if (r, c) not in horizontal_open
+    ]
+    closed_v = [
+        (r, c) for r in range(cells - 1) for c in range(cells)
+        if (r, c) not in vertical_open
+    ]
+    for walls, opened in ((closed_h, horizontal_open), (closed_v, vertical_open)):
+        knockouts = int(round(braid_fraction * len(walls)))
+        if knockouts and walls:
+            picks = rng.choice(len(walls), size=min(knockouts, len(walls)), replace=False)
+            for pick in np.atleast_1d(picks):
+                opened.add(walls[int(pick)])
+
+    pitch = size_m / cells
+    builder = MapBuilder(size_m, size_m, resolution)
+    builder.fill_rect(0.0, 0.0, size_m, size_m, CellState.FREE)
+    builder.add_border()
+    # Walls between horizontally adjacent cells (vertical segments).
+    for row in range(cells):
+        for col in range(cells - 1):
+            if (row, col) not in horizontal_open:
+                x = (col + 1) * pitch
+                builder.add_wall(x, row * pitch, x, (row + 1) * pitch)
+    # Walls between vertically adjacent cells (horizontal segments).
+    for row in range(cells - 1):
+        for col in range(cells):
+            if (row, col) not in vertical_open:
+                y = (row + 1) * pitch
+                builder.add_wall(col * pitch, y, (col + 1) * pitch, y)
+    return builder.build()
+
+
+@dataclass
+class MazePlacement:
+    """Where one maze sits inside the combined world."""
+
+    name: str
+    origin_x: float
+    origin_y: float
+    size_m: float
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if the world point lies inside this maze's square."""
+        return (
+            self.origin_x <= x < self.origin_x + self.size_m
+            and self.origin_y <= y < self.origin_y + self.size_m
+        )
+
+
+@dataclass
+class DroneWorld:
+    """The combined evaluation world (paper Sec. IV-A).
+
+    ``grid`` is the full localization map; ``main`` is the physical maze
+    the drone actually flies in; ``artificial`` are the three map-only
+    extensions.  Space between mazes is UNKNOWN — the localizer never
+    places mass there because particles are initialized over FREE cells.
+    """
+
+    grid: OccupancyGrid
+    main: MazePlacement
+    artificial: list[MazePlacement] = field(default_factory=list)
+
+    @property
+    def placements(self) -> list[MazePlacement]:
+        """All mazes, main first."""
+        return [self.main, *self.artificial]
+
+    def maze_containing(self, x: float, y: float) -> MazePlacement | None:
+        """Which maze (if any) contains a world point."""
+        for placement in self.placements:
+            if placement.contains(x, y):
+                return placement
+        return None
+
+
+def build_drone_maze_world(
+    seed: int = 7, resolution: float = PAPER_RESOLUTION
+) -> DroneWorld:
+    """Build the paper's combined evaluation map.
+
+    Layout: the 4 m main maze in the lower-left, three artificial
+    2.25 m mazes (distinct layout seeds derived from ``seed``) in the other
+    quadrants, separated by UNKNOWN space.  Structured area is
+    16 + 3 * 5.0625 = 31.19 m², the paper's 31.2 m² figure.
+    """
+    gap = 0.75
+    world_size = MAIN_MAZE_SIZE_M + gap + ARTIFICIAL_MAZE_SIZE_M + 2 * gap
+    builder = MapBuilder(world_size, world_size, resolution)
+
+    main_origin = (gap, gap)
+    art_x = gap + MAIN_MAZE_SIZE_M + gap
+    art_positions = (
+        (art_x, gap),  # right of the main maze
+        (gap, gap + MAIN_MAZE_SIZE_M + gap),  # above the main maze
+        (art_x, gap + MAIN_MAZE_SIZE_M + gap),  # diagonal
+    )
+
+    builder.stamp(main_drone_maze(resolution), *main_origin)
+    artificial = []
+    for index, (pos_x, pos_y) in enumerate(art_positions):
+        maze = generate_maze(seed=seed * 101 + index, resolution=resolution)
+        builder.stamp(maze, pos_x, pos_y)
+        artificial.append(
+            MazePlacement(f"artificial-{index}", pos_x, pos_y, ARTIFICIAL_MAZE_SIZE_M)
+        )
+
+    grid = builder.build()
+    main = MazePlacement("main", main_origin[0], main_origin[1], MAIN_MAZE_SIZE_M)
+    return DroneWorld(grid=grid, main=main, artificial=artificial)

@@ -1,0 +1,250 @@
+"""Three-state occupancy grid map (paper Sec. III-C2).
+
+The map cells carry one of three states — FREE, OCCUPIED, UNKNOWN — which
+would fit in 2 bits; following the paper, each cell is stored as one byte
+"to simplify the memory access".  The grid lives in a metric frame: cell
+``(row, col)`` covers the square
+``[origin_x + col*res, origin_x + (col+1)*res) x [origin_y + row*res, ...)``,
+with ``row`` indexing y and ``col`` indexing x.
+
+The default resolution everywhere in this reproduction is the paper's
+0.05 m per cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from pathlib import Path
+
+import numpy as np
+
+from ..common.errors import MapError
+
+#: The paper's map resolution in metres per cell.
+PAPER_RESOLUTION = 0.05
+
+
+class CellState(IntEnum):
+    """Occupancy states; values are the stored byte codes."""
+
+    FREE = 0
+    OCCUPIED = 1
+    UNKNOWN = 2
+
+
+#: Characters used by the ASCII map format (and map rendering).
+_ASCII_OF_STATE = {CellState.FREE: ".", CellState.OCCUPIED: "#", CellState.UNKNOWN: " "}
+_STATE_OF_ASCII = {char: state for state, char in _ASCII_OF_STATE.items()}
+
+
+@dataclass
+class OccupancyGrid:
+    """A 2-D three-state occupancy grid in a metric world frame.
+
+    Attributes
+    ----------
+    cells:
+        ``(rows, cols)`` uint8 array of :class:`CellState` codes.
+    resolution:
+        Cell edge length in metres.
+    origin_x, origin_y:
+        World coordinates of the lower-left corner of cell ``(0, 0)``.
+    """
+
+    cells: np.ndarray
+    resolution: float = PAPER_RESOLUTION
+    origin_x: float = 0.0
+    origin_y: float = 0.0
+
+    def __post_init__(self) -> None:
+        cells = np.asarray(self.cells)
+        if cells.ndim != 2:
+            raise MapError(f"occupancy grid must be 2-D, got shape {cells.shape}")
+        if cells.size == 0:
+            raise MapError("occupancy grid must not be empty")
+        if self.resolution <= 0:
+            raise MapError(f"resolution must be positive, got {self.resolution}")
+        valid = np.isin(cells, [int(s) for s in CellState])
+        if not bool(np.all(valid)):
+            raise MapError("occupancy grid contains invalid state codes")
+        self.cells = cells.astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # Shape and extent
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of rows (y direction)."""
+        return int(self.cells.shape[0])
+
+    @property
+    def cols(self) -> int:
+        """Number of columns (x direction)."""
+        return int(self.cells.shape[1])
+
+    @property
+    def width_m(self) -> float:
+        """Map extent along x in metres."""
+        return self.cols * self.resolution
+
+    @property
+    def height_m(self) -> float:
+        """Map extent along y in metres."""
+        return self.rows * self.resolution
+
+    @property
+    def area_m2(self) -> float:
+        """Total mapped area in square metres (all states)."""
+        return self.width_m * self.height_m
+
+    def structured_area_m2(self) -> float:
+        """Area of non-UNKNOWN cells in square metres.
+
+        This is the paper's "structured area" figure of merit: the combined
+        maze map covers 31.2 m² of structured (free or occupied) space.
+        """
+        known = np.count_nonzero(self.cells != CellState.UNKNOWN)
+        return known * self.resolution**2
+
+    def memory_bytes(self) -> int:
+        """Bytes used to store occupancy (1 byte/cell, paper Sec. III-C2)."""
+        return self.cells.size
+
+    # ------------------------------------------------------------------
+    # World <-> grid transforms
+    # ------------------------------------------------------------------
+    def world_to_grid(self, x, y):
+        """Convert world coordinates to (row, col) indices.
+
+        Accepts scalars or arrays; indices are floor-divided, so points on
+        the map boundary fall outside.  No bounds check is applied — use
+        :meth:`in_bounds`.
+        """
+        col = np.floor((np.asarray(x) - self.origin_x) / self.resolution).astype(np.int64)
+        row = np.floor((np.asarray(y) - self.origin_y) / self.resolution).astype(np.int64)
+        return row, col
+
+    def grid_to_world(self, row, col):
+        """Convert (row, col) indices to the world coordinates of the cell center."""
+        x = self.origin_x + (np.asarray(col) + 0.5) * self.resolution
+        y = self.origin_y + (np.asarray(row) + 0.5) * self.resolution
+        return x, y
+
+    def in_bounds(self, row, col):
+        """Elementwise check that (row, col) lies inside the grid."""
+        row = np.asarray(row)
+        col = np.asarray(col)
+        return (row >= 0) & (row < self.rows) & (col >= 0) & (col < self.cols)
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def state_at(self, x: float, y: float) -> CellState:
+        """State of the cell containing world point ``(x, y)``.
+
+        Points outside the grid are reported as UNKNOWN, matching how the
+        localizer treats off-map space.
+        """
+        row, col = self.world_to_grid(x, y)
+        if not bool(self.in_bounds(row, col)):
+            return CellState.UNKNOWN
+        return CellState(int(self.cells[row, col]))
+
+    def is_free(self, x: float, y: float) -> bool:
+        """True if the world point lies in a FREE cell."""
+        return self.state_at(x, y) is CellState.FREE
+
+    def occupied_mask(self) -> np.ndarray:
+        """Boolean ``(rows, cols)`` mask of OCCUPIED cells."""
+        return self.cells == CellState.OCCUPIED
+
+    def free_mask(self) -> np.ndarray:
+        """Boolean ``(rows, cols)`` mask of FREE cells."""
+        return self.cells == CellState.FREE
+
+    def free_cell_count(self) -> int:
+        """Number of FREE cells."""
+        return int(np.count_nonzero(self.free_mask()))
+
+    # ------------------------------------------------------------------
+    # Sampling (used for uniform global particle initialization)
+    # ------------------------------------------------------------------
+    def sample_free_points(
+        self, count: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``count`` world points uniformly over the FREE area.
+
+        Each draw picks a FREE cell uniformly and then a uniform position
+        inside that cell, which is exactly uniform over free space.
+        Raises :class:`MapError` if the map has no free cells.
+        """
+        free_rows, free_cols = np.nonzero(self.free_mask())
+        if free_rows.size == 0:
+            raise MapError("cannot sample free points: map has no FREE cells")
+        picks = rng.integers(0, free_rows.size, size=count)
+        jitter_x = rng.uniform(0.0, self.resolution, size=count)
+        jitter_y = rng.uniform(0.0, self.resolution, size=count)
+        x = self.origin_x + free_cols[picks] * self.resolution + jitter_x
+        y = self.origin_y + free_rows[picks] * self.resolution + jitter_y
+        return x, y
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str | Path) -> None:
+        """Serialize the grid (cells + frame) to an ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            cells=self.cells,
+            resolution=np.float64(self.resolution),
+            origin=np.array([self.origin_x, self.origin_y], dtype=np.float64),
+        )
+
+    @staticmethod
+    def load_npz(path: str | Path) -> "OccupancyGrid":
+        """Load a grid previously written by :meth:`save_npz`."""
+        path = Path(path)
+        if not path.exists():
+            raise MapError(f"map file not found: {path}")
+        with np.load(path) as data:
+            return OccupancyGrid(
+                cells=data["cells"],
+                resolution=float(data["resolution"]),
+                origin_x=float(data["origin"][0]),
+                origin_y=float(data["origin"][1]),
+            )
+
+    def to_ascii(self) -> str:
+        """Render the grid as ASCII art (row 0 at the bottom, like a plot)."""
+        lookup = np.empty(3, dtype="<U1")
+        for state, char in _ASCII_OF_STATE.items():
+            lookup[int(state)] = char
+        lines = ["".join(lookup[row]) for row in self.cells[::-1]]
+        return "\n".join(lines)
+
+    @staticmethod
+    def from_ascii(
+        art: str,
+        resolution: float = PAPER_RESOLUTION,
+        origin_x: float = 0.0,
+        origin_y: float = 0.0,
+    ) -> "OccupancyGrid":
+        """Parse ASCII art into a grid (inverse of :meth:`to_ascii`).
+
+        ``.`` is FREE, ``#`` is OCCUPIED, space is UNKNOWN.  The first text
+        line is the top map row.  Short lines are padded with UNKNOWN.
+        """
+        lines = [line for line in art.splitlines() if line.strip("\n") != ""]
+        if not lines:
+            raise MapError("empty ASCII map")
+        cols = max(len(line) for line in lines)
+        rows = len(lines)
+        cells = np.full((rows, cols), int(CellState.UNKNOWN), dtype=np.uint8)
+        for text_row, line in enumerate(lines):
+            grid_row = rows - 1 - text_row
+            for col, char in enumerate(line):
+                if char not in _STATE_OF_ASCII:
+                    raise MapError(f"invalid map character {char!r}")
+                cells[grid_row, col] = int(_STATE_OF_ASCII[char])
+        return OccupancyGrid(cells, resolution, origin_x, origin_y)

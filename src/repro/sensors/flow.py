@@ -1,0 +1,111 @@
+"""Flow-deck v2 model: PMW3901 optical flow + VL53L1x height (Sec. III-A1).
+
+The Flow-deck measures apparent image motion over the floor, which at a
+known height converts to body-frame translational velocity.  Those velocity
+measurements feed the Crazyflie's on-board state estimate, whose slow drift
+is precisely what map-based MCL must correct.
+
+Error model (the drivers of real optical-flow drift):
+
+* a fixed multiplicative **scale error** per flight (height estimation and
+  lens calibration bias),
+* additive white noise per sample,
+* a slowly varying random-walk **bias** (texture-dependent systematic
+  error as the drone crosses different floor patches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import SensorError
+
+#: Combined power draw of the Flow-deck sensors is part of the Crazyflie
+#: electronics budget in the paper's accounting; kept for reference.
+FLOW_DECK_POWER_W = 0.040
+
+
+@dataclass(frozen=True)
+class FlowDeckSpec:
+    """Noise/drift configuration of the optical-flow velocity sensor."""
+
+    #: Standard deviation of the fixed per-flight scale error (unitless).
+    scale_error_sigma: float = 0.015
+    #: White noise on each velocity sample, m/s.
+    velocity_noise_sigma: float = 0.02
+    #: Random-walk step of the velocity bias, (m/s)/sqrt(s).
+    bias_walk_sigma: float = 0.004
+    #: Hard cap on the accumulated bias magnitude, m/s.
+    bias_limit: float = 0.06
+    #: Sample rate of the flow measurements, Hz.
+    rate_hz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise SensorError(f"flow rate must be positive, got {self.rate_hz}")
+        if self.velocity_noise_sigma < 0 or self.bias_walk_sigma < 0:
+            raise SensorError("noise sigmas must be non-negative")
+
+
+@dataclass
+class FlowMeasurement:
+    """One body-frame velocity sample from the flow deck."""
+
+    timestamp: float
+    vx: float
+    vy: float
+    height_m: float
+
+
+class FlowDeck:
+    """Simulated optical-flow velocity sensor.
+
+    ``measure`` converts the true body-frame velocity into a corrupted
+    measurement; the scale factor is drawn once at construction (per
+    flight) and the bias evolves by a bounded random walk.
+    """
+
+    def __init__(
+        self,
+        spec: FlowDeckSpec,
+        rng: np.random.Generator,
+        flight_height_m: float = 0.5,
+    ) -> None:
+        if flight_height_m <= 0:
+            raise SensorError(f"flight height must be positive, got {flight_height_m}")
+        self.spec = spec
+        self.flight_height_m = float(flight_height_m)
+        self._rng = rng
+        self._scale = 1.0 + rng.normal(0.0, spec.scale_error_sigma)
+        self._bias = np.zeros(2, dtype=np.float64)
+
+    @property
+    def scale(self) -> float:
+        """The per-flight multiplicative scale error (for tests/analysis)."""
+        return self._scale
+
+    def measure(
+        self, true_vx: float, true_vy: float, dt: float, timestamp: float
+    ) -> FlowMeasurement:
+        """Corrupt a true body-frame velocity into a flow measurement.
+
+        ``dt`` is the time since the previous sample and scales the bias
+        random-walk step.
+        """
+        if dt < 0:
+            raise SensorError(f"dt must be non-negative, got {dt}")
+        spec = self.spec
+        if dt > 0:
+            step = self._rng.normal(0.0, spec.bias_walk_sigma * np.sqrt(dt), size=2)
+            self._bias = np.clip(self._bias + step, -spec.bias_limit, spec.bias_limit)
+        noise = self._rng.normal(0.0, spec.velocity_noise_sigma, size=2)
+        measured = self._scale * np.array([true_vx, true_vy]) + self._bias + noise
+        height = self.flight_height_m + self._rng.normal(0.0, 0.005)
+        return FlowMeasurement(
+            timestamp=timestamp,
+            vx=float(measured[0]),
+            vy=float(measured[1]),
+            height_m=float(height),
+        )

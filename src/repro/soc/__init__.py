@@ -1,0 +1,45 @@
+"""GAP9 SoC models: latency, power, memory capacity, cluster behaviour."""
+
+from .gap9 import GAP9, Gap9Spec
+from .memory import (
+    MemoryBudget,
+    MemoryLevel,
+    cells_per_m2,
+    map_bytes,
+    max_particles,
+    memory_budget,
+    particle_bytes,
+)
+from .multicore import ClusterSimulator, ClusterTimings, StepTrace
+from .perf import (
+    L1_PARTICLE_LIMIT,
+    PIPELINE_OVERHEAD_NS,
+    REALTIME_BUDGET_NS,
+    Gap9PerfModel,
+    MclStep,
+    particles_in_l2,
+)
+from .power import CALIBRATION_POINTS, Gap9PowerModel
+
+__all__ = [
+    "GAP9",
+    "Gap9Spec",
+    "MemoryBudget",
+    "MemoryLevel",
+    "cells_per_m2",
+    "map_bytes",
+    "max_particles",
+    "memory_budget",
+    "particle_bytes",
+    "ClusterSimulator",
+    "ClusterTimings",
+    "StepTrace",
+    "L1_PARTICLE_LIMIT",
+    "PIPELINE_OVERHEAD_NS",
+    "REALTIME_BUDGET_NS",
+    "Gap9PerfModel",
+    "MclStep",
+    "particles_in_l2",
+    "CALIBRATION_POINTS",
+    "Gap9PowerModel",
+]

@@ -1,0 +1,106 @@
+"""Mission-level energy analysis: what localization costs in flight time.
+
+The paper's power claim (Sec. IV-E) is a snapshot: sensing + processing
+draw 981 mW, ~7 % of the drone's power.  The adopter-relevant consequence
+is **flight-time reduction**: the Crazyflie's 250 mAh 1-cell battery buys
+a fixed energy budget, and every payload milliwatt shortens the hover.
+This module turns the operating points into that currency and finds the
+energy-optimal GAP9 clock for a required update rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import PlatformModelError
+from ..board.system import system_power_budget
+from .gap9 import GAP9
+from .perf import Gap9PerfModel
+from .power import Gap9PowerModel
+
+#: Crazyflie 2.1 stock battery: 250 mAh at 3.7 V nominal.
+BATTERY_CAPACITY_J = 0.250 * 3.7 * 3600.0
+
+#: Usable fraction of the nominal capacity under flight discharge rates.
+BATTERY_USABLE_FRACTION = 0.85
+
+
+@dataclass(frozen=True)
+class FlightTimeEstimate:
+    """Hover endurance with and without the localization payload."""
+
+    bare_minutes: float
+    with_payload_minutes: float
+
+    @property
+    def reduction_minutes(self) -> float:
+        return self.bare_minutes - self.with_payload_minutes
+
+    @property
+    def reduction_fraction(self) -> float:
+        return self.reduction_minutes / self.bare_minutes
+
+
+def flight_time_impact(
+    gap9_frequency_hz: float = GAP9.max_frequency_hz,
+    tof_sensor_count: int = 2,
+) -> FlightTimeEstimate:
+    """Hover-time cost of carrying the localization payload.
+
+    The *electrical* cost only — the ~10 g of added mass also raises the
+    hover power, which this model leaves to the motors' figure (the paper
+    measures the full system, so the motor number already includes the
+    mass effect).
+    """
+    budget = system_power_budget(gap9_frequency_hz, tof_sensor_count)
+    usable = BATTERY_CAPACITY_J * BATTERY_USABLE_FRACTION
+    bare_s = usable / budget.motors_w
+    loaded_s = usable / budget.total_w
+    return FlightTimeEstimate(
+        bare_minutes=bare_s / 60.0, with_payload_minutes=loaded_s / 60.0
+    )
+
+
+def energy_per_update_j(
+    frequency_hz: float, particle_count: int, cores: int = 8
+) -> float:
+    """GAP9 energy of one MCL update at an operating point."""
+    return Gap9PowerModel().energy_per_update_j(frequency_hz, particle_count, cores)
+
+
+def optimal_frequency_hz(
+    particle_count: int,
+    update_rate_hz: float = 15.0,
+    cores: int = 8,
+    candidates: tuple[float, ...] = (12e6, 50e6, 100e6, 200e6, 300e6, 400e6),
+) -> float:
+    """GAP9 clock minimizing average power at a required update rate.
+
+    Average power of the duty-cycled workload: run power while computing,
+    idle floor between updates.  Because the calibrated power curve has a
+    positive floor, racing to idle at a clock *above* the real-time
+    minimum can win — this picks the best catalogue point.
+    """
+    if update_rate_hz <= 0:
+        raise PlatformModelError("update_rate_hz must be positive")
+    period_s = 1.0 / update_rate_hz
+    power_model = Gap9PowerModel()
+    idle_w = 0.003  # deep-sleep retention floor
+    best_frequency = None
+    best_power = float("inf")
+    for frequency in candidates:
+        latency_s = (
+            Gap9PerfModel(frequency).update_time_ns(particle_count, cores) * 1e-9
+        )
+        if latency_s > period_s:
+            continue  # misses the deadline
+        duty = latency_s / period_s
+        average = duty * power_model.average_power_w(frequency) + (1 - duty) * idle_w
+        if average < best_power:
+            best_power = average
+            best_frequency = frequency
+    if best_frequency is None:
+        raise PlatformModelError(
+            f"no candidate clock meets {update_rate_hz} Hz with N={particle_count}"
+        )
+    return best_frequency

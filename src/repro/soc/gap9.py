@@ -1,0 +1,51 @@
+"""GAP9 SoC specification constants (paper Sec. III-B).
+
+GAP9 is a RISC-V parallel ultra-low-power SoC derived from the open-source
+Vega architecture [19]: a fabric controller (FC) plus a compute cluster of
+9 cores — one orchestrator and 8 workers — with 128 kB of shared L1,
+1.5 MB of interleaved L2, 2 MB of flash, adjustable frequency/voltage
+domains, peak 400 MHz, and ~0.33 mW per GOP energy efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Bytes in one binary kilobyte/megabyte (the paper counts in these units).
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Gap9Spec:
+    """Static hardware parameters of the GAP9 SoC."""
+
+    #: Worker cores in the compute cluster (one more orchestrates).
+    cluster_worker_cores: int = 8
+    #: Total cluster cores including the orchestrator.
+    cluster_cores: int = 9
+    #: Fabric-controller cores.
+    fabric_cores: int = 1
+    #: Shared L1 cluster memory, bytes.
+    l1_bytes: int = 128 * KIB
+    #: Interleaved L2 memory, bytes.
+    l2_bytes: int = int(1.5 * MIB)
+    #: Fabric-controller RAM, bytes.
+    fc_ram_bytes: int = 64 * KIB
+    #: On-chip flash, bytes.
+    flash_bytes: int = 2 * MIB
+    #: Peak clock of cluster and FC, Hz.
+    max_frequency_hz: float = 400e6
+    #: Minimum practical cluster clock used in the paper's Table II, Hz.
+    min_frequency_hz: float = 12e6
+    #: Energy efficiency headline figure, watts per GOP/s (0.33 mW/GOP).
+    watts_per_gops: float = 0.33e-3
+
+    @property
+    def total_cores(self) -> int:
+        """All RISC-V cores on the SoC (cluster + FC)."""
+        return self.cluster_cores + self.fabric_cores
+
+
+#: The canonical spec instance used across the platform models.
+GAP9 = Gap9Spec()

@@ -1,0 +1,112 @@
+"""GAP9 memory-capacity model: the Fig. 9 particles-vs-map trade-off.
+
+The two big MCL consumers are the particle buffers and the map
+(Sec. III-C2).  Per-unit costs:
+
+* particles: 32 B each in fp32 (four values, double buffered), 16 B in
+  fp16 — provided by :class:`PrecisionMode`;
+* map cells: 1 B occupancy + 4 B fp32 EDT = 5 B, or 1 B + 1 B quantized
+  EDT = 2 B; at the paper's 0.05 m resolution one square metre is 400
+  cells.
+
+Fig. 9 asks: given a map of ``A`` m², how many particles still fit in L1
+(128 kB) or L2 (1.5 MB)?  :func:`max_particles` answers exactly that, and
+:func:`memory_budget` gives the full placement report used by the bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..common.errors import PlatformModelError
+from ..common.precision import PrecisionMode
+from ..maps.occupancy import PAPER_RESOLUTION
+from .gap9 import GAP9
+
+
+class MemoryLevel(Enum):
+    """Which GAP9 memory the working set must fit."""
+
+    L1 = "L1"
+    L2 = "L2"
+
+    @property
+    def capacity_bytes(self) -> int:
+        return GAP9.l1_bytes if self is MemoryLevel.L1 else GAP9.l2_bytes
+
+
+def cells_per_m2(resolution_m: float = PAPER_RESOLUTION) -> float:
+    """Number of grid cells covering one square metre."""
+    if resolution_m <= 0:
+        raise PlatformModelError(f"resolution must be positive, got {resolution_m}")
+    return 1.0 / (resolution_m * resolution_m)
+
+
+def map_bytes(
+    area_m2: float,
+    mode: PrecisionMode,
+    resolution_m: float = PAPER_RESOLUTION,
+) -> int:
+    """Bytes to store occupancy + EDT for ``area_m2`` of map."""
+    if area_m2 < 0:
+        raise PlatformModelError(f"area must be non-negative, got {area_m2}")
+    return int(round(area_m2 * cells_per_m2(resolution_m))) * mode.bytes_per_map_cell
+
+
+def particle_bytes(count: int, mode: PrecisionMode) -> int:
+    """Bytes for ``count`` double-buffered particles."""
+    if count < 0:
+        raise PlatformModelError(f"count must be non-negative, got {count}")
+    return count * mode.bytes_per_particle
+
+
+def max_particles(
+    area_m2: float,
+    mode: PrecisionMode,
+    level: MemoryLevel,
+    resolution_m: float = PAPER_RESOLUTION,
+) -> int:
+    """Largest particle population that fits next to the map (Fig. 9).
+
+    Returns 0 when the map alone exceeds the level's capacity.
+    """
+    remaining = level.capacity_bytes - map_bytes(area_m2, mode, resolution_m)
+    if remaining <= 0:
+        return 0
+    return remaining // mode.bytes_per_particle
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Placement report for a concrete (particles, map) working set."""
+
+    particle_count: int
+    area_m2: float
+    mode: PrecisionMode
+    particle_bytes: int
+    map_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.particle_bytes + self.map_bytes
+
+    def fits(self, level: MemoryLevel) -> bool:
+        """Whether the whole working set fits the memory level."""
+        return self.total_bytes <= level.capacity_bytes
+
+
+def memory_budget(
+    particle_count: int,
+    area_m2: float,
+    mode: PrecisionMode,
+    resolution_m: float = PAPER_RESOLUTION,
+) -> MemoryBudget:
+    """Compute the working-set placement report."""
+    return MemoryBudget(
+        particle_count=particle_count,
+        area_m2=area_m2,
+        mode=mode,
+        particle_bytes=particle_bytes(particle_count, mode),
+        map_bytes=map_bytes(area_m2, mode, resolution_m),
+    )

@@ -1,0 +1,144 @@
+"""Behavioural simulator of the GAP9 cluster's work distribution.
+
+The analytical latency model (:mod:`repro.soc.perf`) answers *how long*;
+this module answers *why*: it simulates the fork/join execution of the
+four MCL steps across the 8 worker cores at the granularity of per-core
+busy time, exposing
+
+* the even particle chunking of the motion/observation/pose steps (their
+  speedup approaches 8 minus the fork/join overhead), and
+* the **weight-dependent imbalance of the resampling wheel** (Fig. 4):
+  each core draws the arrows landing in its block's weight interval, so a
+  concentrated posterior loads one core with most of the draws — the
+  structural reason the paper observes that "the resample step scales
+  the worst" (Sec. IV-D).
+
+The makespan of a simulated step is ``fork + max(core busy times) +
+join``; speedups derived here are *structural* (relative), while absolute
+numbers come from the calibrated model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import PlatformModelError
+from ..core.resampling import parallel_systematic_resample
+from .gap9 import GAP9
+
+
+@dataclass(frozen=True)
+class ClusterTimings:
+    """Overheads of dispatching work to the cluster, in cycles."""
+
+    fork_cycles: int = 800
+    join_cycles: int = 400
+    #: Barrier synchronization per phase boundary.
+    barrier_cycles: int = 200
+
+
+@dataclass
+class StepTrace:
+    """Outcome of simulating one parallel step."""
+
+    core_busy_cycles: np.ndarray
+    makespan_cycles: float
+
+    @property
+    def busiest_core(self) -> int:
+        return int(np.argmax(self.core_busy_cycles))
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean busy-cycle ratio; 1.0 is a perfect balance."""
+        mean = float(np.mean(self.core_busy_cycles))
+        if mean == 0.0:
+            return 1.0
+        return float(np.max(self.core_busy_cycles)) / mean
+
+
+class ClusterSimulator:
+    """Fork/join execution of data-parallel work on the worker cores."""
+
+    def __init__(
+        self,
+        n_workers: int = GAP9.cluster_worker_cores,
+        timings: ClusterTimings | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise PlatformModelError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = int(n_workers)
+        self.timings = timings or ClusterTimings()
+
+    # ------------------------------------------------------------------
+    # Evenly chunked steps (motion / observation / pose computation)
+    # ------------------------------------------------------------------
+    def simulate_even_step(
+        self, particle_count: int, cycles_per_particle: float
+    ) -> StepTrace:
+        """Static block chunking of identical per-particle work."""
+        if particle_count < 1:
+            raise PlatformModelError("particle_count must be >= 1")
+        chunks = np.array_split(np.arange(particle_count), self.n_workers)
+        busy = np.array(
+            [len(chunk) * cycles_per_particle for chunk in chunks], dtype=np.float64
+        )
+        makespan = (
+            self.timings.fork_cycles + float(busy.max()) + self.timings.join_cycles
+        )
+        return StepTrace(core_busy_cycles=busy, makespan_cycles=makespan)
+
+    # ------------------------------------------------------------------
+    # Resampling (weight-dependent arrows per core, Fig. 4)
+    # ------------------------------------------------------------------
+    def simulate_resampling(
+        self,
+        weights: np.ndarray,
+        u0: float,
+        cycles_per_draw: float = 30.0,
+        cycles_per_scan: float = 4.0,
+    ) -> StepTrace:
+        """Simulate the parallel wheel: partial sums + local draws.
+
+        Each core first scans its block to build the local cumulative
+        weights (``cycles_per_scan`` per particle — perfectly balanced),
+        then resolves its share of arrows (``cycles_per_draw`` per drawn
+        particle — balanced only if the weights are).  Two barriers
+        separate the phases.
+        """
+        result = parallel_systematic_resample(weights, u0, self.n_workers)
+        blocks = np.array_split(np.arange(len(np.asarray(weights))), self.n_workers)
+        busy = np.zeros(self.n_workers, dtype=np.float64)
+        for assignment, block in zip(result.assignments, blocks):
+            busy[assignment.core] = (
+                len(block) * cycles_per_scan + assignment.draw_count * cycles_per_draw
+            )
+        makespan = (
+            self.timings.fork_cycles
+            + 2 * self.timings.barrier_cycles
+            + float(busy.max())
+            + self.timings.join_cycles
+        )
+        return StepTrace(core_busy_cycles=busy, makespan_cycles=makespan)
+
+    # ------------------------------------------------------------------
+    # Structural speedup
+    # ------------------------------------------------------------------
+    def structural_speedup(
+        self, particle_count: int, cycles_per_particle: float
+    ) -> float:
+        """Speedup of an evenly chunked step vs single-core execution.
+
+        Shows the Fig. 10 shape: overhead-dominated at small N, saturating
+        toward ``n_workers`` at large N.
+        """
+        serial = (
+            self.timings.fork_cycles
+            + particle_count * cycles_per_particle
+            + self.timings.join_cycles
+        )
+        return serial / self.simulate_even_step(
+            particle_count, cycles_per_particle
+        ).makespan_cycles

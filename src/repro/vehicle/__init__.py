@@ -1,0 +1,19 @@
+"""Simulated nano-UAV platform: dynamics, control, estimation, assembly."""
+
+from .controller import ControllerGains, WaypointController
+from .crazyflie import CrazyflieSimulator, SimConfig, SimStep
+from .dynamics import BodyCommand, DynamicsLimits, PlanarDynamics, VehicleState
+from .estimator import OdometryIntegrator
+
+__all__ = [
+    "ControllerGains",
+    "WaypointController",
+    "CrazyflieSimulator",
+    "SimConfig",
+    "SimStep",
+    "BodyCommand",
+    "DynamicsLimits",
+    "PlanarDynamics",
+    "VehicleState",
+    "OdometryIntegrator",
+]

@@ -1,0 +1,93 @@
+"""Waypoint-following controller for the scripted evaluation flights.
+
+The paper's sequences were flown by steering the drone through the maze;
+the simulator reproduces them as waypoint routes (produced by
+``repro.maps.planning``) tracked by this controller.  The drone yaws to
+face its direction of travel — that matters for localization because the
+forward/backward ToF pair observes along the heading axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D, angle_difference
+from .dynamics import BodyCommand
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """Tuning of the waypoint tracker."""
+
+    cruise_speed_mps: float = 0.4
+    #: Proportional gain from heading error to yaw rate.
+    yaw_gain: float = 2.5
+    #: Heading error above which forward motion pauses (turn in place).
+    align_threshold_rad: float = math.radians(40.0)
+    #: Distance at which a waypoint counts as reached.
+    capture_radius_m: float = 0.12
+    #: Slow down within this distance of the current waypoint.
+    approach_radius_m: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed_mps <= 0:
+            raise ConfigurationError("cruise speed must be positive")
+        if self.capture_radius_m <= 0 or self.approach_radius_m <= 0:
+            raise ConfigurationError("radii must be positive")
+
+
+class WaypointController:
+    """Tracks an ordered list of world waypoints.
+
+    The controller is deliberately simple — turn toward the active
+    waypoint, fly forward, shrink speed on approach — because the goal is
+    realistic trajectories, not control performance.
+    """
+
+    def __init__(
+        self, waypoints: list[tuple[float, float]], gains: ControllerGains | None = None
+    ) -> None:
+        if len(waypoints) == 0:
+            raise ConfigurationError("controller needs at least one waypoint")
+        self.waypoints = [(float(x), float(y)) for x, y in waypoints]
+        self.gains = gains or ControllerGains()
+        self._index = 0
+
+    @property
+    def active_index(self) -> int:
+        """Index of the waypoint currently being tracked."""
+        return self._index
+
+    @property
+    def finished(self) -> bool:
+        """True once the final waypoint has been captured."""
+        return self._index >= len(self.waypoints)
+
+    def command(self, pose: Pose2D) -> BodyCommand:
+        """Compute the body-frame velocity command for the current pose."""
+        gains = self.gains
+        while not self.finished:
+            target_x, target_y = self.waypoints[self._index]
+            distance = math.hypot(target_x - pose.x, target_y - pose.y)
+            if distance > gains.capture_radius_m:
+                break
+            self._index += 1
+        if self.finished:
+            return BodyCommand(0.0, 0.0, 0.0)
+
+        target_x, target_y = self.waypoints[self._index]
+        distance = math.hypot(target_x - pose.x, target_y - pose.y)
+        bearing = math.atan2(target_y - pose.y, target_x - pose.x)
+        heading_error = angle_difference(bearing, pose.theta)
+
+        yaw_rate = gains.yaw_gain * heading_error
+        if abs(heading_error) > gains.align_threshold_rad:
+            # Rotate in place until roughly aligned.
+            return BodyCommand(0.0, 0.0, yaw_rate)
+
+        speed = gains.cruise_speed_mps
+        if distance < gains.approach_radius_m:
+            speed *= max(distance / gains.approach_radius_m, 0.25)
+        return BodyCommand(speed, 0.0, yaw_rate)

@@ -1,0 +1,64 @@
+"""On-board state estimation: the drifting odometry MCL must correct.
+
+On the real Crazyflie, an extended Kalman filter fuses the Flow-deck's
+optical-flow velocities with the IMU into an "internal state estimate"
+(paper Sec. III-A1).  Without global corrections this estimate drifts —
+scale error, flow bias and gyro bias accumulate into unbounded position
+and heading error, which is exactly the failure mode the paper's MCL
+corrects.
+
+:class:`OdometryIntegrator` reproduces that behaviour: it dead-reckons the
+corrupted flow velocities and gyro rates into a pose estimate.  MCL
+consumes the estimate via :meth:`odometry_increment`, which returns the
+body-frame SE(2) increment since the previous query — the odometry input
+``u_t`` of the motion model.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D
+from ..sensors.flow import FlowMeasurement
+from ..sensors.imu import GyroMeasurement
+
+
+class OdometryIntegrator:
+    """Dead-reckons flow + gyro samples into a drifting pose estimate."""
+
+    def __init__(self, initial_pose: Pose2D = Pose2D.identity()) -> None:
+        self._estimate = initial_pose
+        self._last_emitted = initial_pose
+
+    @property
+    def estimate(self) -> Pose2D:
+        """Current dead-reckoned pose estimate (odometry frame)."""
+        return self._estimate
+
+    def update(
+        self, flow: FlowMeasurement, gyro: GyroMeasurement, dt: float
+    ) -> Pose2D:
+        """Integrate one synchronized flow + gyro sample pair over ``dt``."""
+        if dt < 0:
+            raise ConfigurationError(f"dt must be non-negative, got {dt}")
+        if dt == 0:
+            return self._estimate
+        # Body-frame displacement with midpoint heading integration.
+        dtheta = gyro.yaw_rate * dt
+        dx = flow.vx * dt
+        dy = flow.vy * dt
+        half = Pose2D(0.0, 0.0, dtheta / 2.0)
+        increment = half.compose(Pose2D(dx, dy, dtheta / 2.0))
+        self._estimate = self._estimate.compose(increment)
+        return self._estimate
+
+    def odometry_increment(self) -> Pose2D:
+        """Body-frame increment since the previous call (the MCL input u_t).
+
+        The first call returns the increment since construction.  Between
+        consecutive calls the increments compose exactly back to the
+        estimate trajectory, so no motion information is lost or double
+        counted.
+        """
+        increment = self._last_emitted.between(self._estimate)
+        self._last_emitted = self._estimate
+        return increment

@@ -1,0 +1,14 @@
+"""Terminal visualization: ASCII plots, text tables, CSV export."""
+
+from .ascii import line_plot, render_map_with_path
+from .export import export_series, results_directory, write_csv
+from .tables import format_table
+
+__all__ = [
+    "line_plot",
+    "render_map_with_path",
+    "export_series",
+    "results_directory",
+    "write_csv",
+    "format_table",
+]

@@ -1,0 +1,124 @@
+"""ASCII rendering: line plots and map/trajectory views.
+
+The benchmark harness regenerates the paper's figures as data series; in
+a terminal-only environment (no matplotlib installed here) these helpers
+render them as ASCII so the *shape* of each figure — who wins, where the
+crossovers sit — is visible directly in the bench output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.errors import EvaluationError
+from ..maps.occupancy import CellState, OccupancyGrid
+
+#: Glyphs cycled across plotted series.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def line_plot(
+    series: dict[str, tuple[list[float], list[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    log_x: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axis character canvas.
+
+    NaN y-values are skipped.  With ``log_x`` the x axis is log2-scaled,
+    matching the paper's particle-count axes.
+    """
+    if not series:
+        raise EvaluationError("line_plot needs at least one series")
+
+    points: list[tuple[float, float, str]] = []
+    legend: list[str] = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        for x, y in zip(xs, ys):
+            if y is None or (isinstance(y, float) and math.isnan(y)):
+                continue
+            points.append((math.log2(x) if log_x else float(x), float(y), glyph))
+    if not points:
+        raise EvaluationError("no finite points to plot")
+
+    x_values = [p[0] for p in points]
+    y_values = [p[1] for p in points]
+    x_lo, x_hi = min(x_values), max(x_values)
+    y_lo, y_hi = min(y_values), max(y_values)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    y_pad = 0.05 * (y_hi - y_lo)
+    y_lo -= y_pad
+    y_hi += y_pad
+
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y, glyph in points:
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        canvas[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    label_width = max(len(top_label), len(bottom_label), len(y_label))
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = "-" * width
+    lines.append(f"{' ' * label_width} +{axis}")
+    x_lo_text = f"{(2**x_lo if log_x else x_lo):.3g}"
+    x_hi_text = f"{(2**x_hi if log_x else x_hi):.3g}"
+    gap = width - len(x_lo_text) - len(x_hi_text)
+    lines.append(f"{' ' * label_width}  {x_lo_text}{' ' * max(gap, 1)}{x_hi_text}")
+    lines.append(f"{' ' * label_width}  legend: {'  '.join(legend)}")
+    return "\n".join(lines)
+
+
+def render_map_with_path(
+    grid: OccupancyGrid,
+    paths: dict[str, np.ndarray],
+    stride: int = 2,
+) -> str:
+    """Render the occupancy grid with one or more trajectories overlaid.
+
+    ``paths`` maps a single-character glyph to an (T, >=2) array of world
+    x, y positions.  ``stride`` downsamples the grid for terminal width.
+    """
+    if stride < 1:
+        raise EvaluationError("stride must be >= 1")
+    lookup = {
+        int(CellState.FREE): ".",
+        int(CellState.OCCUPIED): "#",
+        int(CellState.UNKNOWN): " ",
+    }
+    rows = [[lookup[int(v)] for v in row[::stride]] for row in grid.cells[::stride]]
+
+    for glyph, path in paths.items():
+        if len(glyph) != 1:
+            raise EvaluationError(f"path glyph must be one character, got {glyph!r}")
+        path = np.asarray(path)
+        for x, y in path[:, :2]:
+            row, col = grid.world_to_grid(float(x), float(y))
+            row = int(row) // stride
+            col = int(col) // stride
+            if 0 <= row < len(rows) and 0 <= col < len(rows[0]):
+                rows[row][col] = glyph
+
+    return "\n".join("".join(r) for r in rows[::-1])

@@ -1,0 +1,51 @@
+"""CSV export of figure series and tables.
+
+Each benchmark writes its regenerated data under ``results/`` so the
+figures can be re-plotted with any external tool; the CSV layout is one
+row per point with explicit series labels, which round-trips cleanly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+
+from ..common.errors import EvaluationError
+
+
+def results_directory() -> Path:
+    """Directory for exported benchmark results (env ``REPRO_RESULTS_DIR``)."""
+    root = os.environ.get("REPRO_RESULTS_DIR", os.path.join(os.getcwd(), "results"))
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_csv(path: str | Path, headers: list[str], rows: list[list[object]]) -> Path:
+    """Write one CSV file; returns the resolved path."""
+    if not headers:
+        raise EvaluationError("CSV needs headers")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def export_series(
+    name: str,
+    series: dict[str, tuple[list[float], list[float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> Path:
+    """Export named (x, y) series to ``results/<name>.csv``."""
+    rows: list[list[object]] = []
+    for label, (xs, ys) in series.items():
+        for x, y in zip(xs, ys):
+            rows.append([label, x, y])
+    return write_csv(
+        results_directory() / f"{name}.csv", ["series", x_label, y_label], rows
+    )

@@ -1,0 +1,51 @@
+"""Aligned text tables for the benchmark harness output.
+
+Every bench prints the same rows the paper's tables report; this module
+keeps the formatting consistent (fixed-width columns, a title rule, and
+an optional footnote line like Table I's "particles stored in L2").
+"""
+
+from __future__ import annotations
+
+from ..common.errors import EvaluationError
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+    footnote: str = "",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Cell values are stringified with ``str``; floats should be
+    pre-formatted by the caller so each table controls its precision.
+    """
+    if not headers:
+        raise EvaluationError("table needs headers")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise EvaluationError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(header), *(len(row[i]) for row in text_rows)) if text_rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    rule = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(rule))
+    lines.append(line(headers))
+    lines.append(rule)
+    lines.extend(line(row) for row in text_rows)
+    if footnote:
+        lines.append(rule)
+        lines.append(footnote)
+    return "\n".join(lines)

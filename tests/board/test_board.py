@@ -1,0 +1,112 @@
+"""Tests for bus models and the whole-drone power/latency budget."""
+
+import pytest
+
+from repro.common.errors import PlatformModelError
+from repro.board.buses import (
+    SPI_UPDATE_PAYLOAD_BYTES,
+    VL53L5CX_FRAME_BYTES_8X8,
+    I2cBus,
+    SpiBus,
+    pipeline_transfer_overhead_s,
+)
+from repro.board.system import (
+    ELECTRONICS_POWER_W,
+    MOTOR_HOVER_POWER_W,
+    end_to_end_latency,
+    system_power_budget,
+)
+
+
+class TestI2cBus:
+    def test_frame_fits_15hz(self):
+        # The I2C readout of an 8x8 frame must sustain the 15 Hz rate.
+        bus = I2cBus()
+        assert bus.frame_time_s() < 1.0 / 15.0
+        assert bus.max_frame_rate_hz() > 15.0
+
+    def test_transfer_time_proportional(self):
+        bus = I2cBus()
+        assert bus.transfer_time_s(200) == pytest.approx(2 * bus.transfer_time_s(100))
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(PlatformModelError):
+            I2cBus().transfer_time_s(-1)
+
+    def test_frame_bytes_accounting(self):
+        # 64 zones x (2 B distance + 1 B status) + header.
+        assert VL53L5CX_FRAME_BYTES_8X8 == 64 * 3 + 16
+
+
+class TestSpiBus:
+    def test_update_well_under_frame_period(self):
+        bus = SpiBus()
+        assert bus.update_time_s() < 1e-3
+
+    def test_payload_covers_two_sensors(self):
+        assert SPI_UPDATE_PAYLOAD_BYTES >= 2 * 128  # >= two 64-zone range sets
+
+    def test_rejects_negative(self):
+        with pytest.raises(PlatformModelError):
+            SpiBus().transfer_time_s(-5)
+
+
+class TestTransferOverhead:
+    def test_within_pipeline_overhead(self):
+        # The bus contribution must fit inside the paper's ~40 us constant.
+        overhead = pipeline_transfer_overhead_s()
+        assert 0 < overhead < 1e-3
+
+
+class TestSystemPowerBudget:
+    def test_paper_composition(self):
+        # Sec. IV-E: 2 x 320 mW sensors + 280 mW electronics + 61 mW GAP9
+        # = 981 mW of sensing and processing.
+        budget = system_power_budget(gap9_frequency_hz=400e6)
+        assert budget.tof_sensors_w == pytest.approx(0.640)
+        assert budget.electronics_w == pytest.approx(ELECTRONICS_POWER_W)
+        assert budget.gap9_w == pytest.approx(0.061)
+        assert budget.sensing_processing_w == pytest.approx(0.981, abs=1e-3)
+
+    def test_fraction_around_seven_percent(self):
+        budget = system_power_budget(gap9_frequency_hz=400e6)
+        assert budget.sensing_processing_fraction == pytest.approx(0.07, abs=0.005)
+
+    def test_motors_dominate(self):
+        budget = system_power_budget()
+        assert budget.motors_w == pytest.approx(MOTOR_HOVER_POWER_W)
+        assert budget.motors_w > 10 * budget.sensing_processing_w
+
+    def test_low_power_operating_point_cheaper(self):
+        fast = system_power_budget(gap9_frequency_hz=400e6)
+        slow = system_power_budget(gap9_frequency_hz=12e6)
+        assert slow.sensing_processing_w < fast.sensing_processing_w
+
+    def test_single_sensor_variant(self):
+        budget = system_power_budget(tof_sensor_count=1)
+        assert budget.tof_sensors_w == pytest.approx(0.320)
+
+    def test_rejects_negative_sensor_count(self):
+        with pytest.raises(PlatformModelError):
+            system_power_budget(tof_sensor_count=-1)
+
+
+class TestEndToEndLatency:
+    def test_components_positive_and_summed(self):
+        pipeline = end_to_end_latency(4096)
+        assert pipeline.sensor_frame_s == pytest.approx(1 / 15)
+        assert pipeline.transfer_s > 0
+        assert pipeline.mcl_update_s > 0
+        assert pipeline.total_s == pytest.approx(
+            pipeline.sensor_frame_s + pipeline.transfer_s + pipeline.mcl_update_s
+        )
+
+    def test_sensor_frame_dominates_at_small_n(self):
+        # At 64 particles the 15 Hz integration window is the bottleneck —
+        # the compute is essentially free (0.2 ms).
+        pipeline = end_to_end_latency(64)
+        assert pipeline.sensor_frame_s > 10 * pipeline.mcl_update_s
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(PlatformModelError):
+            end_to_end_latency(64, tof_rate_hz=0.0)

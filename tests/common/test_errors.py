@@ -1,0 +1,47 @@
+"""Tests for the library exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    DatasetError,
+    EvaluationError,
+    MapError,
+    PlatformModelError,
+    ReproError,
+    SensorError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    DatasetError,
+    EvaluationError,
+    MapError,
+    PlatformModelError,
+    SensorError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_derives_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_catchable_as_repro_error(self, error_type):
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_types_distinct(self):
+        # Catching MapError must not swallow SensorError, etc.
+        for a in ALL_ERRORS:
+            for b in ALL_ERRORS:
+                if a is not b:
+                    assert not issubclass(a, b)
+
+    def test_message_preserved(self):
+        try:
+            raise MapError("resolution mismatch: 0.05 vs 0.1")
+        except ReproError as caught:
+            assert "resolution mismatch" in str(caught)

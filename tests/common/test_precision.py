@@ -1,0 +1,112 @@
+"""Tests for precision modes and the uint8 EDT quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.precision import (
+    PrecisionMode,
+    dequantize_distances,
+    quantization_step,
+    quantize_distances,
+    round_to_storage,
+)
+
+
+class TestPrecisionMode:
+    def test_labels_match_paper_figures(self):
+        assert PrecisionMode.FP32.value == "fp32"
+        assert PrecisionMode.FP32_QM.value == "fp32qm"
+        assert PrecisionMode.FP16_QM.value == "fp16qm"
+
+    def test_particle_dtype(self):
+        assert PrecisionMode.FP32.particle_dtype == np.float32
+        assert PrecisionMode.FP32_QM.particle_dtype == np.float32
+        assert PrecisionMode.FP16_QM.particle_dtype == np.float16
+
+    def test_bytes_per_particle_match_paper(self):
+        # Paper Sec. III-C2: 32 bytes double-buffered fp32, 16 bytes fp16.
+        assert PrecisionMode.FP32.bytes_per_particle == 32
+        assert PrecisionMode.FP32_QM.bytes_per_particle == 32
+        assert PrecisionMode.FP16_QM.bytes_per_particle == 16
+
+    def test_bytes_per_map_cell_match_paper(self):
+        # Paper Sec. IV-C: 5 bytes/cell full precision, 2 bytes/cell quantized.
+        assert PrecisionMode.FP32.bytes_per_map_cell == 5
+        assert PrecisionMode.FP32_QM.bytes_per_map_cell == 2
+        assert PrecisionMode.FP16_QM.bytes_per_map_cell == 2
+
+    def test_edt_quantized_flags(self):
+        assert not PrecisionMode.FP32.edt_quantized
+        assert PrecisionMode.FP32_QM.edt_quantized
+        assert PrecisionMode.FP16_QM.edt_quantized
+
+    def test_from_label_roundtrip(self):
+        for mode in PrecisionMode:
+            assert PrecisionMode.from_label(mode.value) is mode
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            PrecisionMode.from_label("fp64")
+
+
+class TestQuantization:
+    def test_endpoints_exact(self):
+        codes = quantize_distances(np.array([0.0, 1.5]), r_max=1.5)
+        np.testing.assert_array_equal(codes, [0, 255])
+
+    def test_values_above_rmax_saturate(self):
+        codes = quantize_distances(np.array([2.0, 99.0]), r_max=1.5)
+        np.testing.assert_array_equal(codes, [255, 255])
+
+    def test_negative_values_clamp_to_zero(self):
+        assert quantize_distances(np.array([-0.3]), r_max=1.5)[0] == 0
+
+    def test_dtype_is_uint8(self):
+        assert quantize_distances(np.linspace(0, 1.5, 7), 1.5).dtype == np.uint8
+
+    def test_invalid_rmax_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_distances(np.array([0.1]), r_max=0.0)
+        with pytest.raises(ConfigurationError):
+            dequantize_distances(np.array([1], dtype=np.uint8), r_max=-1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.5), min_size=1, max_size=64),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    def test_roundtrip_error_bounded_by_half_step(self, values, r_max):
+        values = np.array(values) * (r_max / 1.5)
+        decoded = dequantize_distances(quantize_distances(values, r_max), r_max)
+        worst = np.max(np.abs(decoded - np.clip(values, 0, r_max)))
+        assert worst <= quantization_step(r_max) / 2 + 1e-6
+
+    def test_paper_truncation_quantization_error_under_3mm(self):
+        # r_max = 1.5 m / 255 levels -> half-step error ~2.9 mm (Sec. IV-C).
+        assert quantization_step(1.5) / 2 < 0.003
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32))
+    def test_codes_roundtrip_exactly(self, codes):
+        codes = np.array(codes, dtype=np.uint8)
+        recoded = quantize_distances(dequantize_distances(codes, 1.5), 1.5)
+        np.testing.assert_array_equal(recoded, codes)
+
+
+class TestRoundToStorage:
+    def test_fp32_passthrough_precision(self):
+        values = np.array([1.0000001], dtype=np.float64)
+        out = round_to_storage(values, PrecisionMode.FP32)
+        assert out.dtype == np.float32
+
+    def test_fp16_loses_precision(self):
+        values = np.array([1.0009765625 / 2 + 1.0])  # not representable in fp16
+        out = round_to_storage(values, PrecisionMode.FP16_QM)
+        assert out.dtype == np.float16
+        assert float(out[0]) != float(values[0])
+
+    def test_fp16_storage_error_bounded(self):
+        values = np.linspace(0.0, 8.0, 1000)
+        out = round_to_storage(values, PrecisionMode.FP16_QM).astype(np.float64)
+        # fp16 has ~3 decimal digits; at magnitude 8 the ULP is 1/128.
+        assert np.max(np.abs(out - values)) <= 8.0 / 2048 + 1e-9

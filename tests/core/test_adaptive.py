@@ -1,0 +1,194 @@
+"""Tests for adaptive MCL: recovery injection and KLD sizing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import Pose2D
+from repro.common.rng import make_rng
+from repro.core.adaptive import (
+    AdaptiveConfig,
+    AdaptiveMcl,
+    kld_particle_bound,
+    _normal_quantile,
+)
+from repro.core.config import MclConfig
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import TofSensor, TofSensorSpec
+
+
+def corridor_room():
+    return (
+        MapBuilder(3.0, 3.0, 0.05)
+        .fill_rect(0, 0, 3, 3, CellState.FREE)
+        .add_border()
+        .add_wall(0.0, 1.0, 2.2, 1.0)
+        .add_box(2.3, 1.6, 2.7, 2.0)
+        .build()
+    )
+
+
+def frames_at(grid, pose: Pose2D):
+    spec = TofSensorSpec(
+        noise_sigma_base_m=0.005,
+        noise_sigma_prop=0.0,
+        interference_prob=0.0,
+        edge_row_dropout_prob=0.0,
+    )
+    front = TofSensor(spec, "tof-front", make_rng(0, "a"))
+    rear_spec = TofSensorSpec(
+        yaw_offset=math.pi,
+        noise_sigma_base_m=0.005,
+        noise_sigma_prop=0.0,
+        interference_prob=0.0,
+        edge_row_dropout_prob=0.0,
+    )
+    rear = TofSensor(rear_spec, "tof-rear", make_rng(0, "b"))
+    return [front.measure(grid, pose, 0.0), rear.measure(grid, pose, 0.0)]
+
+
+class TestAdaptiveConfig:
+    def test_defaults_valid(self):
+        AdaptiveConfig()
+
+    def test_rejects_bad_alphas(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(alpha_fast=0.1, alpha_slow=0.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(alpha_slow=0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(max_injection_fraction=1.5)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveConfig(min_particles=100, max_particles=10)
+
+
+class TestKldBound:
+    def test_one_bin_needs_one_particle(self):
+        assert kld_particle_bound(1, 0.05, 0.01) == 1
+
+    def test_bound_grows_with_bins(self):
+        values = [kld_particle_bound(k, 0.05, 0.01) for k in (2, 10, 100, 1000)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_bound_shrinks_with_epsilon(self):
+        loose = kld_particle_bound(100, 0.1, 0.01)
+        tight = kld_particle_bound(100, 0.01, 0.01)
+        assert tight > loose
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ConfigurationError):
+            kld_particle_bound(0, 0.05, 0.01)
+
+    def test_known_magnitude(self):
+        # A converged belief (~10 bins) needs only a few hundred particles
+        # at the standard (0.05, 0.01) setting.
+        bound = kld_particle_bound(10, 0.05, 0.01)
+        assert 100 < bound < 400
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+
+    def test_standard_values(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.959964, abs=1e-4)
+        assert _normal_quantile(0.99) == pytest.approx(2.326348, abs=1e-4)
+
+    def test_symmetry(self):
+        assert _normal_quantile(0.25) == pytest.approx(-_normal_quantile(0.75), abs=1e-9)
+
+    def test_rejects_bounds(self):
+        with pytest.raises(ConfigurationError):
+            _normal_quantile(0.0)
+
+
+class TestAdaptiveMcl:
+    def test_no_injection_while_consistent(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=512), seed=0)
+        truth = Pose2D(1.5, 0.5, 0.0)
+        mcl.reset_at(truth, sigma_xy=0.1, sigma_theta=0.1)
+        for _ in range(6):
+            truth = truth.compose(Pose2D(0.12, 0.0, 0.0))
+            mcl.add_odometry(Pose2D(0.12, 0.0, 0.0))
+            mcl.process(frames_at(grid, truth))
+        # Well-tracked: w_fast ~ w_slow, essentially no injection.
+        assert mcl.last_injection_fraction < 0.05
+
+    def test_kidnap_triggers_injection(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=512), seed=1)
+        truth = Pose2D(1.5, 0.5, 0.0)
+        mcl.reset_at(truth, sigma_xy=0.05, sigma_theta=0.05)
+        # Track a few steps to establish the averages.
+        for _ in range(4):
+            truth = truth.compose(Pose2D(0.12, 0.0, 0.0))
+            mcl.add_odometry(Pose2D(0.12, 0.0, 0.0))
+            mcl.process(frames_at(grid, truth))
+        # Kidnap: the drone is teleported; odometry says small motion but
+        # observations come from a completely different pose.
+        kidnapped = Pose2D(0.5, 2.5, math.pi / 2)
+        injections = []
+        for _ in range(6):
+            mcl.add_odometry(Pose2D(0.12, 0.0, 0.0))
+            mcl.process(frames_at(grid, kidnapped))
+            injections.append(mcl.last_injection_fraction)
+        assert max(injections) > 0.01
+
+    def test_injection_capped(self):
+        config = AdaptiveConfig(max_injection_fraction=0.1)
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=256), seed=2, adaptive=config)
+        truth = Pose2D(1.5, 0.5, 0.0)
+        mcl.reset_at(truth, sigma_xy=0.05, sigma_theta=0.05)
+        for _ in range(8):
+            mcl.add_odometry(Pose2D(0.15, 0.0, 0.0))
+            mcl.process(frames_at(grid, Pose2D(0.5, 2.5, 1.0)))
+        assert mcl.last_injection_fraction <= 0.1 + 1e-9
+
+    def test_occupied_bins_shrink_on_convergence(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=1024), seed=3)
+        spread_bins = mcl.occupied_bin_count()  # uniform init: many bins
+        mcl.reset_at(Pose2D(1.5, 0.5, 0.0), sigma_xy=0.05, sigma_theta=0.05)
+        focused_bins = mcl.occupied_bin_count()
+        assert focused_bins < spread_bins
+
+    def test_recommended_count_tracks_spread(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=1024), seed=4)
+        uniform_recommendation = mcl.recommended_particle_count()
+        mcl.reset_at(Pose2D(1.5, 0.5, 0.0), sigma_xy=0.05, sigma_theta=0.05)
+        converged_recommendation = mcl.recommended_particle_count()
+        assert converged_recommendation < uniform_recommendation
+        assert converged_recommendation >= mcl.adaptive.min_particles
+
+    def test_resize_preserves_estimate(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=1024), seed=5)
+        mcl.reset_at(Pose2D(1.2, 0.6, 0.3), sigma_xy=0.05, sigma_theta=0.05)
+        before = mcl.estimate.pose
+        mcl.resize(128)
+        assert mcl.particles.count == 128
+        after = mcl.estimate.pose
+        assert before.distance_to(after) < 0.05
+
+    def test_resize_rejects_bad_count(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=64), seed=6)
+        with pytest.raises(ConfigurationError):
+            mcl.resize(0)
+
+    def test_resize_noop_same_count(self):
+        grid = corridor_room()
+        mcl = AdaptiveMcl(grid, MclConfig(particle_count=64), seed=7)
+        particles = mcl.particles
+        mcl.resize(64)
+        assert mcl.particles is particles

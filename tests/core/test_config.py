@@ -1,0 +1,115 @@
+"""Tests for MclConfig and the paper's variant labels."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.precision import PrecisionMode
+from repro.core.config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
+
+
+class TestDefaults:
+    def test_paper_parameters(self):
+        # Sec. IV-A: sigma_odom=(0.1,0.1,0.1), sigma_obs=2.0, r_max=1.5,
+        # d_xy=0.1, d_theta=0.1.
+        config = MclConfig()
+        assert config.sigma_odom_xy == 0.1
+        assert config.sigma_odom_theta == 0.1
+        assert config.sigma_obs == 2.0
+        assert config.r_max == 1.5
+        assert config.d_xy == 0.1
+        assert config.d_theta == 0.1
+        assert config.precision is PrecisionMode.FP32
+        assert config.use_rear_sensor
+
+    def test_paper_sweeps(self):
+        assert PAPER_PARTICLE_COUNTS == (64, 256, 1024, 4096, 16384)
+        assert set(PAPER_VARIANTS) == {"fp32", "fp321tof", "fp32qm", "fp16qm"}
+
+
+class TestValidation:
+    def test_rejects_bad_particle_count(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(particle_count=0)
+
+    def test_rejects_bad_sigmas(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(sigma_obs=0.0)
+        with pytest.raises(ConfigurationError):
+            MclConfig(sigma_odom_xy=-0.1)
+
+    def test_rejects_bad_rmax(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(r_max=0.0)
+
+    def test_rejects_negative_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(d_xy=-0.1)
+
+    def test_rejects_empty_beam_rows(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(beam_rows=())
+
+    def test_rejects_bad_replication(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(beam_replication=0.0)
+
+    def test_rejects_bad_ess_fraction(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig(resample_ess_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            MclConfig(resample_ess_fraction=1.5)
+
+
+class TestVariants:
+    def test_with_variant_fp32(self):
+        config = MclConfig().with_variant("fp32")
+        assert config.precision is PrecisionMode.FP32
+        assert config.use_rear_sensor
+
+    def test_with_variant_quantized(self):
+        config = MclConfig().with_variant("fp32qm")
+        assert config.precision is PrecisionMode.FP32_QM
+
+    def test_with_variant_fp16(self):
+        config = MclConfig().with_variant("fp16qm")
+        assert config.precision is PrecisionMode.FP16_QM
+
+    def test_with_variant_single_tof(self):
+        config = MclConfig().with_variant("fp321tof")
+        assert config.precision is PrecisionMode.FP32
+        assert not config.use_rear_sensor
+
+    def test_variant_labels_roundtrip(self):
+        for variant in PAPER_VARIANTS:
+            assert MclConfig().with_variant(variant).variant_label == variant
+
+    def test_with_variant_preserves_other_fields(self):
+        config = MclConfig(particle_count=123).with_variant("fp16qm")
+        assert config.particle_count == 123
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MclConfig().with_variant("fp8")
+
+
+class TestMovementTrigger:
+    def test_below_thresholds_no_trigger(self):
+        config = MclConfig()
+        assert not config.movement_trigger(0.05, 0.05, 0.05)
+
+    def test_translation_triggers(self):
+        config = MclConfig()
+        assert config.movement_trigger(0.11, 0.0, 0.0)
+        assert config.movement_trigger(0.08, 0.08, 0.0)  # hypot > 0.1
+
+    def test_rotation_triggers(self):
+        config = MclConfig()
+        assert config.movement_trigger(0.0, 0.0, 0.11)
+        assert config.movement_trigger(0.0, 0.0, -0.11)
+
+    def test_exact_threshold_does_not_trigger(self):
+        config = MclConfig()
+        assert not config.movement_trigger(0.1, 0.0, 0.0)
+        assert not config.movement_trigger(0.0, 0.0, math.copysign(0.1, -1))

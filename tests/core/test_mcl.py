@@ -1,0 +1,199 @@
+"""Tests for the full Monte Carlo localization filter."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import Pose2D
+from repro.common.precision import PrecisionMode
+from repro.common.rng import make_rng
+from repro.core.config import MclConfig
+from repro.core.mcl import MonteCarloLocalization
+from repro.maps.builder import MapBuilder
+from repro.maps.distance_field import DistanceField
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import TofSensor, TofSensorSpec
+
+
+def asymmetric_room():
+    """A room with an off-center pillar so poses are distinguishable."""
+    return (
+        MapBuilder(3.0, 3.0, 0.05)
+        .fill_rect(0, 0, 3, 3, CellState.FREE)
+        .add_border()
+        .add_box(0.8, 1.8, 1.2, 2.2)
+        .add_wall(2.0, 0.0, 2.0, 1.0)
+        .build()
+    )
+
+
+def quiet_sensor(name="tof-front", yaw=0.0):
+    spec = TofSensorSpec(
+        yaw_offset=yaw,
+        noise_sigma_base_m=0.005,
+        noise_sigma_prop=0.0,
+        interference_prob=0.0,
+        edge_row_dropout_prob=0.0,
+    )
+    return TofSensor(spec, name, make_rng(0, "s"))
+
+
+def frames_at(grid, pose: Pose2D):
+    return [
+        quiet_sensor("tof-front", 0.0).measure(grid, pose, 0.0),
+        quiet_sensor("tof-rear", math.pi).measure(grid, pose, 0.0),
+    ]
+
+
+class TestConstruction:
+    def test_builds_field_for_mode(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(
+            grid, MclConfig(particle_count=64, precision=PrecisionMode.FP32_QM)
+        )
+        assert mcl.field.data.dtype == np.uint8
+
+    def test_accepts_prebuilt_field(self):
+        grid = asymmetric_room()
+        field = DistanceField.build(grid, r_max=1.5)
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64), field=field)
+        assert mcl.field is field
+
+    def test_rejects_mismatched_field_resolution(self):
+        grid = asymmetric_room()
+        other = MapBuilder(3.0, 3.0, 0.1).fill_rect(0, 0, 3, 3).add_border().build()
+        field = DistanceField.build(other, r_max=1.5)
+        with pytest.raises(ConfigurationError):
+            MonteCarloLocalization(grid, MclConfig(particle_count=64), field=field)
+
+    def test_initial_particles_in_free_space(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=256))
+        for i in range(0, 256, 37):
+            assert grid.is_free(float(mcl.particles.x[i]), float(mcl.particles.y[i]))
+
+
+class TestUpdateGating:
+    def test_no_update_without_motion(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        report = mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+        assert not report.motion_applied
+        assert not report.observation_applied
+        assert mcl.update_count == 0
+
+    def test_small_motion_accumulates_until_threshold(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        frames = frames_at(grid, Pose2D(1.5, 0.5, 0.0))
+        for _ in range(3):  # 3 x 0.04 m < 0.1 m
+            mcl.add_odometry(Pose2D(0.04, 0.0, 0.0))
+            report = mcl.process(frames)
+        # Third call crosses the 0.1 m threshold (0.12 m accumulated).
+        assert report.motion_applied
+        assert mcl.update_count == 1
+
+    def test_rotation_triggers_update(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        mcl.add_odometry(Pose2D(0.0, 0.0, 0.15))
+        report = mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+        assert report.motion_applied
+
+    def test_pending_motion_reset_after_update(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+        assert mcl.pending_motion.x == 0.0
+        assert mcl.pending_motion.theta == 0.0
+
+    def test_beam_count_reported(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+        assert report.beam_count > 0
+
+
+class TestTrackingConvergence:
+    def _track(self, precision: PrecisionMode, seed: int = 0) -> float:
+        """Simulate tracking: start near truth, walk a square, return error."""
+        grid = asymmetric_room()
+        config = MclConfig(particle_count=512, precision=precision)
+        mcl = MonteCarloLocalization(grid, config, seed=seed)
+        truth = Pose2D(0.5, 0.5, 0.0)
+        mcl.reset_at(truth, sigma_xy=0.2, sigma_theta=0.3)
+        legs = [(0.15, 0.0, 0.0)] * 10 + [(0.0, 0.0, math.pi / 8)] * 4
+        legs += [(0.15, 0.0, 0.0)] * 8 + [(0.0, 0.0, math.pi / 8)] * 4
+        for dx, dy, dtheta in legs:
+            inc = Pose2D(dx, dy, dtheta)
+            truth = truth.compose(inc)
+            mcl.add_odometry(inc)
+            mcl.process(frames_at(grid, truth))
+        return mcl.estimate.pose.distance_to(truth)
+
+    def test_fp32_tracks(self):
+        assert self._track(PrecisionMode.FP32) < 0.25
+
+    def test_fp32qm_tracks(self):
+        assert self._track(PrecisionMode.FP32_QM) < 0.25
+
+    def test_fp16qm_tracks(self):
+        assert self._track(PrecisionMode.FP16_QM) < 0.25
+
+
+class TestResets:
+    def test_reset_uniform_respreads(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=256))
+        mcl.reset_at(Pose2D(1.0, 1.0, 0.0), sigma_xy=0.01, sigma_theta=0.01)
+        assert mcl.estimate.position_std < 0.1
+        mcl.reset_uniform()
+        assert mcl.estimate.position_std > 0.3
+        assert mcl.update_count == 0
+
+    def test_reset_at_concentrates(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=256))
+        mcl.reset_at(Pose2D(2.5, 2.5, 1.0), sigma_xy=0.05, sigma_theta=0.05)
+        assert mcl.estimate.pose.distance_to(Pose2D(2.5, 2.5, 1.0)) < 0.05
+
+
+class TestMemoryAccounting:
+    def test_reports_all_components(self):
+        grid = asymmetric_room()
+        config = MclConfig(particle_count=1024)
+        mcl = MonteCarloLocalization(grid, config)
+        memory = mcl.memory_bytes()
+        assert memory["particles"] == 1024 * 32
+        assert memory["occupancy"] == grid.cells.size
+        # fp32 field over the r_max-padded canvas.
+        pad = int(np.ceil(config.r_max / grid.resolution))
+        padded_cells = (grid.rows + 2 * pad) * (grid.cols + 2 * pad)
+        assert memory["distance_field"] == padded_cells * 4
+
+    def test_quantized_field_shrinks_map(self):
+        grid = asymmetric_room()
+        full = MonteCarloLocalization(grid, MclConfig(particle_count=64)).memory_bytes()
+        quant = MonteCarloLocalization(
+            grid, MclConfig(particle_count=64, precision=PrecisionMode.FP32_QM)
+        ).memory_bytes()
+        assert quant["distance_field"] * 4 == full["distance_field"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        grid = asymmetric_room()
+        results = []
+        for _ in range(2):
+            mcl = MonteCarloLocalization(grid, MclConfig(particle_count=128), seed=9)
+            truth = Pose2D(1.5, 0.5, 0.0)
+            for _ in range(5):
+                truth = truth.compose(Pose2D(0.15, 0.0, 0.1))
+                mcl.add_odometry(Pose2D(0.15, 0.0, 0.1))
+                mcl.process(frames_at(grid, truth))
+            results.append(mcl.estimate.pose.as_array())
+        np.testing.assert_allclose(results[0], results[1])

@@ -1,0 +1,97 @@
+"""Edge-case behaviour of the full filter loop."""
+
+import numpy as np
+import pytest
+
+from repro.common.geometry import Pose2D
+from repro.core.config import MclConfig
+from repro.core.mcl import MonteCarloLocalization
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import TofFrame, ZoneStatus
+
+
+def small_grid():
+    return (
+        MapBuilder(2.0, 2.0, 0.05)
+        .fill_rect(0, 0, 2, 2, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+def all_flagged_frame() -> TofFrame:
+    """A frame whose every zone raised an error flag."""
+    n = 8
+    return TofFrame(
+        timestamp=0.0,
+        sensor_name="tof-front",
+        ranges_m=np.full((n, n), 1.0),
+        status=np.full((n, n), int(ZoneStatus.INTERFERENCE)),
+        azimuths=np.linspace(-0.4, 0.4, n),
+    )
+
+
+class TestDegradedObservations:
+    def test_all_flagged_frame_skips_observation(self):
+        grid = small_grid()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process([all_flagged_frame()])
+        # Motion still applies; the observation step reports no usable beams.
+        assert report.motion_applied
+        assert not report.observation_applied
+        assert not report.resampled
+        assert report.beam_count == 0
+
+    def test_empty_frame_list_still_moves(self):
+        grid = small_grid()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        before = mcl.particles.x.copy()
+        mcl.add_odometry(Pose2D(0.3, 0.0, 0.0))
+        report = mcl.process([])
+        assert report.motion_applied
+        assert not np.array_equal(mcl.particles.x, before)
+
+    def test_update_counter_counts_fired_updates_only(self):
+        grid = small_grid()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        for _ in range(5):
+            mcl.process([])  # no motion -> gated, no update
+        assert mcl.update_count == 0
+        mcl.add_odometry(Pose2D(0.5, 0.0, 0.0))
+        mcl.process([])
+        assert mcl.update_count == 1
+
+
+class TestSingleParticle:
+    def test_filter_runs_with_one_particle(self):
+        grid = small_grid()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=1))
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process([all_flagged_frame()])
+        assert report.motion_applied
+        estimate = mcl.estimate
+        assert np.isfinite(estimate.pose.x)
+        assert estimate.ess == pytest.approx(1.0)
+
+
+class TestEssGatedResampling:
+    def test_low_ess_threshold_suppresses_resampling(self):
+        grid = small_grid()
+        # With threshold ~0, resampling fires only at extreme degeneracy.
+        config = MclConfig(particle_count=128, resample_ess_fraction=1e-6)
+        mcl = MonteCarloLocalization(grid, config)
+        from repro.common.rng import make_rng
+        from repro.sensors.tof import TofSensor, TofSensorSpec
+
+        sensor = TofSensor(
+            TofSensorSpec(interference_prob=0.0, edge_row_dropout_prob=0.0),
+            "tof-front",
+            make_rng(0, "e"),
+        )
+        frame = sensor.measure(grid, Pose2D(1.0, 1.0, 0.0), 0.0)
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process([frame])
+        assert report.observation_applied
+        assert not report.resampled

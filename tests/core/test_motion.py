@@ -1,0 +1,82 @@
+"""Tests for the odometry motion model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.geometry import Pose2D
+from repro.common.precision import PrecisionMode
+from repro.common.rng import make_rng
+from repro.core.config import MclConfig
+from repro.core.motion import apply_motion_model
+from repro.core.particles import ParticleSet
+
+
+def particles_at_origin(count: int, precision=PrecisionMode.FP32) -> ParticleSet:
+    ps = ParticleSet(count, precision)
+    ps.set_state(np.zeros(count), np.zeros(count), np.zeros(count))
+    return ps
+
+
+class TestApplyMotionModel:
+    def test_mean_displacement_matches_increment(self):
+        ps = particles_at_origin(20000)
+        config = MclConfig(particle_count=20000)
+        apply_motion_model(ps, Pose2D(0.5, 0.1, 0.2), config, make_rng(0, "m"))
+        assert float(np.mean(ps.x)) == pytest.approx(0.5, abs=0.01)
+        assert float(np.mean(ps.y)) == pytest.approx(0.1, abs=0.01)
+        assert float(np.mean(ps.theta.astype(np.float64))) == pytest.approx(0.2, abs=0.01)
+
+    def test_noise_spread_matches_sigma(self):
+        ps = particles_at_origin(20000)
+        config = MclConfig(particle_count=20000)
+        apply_motion_model(ps, Pose2D.identity(), config, make_rng(1, "m"))
+        assert float(np.std(ps.x.astype(np.float64))) == pytest.approx(0.1, rel=0.1)
+        assert float(np.std(ps.y.astype(np.float64))) == pytest.approx(0.1, rel=0.1)
+        assert float(np.std(ps.theta.astype(np.float64))) == pytest.approx(0.1, rel=0.1)
+
+    def test_increment_applied_in_body_frame(self):
+        # Particles facing +y move along +y for a forward increment.
+        count = 1000
+        ps = ParticleSet(count)
+        ps.set_state(
+            np.zeros(count), np.zeros(count), np.full(count, math.pi / 2)
+        )
+        config = MclConfig(particle_count=count, sigma_odom_xy=1e-6, sigma_odom_theta=1e-6)
+        apply_motion_model(ps, Pose2D(1.0, 0.0, 0.0), config, make_rng(2, "m"))
+        assert float(np.mean(ps.y)) == pytest.approx(1.0, abs=1e-3)
+        assert abs(float(np.mean(ps.x))) < 1e-3
+
+    def test_theta_wrapped_after_update(self):
+        count = 100
+        ps = ParticleSet(count)
+        ps.set_state(np.zeros(count), np.zeros(count), np.full(count, 3.0))
+        config = MclConfig(particle_count=count)
+        apply_motion_model(ps, Pose2D(0.0, 0.0, 1.0), config, make_rng(3, "m"))
+        theta = ps.theta.astype(np.float64)
+        assert np.all(theta >= -math.pi - 1e-3)
+        assert np.all(theta < math.pi + 1e-3)
+
+    def test_weights_untouched(self):
+        ps = particles_at_origin(16)
+        ps.weights[:] = np.linspace(0.01, 0.2, 16).astype(np.float32)
+        before = ps.weights.copy()
+        apply_motion_model(ps, Pose2D(0.1, 0.0, 0.0), MclConfig(particle_count=16), make_rng(4, "m"))
+        np.testing.assert_array_equal(ps.weights, before)
+
+    def test_fp16_storage_precision(self):
+        ps = particles_at_origin(256, PrecisionMode.FP16_QM)
+        config = MclConfig(particle_count=256, precision=PrecisionMode.FP16_QM)
+        apply_motion_model(ps, Pose2D(1.0, 0.0, 0.0), config, make_rng(5, "m"))
+        assert ps.x.dtype == np.float16
+        assert float(np.mean(ps.x.astype(np.float64))) == pytest.approx(1.0, abs=0.05)
+
+    def test_deterministic_given_rng(self):
+        a = particles_at_origin(64)
+        b = particles_at_origin(64)
+        config = MclConfig(particle_count=64)
+        apply_motion_model(a, Pose2D(0.2, 0.0, 0.1), config, make_rng(6, "m"))
+        apply_motion_model(b, Pose2D(0.2, 0.0, 0.1), config, make_rng(6, "m"))
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.theta, b.theta)

@@ -1,0 +1,211 @@
+"""Tests for the beam-end-point observation model (paper Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SensorError
+from repro.common.geometry import Pose2D
+from repro.common.precision import PrecisionMode
+from repro.common.rng import make_rng
+from repro.core.config import MclConfig
+from repro.core.observation import (
+    BeamBundle,
+    apply_observation_model,
+    extract_beams,
+    log_likelihoods,
+)
+from repro.core.particles import ParticleSet
+from repro.maps.builder import MapBuilder
+from repro.maps.distance_field import DistanceField, FieldKind
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import TofSensor, TofSensorSpec, ZoneStatus
+
+
+def room(size: float = 3.0):
+    return (
+        MapBuilder(size, size, 0.05)
+        .fill_rect(0, 0, size, size, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+def quiet_frame(pose: Pose2D, grid=None, yaw_offset: float = 0.0, name="tof-front"):
+    grid = grid if grid is not None else room()
+    spec = TofSensorSpec(
+        yaw_offset=yaw_offset,
+        noise_sigma_base_m=0.0,
+        noise_sigma_prop=0.0,
+        interference_prob=0.0,
+        edge_row_dropout_prob=0.0,
+    )
+    return TofSensor(spec, name, make_rng(0, "q")).measure(grid, pose, 0.0)
+
+
+class TestExtractBeams:
+    def test_collects_selected_rows(self):
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        config = MclConfig(beam_rows=(3, 4))
+        beams = extract_beams([frame], config)
+        assert beams.beam_count == 16
+
+    def test_skips_rear_in_single_tof_mode(self):
+        front = quiet_frame(Pose2D(1.5, 1.5, 0.0), name="tof-front")
+        rear = quiet_frame(Pose2D(1.5, 1.5, 0.0), yaw_offset=math.pi, name="tof-rear")
+        config = MclConfig(use_rear_sensor=False)
+        beams = extract_beams([front, rear], config)
+        assert beams.beam_count == 16  # only the front frame's 2 rows
+
+    def test_keeps_rear_in_dual_mode(self):
+        front = quiet_frame(Pose2D(1.5, 1.5, 0.0), name="tof-front")
+        rear = quiet_frame(Pose2D(1.5, 1.5, 0.0), yaw_offset=math.pi, name="tof-rear")
+        beams = extract_beams([front, rear], MclConfig())
+        assert beams.beam_count == 32
+
+    def test_drops_flagged_zones(self):
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        frame.status[3, :] = ZoneStatus.INTERFERENCE
+        beams = extract_beams([frame], MclConfig(beam_rows=(3, 4)))
+        assert beams.beam_count == 8
+
+    def test_drops_out_of_limit_ranges(self):
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        frame.ranges_m[:, :] = 5.0  # beyond max_beam_range_m
+        beams = extract_beams([frame], MclConfig())
+        assert beams.beam_count == 0
+
+    def test_empty_frame_list(self):
+        beams = extract_beams([], MclConfig())
+        assert beams.beam_count == 0
+
+    def test_bad_rows_rejected(self):
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        with pytest.raises(SensorError):
+            extract_beams([frame], MclConfig(beam_rows=(20,)))
+
+    def test_mount_offsets_propagate(self):
+        grid = room()
+        spec = TofSensorSpec(
+            mount_x=0.05,
+            mount_y=-0.01,
+            noise_sigma_base_m=0.0,
+            noise_sigma_prop=0.0,
+            interference_prob=0.0,
+            edge_row_dropout_prob=0.0,
+        )
+        frame = TofSensor(spec, "tof-front", make_rng(0, "q")).measure(
+            grid, Pose2D(1.5, 1.5, 0.0), 0.0
+        )
+        beams = extract_beams([frame], MclConfig())
+        assert np.all(beams.origins_x == 0.05)
+        assert np.all(beams.origins_y == -0.01)
+
+
+class TestLogLikelihoods:
+    def _setup(self):
+        grid = room()
+        field = DistanceField.build(grid, r_max=1.5)
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        beams = extract_beams([frame], MclConfig())
+        return grid, field, beams
+
+    def test_true_pose_scores_best(self):
+        __, field, beams = self._setup()
+        ps = ParticleSet(3)
+        # Particle 0 at truth, 1 shifted, 2 rotated.
+        ps.set_state(
+            np.array([1.5, 2.0, 1.5]),
+            np.array([1.5, 1.0, 1.5]),
+            np.array([0.0, 0.0, 2.0]),
+        )
+        ll = log_likelihoods(ps, beams, field, sigma_obs=2.0)
+        assert ll[0] > ll[1]
+        assert ll[0] > ll[2]
+
+    def test_all_nonpositive(self):
+        __, field, beams = self._setup()
+        ps = ParticleSet(10)
+        ps.init_gaussian(1.5, 1.5, 0.0, 0.5, 1.0, make_rng(1, "o"))
+        ll = log_likelihoods(ps, beams, field, sigma_obs=2.0)
+        assert np.all(ll <= 0.0)
+
+    def test_sigma_scales_likelihood(self):
+        __, field, beams = self._setup()
+        ps = ParticleSet(1)
+        ps.set_state(np.array([2.0]), np.array([1.0]), np.array([0.5]))
+        sharp = log_likelihoods(ps, beams, field, sigma_obs=1.0)
+        flat = log_likelihoods(ps, beams, field, sigma_obs=4.0)
+        assert sharp[0] == pytest.approx(16.0 * flat[0], rel=1e-6)
+
+
+class TestApplyObservationModel:
+    def test_reweights_toward_truth(self):
+        grid = room()
+        field = DistanceField.build(grid, r_max=1.5)
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        beams = extract_beams([frame], MclConfig())
+        ps = ParticleSet(2)
+        ps.set_state(np.array([1.5, 2.2]), np.array([1.5, 0.8]), np.array([0.0, 1.0]))
+        applied = apply_observation_model(ps, beams, field, MclConfig(particle_count=2))
+        assert applied
+        assert float(ps.weights[0]) > float(ps.weights[1])
+        assert float(np.sum(ps.weights.astype(np.float64))) == pytest.approx(1.0, rel=1e-3)
+
+    def test_no_beams_is_noop(self):
+        grid = room()
+        field = DistanceField.build(grid, r_max=1.5)
+        ps = ParticleSet(4)
+        before = ps.weights.copy()
+        empty = BeamBundle(*(np.empty(0),) * 4)
+        applied = apply_observation_model(ps, empty, field, MclConfig(particle_count=4))
+        assert not applied
+        np.testing.assert_array_equal(ps.weights, before)
+
+    def test_replication_sharpens(self):
+        grid = room()
+        field = DistanceField.build(grid, r_max=1.5)
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        config_flat = MclConfig(particle_count=2, beam_replication=1.0)
+        config_sharp = MclConfig(particle_count=2, beam_replication=8.0)
+        beams = extract_beams([frame], config_flat)
+
+        ps_flat = ParticleSet(2)
+        ps_flat.set_state(np.array([1.5, 2.2]), np.array([1.5, 0.8]), np.array([0.0, 1.0]))
+        apply_observation_model(ps_flat, beams, field, config_flat)
+
+        ps_sharp = ParticleSet(2)
+        ps_sharp.set_state(np.array([1.5, 2.2]), np.array([1.5, 0.8]), np.array([0.0, 1.0]))
+        apply_observation_model(ps_sharp, beams, field, config_sharp)
+        assert float(ps_sharp.weights[1]) < float(ps_flat.weights[1])
+
+    def test_fp16_weights_do_not_collapse(self):
+        grid = room()
+        field = DistanceField.build(grid, r_max=1.5, kind=FieldKind.QUANTIZED_U8)
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        config = MclConfig(particle_count=512, precision=PrecisionMode.FP16_QM)
+        beams = extract_beams([frame], config)
+        ps = ParticleSet(512, PrecisionMode.FP16_QM)
+        ps.init_gaussian(1.5, 1.5, 0.0, 0.4, 0.6, make_rng(2, "o"))
+        applied = apply_observation_model(ps, beams, field, config)
+        assert applied
+        total = float(ps.weights.astype(np.float64).sum())
+        assert total == pytest.approx(1.0, rel=0.05)
+
+    def test_quantized_field_close_to_fp32(self):
+        grid = room()
+        fp32 = DistanceField.build(grid, r_max=1.5, kind=FieldKind.FLOAT32)
+        quant = DistanceField.build(grid, r_max=1.5, kind=FieldKind.QUANTIZED_U8)
+        frame = quiet_frame(Pose2D(1.5, 1.5, 0.0))
+        config = MclConfig(particle_count=64)
+        beams = extract_beams([frame], config)
+        a = ParticleSet(64)
+        a.init_gaussian(1.5, 1.5, 0.0, 0.3, 0.5, make_rng(3, "o"))
+        b = ParticleSet(64)
+        b.set_state(a.x.copy(), a.y.copy(), a.theta.copy())
+        apply_observation_model(a, beams, fp32, config)
+        apply_observation_model(b, beams, quant, config)
+        np.testing.assert_allclose(
+            a.weights.astype(np.float64), b.weights.astype(np.float64), atol=0.01
+        )

@@ -1,0 +1,145 @@
+"""Tests for the double-buffered SoA particle set."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, MapError
+from repro.common.precision import PrecisionMode
+from repro.common.rng import make_rng
+from repro.core.particles import ParticleSet
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+
+
+def small_grid():
+    return (
+        MapBuilder(2.0, 2.0, 0.1)
+        .fill_rect(0, 0, 2, 2, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_particles(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSet(0)
+
+    def test_initial_weights_uniform(self):
+        ps = ParticleSet(100)
+        np.testing.assert_allclose(ps.weights, 0.01, rtol=1e-6)
+
+    def test_dtype_follows_precision(self):
+        assert ParticleSet(8, PrecisionMode.FP32).x.dtype == np.float32
+        assert ParticleSet(8, PrecisionMode.FP16_QM).x.dtype == np.float16
+
+    def test_len(self):
+        assert len(ParticleSet(37)) == 37
+
+
+class TestInit:
+    def test_uniform_covers_free_space(self):
+        grid = small_grid()
+        ps = ParticleSet(2000)
+        ps.init_uniform(grid, make_rng(0, "t"))
+        for i in range(0, 2000, 97):
+            assert grid.is_free(float(ps.x[i]), float(ps.y[i]))
+        # Yaw spans the full circle.
+        assert ps.theta.min() < -2.5
+        assert ps.theta.max() > 2.5
+
+    def test_gaussian_concentrates(self):
+        ps = ParticleSet(2000)
+        ps.init_gaussian(1.0, 2.0, 0.5, sigma_xy=0.1, sigma_theta=0.05, rng=make_rng(1, "t"))
+        assert abs(float(np.mean(ps.x)) - 1.0) < 0.02
+        assert abs(float(np.mean(ps.y)) - 2.0) < 0.02
+        assert float(np.std(ps.x.astype(np.float64))) == pytest.approx(0.1, rel=0.2)
+
+    def test_gaussian_rejects_negative_sigma(self):
+        ps = ParticleSet(10)
+        with pytest.raises(ConfigurationError):
+            ps.init_gaussian(0, 0, 0, sigma_xy=-1.0, sigma_theta=0.1, rng=make_rng(0, "t"))
+
+    def test_set_state_wraps_theta(self):
+        ps = ParticleSet(3)
+        ps.set_state(np.zeros(3), np.zeros(3), np.array([0.0, 4.0, -4.0]))
+        assert np.all(ps.theta.astype(np.float64) >= -np.pi)
+        assert np.all(ps.theta.astype(np.float64) < np.pi + 1e-3)
+
+
+class TestWeights:
+    def test_normalize(self):
+        ps = ParticleSet(4)
+        ps.weights[:] = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        total = ps.normalize_weights()
+        assert total == pytest.approx(10.0)
+        np.testing.assert_allclose(ps.weights, [0.1, 0.2, 0.3, 0.4], rtol=1e-6)
+
+    def test_normalize_degenerate_resets_uniform(self):
+        ps = ParticleSet(4)
+        ps.weights[:] = 0.0
+        total = ps.normalize_weights()
+        assert total == 0.0
+        np.testing.assert_allclose(ps.weights, 0.25)
+
+    def test_normalize_handles_nan(self):
+        ps = ParticleSet(4)
+        ps.weights[:] = np.array([np.nan, 1.0, 1.0, np.nan], dtype=np.float32)
+        ps.normalize_weights()
+        np.testing.assert_allclose(ps.weights, [0.0, 0.5, 0.5, 0.0])
+
+    def test_ess_uniform_equals_n(self):
+        ps = ParticleSet(64)
+        assert ps.effective_sample_size() == pytest.approx(64.0, rel=1e-3)
+
+    def test_ess_degenerate_equals_one(self):
+        ps = ParticleSet(64)
+        ps.weights[:] = 0.0
+        ps.weights[5] = 1.0
+        assert ps.effective_sample_size() == pytest.approx(1.0)
+
+    def test_fp16_weights_survive_normalization(self):
+        ps = ParticleSet(16384, PrecisionMode.FP16_QM)
+        ps.normalize_weights()
+        # Uniform weight 1/16384 is representable in fp16 (~6.1e-5).
+        assert float(ps.weights.astype(np.float64).sum()) == pytest.approx(1.0, rel=0.01)
+
+
+class TestDoubleBuffer:
+    def test_swap_gathers_indices(self):
+        ps = ParticleSet(4)
+        ps.set_state(
+            np.array([0.0, 1.0, 2.0, 3.0]),
+            np.array([10.0, 11.0, 12.0, 13.0]),
+            np.zeros(4),
+        )
+        ps.swap_from_indices(np.array([3, 3, 0, 1]))
+        np.testing.assert_allclose(ps.x, [3.0, 3.0, 0.0, 1.0])
+        np.testing.assert_allclose(ps.y, [13.0, 13.0, 10.0, 11.0])
+
+    def test_swap_resets_weights_uniform(self):
+        ps = ParticleSet(4)
+        ps.weights[:] = np.array([0.7, 0.1, 0.1, 0.1], dtype=np.float32)
+        ps.swap_from_indices(np.zeros(4, dtype=np.int64))
+        np.testing.assert_allclose(ps.weights, 0.25)
+
+    def test_swap_requires_full_draw(self):
+        ps = ParticleSet(4)
+        with pytest.raises(MapError):
+            ps.swap_from_indices(np.array([0, 1]))
+
+    def test_double_swap_roundtrip(self):
+        ps = ParticleSet(3)
+        ps.set_state(np.array([1.0, 2.0, 3.0]), np.zeros(3), np.zeros(3))
+        ps.swap_from_indices(np.array([2, 1, 0]))
+        ps.swap_from_indices(np.array([2, 1, 0]))
+        np.testing.assert_allclose(ps.x, [1.0, 2.0, 3.0])
+
+
+class TestMemory:
+    def test_fp32_is_32_bytes_per_particle(self):
+        # Paper Sec. III-C2: double-buffered fp32 particles cost 32 bytes.
+        assert ParticleSet(1024, PrecisionMode.FP32).memory_bytes() == 1024 * 32
+
+    def test_fp16_is_16_bytes_per_particle(self):
+        assert ParticleSet(1024, PrecisionMode.FP16_QM).memory_bytes() == 1024 * 16

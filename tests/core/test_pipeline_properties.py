@@ -1,0 +1,92 @@
+"""Property tests of full-filter numeric invariants.
+
+Hypothesis drives random odometry/observation interleavings through the
+filter in every precision mode; the invariants below must hold after any
+prefix of updates — they are what "the fp16 variant works" actually means
+numerically.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.geometry import Pose2D
+from repro.common.precision import PrecisionMode
+from repro.common.rng import make_rng
+from repro.core.config import MclConfig
+from repro.core.mcl import MonteCarloLocalization
+from repro.maps.builder import MapBuilder
+from repro.maps.distance_field import DistanceField, FieldKind
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import TofSensor, TofSensorSpec
+
+# One shared world + prebuilt fields keep the property runs fast.
+_GRID = (
+    MapBuilder(3.0, 3.0, 0.05)
+    .fill_rect(0, 0, 3, 3, CellState.FREE)
+    .add_border()
+    .add_wall(0.0, 1.0, 2.2, 1.0)
+    .add_box(2.3, 1.6, 2.7, 2.0)
+    .build()
+)
+_FIELDS = {
+    PrecisionMode.FP32: DistanceField.build(_GRID, 1.5, FieldKind.FLOAT32),
+    PrecisionMode.FP32_QM: DistanceField.build(_GRID, 1.5, FieldKind.QUANTIZED_U8),
+    PrecisionMode.FP16_QM: DistanceField.build(_GRID, 1.5, FieldKind.QUANTIZED_U8),
+}
+
+MOVES = st.lists(
+    st.tuples(
+        st.floats(-0.3, 0.3),  # dx
+        st.floats(-0.1, 0.1),  # dy
+        st.floats(-0.5, 0.5),  # dtheta
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _frames(pose: Pose2D, seed: int):
+    spec = TofSensorSpec(interference_prob=0.05, edge_row_dropout_prob=0.05)
+    sensor = TofSensor(spec, "tof-front", make_rng(seed, "prop"))
+    return [sensor.measure(_GRID, pose, 0.0)]
+
+
+@pytest.mark.parametrize("mode", list(PrecisionMode))
+class TestPipelineInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(moves=MOVES, seed=st.integers(0, 100))
+    def test_invariants_after_any_update_sequence(self, mode, moves, seed):
+        config = MclConfig(particle_count=128, precision=mode)
+        mcl = MonteCarloLocalization(
+            _GRID, config, seed=seed, field=_FIELDS[mode]
+        )
+        truth = Pose2D(1.5, 0.5, 0.0)
+        for dx, dy, dtheta in moves:
+            increment = Pose2D(dx, dy, dtheta)
+            truth = truth.compose(increment)
+            mcl.add_odometry(increment)
+            mcl.process(_frames(truth, seed))
+
+            particles = mcl.particles
+            # 1. Storage dtype never silently widens.
+            assert particles.x.dtype == mode.particle_dtype
+            assert particles.weights.dtype == mode.particle_dtype
+            # 2. All state finite.
+            assert np.all(np.isfinite(particles.x.astype(np.float64)))
+            assert np.all(np.isfinite(particles.weights.astype(np.float64)))
+            # 3. Weights non-negative and normalized (fp16 rounding slack).
+            weights = particles.weights.astype(np.float64)
+            assert np.all(weights >= 0.0)
+            assert weights.sum() == pytest.approx(1.0, abs=0.02)
+            # 4. Yaw stays wrapped.
+            theta = particles.theta.astype(np.float64)
+            assert np.all(theta >= -math.pi - 0.01)
+            assert np.all(theta < math.pi + 0.01)
+            # 5. The estimate is finite and its spread non-negative.
+            estimate = mcl.estimate
+            assert np.isfinite(estimate.pose.x)
+            assert estimate.position_std >= 0.0
+            assert 0.0 <= estimate.ess <= config.particle_count + 1e-6

@@ -1,0 +1,171 @@
+"""Tests for systematic resampling and the parallel wheel (paper Fig. 4).
+
+The parallel partitioning via partial sums is the paper's key resampling
+contribution; the property tests here pin down its exact equivalence with
+the serial wheel and the classic low-variance guarantees.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import make_rng
+from repro.core.resampling import (
+    GAP9_WORKER_CORES,
+    draw_wheel_offset,
+    parallel_systematic_resample,
+    systematic_resample,
+)
+
+WEIGHT_LISTS = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3), min_size=2, max_size=200
+)
+
+
+class TestDrawWheelOffset:
+    def test_in_range(self):
+        rng = make_rng(0, "r")
+        for _ in range(50):
+            u0 = draw_wheel_offset(rng, 16)
+            assert 0.0 <= u0 < 1.0 / 16
+
+
+class TestSystematicResample:
+    def test_uniform_weights_identity_like(self):
+        weights = np.full(8, 1.0 / 8)
+        indices = systematic_resample(weights, u0=0.01)
+        np.testing.assert_array_equal(indices, np.arange(8))
+
+    def test_degenerate_weight_takes_all(self):
+        weights = np.zeros(8)
+        weights[3] = 1.0
+        indices = systematic_resample(weights, u0=0.05)
+        np.testing.assert_array_equal(indices, np.full(8, 3))
+
+    def test_unnormalized_weights_accepted(self):
+        a = systematic_resample(np.array([1.0, 3.0]), u0=0.2)
+        b = systematic_resample(np.array([0.25, 0.75]), u0=0.2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_u0(self):
+        with pytest.raises(ConfigurationError):
+            systematic_resample(np.full(4, 0.25), u0=0.3)  # >= 1/N
+        with pytest.raises(ConfigurationError):
+            systematic_resample(np.full(4, 0.25), u0=-0.01)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            systematic_resample(np.zeros(4), u0=0.1)
+        with pytest.raises(ConfigurationError):
+            systematic_resample(np.array([0.5, -0.5]), u0=0.1)
+        with pytest.raises(ConfigurationError):
+            systematic_resample(np.array([np.nan, 1.0]), u0=0.1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(WEIGHT_LISTS, st.integers(0, 2**31 - 1))
+    def test_property_low_variance_counts(self, weights, seed):
+        # Systematic resampling draws particle i either floor(N w_i) or
+        # ceil(N w_i) times — the defining property of the wheel.
+        weights = np.array(weights)
+        count = weights.size
+        u0 = draw_wheel_offset(make_rng(seed, "u"), count)
+        indices = systematic_resample(weights, u0)
+        assert indices.shape == (count,)
+        normalized = weights / weights.sum()
+        draws = np.bincount(indices, minlength=count)
+        expected = count * normalized
+        assert np.all(draws >= np.floor(expected) - 1e-9)
+        assert np.all(draws <= np.ceil(expected) + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(WEIGHT_LISTS, st.integers(0, 2**31 - 1))
+    def test_property_indices_nondecreasing(self, weights, seed):
+        weights = np.array(weights)
+        u0 = draw_wheel_offset(make_rng(seed, "u"), weights.size)
+        indices = systematic_resample(weights, u0)
+        assert np.all(np.diff(indices) >= 0)
+
+
+class TestParallelResample:
+    def test_matches_serial_on_random_weights(self):
+        rng = make_rng(0, "w")
+        for trial in range(30):
+            count = int(rng.integers(8, 300))
+            weights = rng.random(count) + 1e-6
+            u0 = draw_wheel_offset(rng, count)
+            serial = systematic_resample(weights, u0)
+            parallel = parallel_systematic_resample(weights, u0, n_cores=8)
+            np.testing.assert_array_equal(parallel.indices, serial)
+
+    def test_matches_serial_any_core_count(self):
+        rng = make_rng(1, "w")
+        weights = rng.random(64) + 1e-6
+        u0 = draw_wheel_offset(rng, 64)
+        serial = systematic_resample(weights, u0)
+        for cores in (1, 2, 3, 5, 8, 16):
+            parallel = parallel_systematic_resample(weights, u0, n_cores=cores)
+            np.testing.assert_array_equal(parallel.indices, serial)
+
+    def test_more_cores_than_particles(self):
+        weights = np.array([0.5, 0.5])
+        u0 = 0.1
+        parallel = parallel_systematic_resample(weights, u0, n_cores=8)
+        np.testing.assert_array_equal(parallel.indices, systematic_resample(weights, u0))
+
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ConfigurationError):
+            parallel_systematic_resample(np.full(4, 0.25), 0.1, n_cores=0)
+
+    def test_assignments_tile_arrows(self):
+        rng = make_rng(2, "w")
+        weights = rng.random(128) + 1e-6
+        u0 = draw_wheel_offset(rng, 128)
+        result = parallel_systematic_resample(weights, u0, n_cores=8)
+        covered = []
+        for a in result.assignments:
+            covered.extend(range(a.arrow_lo, a.arrow_hi))
+        assert covered == list(range(128))
+
+    def test_assignments_partition_particles(self):
+        rng = make_rng(3, "w")
+        weights = rng.random(64) + 1e-6
+        result = parallel_systematic_resample(weights, 0.001, n_cores=8)
+        blocks = [(a.particle_lo, a.particle_hi) for a in result.assignments]
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 64
+        for (____, hi), (lo, __) in zip(blocks[:-1], blocks[1:]):
+            assert hi == lo
+
+    def test_draw_counts_sum_to_n(self):
+        rng = make_rng(4, "w")
+        weights = rng.random(1000) + 1e-6
+        u0 = draw_wheel_offset(rng, 1000)
+        result = parallel_systematic_resample(weights, u0, n_cores=8)
+        assert sum(result.draw_counts()) == 1000
+
+    def test_draw_counts_track_block_weight(self):
+        # A core owning most of the weight draws most of the particles —
+        # the load imbalance the paper notes for the resampling step.
+        weights = np.full(64, 1e-6)
+        weights[0:8] = 1.0  # core 0's block dominates
+        result = parallel_systematic_resample(weights, 1e-4, n_cores=8)
+        counts = result.draw_counts()
+        assert counts[0] > 50
+
+    @settings(max_examples=60, deadline=None)
+    @given(WEIGHT_LISTS, st.integers(0, 2**31 - 1), st.integers(1, 12))
+    def test_property_parallel_equals_serial(self, weights, seed, cores):
+        weights = np.array(weights)
+        u0 = draw_wheel_offset(make_rng(seed, "u"), weights.size)
+        serial = systematic_resample(weights, u0)
+        parallel = parallel_systematic_resample(weights, u0, n_cores=cores)
+        np.testing.assert_array_equal(parallel.indices, serial)
+
+    @settings(max_examples=30, deadline=None)
+    @given(WEIGHT_LISTS, st.integers(0, 2**31 - 1))
+    def test_property_block_weights_sum_to_one(self, weights, seed):
+        weights = np.array(weights)
+        u0 = draw_wheel_offset(make_rng(seed, "u"), weights.size)
+        result = parallel_systematic_resample(weights, u0, n_cores=GAP9_WORKER_CORES)
+        assert sum(a.block_weight for a in result.assignments) == pytest.approx(1.0)

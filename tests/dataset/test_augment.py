@@ -1,0 +1,117 @@
+"""Tests for dataset perturbations (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.dataset.augment import (
+    truncated,
+    with_degraded_odometry,
+    with_dropout_bursts,
+    with_range_bias,
+)
+from repro.dataset.recorder import RecordedSequence
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.sensors.tof import ZoneStatus
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    grid = (
+        MapBuilder(3.0, 3.0, 0.05)
+        .fill_rect(0, 0, 3, 3, CellState.FREE)
+        .add_border()
+        .build()
+    )
+    sim = CrazyflieSimulator(
+        grid, [(0.5, 0.5), (2.5, 0.5), (2.5, 2.5)], seed=0,
+        config=SimConfig(max_duration_s=20),
+    )
+    return RecordedSequence.from_sim_steps("aug", sim.run())
+
+
+class TestDropoutBursts:
+    def test_bursts_flag_whole_frames(self, sequence):
+        perturbed = with_dropout_bursts(sequence, burst_count=2, burst_frames=10, seed=1)
+        flagged_frames = np.all(
+            perturbed.tracks[0].status == int(ZoneStatus.INTERFERENCE), axis=(1, 2)
+        )
+        assert 10 <= int(flagged_frames.sum()) <= 20  # bursts may overlap
+
+    def test_original_untouched(self, sequence):
+        before = sequence.tracks[0].status.copy()
+        with_dropout_bursts(sequence, seed=2)
+        np.testing.assert_array_equal(sequence.tracks[0].status, before)
+
+    def test_name_annotated(self, sequence):
+        assert "bursts" in with_dropout_bursts(sequence).name
+
+    def test_rejects_long_burst(self, sequence):
+        with pytest.raises(DatasetError):
+            with_dropout_bursts(sequence, burst_frames=10_000)
+
+    def test_rejects_bad_params(self, sequence):
+        with pytest.raises(DatasetError):
+            with_dropout_bursts(sequence, burst_count=-1)
+
+
+class TestRangeBias:
+    def test_valid_ranges_shifted(self, sequence):
+        perturbed = with_range_bias(sequence, bias_m=0.1)
+        valid = sequence.tracks[0].status == int(ZoneStatus.VALID)
+        shift = perturbed.tracks[0].ranges_m[valid] - sequence.tracks[0].ranges_m[valid]
+        np.testing.assert_allclose(shift, 0.1, atol=1e-9)
+
+    def test_invalid_zones_untouched(self, sequence):
+        perturbed = with_range_bias(sequence, bias_m=0.1)
+        invalid = sequence.tracks[0].status != int(ZoneStatus.VALID)
+        if invalid.any():
+            np.testing.assert_array_equal(
+                perturbed.tracks[0].ranges_m[invalid],
+                sequence.tracks[0].ranges_m[invalid],
+            )
+
+    def test_negative_bias_floors_at_zero(self, sequence):
+        perturbed = with_range_bias(sequence, bias_m=-10.0)
+        assert float(perturbed.tracks[0].ranges_m.min()) >= 0.0
+
+
+class TestDegradedOdometry:
+    def test_odometry_changed_ground_truth_kept(self, sequence):
+        perturbed = with_degraded_odometry(sequence, seed=3)
+        assert not np.allclose(perturbed.odometry, sequence.odometry)
+        np.testing.assert_array_equal(perturbed.ground_truth, sequence.ground_truth)
+
+    def test_start_pose_preserved(self, sequence):
+        perturbed = with_degraded_odometry(sequence, seed=4)
+        np.testing.assert_allclose(perturbed.odometry[0], sequence.odometry[0])
+
+    def test_zero_degradation_is_identity(self, sequence):
+        perturbed = with_degraded_odometry(
+            sequence, extra_noise_xy=0.0, extra_scale_error=0.0, seed=5
+        )
+        np.testing.assert_allclose(
+            perturbed.odometry, sequence.odometry, atol=1e-9
+        )
+
+    def test_rejects_negative(self, sequence):
+        with pytest.raises(DatasetError):
+            with_degraded_odometry(sequence, extra_noise_xy=-0.1)
+
+
+class TestTruncated:
+    def test_duration_capped(self, sequence):
+        short = truncated(sequence, max_duration_s=5.0)
+        assert short.duration_s <= 5.0 + 0.1
+        assert len(short) < len(sequence)
+
+    def test_tracks_aligned(self, sequence):
+        short = truncated(sequence, max_duration_s=5.0)
+        for track in short.tracks:
+            assert track.ranges_m.shape[0] == len(short)
+
+    def test_rejects_bad_duration(self, sequence):
+        with pytest.raises(DatasetError):
+            truncated(sequence, max_duration_s=0.0)

@@ -1,0 +1,121 @@
+"""Tests for sequence recording, replay and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DatasetError
+from repro.dataset.recorder import RecordedSequence
+from repro.dataset.vicon import ViconSpec, ViconTracker
+from repro.common.geometry import Pose2D
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+def tiny_flight():
+    grid = (
+        MapBuilder(3.0, 3.0, 0.05)
+        .fill_rect(0, 0, 3, 3, CellState.FREE)
+        .add_border()
+        .build()
+    )
+    sim = CrazyflieSimulator(
+        grid, [(1.0, 1.0), (2.0, 1.0)], seed=0, config=SimConfig(max_duration_s=6)
+    )
+    return sim.run()
+
+
+class TestFromSimSteps:
+    def test_packs_all_steps(self):
+        steps = tiny_flight()
+        seq = RecordedSequence.from_sim_steps("test", steps)
+        assert len(seq) == len(steps)
+        assert seq.duration_s == pytest.approx(steps[-1].timestamp, abs=1e-9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            RecordedSequence.from_sim_steps("x", [])
+
+    def test_tracks_both_sensors(self):
+        seq = RecordedSequence.from_sim_steps("test", tiny_flight())
+        names = {t.sensor_name for t in seq.tracks}
+        assert names == {"tof-front", "tof-rear"}
+
+    def test_pose_accessors(self):
+        steps = tiny_flight()
+        seq = RecordedSequence.from_sim_steps("test", steps)
+        assert seq.ground_truth_pose(0).x == pytest.approx(steps[0].ground_truth.x)
+        assert seq.odometry_pose(3).y == pytest.approx(steps[3].odometry.y)
+
+
+class TestReplay:
+    def test_steps_roundtrip(self):
+        steps = tiny_flight()
+        seq = RecordedSequence.from_sim_steps("test", steps)
+        replayed = list(seq.steps())
+        assert len(replayed) == len(steps)
+        for original, replay in zip(steps, replayed):
+            assert replay.timestamp == pytest.approx(original.timestamp)
+            np.testing.assert_allclose(
+                replay.ground_truth.as_array(), original.ground_truth.as_array()
+            )
+            np.testing.assert_array_equal(
+                replay.frames[0].ranges_m, original.frames[0].ranges_m
+            )
+            np.testing.assert_array_equal(
+                replay.frames[1].status, original.frames[1].status
+            )
+
+    def test_frame_metadata_preserved(self):
+        seq = RecordedSequence.from_sim_steps("test", tiny_flight())
+        step = next(seq.steps())
+        front = step.frames[0]
+        assert front.sensor_name == "tof-front"
+        assert front.azimuths.shape == (8,)
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, tmp_path):
+        seq = RecordedSequence.from_sim_steps("roundtrip", tiny_flight())
+        path = tmp_path / "seq.npz"
+        seq.save_npz(path)
+        loaded = RecordedSequence.load_npz(path)
+        assert loaded.name == "roundtrip"
+        assert len(loaded) == len(seq)
+        np.testing.assert_allclose(loaded.ground_truth, seq.ground_truth)
+        np.testing.assert_allclose(loaded.odometry, seq.odometry)
+        for a, b in zip(loaded.tracks, seq.tracks):
+            assert a.sensor_name == b.sensor_name
+            np.testing.assert_array_equal(a.ranges_m, b.ranges_m)
+            np.testing.assert_array_equal(a.status, b.status)
+            assert a.mount_x == b.mount_x
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            RecordedSequence.load_npz(tmp_path / "missing.npz")
+
+    def test_shape_validation(self):
+        with pytest.raises(DatasetError):
+            RecordedSequence(
+                name="bad",
+                timestamps=np.zeros(3),
+                ground_truth=np.zeros((2, 3)),
+                odometry=np.zeros((3, 3)),
+                tracks=[],
+            )
+
+
+class TestVicon:
+    def test_noise_is_submillimetre(self):
+        tracker = ViconTracker(rng=np.random.default_rng(0))
+        truth = Pose2D(1.0, 2.0, 0.5)
+        samples = [tracker.sample(truth) for _ in range(200)]
+        errors = [s.distance_to(truth) for s in samples]
+        assert max(errors) < 0.005
+        assert np.std([s.x for s in samples]) < 0.002
+
+    def test_rejects_negative_noise(self):
+        from repro.common.errors import SensorError
+
+        with pytest.raises(SensorError):
+            ViconSpec(position_noise_sigma_m=-1.0)

@@ -1,0 +1,120 @@
+"""Tests for filter-health diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.common.geometry import Pose2D
+from repro.core.config import MclConfig
+from repro.core.mcl import MonteCarloLocalization
+from repro.dataset.recorder import RecordedSequence
+from repro.eval.diagnostics import (
+    FilterTrace,
+    belief_modes,
+    trace_filter_health,
+)
+from repro.maps.maze import generate_maze
+from repro.maps.planning import plan_tour, snap_to_clearance
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+@pytest.fixture(scope="module")
+def world_and_sequence():
+    grid = generate_maze(size_m=3.0, cells=4, seed=5)
+    stops = [
+        snap_to_clearance(grid, p, 0.15)
+        for p in [(0.4, 0.4), (2.6, 0.4), (2.6, 2.6)]
+    ]
+    route = plan_tour(grid, stops, clearance_m=0.15)
+    sim = CrazyflieSimulator(grid, route, seed=3, config=SimConfig(max_duration_s=30))
+    return grid, RecordedSequence.from_sim_steps("diag", sim.run())
+
+
+class TestBeliefModes:
+    def test_concentrated_belief_single_mode(self, world_and_sequence):
+        grid, __ = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=256))
+        mcl.reset_at(Pose2D(1.5, 1.5, 0.0), sigma_xy=0.05, sigma_theta=0.05)
+        modes = belief_modes(mcl)
+        assert len(modes) == 1
+        assert modes[0].weight_share == pytest.approx(1.0, abs=1e-6)
+        assert abs(modes[0].center_x - 1.5) < 0.1
+
+    def test_uniform_belief_many_modes_or_one_spread(self, world_and_sequence):
+        grid, __ = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=512), seed=1)
+        modes = belief_modes(mcl, cell_m=0.4)
+        total_share = sum(m.weight_share for m in modes)
+        assert total_share <= 1.0 + 1e-9
+        assert sum(m.particle_count for m in modes) <= 512
+
+    def test_modes_sorted_by_share(self, world_and_sequence):
+        grid, __ = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=512), seed=2)
+        modes = belief_modes(mcl, cell_m=0.4, min_share=0.0)
+        shares = [m.weight_share for m in modes]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_min_share_filters(self, world_and_sequence):
+        grid, __ = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=512), seed=3)
+        all_modes = belief_modes(mcl, cell_m=0.4, min_share=0.0)
+        big_modes = belief_modes(mcl, cell_m=0.4, min_share=0.2)
+        assert len(big_modes) <= len(all_modes)
+
+    def test_validation(self, world_and_sequence):
+        grid, __ = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        with pytest.raises(EvaluationError):
+            belief_modes(mcl, cell_m=0.0)
+        with pytest.raises(EvaluationError):
+            belief_modes(mcl, min_share=1.0)
+
+
+class TestTraceFilterHealth:
+    def test_trace_series_aligned(self, world_and_sequence):
+        grid, sequence = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=512), seed=0)
+        trace = trace_filter_health(grid, sequence, mcl)
+        arrays = trace.as_arrays()
+        length = arrays["timestamps"].size
+        assert length > 5
+        for series in arrays.values():
+            assert series.size == length
+
+    def test_belief_concentrates_over_run(self, world_and_sequence):
+        # Note: a uniform belief over a small map registers as ONE giant
+        # connected mode (every bin occupied), so top-mode share is not a
+        # uniformity signal here; position spread is.
+        grid, sequence = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=1024), seed=0)
+        trace = trace_filter_health(grid, sequence, mcl)
+        # Spread must shrink substantially from the uniform start.
+        assert trace.position_std[-1] < trace.position_std[0] / 2
+        # The final belief is a single committed mode.
+        assert trace.mode_count[-1] == 1
+        assert trace.top_mode_share[-1] == pytest.approx(1.0, abs=0.05)
+
+    def test_collapse_time_before_or_none(self, world_and_sequence):
+        grid, sequence = world_and_sequence
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=1024), seed=0)
+        trace = trace_filter_health(grid, sequence, mcl)
+        collapse = trace.collapse_time(share_threshold=0.9)
+        if collapse is not None:
+            assert trace.timestamps[0] <= collapse <= trace.timestamps[-1]
+
+    def test_short_sequence_rejected(self, world_and_sequence):
+        grid, sequence = world_and_sequence
+        truncated = RecordedSequence(
+            name="short",
+            timestamps=sequence.timestamps[:1],
+            ground_truth=sequence.ground_truth[:1],
+            odometry=sequence.odometry[:1],
+            tracks=[],
+        )
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=64))
+        with pytest.raises(EvaluationError):
+            trace_filter_health(grid, truncated, mcl)
+
+    def test_empty_trace_collapse_none(self):
+        assert FilterTrace().collapse_time() is None

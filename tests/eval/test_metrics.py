@@ -1,0 +1,156 @@
+"""Tests for the paper's evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.eval.metrics import (
+    CONVERGENCE_POSITION_M,
+    CONVERGENCE_YAW_RAD,
+    SUCCESS_ATE_LIMIT_M,
+    AggregateMetrics,
+    RunMetrics,
+    convergence_curve,
+    evaluate_run,
+    first_convergence_index,
+)
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        # Sec. IV-A: convergence within (36° / 0.2 m), success if ATE <= 1 m.
+        assert CONVERGENCE_POSITION_M == 0.2
+        assert CONVERGENCE_YAW_RAD == pytest.approx(math.radians(36))
+        assert SUCCESS_ATE_LIMIT_M == 1.0
+
+
+class TestFirstConvergence:
+    def test_both_conditions_needed(self):
+        pos = np.array([0.5, 0.1, 0.1])
+        yaw = np.array([0.1, 2.0, 0.1])
+        assert first_convergence_index(pos, yaw) == 2
+
+    def test_never(self):
+        assert first_convergence_index(np.array([1.0, 1.0]), np.array([0.0, 0.0])) is None
+
+    def test_immediately(self):
+        assert first_convergence_index(np.array([0.0]), np.array([0.0])) == 0
+
+
+class TestEvaluateRun:
+    def test_successful_run(self):
+        t = np.arange(10.0)
+        pos = np.array([2.0, 1.5, 0.5, 0.15, 0.1, 0.12, 0.2, 0.18, 0.1, 0.15])
+        yaw = np.full(10, 0.1)
+        metrics = evaluate_run(t, pos, yaw)
+        assert metrics.converged
+        assert metrics.convergence_time_s == 3.0
+        assert metrics.success
+        assert metrics.ate_mean_m == pytest.approx(np.mean(pos[3:]))
+        assert metrics.ate_rmse_m == pytest.approx(np.sqrt(np.mean(pos[3:] ** 2)))
+        assert metrics.ate_max_m == pytest.approx(0.2)
+
+    def test_tracking_lost_after_convergence(self):
+        t = np.arange(6.0)
+        pos = np.array([0.1, 0.1, 0.1, 1.5, 0.1, 0.1])  # spike above 1 m
+        yaw = np.zeros(6)
+        metrics = evaluate_run(t, pos, yaw)
+        assert metrics.converged
+        assert not metrics.success
+
+    def test_never_converged(self):
+        t = np.arange(4.0)
+        metrics = evaluate_run(t, np.full(4, 2.0), np.zeros(4))
+        assert not metrics.converged
+        assert not metrics.success
+        assert metrics.convergence_time_s is None
+        assert math.isnan(metrics.ate_mean_m)
+
+    def test_convergence_time_relative_to_start(self):
+        t = np.array([10.0, 11.0, 12.0])
+        pos = np.array([1.0, 0.1, 0.1])
+        metrics = evaluate_run(t, pos, np.zeros(3))
+        assert metrics.convergence_time_s == 1.0
+
+    def test_yaw_gates_convergence(self):
+        t = np.arange(3.0)
+        pos = np.full(3, 0.1)
+        yaw = np.array([1.0, 1.0, 0.1])
+        metrics = evaluate_run(t, pos, yaw)
+        assert metrics.convergence_time_s == 2.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_run(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_run(np.array([]), np.array([]), np.array([]))
+
+
+class TestConvergenceCurve:
+    def test_step_curve(self):
+        times, probs = convergence_curve([1.0, 3.0, None], horizon_s=4.0)
+        assert probs[0] == 0.0
+        # After t=1: 1/3 converged; after t=3: 2/3; never reaches 1.
+        assert probs[int(1.0)] == pytest.approx(1 / 3)
+        assert probs[int(3.0)] == pytest.approx(2 / 3)
+        assert probs[-1] == pytest.approx(2 / 3)
+
+    def test_monotone_nondecreasing(self):
+        __, probs = convergence_curve([0.5, 2.5, 7.0, None], horizon_s=10.0, resolution_s=0.5)
+        assert np.all(np.diff(probs) >= 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            convergence_curve([], horizon_s=5.0)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(EvaluationError):
+            convergence_curve([1.0], horizon_s=0.0)
+
+
+class TestAggregateMetrics:
+    @staticmethod
+    def _metrics(success: bool, ate: float, conv: float | None) -> RunMetrics:
+        return RunMetrics(
+            converged=conv is not None,
+            convergence_time_s=conv,
+            success=success,
+            ate_mean_m=ate,
+            ate_rmse_m=ate,
+            ate_max_m=ate,
+            yaw_mean_rad=0.1,
+        )
+
+    def test_success_rate(self):
+        agg = AggregateMetrics()
+        agg.add(self._metrics(True, 0.1, 5.0))
+        agg.add(self._metrics(True, 0.2, 10.0))
+        agg.add(self._metrics(False, float("nan"), None))
+        assert agg.success_rate == pytest.approx(2 / 3)
+        assert agg.run_count == 3
+
+    def test_mean_ate_over_converged_only(self):
+        agg = AggregateMetrics()
+        agg.add(self._metrics(True, 0.1, 5.0))
+        agg.add(self._metrics(False, float("nan"), None))
+        agg.add(self._metrics(True, 0.3, 8.0))
+        assert agg.mean_ate_m == pytest.approx(0.2)
+
+    def test_mean_ate_nan_when_nothing_converged(self):
+        agg = AggregateMetrics()
+        agg.add(self._metrics(False, float("nan"), None))
+        assert math.isnan(agg.mean_ate_m)
+
+    def test_convergence_times_passthrough(self):
+        agg = AggregateMetrics()
+        agg.add(self._metrics(True, 0.1, 5.0))
+        agg.add(self._metrics(False, float("nan"), None))
+        assert agg.convergence_times == [5.0, None]
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(EvaluationError):
+            AggregateMetrics().success_rate

@@ -1,0 +1,115 @@
+"""Tests for the evaluation statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import EvaluationError
+from repro.eval.statistics import (
+    Interval,
+    bootstrap_mean_interval,
+    paired_bootstrap_no_worse,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(8, 10)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.estimate == 0.8
+
+    def test_all_successes_upper_is_one(self):
+        interval = wilson_interval(10, 10)
+        assert interval.upper == pytest.approx(1.0, abs=1e-9)
+        assert interval.lower > 0.6
+
+    def test_zero_successes_lower_is_zero(self):
+        interval = wilson_interval(0, 10)
+        assert interval.lower == 0.0
+        assert interval.upper < 0.4
+
+    def test_width_shrinks_with_trials(self):
+        small = wilson_interval(5, 10)
+        large = wilson_interval(50, 100)
+        assert large.width < small.width
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            wilson_interval(1, 0)
+        with pytest.raises(EvaluationError):
+            wilson_interval(11, 10)
+        with pytest.raises(EvaluationError):
+            wilson_interval(5, 10, confidence=1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 30), st.integers(1, 30))
+    def test_property_bounds_ordered(self, successes, extra):
+        trials = successes + extra
+        interval = wilson_interval(successes, trials)
+        assert 0.0 <= interval.lower <= interval.estimate <= interval.upper <= 1.0
+
+
+class TestBootstrapMean:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.15, 0.03, size=40)
+        interval = bootstrap_mean_interval(values, seed=1)
+        assert interval.contains(float(values.mean()))
+        assert interval.width < 0.05
+
+    def test_ignores_nan(self):
+        values = np.array([0.1, 0.2, np.nan, 0.15, 0.12])
+        interval = bootstrap_mean_interval(values)
+        assert np.isfinite(interval.estimate)
+
+    def test_needs_two_values(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_mean_interval(np.array([1.0]))
+
+    def test_deterministic_given_seed(self):
+        values = np.linspace(0.1, 0.2, 10)
+        a = bootstrap_mean_interval(values, seed=3)
+        b = bootstrap_mean_interval(values, seed=3)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+
+class TestPairedBootstrap:
+    def test_identical_arrays_fully_no_worse(self):
+        values = np.linspace(0.1, 0.2, 12)
+        assert paired_bootstrap_no_worse(values, values) == 1.0
+
+    def test_clearly_worse_candidate(self):
+        reference = np.full(20, 0.10)
+        candidate = reference + 0.05 + np.random.default_rng(0).normal(0, 0.005, 20)
+        assert paired_bootstrap_no_worse(candidate, reference) < 0.05
+
+    def test_clearly_better_candidate(self):
+        reference = np.full(20, 0.15)
+        candidate = reference - 0.04 + np.random.default_rng(1).normal(0, 0.005, 20)
+        assert paired_bootstrap_no_worse(candidate, reference) > 0.95
+
+    def test_margin_allows_small_regression(self):
+        reference = np.full(20, 0.10)
+        candidate = reference + 0.01
+        strict = paired_bootstrap_no_worse(candidate, reference, margin=0.0)
+        relaxed = paired_bootstrap_no_worse(candidate, reference, margin=0.02)
+        assert relaxed > strict
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_no_worse(np.zeros(3), np.zeros(4))
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_no_worse(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_no_worse(
+                np.array([np.nan, np.nan, 1.0]), np.array([1.0, 2.0, np.nan])
+            )
+
+
+class TestInterval:
+    def test_contains(self):
+        interval = Interval(0.5, 0.4, 0.6, 0.95)
+        assert interval.contains(0.45)
+        assert not interval.contains(0.7)
+        assert interval.width == pytest.approx(0.2)

@@ -1,0 +1,105 @@
+"""End-to-end integration tests on the paper's evaluation world.
+
+These replay the cached canonical sequences through the full stack —
+world, dataset, filter, metrics — and assert the paper's headline
+behaviours at single-run granularity.  The statistical sweeps behind
+Fig. 6-8 live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dead_reckoning import run_dead_reckoning
+from repro.baselines.uwb import run_uwb_baseline
+from repro.core.config import MclConfig
+from repro.dataset.sequences import load_sequence
+from repro.eval.runner import run_localization
+from repro.maps.maze import build_drone_maze_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_drone_maze_world()
+
+
+@pytest.fixture(scope="module")
+def sequence(world):
+    return load_sequence(0, world)
+
+
+class TestGlobalLocalization:
+    def test_fp32_converges_and_tracks(self, world, sequence):
+        config = MclConfig(particle_count=4096)
+        result = run_localization(world.grid, sequence, config, seed=0)
+        metrics = result.metrics
+        assert metrics.converged
+        assert metrics.success
+        # Paper claim (i): ~0.15 m accuracy.
+        assert metrics.ate_mean_m < 0.25
+
+    def test_quantized_variants_no_accuracy_loss(self, world, sequence):
+        # Paper claim (ii): quantization does not significantly hurt.
+        fp32 = run_localization(
+            world.grid, sequence, MclConfig(particle_count=4096), seed=0
+        )
+        fp16qm = run_localization(
+            world.grid,
+            sequence,
+            MclConfig(particle_count=4096).with_variant("fp16qm"),
+            seed=0,
+        )
+        assert fp16qm.metrics.success
+        assert fp16qm.metrics.ate_mean_m < fp32.metrics.ate_mean_m + 0.1
+
+    def test_estimate_trace_ends_inside_main_maze(self, world, sequence):
+        result = run_localization(
+            world.grid, sequence, MclConfig(particle_count=4096), seed=0
+        )
+        final = result.estimate_trace[-1]
+        assert world.main.contains(float(final[0]), float(final[1]))
+
+
+class TestBaselinesComparison:
+    def test_mcl_beats_uwb(self, world, sequence):
+        # Paper Sec. IV-B: MCL's 0.15 m beats the 0.22 / 0.28 m UWB systems.
+        mcl = run_localization(
+            world.grid, sequence, MclConfig(particle_count=4096), seed=0
+        )
+        uwb = run_uwb_baseline(
+            sequence.ground_truth[:, :2],
+            sequence.timestamps,
+            volume_size=(world.grid.width_m, world.grid.height_m),
+            seed=0,
+        )
+        assert mcl.metrics.ate_mean_m < uwb.mean_error_m
+
+    def test_mcl_bounds_dead_reckoning_drift(self, world, sequence):
+        mcl = run_localization(
+            world.grid, sequence, MclConfig(particle_count=4096), seed=0
+        )
+        reckoning = run_dead_reckoning(sequence)
+        # Post-convergence MCL error stays bounded while raw odometry ends
+        # with a larger error than MCL's mean.
+        assert mcl.metrics.ate_max_m <= 1.0
+        assert reckoning.final_error_m > mcl.metrics.ate_mean_m
+
+
+class TestMemoryOnGap9:
+    def test_quantized_world_fits_l1_with_1024_particles(self, world):
+        from repro.common.precision import PrecisionMode
+        from repro.soc.memory import MemoryLevel, memory_budget
+
+        budget = memory_budget(
+            1024, world.grid.structured_area_m2(), PrecisionMode.FP16_QM
+        )
+        assert budget.fits(MemoryLevel.L1)
+
+    def test_fp32_16384_needs_l2(self, world):
+        from repro.common.precision import PrecisionMode
+        from repro.soc.memory import MemoryLevel, memory_budget
+
+        budget = memory_budget(
+            16384, world.grid.structured_area_m2(), PrecisionMode.FP32
+        )
+        assert not budget.fits(MemoryLevel.L1)
+        assert budget.fits(MemoryLevel.L2)

@@ -1,0 +1,79 @@
+"""Robustness integration tests: localization under injected failures.
+
+The paper evaluates clean recordings; these tests quantify graceful
+degradation using the dataset perturbations — the behaviours an adopter
+needs to know hold before flying through worse conditions.
+"""
+
+import pytest
+
+from repro.core.config import MclConfig
+from repro.dataset.augment import (
+    with_degraded_odometry,
+    with_dropout_bursts,
+    with_range_bias,
+)
+from repro.dataset.sequences import load_sequence
+from repro.eval.runner import run_localization
+from repro.maps.maze import build_drone_maze_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_drone_maze_world()
+
+
+@pytest.fixture(scope="module")
+def sequence(world):
+    return load_sequence(1, world)
+
+
+@pytest.fixture(scope="module")
+def clean_result(world, sequence):
+    return run_localization(
+        world.grid, sequence, MclConfig(particle_count=4096), seed=0
+    )
+
+
+class TestDropoutRobustness:
+    def test_survives_one_second_blackouts(self, world, sequence, clean_result):
+        perturbed = with_dropout_bursts(sequence, burst_count=3, burst_frames=15, seed=0)
+        result = run_localization(
+            world.grid, perturbed, MclConfig(particle_count=4096), seed=0
+        )
+        # Blackouts suppress observation updates; odometry carries the
+        # filter across. Tracking must survive.
+        assert result.metrics.converged
+        assert result.metrics.success
+        assert result.metrics.ate_mean_m < clean_result.metrics.ate_mean_m + 0.1
+
+
+class TestBiasRobustness:
+    def test_small_range_bias_tolerated(self, world, sequence):
+        perturbed = with_range_bias(sequence, bias_m=0.05)
+        result = run_localization(
+            world.grid, perturbed, MclConfig(particle_count=4096), seed=0
+        )
+        assert result.metrics.converged
+        assert result.metrics.ate_mean_m < 0.3
+
+    def test_large_bias_degrades_accuracy(self, world, sequence, clean_result):
+        perturbed = with_range_bias(sequence, bias_m=0.2)
+        result = run_localization(
+            world.grid, perturbed, MclConfig(particle_count=4096), seed=0
+        )
+        if result.metrics.converged:
+            # A 0.2 m systematic shift must show up in the ATE.
+            assert result.metrics.ate_mean_m > clean_result.metrics.ate_mean_m
+
+
+class TestOdometryRobustness:
+    def test_degraded_odometry_still_localizes(self, world, sequence):
+        perturbed = with_degraded_odometry(
+            sequence, extra_noise_xy=0.005, extra_scale_error=0.03, seed=1
+        )
+        result = run_localization(
+            world.grid, perturbed, MclConfig(particle_count=4096), seed=0
+        )
+        assert result.metrics.converged
+        assert result.metrics.ate_mean_m < 0.35

@@ -1,0 +1,109 @@
+"""Tests for frontier detection, clustering and goal selection."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MapError
+from repro.mapping.exploration import (
+    cluster_frontiers,
+    frontier_mask,
+    select_goal,
+)
+from repro.maps.occupancy import CellState, OccupancyGrid
+
+
+def half_explored_room(size_cells: int = 40) -> OccupancyGrid:
+    """Left half FREE with walls, right half UNKNOWN."""
+    cells = np.full((size_cells, size_cells), int(CellState.UNKNOWN), dtype=np.uint8)
+    half = size_cells // 2
+    cells[:, :half] = int(CellState.FREE)
+    cells[0, :half] = int(CellState.OCCUPIED)
+    cells[-1, :half] = int(CellState.OCCUPIED)
+    cells[:, 0] = int(CellState.OCCUPIED)
+    return OccupancyGrid(cells, resolution=0.05)
+
+
+class TestFrontierMask:
+    def test_boundary_detected(self):
+        grid = half_explored_room()
+        mask = frontier_mask(grid)
+        # The frontier is the last FREE column before the UNKNOWN half.
+        half = grid.cols // 2
+        assert np.any(mask[:, half - 1])
+        # Interior free cells are not frontier.
+        assert not np.any(mask[:, 2 : half - 2])
+
+    def test_closed_map_has_no_frontier(self):
+        cells = np.zeros((10, 10), dtype=np.uint8)
+        cells[0, :] = cells[-1, :] = cells[:, 0] = cells[:, -1] = int(
+            CellState.OCCUPIED
+        )
+        grid = OccupancyGrid(cells, resolution=0.05)
+        assert not frontier_mask(grid).any()
+
+    def test_occupied_cells_never_frontier(self):
+        grid = half_explored_room()
+        mask = frontier_mask(grid)
+        assert not np.any(mask & (grid.cells == CellState.OCCUPIED))
+
+
+class TestClusterFrontiers:
+    def test_single_cluster_on_straight_boundary(self):
+        grid = half_explored_room()
+        clusters = cluster_frontiers(grid, min_size=3)
+        assert len(clusters) == 1
+        assert clusters[0].size >= grid.rows - 4
+
+    def test_min_size_filters_specks(self):
+        cells = np.full((10, 10), int(CellState.UNKNOWN), dtype=np.uint8)
+        cells[5, 5] = int(CellState.FREE)  # one isolated free cell
+        grid = OccupancyGrid(cells, resolution=0.05)
+        assert cluster_frontiers(grid, min_size=3) == []
+        assert len(cluster_frontiers(grid, min_size=1)) == 1
+
+    def test_rejects_bad_min_size(self):
+        with pytest.raises(MapError):
+            cluster_frontiers(half_explored_room(), min_size=0)
+
+    def test_centroid_cell_is_member(self):
+        grid = half_explored_room()
+        cluster = cluster_frontiers(grid)[0]
+        row, col = cluster.centroid_cell()
+        members = set(zip(cluster.rows.tolist(), cluster.cols.tolist()))
+        assert (row, col) in members
+
+
+class TestSelectGoal:
+    def test_goal_on_reachable_frontier(self):
+        grid = half_explored_room()
+        start = (0.5, 1.0)
+        goal = select_goal(grid, start, clearance_m=0.1)
+        assert goal is not None
+        # The target sits near the frontier column.
+        half_x = grid.cols // 2 * grid.resolution
+        assert goal.target_xy[0] > half_x - 0.5
+        assert goal.route[0] == start
+        assert goal.cluster_size > 3
+
+    def test_no_goal_when_fully_explored(self):
+        cells = np.zeros((20, 20), dtype=np.uint8)
+        cells[0, :] = cells[-1, :] = cells[:, 0] = cells[:, -1] = int(
+            CellState.OCCUPIED
+        )
+        grid = OccupancyGrid(cells, resolution=0.05)
+        assert select_goal(grid, (0.5, 0.5), clearance_m=0.1) is None
+
+    def test_unreachable_frontier_skipped(self):
+        # Frontier behind a sealed wall: no goal rather than a crash.
+        cells = np.full((20, 20), int(CellState.UNKNOWN), dtype=np.uint8)
+        cells[1:19, 1:8] = int(CellState.FREE)  # reachable room, fully walled
+        cells[0, :] = cells[-1, :] = int(CellState.OCCUPIED)
+        cells[:, 0] = int(CellState.OCCUPIED)
+        cells[:, 8] = int(CellState.OCCUPIED)  # seals the room completely
+        cells[1:19, 9:12] = int(CellState.FREE)  # free corridor beyond the seal
+        grid = OccupancyGrid(cells, resolution=0.05)
+        goal = select_goal(grid, (0.2, 0.5), clearance_m=0.05)
+        # The frontier of the outer corridor is unreachable from inside.
+        if goal is not None:
+            # If a goal is returned it must be inside the sealed room.
+            assert goal.target_xy[0] < 8 * 0.05

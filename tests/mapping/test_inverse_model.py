@@ -1,0 +1,100 @@
+"""Tests for the inverse sensor model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.mapping.inverse_model import (
+    InverseModelConfig,
+    beam_evidence,
+    trace_beam_cells,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        InverseModelConfig()
+
+    def test_rejects_nonpositive_increments(self):
+        with pytest.raises(ConfigurationError):
+            InverseModelConfig(l_occupied=0.0)
+        with pytest.raises(ConfigurationError):
+            InverseModelConfig(l_free=-1.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            InverseModelConfig(hit_window_m=0.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            InverseModelConfig(max_range_fraction=0.0)
+
+
+class TestTraceBeamCells:
+    def test_horizontal_beam_visits_each_cell_once(self):
+        rows, cols = trace_beam_cells(0.025, 0.025, 0.0, 0.5, 0.05, 0.0, 0.0)
+        assert np.all(rows == 0)
+        np.testing.assert_array_equal(np.sort(cols), np.arange(len(cols)))
+        assert len(cols) == 11  # cells 0..10 inclusive of the endpoint cell
+
+    def test_zero_length_is_empty(self):
+        rows, cols = trace_beam_cells(0.0, 0.0, 0.0, 0.0, 0.05, 0.0, 0.0)
+        assert rows.size == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 2.0),
+        st.floats(-math.pi, math.pi),
+        st.floats(0.05, 2.0),
+    )
+    def test_property_cells_connected(self, x, y, angle, length):
+        rows, cols = trace_beam_cells(x, y, angle, length, 0.05, 0.0, 0.0)
+        assert rows.size >= 1
+        # Consecutive traversed cells differ by at most one step in each axis.
+        assert np.all(np.abs(np.diff(rows)) <= 1)
+        assert np.all(np.abs(np.diff(cols)) <= 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-math.pi, math.pi), st.floats(0.1, 3.0))
+    def test_property_start_and_end_cells_included(self, angle, length):
+        rows, cols = trace_beam_cells(1.0, 1.0, angle, length, 0.05, 0.0, 0.0)
+        start = (int(np.floor(1.0 / 0.05)), int(np.floor(1.0 / 0.05)))
+        end_x = 1.0 + math.cos(angle) * length
+        end_y = 1.0 + math.sin(angle) * length
+        end = (int(np.floor(end_y / 0.05)), int(np.floor(end_x / 0.05)))
+        cells = set(zip(rows.tolist(), cols.tolist()))
+        assert (start[1], start[0])[::-1] in cells or start in cells
+        assert end in cells
+
+
+class TestBeamEvidence:
+    def test_hit_beam_splits_free_and_hit(self):
+        config = InverseModelConfig()
+        update = beam_evidence(
+            0.025, 0.025, 0.0, 1.0, 4.0, 0.05, 0.0, 0.0, config
+        )
+        assert update.free_rows.size > 0
+        assert update.hit_rows.size > 0
+        # Hit cells sit at the measured range (col ~ 1.0/0.05 = 20).
+        assert np.all(update.hit_cols >= 18)
+        # Free cells stop short of the hit window.
+        assert np.all(update.free_cols <= 20)
+
+    def test_out_of_range_clears_only(self):
+        config = InverseModelConfig()
+        update = beam_evidence(0.0, 0.0, 0.0, 4.0, 4.0, 0.05, 0.0, 0.0, config)
+        assert update.free_rows.size > 0
+        assert update.hit_rows.size == 0
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ConfigurationError):
+            beam_evidence(0, 0, 0, -1.0, 4.0, 0.05, 0, 0, InverseModelConfig())
+
+    def test_zero_range_no_free(self):
+        update = beam_evidence(0, 0, 0, 0.0, 4.0, 0.05, 0, 0, InverseModelConfig())
+        assert update.free_rows.size == 0
+        assert update.hit_rows.size > 0  # obstacle right at the sensor

@@ -1,0 +1,141 @@
+"""Tests for primitive rasterization into occupancy grids."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MapError
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState, OccupancyGrid
+
+
+class TestConstruction:
+    def test_rejects_bad_extent(self):
+        with pytest.raises(MapError):
+            MapBuilder(0.0, 1.0)
+        with pytest.raises(MapError):
+            MapBuilder(1.0, -1.0)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(MapError):
+            MapBuilder(1.0, 1.0, resolution=0.0)
+
+    def test_starts_unknown(self):
+        grid = MapBuilder(1.0, 1.0, resolution=0.1).build()
+        assert np.all(grid.cells == CellState.UNKNOWN)
+        assert grid.rows == 10 and grid.cols == 10
+
+
+class TestFillRect:
+    def test_fill_free(self):
+        grid = MapBuilder(1.0, 1.0, 0.1).fill_rect(0.0, 0.0, 1.0, 1.0).build()
+        assert np.all(grid.cells == CellState.FREE)
+
+    def test_partial_fill(self):
+        grid = MapBuilder(1.0, 1.0, 0.1).fill_rect(0.0, 0.0, 0.5, 1.0).build()
+        assert np.all(grid.cells[:, :5] == CellState.FREE)
+        assert np.all(grid.cells[:, 5:] == CellState.UNKNOWN)
+
+    def test_rect_outside_is_clipped(self):
+        grid = MapBuilder(1.0, 1.0, 0.1).fill_rect(-5.0, -5.0, 10.0, 10.0).build()
+        assert np.all(grid.cells == CellState.FREE)
+
+    def test_degenerate_rect_rejected(self):
+        with pytest.raises(MapError):
+            MapBuilder(1.0, 1.0).fill_rect(0.5, 0.5, 0.1, 0.6)
+
+
+class TestWalls:
+    def test_horizontal_wall_occupies_row(self):
+        builder = MapBuilder(1.0, 1.0, 0.1).fill_rect(0, 0, 1, 1)
+        grid = builder.add_wall(0.0, 0.5, 1.0, 0.5, thickness=0.1).build()
+        # The wall line y=0.5 borders rows 4 and 5; with 0.1 thickness the
+        # cell centers at y=0.45 and 0.55 are both within half thickness.
+        assert np.all(grid.cells[4, :] == CellState.OCCUPIED) or np.all(
+            grid.cells[5, :] == CellState.OCCUPIED
+        )
+
+    def test_wall_thickness_controls_width(self):
+        thin = (
+            MapBuilder(2.0, 2.0, 0.05)
+            .fill_rect(0, 0, 2, 2)
+            .add_wall(1.0, 0.0, 1.0, 2.0, thickness=0.05)
+            .build()
+        )
+        thick = (
+            MapBuilder(2.0, 2.0, 0.05)
+            .fill_rect(0, 0, 2, 2)
+            .add_wall(1.0, 0.0, 1.0, 2.0, thickness=0.3)
+            .build()
+        )
+        assert thick.occupied_mask().sum() > thin.occupied_mask().sum()
+
+    def test_diagonal_wall_connects_endpoints(self):
+        grid = (
+            MapBuilder(1.0, 1.0, 0.05)
+            .fill_rect(0, 0, 1, 1)
+            .add_wall(0.1, 0.1, 0.9, 0.9, thickness=0.08)
+            .build()
+        )
+        occupied = grid.occupied_mask()
+        assert occupied[grid.world_to_grid(0.1, 0.1)]
+        assert occupied[grid.world_to_grid(0.9, 0.9)]
+        assert occupied[grid.world_to_grid(0.5, 0.5)]
+
+    def test_point_wall(self):
+        grid = (
+            MapBuilder(1.0, 1.0, 0.1)
+            .fill_rect(0, 0, 1, 1)
+            .add_wall(0.55, 0.55, 0.55, 0.55, thickness=0.1)
+            .build()
+        )
+        assert grid.state_at(0.55, 0.55) is CellState.OCCUPIED
+
+    def test_wall_fully_outside_is_noop(self):
+        grid = (
+            MapBuilder(1.0, 1.0, 0.1)
+            .fill_rect(0, 0, 1, 1)
+            .add_wall(5.0, 5.0, 6.0, 6.0)
+            .build()
+        )
+        assert grid.occupied_mask().sum() == 0
+
+    def test_invalid_thickness(self):
+        with pytest.raises(MapError):
+            MapBuilder(1.0, 1.0).add_wall(0, 0, 1, 1, thickness=0.0)
+
+    def test_border_encloses_map(self):
+        grid = MapBuilder(1.0, 1.0, 0.05).fill_rect(0, 0, 1, 1).add_border().build()
+        assert np.all(grid.cells[0, :] == CellState.OCCUPIED)
+        assert np.all(grid.cells[-1, :] == CellState.OCCUPIED)
+        assert np.all(grid.cells[:, 0] == CellState.OCCUPIED)
+        assert np.all(grid.cells[:, -1] == CellState.OCCUPIED)
+
+
+class TestStamp:
+    def test_stamp_copies_known_cells(self):
+        small = OccupancyGrid(
+            np.array([[1, 0], [0, 2]], dtype=np.uint8), resolution=0.1
+        )
+        grid = MapBuilder(1.0, 1.0, 0.1).stamp(small, 0.2, 0.3).build()
+        assert grid.state_at(0.25, 0.35) is CellState.OCCUPIED
+        assert grid.state_at(0.35, 0.35) is CellState.FREE
+        # UNKNOWN source cells do not overwrite.
+        assert grid.state_at(0.35, 0.45) is CellState.UNKNOWN
+
+    def test_stamp_resolution_mismatch(self):
+        small = OccupancyGrid(np.zeros((2, 2), dtype=np.uint8), resolution=0.2)
+        with pytest.raises(MapError):
+            MapBuilder(1.0, 1.0, 0.1).stamp(small, 0.0, 0.0)
+
+    def test_stamp_must_fit(self):
+        small = OccupancyGrid(np.zeros((5, 5), dtype=np.uint8), resolution=0.1)
+        with pytest.raises(MapError):
+            MapBuilder(0.4, 0.4, 0.1).stamp(small, 0.0, 0.0)
+
+    def test_build_returns_copy(self):
+        builder = MapBuilder(1.0, 1.0, 0.1).fill_rect(0, 0, 1, 1)
+        first = builder.build()
+        builder.add_box(0.0, 0.0, 1.0, 1.0)
+        second = builder.build()
+        assert np.all(first.cells == CellState.FREE)
+        assert np.all(second.cells == CellState.OCCUPIED)

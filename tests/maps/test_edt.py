@@ -1,0 +1,120 @@
+"""Tests for the Felzenszwalb–Huttenlocher Euclidean distance transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy import ndimage
+
+from repro.common.errors import MapError
+from repro.maps.edt import brute_force_edt, euclidean_distance_field, squared_edt
+from repro.maps.occupancy import CellState, OccupancyGrid
+
+
+def _scipy_reference(mask: np.ndarray) -> np.ndarray:
+    """scipy computes distance of nonzero cells to the nearest zero cell."""
+    return ndimage.distance_transform_edt(~mask)
+
+
+class TestSquaredEdt:
+    def test_single_obstacle(self):
+        mask = np.zeros((5, 5), dtype=bool)
+        mask[2, 2] = True
+        dist = np.sqrt(squared_edt(mask))
+        assert dist[2, 2] == 0.0
+        assert dist[2, 3] == pytest.approx(1.0)
+        assert dist[0, 0] == pytest.approx(np.sqrt(8.0))
+
+    def test_matches_scipy_on_random_masks(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            mask = rng.random((20, 30)) < 0.1
+            if not mask.any():
+                mask[0, 0] = True
+            ours = np.sqrt(squared_edt(mask))
+            np.testing.assert_allclose(ours, _scipy_reference(mask), atol=1e-9)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        mask = rng.random((12, 9)) < 0.15
+        mask[3, 3] = True
+        np.testing.assert_allclose(
+            np.sqrt(squared_edt(mask)), brute_force_edt(mask), atol=1e-9
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(MapError):
+            squared_edt(np.zeros(5, dtype=bool))
+
+    def test_all_obstacles_zero_everywhere(self):
+        mask = np.ones((4, 4), dtype=bool)
+        np.testing.assert_array_equal(squared_edt(mask), np.zeros((4, 4)))
+
+    def test_no_obstacles_is_effectively_infinite(self):
+        assert np.all(squared_edt(np.zeros((3, 3), dtype=bool)) >= 1e19)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 16), st.integers(2, 16))
+    def test_property_matches_scipy(self, seed, rows, cols):
+        rng = np.random.default_rng(seed)
+        mask = rng.random((rows, cols)) < 0.25
+        if not mask.any():
+            mask[rows // 2, cols // 2] = True
+        np.testing.assert_allclose(
+            np.sqrt(squared_edt(mask)), _scipy_reference(mask), atol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_property_triangle_inequality_on_neighbours(self, seed):
+        # EDT values of 4-adjacent cells can differ by at most 1 cell.
+        rng = np.random.default_rng(seed)
+        mask = rng.random((15, 15)) < 0.2
+        if not mask.any():
+            mask[7, 7] = True
+        dist = np.sqrt(squared_edt(mask))
+        assert np.all(np.abs(np.diff(dist, axis=0)) <= 1.0 + 1e-9)
+        assert np.all(np.abs(np.diff(dist, axis=1)) <= 1.0 + 1e-9)
+
+
+class TestEuclideanDistanceField:
+    def _grid_with_center_wall(self) -> OccupancyGrid:
+        cells = np.zeros((21, 21), dtype=np.uint8)
+        cells[:, 10] = CellState.OCCUPIED
+        return OccupancyGrid(cells, resolution=0.1)
+
+    def test_metric_scaling(self):
+        grid = self._grid_with_center_wall()
+        dist = euclidean_distance_field(grid)
+        # 5 cells from the wall at 0.1 m resolution.
+        assert dist[0, 5] == pytest.approx(0.5)
+
+    def test_truncation(self):
+        grid = self._grid_with_center_wall()
+        dist = euclidean_distance_field(grid, r_max=0.3)
+        assert dist.max() == pytest.approx(0.3)
+        assert dist[0, 5] == pytest.approx(0.3)  # 0.5 clipped
+        assert dist[0, 8] == pytest.approx(0.2)  # below truncation untouched
+
+    def test_zero_on_occupied_cells(self):
+        grid = self._grid_with_center_wall()
+        dist = euclidean_distance_field(grid, r_max=1.0)
+        assert np.all(dist[grid.occupied_mask()] == 0.0)
+
+    def test_unknown_cells_still_get_distances(self):
+        cells = np.full((5, 5), int(CellState.UNKNOWN), dtype=np.uint8)
+        cells[2, 2] = CellState.OCCUPIED
+        grid = OccupancyGrid(cells, resolution=1.0)
+        dist = euclidean_distance_field(grid, r_max=10.0)
+        assert dist[2, 3] == pytest.approx(1.0)
+
+    def test_no_obstacles_requires_rmax(self):
+        grid = OccupancyGrid(np.zeros((4, 4), dtype=np.uint8))
+        with pytest.raises(MapError):
+            euclidean_distance_field(grid)
+        dist = euclidean_distance_field(grid, r_max=1.5)
+        assert np.all(dist == 1.5)
+
+    def test_invalid_rmax(self):
+        grid = self._grid_with_center_wall()
+        with pytest.raises(MapError):
+            euclidean_distance_field(grid, r_max=-0.1)

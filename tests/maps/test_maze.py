@@ -1,0 +1,167 @@
+"""Tests for the drone maze worlds (paper Sec. IV-A setup)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MapError
+from repro.maps.edt import squared_edt
+from repro.maps.maze import (
+    ARTIFICIAL_MAZE_SIZE_M,
+    MAIN_MAZE_SIZE_M,
+    TOTAL_STRUCTURED_AREA_M2,
+    build_drone_maze_world,
+    generate_maze,
+    main_drone_maze,
+)
+from repro.maps.occupancy import CellState
+
+
+def _connected_free_components(cells: np.ndarray) -> int:
+    """Count 4-connected components of FREE cells (simple BFS)."""
+    free = cells == CellState.FREE
+    seen = np.zeros_like(free)
+    components = 0
+    rows, cols = free.shape
+    for start_r, start_c in zip(*np.nonzero(free)):
+        if seen[start_r, start_c]:
+            continue
+        components += 1
+        stack = [(start_r, start_c)]
+        seen[start_r, start_c] = True
+        while stack:
+            r, c = stack.pop()
+            for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nr, nc = r + dr, c + dc
+                if 0 <= nr < rows and 0 <= nc < cols and free[nr, nc] and not seen[nr, nc]:
+                    seen[nr, nc] = True
+                    stack.append((nr, nc))
+    return components
+
+
+class TestMainMaze:
+    def test_extent(self):
+        grid = main_drone_maze()
+        assert grid.width_m == pytest.approx(MAIN_MAZE_SIZE_M)
+        assert grid.height_m == pytest.approx(MAIN_MAZE_SIZE_M)
+
+    def test_has_free_and_occupied(self):
+        grid = main_drone_maze()
+        assert grid.free_cell_count() > 0
+        assert grid.occupied_mask().sum() > 0
+        assert np.count_nonzero(grid.cells == CellState.UNKNOWN) == 0
+
+    def test_border_closed(self):
+        grid = main_drone_maze()
+        assert np.all(grid.cells[0, :] == CellState.OCCUPIED)
+        assert np.all(grid.cells[-1, :] == CellState.OCCUPIED)
+        assert np.all(grid.cells[:, 0] == CellState.OCCUPIED)
+        assert np.all(grid.cells[:, -1] == CellState.OCCUPIED)
+
+    def test_free_space_is_one_connected_component(self):
+        # A drone must be able to reach every corridor.
+        assert _connected_free_components(main_drone_maze().cells) == 1
+
+    def test_corridors_wide_enough_to_fly(self):
+        # Somewhere the free space must be at least 0.3 m from any wall.
+        grid = main_drone_maze()
+        dist = np.sqrt(squared_edt(grid.occupied_mask())) * grid.resolution
+        assert float(dist[grid.free_mask()].max()) >= 0.3
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(main_drone_maze().cells, main_drone_maze().cells)
+
+
+class TestGenerateMaze:
+    def test_extent_and_states(self):
+        grid = generate_maze(seed=3)
+        assert grid.width_m == pytest.approx(ARTIFICIAL_MAZE_SIZE_M)
+        assert grid.free_cell_count() > 0
+        assert grid.occupied_mask().sum() > 0
+
+    def test_distinct_seeds_distinct_layouts(self):
+        a = generate_maze(seed=1)
+        b = generate_maze(seed=2)
+        assert not np.array_equal(a.cells, b.cells)
+
+    def test_same_seed_reproduces(self):
+        np.testing.assert_array_equal(generate_maze(seed=5).cells, generate_maze(seed=5).cells)
+
+    def test_fully_connected_free_space(self):
+        for seed in (0, 1, 2, 3):
+            assert _connected_free_components(generate_maze(seed=seed).cells) == 1
+
+    def test_border_closed(self):
+        grid = generate_maze(seed=9)
+        assert np.all(grid.cells[0, :] == CellState.OCCUPIED)
+        assert np.all(grid.cells[:, -1] == CellState.OCCUPIED)
+
+    def test_braiding_opens_loops(self):
+        perfect = generate_maze(seed=4, braid_fraction=0.0)
+        braided = generate_maze(seed=4, braid_fraction=0.8)
+        assert braided.occupied_mask().sum() < perfect.occupied_mask().sum()
+
+    def test_too_few_cells_rejected(self):
+        with pytest.raises(MapError):
+            generate_maze(cells=1)
+
+
+class TestDroneWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_drone_maze_world(seed=7)
+
+    def test_structured_area_matches_paper(self, world):
+        # Paper: 31.2 m² of structured area.
+        assert world.grid.structured_area_m2() == pytest.approx(
+            TOTAL_STRUCTURED_AREA_M2, rel=0.01
+        )
+        assert TOTAL_STRUCTURED_AREA_M2 == pytest.approx(31.2, abs=0.05)
+
+    def test_main_maze_is_16_m2(self, world):
+        assert world.main.size_m**2 == pytest.approx(16.0)
+
+    def test_three_artificial_mazes(self, world):
+        assert len(world.artificial) == 3
+        names = {p.name for p in world.artificial}
+        assert len(names) == 3
+
+    def test_mazes_do_not_overlap(self, world):
+        placements = world.placements
+        for i, a in enumerate(placements):
+            for b in placements[i + 1 :]:
+                no_x_overlap = (
+                    a.origin_x + a.size_m <= b.origin_x or b.origin_x + b.size_m <= a.origin_x
+                )
+                no_y_overlap = (
+                    a.origin_y + a.size_m <= b.origin_y or b.origin_y + b.size_m <= a.origin_y
+                )
+                assert no_x_overlap or no_y_overlap
+
+    def test_maze_containing(self, world):
+        center_main = (
+            world.main.origin_x + world.main.size_m / 2,
+            world.main.origin_y + world.main.size_m / 2,
+        )
+        assert world.maze_containing(*center_main) is world.main
+        assert world.maze_containing(-10.0, -10.0) is None
+
+    def test_space_between_mazes_unknown(self, world):
+        # A point between the main maze and the right artificial maze.
+        x = world.main.origin_x + world.main.size_m + 0.3
+        y = world.main.origin_y + 1.0
+        assert world.grid.state_at(x, y) is CellState.UNKNOWN
+
+    def test_free_space_exists_in_every_maze(self, world):
+        for placement in world.placements:
+            cx = placement.origin_x + placement.size_m / 2
+            cy = placement.origin_y + placement.size_m / 2
+            row, col = world.grid.world_to_grid(cx, cy)
+            window = world.grid.cells[
+                max(row - 10, 0) : row + 10, max(col - 10, 0) : col + 10
+            ]
+            assert np.any(window == CellState.FREE)
+
+    def test_deterministic(self):
+        a = build_drone_maze_world(seed=7)
+        b = build_drone_maze_world(seed=7)
+        np.testing.assert_array_equal(a.grid.cells, b.grid.cells)

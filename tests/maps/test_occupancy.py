@@ -1,0 +1,165 @@
+"""Tests for the three-state occupancy grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import MapError
+from repro.common.rng import make_rng
+from repro.maps.occupancy import CellState, OccupancyGrid
+
+
+def small_grid() -> OccupancyGrid:
+    cells = np.array(
+        [
+            [0, 0, 1],
+            [0, 2, 1],
+            [1, 1, 1],
+        ],
+        dtype=np.uint8,
+    )
+    return OccupancyGrid(cells, resolution=0.5, origin_x=1.0, origin_y=-1.0)
+
+
+class TestConstruction:
+    def test_rejects_non_2d(self):
+        with pytest.raises(MapError):
+            OccupancyGrid(np.zeros(4, dtype=np.uint8))
+
+    def test_rejects_empty(self):
+        with pytest.raises(MapError):
+            OccupancyGrid(np.zeros((0, 3), dtype=np.uint8))
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(MapError):
+            OccupancyGrid(np.zeros((2, 2), dtype=np.uint8), resolution=0.0)
+
+    def test_rejects_invalid_state_codes(self):
+        with pytest.raises(MapError):
+            OccupancyGrid(np.full((2, 2), 7, dtype=np.uint8))
+
+    def test_stores_one_byte_per_cell(self):
+        grid = small_grid()
+        assert grid.cells.dtype == np.uint8
+        assert grid.memory_bytes() == 9
+
+
+class TestExtent:
+    def test_shape_and_metric_extent(self):
+        grid = small_grid()
+        assert (grid.rows, grid.cols) == (3, 3)
+        assert grid.width_m == pytest.approx(1.5)
+        assert grid.height_m == pytest.approx(1.5)
+        assert grid.area_m2 == pytest.approx(2.25)
+
+    def test_structured_area_excludes_unknown(self):
+        grid = small_grid()
+        # 8 known cells of 0.25 m² each.
+        assert grid.structured_area_m2() == pytest.approx(8 * 0.25)
+
+
+class TestTransforms:
+    def test_world_to_grid_and_back(self):
+        grid = small_grid()
+        row, col = grid.world_to_grid(1.25, -0.75)
+        assert (row, col) == (0, 0)
+        x, y = grid.grid_to_world(0, 0)
+        assert (x, y) == (pytest.approx(1.25), pytest.approx(-0.75))
+
+    def test_world_to_grid_arrays(self):
+        grid = small_grid()
+        rows, cols = grid.world_to_grid(np.array([1.1, 2.4]), np.array([-0.9, 0.4]))
+        np.testing.assert_array_equal(rows, [0, 2])
+        np.testing.assert_array_equal(cols, [0, 2])
+
+    def test_in_bounds(self):
+        grid = small_grid()
+        assert bool(grid.in_bounds(0, 0))
+        assert not bool(grid.in_bounds(-1, 0))
+        assert not bool(grid.in_bounds(0, 3))
+
+    @given(st.floats(0.0, 1.49), st.floats(0.0, 1.49))
+    def test_grid_cell_contains_its_world_point(self, dx, dy):
+        grid = small_grid()
+        x = 1.0 + dx
+        y = -1.0 + dy
+        row, col = grid.world_to_grid(x, y)
+        cx, cy = grid.grid_to_world(row, col)
+        assert abs(cx - x) <= grid.resolution / 2 + 1e-9
+        assert abs(cy - y) <= grid.resolution / 2 + 1e-9
+
+
+class TestStateQueries:
+    def test_state_at(self):
+        grid = small_grid()
+        assert grid.state_at(1.25, -0.75) is CellState.FREE
+        assert grid.state_at(2.25, -0.75) is CellState.OCCUPIED
+        assert grid.state_at(1.75, -0.25) is CellState.UNKNOWN
+
+    def test_out_of_map_is_unknown(self):
+        grid = small_grid()
+        assert grid.state_at(100.0, 100.0) is CellState.UNKNOWN
+
+    def test_masks_consistent(self):
+        grid = small_grid()
+        assert grid.free_cell_count() == 3
+        assert int(grid.occupied_mask().sum()) == 5
+        assert int(grid.free_mask().sum()) + int(grid.occupied_mask().sum()) <= grid.cells.size
+
+
+class TestSampling:
+    def test_samples_lie_in_free_cells(self):
+        grid = small_grid()
+        rng = make_rng(0, "test")
+        x, y = grid.sample_free_points(500, rng)
+        for xi, yi in zip(x, y):
+            assert grid.is_free(float(xi), float(yi))
+
+    def test_sampling_covers_all_free_cells(self):
+        grid = small_grid()
+        rng = make_rng(1, "test")
+        x, y = grid.sample_free_points(600, rng)
+        rows, cols = grid.world_to_grid(x, y)
+        hit = set(zip(rows.tolist(), cols.tolist()))
+        assert hit == {(0, 0), (0, 1), (1, 0)}
+
+    def test_no_free_space_raises(self):
+        grid = OccupancyGrid(np.ones((2, 2), dtype=np.uint8))
+        with pytest.raises(MapError):
+            grid.sample_free_points(1, make_rng(0, "t"))
+
+
+class TestIo:
+    def test_npz_roundtrip(self, tmp_path):
+        grid = small_grid()
+        path = tmp_path / "map.npz"
+        grid.save_npz(path)
+        loaded = OccupancyGrid.load_npz(path)
+        np.testing.assert_array_equal(loaded.cells, grid.cells)
+        assert loaded.resolution == grid.resolution
+        assert loaded.origin_x == grid.origin_x
+        assert loaded.origin_y == grid.origin_y
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(MapError):
+            OccupancyGrid.load_npz(tmp_path / "absent.npz")
+
+    def test_ascii_roundtrip(self):
+        grid = small_grid()
+        art = grid.to_ascii()
+        parsed = OccupancyGrid.from_ascii(art, resolution=0.5, origin_x=1.0, origin_y=-1.0)
+        np.testing.assert_array_equal(parsed.cells, grid.cells)
+
+    def test_ascii_orientation_bottom_row_first_in_grid(self):
+        art = "#\n."  # top row wall, bottom row free
+        grid = OccupancyGrid.from_ascii(art)
+        assert grid.cells[0, 0] == CellState.FREE  # row 0 = bottom
+        assert grid.cells[1, 0] == CellState.OCCUPIED
+
+    def test_ascii_rejects_bad_chars(self):
+        with pytest.raises(MapError):
+            OccupancyGrid.from_ascii("x")
+
+    def test_ascii_rejects_empty(self):
+        with pytest.raises(MapError):
+            OccupancyGrid.from_ascii("")

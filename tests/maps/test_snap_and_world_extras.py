@@ -1,0 +1,72 @@
+"""Extra coverage: clearance snapping and world-geometry edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MapError
+from repro.maps.builder import MapBuilder
+from repro.maps.edt import euclidean_distance_field
+from repro.maps.occupancy import CellState, OccupancyGrid
+from repro.maps.planning import snap_to_clearance
+
+
+def open_room():
+    return (
+        MapBuilder(2.0, 2.0, 0.05)
+        .fill_rect(0, 0, 2, 2, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+class TestSnapToClearance:
+    def test_valid_point_unchanged(self):
+        grid = open_room()
+        assert snap_to_clearance(grid, (1.0, 1.0), 0.2) == (1.0, 1.0)
+
+    def test_point_in_wall_snaps_inward(self):
+        grid = open_room()
+        snapped = snap_to_clearance(grid, (0.02, 1.0), 0.2)
+        assert snapped != (0.02, 1.0)
+        edt = euclidean_distance_field(grid, r_max=1.0)
+        row, col = grid.world_to_grid(*snapped)
+        assert edt[int(row), int(col)] >= 0.2
+
+    def test_point_outside_map_snaps_inside(self):
+        grid = open_room()
+        snapped = snap_to_clearance(grid, (-3.0, -3.0), 0.2)
+        assert grid.is_free(*snapped)
+
+    def test_snaps_to_nearest(self):
+        grid = open_room()
+        near_left = snap_to_clearance(grid, (0.0, 1.0), 0.2)
+        near_right = snap_to_clearance(grid, (2.0, 1.0), 0.2)
+        assert near_left[0] < 1.0
+        assert near_right[0] > 1.0
+
+    def test_impossible_clearance_raises(self):
+        grid = open_room()
+        with pytest.raises(MapError):
+            snap_to_clearance(grid, (1.0, 1.0), clearance_m=5.0)
+
+
+class TestOccupancyEdgeCases:
+    def test_single_cell_grid(self):
+        grid = OccupancyGrid(np.array([[0]], dtype=np.uint8), resolution=1.0)
+        assert grid.free_cell_count() == 1
+        assert grid.area_m2 == 1.0
+
+    def test_negative_origin_transforms(self):
+        grid = OccupancyGrid(
+            np.zeros((4, 4), dtype=np.uint8),
+            resolution=0.5,
+            origin_x=-1.0,
+            origin_y=-1.0,
+        )
+        row, col = grid.world_to_grid(-0.75, 0.75)
+        assert (row, col) == (3, 0)
+        assert grid.is_free(-0.9, -0.9)
+
+    def test_state_on_exact_boundary_is_outside(self):
+        grid = OccupancyGrid(np.zeros((4, 4), dtype=np.uint8), resolution=0.5)
+        assert grid.state_at(2.0, 1.0) is CellState.UNKNOWN  # x == width

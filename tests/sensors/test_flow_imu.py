@@ -1,0 +1,104 @@
+"""Tests for the optical-flow and gyro models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SensorError
+from repro.common.rng import make_rng
+from repro.sensors.flow import FlowDeck, FlowDeckSpec
+from repro.sensors.imu import Gyro, GyroSpec
+
+
+class TestFlowDeckSpec:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SensorError):
+            FlowDeckSpec(rate_hz=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(SensorError):
+            FlowDeckSpec(velocity_noise_sigma=-0.1)
+
+
+class TestFlowDeck:
+    def test_rejects_bad_height(self):
+        with pytest.raises(SensorError):
+            FlowDeck(FlowDeckSpec(), make_rng(0, "f"), flight_height_m=0.0)
+
+    def test_scale_error_is_fixed_per_flight(self):
+        deck = FlowDeck(FlowDeckSpec(), make_rng(0, "f"))
+        scale = deck.scale
+        for i in range(5):
+            deck.measure(0.3, 0.0, 0.01, float(i))
+        assert deck.scale == scale
+
+    def test_measurement_tracks_velocity(self):
+        spec = FlowDeckSpec(velocity_noise_sigma=0.001, bias_walk_sigma=0.0, scale_error_sigma=0.0)
+        deck = FlowDeck(spec, make_rng(1, "f"))
+        m = deck.measure(0.4, -0.2, 0.01, 0.0)
+        assert m.vx == pytest.approx(0.4, abs=0.01)
+        assert m.vy == pytest.approx(-0.2, abs=0.01)
+
+    def test_noise_magnitude(self):
+        spec = FlowDeckSpec(velocity_noise_sigma=0.05, bias_walk_sigma=0.0, scale_error_sigma=0.0)
+        deck = FlowDeck(spec, make_rng(2, "f"))
+        vx = [deck.measure(0.0, 0.0, 0.01, i * 0.01).vx for i in range(400)]
+        assert 0.03 < float(np.std(vx)) < 0.07
+
+    def test_bias_stays_bounded(self):
+        spec = FlowDeckSpec(bias_walk_sigma=1.0, bias_limit=0.06, velocity_noise_sigma=0.0,
+                            scale_error_sigma=0.0)
+        deck = FlowDeck(spec, make_rng(3, "f"))
+        for i in range(200):
+            m = deck.measure(0.0, 0.0, 0.01, i * 0.01)
+        assert abs(m.vx) <= 0.06 + 1e-9
+        assert abs(m.vy) <= 0.06 + 1e-9
+
+    def test_height_reported_near_flight_height(self):
+        deck = FlowDeck(FlowDeckSpec(), make_rng(4, "f"), flight_height_m=0.5)
+        m = deck.measure(0.0, 0.0, 0.01, 0.0)
+        assert m.height_m == pytest.approx(0.5, abs=0.05)
+
+    def test_negative_dt_rejected(self):
+        deck = FlowDeck(FlowDeckSpec(), make_rng(5, "f"))
+        with pytest.raises(SensorError):
+            deck.measure(0.0, 0.0, -0.01, 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = FlowDeck(FlowDeckSpec(), make_rng(6, "f")).measure(0.2, 0.1, 0.01, 0.0)
+        b = FlowDeck(FlowDeckSpec(), make_rng(6, "f")).measure(0.2, 0.1, 0.01, 0.0)
+        assert a.vx == b.vx and a.vy == b.vy
+
+
+class TestGyro:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(SensorError):
+            GyroSpec(rate_hz=-1.0)
+
+    def test_tracks_rate(self):
+        spec = GyroSpec(rate_noise_sigma=0.001, bias_walk_sigma=0.0, initial_bias_sigma=0.0)
+        gyro = Gyro(spec, make_rng(0, "g"))
+        m = gyro.measure(0.5, 0.01, 0.0)
+        assert m.yaw_rate == pytest.approx(0.5, abs=0.01)
+
+    def test_bias_bounded(self):
+        spec = GyroSpec(bias_walk_sigma=1.0, bias_limit=0.02, rate_noise_sigma=0.0,
+                        initial_bias_sigma=0.0)
+        gyro = Gyro(spec, make_rng(1, "g"))
+        for i in range(300):
+            gyro.measure(0.0, 0.01, i * 0.01)
+        assert abs(gyro.bias) <= 0.02 + 1e-12
+
+    def test_initial_bias_randomized(self):
+        biases = {Gyro(GyroSpec(), make_rng(seed, "g")).bias for seed in range(5)}
+        assert len(biases) == 5
+
+    def test_negative_dt_rejected(self):
+        gyro = Gyro(GyroSpec(), make_rng(2, "g"))
+        with pytest.raises(SensorError):
+            gyro.measure(0.0, -0.01, 0.0)
+
+    def test_white_noise_statistics(self):
+        spec = GyroSpec(rate_noise_sigma=0.01, bias_walk_sigma=0.0, initial_bias_sigma=0.0)
+        gyro = Gyro(spec, make_rng(3, "g"))
+        rates = [gyro.measure(0.0, 0.01, i * 0.01).yaw_rate for i in range(500)]
+        assert 0.007 < float(np.std(rates)) < 0.013

@@ -1,0 +1,142 @@
+"""Tests for the DDA grid raycaster."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import MapError
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState, OccupancyGrid
+from repro.sensors.raycast import cast_ray, cast_rays, incidence_angle
+
+
+def box_room(size: float = 2.0, res: float = 0.05) -> OccupancyGrid:
+    return (
+        MapBuilder(size, size, res)
+        .fill_rect(0, 0, size, size, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+class TestCastRay:
+    def test_hit_right_wall(self):
+        grid = box_room()
+        # From the center, facing +x: wall cells start at x = 1.95.
+        dist = cast_ray(grid, 1.0, 1.0, 0.0, max_range=5.0)
+        assert dist == pytest.approx(0.95, abs=grid.resolution)
+
+    def test_hit_left_wall(self):
+        grid = box_room()
+        dist = cast_ray(grid, 1.0, 1.0, math.pi, max_range=5.0)
+        assert dist == pytest.approx(0.95, abs=grid.resolution)
+
+    def test_hit_top_wall(self):
+        grid = box_room()
+        dist = cast_ray(grid, 1.0, 1.0, math.pi / 2, max_range=5.0)
+        assert dist == pytest.approx(0.95, abs=grid.resolution)
+
+    def test_diagonal_hit(self):
+        grid = box_room()
+        dist = cast_ray(grid, 1.0, 1.0, math.pi / 4, max_range=5.0)
+        assert dist == pytest.approx(0.95 * math.sqrt(2.0), abs=2 * grid.resolution)
+
+    def test_max_range_when_no_obstacle(self):
+        grid = box_room()
+        dist = cast_ray(grid, 1.0, 1.0, 0.0, max_range=0.5)
+        assert dist == 0.5
+
+    def test_start_inside_wall_returns_zero(self):
+        grid = box_room()
+        assert cast_ray(grid, 0.01, 0.01, 0.0, max_range=5.0) == 0.0
+
+    def test_ray_leaving_map_returns_max_range(self):
+        # Free map without borders: ray exits the grid.
+        grid = MapBuilder(1.0, 1.0, 0.05).fill_rect(0, 0, 1, 1).build()
+        assert cast_ray(grid, 0.5, 0.5, 0.0, max_range=3.0) == 3.0
+
+    def test_unknown_cells_are_transparent(self):
+        # UNKNOWN gap between the start and a far wall.
+        builder = MapBuilder(3.0, 1.0, 0.05).fill_rect(0.0, 0.0, 1.0, 1.0)
+        builder.add_wall(2.5, 0.0, 2.5, 1.0, thickness=0.1)
+        grid = builder.build()
+        dist = cast_ray(grid, 0.5, 0.5, 0.0, max_range=5.0)
+        assert dist == pytest.approx(2.0, abs=2 * grid.resolution)
+
+    def test_invalid_max_range(self):
+        with pytest.raises(MapError):
+            cast_ray(box_room(), 1.0, 1.0, 0.0, max_range=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.floats(min_value=0.3, max_value=1.7),
+        st.floats(min_value=0.3, max_value=1.7),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    def test_property_range_bounded_and_consistent(self, x, y, angle):
+        grid = box_room()
+        dist = cast_ray(grid, x, y, angle, max_range=5.0)
+        assert 0.0 <= dist <= 5.0
+        if dist < 5.0:
+            # The hit point must be on (or within a cell of) an occupied cell.
+            hx = x + math.cos(angle) * (dist + grid.resolution / 4)
+            hy = y + math.sin(angle) * (dist + grid.resolution / 4)
+            row, col = grid.world_to_grid(hx, hy)
+            row = int(np.clip(row, 0, grid.rows - 1))
+            col = int(np.clip(col, 0, grid.cols - 1))
+            window = grid.cells[
+                max(row - 1, 0) : row + 2, max(col - 1, 0) : col + 2
+            ]
+            assert np.any(window == CellState.OCCUPIED)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=0.4, max_value=1.6),
+        st.floats(min_value=0.4, max_value=1.6),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    def test_property_monotone_in_max_range(self, x, y, angle):
+        grid = box_room()
+        short = cast_ray(grid, x, y, angle, max_range=0.4)
+        full = cast_ray(grid, x, y, angle, max_range=5.0)
+        if full <= 0.4:
+            assert short == pytest.approx(full, abs=1e-9)
+        else:
+            assert short == 0.4
+
+
+class TestCastRays:
+    def test_batch_matches_single(self):
+        grid = box_room()
+        angles = np.linspace(-math.pi, math.pi, 16, endpoint=False)
+        batch = cast_rays(grid, 1.0, 1.0, angles, max_range=5.0)
+        singles = [cast_ray(grid, 1.0, 1.0, float(a), 5.0) for a in angles]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_preserves_shape(self):
+        grid = box_room()
+        angles = np.zeros((2, 4))
+        assert cast_rays(grid, 1.0, 1.0, angles, 5.0).shape == (2, 4)
+
+
+class TestIncidenceAngle:
+    def test_perpendicular_hit_near_zero(self):
+        grid = box_room()
+        dist = cast_ray(grid, 1.0, 1.0, 0.0, max_range=5.0)
+        angle = incidence_angle(grid, 1.0, 1.0, 0.0, dist)
+        assert angle < math.radians(30)
+
+    def test_grazing_hit_large_angle(self):
+        grid = box_room()
+        # Ray nearly parallel to the right wall.
+        direction = math.radians(85)
+        dist = cast_ray(grid, 1.9, 0.3, direction, max_range=5.0)
+        if dist < 5.0:
+            angle = incidence_angle(grid, 1.9, 0.3, direction, dist)
+            assert angle >= 0.0  # well-defined
+
+    def test_no_hit_returns_zero(self):
+        grid = box_room()
+        assert incidence_angle(grid, 1.0, 1.0, 0.0, 1e12) == 0.0

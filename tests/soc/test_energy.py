@@ -1,0 +1,90 @@
+"""Tests for the mission-level energy analysis."""
+
+import pytest
+
+from repro.common.errors import PlatformModelError
+from repro.soc.energy import (
+    BATTERY_CAPACITY_J,
+    FlightTimeEstimate,
+    energy_per_update_j,
+    flight_time_impact,
+    optimal_frequency_hz,
+)
+
+
+class TestBattery:
+    def test_capacity_is_250mah_lipo(self):
+        # 0.25 Ah * 3.7 V * 3600 s/h = 3330 J.
+        assert BATTERY_CAPACITY_J == pytest.approx(3330.0)
+
+
+class TestFlightTimeImpact:
+    def test_bare_hover_around_crazyflie_endurance(self):
+        # ~13 W hover on a 250 mAh pack: a handful of minutes, matching
+        # the Crazyflie's real-world ~4-7 min endurance.
+        estimate = flight_time_impact()
+        assert 2.0 < estimate.bare_minutes < 8.0
+
+    def test_payload_costs_some_minutes_fraction(self):
+        estimate = flight_time_impact()
+        assert estimate.with_payload_minutes < estimate.bare_minutes
+        # ~7 % power -> ~6.5 % endurance loss.
+        assert 0.05 < estimate.reduction_fraction < 0.09
+
+    def test_lower_clock_cheaper(self):
+        fast = flight_time_impact(gap9_frequency_hz=400e6)
+        slow = flight_time_impact(gap9_frequency_hz=12e6)
+        assert slow.with_payload_minutes > fast.with_payload_minutes
+
+    def test_single_sensor_cheaper(self):
+        dual = flight_time_impact(tof_sensor_count=2)
+        single = flight_time_impact(tof_sensor_count=1)
+        assert single.with_payload_minutes > dual.with_payload_minutes
+
+
+class TestEnergyPerUpdate:
+    def test_energy_positive_and_scaling(self):
+        small = energy_per_update_j(400e6, 64)
+        large = energy_per_update_j(400e6, 16384)
+        assert 0 < small < large
+
+    def test_matches_power_times_latency(self):
+        # 61 mW * 1.894 ms ~ 116 uJ at the 1024/400 MHz point.
+        energy = energy_per_update_j(400e6, 1024)
+        assert energy == pytest.approx(0.061 * 1.894e-3, rel=0.02)
+
+
+class TestOptimalFrequency:
+    def test_valid_for_paper_points(self):
+        # 1024 particles at 15 Hz: even 12 MHz meets the deadline and the
+        # duty-cycled optimum is a legal candidate.
+        best = optimal_frequency_hz(1024, update_rate_hz=15.0)
+        assert best in (12e6, 50e6, 100e6, 200e6, 300e6, 400e6)
+
+    def test_high_n_excludes_slow_clocks(self):
+        # 16384 particles cannot meet 15 Hz below ~185 MHz.
+        best = optimal_frequency_hz(16384, update_rate_hz=15.0)
+        assert best >= 200e6
+
+    def test_infeasible_rate_raises(self):
+        with pytest.raises(PlatformModelError):
+            optimal_frequency_hz(16384, update_rate_hz=100.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(PlatformModelError):
+            optimal_frequency_hz(1024, update_rate_hz=0.0)
+
+    def test_race_to_idle_beats_lowest_clock(self):
+        # The duty-cycled average at a fast clock undercuts running the
+        # slowest real-time clock flat out for small N.
+        from repro.soc.perf import Gap9PerfModel
+        from repro.soc.power import Gap9PowerModel
+
+        power = Gap9PowerModel()
+        period = 1 / 15
+        def duty_power(freq):
+            latency = Gap9PerfModel(freq).update_time_ns(1024, 8) * 1e-9
+            duty = latency / period
+            return duty * power.average_power_w(freq) + (1 - duty) * 0.003
+        best = optimal_frequency_hz(1024, 15.0)
+        assert duty_power(best) <= duty_power(12e6) + 1e-9

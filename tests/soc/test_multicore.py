@@ -1,0 +1,90 @@
+"""Tests for the behavioural cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlatformModelError
+from repro.common.rng import make_rng
+from repro.core.resampling import systematic_resample
+from repro.soc.multicore import ClusterSimulator, ClusterTimings
+
+
+class TestEvenStep:
+    def test_balanced_chunks(self):
+        sim = ClusterSimulator(n_workers=8)
+        trace = sim.simulate_even_step(800, cycles_per_particle=10.0)
+        assert trace.core_busy_cycles.shape == (8,)
+        assert trace.imbalance == pytest.approx(1.0)
+
+    def test_remainder_chunks_slightly_imbalanced(self):
+        sim = ClusterSimulator(n_workers=8)
+        trace = sim.simulate_even_step(803, cycles_per_particle=10.0)
+        assert trace.imbalance > 1.0
+        assert trace.imbalance < 1.05
+
+    def test_makespan_includes_overheads(self):
+        timings = ClusterTimings(fork_cycles=1000, join_cycles=500)
+        sim = ClusterSimulator(n_workers=4, timings=timings)
+        trace = sim.simulate_even_step(4, cycles_per_particle=1.0)
+        assert trace.makespan_cycles == pytest.approx(1000 + 1 + 500)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(PlatformModelError):
+            ClusterSimulator(n_workers=0)
+        with pytest.raises(PlatformModelError):
+            ClusterSimulator().simulate_even_step(0, 1.0)
+
+
+class TestStructuralSpeedup:
+    def test_small_n_overhead_dominated(self):
+        sim = ClusterSimulator(n_workers=8)
+        small = sim.structural_speedup(64, cycles_per_particle=100.0)
+        large = sim.structural_speedup(16384, cycles_per_particle=100.0)
+        assert small < large
+        assert large > 7.0  # approaches the 8-core bound
+        assert large <= 8.0 + 1e-9
+
+    def test_speedup_monotone_in_n(self):
+        sim = ClusterSimulator(n_workers=8)
+        values = [
+            sim.structural_speedup(n, 50.0) for n in (64, 256, 1024, 4096, 16384)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestResamplingSimulation:
+    def test_uniform_weights_balanced(self):
+        sim = ClusterSimulator(n_workers=8)
+        weights = np.full(1024, 1.0 / 1024)
+        trace = sim.simulate_resampling(weights, u0=1e-4)
+        assert trace.imbalance == pytest.approx(1.0, abs=0.05)
+
+    def test_concentrated_weights_imbalanced(self):
+        # One dominant particle: its block's core draws nearly everything —
+        # the structural reason resampling "scales the worst" (Sec. IV-D).
+        sim = ClusterSimulator(n_workers=8)
+        weights = np.full(1024, 1e-9)
+        weights[700] = 1.0
+        trace = sim.simulate_resampling(weights, u0=1e-4)
+        assert trace.imbalance > 3.0
+        assert trace.busiest_core == 5  # particle 700 sits in block 5
+
+    def test_draws_match_serial_wheel(self):
+        sim = ClusterSimulator(n_workers=8)
+        rng = make_rng(0, "mc")
+        weights = rng.random(512) + 1e-6
+        u0 = 1.0 / 1024
+        serial = systematic_resample(weights, u0)
+        trace = sim.simulate_resampling(weights, u0)
+        # Busy cycles reflect the serial wheel's per-block draw counts.
+        draws_per_block = np.bincount(serial // 64, minlength=8)
+        scan = 512 / 8 * 4.0
+        expected = scan + draws_per_block * 30.0
+        np.testing.assert_allclose(trace.core_busy_cycles, expected)
+
+    def test_makespan_includes_barriers(self):
+        timings = ClusterTimings(fork_cycles=0, join_cycles=0, barrier_cycles=100)
+        sim = ClusterSimulator(n_workers=2, timings=timings)
+        weights = np.full(4, 0.25)
+        trace = sim.simulate_resampling(weights, u0=0.1, cycles_per_draw=0, cycles_per_scan=0)
+        assert trace.makespan_cycles == pytest.approx(200)

@@ -1,0 +1,119 @@
+"""Tests for the GAP9 power model (Table II) and memory model (Fig. 9)."""
+
+import pytest
+
+from repro.common.errors import PlatformModelError
+from repro.common.precision import PrecisionMode
+from repro.soc.memory import (
+    MemoryLevel,
+    cells_per_m2,
+    map_bytes,
+    max_particles,
+    memory_budget,
+    particle_bytes,
+)
+from repro.soc.power import Gap9PowerModel
+
+
+class TestPowerModel:
+    def test_calibration_points_exact(self):
+        # Table II measured operating points.
+        model = Gap9PowerModel()
+        assert model.average_power_w(400e6) == pytest.approx(0.061)
+        assert model.average_power_w(200e6) == pytest.approx(0.038)
+        assert model.average_power_w(12e6) == pytest.approx(0.013)
+
+    def test_interpolation_monotone(self):
+        model = Gap9PowerModel()
+        powers = [model.average_power_w(f) for f in (12e6, 50e6, 100e6, 300e6, 400e6)]
+        assert all(b > a for a, b in zip(powers, powers[1:]))
+
+    def test_rejects_overclock(self):
+        with pytest.raises(PlatformModelError):
+            Gap9PowerModel().average_power_w(500e6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(PlatformModelError):
+            Gap9PowerModel().average_power_w(0.0)
+
+    def test_low_frequency_extrapolation_floored(self):
+        assert Gap9PowerModel().average_power_w(1e6) >= 1e-3
+
+    def test_energy_race_to_idle(self):
+        # At 1024 particles the 12 MHz point takes 33x longer at ~1/4.7 the
+        # power: energy per update is higher at the low clock, showing the
+        # race-to-idle trade-off of Table II.
+        model = Gap9PowerModel()
+        fast = model.energy_per_update_j(400e6, 1024)
+        slow = model.energy_per_update_j(12e6, 1024)
+        assert slow > fast
+
+    def test_operating_point_report(self):
+        op = Gap9PowerModel().operating_point(400e6, 1024)
+        assert op["avg_power_mw"] == pytest.approx(61.0)
+        assert op["execution_time_ms"] == pytest.approx(1.901, rel=0.05)
+        assert op["particles"] == 1024
+
+
+class TestMemoryModel:
+    def test_cells_per_m2_at_paper_resolution(self):
+        assert cells_per_m2(0.05) == pytest.approx(400.0)
+
+    def test_map_bytes_full_vs_quantized(self):
+        # Paper Sec. IV-C: 5 bytes/cell -> 2 bytes/cell.
+        assert map_bytes(1.0, PrecisionMode.FP32) == 400 * 5
+        assert map_bytes(1.0, PrecisionMode.FP16_QM) == 400 * 2
+
+    def test_particle_bytes(self):
+        assert particle_bytes(1024, PrecisionMode.FP32) == 1024 * 32
+        assert particle_bytes(1024, PrecisionMode.FP16_QM) == 1024 * 16
+
+    def test_max_particles_zero_map(self):
+        # 128 kB / 32 B = 4096 fp32 particles with no map.
+        assert max_particles(0.0, PrecisionMode.FP32, MemoryLevel.L1) == 4096
+        assert max_particles(0.0, PrecisionMode.FP16_QM, MemoryLevel.L1) == 8192
+
+    def test_max_particles_paper_operating_points(self):
+        # Paper Sec. IV-E: 1024 particles "can still fit in L1" next to
+        # the 31.2 m² map in the quantized representation; 16384 need L2.
+        area = 31.2
+        assert max_particles(area, PrecisionMode.FP16_QM, MemoryLevel.L1) >= 1024
+        assert max_particles(area, PrecisionMode.FP16_QM, MemoryLevel.L2) >= 16384
+
+    def test_fp32_31m2_map_does_not_fit_l1_with_1024(self):
+        # The full-precision map alone is 62.4 kB; 1024 fp32 particles add
+        # 32 kB: tight but fits; 4096 do not.
+        area = 31.2
+        limit = max_particles(area, PrecisionMode.FP32, MemoryLevel.L1)
+        assert 1024 <= limit < 4096
+
+    def test_oversized_map_gives_zero(self):
+        assert max_particles(10_000.0, PrecisionMode.FP32, MemoryLevel.L1) == 0
+
+    def test_quantized_fits_more_everywhere(self):
+        for area in (2.0, 8.0, 32.0, 128.0):
+            for level in MemoryLevel:
+                assert max_particles(
+                    area, PrecisionMode.FP16_QM, level
+                ) >= max_particles(area, PrecisionMode.FP32, level)
+
+    def test_budget_report(self):
+        budget = memory_budget(1024, 31.2, PrecisionMode.FP16_QM)
+        assert budget.particle_bytes == 1024 * 16
+        assert budget.map_bytes == int(31.2 * 400) * 2
+        assert budget.total_bytes == budget.particle_bytes + budget.map_bytes
+        assert budget.fits(MemoryLevel.L1)
+        assert budget.fits(MemoryLevel.L2)
+
+    def test_budget_not_fitting(self):
+        budget = memory_budget(100_000, 31.2, PrecisionMode.FP32)
+        assert not budget.fits(MemoryLevel.L1)
+        assert not budget.fits(MemoryLevel.L2)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(PlatformModelError):
+            map_bytes(-1.0, PrecisionMode.FP32)
+        with pytest.raises(PlatformModelError):
+            particle_bytes(-1, PrecisionMode.FP32)
+        with pytest.raises(PlatformModelError):
+            cells_per_m2(0.0)

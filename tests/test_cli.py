@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.sequence == 0
+        assert args.variant == "fp32"
+        assert args.particles == 4096
+
+    def test_run_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--variant", "fp64"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "31.1" in out  # structured area
+        assert "GAP9" in out
+
+    def test_show_map(self, capsys):
+        assert main(["show-map"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+        assert "." in out
+
+    def test_perf(self, capsys):
+        assert main(["perf"]) == 0
+        out = capsys.readouterr().out
+        assert "observation" in out
+        assert "Table II" in out
+        assert "61 mW" in out
+
+    def test_run_small(self, capsys):
+        # A tiny run on the cached sequence: exercises the full path.
+        assert main(["run", "--sequence", "0", "--particles", "256", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "seq0" in out

@@ -1,0 +1,148 @@
+"""Tests for the waypoint controller and the drifting odometry estimator."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import Pose2D
+from repro.common.rng import make_rng
+from repro.sensors.flow import FlowDeck, FlowDeckSpec, FlowMeasurement
+from repro.sensors.imu import Gyro, GyroSpec, GyroMeasurement
+from repro.vehicle.controller import ControllerGains, WaypointController
+from repro.vehicle.dynamics import PlanarDynamics
+from repro.vehicle.estimator import OdometryIntegrator
+
+
+class TestControllerGains:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            ControllerGains(cruise_speed_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            ControllerGains(capture_radius_m=-0.1)
+
+
+class TestWaypointController:
+    def test_requires_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            WaypointController([])
+
+    def test_turns_toward_offaxis_waypoint(self):
+        controller = WaypointController([(0.0, 5.0)])
+        command = controller.command(Pose2D(0.0, 0.0, 0.0))
+        # Target is at +90°, beyond the alignment threshold: rotate in place.
+        assert command.vx == 0.0
+        assert command.yaw_rate > 0.0
+
+    def test_flies_forward_when_aligned(self):
+        controller = WaypointController([(5.0, 0.0)])
+        command = controller.command(Pose2D(0.0, 0.0, 0.0))
+        assert command.vx > 0.0
+        assert abs(command.yaw_rate) < 0.1
+
+    def test_slows_near_waypoint(self):
+        gains = ControllerGains()
+        controller = WaypointController([(0.2, 0.0)], gains)
+        near = controller.command(Pose2D(0.0, 0.0, 0.0))
+        far_controller = WaypointController([(5.0, 0.0)], gains)
+        far = far_controller.command(Pose2D(0.0, 0.0, 0.0))
+        assert near.vx < far.vx
+
+    def test_captures_and_advances(self):
+        controller = WaypointController([(0.05, 0.0), (1.0, 0.0)])
+        controller.command(Pose2D(0.0, 0.0, 0.0))
+        assert controller.active_index == 1
+
+    def test_finishes(self):
+        controller = WaypointController([(0.05, 0.0)])
+        command = controller.command(Pose2D(0.0, 0.0, 0.0))
+        assert controller.finished
+        assert command.vx == 0.0 and command.yaw_rate == 0.0
+
+    def test_closed_loop_reaches_goal(self):
+        controller = WaypointController([(1.0, 0.0), (1.0, 1.0)])
+        dynamics = PlanarDynamics(Pose2D.identity())
+        pose = dynamics.state.pose
+        for _ in range(6000):
+            if controller.finished:
+                break
+            state = dynamics.step(controller.command(pose), dt=0.01)
+            pose = state.pose
+        assert controller.finished
+        assert pose.distance_to(Pose2D(1.0, 1.0, 0.0)) < 0.2
+
+
+class TestOdometryIntegrator:
+    @staticmethod
+    def _flow(vx, vy, t=0.0):
+        return FlowMeasurement(timestamp=t, vx=vx, vy=vy, height_m=0.5)
+
+    @staticmethod
+    def _gyro(rate, t=0.0):
+        return GyroMeasurement(timestamp=t, yaw_rate=rate)
+
+    def test_straight_integration(self):
+        odo = OdometryIntegrator()
+        for _ in range(100):
+            odo.update(self._flow(0.5, 0.0), self._gyro(0.0), dt=0.01)
+        assert odo.estimate.x == pytest.approx(0.5, abs=1e-6)
+        assert odo.estimate.y == pytest.approx(0.0, abs=1e-6)
+
+    def test_rotation_integration(self):
+        odo = OdometryIntegrator()
+        for _ in range(100):
+            odo.update(self._flow(0.0, 0.0), self._gyro(math.pi), dt=0.01)
+        assert abs(odo.estimate.theta) == pytest.approx(math.pi, abs=1e-6)
+
+    def test_arc_integration_curves(self):
+        odo = OdometryIntegrator()
+        for _ in range(157):  # quarter turn at 1 rad/s, 0.5 m/s
+            odo.update(self._flow(0.5, 0.0), self._gyro(1.0), dt=0.01)
+        # v/omega = 0.5 -> quarter circle ends near (0.5, 0.5).
+        assert odo.estimate.x == pytest.approx(0.5, abs=0.02)
+        assert odo.estimate.y == pytest.approx(0.5, abs=0.02)
+
+    def test_zero_dt_is_noop(self):
+        odo = OdometryIntegrator()
+        before = odo.estimate
+        odo.update(self._flow(1.0, 1.0), self._gyro(1.0), dt=0.0)
+        assert odo.estimate == before
+
+    def test_negative_dt_rejected(self):
+        odo = OdometryIntegrator()
+        with pytest.raises(ConfigurationError):
+            odo.update(self._flow(0.0, 0.0), self._gyro(0.0), dt=-0.01)
+
+    def test_increments_compose_to_estimate(self):
+        odo = OdometryIntegrator(Pose2D(1.0, 1.0, 0.5))
+        pose = Pose2D(1.0, 1.0, 0.5)
+        for step in range(30):
+            odo.update(self._flow(0.4, 0.1), self._gyro(0.3), dt=0.02)
+            if step % 7 == 0:
+                pose = pose.compose(odo.odometry_increment())
+        pose = pose.compose(odo.odometry_increment())
+        assert pose.x == pytest.approx(odo.estimate.x, abs=1e-9)
+        assert pose.y == pytest.approx(odo.estimate.y, abs=1e-9)
+        assert pose.theta == pytest.approx(odo.estimate.theta, abs=1e-9)
+
+    def test_increment_is_empty_without_motion(self):
+        odo = OdometryIntegrator()
+        odo.odometry_increment()
+        inc = odo.odometry_increment()
+        assert inc.x == 0.0 and inc.y == 0.0 and inc.theta == 0.0
+
+    def test_drift_accumulates_with_noisy_sensors(self):
+        # End-to-end: corrupted sensors produce a growing position error.
+        flow = FlowDeck(FlowDeckSpec(scale_error_sigma=0.05), make_rng(11, "flow"))
+        gyro = Gyro(GyroSpec(initial_bias_sigma=0.01), make_rng(11, "gyro"))
+        odo = OdometryIntegrator()
+        truth = Pose2D.identity()
+        dt = 0.01
+        for i in range(2000):  # 20 s straight flight at 0.4 m/s
+            truth = truth.compose(Pose2D(0.4 * dt, 0.0, 0.0))
+            m_flow = flow.measure(0.4, 0.0, dt, i * dt)
+            m_gyro = gyro.measure(0.0, dt, i * dt)
+            odo.update(m_flow, m_gyro, dt)
+        drift = odo.estimate.distance_to(truth)
+        assert drift > 0.02  # drift must exist for MCL to have a job
+        assert drift < 2.0  # but stay sane over 20 s

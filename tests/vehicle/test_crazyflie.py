@@ -1,0 +1,104 @@
+"""Integration tests of the full simulated platform."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+def room(size: float = 4.0):
+    return (
+        MapBuilder(size, size, 0.05)
+        .fill_rect(0, 0, size, size, CellState.FREE)
+        .add_border()
+        .build()
+    )
+
+
+ROUTE = [(1.0, 1.0), (3.0, 1.0), (3.0, 3.0)]
+
+
+class TestSimConfig:
+    def test_rejects_slow_physics(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(physics_rate_hz=10.0, tof_rate_hz=15.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(max_duration_s=0.0)
+
+
+class TestCrazyflieSimulator:
+    def test_requires_route(self):
+        with pytest.raises(ConfigurationError):
+            CrazyflieSimulator(room(), [(1.0, 1.0)], seed=0)
+
+    def test_start_pose_faces_first_leg(self):
+        sim = CrazyflieSimulator(room(), ROUTE, seed=0)
+        assert sim.start_pose.x == 1.0
+        assert sim.start_pose.theta == pytest.approx(0.0)  # toward (3, 1)
+
+    def test_run_emits_frames_at_tof_rate(self):
+        sim = CrazyflieSimulator(room(), ROUTE, seed=0, config=SimConfig(max_duration_s=30))
+        steps = sim.run()
+        assert len(steps) > 10
+        intervals = np.diff([s.timestamp for s in steps])
+        # Frames land on the 100 Hz physics tick, so individual intervals
+        # quantize to 0.06/0.07 s around the nominal 1/15 s.
+        assert float(np.mean(intervals)) == pytest.approx(1.0 / 15.0, abs=2e-3)
+        assert np.all(np.abs(intervals - 1.0 / 15.0) <= 0.01 + 1e-9)
+
+    def test_two_sensor_frames_per_step(self):
+        sim = CrazyflieSimulator(room(), ROUTE, seed=0, config=SimConfig(max_duration_s=10))
+        steps = sim.run()
+        for step in steps:
+            assert len(step.frames) == 2
+            names = {f.sensor_name for f in step.frames}
+            assert names == {"tof-front", "tof-rear"}
+
+    def test_reaches_route_end(self):
+        sim = CrazyflieSimulator(room(), ROUTE, seed=0, config=SimConfig(max_duration_s=60))
+        steps = sim.run()
+        final = steps[-1].ground_truth
+        assert final.distance_to(sim.start_pose) > 1.0
+        assert abs(final.x - 3.0) < 0.3
+        assert abs(final.y - 3.0) < 0.3
+
+    def test_ground_truth_stays_in_free_space(self):
+        grid = room()
+        sim = CrazyflieSimulator(grid, ROUTE, seed=1, config=SimConfig(max_duration_s=60))
+        for step in sim.run():
+            assert grid.is_free(step.ground_truth.x, step.ground_truth.y)
+
+    def test_odometry_differs_from_ground_truth(self):
+        # The whole point: on-board odometry drifts.
+        sim = CrazyflieSimulator(room(), ROUTE, seed=2, config=SimConfig(max_duration_s=60))
+        steps = sim.run()
+        start = steps[0].ground_truth
+        final_rel = start.between(steps[-1].ground_truth)
+        final_odo = steps[-1].odometry
+        error = np.hypot(final_rel.x - final_odo.x, final_rel.y - final_odo.y)
+        assert error > 0.005
+
+    def test_deterministic_given_seed(self):
+        a = CrazyflieSimulator(room(), ROUTE, seed=3, config=SimConfig(max_duration_s=15)).run()
+        b = CrazyflieSimulator(room(), ROUTE, seed=3, config=SimConfig(max_duration_s=15)).run()
+        assert len(a) == len(b)
+        np.testing.assert_allclose(
+            a[-1].ground_truth.as_array(), b[-1].ground_truth.as_array()
+        )
+        np.testing.assert_array_equal(a[-1].frames[0].ranges_m, b[-1].frames[0].ranges_m)
+
+    def test_different_seeds_differ(self):
+        a = CrazyflieSimulator(room(), ROUTE, seed=4, config=SimConfig(max_duration_s=15)).run()
+        b = CrazyflieSimulator(room(), ROUTE, seed=5, config=SimConfig(max_duration_s=15)).run()
+        assert not np.array_equal(a[-1].frames[0].ranges_m, b[-1].frames[0].ranges_m)
+
+    def test_respects_max_duration(self):
+        config = SimConfig(max_duration_s=5.0)
+        far_route = [(1.0, 1.0), (3.0, 1.0), (3.0, 3.0), (1.0, 3.0), (1.0, 1.0)]
+        steps = CrazyflieSimulator(room(), far_route, seed=0, config=config).run()
+        assert steps[-1].timestamp <= 5.0 + 1e-6

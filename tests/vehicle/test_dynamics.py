@@ -1,0 +1,105 @@
+"""Tests for the planar vehicle dynamics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.geometry import Pose2D
+from repro.vehicle.dynamics import (
+    BodyCommand,
+    DynamicsLimits,
+    PlanarDynamics,
+)
+
+
+class TestLimits:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            DynamicsLimits(max_speed_mps=0.0)
+        with pytest.raises(ConfigurationError):
+            DynamicsLimits(max_yaw_rate_rps=-1.0)
+        with pytest.raises(ConfigurationError):
+            DynamicsLimits(velocity_tau_s=0.0)
+
+
+class TestStep:
+    def test_rejects_bad_dt(self):
+        dyn = PlanarDynamics(Pose2D.identity())
+        with pytest.raises(ConfigurationError):
+            dyn.step(BodyCommand(), dt=0.0)
+
+    def test_straight_flight_converges_to_command(self):
+        dyn = PlanarDynamics(Pose2D.identity())
+        for _ in range(400):
+            state = dyn.step(BodyCommand(vx=0.3), dt=0.01)
+        assert state.vx == pytest.approx(0.3, abs=0.01)
+        assert state.pose.x > 0.8  # ~4 s at ~0.3 m/s minus the ramp
+        assert abs(state.pose.y) < 1e-6
+        assert abs(state.pose.theta) < 1e-9
+
+    def test_speed_saturation(self):
+        limits = DynamicsLimits(max_speed_mps=0.5)
+        dyn = PlanarDynamics(Pose2D.identity(), limits)
+        for _ in range(600):
+            state = dyn.step(BodyCommand(vx=5.0, vy=5.0), dt=0.01)
+        speed = math.hypot(state.vx, state.vy)
+        assert speed <= 0.5 + 1e-6
+
+    def test_yaw_rate_saturation(self):
+        limits = DynamicsLimits(max_yaw_rate_rps=1.0)
+        dyn = PlanarDynamics(Pose2D.identity(), limits)
+        for _ in range(600):
+            state = dyn.step(BodyCommand(yaw_rate=10.0), dt=0.01)
+        assert abs(state.yaw_rate) <= 1.0 + 1e-6
+
+    def test_velocity_lag(self):
+        # After one time constant the velocity reaches ~63 % of the command.
+        limits = DynamicsLimits(velocity_tau_s=0.5)
+        dyn = PlanarDynamics(Pose2D.identity(), limits)
+        state = dyn.state
+        steps = 50  # 0.5 s at 100 Hz
+        for _ in range(steps):
+            state = dyn.step(BodyCommand(vx=1.0 * limits.max_speed_mps), dt=0.01)
+        assert state.vx == pytest.approx(0.63 * limits.max_speed_mps, rel=0.1)
+
+    def test_pure_rotation_keeps_position(self):
+        dyn = PlanarDynamics(Pose2D(1.0, 2.0, 0.0))
+        for _ in range(100):
+            state = dyn.step(BodyCommand(yaw_rate=1.0), dt=0.01)
+        assert state.pose.x == pytest.approx(1.0, abs=1e-9)
+        assert state.pose.y == pytest.approx(2.0, abs=1e-9)
+        assert state.pose.theta != 0.0
+
+    def test_lateral_velocity_is_holonomic(self):
+        dyn = PlanarDynamics(Pose2D.identity())
+        for _ in range(300):
+            state = dyn.step(BodyCommand(vy=0.3), dt=0.01)
+        assert state.pose.y > 0.5
+        assert abs(state.pose.x) < 1e-6
+        assert abs(state.pose.theta) < 1e-9
+
+    def test_heading_rotates_velocity_into_world(self):
+        dyn = PlanarDynamics(Pose2D(0.0, 0.0, math.pi / 2))
+        for _ in range(300):
+            state = dyn.step(BodyCommand(vx=0.3), dt=0.01)
+        # Facing +y: forward motion increases y.
+        assert state.pose.y > 0.5
+        assert abs(state.pose.x) < 0.05
+
+    def test_circle_arc_radius(self):
+        # Constant speed + yaw rate: radius = v / omega.
+        dyn = PlanarDynamics(Pose2D.identity(), DynamicsLimits(velocity_tau_s=0.01))
+        v, omega = 0.4, 0.8
+        poses = []
+        for _ in range(2000):
+            state = dyn.step(BodyCommand(vx=v, yaw_rate=omega), dt=0.01)
+            poses.append((state.pose.x, state.pose.y))
+        xs = np.array([p[0] for p in poses[200:]])
+        ys = np.array([p[1] for p in poses[200:]])
+        # Fit circle center as mean; check radius spread is small.
+        cx, cy = xs.mean(), ys.mean()
+        radii = np.hypot(xs - cx, ys - cy)
+        assert radii.mean() == pytest.approx(v / omega, rel=0.1)
+        assert radii.std() < 0.05

@@ -1,0 +1,142 @@
+"""Tests for ASCII plotting, tables and CSV export."""
+
+import csv
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.maps.builder import MapBuilder
+from repro.maps.occupancy import CellState
+from repro.viz.ascii import line_plot, render_map_with_path
+from repro.viz.export import export_series, write_csv
+from repro.viz.tables import format_table
+
+
+class TestLinePlot:
+    def test_renders_series_glyphs(self):
+        plot = line_plot(
+            {"a": ([1, 2, 3], [1.0, 2.0, 3.0]), "b": ([1, 2, 3], [3.0, 2.0, 1.0])},
+            width=40,
+            height=10,
+        )
+        assert "o" in plot  # series a
+        assert "x" in plot  # series b
+        assert "legend" in plot
+        assert "o=a" in plot and "x=b" in plot
+
+    def test_title_included(self):
+        plot = line_plot({"s": ([1], [1.0])}, title="ATE vs Particle Number")
+        assert plot.startswith("ATE vs Particle Number")
+
+    def test_log_x_axis_labels(self):
+        plot = line_plot({"s": ([64, 16384], [1.0, 2.0])}, log_x=True)
+        assert "64" in plot
+        assert "1.64e+04" in plot or "16384" in plot or "1.6e+04" in plot
+
+    def test_skips_nan(self):
+        plot = line_plot({"s": ([1, 2, 3], [1.0, math.nan, 3.0])})
+        assert plot  # no crash, plot rendered
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            line_plot({})
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(EvaluationError):
+            line_plot({"s": ([1.0], [math.nan])})
+
+    def test_constant_series(self):
+        plot = line_plot({"s": ([1, 2], [5.0, 5.0])})
+        assert plot
+
+
+class TestRenderMap:
+    def _grid(self):
+        return (
+            MapBuilder(1.0, 1.0, 0.05)
+            .fill_rect(0, 0, 1, 1, CellState.FREE)
+            .add_border()
+            .build()
+        )
+
+    def test_path_overlay(self):
+        grid = self._grid()
+        path = np.array([[0.5, 0.5], [0.6, 0.5], [0.7, 0.5]])
+        art = render_map_with_path(grid, {"*": path}, stride=1)
+        assert "*" in art
+        assert "#" in art
+
+    def test_multiple_paths(self):
+        grid = self._grid()
+        art = render_map_with_path(
+            grid,
+            {"*": np.array([[0.3, 0.3]]), "@": np.array([[0.7, 0.7]])},
+            stride=1,
+        )
+        assert "*" in art and "@" in art
+
+    def test_rejects_long_glyph(self):
+        with pytest.raises(EvaluationError):
+            render_map_with_path(self._grid(), {"ab": np.array([[0.5, 0.5]])})
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(EvaluationError):
+            render_map_with_path(self._grid(), {}, stride=0)
+
+    def test_out_of_map_points_ignored(self):
+        art = render_map_with_path(self._grid(), {"*": np.array([[9.0, 9.0]])})
+        assert "*" not in art
+
+
+class TestFormatTable:
+    def test_basic(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_title_and_footnote(self):
+        table = format_table(["x"], [["1"]], title="T", footnote="note")
+        assert table.startswith("T")
+        assert table.endswith("note")
+
+    def test_alignment(self):
+        table = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = table.splitlines()
+        assert len(lines[1]) == len(lines[2])  # rule matches rows
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(EvaluationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_rejects_no_headers(self):
+        with pytest.raises(EvaluationError):
+            format_table([], [])
+
+
+class TestExport:
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_write_csv_makes_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "out.csv", ["x"], [[1]])
+        assert path.exists()
+
+    def test_export_series_layout(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = export_series(
+            "fig", {"fp32": ([64, 256], [0.15, 0.14])}, x_label="particles", y_label="ate"
+        )
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["series", "particles", "ate"]
+        assert rows[1] == ["fp32", "64", "0.15"]
+
+    def test_rejects_empty_headers(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            write_csv(tmp_path / "bad.csv", [], [])
