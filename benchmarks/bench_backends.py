@@ -1,0 +1,110 @@
+"""Backend throughput: reference vs batched on the Fig. 6/7 sweep grid.
+
+Times the same sweep cells under the sequential ``reference`` backend
+and the ``(R, N)``-stacked ``batched`` backend, verifies they produced
+identical per-run metrics, prints the per-cell table, and writes the
+machine-readable report to ``results/BENCH_backends.json``.
+
+The cell grid covers the lower half of the paper's particle sweep with
+the full 6-seed repetition (``REPRO_BACKEND_COUNTS`` / ``REPRO_SCALE``
+override it).  Expected shape on one core:
+
+* small N (64): evaluation throughput is dispatch/replay bound — the
+  batched backend amortizes beam extraction, frame materialization and
+  kernel dispatch over all seeds and wins >= 3x;
+* large N (>= 1024): the per-element EDT/transform math dominates and is
+  bitwise-pinned, so both backends converge to the same wall-clock
+  (the batched chunking keeps working sets cache-resident either way).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import current_scale
+
+from repro.common.rng import PAPER_SEEDS
+from repro.eval.aggregate import SweepProtocol
+from repro.eval.bench import compare_backends, write_backend_report
+from repro.viz.tables import format_table
+
+DEFAULT_COUNTS = [64, 256, 1024]
+VARIANTS = ["fp32", "fp16qm"]
+
+
+def bench_counts() -> list[int]:
+    raw = os.environ.get("REPRO_BACKEND_COUNTS")
+    if raw:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    if current_scale() == "smoke":
+        return [64, 256]
+    return list(DEFAULT_COUNTS)
+
+
+def bench_protocol() -> SweepProtocol:
+    """Multi-seed protocol: the batching dimension of a sweep cell.
+
+    Always repeats over the paper's six seeds (that is what a cell's
+    ``(R, N)`` stack is made of); the sequence count follows the scale.
+    """
+    sequence_count = {"smoke": 1, "paper": 6}.get(current_scale(), 3)
+    return SweepProtocol(sequence_count=sequence_count, seeds=PAPER_SEEDS)
+
+
+def test_backend_throughput(benchmark, world, sequences):
+    counts = bench_counts()
+    protocol = bench_protocol()
+
+    def compare():
+        return compare_backends(
+            world.grid,
+            sequences,
+            variants=VARIANTS,
+            particle_counts=counts,
+            protocol=protocol,
+        )
+
+    report = benchmark.pedantic(compare, rounds=1, iterations=1)
+
+    backends = report["backends"]
+    rows = []
+    for cell in report["timings"][backends[0]]["cells_s"]:
+        ref_s = report["timings"]["reference"]["cells_s"][cell]
+        bat_s = report["timings"]["batched"]["cells_s"][cell]
+        rows.append([cell, f"{ref_s:.2f}s", f"{bat_s:.2f}s", f"{ref_s / bat_s:.2f}x"])
+    ref_total = report["timings"]["reference"]["total_s"]
+    bat_total = report["timings"]["batched"]["total_s"]
+    rows.append(["total", f"{ref_total:.2f}s", f"{bat_total:.2f}s",
+                 f"{ref_total / bat_total:.2f}x"])
+    print()
+    print(
+        format_table(
+            ["cell", "reference", "batched", "speedup"],
+            rows,
+            title=(
+                f"Backend sweep timing — {len(protocol.seeds)} seeds x "
+                f"{protocol.sequence_count} sequences per cell"
+            ),
+            footnote="identical per-run metrics asserted; one core",
+        )
+    )
+    path = write_backend_report(report)
+    print(f"report: {path}")
+
+    # The backends must agree run-for-run — this is the hard guarantee
+    # that makes the throughput comparison meaningful at all.
+    assert report["equivalent"], "backends disagreed on per-run metrics"
+
+    # Throughput shape: the smallest-N cells are evaluation-bound and the
+    # batched engine must win decisively there; overall it must never be
+    # slower.  (Margins are loose: shared-machine timing jitter.)
+    smallest = min(counts)
+    small_cells = [c for c in report["timings"]["reference"]["cells_s"]
+                   if c.endswith(f"N={smallest}")]
+    for cell in small_cells:
+        ratio = (
+            report["timings"]["reference"]["cells_s"][cell]
+            / report["timings"]["batched"]["cells_s"][cell]
+        )
+        assert ratio > 1.5, f"batched should clearly win {cell}, got {ratio:.2f}x"
+    assert bat_total < ref_total * 1.05, "batched must not lose overall"

@@ -13,8 +13,12 @@ Expected shape (paper Sec. IV-D):
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.rng import make_rng
 from repro.core.config import PAPER_PARTICLE_COUNTS
+from repro.core.resampling import parallel_systematic_resample
+from repro.engine.kernels import systematic_resample
 from repro.soc.multicore import ClusterSimulator
 from repro.soc.perf import Gap9PerfModel, MclStep
 from repro.viz.ascii import line_plot
@@ -77,6 +81,12 @@ def test_fig10_structural_crosscheck(benchmark):
             # Concentrated posterior: weights after convergence are peaky.
             weights = rng.random(n) ** 4 + 1e-9
             u0 = float(rng.uniform(0, 1.0 / n))
+            # The parallel wheel the simulator schedules must draw the
+            # same particles as the engine's serial kernel (Fig. 4).
+            np.testing.assert_array_equal(
+                parallel_systematic_resample(weights, u0).indices,
+                systematic_resample(weights, u0),
+            )
             trace = sim.simulate_resampling(weights, u0)
             serial_cycles = n * (4.0 + 30.0)  # scan + draw, one core
             resample.append(serial_cycles / trace.makespan_cycles)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 
-from conftest import accuracy_protocol, particle_grid
+from conftest import accuracy_protocol, current_backend, particle_grid
 
 from repro.eval.aggregate import run_sweep
 from repro.viz.ascii import line_plot
@@ -37,6 +37,7 @@ def test_fig6_fig7_accuracy_sweep(benchmark, world, sequences, sweep_cache):
             variants=VARIANTS,
             particle_counts=counts,
             protocol=protocol,
+            backend=current_backend(),
         )
 
     result = benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -11,7 +11,7 @@ lower (paper: "the convergence is slower when using only 1 ToF sensor").
 
 from __future__ import annotations
 
-from conftest import accuracy_protocol
+from conftest import accuracy_protocol, current_backend
 
 from repro.eval.aggregate import run_sweep
 from repro.eval.metrics import convergence_curve
@@ -35,6 +35,7 @@ def test_fig8_convergence_probability(benchmark, world, sequences, sweep_cache):
             variants=VARIANTS,
             particle_counts=[PARTICLES],
             protocol=accuracy_protocol(),
+            backend=current_backend(),
         )
 
     result = benchmark.pedantic(compute, rounds=1, iterations=1)

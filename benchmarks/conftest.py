@@ -8,6 +8,10 @@ Scale control
 * ``quick``  — 3 sequences x 2 seeds, full particle grid (default),
 * ``paper``  — the full 6 sequences x 6 seeds protocol of the paper.
 
+``REPRO_BACKEND`` selects the filter backend the sweeps execute through
+(``batched`` by default; every backend produces identical results, so
+the choice only moves wall-clock).
+
 The expensive accuracy sweep is executed once per session (inside the
 Fig. 6/7 bench) and shared with the Fig. 8 bench through the session
 cache below.
@@ -27,6 +31,10 @@ from repro.maps.maze import build_drone_maze_world
 
 def current_scale() -> str:
     return os.environ.get("REPRO_SCALE", "quick").lower()
+
+
+def current_backend() -> str:
+    return os.environ.get("REPRO_BACKEND", "batched").lower()
 
 
 def accuracy_protocol() -> SweepProtocol:

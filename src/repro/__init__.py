@@ -40,7 +40,15 @@ from .core import (
 )
 from .core.adaptive import AdaptiveConfig, AdaptiveMcl
 from .dataset import RecordedSequence, load_all_sequences, load_sequence
-from .eval import RunResult, SweepProtocol, run_localization, run_sweep
+from .engine import FilterBackend, RunSpec, available_backends, get_backend
+from .eval import (
+    RunResult,
+    SweepEngine,
+    SweepProtocol,
+    run_localization,
+    run_localization_batch,
+    run_sweep,
+)
 from .mapping import GridMapper, MapperConfig, select_goal
 from .maps import (
     CellState,
@@ -83,9 +91,15 @@ __all__ = [
     "RecordedSequence",
     "load_all_sequences",
     "load_sequence",
+    "FilterBackend",
+    "RunSpec",
+    "available_backends",
+    "get_backend",
     "RunResult",
+    "SweepEngine",
     "SweepProtocol",
     "run_localization",
+    "run_localization_batch",
     "run_sweep",
     "CellState",
     "DistanceField",

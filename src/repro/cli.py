@@ -6,7 +6,13 @@ Subcommands:
 * ``show-map``        — render the combined evaluation world as ASCII
 * ``generate-data``   — build and cache the six evaluation sequences
 * ``run``             — localize one sequence with one configuration
+* ``sweep``           — run an evaluation sweep through the sweep engine
+* ``bench-backends``  — time reference vs batched backends on one sweep
 * ``perf``            — print the Table I / Table II model predictions
+
+Commands that execute the filter accept ``--backend {reference,batched}``
+to pick the :class:`~repro.engine.backend.FilterBackend`; all backends
+produce identical results, so the flag only affects throughput.
 """
 
 from __future__ import annotations
@@ -18,7 +24,11 @@ import sys
 from . import __version__
 from .core.config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
 from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequence
+from .engine.backend import available_backends
+from .eval.aggregate import SweepProtocol
+from .eval.bench import compare_backends, write_backend_report
 from .eval.runner import run_localization
+from .eval.sweep_engine import SweepEngine
 from .maps.maze import build_drone_maze_world
 from .soc.gap9 import GAP9
 from .soc.perf import Gap9PerfModel, MclStep
@@ -65,10 +75,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     world = build_drone_maze_world()
     sequence = load_sequence(args.sequence, world)
     config = MclConfig(particle_count=args.particles).with_variant(args.variant)
-    result = run_localization(world.grid, sequence, config, seed=args.seed)
+    result = run_localization(
+        world.grid, sequence, config, seed=args.seed, backend=args.backend
+    )
     metrics = result.metrics
     print(f"sequence   : {sequence.name} ({sequence.duration_s:.1f} s)")
     print(f"variant    : {config.variant_label}, N={config.particle_count}, seed={args.seed}")
+    print(f"backend    : {args.backend}")
     print(f"updates    : {result.update_count}")
     print(f"converged  : {metrics.converged}")
     if metrics.converged:
@@ -76,6 +89,105 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"ATE mean   : {metrics.ate_mean_m:.3f} m  (rmse {metrics.ate_rmse_m:.3f}, max {metrics.ate_max_m:.3f})")
         print(f"yaw mean   : {math.degrees(metrics.yaw_mean_rad):.1f} deg")
         print(f"success    : {metrics.success}")
+    return 0
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parse_particles(raw: str) -> list[int]:
+    counts = [_positive_int(part) for part in raw.split(",") if part.strip()]
+    if not counts:
+        raise argparse.ArgumentTypeError("need at least one particle count")
+    return counts
+
+
+def _parse_variants(raw: str) -> list[str]:
+    variants = [part.strip() for part in raw.split(",") if part.strip()]
+    for variant in variants:
+        if variant not in PAPER_VARIANTS:
+            raise argparse.ArgumentTypeError(
+                f"unknown variant {variant!r}; expected from {PAPER_VARIANTS}"
+            )
+    if not variants:
+        raise argparse.ArgumentTypeError("need at least one variant")
+    return variants
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    world = build_drone_maze_world()
+    sequences = load_all_sequences(world)
+    engine = SweepEngine(backend=args.backend, jobs=args.jobs)
+    progress = print if args.verbose else None
+    result = engine.run(
+        world.grid,
+        sequences,
+        variants=args.variants,
+        particle_counts=args.particles,
+        progress=progress,
+    )
+    header = ["variant"] + [str(c) for c in args.particles]
+    ate_rows = []
+    success_rows = []
+    for variant in args.variants:
+        ates = result.ate_series(variant, args.particles)
+        successes = result.success_series(variant, args.particles)
+        ate_rows.append(
+            [variant]
+            + [f"{a:.3f}" if not math.isnan(a) else "n/a" for a in ates]
+        )
+        success_rows.append([variant] + [f"{s:.0f}%" for s in successes])
+    runs = next(iter(result.cells.values())).aggregate.run_count
+    print(
+        format_table(
+            header,
+            ate_rows,
+            title=f"ATE (m) vs particle number  [{runs} runs/cell]",
+            footnote=f"backend={args.backend} jobs={args.jobs}",
+        )
+    )
+    print()
+    print(format_table(header, success_rows, title="success rate vs particle number"))
+    return 0
+
+
+def _cmd_bench_backends(args: argparse.Namespace) -> int:
+    world = build_drone_maze_world()
+    sequences = load_all_sequences(world)
+    report = compare_backends(
+        world.grid,
+        sequences,
+        variants=args.variants,
+        particle_counts=args.particles,
+        progress=print if args.verbose else None,
+    )
+    rows = []
+    for cell in report["timings"][report["backends"][0]]["cells_s"]:
+        rows.append(
+            [cell]
+            + [f"{report['timings'][b]['cells_s'][cell]:.2f}s" for b in report["backends"]]
+        )
+    rows.append(
+        ["total"]
+        + [f"{report['timings'][b]['total_s']:.2f}s" for b in report["backends"]]
+    )
+    print(
+        format_table(
+            ["cell"] + list(report["backends"]),
+            rows,
+            title="Backend sweep timing (lower is better)",
+            footnote=f"equivalent results: {report['equivalent']}",
+        )
+    )
+    baseline = report["backends"][0]
+    for backend, speedup in report[f"speedup_vs_{baseline}"].items():
+        print(f"speedup {backend} vs {baseline}: {speedup:.2f}x")
+    path = write_backend_report(report, args.json)
+    print(f"report written to {path}")
     return 0
 
 
@@ -148,7 +260,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--particles", type=int, default=4096)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="reference",
+        help="filter backend (identical results, different throughput)",
+    )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an evaluation sweep through the sweep engine"
+    )
+    sweep.add_argument(
+        "--variants",
+        type=_parse_variants,
+        default=list(PAPER_VARIANTS),
+        help="comma-separated paper variants",
+    )
+    sweep.add_argument(
+        "--particles",
+        type=_parse_particles,
+        default=list(PAPER_PARTICLE_COUNTS),
+        help="comma-separated particle counts",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="batched",
+        help="filter backend executing each sweep cell",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for cell fan-out",
+    )
+    sweep.add_argument(
+        "--verbose", action="store_true", help="print one line per completed run"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench-backends", help="time reference vs batched backends on one sweep"
+    )
+    bench.add_argument("--variants", type=_parse_variants, default=None)
+    bench.add_argument("--particles", type=_parse_particles, default=None)
+    bench.add_argument(
+        "--json", default=None, help="report path (default results/BENCH_backends.json)"
+    )
+    bench.add_argument(
+        "--verbose", action="store_true", help="print per-cell timings as they finish"
+    )
+    bench.set_defaults(func=_cmd_bench_backends)
 
     sub.add_parser("perf", help="print Table I / II model predictions").set_defaults(
         func=_cmd_perf

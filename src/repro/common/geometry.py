@@ -31,11 +31,18 @@ TWO_PI = 2.0 * math.pi
 def wrap_angle(angle):
     """Normalize an angle (scalar or array) to the interval ``[-pi, pi)``.
 
+    The scalar fast path computes the identical IEEE-754 result as the
+    array path (Python's float ``%`` matches numpy's elementwise ``%``),
+    without the ``asarray`` round-trip — this sits on the ``Pose2D`` hot
+    path of sequence replay.
+
     >>> wrap_angle(math.pi)
     -3.141592653589793
     >>> wrap_angle(0.5)
     0.5
     """
+    if isinstance(angle, float):
+        return (angle + math.pi) % TWO_PI - math.pi
     wrapped = (np.asarray(angle, dtype=np.float64) + math.pi) % TWO_PI - math.pi
     if np.ndim(angle) == 0:
         return float(wrapped)
@@ -47,6 +54,8 @@ def angle_difference(a, b):
 
     The result lies in ``[-pi, pi)``.  Works on scalars and arrays alike.
     """
+    if isinstance(a, float) and isinstance(b, float):
+        return wrap_angle(a - b)
     return wrap_angle(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
 
 

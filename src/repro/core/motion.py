@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..common.geometry import Pose2D, compose_arrays
+from ..common.geometry import Pose2D
+from ..engine.kernels import compose_increment, sample_motion_noise
 from .config import MclConfig
 from .particles import ParticleSet
 
@@ -34,12 +35,10 @@ def apply_motion_model(
     always injects noise, exactly like the on-board implementation does
     per triggered update.
     """
-    n = particles.count
-    noise_x = rng.normal(0.0, config.sigma_odom_xy, size=n)
-    noise_y = rng.normal(0.0, config.sigma_odom_xy, size=n)
-    noise_theta = rng.normal(0.0, config.sigma_odom_theta, size=n)
-
-    new_x, new_y, new_theta = compose_arrays(
+    noise_x, noise_y, noise_theta = sample_motion_noise(
+        rng, particles.count, config.sigma_odom_xy, config.sigma_odom_theta
+    )
+    new_x, new_y, new_theta = compose_increment(
         particles.x.astype(np.float64),
         particles.y.astype(np.float64),
         particles.theta.astype(np.float64),

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..common.errors import SensorError
-from ..common.geometry import transform_points
+from ..engine import kernels
 from ..maps.distance_field import DistanceField
 from ..sensors.tof import TofFrame
 from .config import MclConfig
@@ -77,10 +77,15 @@ def extract_beams(frames: list[TofFrame], config: MclConfig) -> BeamBundle:
             )
         az, rng_m, valid = frame.beams(rows=rows)
         keep = valid & (rng_m < config.max_beam_range_m)
+        kept = int(np.count_nonzero(keep))
         azimuths.append(az[keep])
         ranges.append(rng_m[keep])
-        origins_x.append(np.full(int(keep.sum()), frame.mount_x))
-        origins_y.append(np.full(int(keep.sum()), frame.mount_y))
+        # One origin allocation per frame, count hoisted out of the fills.
+        origins = np.empty((2, kept), dtype=np.float64)
+        origins[0] = frame.mount_x
+        origins[1] = frame.mount_y
+        origins_x.append(origins[0])
+        origins_y.append(origins[1])
     if azimuths:
         return BeamBundle(
             azimuths=np.concatenate(azimuths),
@@ -102,15 +107,15 @@ def log_likelihoods(
     The Gaussian normalization constant is omitted (it cancels).
     """
     end_x, end_y = beams.endpoints_body()
-    world_x, world_y = transform_points(
+    return kernels.beam_log_likelihoods(
         particles.x.astype(np.float64),
         particles.y.astype(np.float64),
         particles.theta.astype(np.float64),
         end_x,
         end_y,
+        field,
+        sigma_obs,
     )
-    distances = field.lookup_world(world_x, world_y).astype(np.float64)
-    return -np.sum(distances**2, axis=1) / (2.0 * sigma_obs**2)
 
 
 def apply_observation_model(
@@ -129,9 +134,9 @@ def apply_observation_model(
     if beams.beam_count == 0:
         return False
     log_lik = log_likelihoods(particles, beams, field, config.sigma_obs)
-    log_lik *= config.beam_replication
-    log_lik -= log_lik.max()
-    updated = particles.weights.astype(np.float64) * np.exp(log_lik)
+    updated = kernels.posterior_log_weights(
+        particles.weights, log_lik, config.beam_replication
+    )
     particles.weights[:] = updated.astype(particles.precision.particle_dtype)
     particles.normalize_weights()
     return True

@@ -19,6 +19,7 @@ import numpy as np
 from ..common.errors import ConfigurationError, MapError
 from ..common.geometry import wrap_angle
 from ..common.precision import PrecisionMode
+from ..engine import kernels
 from ..maps.occupancy import OccupancyGrid
 
 
@@ -120,24 +121,13 @@ class ParticleSet:
         fully degenerate population (all weights zero or non-finite) is
         reset to uniform — the filter lost, but must stay operational.
         """
-        weights = self.weights.astype(np.float64)
-        weights[~np.isfinite(weights)] = 0.0
-        total = float(weights.sum())
-        if total <= 0.0:
-            self.weights[:] = np.asarray(1.0 / self.count, dtype=self.precision.particle_dtype)
-            return 0.0
-        normalized = weights / total
-        self.weights[:] = normalized.astype(self.precision.particle_dtype)
-        return total
+        total = kernels.normalize_weights(self.weights, self.precision.particle_dtype)
+        total = float(total)
+        return total if total > 0.0 else 0.0
 
     def effective_sample_size(self) -> float:
         """ESS = 1 / sum(w^2); ranges from 1 (degenerate) to N (uniform)."""
-        weights = self.weights.astype(np.float64)
-        total = weights.sum()
-        if total <= 0:
-            return 0.0
-        weights = weights / total
-        return float(1.0 / np.sum(weights**2))
+        return float(kernels.effective_sample_size(self.weights))
 
     # ------------------------------------------------------------------
     # Resampling support

@@ -12,12 +12,12 @@ concentrated the belief is.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..common.geometry import Pose2D, angle_difference, circular_mean
+from ..common.geometry import Pose2D, angle_difference
+from ..engine import kernels
 from .particles import ParticleSet
 
 
@@ -45,35 +45,14 @@ def estimate_pose(particles: ParticleSet) -> PoseEstimate:
     Weights are re-normalized defensively in float64; a degenerate
     population falls back to the unweighted mean.
     """
-    weights = particles.weights.astype(np.float64)
-    total = weights.sum()
-    if total <= 0 or not np.isfinite(total):
-        weights = np.full(particles.count, 1.0 / particles.count)
-    else:
-        weights = weights / total
-
     x = particles.x.astype(np.float64)
     y = particles.y.astype(np.float64)
     theta = particles.theta.astype(np.float64)
 
-    mean_x = float(np.dot(weights, x))
-    mean_y = float(np.dot(weights, y))
-    mean_theta = circular_mean(theta, weights)
-
-    dx = x - mean_x
-    dy = y - mean_y
-    cov = np.empty((2, 2), dtype=np.float64)
-    cov[0, 0] = float(np.dot(weights, dx * dx))
-    cov[0, 1] = cov[1, 0] = float(np.dot(weights, dx * dy))
-    cov[1, 1] = float(np.dot(weights, dy * dy))
-
-    # Circular spread: R = |weighted mean resultant|, std = sqrt(-2 ln R).
-    resultant = complex(
-        float(np.dot(weights, np.cos(theta))), float(np.dot(weights, np.sin(theta)))
+    weights, mean_x, mean_y, mean_theta = kernels.weighted_mean_pose(
+        x, y, theta, particles.weights
     )
-    r_len = min(abs(resultant), 1.0)
-    yaw_std = math.sqrt(max(-2.0 * math.log(max(r_len, 1e-12)), 0.0))
-
+    cov, yaw_std = kernels.weighted_pose_spread(x, y, theta, weights, mean_x, mean_y)
     ess = particles.effective_sample_size()
     return PoseEstimate(
         pose=Pose2D(mean_x, mean_y, mean_theta),

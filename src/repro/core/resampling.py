@@ -30,48 +30,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..common.errors import ConfigurationError
+from ..engine.kernels import _normalized, draw_wheel_offset, systematic_resample
+
+__all__ = [
+    "GAP9_WORKER_CORES",
+    "draw_wheel_offset",
+    "systematic_resample",
+    "CoreAssignment",
+    "ParallelResampleResult",
+    "parallel_systematic_resample",
+]
 
 #: Number of worker cores in the GAP9 cluster (paper Sec. III-B).
 GAP9_WORKER_CORES = 8
 
-
-def draw_wheel_offset(rng: np.random.Generator, count: int) -> float:
-    """Draw the single random number of systematic resampling.
-
-    Returns ``u0`` uniform in ``[0, 1/N)``; arrow ``i`` then sits at
-    normalized position ``u0 + i / N``.
-    """
-    return float(rng.uniform(0.0, 1.0 / count))
-
-
-def _normalized(weights: np.ndarray) -> np.ndarray:
-    weights = np.asarray(weights, dtype=np.float64)
-    if weights.ndim != 1 or weights.size == 0:
-        raise ConfigurationError("weights must be a non-empty 1-D array")
-    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
-        raise ConfigurationError("weights must be finite and non-negative")
-    total = weights.sum()
-    if total <= 0:
-        raise ConfigurationError("weights must not sum to zero")
-    return weights / total
-
-
-def systematic_resample(weights: np.ndarray, u0: float) -> np.ndarray:
-    """Serial systematic resampling; returns N source indices.
-
-    ``u0`` must lie in ``[0, 1/N)`` (use :func:`draw_wheel_offset`).
-    The returned indices are non-decreasing, and each particle ``i`` is
-    drawn either ``floor(N w_i)`` or ``ceil(N w_i)`` times — the classic
-    low-variance guarantees.
-    """
-    weights = _normalized(weights)
-    count = weights.size
-    if not 0.0 <= u0 < 1.0 / count:
-        raise ConfigurationError(f"u0 must be in [0, 1/N), got {u0}")
-    positions = u0 + np.arange(count, dtype=np.float64) / count
-    cumulative = np.cumsum(weights)
-    cumulative[-1] = 1.0  # guard against rounding shortfall
-    return np.searchsorted(cumulative, positions, side="right").astype(np.int64)
+# The serial wheel (``draw_wheel_offset`` + ``systematic_resample``) now
+# lives in :mod:`repro.engine.kernels` so all backends share one
+# implementation; both names are re-exported here unchanged.
 
 
 @dataclass

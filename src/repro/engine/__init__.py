@@ -1,0 +1,45 @@
+"""Pluggable filter-backend layer: numeric kernels + run executors.
+
+``repro.engine`` owns the filter's arithmetic (``kernels``) and the
+:class:`FilterBackend` seam that the evaluation stack dispatches runs
+through.  The ``core`` modules delegate their math to the kernels; the
+concrete backends (``reference``, ``batched``) are loaded lazily because
+they build on ``core`` — see :mod:`repro.engine.backend`.
+"""
+
+from . import kernels
+from .backend import (
+    FilterBackend,
+    RunSpec,
+    RunTrace,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+__all__ = [
+    "kernels",
+    "FilterBackend",
+    "RunSpec",
+    "RunTrace",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "BatchedBackend",
+    "ReferenceBackend",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: ReferenceBackend/BatchedBackend import repro.core, which in
+    # turn imports repro.engine.kernels — resolving them here at first
+    # attribute access keeps the package import acyclic.
+    if name == "ReferenceBackend":
+        from .reference import ReferenceBackend
+
+        return ReferenceBackend
+    if name == "BatchedBackend":
+        from .batched import BatchedBackend
+
+        return BatchedBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

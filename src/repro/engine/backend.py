@@ -1,0 +1,127 @@
+"""The ``FilterBackend`` seam: pluggable executors for localization runs.
+
+A backend executes a *batch* of independent localization runs — each one
+a (sequence, seed) pair replayed through a fresh filter — against one
+shared (grid, config, distance field) context, and returns one
+:class:`RunTrace` per run.  Everything above this seam (metrics, sweep
+orchestration, CLI, benchmarks) is backend-agnostic; everything below it
+is free to reorganize the arithmetic, as long as per-run results are
+bitwise identical to the reference implementation.
+
+Two backends ship today:
+
+* ``reference`` — the original scalar-per-run loop
+  (:class:`~repro.engine.reference.ReferenceBackend`), one
+  :class:`~repro.core.mcl.MonteCarloLocalization` per run;
+* ``batched`` — :class:`~repro.engine.batched.BatchedBackend`, which
+  stacks all R runs' particle populations into ``(R, N)`` arrays and
+  advances them in single vectorized passes.
+
+Future numba/GPU backends plug in by registering a new name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # imports kept lazy to avoid core <-> engine cycles
+    from ..core.config import MclConfig
+    from ..dataset.recorder import RecordedSequence
+    from ..maps.distance_field import DistanceField
+    from ..maps.occupancy import OccupancyGrid
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One localization run: a recorded sequence replayed under a seed.
+
+    ``tracking_init`` selects the pose-tracking protocol (Gaussian cloud
+    around the true start pose) instead of the default global
+    localization (uniform over free space).
+    """
+
+    sequence: "RecordedSequence"
+    seed: int
+    tracking_init: bool = False
+    tracking_sigma_xy: float = 0.3
+    tracking_sigma_theta: float = 0.3
+
+
+@dataclass
+class RunTrace:
+    """Raw per-frame output of one run, before metric reduction.
+
+    ``estimate_trace`` is the ``(T, 3)`` estimated pose per frame
+    instant; the error arrays are aligned with ``timestamps``.
+    """
+
+    timestamps: np.ndarray
+    position_errors: np.ndarray
+    yaw_errors: np.ndarray
+    estimate_trace: np.ndarray
+    update_count: int
+
+
+@runtime_checkable
+class FilterBackend(Protocol):
+    """Executes batches of localization runs behind a common interface."""
+
+    name: str
+
+    def execute(
+        self,
+        grid: "OccupancyGrid",
+        specs: Sequence[RunSpec],
+        config: "MclConfig",
+        field: "DistanceField | None" = None,
+    ) -> list[RunTrace]:
+        """Run every spec and return traces in spec order."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FACTORIES: dict[str, Callable[[], FilterBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], FilterBackend]) -> None:
+    """Register a backend factory under a CLI-selectable name."""
+    _FACTORIES[name] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend` (and the ``--backend`` flag)."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(backend: "str | FilterBackend") -> FilterBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if not isinstance(backend, str):
+        return backend
+    _ensure_builtin_backends()
+    if backend not in _FACTORIES:
+        valid = ", ".join(sorted(_FACTORIES))
+        raise ConfigurationError(
+            f"unknown filter backend {backend!r}; expected one of: {valid}"
+        )
+    return _FACTORIES[backend]()
+
+
+def _ensure_builtin_backends() -> None:
+    """Register the built-in backends on first use (lazily: the concrete
+    implementations import ``core`` modules, which themselves import the
+    engine kernels)."""
+    if "reference" in _FACTORIES and "batched" in _FACTORIES:
+        return
+    from .batched import BatchedBackend
+    from .reference import ReferenceBackend
+
+    _FACTORIES.setdefault("reference", ReferenceBackend)
+    _FACTORIES.setdefault("batched", BatchedBackend)

@@ -1,0 +1,495 @@
+"""The batched backend: R independent runs stepped as ``(R, N)`` stacks.
+
+The sweep protocol replays the same filter configuration over many
+(sequence, seed) pairs.  The reference backend walks them one at a time,
+so every numpy kernel is dispatched R times per observation instant and
+every sequence is re-replayed (frames materialized, beams re-extracted)
+once per seed.  This backend instead keeps all R particle populations in
+``(R, N)`` arrays and advances them together:
+
+* **per-run movement gating via boolean masks** — each step only
+  touches the rows whose gate fired (runs of different sequences fire
+  at different instants);
+* **cached replay plans** — the parts of a run that depend only on the
+  sequence and the gating/beam configuration (odometry accumulation,
+  trigger trace, frame materialization, beam extraction, ground-truth
+  poses) are computed once per (sequence, config signature) and shared
+  by every seed of every sweep cell that replays that sequence;
+* **one vectorized observation pass** — the beam transform, EDT lookup
+  and log-likelihood reduction run on ``(R', N, K)`` stacks (chunked to
+  bound temporary memory);
+* **per-run resampling via row-wise wheel offsets** — each run draws its
+  own ``u0`` from its own RNG stream and gathers its own row.
+
+Every kernel invocation follows the bitwise-reproducibility contract of
+:mod:`repro.engine.kernels`, and each run's RNG stream sees exactly the
+same draws in the same order as under the reference backend, so per-run
+traces and metrics are **identical** to R sequential reference runs —
+asserted by ``tests/engine/test_backends.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D, wrap_angle
+from ..common.rng import make_rng
+from ..core.config import MclConfig
+from ..core.observation import BeamBundle, extract_beams
+from ..core.pose_estimate import pose_error
+from ..dataset.recorder import RecordedSequence
+from ..maps.distance_field import DistanceField
+from ..maps.occupancy import OccupancyGrid
+from . import kernels
+from .backend import RunSpec, RunTrace
+
+#: Upper bound on elements of one (R', N, K) observation temporary; row
+#: chunks are sized so R' * N * K stays below this.  Tuned so a chunk's
+#: float64 intermediates (~0.5 MB each) stay cache-resident — stacking
+#: more rows per numpy call saves dispatch overhead only while the
+#: working set still fits near the core; beyond that the batched pass
+#: runs slower per element than the reference's one-run tiles.
+OBS_CHUNK_ELEMENTS = 1 << 16
+
+
+@dataclass
+class ReplayStep:
+    """What one observation instant of a sequence holds for the filter.
+
+    ``fires`` is the movement-gate decision (identical for every run of
+    the sequence — the gate reads odometry only); when it fires,
+    ``pending`` is the accumulated body-frame motion the update consumes
+    and ``beams``/``end_x``/``end_y`` the preprocessed observation.
+    """
+
+    fires: bool
+    pending: Pose2D | None = None
+    beams: BeamBundle | None = None
+    end_x: np.ndarray | None = None
+    end_y: np.ndarray | None = None
+
+
+class ReplayPlan:
+    """Everything about replaying one sequence that no seed changes.
+
+    Replicates the reference loop's odometry accumulation and movement
+    gating operation-for-operation, and hoists frame materialization,
+    beam extraction and ground-truth pose construction out of the
+    per-run (and per-cell) hot path.
+    """
+
+    def __init__(self, sequence: RecordedSequence, config: MclConfig) -> None:
+        self.sequence = sequence  # strong ref keeps the cache key stable
+        self.length = len(sequence)
+        self.timestamps = [float(t) for t in sequence.timestamps]
+        self.ground_truth = [
+            sequence.ground_truth_pose(t) for t in range(self.length)
+        ]
+        self.steps: list[ReplayStep] = []
+
+        pending = Pose2D.identity()
+        previous = sequence.odometry_pose(0)
+        for t in range(self.length):
+            if t > 0:
+                odometry = sequence.odometry_pose(t)
+                pending = pending.compose(previous.between(odometry))
+                previous = odometry
+            if not config.movement_trigger(pending.x, pending.y, pending.theta):
+                self.steps.append(ReplayStep(fires=False))
+                continue
+            timestamp = self.timestamps[t]
+            frames = [track.frame(t, timestamp) for track in sequence.tracks]
+            beams = extract_beams(frames, config)
+            step = ReplayStep(fires=True, pending=pending)
+            if beams.beam_count:
+                step.beams = beams
+                step.end_x, step.end_y = beams.endpoints_body()
+            self.steps.append(step)
+            pending = Pose2D.identity()
+
+    @staticmethod
+    def signature(config: MclConfig) -> tuple:
+        """The config facets a plan depends on (gating + beam filtering)."""
+        return (
+            config.d_xy,
+            config.d_theta,
+            config.use_rear_sensor,
+            config.beam_rows,
+            config.max_beam_range_m,
+        )
+
+
+class BatchedBackend:
+    """Vectorized executor advancing all runs of a batch simultaneously."""
+
+    name = "batched"
+
+    def __init__(self, obs_chunk_elements: int = OBS_CHUNK_ELEMENTS) -> None:
+        if obs_chunk_elements < 1:
+            raise ConfigurationError("obs_chunk_elements must be positive")
+        self.obs_chunk_elements = int(obs_chunk_elements)
+        self._plans: dict[tuple, ReplayPlan] = {}
+
+    def execute(
+        self,
+        grid: OccupancyGrid,
+        specs: Sequence[RunSpec],
+        config: MclConfig,
+        field: DistanceField | None = None,
+    ) -> list[RunTrace]:
+        if not specs:
+            return []
+        if field is None:
+            field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        if abs(field.resolution - grid.resolution) > 1e-12:
+            raise ConfigurationError(
+                "distance field resolution does not match the occupancy grid"
+            )
+        batch = _RunBatch(
+            grid, list(specs), config, field, self.obs_chunk_elements, self._plan
+        )
+        return batch.run()
+
+    def _plan(self, sequence: RecordedSequence, config: MclConfig) -> ReplayPlan:
+        """Build (or reuse) the replay plan of one sequence.
+
+        Keyed by object identity plus the gating/beam signature; the plan
+        holds a strong reference to its sequence, which keeps ``id``
+        stable for the cache's lifetime.
+        """
+        key = (id(sequence), ReplayPlan.signature(config))
+        plan = self._plans.get(key)
+        if plan is None or plan.sequence is not sequence:
+            plan = ReplayPlan(sequence, config)
+            self._plans[key] = plan
+        return plan
+
+
+class _SequenceGroup:
+    """Runs of one batch that replay the same recorded sequence."""
+
+    def __init__(self, plan: ReplayPlan, run_indices: list[int]) -> None:
+        self.plan = plan
+        self.runs = run_indices
+        self.length = plan.length
+
+
+class _RunBatch:
+    """Mutable state of one batched execution: ``(R, N)`` populations."""
+
+    def __init__(
+        self,
+        grid: OccupancyGrid,
+        specs: list[RunSpec],
+        config: MclConfig,
+        field: DistanceField,
+        obs_chunk_elements: int,
+        plan_for,
+    ) -> None:
+        self.grid = grid
+        self.specs = specs
+        self.config = config
+        self.field = field
+        self.obs_chunk_elements = obs_chunk_elements
+        self.count = config.particle_count
+        self.dtype = config.precision.particle_dtype
+
+        runs = len(specs)
+        self.rngs = [make_rng(spec.seed, "mcl") for spec in specs]
+        self.x = np.zeros((runs, self.count), dtype=self.dtype)
+        self.y = np.zeros((runs, self.count), dtype=self.dtype)
+        self.theta = np.zeros((runs, self.count), dtype=self.dtype)
+        self.weights = np.zeros((runs, self.count), dtype=self.dtype)
+        self.update_count = np.zeros(runs, dtype=np.int64)
+        self.estimates: list[Pose2D] = [Pose2D.identity()] * runs
+        self.estimate_arrays: list[np.ndarray] = [None] * runs  # type: ignore[list-item]
+
+        # Group runs by the sequence they replay; the replay plan (gating
+        # trace, beams, ground truth) is shared within a group and — via
+        # the backend's cache — across sweep cells.
+        groups: dict[int, _SequenceGroup] = {}
+        for run, spec in enumerate(specs):
+            key = id(spec.sequence)
+            if key not in groups:
+                groups[key] = _SequenceGroup(plan_for(spec.sequence, config), [])
+            groups[key].runs.append(run)
+        self.groups = list(groups.values())
+        self.run_group: list[_SequenceGroup] = [None] * runs  # type: ignore[list-item]
+        for group in self.groups:
+            for run in group.runs:
+                self.run_group[run] = group
+
+        self._init_populations()
+
+    # ------------------------------------------------------------------
+    # Initialization (replicates ParticleSet init + MCL reset semantics)
+    # ------------------------------------------------------------------
+    def _store(
+        self,
+        rows,
+        x: np.ndarray,
+        y: np.ndarray,
+        theta: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Write float64 state back at storage precision (= ``set_state``)."""
+        self.x[rows] = np.asarray(x).astype(self.dtype)
+        self.y[rows] = np.asarray(y).astype(self.dtype)
+        self.theta[rows] = wrap_angle(np.asarray(theta, dtype=np.float64)).astype(
+            self.dtype
+        )
+        if weights is not None:
+            self.weights[rows] = np.asarray(weights).astype(self.dtype)
+
+    def _init_populations(self) -> None:
+        n = self.count
+        uniform = np.full(n, 1.0 / n)
+        for run, spec in enumerate(self.specs):
+            rng = self.rngs[run]
+            # Global-localization init always runs first (the reference
+            # filter draws it in its constructor), so the RNG stream
+            # advances identically even under tracking init.
+            x, y = self.grid.sample_free_points(n, rng)
+            theta = rng.uniform(-np.pi, np.pi, size=n)
+            self._store(run, x, y, theta, uniform)
+            if spec.tracking_init:
+                start = spec.sequence.ground_truth_pose(0)
+                x = rng.normal(start.x, spec.tracking_sigma_xy, size=n)
+                y = rng.normal(start.y, spec.tracking_sigma_xy, size=n)
+                theta = rng.normal(start.theta, spec.tracking_sigma_theta, size=n)
+                self._store(run, x, y, theta, uniform)
+        self._refresh_estimates(np.arange(len(self.specs)))
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> list[RunTrace]:
+        runs = len(self.specs)
+        timestamps: list[list[float]] = [[] for _ in range(runs)]
+        position_errors: list[list[float]] = [[] for _ in range(runs)]
+        yaw_errors: list[list[float]] = [[] for _ in range(runs)]
+        estimate_rows: list[list[np.ndarray]] = [[] for _ in range(runs)]
+
+        horizon = max(group.length for group in self.groups)
+        for t in range(horizon):
+            triggered = self._gate_mask(t)
+            if triggered.size:
+                self._step_triggered(t, triggered)
+            self._record(
+                t, timestamps, position_errors, yaw_errors, estimate_rows
+            )
+
+        traces = []
+        for run in range(runs):
+            traces.append(
+                RunTrace(
+                    timestamps=np.array(timestamps[run]),
+                    position_errors=np.array(position_errors[run]),
+                    yaw_errors=np.array(yaw_errors[run]),
+                    estimate_trace=np.stack(estimate_rows[run]),
+                    update_count=int(self.update_count[run]),
+                )
+            )
+        return traces
+
+    def _gate_mask(self, t: int) -> np.ndarray:
+        """Rows whose movement gate fires at instant ``t``.
+
+        The returned array is the step's per-run boolean gate mask in
+        index form: the rows of the ``(R, N)`` stacks this update will
+        touch.  Rows whose sequence already ended never fire.
+        """
+        triggered: list[int] = []
+        for group in self.groups:
+            if t < group.length and group.plan.steps[t].fires:
+                triggered.extend(group.runs)
+        return np.array(triggered, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # One batched filter update over the triggered rows
+    # ------------------------------------------------------------------
+    def _step_triggered(self, t: int, triggered: np.ndarray) -> None:
+        self._motion_update(t, triggered)
+        observed = self._observation_update(t, triggered)
+        if observed.size:
+            self._resample(observed)
+        self._refresh_estimates(triggered)
+        self.update_count[triggered] += 1
+
+    def _motion_update(self, t: int, triggered: np.ndarray) -> None:
+        config = self.config
+        n = self.count
+        rows = len(triggered)
+        noise_x = np.empty((rows, n))
+        noise_y = np.empty((rows, n))
+        noise_theta = np.empty((rows, n))
+        inc = np.empty((rows, 3))
+        for i, run in enumerate(triggered):
+            run = int(run)
+            noise_x[i], noise_y[i], noise_theta[i] = kernels.sample_motion_noise(
+                self.rngs[run], n, config.sigma_odom_xy, config.sigma_odom_theta
+            )
+            pending = self.run_group[run].plan.steps[t].pending
+            inc[i] = (pending.x, pending.y, pending.theta)
+
+        new_x, new_y, new_theta = kernels.compose_increment(
+            self.x[triggered].astype(np.float64),
+            self.y[triggered].astype(np.float64),
+            self.theta[triggered].astype(np.float64),
+            inc[:, 0:1] + noise_x,
+            inc[:, 1:2] + noise_y,
+            inc[:, 2:3] + noise_theta,
+        )
+        self._store(triggered, new_x, new_y, new_theta)
+
+    def _observation_update(self, t: int, triggered: np.ndarray) -> np.ndarray:
+        """Re-weight triggered rows; returns the rows that saw usable beams."""
+        config = self.config
+        observed: list[int] = []
+        for group in self.groups:
+            if t >= group.length:
+                continue
+            step = group.plan.steps[t]
+            if not step.fires or step.beams is None:
+                continue
+            rows = group.runs
+            for chunk in self._row_chunks(rows, step.beams.beam_count):
+                log_lik = kernels.beam_log_likelihoods(
+                    self.x[chunk].astype(np.float64),
+                    self.y[chunk].astype(np.float64),
+                    self.theta[chunk].astype(np.float64),
+                    step.end_x,
+                    step.end_y,
+                    self.field,
+                    config.sigma_obs,
+                )
+                updated = kernels.posterior_log_weights(
+                    self.weights[chunk], log_lik, config.beam_replication
+                )
+                stored = updated.astype(self.dtype)
+                kernels.normalize_weights(stored, self.dtype)
+                self.weights[chunk] = stored
+            observed.extend(rows)
+        return np.array(observed, dtype=np.int64)
+
+    def _row_chunks(self, rows: list[int], beam_count: int):
+        """Split rows so one (R', N, K) float64 temporary stays bounded."""
+        per_row = self.count * max(beam_count, 1)
+        chunk_rows = max(1, self.obs_chunk_elements // per_row)
+        for start in range(0, len(rows), chunk_rows):
+            yield np.array(rows[start : start + chunk_rows], dtype=np.int64)
+
+    def _resample(self, observed: np.ndarray) -> None:
+        threshold = self.config.resample_ess_fraction * self.count
+        ess = np.atleast_1d(
+            np.asarray(kernels.effective_sample_size(self.weights[observed]))
+        )
+        uniform = np.asarray(1.0 / self.count, dtype=self.dtype)
+        for i, run in enumerate(observed):
+            run = int(run)
+            if ess[i] > threshold:
+                continue
+            u0 = kernels.draw_wheel_offset(self.rngs[run], self.count)
+            indices = kernels.systematic_resample(
+                self.weights[run].astype(np.float64), u0, validate=False
+            )
+            self.x[run] = self.x[run][indices]
+            self.y[run] = self.y[run][indices]
+            self.theta[run] = self.theta[run][indices]
+            self.weights[run] = uniform
+
+    # ------------------------------------------------------------------
+    # Pose estimates
+    # ------------------------------------------------------------------
+    def _refresh_estimates(self, triggered: np.ndarray) -> None:
+        """Recompute the weighted-mean poses of all triggered rows.
+
+        The elementwise stages (float64 casts, weight normalization,
+        sin/cos of yaw) run once on the ``(R', N)`` stack; the
+        order-sensitive reductions (the weighted dots) stay per-row on
+        contiguous views, so each row's result is bitwise identical to
+        :func:`repro.engine.kernels.weighted_mean_pose` on that run alone.
+        """
+        x64 = self.x[triggered].astype(np.float64)
+        y64 = self.y[triggered].astype(np.float64)
+        theta64 = self.theta[triggered].astype(np.float64)
+        w64 = self.weights[triggered].astype(np.float64)
+        totals = w64.sum(axis=-1)
+        degenerate = ~((totals > 0) & np.isfinite(totals))
+        if degenerate.any():  # rare: fall back to the scalar kernel
+            for run in triggered:
+                self._refresh_estimate(int(run))
+            return
+        w64 /= totals[:, None]
+        sin_t = np.sin(theta64)
+        cos_t = np.cos(theta64)
+        sums = w64.sum(axis=-1)
+        for i, run in enumerate(triggered):
+            weights = w64[i]
+            mean_x = float(np.dot(weights, x64[i]))
+            mean_y = float(np.dot(weights, y64[i]))
+            mean_theta = self._circular_mean_row(
+                weights, sin_t[i], cos_t[i], float(sums[i])
+            )
+            estimate = Pose2D(mean_x, mean_y, mean_theta)
+            self.estimates[int(run)] = estimate
+            self.estimate_arrays[int(run)] = estimate.as_array()
+
+    def _refresh_estimate(self, run: int) -> None:
+        """Recompute one run's weighted-mean pose from its row views."""
+        _, mean_x, mean_y, mean_theta = kernels.weighted_mean_pose(
+            self.x[run].astype(np.float64),
+            self.y[run].astype(np.float64),
+            self.theta[run].astype(np.float64),
+            self.weights[run],
+        )
+        estimate = Pose2D(mean_x, mean_y, mean_theta)
+        self.estimates[run] = estimate
+        self.estimate_arrays[run] = estimate.as_array()
+
+    @staticmethod
+    def _circular_mean_row(
+        weights: np.ndarray, sin_t: np.ndarray, cos_t: np.ndarray, total: float
+    ) -> float:
+        """One row of :func:`repro.common.geometry.circular_mean`.
+
+        ``sin_t``/``cos_t`` are the precomputed elementwise transforms;
+        the dots and guards replicate the scalar helper exactly.  The
+        degenerate branches (non-positive or non-finite totals) are
+        handled by the caller's fallback, so ``total > 0`` holds here.
+        """
+        sin_sum = float(np.dot(weights, sin_t))
+        cos_sum = float(np.dot(weights, cos_t))
+        eps = 1e-9 * max(1.0, total)
+        if abs(sin_sum) < eps and abs(cos_sum) < eps:
+            return 0.0
+        return math.atan2(sin_sum / total, cos_sum / total)
+
+    # ------------------------------------------------------------------
+    # Trace recording
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        t: int,
+        timestamps: list[list[float]],
+        position_errors: list[list[float]],
+        yaw_errors: list[list[float]],
+        estimate_rows: list[list[np.ndarray]],
+    ) -> None:
+        for group in self.groups:
+            if t >= group.length:
+                continue
+            plan = group.plan
+            timestamp = plan.timestamps[t]
+            ground_truth = plan.ground_truth[t]
+            for run in group.runs:
+                err_pos, err_yaw = pose_error(self.estimates[run], ground_truth)
+                timestamps[run].append(timestamp)
+                position_errors[run].append(err_pos)
+                yaw_errors[run].append(err_yaw)
+                estimate_rows[run].append(self.estimate_arrays[run])

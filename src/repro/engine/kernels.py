@@ -1,0 +1,309 @@
+"""Array-level numeric kernels of the MCL filter.
+
+Every arithmetic step of the filter loop — motion sampling, beam
+transform + EDT lookup + log-likelihood, weight update, ESS, systematic
+resampling, weighted pose estimate — lives here as a pure function over
+raw arrays.  The ``core`` modules keep their public APIs but delegate the
+math to these kernels; the batched backend calls the same kernels on
+``(R, N)`` stacks of R independent runs.
+
+Bitwise-reproducibility contract
+--------------------------------
+Backends are required to produce *identical* per-run results, so every
+kernel is written to give the same floating-point answer whether it is
+applied to one run's ``(N,)`` arrays or to a row of an ``(R, N)`` stack:
+
+* elementwise ops (compose, transform, exp, casts) are trivially
+  shape-independent;
+* reductions always run along the **last (contiguous) axis**, where numpy
+  applies the same pairwise summation per row as it does for a flat
+  ``(N,)`` array;
+* order-dependent scans (``cumsum``/``searchsorted`` in the resampling
+  wheel) are only ever invoked per run.
+
+This contract is what lets the equivalence tests assert exact equality
+between the reference and batched backends instead of fragile tolerances.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import circular_mean, wrap_angle
+from ..maps.distance_field import DistanceField
+
+__all__ = [
+    "sample_motion_noise",
+    "compose_increment",
+    "transform_endpoints",
+    "beam_log_likelihoods",
+    "posterior_log_weights",
+    "normalize_weights",
+    "effective_sample_size",
+    "draw_wheel_offset",
+    "systematic_resample",
+    "weighted_mean_pose",
+    "weighted_pose_spread",
+]
+
+
+# ----------------------------------------------------------------------
+# Motion model
+# ----------------------------------------------------------------------
+def sample_motion_noise(
+    rng: np.random.Generator, count: int, sigma_xy: float, sigma_theta: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw one run's per-particle odometry noise (x, y, theta) triple.
+
+    The three draws happen in this fixed order so every backend advances a
+    run's RNG stream identically.
+    """
+    noise_x = rng.normal(0.0, sigma_xy, size=count)
+    noise_y = rng.normal(0.0, sigma_xy, size=count)
+    noise_theta = rng.normal(0.0, sigma_theta, size=count)
+    return noise_x, noise_y, noise_theta
+
+
+def compose_increment(
+    x: np.ndarray,
+    y: np.ndarray,
+    theta: np.ndarray,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    dtheta: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply body-frame increments to pose arrays of any leading shape.
+
+    All inputs broadcast together; yaw is wrapped to ``[-pi, pi)``.  For
+    ``(N,)`` inputs this is exactly :func:`repro.common.geometry.compose_arrays`.
+    """
+    cos_t = np.cos(theta)
+    sin_t = np.sin(theta)
+    new_x = x + cos_t * dx - sin_t * dy
+    new_y = y + sin_t * dx + cos_t * dy
+    new_theta = wrap_angle(np.asarray(theta + dtheta))
+    return new_x, new_y, new_theta
+
+
+# ----------------------------------------------------------------------
+# Observation model
+# ----------------------------------------------------------------------
+def transform_endpoints(
+    x: np.ndarray,
+    y: np.ndarray,
+    theta: np.ndarray,
+    end_x: np.ndarray,
+    end_y: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Map body-frame beam end points into the world frame.
+
+    ``x, y, theta`` have shape ``(..., N)``; ``end_x, end_y`` shape
+    ``(K,)``.  Returns two ``(..., N, K)`` arrays covering every
+    (pose, end point) combination.
+
+    The in-place formulation allocates three full-size temporaries
+    instead of eight while producing bit-identical results: the only
+    reassociation is ``x + cos*ex`` -> ``cos*ex + x``, and IEEE-754
+    addition is commutative.
+    """
+    cos_t = np.cos(theta)[..., None]
+    sin_t = np.sin(theta)[..., None]
+    # world_x = (x + cos_t * end_x) - sin_t * end_y
+    world_x = cos_t * end_x
+    world_x += x[..., None]
+    scratch = sin_t * end_y
+    world_x -= scratch
+    # world_y = (y + sin_t * end_x) + cos_t * end_y
+    world_y = np.multiply(sin_t, end_x, out=scratch)  # reuses scratch storage
+    world_y += y[..., None]
+    world_y += cos_t * end_y
+    return world_x, world_y
+
+
+def beam_log_likelihoods(
+    x: np.ndarray,
+    y: np.ndarray,
+    theta: np.ndarray,
+    end_x: np.ndarray,
+    end_y: np.ndarray,
+    field: DistanceField,
+    sigma_obs: float,
+) -> np.ndarray:
+    """Beam-end-point observation log-likelihood, shape ``(..., N)``.
+
+    Transforms every (pose, beam) end point into the map, looks up the
+    truncated EDT, and sums ``-d^2 / (2 sigma_obs^2)`` over beams (the
+    Gaussian normalization constant cancels during weight normalization).
+    """
+    world_x, world_y = transform_endpoints(x, y, theta, end_x, end_y)
+    squared = field.lookup_squared_world(world_x, world_y)
+    log_lik = np.sum(squared, axis=-1)
+    np.negative(log_lik, out=log_lik)
+    log_lik /= 2.0 * sigma_obs**2
+    return log_lik
+
+
+def posterior_log_weights(
+    weights: np.ndarray, log_lik: np.ndarray, replication: float
+) -> np.ndarray:
+    """Unnormalized posterior weights in float64, shape ``(..., N)``.
+
+    Replicates the per-beam likelihood, subtracts the per-run max
+    log-likelihood (so fp16 storage cannot underflow to all-zero), and
+    multiplies into the prior weights.
+    """
+    log_lik = log_lik * replication
+    log_lik = log_lik - log_lik.max(axis=-1, keepdims=True)
+    return np.asarray(weights, dtype=np.float64) * np.exp(log_lik)
+
+
+def normalize_weights(weights: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Normalize storage-precision weights in-place along the last axis.
+
+    The sum runs in float64 (the paper's parallel implementation keeps a
+    full-precision accumulator per core for the same reason).  Degenerate
+    rows — all weights zero or non-finite — are reset to uniform: the
+    filter lost, but must stay operational.  Returns the per-row
+    pre-normalization sums (float64, shape ``(...)``).
+    """
+    count = weights.shape[-1]
+    as64 = weights.astype(np.float64)
+    as64[~np.isfinite(as64)] = 0.0
+    totals = as64.sum(axis=-1, keepdims=True)
+    degenerate = ~(totals > 0.0)
+    normalized = as64 / np.where(degenerate, 1.0, totals)
+    normalized = np.where(degenerate, 1.0 / count, normalized)
+    weights[...] = normalized.astype(dtype)
+    return np.squeeze(totals, axis=-1)
+
+
+def effective_sample_size(weights: np.ndarray) -> np.ndarray | float:
+    """ESS = 1 / sum(w^2) along the last axis; 0.0 for degenerate rows.
+
+    Accepts ``(N,)`` (returns a float, matching
+    :meth:`ParticleSet.effective_sample_size`) or ``(R, N)`` (returns an
+    ``(R,)`` array with the identical per-row values).
+    """
+    as64 = weights.astype(np.float64)
+    totals = as64.sum(axis=-1, keepdims=True)
+    valid = totals > 0.0
+    normalized = as64 / np.where(valid, totals, 1.0)
+    squared = np.sum(normalized**2, axis=-1)
+    # A valid row's squared sum is >= 1/N > 0, so the guarded divide only
+    # papers over rows already forced to ESS 0.
+    ess = np.where(
+        np.squeeze(valid, axis=-1), 1.0 / np.where(squared > 0.0, squared, 1.0), 0.0
+    )
+    if ess.ndim == 0:
+        return float(ess)
+    return ess
+
+
+# ----------------------------------------------------------------------
+# Systematic (wheel) resampling
+# ----------------------------------------------------------------------
+def draw_wheel_offset(rng: np.random.Generator, count: int) -> float:
+    """Draw the single random number of systematic resampling.
+
+    Returns ``u0`` uniform in ``[0, 1/N)``; arrow ``i`` then sits at
+    normalized position ``u0 + i / N``.
+    """
+    return float(rng.uniform(0.0, 1.0 / count))
+
+
+def _normalized(weights: np.ndarray) -> np.ndarray:
+    """Validate one run's weights and normalize them in float64."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size == 0:
+        raise ConfigurationError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ConfigurationError("weights must be finite and non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ConfigurationError("weights must not sum to zero")
+    return weights / total
+
+
+def systematic_resample(
+    weights: np.ndarray, u0: float, validate: bool = True
+) -> np.ndarray:
+    """Serial systematic resampling; returns N source indices.
+
+    ``u0`` must lie in ``[0, 1/N)`` (use :func:`draw_wheel_offset`).
+    The returned indices are non-decreasing, and each particle ``i`` is
+    drawn either ``floor(N w_i)`` or ``ceil(N w_i)`` times — the classic
+    low-variance guarantees.
+
+    ``validate=False`` skips the input sanity checks (pure reads, no
+    effect on the result) — for backends resampling many runs per step
+    whose weights are normalized by construction.
+    """
+    if validate:
+        weights = _normalized(weights)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        weights = weights / weights.sum()
+    count = weights.size
+    if validate and not 0.0 <= u0 < 1.0 / count:
+        raise ConfigurationError(f"u0 must be in [0, 1/N), got {u0}")
+    positions = u0 + np.arange(count, dtype=np.float64) / count
+    cumulative = np.cumsum(weights)
+    cumulative[-1] = 1.0  # guard against rounding shortfall
+    return np.searchsorted(cumulative, positions, side="right").astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Pose estimation
+# ----------------------------------------------------------------------
+def weighted_mean_pose(
+    x: np.ndarray, y: np.ndarray, theta: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, float, float, float]:
+    """Weighted mean pose of one run's population.
+
+    Returns ``(normalized_weights, mean_x, mean_y, mean_theta)``; the
+    normalized float64 weights are handed back so spread statistics can
+    reuse them.  A degenerate population falls back to the unweighted
+    mean, exactly like the filter's defensive re-normalization.
+    """
+    weights = weights.astype(np.float64)
+    total = weights.sum()
+    if total <= 0 or not np.isfinite(total):
+        weights = np.full(x.size, 1.0 / x.size)
+    else:
+        weights = weights / total
+    mean_x = float(np.dot(weights, x))
+    mean_y = float(np.dot(weights, y))
+    mean_theta = circular_mean(theta, weights)
+    return weights, mean_x, mean_y, mean_theta
+
+
+def weighted_pose_spread(
+    x: np.ndarray,
+    y: np.ndarray,
+    theta: np.ndarray,
+    weights: np.ndarray,
+    mean_x: float,
+    mean_y: float,
+) -> tuple[np.ndarray, float]:
+    """Position covariance and circular yaw std around a weighted mean.
+
+    ``weights`` must already be normalized (as returned by
+    :func:`weighted_mean_pose`).
+    """
+    dx = x - mean_x
+    dy = y - mean_y
+    cov = np.empty((2, 2), dtype=np.float64)
+    cov[0, 0] = float(np.dot(weights, dx * dx))
+    cov[0, 1] = cov[1, 0] = float(np.dot(weights, dx * dy))
+    cov[1, 1] = float(np.dot(weights, dy * dy))
+
+    # Circular spread: R = |weighted mean resultant|, std = sqrt(-2 ln R).
+    resultant = complex(
+        float(np.dot(weights, np.cos(theta))), float(np.dot(weights, np.sin(theta)))
+    )
+    r_len = min(abs(resultant), 1.0)
+    yaw_std = math.sqrt(max(-2.0 * math.log(max(r_len, 1e-12)), 0.0))
+    return cov, yaw_std

@@ -7,6 +7,7 @@ from .aggregate import (
     build_shared_fields,
     run_sweep,
 )
+from .bench import compare_backends, write_backend_report
 from .diagnostics import (
     BeliefMode,
     FilterTrace,
@@ -23,9 +24,15 @@ from .metrics import (
     evaluate_run,
     first_convergence_index,
 )
-from .runner import RunResult, run_localization
+from .runner import RunResult, run_localization, run_localization_batch
+from .sweep_engine import DistanceFieldCache, SweepEngine
 
 __all__ = [
+    "compare_backends",
+    "write_backend_report",
+    "DistanceFieldCache",
+    "SweepEngine",
+    "run_localization_batch",
     "SweepCell",
     "SweepProtocol",
     "SweepResult",

@@ -16,7 +16,6 @@ protocol scale is controlled by ``REPRO_SCALE``:
 
 from __future__ import annotations
 
-import dataclasses
 import os
 from dataclasses import dataclass, field
 
@@ -27,7 +26,7 @@ from ..dataset.recorder import RecordedSequence
 from ..maps.distance_field import DistanceField, FieldKind
 from ..maps.occupancy import OccupancyGrid
 from .metrics import AggregateMetrics
-from .runner import RunResult, run_localization
+from .runner import RunResult
 
 
 @dataclass(frozen=True)
@@ -116,37 +115,29 @@ def run_sweep(
     protocol: SweepProtocol | None = None,
     base_config: MclConfig | None = None,
     progress=None,
+    backend: str = "batched",
+    jobs: int = 1,
 ) -> SweepResult:
     """Execute the full evaluation protocol.
+
+    Delegates to :class:`~repro.eval.sweep_engine.SweepEngine`: each
+    (variant, N) cell's sequences-x-seeds runs are dispatched as one
+    batch through the selected filter backend, with distance fields
+    shared via a keyed cache.  All backends produce identical results;
+    ``backend``/``jobs`` only select the execution strategy.
 
     ``progress`` is an optional callable receiving a one-line status
     string per completed run (for long sweeps under pytest-benchmark).
     """
-    protocol = protocol or SweepProtocol.from_env()
-    base_config = base_config or MclConfig()
-    if not sequences:
-        raise EvaluationError("sweep needs at least one sequence")
-    used_sequences = sequences[: protocol.sequence_count]
-    fields = build_shared_fields(grid, base_config.r_max, variants)
+    from .sweep_engine import SweepEngine  # local import: avoids a cycle
 
-    result = SweepResult()
-    for variant in variants:
-        for count in particle_counts:
-            config = dataclasses.replace(
-                base_config, particle_count=count
-            ).with_variant(variant)
-            shared = fields[
-                "quantized_u8" if config.precision.edt_quantized else "float32"
-            ]
-            cell = result.cell(variant, count)
-            for sequence in used_sequences:
-                for seed in protocol.seeds:
-                    run = run_localization(grid, sequence, config, seed, field=shared)
-                    cell.add(run)
-                    if progress is not None:
-                        metrics = run.metrics
-                        progress(
-                            f"{variant} N={count} {sequence.name} seed={seed}: "
-                            f"success={metrics.success} ate={metrics.ate_mean_m:.3f}"
-                        )
-    return result
+    engine = SweepEngine(backend=backend, jobs=jobs)
+    return engine.run(
+        grid,
+        sequences,
+        variants,
+        particle_counts,
+        protocol=protocol,
+        base_config=base_config,
+        progress=progress,
+    )

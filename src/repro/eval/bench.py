@@ -1,0 +1,152 @@
+"""Backend throughput comparison: reference vs batched sweep timing.
+
+:func:`compare_backends` runs the same sweep grid through each backend,
+times every (variant, N) cell, checks that the backends agreed run-by-run
+(they must — the batched backend is bitwise-equivalent), and reduces
+everything into one JSON-serializable report.  The ``bench-backends``
+CLI command and ``benchmarks/bench_backends.py`` both build on it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from ..common.errors import EvaluationError
+from ..core.config import MclConfig
+from ..engine.backend import get_backend
+from ..dataset.recorder import RecordedSequence
+from ..maps.occupancy import OccupancyGrid
+from ..viz.export import results_directory
+from .aggregate import SweepProtocol
+from .runner import RunResult
+from .sweep_engine import DistanceFieldCache, _cell_specs, _execute_cell
+
+#: Default grid of the backend bench: the dual- and reduced-precision
+#: variants over the lower half of the paper's particle sweep, where
+#: evaluation throughput (not raw FLOPs) dominates the wall-clock.
+DEFAULT_VARIANTS = ("fp32", "fp16qm")
+DEFAULT_PARTICLE_COUNTS = (64, 256, 1024)
+
+
+def _run_signature(run: RunResult) -> tuple:
+    """What two equivalent backends must agree on, run by run.
+
+    NaN metrics (non-converged runs) are mapped to ``None`` so the
+    signatures stay comparable — NaN never equals NaN.
+    """
+
+    def _value(x: float) -> float | None:
+        return None if math.isnan(x) else x
+
+    return (
+        run.sequence_name,
+        run.seed,
+        run.update_count,
+        run.metrics.converged,
+        run.metrics.success,
+        _value(run.metrics.ate_mean_m),
+        _value(run.metrics.yaw_mean_rad),
+    )
+
+
+def compare_backends(
+    grid: OccupancyGrid,
+    sequences: list[RecordedSequence],
+    variants: list[str] | None = None,
+    particle_counts: list[int] | None = None,
+    protocol: SweepProtocol | None = None,
+    base_config: MclConfig | None = None,
+    backends: tuple[str, ...] = ("reference", "batched"),
+    progress=None,
+) -> dict:
+    """Time the same sweep under every backend and report speedups.
+
+    Distance fields are prebuilt through one shared cache so the timing
+    isolates filter execution; the report's ``"equivalent"`` flag
+    records whether all backends produced identical per-run metrics.
+    """
+    if len(backends) < 2:
+        raise EvaluationError("need at least two backends to compare")
+    variants = list(variants or DEFAULT_VARIANTS)
+    particle_counts = list(particle_counts or DEFAULT_PARTICLE_COUNTS)
+    protocol = protocol or SweepProtocol.from_env()
+    base_config = base_config or MclConfig()
+    used_sequences = sequences[: protocol.sequence_count]
+    if not used_sequences:
+        raise EvaluationError("backend bench needs at least one sequence")
+
+    cache = DistanceFieldCache()
+    cells = _cell_specs(base_config, variants, particle_counts)
+    fields = {
+        cell.field_kind: cache.get(grid, base_config.r_max, cell.field_kind)
+        for cell in cells
+    }
+
+    runs_per_cell = len(used_sequences) * len(protocol.seeds)
+    timings: dict[str, dict] = {}
+    signatures: dict[str, list[tuple]] = {}
+    for backend in backends:
+        # One executor instance per backend, shared across cells — the
+        # batched backend's replay-plan cache then works exactly as it
+        # does under SweepEngine.
+        executor = get_backend(backend)
+        cell_seconds: dict[str, float] = {}
+        backend_signatures: list[tuple] = []
+        total = 0.0
+        for cell in cells:
+            start = time.perf_counter()
+            runs = _execute_cell(
+                grid,
+                used_sequences,
+                protocol.seeds,
+                cell,
+                fields[cell.field_kind],
+                executor,
+            )
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            cell_seconds[f"{cell.variant}/N={cell.particle_count}"] = elapsed
+            backend_signatures.extend(_run_signature(run) for run in runs)
+            if progress is not None:
+                progress(
+                    f"{backend}: {cell.variant} N={cell.particle_count} "
+                    f"({runs_per_cell} runs) {elapsed:.2f}s"
+                )
+        timings[backend] = {"total_s": total, "cells_s": cell_seconds}
+        signatures[backend] = backend_signatures
+
+    baseline = backends[0]
+    first = signatures[baseline]
+    equivalent = all(signatures[b] == first for b in backends[1:])
+    report = {
+        "protocol": {
+            "sequences": [s.name for s in used_sequences],
+            "seeds": list(protocol.seeds),
+            "runs_per_cell": runs_per_cell,
+        },
+        "variants": variants,
+        "particle_counts": particle_counts,
+        "backends": list(backends),
+        "timings": timings,
+        "equivalent": equivalent,
+        "speedup_vs_" + baseline: {
+            b: timings[baseline]["total_s"] / max(timings[b]["total_s"], 1e-12)
+            for b in backends[1:]
+        },
+    }
+    return report
+
+
+def write_backend_report(report: dict, path: str | Path | None = None) -> Path:
+    """Write the comparison report to ``results/BENCH_backends.json``."""
+    if path is None:
+        path = results_directory() / "BENCH_backends.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

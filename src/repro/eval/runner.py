@@ -1,9 +1,11 @@
-"""Run one MCL configuration over one recorded sequence.
+"""Run MCL configurations over recorded sequences via a filter backend.
 
-This is the evaluation inner loop: replay a :class:`RecordedSequence`,
-feed odometry increments and ToF frames to a fresh
-:class:`MonteCarloLocalization`, track the estimate-vs-mocap errors at
-every frame instant, and reduce them to the paper's metrics.
+This module is the thin evaluation shim over the
+:class:`~repro.engine.backend.FilterBackend` seam: it turns (sequence,
+seed) pairs into :class:`~repro.engine.backend.RunSpec` batches, hands
+them to the selected backend — ``reference`` replays one scalar filter
+per run, ``batched`` advances all runs as ``(R, N)`` stacks — and
+reduces the returned traces to the paper's metrics.
 """
 
 from __future__ import annotations
@@ -14,9 +16,8 @@ import numpy as np
 
 from ..common.errors import EvaluationError
 from ..core.config import MclConfig
-from ..core.mcl import MonteCarloLocalization
-from ..core.pose_estimate import pose_error
 from ..dataset.recorder import RecordedSequence
+from ..engine.backend import FilterBackend, RunSpec, RunTrace, get_backend
 from ..maps.distance_field import DistanceField
 from ..maps.occupancy import OccupancyGrid
 from .metrics import RunMetrics, evaluate_run
@@ -38,6 +39,52 @@ class RunResult:
     update_count: int
 
 
+def trace_to_result(
+    spec: RunSpec, config: MclConfig, trace: RunTrace
+) -> RunResult:
+    """Reduce one backend trace into the paper's metrics."""
+    metrics = evaluate_run(
+        trace.timestamps, trace.position_errors, trace.yaw_errors
+    )
+    return RunResult(
+        sequence_name=spec.sequence.name,
+        variant=config.variant_label,
+        particle_count=config.particle_count,
+        seed=spec.seed,
+        timestamps=trace.timestamps,
+        position_errors=trace.position_errors,
+        yaw_errors=trace.yaw_errors,
+        estimate_trace=trace.estimate_trace,
+        metrics=metrics,
+        update_count=trace.update_count,
+    )
+
+
+def run_localization_batch(
+    grid: OccupancyGrid,
+    specs: list[RunSpec],
+    config: MclConfig,
+    field: DistanceField | None = None,
+    backend: str | FilterBackend = "reference",
+) -> list[RunResult]:
+    """Execute a batch of runs through one backend and evaluate each.
+
+    All specs share (grid, config, field); results come back in spec
+    order.  This is the entry point sweeps dispatch whole cells through.
+    """
+    for spec in specs:
+        if len(spec.sequence) < 2:
+            raise EvaluationError(
+                f"sequence {spec.sequence.name} is too short to evaluate"
+            )
+    executor = get_backend(backend)
+    traces = executor.execute(grid, specs, config, field=field)
+    return [
+        trace_to_result(spec, config, trace)
+        for spec, trace in zip(specs, traces)
+    ]
+
+
 def run_localization(
     grid: OccupancyGrid,
     sequence: RecordedSequence,
@@ -47,6 +94,7 @@ def run_localization(
     tracking_init: bool = False,
     tracking_sigma_xy: float = 0.3,
     tracking_sigma_theta: float = 0.3,
+    backend: str | FilterBackend = "reference",
 ) -> RunResult:
     """Replay ``sequence`` through a fresh filter and evaluate it.
 
@@ -54,51 +102,15 @@ def run_localization(
     kind instead of recomputing the EDT for every run.  The default is the
     paper's global-localization protocol (uniform init over free space);
     ``tracking_init=True`` instead seeds the filter around the true start
-    pose — the pose-tracking regime used by some ablations.
+    pose — the pose-tracking regime used by some ablations.  ``backend``
+    selects the executing :class:`FilterBackend`; every backend produces
+    identical results, so the choice is purely about throughput.
     """
-    if len(sequence) < 2:
-        raise EvaluationError(f"sequence {sequence.name} is too short to evaluate")
-
-    mcl = MonteCarloLocalization(grid, config, seed=seed, field=field)
-    if tracking_init:
-        mcl.reset_at(
-            sequence.ground_truth_pose(0),
-            sigma_xy=tracking_sigma_xy,
-            sigma_theta=tracking_sigma_theta,
-        )
-
-    timestamps = []
-    position_errors = []
-    yaw_errors = []
-    estimates = []
-
-    previous_odometry = sequence.odometry_pose(0)
-    for index, step in enumerate(sequence.steps()):
-        if index > 0:
-            increment = previous_odometry.between(step.odometry)
-            previous_odometry = step.odometry
-            mcl.add_odometry(increment)
-            mcl.process(step.frames)
-        estimate = mcl.estimate.pose
-        err_pos, err_yaw = pose_error(estimate, step.ground_truth)
-        timestamps.append(step.timestamp)
-        position_errors.append(err_pos)
-        yaw_errors.append(err_yaw)
-        estimates.append(estimate.as_array())
-
-    timestamps = np.array(timestamps)
-    position_errors = np.array(position_errors)
-    yaw_errors = np.array(yaw_errors)
-    metrics = evaluate_run(timestamps, position_errors, yaw_errors)
-    return RunResult(
-        sequence_name=sequence.name,
-        variant=config.variant_label,
-        particle_count=config.particle_count,
+    spec = RunSpec(
+        sequence=sequence,
         seed=seed,
-        timestamps=timestamps,
-        position_errors=position_errors,
-        yaw_errors=yaw_errors,
-        estimate_trace=np.stack(estimates),
-        metrics=metrics,
-        update_count=mcl.update_count,
+        tracking_init=tracking_init,
+        tracking_sigma_xy=tracking_sigma_xy,
+        tracking_sigma_theta=tracking_sigma_theta,
     )
+    return run_localization_batch(grid, [spec], config, field, backend)[0]

@@ -1,0 +1,229 @@
+"""Batched multi-run sweep engine: cells dispatched through a backend.
+
+The paper's results are all *sweeps* — variants x particle counts x
+seeds x sequences.  :class:`SweepEngine` executes that grid as **cells**
+(one (variant, N) combination = R = sequences x seeds runs), with three
+levers the per-run loop in older revisions lacked:
+
+* **backend dispatch** — a whole cell goes to one
+  :class:`~repro.engine.backend.FilterBackend` call, so the ``batched``
+  backend can advance all R runs as ``(R, N)`` stacks;
+* **keyed distance-field cache** — cells are grouped by
+  (map, r_max, precision kind) and each distinct EDT is built exactly
+  once per engine, shared across variants and particle counts;
+* **process fan-out** — ``jobs > 1`` spreads independent cells over a
+  process pool (cells are embarrassingly parallel; results are
+  reassembled in deterministic cell order).
+
+Every backend is bitwise-equivalent, so cell results do not depend on
+the backend or the job count — only wall-clock does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..common.errors import ConfigurationError, EvaluationError
+from ..core.config import MclConfig
+from ..dataset.recorder import RecordedSequence
+from ..engine.backend import FilterBackend, RunSpec, get_backend
+from ..maps.distance_field import DistanceField, FieldKind
+from ..maps.occupancy import OccupancyGrid
+from .aggregate import SweepProtocol, SweepResult
+from .runner import RunResult, run_localization_batch
+
+
+class DistanceFieldCache:
+    """Distance fields keyed by (map content, r_max, storage kind).
+
+    The EDT is by far the most expensive precomputation of a sweep; this
+    cache guarantees each distinct (map, truncation, kind) triple is
+    computed once and shared by reference across every cell that needs
+    it.  Keys fingerprint the grid *content*, so two identical maps in
+    different objects still share one field.
+    """
+
+    def __init__(self) -> None:
+        self._fields: dict[tuple, DistanceField] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def grid_key(grid: OccupancyGrid) -> tuple:
+        digest = hashlib.sha256(grid.cells.tobytes()).hexdigest()
+        return (
+            digest,
+            grid.cells.shape,
+            float(grid.resolution),
+            float(grid.origin_x),
+            float(grid.origin_y),
+        )
+
+    def get(self, grid: OccupancyGrid, r_max: float, kind: FieldKind) -> DistanceField:
+        key = (self.grid_key(grid), float(r_max), kind.value)
+        if key not in self._fields:
+            self.misses += 1
+            self._fields[key] = DistanceField.build(grid, r_max, kind)
+        else:
+            self.hits += 1
+        return self._fields[key]
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+
+@dataclass(frozen=True)
+class SweepCellSpec:
+    """One unit of sweep work: a (variant, particle count) cell."""
+
+    variant: str
+    particle_count: int
+    config: MclConfig
+
+    @property
+    def field_kind(self) -> FieldKind:
+        return FieldKind.for_mode(self.config.precision)
+
+
+def _cell_specs(
+    base_config: MclConfig, variants: list[str], particle_counts: list[int]
+) -> list[SweepCellSpec]:
+    """The sweep grid in deterministic (variant-major) cell order."""
+    cells = []
+    for variant in variants:
+        for count in particle_counts:
+            config = dataclasses.replace(
+                base_config, particle_count=count
+            ).with_variant(variant)
+            cells.append(SweepCellSpec(variant, count, config))
+    return cells
+
+
+def _execute_cell(
+    grid: OccupancyGrid,
+    sequences: list[RecordedSequence],
+    seeds: tuple[int, ...],
+    cell: SweepCellSpec,
+    fld: DistanceField,
+    backend: str | FilterBackend,
+) -> list[RunResult]:
+    """Run one cell's R = sequences x seeds runs through the backend.
+
+    Module-level so a process pool can dispatch it by qualified name.
+    """
+    specs = [
+        RunSpec(sequence=sequence, seed=seed)
+        for sequence in sequences
+        for seed in seeds
+    ]
+    return run_localization_batch(grid, specs, cell.config, fld, backend)
+
+
+@dataclass
+class SweepEngine:
+    """Executes sweep grids cell-by-cell through a filter backend.
+
+    ``backend`` names the :class:`FilterBackend` every cell is dispatched
+    through (``"batched"`` by default — bitwise-equivalent to
+    ``"reference"`` and several times faster on multi-run cells).
+    ``jobs`` > 1 fans independent cells out across worker processes.
+    The ``field_cache`` may be shared between engines to reuse EDTs
+    across sweeps of the same map.
+    """
+
+    backend: str | FilterBackend = "batched"
+    jobs: int = 1
+    field_cache: DistanceFieldCache = field(default_factory=DistanceFieldCache)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        # Resolve once and reuse the instance for in-process execution:
+        # this is what lets the batched backend's replay-plan cache serve
+        # every cell of a sweep (also fails fast on unknown names).
+        self._executor = get_backend(self.backend)
+
+    def run(
+        self,
+        grid: OccupancyGrid,
+        sequences: list[RecordedSequence],
+        variants: list[str],
+        particle_counts: list[int],
+        protocol: SweepProtocol | None = None,
+        base_config: MclConfig | None = None,
+        progress=None,
+    ) -> SweepResult:
+        """Execute the full evaluation protocol over the sweep grid.
+
+        ``progress`` is an optional callable receiving a one-line status
+        string per completed run.  With ``jobs > 1`` the cell completion
+        order (and therefore message order) is nondeterministic, but the
+        assembled :class:`SweepResult` is identical.
+        """
+        protocol = protocol or SweepProtocol.from_env()
+        base_config = base_config or MclConfig()
+        if not sequences:
+            raise EvaluationError("sweep needs at least one sequence")
+        used_sequences = sequences[: protocol.sequence_count]
+        cells = _cell_specs(base_config, variants, particle_counts)
+
+        # Group work by field kind so each EDT is built exactly once.
+        fields = {
+            cell.field_kind: self.field_cache.get(
+                grid, base_config.r_max, cell.field_kind
+            )
+            for cell in cells
+        }
+
+        result = SweepResult()
+        for cell in cells:  # pre-create cells in deterministic order
+            result.cell(cell.variant, cell.particle_count)
+
+        def collect(cell: SweepCellSpec, runs: list[RunResult]) -> None:
+            target = result.cell(cell.variant, cell.particle_count)
+            for run in runs:
+                target.add(run)
+                if progress is not None:
+                    metrics = run.metrics
+                    progress(
+                        f"{cell.variant} N={cell.particle_count} "
+                        f"{run.sequence_name} seed={run.seed}: "
+                        f"success={metrics.success} ate={metrics.ate_mean_m:.3f}"
+                    )
+
+        if self.jobs == 1:
+            for cell in cells:
+                collect(
+                    cell,
+                    _execute_cell(
+                        grid,
+                        used_sequences,
+                        protocol.seeds,
+                        cell,
+                        fields[cell.field_kind],
+                        self._executor,
+                    ),
+                )
+            return result
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            pending = {
+                pool.submit(
+                    _execute_cell,
+                    grid,
+                    used_sequences,
+                    protocol.seeds,
+                    cell,
+                    fields[cell.field_kind],
+                    self.backend,
+                ): cell
+                for cell in cells
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    collect(pending.pop(future), future.result())
+        return result

@@ -14,6 +14,7 @@ in-map cell.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from enum import Enum
 
@@ -21,6 +22,7 @@ import numpy as np
 
 from ..common.errors import MapError
 from ..common.precision import (
+    QUANT_LEVELS,
     PrecisionMode,
     dequantize_distances,
     quantize_distances,
@@ -69,6 +71,15 @@ class DistanceField:
     resolution: float
     origin_x: float
     origin_y: float
+
+    #: Lazily built payloads of :meth:`lookup_squared_world` (not part of
+    #: the dataclass comparison/serialization surface).
+    _sq64: np.ndarray | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+    _sq64_lut: np.ndarray | None = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.data.ndim != 2:
@@ -153,21 +164,75 @@ class DistanceField:
         """Distances (float32, metres) at world points of any shape.
 
         Out-of-bounds points return ``r_max``.  This is the hot path of the
-        observation model: it must stay fully vectorized.
+        observation model: it must stay fully vectorized, and it works on
+        owned temporaries in place — every operation produces the exact
+        values of the straightforward ``floor((p - origin) / res)`` +
+        per-axis-clipped gather formulation, with about half the
+        full-size temporaries.
         """
-        col = np.floor((np.asarray(x) - self.origin_x) / self.resolution).astype(np.int64)
-        row = np.floor((np.asarray(y) - self.origin_y) / self.resolution).astype(np.int64)
+        col = self._world_to_index(x, self.origin_x)
+        row = self._world_to_index(y, self.origin_y)
         rows, cols = self.data.shape
-        inside = (row >= 0) & (row < rows) & (col >= 0) & (col < cols)
-        # Clip to gather safely, then overwrite out-of-bounds with r_max.
-        row_safe = np.clip(row, 0, rows - 1)
-        col_safe = np.clip(col, 0, cols - 1)
-        raw = self.data[row_safe, col_safe]
+        inside = row >= 0
+        inside &= row < rows
+        inside &= col >= 0
+        inside &= col < cols
+        # Flat gather with clipped indices: out-of-range flat positions
+        # read an arbitrary in-range cell, which the mask overwrites with
+        # r_max below — exactly what the per-axis clip achieved.
+        row *= cols
+        row += col
+        raw = self.data.take(row, mode="clip")
         if self.kind is FieldKind.QUANTIZED_U8:
             dist = dequantize_distances(raw, self.r_max)
         else:
-            dist = raw.astype(np.float32)
-        return np.where(inside, dist, np.float32(self.r_max))
+            dist = raw if raw.dtype == np.float32 else raw.astype(np.float32)
+        np.copyto(dist, np.float32(self.r_max), where=~inside)
+        return dist
+
+    def _world_to_index(self, coord: np.ndarray, origin: float) -> np.ndarray:
+        """``floor((coord - origin) / resolution)`` as int64, via one temp."""
+        scaled = np.asarray(coord) - origin
+        scaled /= self.resolution
+        np.floor(scaled, out=scaled)
+        return scaled.astype(np.int64)
+
+    def lookup_squared_world(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """``lookup_world(x, y) ** 2`` in float64, without the wide passes.
+
+        The observation model only ever consumes ``d**2`` in float64.
+        Squaring commutes with the gather: because float32 -> float64
+        conversion is exact, squaring each *cell value* once up front
+        (into a float64 payload, or a 256-entry code table for the
+        quantized field) yields bit-identical results to gathering,
+        widening and squaring every beam end point — while skipping two
+        full-size array passes per observation.
+        """
+        col = self._world_to_index(x, self.origin_x)
+        row = self._world_to_index(y, self.origin_y)
+        rows, cols = self.data.shape
+        inside = row >= 0
+        inside &= row < rows
+        inside &= col >= 0
+        inside &= col < cols
+        row *= cols
+        row += col
+        if self.kind is FieldKind.QUANTIZED_U8:
+            if self._sq64_lut is None:
+                codes = np.arange(QUANT_LEVELS, dtype=np.uint8)
+                lut = dequantize_distances(codes, self.r_max).astype(np.float64)
+                self._sq64_lut = np.square(lut)
+            raw = self.data.take(row, mode="clip")
+            sq = self._sq64_lut.take(raw)
+        else:
+            if self._sq64 is None:
+                sq64 = self.data.astype(np.float64)
+                np.square(sq64, out=sq64)
+                self._sq64 = sq64.reshape(-1)
+            sq = self._sq64.take(row, mode="clip")
+        border = np.float64(np.float32(self.r_max)) ** 2
+        np.copyto(sq, border, where=~inside)
+        return sq
 
     # ------------------------------------------------------------------
     # Memory accounting (Fig. 9)

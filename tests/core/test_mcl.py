@@ -118,6 +118,53 @@ class TestUpdateGating:
         assert report.beam_count > 0
 
 
+class TestSubThresholdNoOp:
+    """Sub-threshold pending motion must make ``process`` a strict no-op."""
+
+    def test_process_leaves_filter_state_untouched(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=128), seed=4)
+        mcl.add_odometry(Pose2D(0.03, 0.02, 0.01))  # below d_xy and d_theta
+        before_weights = mcl.particles.weights.copy()
+        before_x = mcl.particles.x.copy()
+        before_estimate = mcl.estimate.pose.as_array()
+
+        report = mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+
+        assert not report.motion_applied
+        assert not report.observation_applied
+        assert not report.resampled
+        assert report.beam_count == 0
+        assert mcl.update_count == 0
+        np.testing.assert_array_equal(mcl.particles.weights, before_weights)
+        np.testing.assert_array_equal(mcl.particles.x, before_x)
+        np.testing.assert_array_equal(mcl.estimate.pose.as_array(), before_estimate)
+        # The sub-threshold motion stays pending for the next instant.
+        assert mcl.pending_motion.x == pytest.approx(0.03)
+
+    def test_report_flags_on_full_update(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=128), seed=4)
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process(frames_at(grid, Pose2D(1.5, 0.5, 0.0)))
+        assert report.motion_applied
+        assert report.observation_applied
+        assert report.resampled  # default ESS fraction 1.0 resamples always
+        assert report.beam_count > 0
+        assert mcl.update_count == 1
+
+    def test_report_flags_without_observation(self):
+        grid = asymmetric_room()
+        mcl = MonteCarloLocalization(grid, MclConfig(particle_count=128), seed=4)
+        mcl.add_odometry(Pose2D(0.2, 0.0, 0.0))
+        report = mcl.process([])  # gate passes but no frames arrived
+        assert report.motion_applied
+        assert not report.observation_applied
+        assert not report.resampled
+        assert report.beam_count == 0
+        assert mcl.update_count == 1  # the motion-only update still counts
+
+
 class TestTrackingConvergence:
     def _track(self, precision: PrecisionMode, seed: int = 0) -> float:
         """Simulate tracking: start near truth, walk a square, return error."""

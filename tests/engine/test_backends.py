@@ -1,0 +1,223 @@
+"""Backend equivalence: the batched engine must match the reference.
+
+The contract under test is strict: for matching seeds, the batched
+backend produces **bitwise identical** per-run estimate traces, error
+traces and metrics to running the reference backend sequentially — for
+every precision variant, for stacked runs over *different* sequences
+(per-run gating masks), and for partial resampling (per-run wheel
+offsets).  Exact equality is deliberate: particle filters amplify
+one-ulp weight differences into divergent resampling decisions, so any
+tolerance would eventually hide real nonequivalence.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import MclConfig
+from repro.dataset.recorder import RecordedSequence
+from repro.engine import available_backends, get_backend
+from repro.engine.backend import RunSpec
+from repro.engine.batched import BatchedBackend, ReplayPlan
+from repro.engine.reference import ReferenceBackend
+from repro.maps.distance_field import DistanceField
+from repro.maps.maze import generate_maze
+from repro.maps.planning import plan_tour, snap_to_clearance
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+def _fly(grid, stops, sim_seed, duration_s, name):
+    route = plan_tour(
+        grid,
+        [snap_to_clearance(grid, point, 0.15) for point in stops],
+        clearance_m=0.15,
+    )
+    sim = CrazyflieSimulator(
+        grid, route, seed=sim_seed, config=SimConfig(max_duration_s=duration_s)
+    )
+    return RecordedSequence.from_sim_steps(name, sim.run())
+
+
+@pytest.fixture(scope="module")
+def mini_world():
+    """A small maze plus two flights of *different* lengths.
+
+    Distinct sequences in one batch exercise the per-run gating masks:
+    runs fire at different instants and one trace ends early.
+    """
+    grid = generate_maze(size_m=3.0, cells=4, seed=5)
+    long_flight = _fly(
+        grid, [(0.4, 0.4), (2.6, 0.4), (2.6, 2.6), (0.4, 2.6)], 11, 40, "mini-long"
+    )
+    short_flight = _fly(grid, [(2.6, 2.6), (0.4, 0.4), (1.5, 1.5)], 13, 20, "mini-short")
+    assert len(long_flight) != len(short_flight)
+    return grid, long_flight, short_flight
+
+
+def _assert_traces_identical(reference, batched):
+    assert len(reference) == len(batched)
+    for ref, bat in zip(reference, batched):
+        assert ref.update_count == bat.update_count
+        np.testing.assert_array_equal(ref.timestamps, bat.timestamps)
+        np.testing.assert_array_equal(ref.position_errors, bat.position_errors)
+        np.testing.assert_array_equal(ref.yaw_errors, bat.yaw_errors)
+        np.testing.assert_array_equal(ref.estimate_trace, bat.estimate_trace)
+
+
+def _metrics_signature(result):
+    metrics = result.metrics
+    return (
+        metrics.converged,
+        metrics.convergence_time_s,
+        metrics.success,
+        None if math.isnan(metrics.ate_mean_m) else metrics.ate_mean_m,
+        None if math.isnan(metrics.yaw_mean_rad) else metrics.yaw_mean_rad,
+    )
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("variant", ["fp32", "fp321tof", "fp32qm", "fp16qm"])
+    def test_r6_stacked_runs_match_sequential_reference(self, mini_world, variant):
+        """R=6 stacked runs (2 sequences x 3 seeds) == 6 sequential runs."""
+        grid, long_flight, short_flight = mini_world
+        config = MclConfig(particle_count=128).with_variant(variant)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = ReferenceBackend().execute(grid, specs, config, field)
+        batched = BatchedBackend().execute(grid, specs, config, field)
+        _assert_traces_identical(reference, batched)
+
+    def test_metrics_identical_through_runner(self, mini_world):
+        """The evaluated RunResult metrics agree exactly, run by run."""
+        from repro.eval.runner import run_localization_batch
+
+        grid, long_flight, short_flight = mini_world
+        config = MclConfig(particle_count=128)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = run_localization_batch(grid, specs, config, field, "reference")
+        batched = run_localization_batch(grid, specs, config, field, "batched")
+        assert [_metrics_signature(r) for r in reference] == [
+            _metrics_signature(b) for b in batched
+        ]
+
+    def test_tracking_init_equivalence(self, mini_world):
+        grid, long_flight, __ = mini_world
+        config = MclConfig(particle_count=128)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(long_flight, seed, tracking_init=True, tracking_sigma_xy=0.2)
+            for seed in (0, 1, 2)
+        ]
+        reference = ReferenceBackend().execute(grid, specs, config, field)
+        batched = BatchedBackend().execute(grid, specs, config, field)
+        _assert_traces_identical(reference, batched)
+
+    def test_partial_resampling_row_offsets(self, mini_world):
+        """ESS-gated resampling fires per run — rows resample independently."""
+        grid, long_flight, short_flight = mini_world
+        config = dataclasses.replace(
+            MclConfig(particle_count=128), resample_ess_fraction=0.5
+        )
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = ReferenceBackend().execute(grid, specs, config, field)
+        batched = BatchedBackend().execute(grid, specs, config, field)
+        _assert_traces_identical(reference, batched)
+
+    def test_plan_cache_reused_across_cells(self, mini_world):
+        """One backend instance re-serves plans to later cells unchanged."""
+        grid, long_flight, __ = mini_world
+        backend = BatchedBackend()
+        field = None
+        results = []
+        for count in (64, 128):
+            config = MclConfig(particle_count=count)
+            field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+            results.append(
+                backend.execute(grid, [RunSpec(long_flight, 0)], config, field)
+            )
+        assert len(backend._plans) == 1  # same sequence + signature -> one plan
+        reference = ReferenceBackend().execute(
+            grid, [RunSpec(long_flight, 0)], MclConfig(particle_count=128), field
+        )
+        _assert_traces_identical(reference, results[-1])
+
+    def test_single_run_single_chunk_paths_agree(self, mini_world):
+        """A tiny observation chunk budget only changes the tiling."""
+        grid, long_flight, __ = mini_world
+        config = MclConfig(particle_count=96)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [RunSpec(long_flight, seed) for seed in (0, 1, 2)]
+        whole = BatchedBackend().execute(grid, specs, config, field)
+        tiled = BatchedBackend(obs_chunk_elements=1).execute(
+            grid, specs, config, field
+        )
+        _assert_traces_identical(whole, tiled)
+
+
+class TestReplayPlan:
+    def test_gating_trace_matches_sequence(self, mini_world):
+        grid, long_flight, __ = mini_world
+        config = MclConfig(particle_count=8)
+        plan = ReplayPlan(long_flight, config)
+        assert len(plan.steps) == len(long_flight)
+        assert not plan.steps[0].fires  # zero pending motion cannot gate
+        fired = [step for step in plan.steps if step.fires]
+        assert fired, "a real flight must trigger updates"
+        for step in fired:
+            assert step.pending is not None
+
+    def test_signature_separates_gating_configs(self):
+        base = MclConfig()
+        wide = dataclasses.replace(base, d_xy=0.5)
+        assert ReplayPlan.signature(base) != ReplayPlan.signature(wide)
+        assert ReplayPlan.signature(base) == ReplayPlan.signature(
+            dataclasses.replace(base, particle_count=7)
+        )
+
+
+class TestBackendRegistry:
+    def test_builtin_backends_listed(self):
+        assert set(available_backends()) >= {"reference", "batched"}
+
+    def test_get_backend_resolves_names(self):
+        assert get_backend("reference").name == "reference"
+        assert get_backend("batched").name == "batched"
+
+    def test_get_backend_passthrough(self):
+        backend = BatchedBackend()
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_backend("tpu")
+
+    def test_empty_specs_are_trivial(self, mini_world):
+        grid, __, __ = mini_world
+        assert BatchedBackend().execute(grid, [], MclConfig(particle_count=8)) == []
+
+    def test_field_resolution_mismatch_rejected(self, mini_world):
+        grid, long_flight, __ = mini_world
+        other = generate_maze(size_m=3.0, cells=4, seed=5)
+        field = DistanceField.build(other, r_max=1.5)
+        field.resolution = field.resolution * 2  # force a mismatch
+        with pytest.raises(ConfigurationError):
+            BatchedBackend().execute(
+                grid, [RunSpec(long_flight, 0)], MclConfig(particle_count=8), field
+            )

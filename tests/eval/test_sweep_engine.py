@@ -1,0 +1,153 @@
+"""Tests for the sweep engine: cell dispatch, field cache, process fan-out."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, EvaluationError
+from repro.core.config import MclConfig
+from repro.dataset.recorder import RecordedSequence
+from repro.eval.aggregate import SweepProtocol, run_sweep
+from repro.eval.bench import compare_backends, write_backend_report
+from repro.eval.sweep_engine import DistanceFieldCache, SweepEngine
+from repro.maps.distance_field import FieldKind
+from repro.maps.maze import generate_maze
+from repro.maps.planning import plan_tour, snap_to_clearance
+from repro.vehicle.crazyflie import CrazyflieSimulator, SimConfig
+
+
+@pytest.fixture(scope="module")
+def mini_world():
+    grid = generate_maze(size_m=3.0, cells=4, seed=5)
+    stops = [
+        snap_to_clearance(grid, point, 0.15)
+        for point in [(0.4, 0.4), (2.6, 0.4), (2.6, 2.6), (1.5, 1.5)]
+    ]
+    route = plan_tour(grid, stops, clearance_m=0.15)
+    sim = CrazyflieSimulator(grid, route, seed=11, config=SimConfig(max_duration_s=30))
+    return grid, RecordedSequence.from_sim_steps("mini", sim.run())
+
+
+def _cell_signatures(result):
+    signatures = {}
+    for key, cell in result.cells.items():
+        signatures[key] = [
+            (
+                run.sequence_name,
+                run.seed,
+                run.update_count,
+                None if math.isnan(run.metrics.ate_mean_m) else run.metrics.ate_mean_m,
+            )
+            for run in sorted(cell.runs, key=lambda r: (r.sequence_name, r.seed))
+        ]
+    return signatures
+
+
+class TestDistanceFieldCache:
+    def test_identical_content_shares_one_field(self, mini_world):
+        grid, __ = mini_world
+        twin = generate_maze(size_m=3.0, cells=4, seed=5)  # equal content
+        cache = DistanceFieldCache()
+        first = cache.get(grid, 1.5, FieldKind.FLOAT32)
+        second = cache.get(twin, 1.5, FieldKind.FLOAT32)
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_distinct_keys_build_distinct_fields(self, mini_world):
+        grid, __ = mini_world
+        cache = DistanceFieldCache()
+        a = cache.get(grid, 1.5, FieldKind.FLOAT32)
+        b = cache.get(grid, 1.5, FieldKind.QUANTIZED_U8)
+        c = cache.get(grid, 2.0, FieldKind.FLOAT32)
+        assert len({id(a), id(b), id(c)}) == 3
+        assert cache.misses == 3
+
+
+class TestSweepEngine:
+    def test_backends_produce_identical_sweeps(self, mini_world):
+        grid, sequence = mini_world
+        protocol = SweepProtocol(sequence_count=1, seeds=(0, 1, 2))
+        results = {}
+        for backend in ("reference", "batched"):
+            engine = SweepEngine(backend=backend)
+            results[backend] = engine.run(
+                grid, [sequence], ["fp32", "fp16qm"], [64, 128], protocol=protocol
+            )
+        assert _cell_signatures(results["reference"]) == _cell_signatures(
+            results["batched"]
+        )
+
+    def test_field_cache_shared_across_cells(self, mini_world):
+        grid, sequence = mini_world
+        engine = SweepEngine(backend="batched")
+        protocol = SweepProtocol(sequence_count=1, seeds=(0,))
+        engine.run(grid, [sequence], ["fp32", "fp32qm", "fp16qm"], [64, 128],
+                   protocol=protocol)
+        # Three variants over two counts need exactly two field kinds.
+        assert len(engine.field_cache) == 2
+        assert engine.field_cache.misses == 2
+
+    def test_process_fanout_matches_inline(self, mini_world):
+        grid, sequence = mini_world
+        protocol = SweepProtocol(sequence_count=1, seeds=(0, 1))
+        inline = SweepEngine(backend="batched", jobs=1).run(
+            grid, [sequence], ["fp32"], [64, 128], protocol=protocol
+        )
+        fanned = SweepEngine(backend="batched", jobs=2).run(
+            grid, [sequence], ["fp32"], [64, 128], protocol=protocol
+        )
+        assert _cell_signatures(inline) == _cell_signatures(fanned)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(jobs=0)
+
+    def test_unknown_backend_rejected_eagerly(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(backend="quantum")
+
+    def test_progress_messages_per_run(self, mini_world):
+        grid, sequence = mini_world
+        messages = []
+        run_sweep(
+            grid,
+            [sequence],
+            ["fp32"],
+            [64],
+            protocol=SweepProtocol(sequence_count=1, seeds=(0, 1)),
+            progress=messages.append,
+            backend="batched",
+        )
+        assert len(messages) == 2
+        assert all("fp32 N=64" in message for message in messages)
+
+    def test_empty_sequences_rejected(self, mini_world):
+        grid, __ = mini_world
+        with pytest.raises(EvaluationError):
+            SweepEngine().run(grid, [], ["fp32"], [64])
+
+
+class TestCompareBackends:
+    def test_report_structure_and_equivalence(self, mini_world, tmp_path):
+        grid, sequence = mini_world
+        report = compare_backends(
+            grid,
+            [sequence],
+            variants=["fp32"],
+            particle_counts=[64],
+            protocol=SweepProtocol(sequence_count=1, seeds=(0, 1)),
+        )
+        assert report["equivalent"] is True
+        assert set(report["timings"]) == {"reference", "batched"}
+        assert report["timings"]["reference"]["total_s"] > 0
+        assert "batched" in report["speedup_vs_reference"]
+
+        path = write_backend_report(report, tmp_path / "BENCH_backends.json")
+        assert path.exists()
+        import json
+
+        loaded = json.loads(path.read_text())
+        assert loaded["backends"] == ["reference", "batched"]
