@@ -5,8 +5,10 @@ Subcommands:
 * ``info``            — library, paper and platform-model summary
 * ``show-map``        — render the combined evaluation world as ASCII
 * ``generate-data``   — build and cache the six evaluation sequences
+* ``scenarios``       — list scenario families / generate scenario files
 * ``run``             — localize one sequence with one configuration
 * ``sweep``           — run an evaluation sweep through the sweep engine
+  (``--scenarios`` sweeps generated worlds instead of the canonical maze)
 * ``bench-backends``  — time reference vs batched backends on one sweep
 * ``perf``            — print the Table I / Table II model predictions
 
@@ -22,6 +24,7 @@ import math
 import sys
 
 from . import __version__
+from .common.errors import ConfigurationError
 from .core.config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
 from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequence
 from .engine.backend import available_backends
@@ -30,6 +33,13 @@ from .eval.bench import compare_backends, write_backend_report
 from .eval.runner import run_localization
 from .eval.sweep_engine import SweepEngine
 from .maps.maze import build_drone_maze_world
+from .scenarios import (
+    ScenarioSpec,
+    available_families,
+    build_scenario,
+    get_family,
+    scenario_cache_path,
+)
 from .soc.gap9 import GAP9
 from .soc.perf import Gap9PerfModel, MclStep
 from .soc.power import Gap9PowerModel
@@ -69,6 +79,53 @@ def _cmd_generate_data(_args: argparse.Namespace) -> int:
             f"duration={sequence.duration_s:5.1f} s"
         )
     return 0
+
+
+def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_families():
+        family = get_family(name)
+        defaults = ", ".join(f"{k}={v}" for k, v in family.defaults)
+        rows.append([name, family.description, defaults or "-"])
+    print(
+        format_table(
+            ["family", "description", "parameters (defaults)"],
+            rows,
+            title=f"Scenario families ({len(rows)} registered)",
+            footnote="spec grammar: family[:seed[:name=value+name=value]]",
+        )
+    )
+    return 0
+
+
+def _cmd_scenarios_generate(args: argparse.Namespace) -> int:
+    for raw in args.specs:
+        spec = ScenarioSpec.parse(raw)
+        scenario = build_scenario(spec, cache=not args.no_cache)
+        sequence = scenario.sequence
+        where = "(not cached)" if args.no_cache else str(scenario_cache_path(spec))
+        print(
+            f"{spec.id:32s} frames={len(sequence):5d} "
+            f"duration={sequence.duration_s:5.1f} s "
+            f"grid={scenario.grid.rows}x{scenario.grid.cols} {where}"
+        )
+    return 0
+
+
+def _parse_scenarios(raw: str) -> list[ScenarioSpec]:
+    try:
+        specs = [ScenarioSpec.parse(part) for part in raw.split(",") if part.strip()]
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if not specs:
+        raise argparse.ArgumentTypeError("need at least one scenario spec")
+    for spec in specs:
+        if spec.family not in available_families():
+            raise argparse.ArgumentTypeError(
+                f"unknown scenario family {spec.family!r}; "
+                f"expected from {available_families()}"
+            )
+    return specs
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -118,24 +175,13 @@ def _parse_variants(raw: str) -> list[str]:
     return variants
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    world = build_drone_maze_world()
-    sequences = load_all_sequences(world)
-    engine = SweepEngine(backend=args.backend, jobs=args.jobs)
-    progress = print if args.verbose else None
-    result = engine.run(
-        world.grid,
-        sequences,
-        variants=args.variants,
-        particle_counts=args.particles,
-        progress=progress,
-    )
-    header = ["variant"] + [str(c) for c in args.particles]
+def _print_sweep_tables(result, variants, particles, title_suffix, footnote) -> None:
+    header = ["variant"] + [str(c) for c in particles]
     ate_rows = []
     success_rows = []
-    for variant in args.variants:
-        ates = result.ate_series(variant, args.particles)
-        successes = result.success_series(variant, args.particles)
+    for variant in variants:
+        ates = result.ate_series(variant, particles)
+        successes = result.success_series(variant, particles)
         ate_rows.append(
             [variant]
             + [f"{a:.3f}" if not math.isnan(a) else "n/a" for a in ates]
@@ -146,12 +192,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         format_table(
             header,
             ate_rows,
-            title=f"ATE (m) vs particle number  [{runs} runs/cell]",
-            footnote=f"backend={args.backend} jobs={args.jobs}",
+            title=f"ATE (m) vs particle number{title_suffix}  [{runs} runs/cell]",
+            footnote=footnote,
         )
     )
     print()
-    print(format_table(header, success_rows, title="success rate vs particle number"))
+    print(
+        format_table(
+            header,
+            success_rows,
+            title=f"success rate vs particle number{title_suffix}",
+        )
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = SweepEngine(backend=args.backend, jobs=args.jobs)
+    progress = print if args.verbose else None
+    footnote = f"backend={args.backend} jobs={args.jobs}"
+    if args.scenarios:
+        results = engine.run_scenarios(
+            args.scenarios,
+            variants=args.variants,
+            particle_counts=args.particles,
+            progress=progress,
+        )
+        for index, (scenario_id, result) in enumerate(results.items()):
+            if index:
+                print()
+            _print_sweep_tables(
+                result, args.variants, args.particles,
+                f"  — {scenario_id}", footnote,
+            )
+        return 0
+    world = build_drone_maze_world()
+    sequences = load_all_sequences(world)
+    result = engine.run(
+        world.grid,
+        sequences,
+        variants=args.variants,
+        particle_counts=args.particles,
+        progress=progress,
+    )
+    _print_sweep_tables(result, args.variants, args.particles, "", footnote)
     return 0
 
 
@@ -253,6 +336,29 @@ def build_parser() -> argparse.ArgumentParser:
         "generate-data", help="build and cache the six evaluation sequences"
     ).set_defaults(func=_cmd_generate_data)
 
+    scenarios = sub.add_parser(
+        "scenarios", help="list scenario families / generate scenario files"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scenarios_sub.add_parser(
+        "list", help="show the registered scenario families"
+    ).set_defaults(func=_cmd_scenarios_list)
+    generate = scenarios_sub.add_parser(
+        "generate", help="generate (and cache) scenarios from spec strings"
+    )
+    generate.add_argument(
+        "specs",
+        nargs="+",
+        metavar="SPEC",
+        help="scenario specs, e.g. office:3 or maze:1:cells=7+braid=0.2",
+    )
+    generate.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="generate without writing the data-directory cache",
+    )
+    generate.set_defaults(func=_cmd_scenarios_generate)
+
     run = sub.add_parser("run", help="localize one sequence")
     run.add_argument("--sequence", type=int, default=0, help="sequence index 0-5")
     run.add_argument(
@@ -282,6 +388,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_particles,
         default=list(PAPER_PARTICLE_COUNTS),
         help="comma-separated particle counts",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        type=_parse_scenarios,
+        default=None,
+        metavar="SPEC[,SPEC...]",
+        help=(
+            "sweep generated scenarios instead of the canonical maze "
+            "sequences, e.g. office:3,maze:1:cells=7"
+        ),
     )
     sweep.add_argument(
         "--backend",

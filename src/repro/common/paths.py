@@ -1,0 +1,17 @@
+"""Filesystem roots shared by the data caches.
+
+Both the canonical-sequence cache (``data/sequences``) and the scenario
+cache (``data/scenarios``) live under one data root so a single
+``REPRO_DATA_DIR`` redirects everything — tests point it at a tmpdir,
+deployments at shared storage.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def data_root() -> Path:
+    """The data directory root (env ``REPRO_DATA_DIR``, default ``./data``)."""
+    return Path(os.environ.get("REPRO_DATA_DIR", os.path.join(os.getcwd(), "data")))

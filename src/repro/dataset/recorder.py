@@ -132,8 +132,13 @@ class RecordedSequence:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def save_npz(self, path: str | Path) -> None:
-        """Write the sequence to a compressed ``.npz`` archive."""
+    def to_npz_payload(self) -> dict[str, np.ndarray]:
+        """The flat array dictionary :meth:`save_npz` serializes.
+
+        Exposed separately so composite archives (e.g. scenario files
+        bundling a map and a flight) can embed a sequence alongside their
+        own arrays and round-trip it with :meth:`from_npz_payload`.
+        """
         payload: dict[str, np.ndarray] = {
             "name": np.array(self.name),
             "timestamps": self.timestamps,
@@ -147,7 +152,39 @@ class RecordedSequence:
             payload[f"{prefix}_status"] = track.status
             payload[f"{prefix}_azimuths"] = track.azimuths
             payload[f"{prefix}_mount"] = np.array([track.mount_x, track.mount_y])
-        np.savez_compressed(Path(path), **payload)
+        return payload
+
+    @staticmethod
+    def from_npz_payload(data) -> "RecordedSequence":
+        """Rebuild a sequence from a :meth:`to_npz_payload` mapping.
+
+        ``data`` may be an open ``NpzFile`` or any mapping of arrays.
+        """
+        tracks = []
+        for sensor_name in [str(n) for n in data["sensor_names"]]:
+            prefix = f"track_{sensor_name}"
+            mount = data[f"{prefix}_mount"]
+            tracks.append(
+                SensorTrack(
+                    sensor_name=sensor_name,
+                    ranges_m=data[f"{prefix}_ranges"],
+                    status=data[f"{prefix}_status"],
+                    azimuths=data[f"{prefix}_azimuths"],
+                    mount_x=float(mount[0]),
+                    mount_y=float(mount[1]),
+                )
+            )
+        return RecordedSequence(
+            name=str(data["name"]),
+            timestamps=data["timestamps"],
+            ground_truth=data["ground_truth"],
+            odometry=data["odometry"],
+            tracks=tracks,
+        )
+
+    def save_npz(self, path: str | Path) -> None:
+        """Write the sequence to a compressed ``.npz`` archive."""
+        np.savez_compressed(Path(path), **self.to_npz_payload())
 
     @staticmethod
     def load_npz(path: str | Path) -> "RecordedSequence":
@@ -156,24 +193,4 @@ class RecordedSequence:
         if not path.exists():
             raise DatasetError(f"sequence file not found: {path}")
         with np.load(path) as data:
-            tracks = []
-            for sensor_name in [str(n) for n in data["sensor_names"]]:
-                prefix = f"track_{sensor_name}"
-                mount = data[f"{prefix}_mount"]
-                tracks.append(
-                    SensorTrack(
-                        sensor_name=sensor_name,
-                        ranges_m=data[f"{prefix}_ranges"],
-                        status=data[f"{prefix}_status"],
-                        azimuths=data[f"{prefix}_azimuths"],
-                        mount_x=float(mount[0]),
-                        mount_y=float(mount[1]),
-                    )
-                )
-            return RecordedSequence(
-                name=str(data["name"]),
-                timestamps=data["timestamps"],
-                ground_truth=data["ground_truth"],
-                odometry=data["odometry"],
-                tracks=tracks,
-            )
+            return RecordedSequence.from_npz_payload(data)

@@ -14,11 +14,11 @@ seconds to produce.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..common.errors import DatasetError
+from ..common.paths import data_root
 from ..maps.maze import DroneWorld, build_drone_maze_world
 from ..maps.planning import plan_tour, snap_to_clearance
 from ..vehicle.crazyflie import CrazyflieSimulator, SimConfig
@@ -89,8 +89,7 @@ SEQUENCE_SCRIPTS: tuple[SequenceScript, ...] = (
 
 def data_directory() -> Path:
     """Directory holding cached sequence files."""
-    root = os.environ.get("REPRO_DATA_DIR", os.path.join(os.getcwd(), "data"))
-    return Path(root) / "sequences"
+    return data_root() / "sequences"
 
 
 def generate_sequence(

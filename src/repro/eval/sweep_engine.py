@@ -227,3 +227,53 @@ class SweepEngine:
                 for future in done:
                     collect(pending.pop(future), future.result())
         return result
+
+    def run_scenarios(
+        self,
+        scenarios: list,
+        variants: list[str],
+        particle_counts: list[int],
+        protocol: SweepProtocol | None = None,
+        base_config: MclConfig | None = None,
+        progress=None,
+        cache: bool = True,
+    ) -> dict[str, SweepResult]:
+        """Sweep over generated scenarios as an additional cell axis.
+
+        ``scenarios`` may mix :class:`~repro.scenarios.base.Scenario`
+        instances, :class:`~repro.scenarios.base.ScenarioSpec` objects
+        and spec strings (``family[:seed[:k=v+k=v]]``); specs are
+        resolved through the scenario registry (``cache`` controls its
+        ``.npz`` cache).  Each scenario contributes its own world and
+        recorded flight, swept over the full (variant, N) grid with the
+        protocol's seeds; the engine's keyed distance-field cache is
+        shared across scenarios, so repeated sweeps of the same worlds
+        never rebuild an EDT.  Returns one :class:`SweepResult` per
+        distinct scenario, keyed by the canonical spec id, in input
+        order; duplicate specs are swept once.
+        """
+        from ..scenarios.base import Scenario
+        from ..scenarios.registry import build_scenario
+
+        if not scenarios:
+            raise EvaluationError("scenario sweep needs at least one scenario")
+        resolved = [
+            item
+            if isinstance(item, Scenario)
+            else build_scenario(item, cache=cache)
+            for item in scenarios
+        ]
+        results: dict[str, SweepResult] = {}
+        for scenario in resolved:
+            if scenario.spec.id in results:
+                continue
+            results[scenario.spec.id] = self.run(
+                scenario.grid,
+                [scenario.sequence],
+                variants,
+                particle_counts,
+                protocol=protocol,
+                base_config=base_config,
+                progress=progress,
+            )
+        return results

@@ -1,0 +1,39 @@
+"""Procedural scenario generation: parameterized worlds beyond the paper's maze.
+
+Public surface:
+
+* :class:`~repro.scenarios.base.ScenarioSpec` — the ``(family, seed,
+  params)`` key, with a CLI string grammar;
+* :class:`~repro.scenarios.base.Scenario` — world + tour + recorded
+  flight, serializable to one deterministic ``.npz``;
+* :func:`~repro.scenarios.registry.build_scenario` /
+  :func:`~repro.scenarios.registry.build_scenarios` — generation with
+  ``REPRO_DATA_DIR`` caching;
+* :func:`~repro.scenarios.registry.available_families` /
+  :func:`~repro.scenarios.registry.get_family` /
+  :func:`~repro.scenarios.registry.register_family` — the registry.
+"""
+
+from .base import Scenario, ScenarioFamily, ScenarioSpec
+from .registry import (
+    available_families,
+    build_scenario,
+    build_scenarios,
+    get_family,
+    register_family,
+    scenario_cache_path,
+    scenario_directory,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "available_families",
+    "build_scenario",
+    "build_scenarios",
+    "get_family",
+    "register_family",
+    "scenario_cache_path",
+    "scenario_directory",
+]

@@ -1,0 +1,358 @@
+"""The built-in scenario families.
+
+Five parameterized world recipes, each deterministic in ``(seed,
+params)``:
+
+* ``maze``     — braided recursive-backtracker mazes at any cell pitch
+  (the generator behind the paper's artificial map extensions);
+* ``office``   — floor plans: a central corridor flanked by rooms with
+  doorways, the layout class of the floor-plan follow-up work;
+* ``corridor`` — long serpentine corridors with seed-jittered turn gaps
+  and wall stubs (feature-sparse, aliasing-heavy);
+* ``hall``     — open cluttered halls: one big room with scattered
+  boxes (feature-poor open space, the opposite regime of the maze);
+* ``degraded`` — any base family re-recorded through the
+  :mod:`repro.dataset.augment` failure injectors (sensor dropout
+  bursts, degraded odometry, range bias).
+
+Layout randomness is drawn exclusively from named
+:func:`repro.common.rng.make_rng` streams, so every family is a pure
+function of its spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.rng import make_rng
+from ..dataset.augment import (
+    with_degraded_odometry,
+    with_dropout_bursts,
+    with_range_bias,
+)
+from ..maps.builder import MapBuilder
+from ..maps.maze import generate_maze
+from ..maps.occupancy import CellState, PAPER_RESOLUTION
+from .base import ParamValue, Scenario, ScenarioFamily, ScenarioSpec
+
+#: Minimum corridor pitch that keeps routes flyable at the scenario
+#: clearance (rotor radius + margin on both sides of a 0.05 m wall).
+_MIN_PITCH_M = 0.5
+
+
+@dataclass(frozen=True)
+class MazeFamily(ScenarioFamily):
+    """Procedural braided mazes at parameterized size and cell pitch."""
+
+    name: str = "maze"
+    description: str = "braided recursive-backtracker maze (size_m, cells, braid)"
+    defaults: tuple[tuple[str, ParamValue], ...] = (
+        ("size_m", 4.0),
+        ("cells", 6),
+        ("braid", 0.35),
+        ("flight_s", 60.0),
+    )
+
+    def layout(self, seed, params):
+        size_m = float(params["size_m"])
+        cells = int(params["cells"])
+        pitch = size_m / cells
+        if pitch < _MIN_PITCH_M:
+            raise ConfigurationError(
+                f"maze pitch {pitch:.2f} m is too narrow to fly; "
+                f"need size_m/cells >= {_MIN_PITCH_M}"
+            )
+        grid = generate_maze(
+            size_m=size_m,
+            cells=cells,
+            seed=seed,
+            braid_fraction=float(params["braid"]),
+        )
+        rng = make_rng(seed, "scenario-maze-stops")
+
+        def center(row: int, col: int) -> tuple[float, float]:
+            return ((col + 0.5) * pitch, (row + 0.5) * pitch)
+
+        last = cells - 1
+        mid = cells // 2
+        interior = center(
+            int(rng.integers(1, max(last, 2))), int(rng.integers(1, max(last, 2)))
+        )
+        # A perimeter sweep with a center excursion: corners in order,
+        # the middle cell between them, plus one seed-chosen interior cell.
+        stops = [
+            center(0, 0),
+            center(0, last),
+            center(mid, mid),
+            center(last, last),
+            interior,
+            center(last, 0),
+            center(0, 0),
+        ]
+        return grid, stops
+
+
+@dataclass(frozen=True)
+class OfficeFamily(ScenarioFamily):
+    """Office floor plan: central corridor, rooms with doorways."""
+
+    name: str = "office"
+    description: str = "corridor-and-rooms floor plan with doorways"
+    defaults: tuple[tuple[str, ParamValue], ...] = (
+        ("width_m", 6.0),
+        ("height_m", 4.5),
+        ("rooms_per_side", 3),
+        ("corridor_w", 1.2),
+        ("door_w", 0.7),
+        ("flight_s", 60.0),
+    )
+
+    def layout(self, seed, params):
+        width = float(params["width_m"])
+        height = float(params["height_m"])
+        rooms = int(params["rooms_per_side"])
+        corridor_w = float(params["corridor_w"])
+        door_w = float(params["door_w"])
+        if rooms < 1:
+            raise ConfigurationError("office needs at least one room per side")
+        room_depth = (height - corridor_w) / 2.0
+        room_width = width / rooms
+        if room_depth < 2 * _MIN_PITCH_M or room_width < door_w + 0.4:
+            raise ConfigurationError("office rooms too small for the clearance")
+        rng = make_rng(seed, "scenario-office-layout")
+
+        builder = MapBuilder(width, height, PAPER_RESOLUTION)
+        builder.fill_rect(0.0, 0.0, width, height, CellState.FREE)
+        builder.add_border()
+        corridor_lo = room_depth
+        corridor_hi = room_depth + corridor_w
+
+        # Seed-jittered room dividers on each side.
+        dividers = {}
+        for side in ("bottom", "top"):
+            edges = [0.0]
+            for index in range(1, rooms):
+                jitter = float(rng.uniform(-0.15, 0.15)) * room_width
+                edges.append(index * room_width + jitter)
+            edges.append(width)
+            dividers[side] = edges
+            y0, y1 = (0.0, corridor_lo) if side == "bottom" else (corridor_hi, height)
+            for x in edges[1:-1]:
+                builder.add_wall(x, y0, x, y1)
+
+        # Corridor-facing walls with one doorway per room.
+        for side, wall_y in (("bottom", corridor_lo), ("top", corridor_hi)):
+            edges = dividers[side]
+            for left, right in zip(edges[:-1], edges[1:]):
+                margin = 0.2
+                lo = left + margin
+                hi = right - margin - door_w
+                door = float(rng.uniform(lo, max(hi, lo + 1e-6)))
+                builder.add_wall(left, wall_y, door, wall_y)
+                builder.add_wall(door + door_w, wall_y, right, wall_y)
+
+        grid = builder.build()
+        corridor_y = (corridor_lo + corridor_hi) / 2.0
+
+        # Tour: west corridor end, every bottom room, east end, every top
+        # room — A* routes through the doorways.
+        stops = [(0.4, corridor_y)]
+        for left, right in zip(dividers["bottom"][:-1], dividers["bottom"][1:]):
+            stops.append(((left + right) / 2.0, room_depth / 2.0))
+        stops.append((width - 0.4, corridor_y))
+        top_edges = dividers["top"]
+        for left, right in zip(top_edges[:-1], top_edges[1:]):
+            stops.append(((left + right) / 2.0, corridor_hi + room_depth / 2.0))
+        stops.append((0.4, corridor_y))
+        return grid, stops
+
+
+@dataclass(frozen=True)
+class CorridorFamily(ScenarioFamily):
+    """Long serpentine corridor with seed-jittered gaps and stubs."""
+
+    name: str = "corridor"
+    description: str = "serpentine corridor legs with jittered turn gaps"
+    defaults: tuple[tuple[str, ParamValue], ...] = (
+        ("legs", 4),
+        ("leg_len_m", 6.0),
+        ("corridor_w", 0.9),
+        ("flight_s", 60.0),
+    )
+
+    def layout(self, seed, params):
+        legs = int(params["legs"])
+        leg_len = float(params["leg_len_m"])
+        corridor_w = float(params["corridor_w"])
+        if legs < 2:
+            raise ConfigurationError("corridor needs at least two legs")
+        if corridor_w < 2 * _MIN_PITCH_M * 0.9:
+            raise ConfigurationError("corridor too narrow for the clearance")
+        rng = make_rng(seed, "scenario-corridor-layout")
+
+        width = leg_len
+        height = legs * corridor_w
+        builder = MapBuilder(width, height, PAPER_RESOLUTION)
+        builder.fill_rect(0.0, 0.0, width, height, CellState.FREE)
+        builder.add_border()
+
+        # Separator walls between legs, open at alternating ends with a
+        # seed-jittered gap length.
+        for index in range(1, legs):
+            y = index * corridor_w
+            gap = corridor_w * float(rng.uniform(0.9, 1.3))
+            if index % 2 == 1:  # open at the east end
+                builder.add_wall(0.0, y, width - gap, y)
+            else:  # open at the west end
+                builder.add_wall(gap, y, width, y)
+
+        # One short stub per leg at a seed-chosen position breaks the
+        # translational symmetry the localizer would otherwise alias on.
+        for index in range(legs):
+            stub_x = float(rng.uniform(1.5, width - 1.5))
+            y0 = index * corridor_w
+            if index % 2 == 0:
+                builder.add_wall(stub_x, y0, stub_x, y0 + corridor_w * 0.45)
+            else:
+                y1 = y0 + corridor_w
+                builder.add_wall(stub_x, y1 - corridor_w * 0.45, stub_x, y1)
+
+        grid = builder.build()
+        stops = []
+        for index in range(legs):
+            y = (index + 0.5) * corridor_w
+            west, east = (0.5, y), (width - 0.5, y)
+            stops.extend([west, east] if index % 2 == 0 else [east, west])
+        return grid, stops
+
+
+@dataclass(frozen=True)
+class HallFamily(ScenarioFamily):
+    """Open cluttered hall: one big room with scattered boxes."""
+
+    name: str = "hall"
+    description: str = "open hall cluttered with randomly placed boxes"
+    defaults: tuple[tuple[str, ParamValue], ...] = (
+        ("size_m", 6.0),
+        ("boxes", 8),
+        ("box_min_m", 0.3),
+        ("box_max_m", 0.7),
+        ("stops", 6),
+        ("flight_s", 60.0),
+    )
+
+    def layout(self, seed, params):
+        size = float(params["size_m"])
+        boxes = int(params["boxes"])
+        box_min = float(params["box_min_m"])
+        box_max = float(params["box_max_m"])
+        stop_count = int(params["stops"])
+        if size < 3.0:
+            raise ConfigurationError("hall must be at least 3 m across")
+        if not 0.0 < box_min <= box_max:
+            raise ConfigurationError("invalid hall box size range")
+        rng = make_rng(seed, "scenario-hall-layout")
+
+        builder = MapBuilder(size, size, PAPER_RESOLUTION)
+        builder.fill_rect(0.0, 0.0, size, size, CellState.FREE)
+        builder.add_border()
+
+        # Boxes on a seed-jittered grid: a random subset of lattice cells
+        # each holds one box jittered inside its cell.  Unlike rejection
+        # sampling this places *exactly* ``boxes`` obstacles (the spec
+        # must describe the generated world) and keeps a guaranteed free
+        # corridor between any two boxes and along the walls.
+        margin = box_max / 2.0 + 0.6
+        usable = size - 2 * margin
+        if boxes > 0:
+            lattice = int(np.ceil(np.sqrt(boxes)))
+            cell = usable / lattice
+            if cell < box_max + 0.4:
+                raise ConfigurationError(
+                    f"cannot fit {boxes} boxes of up to {box_max} m in a "
+                    f"{size} m hall; reduce boxes or box_max_m"
+                )
+            picks = rng.permutation(lattice * lattice)[:boxes]
+            for pick in picks:
+                row, col = divmod(int(pick), lattice)
+                half_w = float(rng.uniform(box_min, box_max)) / 2.0
+                half_h = float(rng.uniform(box_min, box_max)) / 2.0
+                slack_x = cell / 2.0 - half_w - 0.2
+                slack_y = cell / 2.0 - half_h - 0.2
+                cx = margin + (col + 0.5) * cell + float(
+                    rng.uniform(-slack_x, slack_x)
+                )
+                cy = margin + (row + 0.5) * cell + float(
+                    rng.uniform(-slack_y, slack_y)
+                )
+                builder.add_box(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+        grid = builder.build()
+        # Stops sampled uniformly over the hall; snapping later moves any
+        # that landed on or near a box.
+        stops = [
+            (float(rng.uniform(0.5, size - 0.5)), float(rng.uniform(0.5, size - 0.5)))
+            for __ in range(max(stop_count, 2))
+        ]
+        return grid, stops
+
+
+@dataclass(frozen=True)
+class DegradedFamily(ScenarioFamily):
+    """Any base family re-recorded through the failure injectors."""
+
+    name: str = "degraded"
+    description: str = "base family + sensor dropout, odometry drift, range bias"
+    defaults: tuple[tuple[str, ParamValue], ...] = (
+        ("base", "maze"),
+        ("bursts", 2),
+        ("burst_frames", 12),
+        ("odo_noise", 0.005),
+        ("odo_scale", 0.03),
+        ("bias_m", 0.03),
+        ("flight_s", 60.0),
+    )
+
+    def generate(self, spec: ScenarioSpec) -> Scenario:
+        from .registry import get_family  # local import: registry imports us
+
+        params = self.resolve_params(spec)
+        base_family = get_family(str(params["base"]))
+        if isinstance(base_family, DegradedFamily):
+            raise ConfigurationError("degraded scenarios cannot nest")
+        base = base_family.generate(
+            ScenarioSpec.of(base_family.name, spec.seed, flight_s=params["flight_s"])
+        )
+        sequence = base.sequence
+        bursts = int(params["bursts"])
+        if bursts > 0:
+            sequence = with_dropout_bursts(
+                sequence,
+                burst_count=bursts,
+                burst_frames=int(params["burst_frames"]),
+                seed=spec.seed,
+            )
+        sequence = with_degraded_odometry(
+            sequence,
+            extra_noise_xy=float(params["odo_noise"]),
+            extra_scale_error=float(params["odo_scale"]),
+            seed=spec.seed,
+        )
+        sequence = with_range_bias(sequence, bias_m=float(params["bias_m"]))
+        sequence.name = spec.id  # the augment suffixes are spec-implied
+        return Scenario(
+            spec=spec, grid=base.grid, tour=base.tour, sequence=sequence
+        )
+
+
+#: The built-in families, in registry order.
+BUILTIN_FAMILIES: tuple[ScenarioFamily, ...] = (
+    MazeFamily(),
+    OfficeFamily(),
+    CorridorFamily(),
+    HallFamily(),
+    DegradedFamily(),
+)

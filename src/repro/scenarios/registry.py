@@ -1,0 +1,95 @@
+"""The scenario registry: families by name, generation, and caching.
+
+Mirrors the engine's backend registry: families register under a name,
+callers resolve them with :func:`get_family`, and
+:func:`build_scenario` is the one entry point that turns a
+:class:`~repro.scenarios.base.ScenarioSpec` into a generated
+:class:`~repro.scenarios.base.Scenario`, caching the result as a single
+``.npz`` under ``REPRO_DATA_DIR/scenarios`` exactly like the canonical
+sequences cache under ``REPRO_DATA_DIR/sequences``.
+
+Because generation is deterministic and serialization is byte-stable,
+the cache is *content-addressed by construction*: regenerating a spec
+writes the identical bytes, so a stale-cache bug is impossible as long
+as family recipes only change alongside a new family or parameter name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..common.errors import ConfigurationError
+from ..common.paths import data_root
+from .base import Scenario, ScenarioFamily, ScenarioSpec
+from .families import BUILTIN_FAMILIES
+
+_FAMILIES: dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily) -> None:
+    """Register a scenario family under its name (last wins)."""
+    if not family.name:
+        raise ConfigurationError("scenario family needs a non-empty name")
+    _FAMILIES[family.name] = family
+
+
+def _ensure_builtin_families() -> None:
+    for family in BUILTIN_FAMILIES:
+        _FAMILIES.setdefault(family.name, family)
+
+
+def available_families() -> tuple[str, ...]:
+    """Registered family names, registry order."""
+    _ensure_builtin_families()
+    return tuple(_FAMILIES)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Resolve a family by name."""
+    _ensure_builtin_families()
+    if name not in _FAMILIES:
+        valid = ", ".join(_FAMILIES)
+        raise ConfigurationError(
+            f"unknown scenario family {name!r}; expected one of: {valid}"
+        )
+    return _FAMILIES[name]
+
+
+def scenario_directory() -> Path:
+    """Directory holding cached scenario files (``REPRO_DATA_DIR``)."""
+    return data_root() / "scenarios"
+
+
+def scenario_cache_path(spec: ScenarioSpec) -> Path:
+    """Where :func:`build_scenario` caches one spec."""
+    return scenario_directory() / f"{spec.cache_stem}.npz"
+
+
+def build_scenario(
+    spec: ScenarioSpec | str, cache: bool = True
+) -> Scenario:
+    """Generate (or load from cache) the scenario for ``spec``.
+
+    ``spec`` may be a :class:`ScenarioSpec` or its string form
+    (``family[:seed[:k=v+k=v]]``).  With ``cache=True`` the generated
+    scenario is stored under :func:`scenario_directory` and later calls
+    load the ``.npz`` instead of re-simulating the flight.
+    """
+    if isinstance(spec, str):
+        spec = ScenarioSpec.parse(spec)
+    get_family(spec.family).resolve_params(spec)  # fail fast on bad params
+    path = scenario_cache_path(spec)
+    if cache and path.exists():
+        return Scenario.load_npz(path)
+    scenario = get_family(spec.family).generate(spec)
+    if cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scenario.save_npz(path)
+    return scenario
+
+
+def build_scenarios(
+    specs: list[ScenarioSpec | str], cache: bool = True
+) -> list[Scenario]:
+    """Generate/load several scenarios in order."""
+    return [build_scenario(spec, cache) for spec in specs]

@@ -1,0 +1,48 @@
+"""Root test fixtures: isolate every session from the committed caches.
+
+``REPRO_DATA_DIR`` is pointed at a per-session temporary directory so
+tests can never mutate the committed ``data/sequences`` cache (or any
+user-generated scenario cache).  The committed canonical sequences are
+copied in read-only style — copied bytes, originals untouched — so tests
+that replay them stay fast; everything else (scenario files, regenerated
+sequences) lands in the tmpdir and vanishes with the session.
+``REPRO_RESULTS_DIR`` is likewise redirected so tests never overwrite
+committed benchmark reports under ``results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+
+import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_repro_dirs(tmp_path_factory):
+    data_dir = tmp_path_factory.mktemp("repro-data")
+    results_dir = tmp_path_factory.mktemp("repro-results")
+
+    committed = _REPO_ROOT / "data" / "sequences"
+    if committed.is_dir():
+        target = data_dir / "sequences"
+        target.mkdir(parents=True, exist_ok=True)
+        for source in sorted(committed.glob("*.npz")):
+            shutil.copy2(source, target / source.name)
+
+    previous = {
+        key: os.environ.get(key) for key in ("REPRO_DATA_DIR", "REPRO_RESULTS_DIR")
+    }
+    os.environ["REPRO_DATA_DIR"] = str(data_dir)
+    os.environ["REPRO_RESULTS_DIR"] = str(results_dir)
+    try:
+        yield
+    finally:
+        for key, value in previous.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value

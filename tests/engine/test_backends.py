@@ -171,6 +171,47 @@ class TestBatchedEquivalence:
         _assert_traces_identical(whole, tiled)
 
 
+class TestScenarioEquivalence:
+    """The contract extends to generated scenario worlds, not just the
+    canonical maze: every scenario family must replay bitwise-identically
+    through both backends (scenario sweeps depend on it)."""
+
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        from repro.scenarios import ScenarioSpec, build_scenario
+
+        return {
+            family: build_scenario(ScenarioSpec.of(family, 1, flight_s=8.0))
+            for family in ("office", "hall")
+        }
+
+    @pytest.mark.parametrize("family", ["office", "hall"])
+    def test_scenario_stacks_match_sequential_reference(self, scenarios, family):
+        scenario = scenarios[family]
+        config = MclConfig(particle_count=96)
+        field = DistanceField.build_for_mode(
+            scenario.grid, config.r_max, config.precision
+        )
+        specs = [RunSpec(scenario.sequence, seed) for seed in (0, 1, 2)]
+        reference = ReferenceBackend().execute(scenario.grid, specs, config, field)
+        batched = BatchedBackend().execute(scenario.grid, specs, config, field)
+        _assert_traces_identical(reference, batched)
+
+    def test_mixed_scenario_sequences_in_one_stack(self, scenarios):
+        """Two different scenario flights stacked in one batch still match
+        (per-run gating masks over sequences from *different* worlds is
+        invalid — each batch shares one grid — so stack per-world)."""
+        scenario = scenarios["office"]
+        config = MclConfig(particle_count=96).with_variant("fp16qm")
+        field = DistanceField.build_for_mode(
+            scenario.grid, config.r_max, config.precision
+        )
+        specs = [RunSpec(scenario.sequence, seed) for seed in (3, 4)]
+        reference = ReferenceBackend().execute(scenario.grid, specs, config, field)
+        batched = BatchedBackend().execute(scenario.grid, specs, config, field)
+        _assert_traces_identical(reference, batched)
+
+
 class TestReplayPlan:
     def test_gating_trace_matches_sequence(self, mini_world):
         grid, long_flight, __ = mini_world

@@ -1,0 +1,110 @@
+"""Golden-trace regression: one sweep cell pinned bit-for-bit.
+
+``golden_fp32_n64.json`` snapshots the complete observable output of one
+fp32/N=64 sweep cell over a generated scenario: every scalar metric as
+an exact float (``float.hex``) and every per-frame trace array as a
+SHA-256 of its raw bytes.  Both backends must keep reproducing it
+exactly — a refactor that drifts any resampling decision, weight, or
+trace sample by one ulp fails loudly here instead of silently shifting
+published numbers.
+
+To intentionally re-baseline after a *deliberate* numerical change:
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+
+and commit the rewritten JSON alongside the change that explains it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.aggregate import SweepProtocol
+from repro.eval.sweep_engine import SweepEngine
+from repro.scenarios import build_scenario
+
+GOLDEN_PATH = Path(__file__).parent / "golden_fp32_n64.json"
+
+#: The pinned cell: a generated maze scenario, fp32, N=64, two seeds.
+SCENARIO_SPEC = "maze:0:cells=5+flight_s=25.0+size_m=3.0"
+VARIANT = "fp32"
+PARTICLE_COUNT = 64
+PROTOCOL = SweepProtocol(sequence_count=1, seeds=(0, 1))
+
+
+def _hex(value: float | None) -> str:
+    if value is None:
+        return "none"
+    if math.isnan(value):
+        return "nan"
+    return float(value).hex()
+
+
+def _digest(array) -> str:
+    return hashlib.sha256(array.tobytes()).hexdigest()
+
+
+def _cell_snapshot(backend: str) -> dict:
+    scenario = build_scenario(SCENARIO_SPEC)
+    engine = SweepEngine(backend=backend)
+    result = engine.run(
+        scenario.grid,
+        [scenario.sequence],
+        [VARIANT],
+        [PARTICLE_COUNT],
+        protocol=PROTOCOL,
+    )
+    cell = result.cells[(VARIANT, PARTICLE_COUNT)]
+    runs = []
+    for run in cell.runs:
+        metrics = run.metrics
+        runs.append(
+            {
+                "sequence": run.sequence_name,
+                "seed": run.seed,
+                "update_count": run.update_count,
+                "converged": metrics.converged,
+                "success": metrics.success,
+                "convergence_time_s": _hex(metrics.convergence_time_s),
+                "ate_mean_m": _hex(metrics.ate_mean_m),
+                "ate_rmse_m": _hex(metrics.ate_rmse_m),
+                "ate_max_m": _hex(metrics.ate_max_m),
+                "yaw_mean_rad": _hex(metrics.yaw_mean_rad),
+                "sha256": {
+                    "timestamps": _digest(run.timestamps),
+                    "position_errors": _digest(run.position_errors),
+                    "yaw_errors": _digest(run.yaw_errors),
+                    "estimate_trace": _digest(run.estimate_trace),
+                },
+            }
+        )
+    return {
+        "scenario": SCENARIO_SPEC,
+        "variant": VARIANT,
+        "particle_count": PARTICLE_COUNT,
+        "seeds": list(PROTOCOL.seeds),
+        "runs": runs,
+    }
+
+
+@pytest.mark.parametrize("backend", ["reference", "batched"])
+def test_golden_cell_reproduces_bit_for_bit(backend):
+    snapshot = _cell_snapshot(backend)
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        GOLDEN_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+        pytest.skip(f"golden snapshot rewritten by {backend}")
+    assert GOLDEN_PATH.exists(), (
+        "golden snapshot missing; regenerate with REPRO_UPDATE_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert snapshot == golden, (
+        f"{backend} backend drifted from the golden fp32/N=64 cell; if the "
+        "numerical change is intentional, re-baseline with "
+        "REPRO_UPDATE_GOLDEN=1 and justify it in the commit"
+    )

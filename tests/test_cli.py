@@ -25,6 +25,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--variant", "fp64"])
 
+    def test_sweep_parses_scenario_specs(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenarios", "office:3,maze:1:cells=7"]
+        )
+        assert [spec.id for spec in args.scenarios] == [
+            "office:3",
+            "maze:1:cells=7",
+        ]
+
+    def test_sweep_rejects_unknown_scenario_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scenarios", "warehouse:1"])
+
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -52,3 +69,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "converged" in out
         assert "seq0" in out
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("maze", "office", "corridor", "hall", "degraded"):
+            assert family in out
+
+    def test_scenarios_generate_and_sweep(self, capsys):
+        # Generate once (cached by tests/conftest.py's tmp data dir),
+        # then sweep the same spec — the sweep must reuse the cache.
+        spec = "corridor:2:flight_s=8.0"
+        assert main(["scenarios", "generate", spec]) == 0
+        out = capsys.readouterr().out
+        assert "corridor:2" in out
+        assert "frames=" in out
+        assert (
+            main(["sweep", "--scenarios", spec, "--variants", "fp32",
+                  "--particles", "32"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert spec in out
+        assert "success rate" in out
