@@ -17,7 +17,7 @@ import numpy as np
 from repro import MclConfig, build_drone_maze_world
 from repro.dataset import load_sequence
 from repro.eval import run_localization
-from repro.viz import render_map_with_path, write_csv
+from repro.viz import render_map_with_path, results_directory, write_csv
 
 
 def main() -> None:
@@ -68,7 +68,7 @@ def main() -> None:
     )
 
     path = write_csv(
-        "results/fig1_trajectory.csv",
+        results_directory() / "fig1_trajectory.csv",
         ["t_s", "gt_x", "gt_y", "gt_theta", "est_x", "est_y", "est_theta", "err_m"],
         [
             [

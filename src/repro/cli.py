@@ -9,12 +9,19 @@ Subcommands:
 * ``run``             — localize one sequence with one configuration
 * ``sweep``           — run an evaluation sweep through the sweep engine
   (``--scenarios`` sweeps generated worlds instead of the canonical maze)
+* ``campaign``        — resumable scenario-parallel sweep campaigns over
+  the on-disk result store (``run`` / ``status`` / ``report`` / ``list``)
 * ``bench-backends``  — time reference vs batched backends on one sweep
 * ``perf``            — print the Table I / Table II model predictions
+* ``docs-cli``        — emit the generated CLI reference (docs/cli.md)
 
 Commands that execute the filter accept ``--backend {reference,batched}``
 to pick the :class:`~repro.engine.backend.FilterBackend`; all backends
 produce identical results, so the flag only affects throughput.
+
+The full reference is generated from this parser tree into
+``docs/cli.md`` (kept in sync by a CI drift check), so every flag
+documented there is guaranteed to exist.
 """
 
 from __future__ import annotations
@@ -30,7 +37,14 @@ from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequen
 from .engine.backend import available_backends
 from .eval.aggregate import SweepProtocol
 from .eval.bench import compare_backends, write_backend_report
+from .eval.campaign import (
+    CampaignSpec,
+    aggregate_report,
+    campaign_status,
+    run_campaign,
+)
 from .eval.runner import run_localization
+from .eval.store import list_campaigns
 from .eval.sweep_engine import SweepEngine
 from .maps.maze import build_drone_maze_world
 from .scenarios import (
@@ -43,7 +57,7 @@ from .scenarios import (
 from .soc.gap9 import GAP9
 from .soc.perf import Gap9PerfModel, MclStep
 from .soc.power import Gap9PowerModel
-from .viz.tables import format_table
+from .viz.tables import format_matrix, format_table
 
 
 def _cmd_info(_args: argparse.Namespace) -> int:
@@ -176,31 +190,34 @@ def _parse_variants(raw: str) -> list[str]:
 
 
 def _print_sweep_tables(result, variants, particles, title_suffix, footnote) -> None:
-    header = ["variant"] + [str(c) for c in particles]
-    ate_rows = []
-    success_rows = []
+    columns = [str(count) for count in particles]
+    ate_cells: dict[tuple[str, str], str] = {}
+    success_cells: dict[tuple[str, str], str] = {}
     for variant in variants:
         ates = result.ate_series(variant, particles)
         successes = result.success_series(variant, particles)
-        ate_rows.append(
-            [variant]
-            + [f"{a:.3f}" if not math.isnan(a) else "n/a" for a in ates]
-        )
-        success_rows.append([variant] + [f"{s:.0f}%" for s in successes])
+        for column, ate, success in zip(columns, ates, successes):
+            if not math.isnan(ate):
+                ate_cells[(variant, column)] = f"{ate:.3f}"
+            success_cells[(variant, column)] = f"{success:.0f}%"
     runs = next(iter(result.cells.values())).aggregate.run_count
     print(
-        format_table(
-            header,
-            ate_rows,
+        format_matrix(
+            "variant",
+            list(variants),
+            columns,
+            ate_cells,
             title=f"ATE (m) vs particle number{title_suffix}  [{runs} runs/cell]",
             footnote=footnote,
         )
     )
     print()
     print(
-        format_table(
-            header,
-            success_rows,
+        format_matrix(
+            "variant",
+            list(variants),
+            columns,
+            success_cells,
             title=f"success rate vs particle number{title_suffix}",
         )
     )
@@ -235,6 +252,215 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=progress,
     )
     _print_sweep_tables(result, args.variants, args.particles, "", footnote)
+    return 0
+
+
+def _parse_seeds(raw: str) -> tuple[int, ...]:
+    try:
+        seeds = tuple(int(part) for part in raw.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"seeds must be integers: {exc}") from exc
+    if not seeds:
+        raise argparse.ArgumentTypeError("need at least one seed")
+    return seeds
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    seeds = args.seeds if args.seeds is not None else SweepProtocol.from_env().seeds
+    spec = CampaignSpec(
+        name=args.name,
+        scenarios=tuple(spec.id for spec in args.scenarios),
+        variants=tuple(args.variants),
+        particle_counts=tuple(args.particles),
+        seeds=seeds,
+    )
+    summary = run_campaign(
+        spec,
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume,
+        progress=print if args.verbose else None,
+    )
+    print(
+        f"campaign {summary.name!r}: {summary.executed} cells executed, "
+        f"{summary.skipped} skipped (already stored), "
+        f"{summary.total_cells} total"
+    )
+    if summary.recovered_files:
+        print(f"recovered partial files: {', '.join(summary.recovered_files)}")
+    print(f"store: {summary.store_root}")
+    return 0
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    status = campaign_status(args.name)
+    rows = [
+        [scenario, f"{entry['done']}/{entry['total']}"]
+        for scenario, entry in status["scenarios"].items()
+    ]
+    print(
+        format_table(
+            ["scenario", "cells done"],
+            rows,
+            title=(
+                f"campaign {status['name']!r}: "
+                f"{status['completed']}/{status['total']} cells completed"
+            ),
+            footnote=f"store: {status['store_root']}",
+        )
+    )
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .eval.campaign import load_campaign
+
+    spec = load_campaign(args.name)
+    report = aggregate_report(args.name)
+    columns = [str(count) for count in spec.particle_counts]
+    printed = False
+    for scenario in spec.scenarios:
+        cells = report[scenario]
+        if not cells:
+            continue
+        if printed:
+            print()
+        printed = True
+        ate_cells: dict[tuple[str, str], str] = {}
+        success_cells: dict[tuple[str, str], str] = {}
+        runs = 0
+        for (variant, count), aggregate in cells.items():
+            runs = max(runs, aggregate["runs"])
+            ate = aggregate["mean_ate_m"]
+            if ate is not None:
+                ate_cells[(variant, str(count))] = f"{ate:.3f}"
+            rate = aggregate["success_rate"]
+            if rate is not None:
+                success_cells[(variant, str(count))] = f"{100 * rate:.0f}%"
+        print(
+            format_matrix(
+                "variant",
+                list(spec.variants),
+                columns,
+                ate_cells,
+                title=f"ATE (m) vs particle number — {scenario}  [{runs} runs/cell]",
+            )
+        )
+        print()
+        print(
+            format_matrix(
+                "variant",
+                list(spec.variants),
+                columns,
+                success_cells,
+                title=f"success rate vs particle number — {scenario}",
+            )
+        )
+    return 0
+
+
+def _cmd_campaign_list(_args: argparse.Namespace) -> int:
+    names = list_campaigns()
+    if not names:
+        print("no campaigns stored")
+        return 0
+    rows = []
+    for name in names:
+        status = campaign_status(name)
+        rows.append([name, f"{status['completed']}/{status['total']}"])
+    print(format_table(["campaign", "cells done"], rows))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Generated CLI reference (docs/cli.md)
+# ----------------------------------------------------------------------
+def _action_invocation(action: argparse.Action) -> str:
+    if not action.option_strings:
+        return f"`{action.metavar or action.dest}`"
+    invocation = ", ".join(f"`{opt}`" for opt in action.option_strings)
+    if action.nargs != 0:
+        invocation += f" `{action.metavar or action.dest.upper()}`"
+    return invocation
+
+
+def _action_rows(parser: argparse.ArgumentParser) -> list[str]:
+    lines = []
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction) or isinstance(
+            action, argparse._HelpAction
+        ):
+            continue
+        notes = []
+        if action.choices is not None:
+            notes.append(
+                "one of " + ", ".join(f"`{choice}`" for choice in action.choices)
+            )
+        if (
+            action.option_strings
+            and action.nargs != 0
+            and action.default is not None
+            and action.default is not argparse.SUPPRESS
+        ):
+            notes.append(f"default `{action.default}`")
+        help_text = (action.help or "").strip()
+        detail = " — ".join(part for part in [help_text, "; ".join(notes)] if part)
+        lines.append(f"- {_action_invocation(action)}" + (f": {detail}" if detail else ""))
+    return lines
+
+
+def _subcommand_actions(
+    parser: argparse.ArgumentParser,
+) -> list[tuple[str, argparse.ArgumentParser]]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return list(action.choices.items())
+    return []
+
+
+def render_cli_markdown(parser: argparse.ArgumentParser | None = None) -> str:
+    """Render the full parser tree as deterministic markdown.
+
+    This is the single source of ``docs/cli.md``: the renderer walks the
+    argparse actions directly (never ``format_help``, whose line wrapping
+    depends on the terminal width), so the output is byte-stable and CI
+    can diff it against the committed file to catch drift.
+    """
+    parser = parser or build_parser()
+    lines = [
+        "# `repro` command-line reference",
+        "",
+        "<!-- Generated by `python -m repro docs-cli`. Do not edit by hand:",
+        "     CI fails when this file drifts from the parser in cli.py. -->",
+        "",
+        parser.description or "",
+        "",
+        "Every command is invoked as `PYTHONPATH=src python -m repro <command>`.",
+        "",
+        "## Global options",
+        "",
+    ]
+    lines.extend(_action_rows(parser))
+    def describe(heading: str, sub: argparse.ArgumentParser) -> None:
+        lines.extend(["", heading])
+        if sub.description:
+            lines.extend(["", sub.description])
+        rows = _action_rows(sub)
+        if rows:
+            lines.append("")
+            lines.extend(rows)
+        elif not _subcommand_actions(sub):
+            lines.extend(["", "(no options)"])
+
+    for name, sub in _subcommand_actions(parser):
+        describe(f"## `repro {name}`", sub)
+        for nested_name, nested_sub in _subcommand_actions(sub):
+            describe(f"### `repro {name} {nested_name}`", nested_sub)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _cmd_docs_cli(_args: argparse.Namespace) -> int:
+    sys.stdout.write(render_cli_markdown())
     return 0
 
 
@@ -416,6 +642,92 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(func=_cmd_sweep)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="resumable scenario-parallel sweep campaigns (run/status/report/list)",
+        description=(
+            "Campaigns execute a declarative scenario x variant x particle-count "
+            "grid as independent cells, streaming each finished cell into an "
+            "append-only store under REPRO_RESULTS_DIR/campaigns/<name>/. "
+            "Interrupted campaigns resume with --resume, skipping completed "
+            "cells by content key; the finished store is byte-identical either way."
+        ),
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute (or resume) a campaign into the result store",
+        description=(
+            "Expand the campaign grid, execute the cells not yet stored, and "
+            "stream each result into the campaign's store. Results never depend "
+            "on --backend or --jobs (bitwise-equivalence contract)."
+        ),
+    )
+    campaign_run.add_argument("name", help="campaign name (store directory name)")
+    campaign_run.add_argument(
+        "--scenarios",
+        type=_parse_scenarios,
+        required=True,
+        metavar="SPEC[,SPEC...]",
+        help="comma-separated scenario specs, e.g. office:3,maze:1:cells=7",
+    )
+    campaign_run.add_argument(
+        "--variants",
+        type=_parse_variants,
+        default=list(PAPER_VARIANTS),
+        help="comma-separated paper variants",
+    )
+    campaign_run.add_argument(
+        "--particles",
+        type=_parse_particles,
+        default=list(PAPER_PARTICLE_COUNTS),
+        help="comma-separated particle counts",
+    )
+    campaign_run.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=None,
+        help="comma-separated filter seeds (default: the REPRO_SCALE protocol seeds)",
+    )
+    campaign_run.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="batched",
+        help="filter backend executing each cell",
+    )
+    campaign_run.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for (scenario, cell) fan-out",
+    )
+    campaign_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in the store (by content key)",
+    )
+    campaign_run.add_argument(
+        "--verbose", action="store_true", help="print one line per completed cell"
+    )
+    campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_status_parser = campaign_sub.add_parser(
+        "status", help="show completed vs expected cells of a campaign"
+    )
+    campaign_status_parser.add_argument("name", help="campaign name")
+    campaign_status_parser.set_defaults(func=_cmd_campaign_status)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render aggregate ATE / success tables from the store"
+    )
+    campaign_report.add_argument("name", help="campaign name")
+    campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    campaign_sub.add_parser(
+        "list", help="list stored campaigns and their progress"
+    ).set_defaults(func=_cmd_campaign_list)
+
     bench = sub.add_parser(
         "bench-backends", help="time reference vs batched backends on one sweep"
     )
@@ -432,6 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("perf", help="print Table I / II model predictions").set_defaults(
         func=_cmd_perf
     )
+
+    # Hidden (no help string): emits the generated CLI reference; CI diffs
+    # its output against docs/cli.md to catch documentation drift.
+    docs_cli = sub.add_parser(
+        "docs-cli",
+        description="write the generated markdown CLI reference to stdout",
+    )
+    docs_cli.set_defaults(func=_cmd_docs_cli)
     return parser
 
 

@@ -4,9 +4,23 @@ A backend executes a *batch* of independent localization runs — each one
 a (sequence, seed) pair replayed through a fresh filter — against one
 shared (grid, config, distance field) context, and returns one
 :class:`RunTrace` per run.  Everything above this seam (metrics, sweep
-orchestration, CLI, benchmarks) is backend-agnostic; everything below it
-is free to reorganize the arithmetic, as long as per-run results are
-bitwise identical to the reference implementation.
+orchestration, campaigns, CLI, benchmarks) is backend-agnostic;
+everything below it is free to reorganize the arithmetic, subject to one
+invariant:
+
+**The bitwise-equivalence contract.**  Every backend must produce
+*bit-for-bit identical* per-run traces and metrics for matching
+(sequence, seed) inputs — asserted with exact array equality in
+``tests/engine/test_backends.py``, never with tolerances (particle
+filters amplify 1-ulp weight differences into divergent resampling
+decisions, so "close" is untestable).  Conforming implementations
+(a) reduce only along the last contiguous axis (numpy's pairwise sum is
+then per-row deterministic; BLAS matmul/einsum reductions are not
+order-safe), (b) consume each run's ``make_rng(seed, "mcl")`` stream in
+the reference draw order, and (c) reassociate only IEEE-commutative
+operations.  See docs/architecture.md for the full rules.  The contract
+is what makes backend choice and process fan-out pure throughput
+decisions, and what lets the campaign result store be content-addressed.
 
 Two backends ship today:
 
@@ -17,7 +31,9 @@ Two backends ship today:
   stacks all R runs' particle populations into ``(R, N)`` arrays and
   advances them in single vectorized passes.
 
-Future numba/GPU backends plug in by registering a new name.
+Future numba/GPU backends plug in by registering a new name — and must
+either keep the contract or register under a name that signals the
+difference.
 """
 
 from __future__ import annotations

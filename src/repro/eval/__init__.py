@@ -8,6 +8,15 @@ from .aggregate import (
     run_sweep,
 )
 from .bench import compare_backends, write_backend_report
+from .campaign import (
+    CampaignCell,
+    CampaignRunSummary,
+    CampaignSpec,
+    aggregate_report,
+    campaign_status,
+    load_campaign,
+    run_campaign,
+)
 from .diagnostics import (
     BeliefMode,
     FilterTrace,
@@ -25,11 +34,22 @@ from .metrics import (
     first_convergence_index,
 )
 from .runner import RunResult, run_localization, run_localization_batch
+from .store import CampaignStore, campaigns_root, list_campaigns
 from .sweep_engine import DistanceFieldCache, SweepEngine
 
 __all__ = [
     "compare_backends",
     "write_backend_report",
+    "CampaignCell",
+    "CampaignRunSummary",
+    "CampaignSpec",
+    "CampaignStore",
+    "aggregate_report",
+    "campaign_status",
+    "campaigns_root",
+    "list_campaigns",
+    "load_campaign",
+    "run_campaign",
     "DistanceFieldCache",
     "SweepEngine",
     "run_localization_batch",

@@ -1,0 +1,401 @@
+"""Resumable, scenario-parallel sweep campaigns over the result store.
+
+A *campaign* is a declarative grid — scenarios x variants x particle
+counts, evaluated under a fixed seed protocol — executed as independent
+**cells** and streamed into an append-only
+:class:`~repro.eval.store.CampaignStore` as each cell finishes.  This is
+the layer that turns the in-memory, all-or-nothing
+:class:`~repro.eval.sweep_engine.SweepEngine` sweep into something that
+survives at paper-study scale:
+
+* **declarative expansion** — :class:`CampaignSpec` names the axes; the
+  cell list (and each cell's stable content key) is derived from it, so
+  two processes given the same spec always agree on the work queue;
+* **scenario-parallel execution** — cells fan out over a process pool at
+  (scenario, variant, N) granularity via the sweep engine's worker path,
+  each worker holding its own keyed distance-field cache;
+* **resumability** — a killed campaign restarts with ``resume=True`` and
+  re-executes exactly the cells whose files are missing or torn; the
+  final store is **byte-identical** to an uninterrupted run;
+* **queryability** — :func:`campaign_status` and
+  :func:`aggregate_report` answer progress and accuracy questions from
+  the store alone, with no recomputation.
+
+Determinism contract: a cell's stored bytes are a pure function of its
+content key.  The filter backends are bitwise-equivalent, run order
+inside a cell is fixed (sequence-major, then seed), and serialization is
+canonical JSON — so ``jobs=1`` vs ``jobs=N``, fresh vs resumed, and
+``reference`` vs ``batched`` all write identical stores (asserted in
+``tests/eval/test_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError, EvaluationError
+from ..core.config import PAPER_VARIANTS, MclConfig
+from ..scenarios.base import ScenarioSpec
+from ..scenarios.registry import build_scenario, canonical_scenario_id
+from .runner import RunResult
+from ..engine.backend import get_backend
+from .store import CampaignStore, canonical_json_bytes
+from .sweep_engine import (
+    DistanceFieldCache,
+    SweepCellSpec,
+    _execute_cell,
+    _execute_scenario_cell_by_id,
+    drain_futures,
+)
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One unit of campaign work: (scenario, variant, N) under the seeds.
+
+    The :attr:`key` is the cell's *content key* — a stable digest of
+    everything that determines the cell's numbers.  Execution details
+    (backend, job count, host) are deliberately excluded: they cannot
+    change results under the bitwise-equivalence contract, so they must
+    not change the key either.
+    """
+
+    scenario: str
+    variant: str
+    particle_count: int
+    seeds: tuple[int, ...]
+
+    @property
+    def key(self) -> str:
+        identity = {
+            "scenario": self.scenario,
+            "variant": self.variant,
+            "particle_count": self.particle_count,
+            "seeds": list(self.seeds),
+        }
+        digest = hashlib.sha256(canonical_json_bytes(identity)).hexdigest()[:12]
+        stem = ScenarioSpec.parse(self.scenario).cache_stem
+        return f"{stem}-{self.variant}-n{self.particle_count}-{digest}"
+
+    def sweep_cell(self, base_config: MclConfig) -> SweepCellSpec:
+        config = dataclasses.replace(
+            base_config, particle_count=self.particle_count
+        ).with_variant(self.variant)
+        return SweepCellSpec(self.variant, self.particle_count, config)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative description of a campaign (also its manifest).
+
+    ``scenarios`` are canonical spec ids (any accepted spelling is
+    normalized on construction); ``seeds`` is the filter-seed protocol
+    every cell repeats.  The spec deliberately contains *no* execution
+    options — backend and job count are chosen per invocation and leave
+    no trace in the results.
+    """
+
+    name: str
+    scenarios: tuple[str, ...]
+    variants: tuple[str, ...]
+    particle_counts: tuple[int, ...]
+    seeds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("campaign needs a name")
+        if not self.scenarios:
+            raise ConfigurationError("campaign needs at least one scenario")
+        if not self.variants:
+            raise ConfigurationError("campaign needs at least one variant")
+        for variant in self.variants:
+            if variant not in PAPER_VARIANTS:
+                raise ConfigurationError(
+                    f"unknown variant {variant!r}; expected from {PAPER_VARIANTS}"
+                )
+        if not self.particle_counts or any(
+            count < 1 for count in self.particle_counts
+        ):
+            raise ConfigurationError("particle counts must be >= 1")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        # Normalize and dedupe every axis (input order preserved), so
+        # repeated values can never expand into duplicate cells sharing
+        # one content key.
+        canonical = dict.fromkeys(
+            canonical_scenario_id(scenario) for scenario in self.scenarios
+        )
+        object.__setattr__(self, "scenarios", tuple(canonical))
+        object.__setattr__(self, "variants", tuple(dict.fromkeys(self.variants)))
+        object.__setattr__(
+            self,
+            "particle_counts",
+            tuple(dict.fromkeys(int(c) for c in self.particle_counts)),
+        )
+        object.__setattr__(
+            self, "seeds", tuple(dict.fromkeys(int(s) for s in self.seeds))
+        )
+
+    def cells(self) -> list[CampaignCell]:
+        """The work queue in deterministic scenario-major order."""
+        return [
+            CampaignCell(scenario, variant, count, self.seeds)
+            for scenario in self.scenarios
+            for variant in self.variants
+            for count in self.particle_counts
+        ]
+
+    def to_manifest(self) -> dict:
+        return {
+            "name": self.name,
+            "scenarios": list(self.scenarios),
+            "variants": list(self.variants),
+            "particle_counts": list(self.particle_counts),
+            "seeds": list(self.seeds),
+        }
+
+    @staticmethod
+    def from_manifest(manifest: dict) -> "CampaignSpec":
+        return CampaignSpec(
+            name=manifest["name"],
+            scenarios=tuple(manifest["scenarios"]),
+            variants=tuple(manifest["variants"]),
+            particle_counts=tuple(manifest["particle_counts"]),
+            seeds=tuple(manifest["seeds"]),
+        )
+
+
+def _run_payload(run: RunResult) -> dict:
+    metrics = run.metrics
+    return {
+        "sequence": run.sequence_name,
+        "seed": run.seed,
+        "update_count": run.update_count,
+        "metrics": {
+            "converged": metrics.converged,
+            "convergence_time_s": metrics.convergence_time_s,
+            "success": metrics.success,
+            "ate_mean_m": metrics.ate_mean_m,
+            "ate_rmse_m": metrics.ate_rmse_m,
+            "ate_max_m": metrics.ate_max_m,
+            "yaw_mean_rad": metrics.yaw_mean_rad,
+        },
+    }
+
+
+def cell_payload(cell: CampaignCell, runs: list[RunResult]) -> dict:
+    """Reduce one cell's runs to the stored (canonical) payload.
+
+    Only deterministic quantities enter the payload — metrics, counts,
+    and the cell identity.  No wall-clock, no host information: the
+    bytes must be a pure function of the cell key.
+    """
+    converged_ates = [
+        r.metrics.ate_mean_m for r in runs if r.metrics.converged
+    ]
+    aggregate = {
+        "runs": len(runs),
+        "converged": sum(1 for r in runs if r.metrics.converged),
+        "success_rate": (
+            sum(1 for r in runs if r.metrics.success) / len(runs) if runs else None
+        ),
+        "mean_ate_m": (
+            sum(converged_ates) / len(converged_ates) if converged_ates else None
+        ),
+    }
+    # NaN metrics (non-converged runs) are mapped to null at the store's
+    # canonical-JSON layer; no pre-sanitization needed here.
+    return {
+        "cell": {
+            "scenario": cell.scenario,
+            "variant": cell.variant,
+            "particle_count": cell.particle_count,
+            "seeds": list(cell.seeds),
+        },
+        "runs": [_run_payload(run) for run in runs],
+        "aggregate": aggregate,
+    }
+
+
+@dataclass
+class CampaignRunSummary:
+    """What one ``run_campaign`` invocation did to the store."""
+
+    name: str
+    total_cells: int
+    executed: int
+    skipped: int
+    recovered_files: list[str]
+    store_root: str
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    backend: str = "batched",
+    jobs: int = 1,
+    resume: bool = False,
+    store: CampaignStore | None = None,
+    progress=None,
+) -> CampaignRunSummary:
+    """Execute a campaign, streaming each finished cell into the store.
+
+    With ``resume=True``, cells whose files already exist (and parse)
+    are skipped by content key — only the missing remainder is executed,
+    and the completed store is byte-identical to an uninterrupted run.
+    Without ``resume``, every cell is recomputed and verified against
+    any bytes already stored (a mismatch raises — it would mean the
+    determinism contract broke).
+
+    ``jobs > 1`` fans (scenario, variant, N) cells across a process
+    pool.  Tasks ship only the scenario *id*: workers load worlds from
+    the registry's byte-stable ``.npz`` cache (pre-warmed by the parent,
+    so there is no generation race) and keep both scenarios and distance
+    fields cached per process.  Cells are streamed to disk as they
+    finish, in completion order — the store's content addressing makes
+    that order irrelevant.
+
+    Campaigns always evaluate under the paper-default
+    :class:`~repro.core.config.MclConfig` (the spec's variants/counts
+    are the only configuration axes), so a cell's content key fully
+    determines its numbers.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if store is None:
+        store = CampaignStore(spec.name)
+    recovered = store.recover()
+    store.write_manifest(spec.to_manifest())
+
+    cells = spec.cells()
+    completed = store.completed_keys() if resume else set()
+    pending = [cell for cell in cells if cell.key not in completed]
+    skipped = len(cells) - len(pending)
+    if progress is not None and skipped:
+        progress(f"resume: {skipped}/{len(cells)} cells already stored")
+
+    base_config = MclConfig()
+    pending_ids = dict.fromkeys(cell.scenario for cell in pending)
+
+    def finish(cell: CampaignCell, runs: list[RunResult]) -> None:
+        store.put_cell(cell.key, cell_payload(cell, runs))
+        if progress is not None:
+            done = sum(1 for r in runs if r.metrics.success)
+            progress(
+                f"{cell.scenario} {cell.variant} N={cell.particle_count}: "
+                f"{done}/{len(runs)} successful runs -> {cell.key}.json"
+            )
+
+    if jobs == 1:
+        # Resolve the backend once so its replay-plan cache serves every
+        # cell (mirrors SweepEngine.__post_init__); one local field
+        # cache shares each EDT across a scenario's cells.  Cells are
+        # scenario-major, so only one scenario is held in memory at a
+        # time — campaigns over hundreds of worlds stay bounded.
+        executor = get_backend(backend)
+        field_cache = DistanceFieldCache()
+        loaded_id, scenario = None, None
+        for cell in pending:
+            if cell.scenario != loaded_id:
+                scenario = build_scenario(cell.scenario, cache=True)
+                loaded_id = cell.scenario
+            sweep_cell = cell.sweep_cell(base_config)
+            fld = field_cache.get(
+                scenario.grid, sweep_cell.config.r_max, sweep_cell.field_kind
+            )
+            runs = _execute_cell(
+                scenario.grid,
+                [scenario.sequence],
+                cell.seeds,
+                sweep_cell,
+                fld,
+                executor,
+            )
+            finish(cell, runs)
+    else:
+        # Warm the byte-stable .npz cache in the parent (workers then
+        # only ever read it — no generation race); the Scenario objects
+        # themselves are dropped immediately, workers reload by id.
+        for scenario_id in pending_ids:
+            build_scenario(scenario_id, cache=True)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(
+                    _execute_scenario_cell_by_id,
+                    cell.scenario,
+                    cell.seeds,
+                    cell.sweep_cell(base_config),
+                    backend,
+                ): cell
+                for cell in pending
+            }
+            drain_futures(futures, finish)
+
+    return CampaignRunSummary(
+        name=spec.name,
+        total_cells=len(cells),
+        executed=len(pending),
+        skipped=skipped,
+        recovered_files=recovered,
+        store_root=str(store.root),
+    )
+
+
+def load_campaign(name: str, store: CampaignStore | None = None) -> CampaignSpec:
+    """Reconstruct a campaign's spec from its stored manifest."""
+    if store is None:
+        store = CampaignStore(name)
+    return CampaignSpec.from_manifest(store.read_manifest())
+
+
+def campaign_status(name: str, store: CampaignStore | None = None) -> dict:
+    """Progress of a campaign: completed vs expected cells, by scenario."""
+    if store is None:
+        store = CampaignStore(name)
+    spec = load_campaign(name, store)
+    completed = store.completed_keys()
+    cells = spec.cells()
+    by_scenario: dict[str, dict[str, int]] = {}
+    for cell in cells:
+        entry = by_scenario.setdefault(cell.scenario, {"done": 0, "total": 0})
+        entry["total"] += 1
+        entry["done"] += 1 if cell.key in completed else 0
+    return {
+        "name": name,
+        "total": len(cells),
+        "completed": sum(1 for cell in cells if cell.key in completed),
+        "scenarios": by_scenario,
+        "store_root": str(store.root),
+    }
+
+
+def aggregate_report(
+    name: str, store: CampaignStore | None = None
+) -> dict[str, dict[tuple[str, int], dict]]:
+    """Aggregate stored cells: scenario -> (variant, N) -> summary dict.
+
+    Reads only the store (no recomputation); cells not yet executed are
+    simply absent.  Raises if the campaign has no completed cells.
+    """
+    if store is None:
+        store = CampaignStore(name)
+    spec = load_campaign(name, store)
+    report: dict[str, dict[tuple[str, int], dict]] = {
+        scenario: {} for scenario in spec.scenarios
+    }
+    found = 0
+    for cell in spec.cells():
+        payload = store.get_cell(cell.key)
+        if payload is None:
+            continue
+        found += 1
+        report[cell.scenario][(cell.variant, cell.particle_count)] = payload[
+            "aggregate"
+        ]
+    if not found:
+        raise EvaluationError(
+            f"campaign {name!r} has no completed cells to report"
+        )
+    return report

@@ -1,0 +1,305 @@
+"""Append-only, atomic on-disk result store for sweep campaigns.
+
+A campaign's results live under ``REPRO_RESULTS_DIR/campaigns/<name>/``:
+
+* ``manifest.json`` — the declarative campaign spec, written once when
+  the campaign starts; resumed runs must present an identical spec.
+* ``cells/<key>.json`` — one file per completed cell, keyed by the
+  cell's stable content key (scenario spec id, variant, particle count
+  and protocol seeds; never the backend or job count — those only pick
+  an execution strategy).
+
+**Invariants** (these are what make campaigns resumable and the store
+byte-comparable):
+
+* *Atomicity* — every file is written to a ``*.tmp`` sibling and
+  ``os.replace``-d into place, so a killed campaign leaves either a
+  complete cell file or no cell file, never a torn one.  Leftover
+  ``*.tmp`` files and unparseable cell files are treated as absent and
+  swept by :meth:`CampaignStore.recover`.
+* *Determinism* — payloads are serialized as canonical JSON (sorted
+  keys, fixed indentation, NaN mapped to ``null`` before encoding, one
+  trailing newline).  Because the filter backends are bitwise
+  equivalent and run order inside a cell is fixed, the bytes of every
+  cell file are a pure function of the cell key: ``jobs=1`` vs
+  ``jobs=N``, fresh vs resumed, ``reference`` vs ``batched`` all
+  produce **byte-identical** stores.
+* *Append-only* — a completed cell is never rewritten; re-putting an
+  existing key verifies the bytes instead (a mismatch means the
+  equivalence contract was broken and raises).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import math
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..common.errors import ConfigurationError, EvaluationError
+from ..viz.export import results_directory
+
+#: Store format version, recorded in every manifest.
+STORE_VERSION = 1
+
+#: Minimum age before :meth:`CampaignStore.recover` treats a ``*.tmp``
+#: file as abandoned.  Younger tmp files may belong to a concurrently
+#: running writer mid-``_atomic_write`` (several processes may legally
+#: share one store); deleting those would crash that writer's publish.
+TMP_GRACE_S = 300.0
+
+
+def campaigns_root() -> Path:
+    """Directory holding all campaign stores (``REPRO_RESULTS_DIR``)."""
+    return results_directory() / "campaigns"
+
+
+def sanitize_nan(value: Any) -> Any:
+    """Recursively map NaN/inf floats to ``None`` for canonical JSON.
+
+    ``json`` would happily emit the non-standard tokens ``NaN`` and
+    ``Infinity``; mapping them to ``null`` keeps cell files valid JSON
+    and keeps "no value" representable in every reader.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: sanitize_nan(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nan(item) for item in value]
+    return value
+
+
+def canonical_json_bytes(payload: dict) -> bytes:
+    """Encode a payload as canonical (byte-stable) JSON.
+
+    Sorted keys and fixed indentation make the encoding independent of
+    construction order; :func:`sanitize_nan` runs first so the encoder
+    can reject any remaining non-finite float (``allow_nan=False``).
+    """
+    text = json.dumps(
+        sanitize_nan(payload), sort_keys=True, indent=2, allow_nan=False
+    )
+    return (text + "\n").encode("utf-8")
+
+
+def _write_scratch(path: Path, data: bytes) -> str:
+    """Write ``data`` to a unique tmp sibling of ``path``; return its name.
+
+    The tmp name is unique per writer (``mkstemp``), so two processes
+    racing to publish the same file never share a scratch file.  mkstemp
+    creates 0600 scratch files; umask-derived permissions are restored so
+    stores shared between users stay readable.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f"{path.name}.", suffix=".tmp"
+    )
+    umask = os.umask(0)
+    os.umask(umask)
+    os.fchmod(fd, 0o666 & ~umask)
+    with os.fdopen(fd, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return tmp_name
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (unique tmp + rename).
+
+    ``os.replace`` makes whichever racing writer lands last win —
+    harmless for cell files, where equal keys imply equal bytes.
+    """
+    tmp_name = _write_scratch(path, data)
+    try:
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def _atomic_create(path: Path, data: bytes) -> bool:
+    """Publish ``data`` at ``path`` only if nothing exists there yet.
+
+    Uses ``os.link`` from a unique scratch file — an atomic
+    create-if-absent even on shared network mounts — so two processes
+    racing to create the same file cannot both succeed.  Returns True if
+    this caller published, False if ``path`` already existed (complete:
+    files published this way are never partial).
+    """
+    tmp_name = _write_scratch(path, data)
+    try:
+        os.link(tmp_name, path)
+        return True
+    except FileExistsError:
+        return False
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+
+
+class CampaignStore:
+    """One campaign's on-disk results: a manifest plus per-cell files."""
+
+    def __init__(self, name: str, root: str | Path | None = None) -> None:
+        if not name or "/" in name or name.startswith("."):
+            raise ConfigurationError(
+                f"campaign name must be a plain directory name, got {name!r}"
+            )
+        self.name = name
+        self.root = Path(root) if root is not None else campaigns_root() / name
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / "cells"
+
+    def cell_path(self, key: str) -> Path:
+        return self.cells_dir / f"{key}.json"
+
+    def exists(self) -> bool:
+        return self.manifest_path.exists()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def write_manifest(self, manifest: dict) -> None:
+        """Record the campaign spec (first run) or verify it (resume).
+
+        The manifest pins what the cell keys were derived from; letting
+        a resumed run proceed under a different spec would silently mix
+        incompatible cells in one store.
+        """
+        manifest = dict(manifest, store_version=STORE_VERSION)
+        data = canonical_json_bytes(manifest)
+        if _atomic_create(self.manifest_path, data):
+            return
+        # Exactly one racing creator wins; everyone else (including this
+        # late re-check) must match the published spec byte for byte.
+        if self.manifest_path.read_bytes() != data:
+            raise EvaluationError(
+                f"campaign {self.name!r} already exists with a different "
+                f"spec; choose a new name or delete {self.root}"
+            )
+
+    def read_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            raise EvaluationError(
+                f"campaign {self.name!r} not found under {self.root.parent}"
+            )
+        return json.loads(self.manifest_path.read_text())
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def put_cell(self, key: str, payload: dict) -> Path:
+        """Stream one finished cell into the store (atomic, append-only).
+
+        Re-putting an existing key is a no-op when the bytes match and an
+        error when they do not — a byte mismatch for the same content key
+        means determinism was lost somewhere below the store.
+        """
+        path = self.cell_path(key)
+        data = canonical_json_bytes(payload)
+        if path.exists():
+            if path.read_bytes() != data:
+                raise EvaluationError(
+                    f"cell {key} already stored with different bytes — "
+                    "determinism violation (backend or protocol drift?)"
+                )
+            return path
+        _atomic_write(path, data)
+        return path
+
+    def get_cell(self, key: str) -> dict | None:
+        """Load one cell, or ``None`` if absent or unreadable (partial)."""
+        return self._load(self.cell_path(key))
+
+    def has_cell(self, key: str) -> bool:
+        return self.get_cell(key) is not None
+
+    def completed_keys(self) -> set[str]:
+        """Keys of every *valid* completed cell file.
+
+        Unparseable files (torn writes from a crashed process that
+        somehow bypassed the atomic path) do not count as completed, so
+        a resumed campaign re-executes them.
+        """
+        keys = set()
+        if not self.cells_dir.is_dir():
+            return keys
+        for path in sorted(self.cells_dir.glob("*.json")):
+            if self._load(path) is not None:
+                keys.add(path.stem)
+        return keys
+
+    def iter_cells(self) -> Iterator[tuple[str, dict]]:
+        """Yield ``(key, payload)`` for every valid cell, sorted by key."""
+        if not self.cells_dir.is_dir():
+            return
+        for path in sorted(self.cells_dir.glob("*.json")):
+            payload = self._load(path)
+            if payload is not None:
+                yield path.stem, payload
+
+    def recover(self, tmp_grace_s: float = TMP_GRACE_S) -> list[str]:
+        """Sweep partial files; returns the names of removed files.
+
+        Removes abandoned ``*.tmp`` leftovers (interrupted atomic writes
+        older than ``tmp_grace_s`` — younger ones may belong to a live
+        concurrent writer and are left alone) and cell files that no
+        longer parse as JSON.  Safe to call at the start of every run —
+        a healthy store loses nothing.
+        """
+        removed = []
+        now = time.time()
+        tmp_dirs = [d for d in (self.root, self.cells_dir) if d.is_dir()]
+        for path in sorted(p for d in tmp_dirs for p in d.glob("*.tmp")):
+            try:
+                if now - path.stat().st_mtime < tmp_grace_s:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # already published or swept by another process
+            removed.append(path.name)
+        if not self.cells_dir.is_dir():
+            return removed
+        for path in sorted(self.cells_dir.glob("*.json")):
+            if self._load(path) is None:
+                path.unlink(missing_ok=True)
+                removed.append(path.name)
+        return removed
+
+    @staticmethod
+    def _load(path: Path) -> dict | None:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def __len__(self) -> int:
+        return len(self.completed_keys())
+
+
+def list_campaigns(root: str | Path | None = None) -> list[str]:
+    """Names of every campaign with a manifest under the results root."""
+    base = Path(root) if root is not None else campaigns_root()
+    if not base.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in base.iterdir()
+        if (entry / "manifest.json").exists()
+    )

@@ -13,10 +13,17 @@ levers the per-run loop in older revisions lacked:
   once per engine, shared across variants and particle counts;
 * **process fan-out** — ``jobs > 1`` spreads independent cells over a
   process pool (cells are embarrassingly parallel; results are
-  reassembled in deterministic cell order).
+  reassembled in deterministic cell order).  Scenario sweeps fan out at
+  **scenario x cell** granularity: every (scenario, variant, N) unit is
+  an independent task, and each worker process keeps its own keyed
+  distance-field cache alive across tasks so an EDT is built at most
+  once per worker no matter how many cells share it.
 
 Every backend is bitwise-equivalent, so cell results do not depend on
-the backend or the job count — only wall-clock does.
+the backend or the job count — only wall-clock does.  That invariant is
+what the campaign layer (:mod:`repro.eval.campaign`) builds on: a cell's
+stored result is a pure function of its content key, regardless of how
+(or how often) it was executed.
 """
 
 from __future__ import annotations
@@ -44,10 +51,16 @@ class DistanceFieldCache:
     computed once and shared by reference across every cell that needs
     it.  Keys fingerprint the grid *content*, so two identical maps in
     different objects still share one field.
+
+    ``limit`` bounds how many fields are retained (oldest insertion
+    evicted first); ``None`` keeps everything — right for single-map
+    sweeps, while long-lived fan-out workers crossing hundreds of
+    generated worlds should bound it.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, limit: int | None = None) -> None:
         self._fields: dict[tuple, DistanceField] = {}
+        self.limit = limit
         self.hits = 0
         self.misses = 0
 
@@ -66,6 +79,9 @@ class DistanceFieldCache:
         key = (self.grid_key(grid), float(r_max), kind.value)
         if key not in self._fields:
             self.misses += 1
+            if self.limit is not None:
+                while len(self._fields) >= self.limit:
+                    self._fields.pop(next(iter(self._fields)))
             self._fields[key] = DistanceField.build(grid, r_max, kind)
         else:
             self.hits += 1
@@ -120,6 +136,102 @@ def _execute_cell(
         for seed in seeds
     ]
     return run_localization_batch(grid, specs, cell.config, fld, backend)
+
+
+def drain_futures(pending: dict, on_done) -> None:
+    """Drain a ``{future: context}`` map as completions arrive.
+
+    Calls ``on_done(context, result)`` per finished future.  Shared by
+    every process fan-out in the evaluation stack (cell sweeps, scenario
+    sweeps, campaigns) so completion-handling behaves identically
+    everywhere; a failed task raises out of the loop with the remaining
+    futures left to the pool's shutdown handling.
+    """
+    while pending:
+        done, _ = wait(pending, return_when=FIRST_COMPLETED)
+        for future in done:
+            on_done(pending.pop(future), future.result())
+
+
+#: Per-worker-process caches for scenario-level fan-out.  Worker
+#: processes persist across pool tasks, so every EDT, resolved backend
+#: instance (with its replay-plan cache) and loaded scenario a worker
+#: needs is built once and reused by all later (scenario, cell) tasks
+#: that land on the same worker.
+#: Scenarios (grid + recorded flight) and distance fields are the large
+#: per-worker cache entries; both caches are bounded so campaigns over
+#: hundreds of worlds don't grow worker memory without limit.  LRU-ish:
+#: oldest insertion is evicted first, which matches the scenario-major
+#: task order (a worker rarely revisits a scenario after its cells
+#: finish).
+_WORKER_SCENARIO_LIMIT = 16
+
+_WORKER_FIELD_CACHE = DistanceFieldCache(limit=2 * _WORKER_SCENARIO_LIMIT)
+_WORKER_BACKENDS: dict[str, FilterBackend] = {}
+_WORKER_SCENARIOS: dict = {}
+
+
+def _worker_backend(backend: str | FilterBackend) -> FilterBackend:
+    """Resolve a backend name through the per-process instance cache.
+
+    Resolving once per process (not once per task) is what lets the
+    batched backend's per-sequence replay-plan cache serve every cell a
+    worker executes, mirroring ``SweepEngine.__post_init__``.
+    """
+    if not isinstance(backend, str):
+        return backend
+    if backend not in _WORKER_BACKENDS:
+        _WORKER_BACKENDS[backend] = get_backend(backend)
+    return _WORKER_BACKENDS[backend]
+
+
+def _execute_scenario_cell(
+    grid: OccupancyGrid,
+    sequences: list[RecordedSequence],
+    seeds: tuple[int, ...],
+    cell: SweepCellSpec,
+    backend: str | FilterBackend,
+) -> list[RunResult]:
+    """One (scenario, cell) fan-out unit: resolve the field, run the cell.
+
+    Unlike :func:`_execute_cell`, the distance field is *not* shipped
+    with the task — it is resolved from the per-process
+    :data:`_WORKER_FIELD_CACHE`, keyed by map content, so parallel
+    scenario sweeps neither pickle EDTs per task nor rebuild them per
+    cell.  This is the pool-worker path only; sequential (``jobs=1``)
+    execution goes through the engine's own ``field_cache`` instead.
+    """
+    fld = _WORKER_FIELD_CACHE.get(grid, cell.config.r_max, cell.field_kind)
+    return _execute_cell(grid, sequences, seeds, cell, fld, _worker_backend(backend))
+
+
+def _execute_scenario_cell_by_id(
+    scenario_id: str,
+    seeds: tuple[int, ...],
+    cell: SweepCellSpec,
+    backend: str | FilterBackend,
+) -> list[RunResult]:
+    """Like :func:`_execute_scenario_cell`, but shipping only the id.
+
+    The task carries a scenario *id* instead of pickled grid/sequence
+    arrays; the worker loads the byte-stable ``.npz`` from the registry
+    cache on first touch and keeps it in :data:`_WORKER_SCENARIOS`
+    (bounded to :data:`_WORKER_SCENARIO_LIMIT` entries) for every later
+    cell of the same scenario.  Callers must have generated the scenario
+    (``cache=True``) before fan-out, so workers only ever read the cache
+    and never race to generate.
+    """
+    scenario = _WORKER_SCENARIOS.get(scenario_id)
+    if scenario is None:
+        from ..scenarios.registry import build_scenario
+
+        scenario = build_scenario(scenario_id, cache=True)
+        while len(_WORKER_SCENARIOS) >= _WORKER_SCENARIO_LIMIT:
+            _WORKER_SCENARIOS.pop(next(iter(_WORKER_SCENARIOS)))
+        _WORKER_SCENARIOS[scenario_id] = scenario
+    return _execute_scenario_cell(
+        scenario.grid, [scenario.sequence], seeds, cell, backend
+    )
 
 
 @dataclass
@@ -222,10 +334,7 @@ class SweepEngine:
                 ): cell
                 for cell in cells
             }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    collect(pending.pop(future), future.result())
+            drain_futures(pending, collect)
         return result
 
     def run_scenarios(
@@ -251,29 +360,112 @@ class SweepEngine:
         never rebuild an EDT.  Returns one :class:`SweepResult` per
         distinct scenario, keyed by the canonical spec id, in input
         order; duplicate specs are swept once.
+
+        With ``jobs > 1`` the fan-out unit is **scenario x cell**: every
+        (scenario, variant, N) triple is an independent pool task, so a
+        sweep spanning dozens of generated worlds saturates the pool
+        even when each world contributes only a few cells.  Worker
+        processes keep their own keyed distance-field cache across
+        tasks.  Results are reassembled in deterministic order and are
+        bitwise identical to the sequential sweep.
+
+        Example::
+
+            engine = SweepEngine(backend="batched", jobs=4)
+            results = engine.run_scenarios(
+                ["office:3", "maze:1:cells=7", "hall:7"],
+                variants=["fp32", "fp16qm"],
+                particle_counts=[64, 256],
+            )
+            ate = results["office:3"].ate_series("fp32", [64, 256])
         """
         from ..scenarios.base import Scenario
         from ..scenarios.registry import build_scenario
 
         if not scenarios:
             raise EvaluationError("scenario sweep needs at least one scenario")
-        resolved = [
-            item
-            if isinstance(item, Scenario)
-            else build_scenario(item, cache=cache)
-            for item in scenarios
-        ]
+        unique: dict[str, Scenario] = {}
+        cached_ids: set[str] = set()  # resolvable from the .npz cache
+        for item in scenarios:
+            if isinstance(item, Scenario):
+                scenario = item
+            else:
+                scenario = build_scenario(item, cache=cache)
+                if cache:
+                    cached_ids.add(scenario.spec.id)
+            unique.setdefault(scenario.spec.id, scenario)
+
+        if self.jobs == 1:
+            return {
+                scenario_id: self.run(
+                    scenario.grid,
+                    [scenario.sequence],
+                    variants,
+                    particle_counts,
+                    protocol=protocol,
+                    base_config=base_config,
+                    progress=progress,
+                )
+                for scenario_id, scenario in unique.items()
+            }
+
+        protocol = protocol or SweepProtocol.from_env()
+        base_config = base_config or MclConfig()
+        cells = _cell_specs(base_config, variants, particle_counts)
         results: dict[str, SweepResult] = {}
-        for scenario in resolved:
-            if scenario.spec.id in results:
-                continue
-            results[scenario.spec.id] = self.run(
+        for scenario_id in unique:  # deterministic input-order layout
+            results[scenario_id] = SweepResult()
+            for cell in cells:
+                results[scenario_id].cell(cell.variant, cell.particle_count)
+        if protocol.sequence_count < 1:
+            # Each scenario contributes one sequence; a protocol that
+            # uses zero of them yields empty cells — same as the
+            # sequential path, which slices sequences[:0] in run().
+            return results
+
+        def collect(
+            scenario_id: str, cell: SweepCellSpec, runs: list[RunResult]
+        ) -> None:
+            target = results[scenario_id].cell(cell.variant, cell.particle_count)
+            for run in runs:
+                target.add(run)
+                if progress is not None:
+                    progress(
+                        f"{scenario_id} {cell.variant} N={cell.particle_count} "
+                        f"seed={run.seed}: success={run.metrics.success}"
+                    )
+
+        def submit(pool, scenario_id: str, cell: SweepCellSpec):
+            # Registry-cached scenarios ship as ids (workers reload the
+            # byte-stable .npz once per process); raw in-memory Scenario
+            # instances and cache=False resolutions have no cache file
+            # to read back, so they are pickled per task — the price of
+            # asking for no cache writes.
+            if scenario_id in cached_ids:
+                return pool.submit(
+                    _execute_scenario_cell_by_id,
+                    scenario_id,
+                    protocol.seeds,
+                    cell,
+                    self.backend,
+                )
+            scenario = unique[scenario_id]
+            return pool.submit(
+                _execute_scenario_cell,
                 scenario.grid,
                 [scenario.sequence],
-                variants,
-                particle_counts,
-                protocol=protocol,
-                base_config=base_config,
-                progress=progress,
+                protocol.seeds,
+                cell,
+                self.backend,
+            )
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            pending = {
+                submit(pool, scenario_id, cell): (scenario_id, cell)
+                for scenario_id in unique
+                for cell in cells
+            }
+            drain_futures(
+                pending, lambda context, runs: collect(*context, runs)
             )
         return results

@@ -19,6 +19,7 @@ from .registry import (
     available_families,
     build_scenario,
     build_scenarios,
+    canonical_scenario_id,
     get_family,
     register_family,
     scenario_cache_path,
@@ -32,6 +33,7 @@ __all__ = [
     "available_families",
     "build_scenario",
     "build_scenarios",
+    "canonical_scenario_id",
     "get_family",
     "register_family",
     "scenario_cache_path",

@@ -12,6 +12,13 @@ Because generation is deterministic and serialization is byte-stable,
 the cache is *content-addressed by construction*: regenerating a spec
 writes the identical bytes, so a stale-cache bug is impossible as long
 as family recipes only change alongside a new family or parameter name.
+
+The registry is also where scenario *identity* is defined:
+:func:`canonical_scenario_id` normalizes any accepted spec spelling to
+one stable id (sorted params, coerced values, explicit seed).  Everything
+that keys results by scenario — the ``.npz`` cache and the campaign
+store's cell content keys — goes through that normalization, so identity
+never depends on how a spec was written or which process computed it.
 """
 
 from __future__ import annotations
@@ -93,3 +100,22 @@ def build_scenarios(
 ) -> list[Scenario]:
     """Generate/load several scenarios in order."""
     return [build_scenario(spec, cache) for spec in specs]
+
+
+def canonical_scenario_id(spec: ScenarioSpec | str) -> str:
+    """The stable identity of a scenario, for result-store cell keys.
+
+    Normalizes any accepted spec form (string grammar or
+    :class:`ScenarioSpec`) to the canonical id — parameters sorted,
+    values coerced, seed explicit — after validating the family and its
+    parameters.  Two spellings of the same scenario (``"office"`` vs
+    ``"office:0"``, ``"maze:1:b=2+a=1"`` vs ``"maze:1:a=1+b=2"``) map to
+    one id, so campaign cell keys never depend on how the user wrote the
+    spec.  The id is also byte-stable across processes and sessions
+    (no ``hash()`` salting anywhere in the pipeline), which is what lets
+    resumed campaigns recognize completed work.
+    """
+    if isinstance(spec, str):
+        spec = ScenarioSpec.parse(spec)
+    get_family(spec.family).resolve_params(spec)  # fail fast on bad specs
+    return spec.id

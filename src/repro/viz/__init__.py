@@ -2,7 +2,7 @@
 
 from .ascii import line_plot, render_map_with_path
 from .export import export_series, results_directory, write_csv
-from .tables import format_table
+from .tables import format_matrix, format_table
 
 __all__ = [
     "line_plot",
@@ -10,5 +10,6 @@ __all__ = [
     "export_series",
     "results_directory",
     "write_csv",
+    "format_matrix",
     "format_table",
 ]

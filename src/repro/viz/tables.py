@@ -49,3 +49,29 @@ def format_table(
         lines.append(rule)
         lines.append(footnote)
     return "\n".join(lines)
+
+
+def format_matrix(
+    row_header: str,
+    row_names: list[str],
+    col_names: list[str],
+    cells: dict[tuple[str, str], object],
+    title: str = "",
+    footnote: str = "",
+    missing: str = "n/a",
+) -> str:
+    """Render a (row x column) matrix of pre-formatted values as a table.
+
+    ``cells`` maps ``(row_name, col_name)`` to the displayed value;
+    absent keys render as ``missing``.  This is the shape every sweep
+    and campaign table shares — variants down the side, particle counts
+    across the top — so the sweep CLI and ``campaign report`` both build
+    on it.
+    """
+    rows = [
+        [row] + [str(cells.get((row, col), missing)) for col in col_names]
+        for row in row_names
+    ]
+    return format_table(
+        [row_header] + list(col_names), rows, title=title, footnote=footnote
+    )

@@ -1,0 +1,225 @@
+"""Tests for the campaign layer: spec expansion, resume, determinism."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, EvaluationError
+from repro.eval.campaign import (
+    CampaignSpec,
+    aggregate_report,
+    campaign_status,
+    load_campaign,
+    run_campaign,
+)
+from repro.eval.store import CampaignStore
+
+#: Deliberately tiny: two worlds, one variant, two cells per world, short
+#: flights.  Scenario generation is cached in the session tmp data dir,
+#: so every test after the first reuses the .npz instead of re-simulating.
+SCENARIOS = ("corridor:2:flight_s=6.0", "office:1:flight_s=6.0")
+VARIANTS = ("fp32",)
+COUNTS = (16, 32)
+SEEDS = (0, 1)
+
+
+def tiny_spec(name: str = "tiny") -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        scenarios=SCENARIOS,
+        variants=VARIANTS,
+        particle_counts=COUNTS,
+        seeds=SEEDS,
+    )
+
+
+def store_bytes(store: CampaignStore) -> dict[str, bytes]:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(store.cells_dir.glob("*.json"))
+    }
+
+
+class TestCampaignSpec:
+    def test_scenarios_normalized_and_deduped(self):
+        spec = CampaignSpec(
+            name="c",
+            scenarios=("office", "office:0", "maze:1:braid=0.2+cells=5"),
+            variants=("fp32",),
+            particle_counts=(16,),
+            seeds=(0,),
+        )
+        assert spec.scenarios == ("office:0", "maze:1:braid=0.2+cells=5")
+
+    def test_all_axes_deduped(self):
+        spec = CampaignSpec(
+            name="c",
+            scenarios=("office:0",),
+            variants=("fp32", "fp32"),
+            particle_counts=(16, 16, 32),
+            seeds=(0, 0, 1),
+        )
+        assert spec.variants == ("fp32",)
+        assert spec.particle_counts == (16, 32)
+        assert spec.seeds == (0, 1)
+        assert len(spec.cells()) == 2
+
+    def test_validation_errors(self):
+        good = dict(
+            name="c",
+            scenarios=("office:0",),
+            variants=("fp32",),
+            particle_counts=(16,),
+            seeds=(0,),
+        )
+        for overrides in (
+            {"name": ""},
+            {"scenarios": ()},
+            {"scenarios": ("warehouse:1",)},
+            {"variants": ()},
+            {"variants": ("fp64",)},
+            {"particle_counts": ()},
+            {"particle_counts": (0,)},
+            {"seeds": ()},
+        ):
+            with pytest.raises(ConfigurationError):
+                CampaignSpec(**{**good, **overrides})
+
+    def test_cells_scenario_major_deterministic(self):
+        cells = tiny_spec().cells()
+        assert [(c.scenario, c.variant, c.particle_count) for c in cells] == [
+            (scenario, variant, count)
+            for scenario in tiny_spec().scenarios
+            for variant in VARIANTS
+            for count in COUNTS
+        ]
+        assert len({cell.key for cell in cells}) == len(cells)
+
+    def test_cell_keys_independent_of_spec_spelling(self):
+        a = CampaignSpec(
+            name="c", scenarios=("office",), variants=("fp32",),
+            particle_counts=(16,), seeds=(0,),
+        )
+        b = CampaignSpec(
+            name="c", scenarios=("office:0",), variants=("fp32",),
+            particle_counts=(16,), seeds=(0,),
+        )
+        assert [cell.key for cell in a.cells()] == [cell.key for cell in b.cells()]
+
+    def test_cell_keys_depend_on_seed_protocol(self):
+        a = tiny_spec().cells()[0]
+        b = CampaignSpec(
+            name="c", scenarios=SCENARIOS, variants=VARIANTS,
+            particle_counts=COUNTS, seeds=(0, 1, 2),
+        ).cells()[0]
+        assert a.key != b.key
+
+    def test_manifest_roundtrip(self):
+        spec = tiny_spec()
+        assert CampaignSpec.from_manifest(spec.to_manifest()) == spec
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def fresh(self, tmp_path_factory):
+        """One executed campaign shared by the read-only assertions."""
+        root = tmp_path_factory.mktemp("campaign") / "fresh"
+        store = CampaignStore("tiny", root=root)
+        summary = run_campaign(tiny_spec(), store=store)
+        return store, summary
+
+    def test_fresh_run_stores_every_cell(self, fresh):
+        store, summary = fresh
+        assert summary.executed == summary.total_cells == len(tiny_spec().cells())
+        assert summary.skipped == 0
+        assert store.completed_keys() == {c.key for c in tiny_spec().cells()}
+
+    def test_cell_payload_shape(self, fresh):
+        store, __ = fresh
+        key, payload = next(iter(store.iter_cells()))
+        assert set(payload) == {"cell", "runs", "aggregate"}
+        assert len(payload["runs"]) == len(SEEDS)
+        run = payload["runs"][0]
+        assert set(run) == {"sequence", "seed", "update_count", "metrics"}
+        assert payload["aggregate"]["runs"] == len(SEEDS)
+
+    def test_resume_skips_exactly_the_completed_keys(self, fresh, tmp_path):
+        store, __ = fresh
+        partial = CampaignStore("tiny", root=tmp_path / "partial")
+        baseline = store_bytes(store)
+        # Copy all but two cells, then resume: exactly those two execute.
+        missing = sorted(baseline)[:2]
+        partial.write_manifest(tiny_spec().to_manifest())
+        for name, data in baseline.items():
+            if name not in missing:
+                partial.cell_path(name.removesuffix(".json")).parent.mkdir(
+                    parents=True, exist_ok=True
+                )
+                partial.cell_path(name.removesuffix(".json")).write_bytes(data)
+        summary = run_campaign(tiny_spec(), store=partial, resume=True)
+        assert summary.executed == 2
+        assert summary.skipped == summary.total_cells - 2
+        assert store_bytes(partial) == baseline  # fresh vs resumed: identical
+
+    def test_resume_reexecutes_torn_cells(self, fresh, tmp_path):
+        store, __ = fresh
+        broken = CampaignStore("tiny", root=tmp_path / "broken")
+        baseline = store_bytes(store)
+        broken.write_manifest(tiny_spec().to_manifest())
+        for index, (name, data) in enumerate(sorted(baseline.items())):
+            stem = name.removesuffix(".json")
+            broken.cell_path(stem).parent.mkdir(parents=True, exist_ok=True)
+            if index == 0:  # simulate a torn write
+                broken.cell_path(stem).write_bytes(data[: len(data) // 2])
+            else:
+                broken.cell_path(stem).write_bytes(data)
+        summary = run_campaign(tiny_spec(), store=broken, resume=True)
+        assert summary.executed == 1
+        assert summary.recovered_files  # the torn file was swept first
+        assert store_bytes(broken) == baseline
+
+    def test_jobs_fanout_byte_identical(self, fresh, tmp_path):
+        store, __ = fresh
+        fanned = CampaignStore("tiny", root=tmp_path / "jobs2")
+        run_campaign(tiny_spec(), store=fanned, jobs=2)
+        assert store_bytes(fanned) == store_bytes(store)
+
+    def test_backends_byte_identical(self, fresh, tmp_path):
+        store, __ = fresh
+        reference = CampaignStore("tiny", root=tmp_path / "reference")
+        run_campaign(tiny_spec(), store=reference, backend="reference")
+        assert store_bytes(reference) == store_bytes(store)
+
+    def test_manifest_mismatch_rejected(self, fresh):
+        store, __ = fresh
+        other = CampaignSpec(
+            name="tiny", scenarios=SCENARIOS, variants=VARIANTS,
+            particle_counts=COUNTS, seeds=(7,),
+        )
+        with pytest.raises(EvaluationError):
+            run_campaign(other, store=store, resume=True)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(tiny_spec(), jobs=0)
+
+    def test_status_and_report(self, fresh):
+        store, __ = fresh
+        status = campaign_status("tiny", store=store)
+        assert status["completed"] == status["total"] == len(tiny_spec().cells())
+        assert set(status["scenarios"]) == set(tiny_spec().scenarios)
+
+        assert load_campaign("tiny", store=store) == tiny_spec()
+
+        report = aggregate_report("tiny", store=store)
+        assert set(report) == set(tiny_spec().scenarios)
+        for cells in report.values():
+            assert set(cells) == {
+                (variant, count) for variant in VARIANTS for count in COUNTS
+            }
+            for aggregate in cells.values():
+                assert aggregate["runs"] == len(SEEDS)
+
+    def test_report_without_cells_raises(self, tmp_path):
+        empty = CampaignStore("tiny", root=tmp_path / "empty")
+        empty.write_manifest(tiny_spec().to_manifest())
+        with pytest.raises(EvaluationError):
+            aggregate_report("tiny", store=empty)

@@ -1,0 +1,149 @@
+"""Tests for the campaign result store: atomicity, recovery, determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigurationError, EvaluationError
+from repro.eval.store import (
+    CampaignStore,
+    campaigns_root,
+    canonical_json_bytes,
+    list_campaigns,
+    sanitize_nan,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        a = canonical_json_bytes({"b": 1, "a": [1, 2], "c": {"y": 1, "x": 2}})
+        b = canonical_json_bytes({"c": {"x": 2, "y": 1}, "a": [1, 2], "b": 1})
+        assert a == b
+
+    def test_trailing_newline(self):
+        assert canonical_json_bytes({}).endswith(b"\n")
+
+    def test_nan_and_inf_become_null(self):
+        data = json.loads(
+            canonical_json_bytes(
+                {"nan": float("nan"), "inf": float("inf"), "nested": [float("-inf")]}
+            )
+        )
+        assert data == {"nan": None, "inf": None, "nested": [None]}
+
+    def test_sanitize_preserves_finite_values(self):
+        assert sanitize_nan({"x": 1.5, "y": [0, "s"], "z": (1,)}) == {
+            "x": 1.5,
+            "y": [0, "s"],
+            "z": [1],
+        }
+
+
+class TestCampaignStore:
+    def test_rejects_path_like_names(self):
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(ConfigurationError):
+                CampaignStore(bad)
+
+    def test_put_get_roundtrip(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        payload = {"cell": {"variant": "fp32"}, "runs": []}
+        path = store.put_cell("k1", payload)
+        assert path.exists()
+        assert store.get_cell("k1") == payload
+        assert store.has_cell("k1")
+        assert store.completed_keys() == {"k1"}
+
+    def test_put_is_append_only(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.put_cell("k1", {"v": 1})
+        store.put_cell("k1", {"v": 1})  # identical bytes: no-op
+        with pytest.raises(EvaluationError):
+            store.put_cell("k1", {"v": 2})  # determinism violation
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.put_cell("k1", {"v": 1})
+        assert list(store.cells_dir.glob("*.tmp")) == []
+
+    def test_partial_files_do_not_count_as_completed(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.put_cell("good", {"v": 1})
+        store.cells_dir.joinpath("torn.json").write_text('{"v": 1')  # truncated
+        store.cells_dir.joinpath("leftover.json.tmp").write_text("{}")
+        assert store.completed_keys() == {"good"}
+        assert store.get_cell("torn") is None
+        assert not store.has_cell("torn")
+        assert dict(store.iter_cells()) == {"good": {"v": 1}}
+
+    def test_recover_sweeps_partials_only(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.put_cell("good", {"v": 1})
+        store.cells_dir.joinpath("torn.json").write_text('{"v": 1')
+        leftover = store.cells_dir / "leftover.json.tmp"
+        leftover.write_text("{}")
+        os.utime(leftover, (0, 0))  # abandoned long ago
+        stale_manifest = store.root / "manifest.json.abc123.tmp"
+        stale_manifest.write_text("{}")
+        os.utime(stale_manifest, (0, 0))
+        removed = store.recover()
+        assert sorted(removed) == [
+            "leftover.json.tmp",
+            "manifest.json.abc123.tmp",
+            "torn.json",
+        ]
+        assert store.completed_keys() == {"good"}
+        assert store.recover() == []  # healthy store loses nothing
+
+    def test_recover_spares_fresh_tmp_of_live_writers(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.cells_dir.mkdir(parents=True)
+        fresh = store.cells_dir / "inflight.json.tmp"
+        fresh.write_text("{}")  # a concurrent writer mid-publish
+        assert store.recover() == []
+        assert fresh.exists()
+        assert store.recover(tmp_grace_s=0.0) == ["inflight.json.tmp"]
+
+    def test_manifest_written_once_and_verified(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        store.write_manifest({"name": "c", "seeds": [0, 1]})
+        store.write_manifest({"seeds": [0, 1], "name": "c"})  # same content ok
+        with pytest.raises(EvaluationError):
+            store.write_manifest({"name": "c", "seeds": [0, 2]})
+        assert store.read_manifest()["seeds"] == [0, 1]
+        assert store.read_manifest()["store_version"] == 1
+
+    def test_atomic_create_is_exclusive(self, tmp_path):
+        from repro.eval.store import _atomic_create
+
+        target = tmp_path / "m.json"
+        assert _atomic_create(target, b"one") is True
+        assert _atomic_create(target, b"two") is False
+        assert target.read_bytes() == b"one"  # first creator wins
+        assert list(tmp_path.glob("*.tmp")) == []  # scratch cleaned up
+
+    def test_read_manifest_missing_raises(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            CampaignStore("nope", root=tmp_path / "nope").read_manifest()
+
+    def test_len_counts_valid_cells(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c")
+        assert len(store) == 0
+        store.put_cell("a", {})
+        store.put_cell("b", {})
+        assert len(store) == 2
+
+
+class TestListCampaigns:
+    def test_lists_only_directories_with_manifest(self, tmp_path):
+        CampaignStore("one", root=tmp_path / "one").write_manifest({"name": "one"})
+        (tmp_path / "junk").mkdir()
+        assert list_campaigns(tmp_path) == ["one"]
+        assert list_campaigns(tmp_path / "absent") == []
+
+    def test_default_root_under_results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert campaigns_root() == tmp_path / "campaigns"
+        store = CampaignStore("env")
+        assert store.root == tmp_path / "campaigns" / "env"

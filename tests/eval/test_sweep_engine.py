@@ -101,6 +101,34 @@ class TestSweepEngine:
         )
         assert _cell_signatures(inline) == _cell_signatures(fanned)
 
+    def test_scenario_fanout_matches_inline(self):
+        # Scenario sweeps fan out at (scenario, cell) granularity; the
+        # reassembled per-scenario results must match the sequential path
+        # run for run (mirrors test_process_fanout_matches_inline).
+        scenarios = ["corridor:2:flight_s=6.0", "office:1:flight_s=6.0"]
+        protocol = SweepProtocol(sequence_count=1, seeds=(0, 1))
+        inline = SweepEngine(backend="batched", jobs=1).run_scenarios(
+            scenarios, ["fp32"], [16, 32], protocol=protocol
+        )
+        fanned = SweepEngine(backend="batched", jobs=2).run_scenarios(
+            scenarios, ["fp32"], [16, 32], protocol=protocol
+        )
+        assert list(inline) == list(fanned)  # same scenarios, same order
+        for scenario_id in inline:
+            assert _cell_signatures(inline[scenario_id]) == _cell_signatures(
+                fanned[scenario_id]
+            )
+
+    def test_scenario_sweep_dedupes_specs(self):
+        protocol = SweepProtocol(sequence_count=1, seeds=(0,))
+        results = SweepEngine(backend="batched").run_scenarios(
+            ["corridor:2:flight_s=6.0", "corridor:2:flight_s=6.0"],
+            ["fp32"],
+            [16],
+            protocol=protocol,
+        )
+        assert list(results) == ["corridor:2:flight_s=6.0"]
+
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ConfigurationError):
             SweepEngine(jobs=0)

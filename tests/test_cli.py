@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, render_cli_markdown
 
 
 class TestParser:
@@ -42,6 +44,34 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["scenarios"])
 
+    def test_campaign_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_campaign_run_requires_scenarios(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "study"])
+
+    def test_campaign_run_parses_grid(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "study", "--scenarios", "office:3",
+             "--variants", "fp32", "--particles", "64,256", "--seeds", "0,1",
+             "--jobs", "2", "--resume"]
+        )
+        assert args.name == "study"
+        assert [spec.id for spec in args.scenarios] == ["office:3"]
+        assert args.particles == [64, 256]
+        assert args.seeds == (0, 1)
+        assert args.jobs == 2
+        assert args.resume is True
+
+    def test_campaign_run_rejects_bad_seeds(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "run", "study", "--scenarios", "office:3",
+                 "--seeds", "zero"]
+            )
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -76,6 +106,33 @@ class TestCommands:
         for family in ("maze", "office", "corridor", "hall", "degraded"):
             assert family in out
 
+    def test_campaign_run_status_report(self, capsys):
+        spec = "corridor:2:flight_s=6.0"
+        base = ["campaign", "run", "cli-study", "--scenarios", spec,
+                "--variants", "fp32", "--particles", "16", "--seeds", "0"]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "1 cells executed" in out
+
+        # Second invocation with --resume skips the stored cell.
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cells executed" in out
+        assert "1 skipped" in out
+
+        assert main(["campaign", "status", "cli-study"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 cells completed" in out
+
+        assert main(["campaign", "report", "cli-study"]) == 0
+        out = capsys.readouterr().out
+        assert "success rate" in out
+        assert spec in out
+
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "cli-study" in out
+
     def test_scenarios_generate_and_sweep(self, capsys):
         # Generate once (cached by tests/conftest.py's tmp data dir),
         # then sweep the same spec — the sweep must reuse the cache.
@@ -92,3 +149,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert spec in out
         assert "success rate" in out
+
+
+class TestCliReference:
+    """docs/cli.md is generated; these tests are the local drift check."""
+
+    def test_docs_cli_command_emits_markdown(self, capsys):
+        assert main(["docs-cli"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# `repro` command-line reference")
+        # every subcommand gets a section
+        for command in ("run", "sweep", "campaign", "scenarios", "perf"):
+            assert f"## `repro {command}`" in out
+
+    def test_committed_reference_matches_parser(self):
+        committed = (
+            Path(__file__).resolve().parent.parent / "docs" / "cli.md"
+        ).read_text()
+        assert render_cli_markdown() == committed, (
+            "docs/cli.md drifted from cli.py — regenerate with "
+            "`PYTHONPATH=src python -m repro docs-cli > docs/cli.md`"
+        )

@@ -1,0 +1,37 @@
+"""Smoke test: every example module imports and exposes ``main``.
+
+Examples are the first thing a new user runs, so API drift there is
+worse than anywhere else — but executing them all under pytest would
+cost minutes.  The compromise: import every module under ``examples/``
+(which resolves every name the example uses at module scope) and check
+the ``python examples/<name>.py`` contract — a ``main()`` entry point
+behind an ``if __name__ == "__main__"`` guard, so importing stays
+side-effect free.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLE_FILES, f"no examples under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[path.stem for path in EXAMPLE_FILES]
+)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # must not run the experiment
+    assert callable(getattr(module, "main", None)), (
+        f"{path.name} must define a main() entry point"
+    )
+    assert 'if __name__ == "__main__":' in path.read_text(), (
+        f"{path.name} must guard main() behind __main__"
+    )
