@@ -62,6 +62,7 @@ from .maps import (
     main_drone_maze,
 )
 from .sensors import TofFrame, TofSensor, TofSensorSpec, ZoneStatus
+from .serve import SessionManager, SessionSpec
 from .soc import GAP9, Gap9PerfModel, Gap9PowerModel, MclStep
 from .vehicle import CrazyflieSimulator, SimConfig
 
@@ -114,6 +115,8 @@ __all__ = [
     "TofSensor",
     "TofSensorSpec",
     "ZoneStatus",
+    "SessionManager",
+    "SessionSpec",
     "GAP9",
     "Gap9PerfModel",
     "Gap9PowerModel",

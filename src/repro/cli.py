@@ -10,7 +10,11 @@ Subcommands:
 * ``sweep``           — run an evaluation sweep through the sweep engine
   (``--scenarios`` sweeps generated worlds instead of the canonical maze)
 * ``campaign``        — resumable scenario-parallel sweep campaigns over
-  the on-disk result store (``run`` / ``status`` / ``report`` / ``list``)
+  the on-disk result store (``run`` / ``status`` / ``report`` / ``list``
+  / ``merge``)
+* ``serve-sim``       — replay a simulated drone fleet through the
+  online serving layer (multiplexed sessions, aggregate + per-session
+  metrics)
 * ``bench-backends``  — time reference vs batched backends on one sweep
 * ``perf``            — print the Table I / Table II model predictions
 * ``docs-cli``        — emit the generated CLI reference (docs/cli.md)
@@ -41,13 +45,15 @@ from .eval.campaign import (
     CampaignSpec,
     aggregate_report,
     campaign_status,
+    merge_campaign_stores,
     run_campaign,
 )
 from .eval.runner import run_localization
-from .eval.store import list_campaigns
+from .eval.store import CampaignStore, list_campaigns
 from .eval.sweep_engine import SweepEngine
 from .maps.maze import build_drone_maze_world
 from .scenarios import (
+    FleetSpec,
     ScenarioSpec,
     available_families,
     build_scenario,
@@ -356,6 +362,77 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
                 title=f"success rate vs particle number — {scenario}",
             )
         )
+    return 0
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    summary = merge_campaign_stores(
+        CampaignStore(args.dest), CampaignStore(args.source)
+    )
+    print(
+        f"merged campaign {summary.source!r} into {summary.dest!r}: "
+        f"{summary.copied} cells copied, {summary.verified} byte-verified "
+        f"collisions, {summary.skipped_invalid} torn source files skipped "
+        f"({summary.total_source_cells} source cells)"
+    )
+    return 0
+
+
+def _parse_fleet(raw: str) -> FleetSpec:
+    try:
+        return FleetSpec.parse(raw)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    import time
+
+    from .serve import SessionManager
+
+    manager = SessionManager(backend=args.backend)
+    session_ids = manager.create_fleet(args.fleet)
+    start = time.perf_counter()
+    frames = manager.run_to_completion(frames_per_flush=args.frames_per_flush)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    successes = 0
+    for session_id in session_ids:
+        result = manager.close(session_id)
+        metrics = result.metrics
+        converged = metrics is not None and metrics.converged
+        success = metrics is not None and metrics.success
+        successes += 1 if success else 0
+        rows.append(
+            [
+                session_id,
+                result.spec.variant,
+                result.spec.particle_count,
+                len(result.trace.timestamps),
+                result.trace.update_count,
+                "yes" if converged else "no",
+                f"{metrics.ate_mean_m:.3f}" if converged else "-",
+                "yes" if success else "no",
+            ]
+        )
+        if args.verbose:
+            print(f"closed {session_id}")
+    print(
+        format_table(
+            ["session", "variant", "N", "frames", "updates", "conv", "ate m", "ok"],
+            rows,
+            title=f"Fleet serving — {len(rows)} sessions, backend={args.backend}",
+            footnote="each session is bitwise-identical to its solo reference run",
+        )
+    )
+    print()
+    print(
+        f"aggregate: {successes}/{len(rows)} sessions successful, "
+        f"{frames} frames served in {elapsed:.2f}s "
+        f"({frames / elapsed:.0f} frames/s, "
+        f"{len(rows) / elapsed:.2f} sessions/s)"
+    )
     return 0
 
 
@@ -727,6 +804,61 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_sub.add_parser(
         "list", help="list stored campaigns and their progress"
     ).set_defaults(func=_cmd_campaign_list)
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge",
+        help="union one campaign store into another (multi-host scale-out)",
+        description=(
+            "Copy the source campaign's cell files into the destination "
+            "store. Both stores must carry byte-identical manifests (shards "
+            "of one campaign spec); colliding cells are verified "
+            "byte-for-byte — equal bytes are fine, a mismatch errors. A "
+            "destination name without a store adopts the source manifest."
+        ),
+    )
+    campaign_merge.add_argument("dest", help="destination campaign name")
+    campaign_merge.add_argument("source", help="source campaign name")
+    campaign_merge.set_defaults(func=_cmd_campaign_merge)
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="replay a simulated drone fleet through the serving layer",
+        description=(
+            "Open one live localization session per fleet member and serve "
+            "them to completion through the multiplexing scheduler: pending "
+            "per-session steps are packed into shared (R, N)-stacked backend "
+            "calls, so mixed fleets of small-N filters run at batched-sweep "
+            "throughput. Reports aggregate and per-session metrics; every "
+            "session's trace is bitwise-identical to the same (scenario, "
+            "variant, N, seed) stepped alone through the reference backend."
+        ),
+    )
+    serve.add_argument(
+        "--fleet",
+        type=_parse_fleet,
+        required=True,
+        metavar="MEMBER[,MEMBER...]",
+        help=(
+            "fleet spec: scenario[@variant[@particles]][*replicas][~seed0] "
+            "groups, e.g. office:1@fp32@64*4,corridor:2@fp16qm@128*2~10"
+        ),
+    )
+    serve.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="batched",
+        help="filter backend stepping the fleet (identical results)",
+    )
+    serve.add_argument(
+        "--frames-per-flush",
+        type=_positive_int,
+        default=16,
+        help="observation frames each session queues per scheduler flush",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="print one line per closed session"
+    )
+    serve.set_defaults(func=_cmd_serve_sim)
 
     bench = sub.add_parser(
         "bench-backends", help="time reference vs batched backends on one sweep"

@@ -39,6 +39,7 @@ from .observation import apply_observation_model, extract_beams
 from .particles import ParticleSet
 from .pose_estimate import PoseEstimate, estimate_pose
 from .resampling import draw_wheel_offset, systematic_resample
+from .snapshot import FilterStateSnapshot
 
 
 @dataclass
@@ -157,6 +158,53 @@ class MonteCarloLocalization:
         """Convenience: add odometry then process the observation."""
         self.add_odometry(increment)
         return self.process(frames)
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (exact-continuation serialization)
+    # ------------------------------------------------------------------
+    def export_state(self) -> FilterStateSnapshot:
+        """Capture the filter's complete dynamic state.
+
+        The snapshot pins the particle population at storage precision,
+        the RNG stream position, the pending odometry and the update
+        counter — restoring it (here or in another process) continues
+        the filter **bit-for-bit**: same draws, same resampling
+        decisions, same estimates.
+        """
+        return FilterStateSnapshot.capture(
+            self.particles.x,
+            self.particles.y,
+            self.particles.theta,
+            self.particles.weights,
+            self._rng,
+            self.update_count,
+            self._estimate.pose.as_array(),
+            pending=self._pending,
+        )
+
+    def restore_state(self, snapshot: FilterStateSnapshot) -> None:
+        """Resume exactly from an :meth:`export_state` snapshot.
+
+        The snapshot must match this filter's particle count and
+        precision (state is copied verbatim, never cast).  The estimate
+        is recomputed from the restored population — a pure function of
+        state, so it lands on the captured value.
+        """
+        snapshot.check_compatible(
+            self.particles.count, self.config.precision.particle_dtype
+        )
+        self.particles.x[:] = snapshot.x
+        self.particles.y[:] = snapshot.y
+        self.particles.theta[:] = snapshot.theta
+        self.particles.weights[:] = snapshot.weights
+        self._rng = snapshot.make_rng()
+        self.update_count = int(snapshot.update_count)
+        self._pending = Pose2D(
+            float(snapshot.pending[0]),
+            float(snapshot.pending[1]),
+            float(snapshot.pending[2]),
+        )
+        self._estimate = estimate_pose(self.particles)
 
     # ------------------------------------------------------------------
     # Memory accounting (feeds the Fig. 9 capacity model)

@@ -1,0 +1,217 @@
+"""Byte-exact serialization of live filter state.
+
+A :class:`FilterStateSnapshot` captures everything that determines a
+filter's future behaviour — the particle population *at storage
+precision*, the position of its ``make_rng(seed, "mcl")`` stream, the
+update counter and the current estimate — so a restored filter continues
+**bit-for-bit** where the original would have: same draws, same
+resampling decisions, same trace.  This is the foundation of the serve
+layer's snapshot/restore (session migration, exact replay) and of
+:meth:`~repro.core.mcl.MonteCarloLocalization.export_state`.
+
+Two invariants keep snapshots exact:
+
+* arrays are stored verbatim at the particle dtype (no round-trip
+  through float64 — ``astype`` back would be lossless for values but
+  would hide dtype mismatches between writer and reader, so dtypes are
+  checked instead);
+* the RNG is serialized as the PCG64 bit-generator state (two 128-bit
+  integers plus the cached-uint32 pair), not as the seed — a mid-run
+  stream cannot be reconstructed from its seed without replaying every
+  draw.
+
+The payload is a flat ``{name: ndarray}`` dict (prefix-namespaced) so it
+embeds into any ``.npz``-style archive the same way
+:meth:`RecordedSequence.to_npz_payload` does; serialization through
+``np.savez_compressed`` with sorted keys is byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D
+
+#: Snapshot payload format version (bump on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+#: Mask of one 64-bit limb of a 128-bit PCG64 state integer.
+_U64 = (1 << 64) - 1
+
+
+def pack_rng_state(rng: np.random.Generator) -> np.ndarray:
+    """Serialize a PCG64 Generator's position as a ``(6,)`` uint64 array.
+
+    Layout: ``[state_lo, state_hi, inc_lo, inc_hi, has_uint32, uinteger]``
+    — the 128-bit LCG state and increment split into little-endian 64-bit
+    limbs, plus numpy's cached half-drawn uint32 (a Generator that has
+    produced an odd number of 32-bit draws holds one).
+    """
+    state = rng.bit_generator.state
+    if state.get("bit_generator") != "PCG64":
+        raise ConfigurationError(
+            "filter snapshots require the PCG64 bit generator "
+            f"(make_rng streams), got {state.get('bit_generator')!r}"
+        )
+    inner = state["state"]
+    return np.array(
+        [
+            inner["state"] & _U64,
+            (inner["state"] >> 64) & _U64,
+            inner["inc"] & _U64,
+            (inner["inc"] >> 64) & _U64,
+            int(state["has_uint32"]),
+            int(state["uinteger"]),
+        ],
+        dtype=np.uint64,
+    )
+
+
+def unpack_rng_state(packed: np.ndarray) -> np.random.Generator:
+    """Rebuild the Generator whose next draw matches the packed stream."""
+    packed = np.asarray(packed, dtype=np.uint64)
+    if packed.shape != (6,):
+        raise ConfigurationError(
+            f"packed RNG state must have shape (6,), got {packed.shape}"
+        )
+    values = [int(v) for v in packed]
+    bit_generator = np.random.PCG64()
+    bit_generator.state = {
+        "bit_generator": "PCG64",
+        "state": {
+            "state": values[0] | (values[1] << 64),
+            "inc": values[2] | (values[3] << 64),
+        },
+        "has_uint32": values[4],
+        "uinteger": values[5],
+    }
+    return np.random.Generator(bit_generator)
+
+
+@dataclass
+class FilterStateSnapshot:
+    """One filter's complete dynamic state, copied at capture time.
+
+    ``pending`` is the accumulated-but-ungated odometry of the scalar
+    filter; serve-layer sessions keep it zero because pending motion
+    lives in their replay plans.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    theta: np.ndarray
+    weights: np.ndarray
+    rng: np.ndarray  # packed uint64 (6,), see pack_rng_state
+    update_count: int
+    estimate: np.ndarray  # (3,) float64 pose at capture time
+    pending: np.ndarray  # (3,) float64 accumulated odometry
+
+    @staticmethod
+    def capture(
+        x: np.ndarray,
+        y: np.ndarray,
+        theta: np.ndarray,
+        weights: np.ndarray,
+        rng: np.random.Generator,
+        update_count: int,
+        estimate: np.ndarray,
+        pending: Pose2D | None = None,
+    ) -> "FilterStateSnapshot":
+        """Copy live state into an immutable-by-convention snapshot."""
+        pending_array = (
+            np.zeros(3, dtype=np.float64)
+            if pending is None
+            else np.array([pending.x, pending.y, pending.theta], dtype=np.float64)
+        )
+        return FilterStateSnapshot(
+            x=np.array(x, copy=True),
+            y=np.array(y, copy=True),
+            theta=np.array(theta, copy=True),
+            weights=np.array(weights, copy=True),
+            rng=pack_rng_state(rng),
+            update_count=int(update_count),
+            estimate=np.asarray(estimate, dtype=np.float64).copy(),
+            pending=pending_array,
+        )
+
+    # ------------------------------------------------------------------
+    # Payload embedding (one flat dict of arrays, prefix-namespaced)
+    # ------------------------------------------------------------------
+    def to_payload(self, prefix: str = "state_") -> dict[str, np.ndarray]:
+        """Flatten into ``{prefix+name: ndarray}`` for archive embedding."""
+        return {
+            f"{prefix}x": self.x,
+            f"{prefix}y": self.y,
+            f"{prefix}theta": self.theta,
+            f"{prefix}weights": self.weights,
+            f"{prefix}rng": self.rng,
+            f"{prefix}update_count": np.int64(self.update_count),
+            f"{prefix}estimate": self.estimate,
+            f"{prefix}pending": self.pending,
+        }
+
+    @staticmethod
+    def from_payload(data, prefix: str = "state_") -> "FilterStateSnapshot":
+        """Rebuild from a payload written by :meth:`to_payload`."""
+        try:
+            return FilterStateSnapshot(
+                x=np.asarray(data[f"{prefix}x"]),
+                y=np.asarray(data[f"{prefix}y"]),
+                theta=np.asarray(data[f"{prefix}theta"]),
+                weights=np.asarray(data[f"{prefix}weights"]),
+                rng=np.asarray(data[f"{prefix}rng"], dtype=np.uint64),
+                update_count=int(data[f"{prefix}update_count"]),
+                estimate=np.asarray(data[f"{prefix}estimate"], dtype=np.float64),
+                pending=np.asarray(data[f"{prefix}pending"], dtype=np.float64),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"filter-state payload is missing key {exc.args[0]!r}"
+            ) from exc
+
+    def make_rng(self) -> np.random.Generator:
+        """The Generator continuing exactly where the captured one was."""
+        return unpack_rng_state(self.rng)
+
+    def check_compatible(self, count: int, dtype: np.dtype) -> None:
+        """Raise unless this snapshot fits an (N=count, dtype) population."""
+        for name in ("x", "y", "theta", "weights"):
+            array = getattr(self, name)
+            if array.shape != (count,):
+                raise ConfigurationError(
+                    f"snapshot {name} has shape {array.shape}, expected "
+                    f"({count},) — particle counts differ"
+                )
+            if array.dtype != dtype:
+                raise ConfigurationError(
+                    f"snapshot {name} has dtype {array.dtype}, expected "
+                    f"{dtype} — precision variants differ"
+                )
+
+    def check_no_pending(self) -> None:
+        """Raise if the snapshot carries accumulated-but-ungated odometry.
+
+        Stack rows (serve sessions) keep pending motion in their replay
+        plans, not in filter state — importing a scalar-filter snapshot
+        taken mid-accumulation would silently drop that motion, so the
+        mismatch must be an error, not drift.
+        """
+        if np.any(self.pending != 0.0):
+            raise ConfigurationError(
+                "snapshot carries pending odometry "
+                f"{self.pending.tolist()} — stack rows cannot represent "
+                "ungated motion; restore it into a scalar filter "
+                "(MonteCarloLocalization.restore_state) or snapshot after "
+                "the accumulated motion has been consumed"
+            )
+
+    def estimate_pose(self) -> Pose2D:
+        """The captured estimate as a :class:`Pose2D`."""
+        return Pose2D(
+            float(self.estimate[0]),
+            float(self.estimate[1]),
+            float(self.estimate[2]),
+        )

@@ -12,6 +12,8 @@ from .backend import (
     FilterBackend,
     RunSpec,
     RunTrace,
+    SessionStack,
+    StepWork,
     available_backends,
     get_backend,
     register_backend,
@@ -22,24 +24,37 @@ __all__ = [
     "FilterBackend",
     "RunSpec",
     "RunTrace",
+    "SessionStack",
+    "StepWork",
     "available_backends",
     "get_backend",
     "register_backend",
     "BatchedBackend",
+    "ParticleStack",
     "ReferenceBackend",
+    "ReferenceStack",
+    "ReplayPlan",
+    "ReplayStep",
 ]
+
+#: Lazily resolved names -> defining submodule.  The concrete backends,
+#: stacks and replay plans import ``repro.core``, which in turn imports
+#: ``repro.engine.kernels`` — resolving them at first attribute access
+#: keeps the package import acyclic.
+_LAZY = {
+    "ReferenceBackend": "reference",
+    "ReferenceStack": "reference",
+    "BatchedBackend": "batched",
+    "ParticleStack": "batched",
+    "ReplayPlan": "replay",
+    "ReplayStep": "replay",
+}
 
 
 def __getattr__(name: str):
-    # Lazy: ReferenceBackend/BatchedBackend import repro.core, which in
-    # turn imports repro.engine.kernels — resolving them here at first
-    # attribute access keeps the package import acyclic.
-    if name == "ReferenceBackend":
-        from .reference import ReferenceBackend
+    if name in _LAZY:
+        import importlib
 
-        return ReferenceBackend
-    if name == "BatchedBackend":
-        from .batched import BatchedBackend
-
-        return BatchedBackend
+        module = importlib.import_module(f".{_LAZY[name]}", __name__)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -46,10 +46,13 @@ import numpy as np
 from ..common.errors import ConfigurationError
 
 if TYPE_CHECKING:  # imports kept lazy to avoid core <-> engine cycles
+    from ..common.geometry import Pose2D
     from ..core.config import MclConfig
+    from ..core.snapshot import FilterStateSnapshot
     from ..dataset.recorder import RecordedSequence
     from ..maps.distance_field import DistanceField
     from ..maps.occupancy import OccupancyGrid
+    from .replay import ReplayStep
 
 
 @dataclass(frozen=True)
@@ -83,6 +86,81 @@ class RunTrace:
     update_count: int
 
 
+@dataclass
+class StepWork:
+    """One packed observation update: rows that share one replay step.
+
+    The serve scheduler (and the batched backend's own run loop) hand a
+    :class:`SessionStack` a list of these per step call: every listed row
+    fires its movement gate now, consuming the same accumulated motion
+    and — when ``step.beams`` is set — the same preprocessed observation
+    scored against ``field``.  Rows of different work items in one call
+    may belong to different sequences, worlds and distance fields; they
+    only share the stack's ``(config, N)``.
+    """
+
+    rows: list[int]
+    step: "ReplayStep"
+    field: "DistanceField"
+
+
+@runtime_checkable
+class SessionStack(Protocol):
+    """The step-level entry point of a backend: rows advanced on demand.
+
+    Where :meth:`FilterBackend.execute` runs whole (sequence, seed)
+    replays, a session stack exposes the same filter math one
+    observation instant at a time, over an open-ended set of *rows* —
+    one row per live filter population.  Rows are created
+    (:meth:`init_row`), stepped in packed groups (:meth:`step`),
+    snapshotted and restored (:meth:`export_row` / :meth:`import_row`)
+    independently; all rows share one :class:`MclConfig` (and therefore
+    one particle count and storage precision).
+
+    The bitwise-equivalence contract extends to stacks: every row's
+    state after any step schedule must be bit-for-bit identical to the
+    same (sequence, seed) replay advanced alone through the reference
+    loop — regardless of which rows were packed together.  Conforming
+    implementations keep all cross-row operations per-row deterministic
+    (last-axis reductions, row-wise RNG streams), so packing is a pure
+    throughput decision.
+    """
+
+    config: "MclConfig"
+
+    def ensure_capacity(self, rows: int) -> None:
+        """Grow the stack to hold at least ``rows`` rows."""
+        ...
+
+    def init_row(self, row: int, grid: "OccupancyGrid", spec: RunSpec) -> None:
+        """(Re)initialize one row exactly like a fresh reference filter."""
+        ...
+
+    def step(self, work: Sequence[StepWork]) -> None:
+        """Fire one gated update for every row listed across ``work``."""
+        ...
+
+    def estimate(self, row: int) -> "Pose2D":
+        """The row's current weighted-mean pose estimate."""
+        ...
+
+    def estimate_array(self, row: int) -> np.ndarray:
+        """The row's current estimate as a ``(3,)`` float64 array."""
+        ...
+
+    def updates(self, row: int) -> int:
+        """How many gated updates the row has fired."""
+        ...
+
+    def export_row(self, row: int) -> "FilterStateSnapshot":
+        """Capture the row's complete dynamic state."""
+        ...
+
+    def import_row(self, row: int, snapshot: "FilterStateSnapshot") -> None:
+        """Resume the row exactly from an exported snapshot."""
+        ...
+
+
 @runtime_checkable
 class FilterBackend(Protocol):
     """Executes batches of localization runs behind a common interface."""
@@ -97,6 +175,10 @@ class FilterBackend(Protocol):
         field: "DistanceField | None" = None,
     ) -> list[RunTrace]:
         """Run every spec and return traces in spec order."""
+        ...
+
+    def open_stack(self, config: "MclConfig", rows: int = 0) -> SessionStack:
+        """Open a step-level :class:`SessionStack` under ``config``."""
         ...
 
 

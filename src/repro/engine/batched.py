@@ -14,24 +14,29 @@ once per seed.  This backend instead keeps all R particle populations in
   sequence and the gating/beam configuration (odometry accumulation,
   trigger trace, frame materialization, beam extraction, ground-truth
   poses) are computed once per (sequence, config signature) and shared
-  by every seed of every sweep cell that replays that sequence;
+  by every seed of every sweep cell that replays that sequence — see
+  :mod:`repro.engine.replay`;
 * **one vectorized observation pass** — the beam transform, EDT lookup
   and log-likelihood reduction run on ``(R', N, K)`` stacks (chunked to
   bound temporary memory);
 * **per-run resampling via row-wise wheel offsets** — each run draws its
   own ``u0`` from its own RNG stream and gathers its own row.
 
-Every kernel invocation follows the bitwise-reproducibility contract of
-:mod:`repro.engine.kernels`, and each run's RNG stream sees exactly the
-same draws in the same order as under the reference backend, so per-run
-traces and metrics are **identical** to R sequential reference runs —
-asserted by ``tests/engine/test_backends.py``.
+The row-wise step math itself lives in :class:`ParticleStack` — the
+backend's :class:`~repro.engine.backend.SessionStack` implementation —
+so the offline run loop here and the serve layer's online session
+multiplexer execute the *same code*: every kernel invocation follows the
+bitwise-reproducibility contract of :mod:`repro.engine.kernels`, and
+each run's RNG stream sees exactly the same draws in the same order as
+under the reference backend, so per-run traces and metrics are
+**identical** to R sequential reference runs — asserted by
+``tests/engine/test_backends.py`` (offline) and ``tests/serve/``
+(online fleets).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -40,13 +45,22 @@ from ..common.errors import ConfigurationError
 from ..common.geometry import Pose2D, wrap_angle
 from ..common.rng import make_rng
 from ..core.config import MclConfig
-from ..core.observation import BeamBundle, extract_beams
 from ..core.pose_estimate import pose_error
+from ..core.snapshot import FilterStateSnapshot
 from ..dataset.recorder import RecordedSequence
 from ..maps.distance_field import DistanceField
 from ..maps.occupancy import OccupancyGrid
 from . import kernels
-from .backend import RunSpec, RunTrace
+from .backend import RunSpec, RunTrace, StepWork
+from .replay import ReplayPlan, ReplayStep
+
+__all__ = [
+    "OBS_CHUNK_ELEMENTS",
+    "BatchedBackend",
+    "ParticleStack",
+    "ReplayPlan",
+    "ReplayStep",
+]
 
 #: Upper bound on elements of one (R', N, K) observation temporary; row
 #: chunks are sized so R' * N * K stays below this.  Tuned so a chunk's
@@ -57,271 +71,178 @@ from .backend import RunSpec, RunTrace
 OBS_CHUNK_ELEMENTS = 1 << 16
 
 
-@dataclass
-class ReplayStep:
-    """What one observation instant of a sequence holds for the filter.
+class ParticleStack:
+    """``(R, N)`` particle populations with row-deterministic step ops.
 
-    ``fires`` is the movement-gate decision (identical for every run of
-    the sequence — the gate reads odometry only); when it fires,
-    ``pending`` is the accumulated body-frame motion the update consumes
-    and ``beams``/``end_x``/``end_y`` the preprocessed observation.
+    This is the batched backend's :class:`SessionStack`: the one
+    implementation of the stacked motion / observation / resampling /
+    estimation math, shared by the offline :class:`_RunBatch` driver and
+    the serve layer's online scheduler.  Rows are independent filter
+    populations under one shared :class:`MclConfig`; every operation
+    that crosses rows is per-row deterministic (elementwise stages on
+    the stack, order-sensitive reductions per contiguous row), so a
+    row's evolution never depends on which rows it was packed with.
     """
-
-    fires: bool
-    pending: Pose2D | None = None
-    beams: BeamBundle | None = None
-    end_x: np.ndarray | None = None
-    end_y: np.ndarray | None = None
-
-
-class ReplayPlan:
-    """Everything about replaying one sequence that no seed changes.
-
-    Replicates the reference loop's odometry accumulation and movement
-    gating operation-for-operation, and hoists frame materialization,
-    beam extraction and ground-truth pose construction out of the
-    per-run (and per-cell) hot path.
-    """
-
-    def __init__(self, sequence: RecordedSequence, config: MclConfig) -> None:
-        self.sequence = sequence  # strong ref keeps the cache key stable
-        self.length = len(sequence)
-        self.timestamps = [float(t) for t in sequence.timestamps]
-        self.ground_truth = [
-            sequence.ground_truth_pose(t) for t in range(self.length)
-        ]
-        self.steps: list[ReplayStep] = []
-
-        pending = Pose2D.identity()
-        previous = sequence.odometry_pose(0)
-        for t in range(self.length):
-            if t > 0:
-                odometry = sequence.odometry_pose(t)
-                pending = pending.compose(previous.between(odometry))
-                previous = odometry
-            if not config.movement_trigger(pending.x, pending.y, pending.theta):
-                self.steps.append(ReplayStep(fires=False))
-                continue
-            timestamp = self.timestamps[t]
-            frames = [track.frame(t, timestamp) for track in sequence.tracks]
-            beams = extract_beams(frames, config)
-            step = ReplayStep(fires=True, pending=pending)
-            if beams.beam_count:
-                step.beams = beams
-                step.end_x, step.end_y = beams.endpoints_body()
-            self.steps.append(step)
-            pending = Pose2D.identity()
-
-    @staticmethod
-    def signature(config: MclConfig) -> tuple:
-        """The config facets a plan depends on (gating + beam filtering)."""
-        return (
-            config.d_xy,
-            config.d_theta,
-            config.use_rear_sensor,
-            config.beam_rows,
-            config.max_beam_range_m,
-        )
-
-
-class BatchedBackend:
-    """Vectorized executor advancing all runs of a batch simultaneously."""
-
-    name = "batched"
-
-    def __init__(self, obs_chunk_elements: int = OBS_CHUNK_ELEMENTS) -> None:
-        if obs_chunk_elements < 1:
-            raise ConfigurationError("obs_chunk_elements must be positive")
-        self.obs_chunk_elements = int(obs_chunk_elements)
-        self._plans: dict[tuple, ReplayPlan] = {}
-
-    def execute(
-        self,
-        grid: OccupancyGrid,
-        specs: Sequence[RunSpec],
-        config: MclConfig,
-        field: DistanceField | None = None,
-    ) -> list[RunTrace]:
-        if not specs:
-            return []
-        if field is None:
-            field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
-        if abs(field.resolution - grid.resolution) > 1e-12:
-            raise ConfigurationError(
-                "distance field resolution does not match the occupancy grid"
-            )
-        batch = _RunBatch(
-            grid, list(specs), config, field, self.obs_chunk_elements, self._plan
-        )
-        return batch.run()
-
-    def _plan(self, sequence: RecordedSequence, config: MclConfig) -> ReplayPlan:
-        """Build (or reuse) the replay plan of one sequence.
-
-        Keyed by object identity plus the gating/beam signature; the plan
-        holds a strong reference to its sequence, which keeps ``id``
-        stable for the cache's lifetime.
-        """
-        key = (id(sequence), ReplayPlan.signature(config))
-        plan = self._plans.get(key)
-        if plan is None or plan.sequence is not sequence:
-            plan = ReplayPlan(sequence, config)
-            self._plans[key] = plan
-        return plan
-
-
-class _SequenceGroup:
-    """Runs of one batch that replay the same recorded sequence."""
-
-    def __init__(self, plan: ReplayPlan, run_indices: list[int]) -> None:
-        self.plan = plan
-        self.runs = run_indices
-        self.length = plan.length
-
-
-class _RunBatch:
-    """Mutable state of one batched execution: ``(R, N)`` populations."""
 
     def __init__(
         self,
-        grid: OccupancyGrid,
-        specs: list[RunSpec],
         config: MclConfig,
-        field: DistanceField,
-        obs_chunk_elements: int,
-        plan_for,
+        rows: int = 0,
+        obs_chunk_elements: int = OBS_CHUNK_ELEMENTS,
     ) -> None:
-        self.grid = grid
-        self.specs = specs
+        if obs_chunk_elements < 1:
+            raise ConfigurationError("obs_chunk_elements must be positive")
         self.config = config
-        self.field = field
-        self.obs_chunk_elements = obs_chunk_elements
         self.count = config.particle_count
         self.dtype = config.precision.particle_dtype
+        self.obs_chunk_elements = int(obs_chunk_elements)
 
-        runs = len(specs)
-        self.rngs = [make_rng(spec.seed, "mcl") for spec in specs]
-        self.x = np.zeros((runs, self.count), dtype=self.dtype)
-        self.y = np.zeros((runs, self.count), dtype=self.dtype)
-        self.theta = np.zeros((runs, self.count), dtype=self.dtype)
-        self.weights = np.zeros((runs, self.count), dtype=self.dtype)
-        self.update_count = np.zeros(runs, dtype=np.int64)
-        self.estimates: list[Pose2D] = [Pose2D.identity()] * runs
-        self.estimate_arrays: list[np.ndarray] = [None] * runs  # type: ignore[list-item]
-
-        # Group runs by the sequence they replay; the replay plan (gating
-        # trace, beams, ground truth) is shared within a group and — via
-        # the backend's cache — across sweep cells.
-        groups: dict[int, _SequenceGroup] = {}
-        for run, spec in enumerate(specs):
-            key = id(spec.sequence)
-            if key not in groups:
-                groups[key] = _SequenceGroup(plan_for(spec.sequence, config), [])
-            groups[key].runs.append(run)
-        self.groups = list(groups.values())
-        self.run_group: list[_SequenceGroup] = [None] * runs  # type: ignore[list-item]
-        for group in self.groups:
-            for run in group.runs:
-                self.run_group[run] = group
-
-        self._init_populations()
+        self.rows = 0
+        self.x = np.zeros((0, self.count), dtype=self.dtype)
+        self.y = np.zeros((0, self.count), dtype=self.dtype)
+        self.theta = np.zeros((0, self.count), dtype=self.dtype)
+        self.weights = np.zeros((0, self.count), dtype=self.dtype)
+        self.update_count = np.zeros(0, dtype=np.int64)
+        self.rngs: list[np.random.Generator | None] = []
+        self.estimates: list[Pose2D] = []
+        self.estimate_arrays: list[np.ndarray | None] = []
+        self.ensure_capacity(rows)
 
     # ------------------------------------------------------------------
-    # Initialization (replicates ParticleSet init + MCL reset semantics)
+    # Row management
     # ------------------------------------------------------------------
-    def _store(
-        self,
-        rows,
-        x: np.ndarray,
-        y: np.ndarray,
-        theta: np.ndarray,
-        weights: np.ndarray | None = None,
-    ) -> None:
-        """Write float64 state back at storage precision (= ``set_state``)."""
-        self.x[rows] = np.asarray(x).astype(self.dtype)
-        self.y[rows] = np.asarray(y).astype(self.dtype)
-        self.theta[rows] = wrap_angle(np.asarray(theta, dtype=np.float64)).astype(
-            self.dtype
+    def ensure_capacity(self, rows: int) -> None:
+        """Grow to at least ``rows`` rows (existing rows untouched)."""
+        if rows <= self.rows:
+            return
+
+        def grow(array: np.ndarray) -> np.ndarray:
+            wide = np.zeros((rows, array.shape[1]), dtype=array.dtype)
+            wide[: self.rows] = array
+            return wide
+
+        self.x = grow(self.x)
+        self.y = grow(self.y)
+        self.theta = grow(self.theta)
+        self.weights = grow(self.weights)
+        self.update_count = np.concatenate(
+            [self.update_count, np.zeros(rows - self.rows, dtype=np.int64)]
         )
-        if weights is not None:
-            self.weights[rows] = np.asarray(weights).astype(self.dtype)
+        added = rows - self.rows
+        self.rngs.extend([None] * added)
+        self.estimates.extend([Pose2D.identity()] * added)
+        self.estimate_arrays.extend([None] * added)
+        self.rows = rows
 
-    def _init_populations(self) -> None:
+    def init_row(self, row: int, grid: OccupancyGrid, spec: RunSpec) -> None:
+        """(Re)initialize ``row`` exactly like a fresh reference filter.
+
+        Replicates ``MonteCarloLocalization.__init__`` (plus the
+        optional ``reset_at`` tracking init) draw for draw: the
+        global-localization init always runs first — the reference
+        filter draws it in its constructor — so the RNG stream advances
+        identically even under tracking init.
+        """
+        rng = make_rng(spec.seed, "mcl")
+        self.rngs[row] = rng
         n = self.count
         uniform = np.full(n, 1.0 / n)
-        for run, spec in enumerate(self.specs):
-            rng = self.rngs[run]
-            # Global-localization init always runs first (the reference
-            # filter draws it in its constructor), so the RNG stream
-            # advances identically even under tracking init.
-            x, y = self.grid.sample_free_points(n, rng)
-            theta = rng.uniform(-np.pi, np.pi, size=n)
-            self._store(run, x, y, theta, uniform)
-            if spec.tracking_init:
-                start = spec.sequence.ground_truth_pose(0)
-                x = rng.normal(start.x, spec.tracking_sigma_xy, size=n)
-                y = rng.normal(start.y, spec.tracking_sigma_xy, size=n)
-                theta = rng.normal(start.theta, spec.tracking_sigma_theta, size=n)
-                self._store(run, x, y, theta, uniform)
-        self._refresh_estimates(np.arange(len(self.specs)))
+        x, y = grid.sample_free_points(n, rng)
+        theta = rng.uniform(-np.pi, np.pi, size=n)
+        self._store(row, x, y, theta, uniform)
+        if spec.tracking_init:
+            start = spec.sequence.ground_truth_pose(0)
+            x = rng.normal(start.x, spec.tracking_sigma_xy, size=n)
+            y = rng.normal(start.y, spec.tracking_sigma_xy, size=n)
+            theta = rng.normal(start.theta, spec.tracking_sigma_theta, size=n)
+            self._store(row, x, y, theta, uniform)
+        self.update_count[row] = 0
+        self._refresh_estimate(row)
 
     # ------------------------------------------------------------------
-    # Main loop
+    # State capture (snapshot / restore, serve-layer migration)
     # ------------------------------------------------------------------
-    def run(self) -> list[RunTrace]:
-        runs = len(self.specs)
-        timestamps: list[list[float]] = [[] for _ in range(runs)]
-        position_errors: list[list[float]] = [[] for _ in range(runs)]
-        yaw_errors: list[list[float]] = [[] for _ in range(runs)]
-        estimate_rows: list[list[np.ndarray]] = [[] for _ in range(runs)]
+    def export_row(self, row: int) -> FilterStateSnapshot:
+        """Capture one row's complete dynamic state."""
+        rng = self.rngs[row]
+        estimate = self.estimate_arrays[row]
+        if rng is None or estimate is None:
+            raise ConfigurationError(f"stack row {row} was never initialized")
+        return FilterStateSnapshot.capture(
+            self.x[row],
+            self.y[row],
+            self.theta[row],
+            self.weights[row],
+            rng,
+            int(self.update_count[row]),
+            estimate,
+        )
 
-        horizon = max(group.length for group in self.groups)
-        for t in range(horizon):
-            triggered = self._gate_mask(t)
-            if triggered.size:
-                self._step_triggered(t, triggered)
-            self._record(
-                t, timestamps, position_errors, yaw_errors, estimate_rows
-            )
+    def import_row(self, row: int, snapshot: FilterStateSnapshot) -> None:
+        """Resume ``row`` exactly from a snapshot (verbatim, never cast).
 
-        traces = []
-        for run in range(runs):
-            traces.append(
-                RunTrace(
-                    timestamps=np.array(timestamps[run]),
-                    position_errors=np.array(position_errors[run]),
-                    yaw_errors=np.array(yaw_errors[run]),
-                    estimate_trace=np.stack(estimate_rows[run]),
-                    update_count=int(self.update_count[run]),
-                )
-            )
-        return traces
-
-    def _gate_mask(self, t: int) -> np.ndarray:
-        """Rows whose movement gate fires at instant ``t``.
-
-        The returned array is the step's per-run boolean gate mask in
-        index form: the rows of the ``(R, N)`` stacks this update will
-        touch.  Rows whose sequence already ended never fire.
+        The estimate is taken from the snapshot rather than recomputed,
+        so the restored row reports bit-identical poses from the first
+        post-restore frame on.  Snapshots carrying pending odometry (a
+        scalar filter captured mid-accumulation) are rejected — a row
+        has nowhere to keep that motion, and dropping it would diverge
+        silently.
         """
-        triggered: list[int] = []
-        for group in self.groups:
-            if t < group.length and group.plan.steps[t].fires:
-                triggered.extend(group.runs)
-        return np.array(triggered, dtype=np.int64)
+        snapshot.check_compatible(self.count, np.dtype(self.dtype))
+        snapshot.check_no_pending()
+        self.x[row] = snapshot.x
+        self.y[row] = snapshot.y
+        self.theta[row] = snapshot.theta
+        self.weights[row] = snapshot.weights
+        self.rngs[row] = snapshot.make_rng()
+        self.update_count[row] = int(snapshot.update_count)
+        self.estimates[row] = snapshot.estimate_pose()
+        self.estimate_arrays[row] = snapshot.estimate.copy()
 
     # ------------------------------------------------------------------
-    # One batched filter update over the triggered rows
+    # Row queries
     # ------------------------------------------------------------------
-    def _step_triggered(self, t: int, triggered: np.ndarray) -> None:
-        self._motion_update(t, triggered)
-        observed = self._observation_update(t, triggered)
+    def estimate(self, row: int) -> Pose2D:
+        return self.estimates[row]
+
+    def estimate_array(self, row: int) -> np.ndarray:
+        array = self.estimate_arrays[row]
+        if array is None:
+            raise ConfigurationError(f"stack row {row} was never initialized")
+        return array
+
+    def updates(self, row: int) -> int:
+        return int(self.update_count[row])
+
+    # ------------------------------------------------------------------
+    # One packed filter update
+    # ------------------------------------------------------------------
+    def step(self, work: Sequence[StepWork]) -> None:
+        """Fire one gated update for every row listed across ``work``.
+
+        Packing contract: rows of one work item share that item's replay
+        step (motion increment + beams) and distance field; the motion,
+        ESS and estimate stages stack across *all* listed rows, the
+        observation stage runs per work item.  Per-row results are
+        independent of the packing (see class docstring), so callers may
+        group rows however throughput dictates.
+        """
+        triggered_list: list[int] = []
+        for item in work:
+            triggered_list.extend(item.rows)
+        if not triggered_list:
+            return
+        triggered = np.array(triggered_list, dtype=np.int64)
+        self._motion_update(triggered, work)
+        observed = self._observation_update(work)
         if observed.size:
             self._resample(observed)
         self._refresh_estimates(triggered)
         self.update_count[triggered] += 1
 
-    def _motion_update(self, t: int, triggered: np.ndarray) -> None:
+    def _motion_update(
+        self, triggered: np.ndarray, work: Sequence[StepWork]
+    ) -> None:
         config = self.config
         n = self.count
         rows = len(triggered)
@@ -329,13 +250,16 @@ class _RunBatch:
         noise_y = np.empty((rows, n))
         noise_theta = np.empty((rows, n))
         inc = np.empty((rows, 3))
-        for i, run in enumerate(triggered):
-            run = int(run)
-            noise_x[i], noise_y[i], noise_theta[i] = kernels.sample_motion_noise(
-                self.rngs[run], n, config.sigma_odom_xy, config.sigma_odom_theta
-            )
-            pending = self.run_group[run].plan.steps[t].pending
-            inc[i] = (pending.x, pending.y, pending.theta)
+        i = 0
+        for item in work:
+            pending = item.step.pending
+            assert pending is not None  # packed steps always fired
+            for row in item.rows:
+                noise_x[i], noise_y[i], noise_theta[i] = kernels.sample_motion_noise(
+                    self.rngs[row], n, config.sigma_odom_xy, config.sigma_odom_theta
+                )
+                inc[i] = (pending.x, pending.y, pending.theta)
+                i += 1
 
         new_x, new_y, new_theta = kernels.compose_increment(
             self.x[triggered].astype(np.float64),
@@ -347,25 +271,22 @@ class _RunBatch:
         )
         self._store(triggered, new_x, new_y, new_theta)
 
-    def _observation_update(self, t: int, triggered: np.ndarray) -> np.ndarray:
-        """Re-weight triggered rows; returns the rows that saw usable beams."""
+    def _observation_update(self, work: Sequence[StepWork]) -> np.ndarray:
+        """Re-weight packed rows; returns the rows that saw usable beams."""
         config = self.config
         observed: list[int] = []
-        for group in self.groups:
-            if t >= group.length:
+        for item in work:
+            step = item.step
+            if step.beams is None:
                 continue
-            step = group.plan.steps[t]
-            if not step.fires or step.beams is None:
-                continue
-            rows = group.runs
-            for chunk in self._row_chunks(rows, step.beams.beam_count):
+            for chunk in self._row_chunks(item.rows, step.beams.beam_count):
                 log_lik = kernels.beam_log_likelihoods(
                     self.x[chunk].astype(np.float64),
                     self.y[chunk].astype(np.float64),
                     self.theta[chunk].astype(np.float64),
                     step.end_x,
                     step.end_y,
-                    self.field,
+                    item.field,
                     config.sigma_obs,
                 )
                 updated = kernels.posterior_log_weights(
@@ -374,7 +295,7 @@ class _RunBatch:
                 stored = updated.astype(self.dtype)
                 kernels.normalize_weights(stored, self.dtype)
                 self.weights[chunk] = stored
-            observed.extend(rows)
+            observed.extend(item.rows)
         return np.array(observed, dtype=np.int64)
 
     def _row_chunks(self, rows: list[int], beam_count: int):
@@ -404,8 +325,25 @@ class _RunBatch:
             self.weights[run] = uniform
 
     # ------------------------------------------------------------------
-    # Pose estimates
+    # State storage and pose estimates
     # ------------------------------------------------------------------
+    def _store(
+        self,
+        rows,
+        x: np.ndarray,
+        y: np.ndarray,
+        theta: np.ndarray,
+        weights: np.ndarray | None = None,
+    ) -> None:
+        """Write float64 state back at storage precision (= ``set_state``)."""
+        self.x[rows] = np.asarray(x).astype(self.dtype)
+        self.y[rows] = np.asarray(y).astype(self.dtype)
+        self.theta[rows] = wrap_angle(np.asarray(theta, dtype=np.float64)).astype(
+            self.dtype
+        )
+        if weights is not None:
+            self.weights[rows] = np.asarray(weights).astype(self.dtype)
+
     def _refresh_estimates(self, triggered: np.ndarray) -> None:
         """Recompute the weighted-mean poses of all triggered rows.
 
@@ -440,17 +378,17 @@ class _RunBatch:
             self.estimates[int(run)] = estimate
             self.estimate_arrays[int(run)] = estimate.as_array()
 
-    def _refresh_estimate(self, run: int) -> None:
-        """Recompute one run's weighted-mean pose from its row views."""
+    def _refresh_estimate(self, row: int) -> None:
+        """Recompute one row's weighted-mean pose from its row views."""
         _, mean_x, mean_y, mean_theta = kernels.weighted_mean_pose(
-            self.x[run].astype(np.float64),
-            self.y[run].astype(np.float64),
-            self.theta[run].astype(np.float64),
-            self.weights[run],
+            self.x[row].astype(np.float64),
+            self.y[row].astype(np.float64),
+            self.theta[row].astype(np.float64),
+            self.weights[row],
         )
         estimate = Pose2D(mean_x, mean_y, mean_theta)
-        self.estimates[run] = estimate
-        self.estimate_arrays[run] = estimate.as_array()
+        self.estimates[row] = estimate
+        self.estimate_arrays[row] = estimate.as_array()
 
     @staticmethod
     def _circular_mean_row(
@@ -470,9 +408,133 @@ class _RunBatch:
             return 0.0
         return math.atan2(sin_sum / total, cos_sum / total)
 
-    # ------------------------------------------------------------------
-    # Trace recording
-    # ------------------------------------------------------------------
+
+class BatchedBackend:
+    """Vectorized executor advancing all runs of a batch simultaneously."""
+
+    name = "batched"
+
+    def __init__(self, obs_chunk_elements: int = OBS_CHUNK_ELEMENTS) -> None:
+        if obs_chunk_elements < 1:
+            raise ConfigurationError("obs_chunk_elements must be positive")
+        self.obs_chunk_elements = int(obs_chunk_elements)
+        self._plans: dict[tuple, ReplayPlan] = {}
+
+    def execute(
+        self,
+        grid: OccupancyGrid,
+        specs: Sequence[RunSpec],
+        config: MclConfig,
+        field: DistanceField | None = None,
+    ) -> list[RunTrace]:
+        if not specs:
+            return []
+        if field is None:
+            field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        if abs(field.resolution - grid.resolution) > 1e-12:
+            raise ConfigurationError(
+                "distance field resolution does not match the occupancy grid"
+            )
+        batch = _RunBatch(
+            grid, list(specs), config, field, self.obs_chunk_elements, self.plan
+        )
+        return batch.run()
+
+    def open_stack(self, config: MclConfig, rows: int = 0) -> ParticleStack:
+        """Open the step-level entry point: a stacked session container."""
+        return ParticleStack(config, rows, self.obs_chunk_elements)
+
+    def plan(self, sequence: RecordedSequence, config: MclConfig) -> ReplayPlan:
+        """Build (or reuse) the replay plan of one sequence.
+
+        Keyed by object identity plus the gating/beam signature; the plan
+        holds a strong reference to its sequence, which keeps ``id``
+        stable for the cache's lifetime.
+        """
+        key = (id(sequence), ReplayPlan.signature(config))
+        plan = self._plans.get(key)
+        if plan is None or plan.sequence is not sequence:
+            plan = ReplayPlan(sequence, config)
+            self._plans[key] = plan
+        return plan
+
+
+class _SequenceGroup:
+    """Runs of one batch that replay the same recorded sequence."""
+
+    def __init__(self, plan: ReplayPlan, run_indices: list[int]) -> None:
+        self.plan = plan
+        self.runs = run_indices
+        self.length = plan.length
+
+
+class _RunBatch:
+    """Offline driver: a fixed run set swept over its shared horizon.
+
+    Owns the batch layout (grouping runs by sequence, per-instant gate
+    masks, trace recording); all particle math is delegated to one
+    :class:`ParticleStack` holding every run as a row.
+    """
+
+    def __init__(
+        self,
+        grid: OccupancyGrid,
+        specs: list[RunSpec],
+        config: MclConfig,
+        field: DistanceField,
+        obs_chunk_elements: int,
+        plan_for,
+    ) -> None:
+        self.specs = specs
+        self.field = field
+        self.stack = ParticleStack(config, len(specs), obs_chunk_elements)
+
+        # Group runs by the sequence they replay; the replay plan (gating
+        # trace, beams, ground truth) is shared within a group and — via
+        # the backend's cache — across sweep cells.
+        groups: dict[int, _SequenceGroup] = {}
+        for run, spec in enumerate(specs):
+            key = id(spec.sequence)
+            if key not in groups:
+                groups[key] = _SequenceGroup(plan_for(spec.sequence, config), [])
+            groups[key].runs.append(run)
+        self.groups = list(groups.values())
+
+        for run, spec in enumerate(specs):
+            self.stack.init_row(run, grid, spec)
+
+    def run(self) -> list[RunTrace]:
+        runs = len(self.specs)
+        timestamps: list[list[float]] = [[] for _ in range(runs)]
+        position_errors: list[list[float]] = [[] for _ in range(runs)]
+        yaw_errors: list[list[float]] = [[] for _ in range(runs)]
+        estimate_rows: list[list[np.ndarray]] = [[] for _ in range(runs)]
+
+        horizon = max(group.length for group in self.groups)
+        for t in range(horizon):
+            work = [
+                StepWork(rows=group.runs, step=group.plan.steps[t], field=self.field)
+                for group in self.groups
+                if t < group.length and group.plan.steps[t].fires
+            ]
+            self.stack.step(work)
+            self._record(
+                t, timestamps, position_errors, yaw_errors, estimate_rows
+            )
+
+        traces = []
+        for run in range(runs):
+            traces.append(
+                RunTrace(
+                    timestamps=np.array(timestamps[run]),
+                    position_errors=np.array(position_errors[run]),
+                    yaw_errors=np.array(yaw_errors[run]),
+                    estimate_trace=np.stack(estimate_rows[run]),
+                    update_count=self.stack.updates(run),
+                )
+            )
+        return traces
+
     def _record(
         self,
         t: int,
@@ -488,8 +550,8 @@ class _RunBatch:
             timestamp = plan.timestamps[t]
             ground_truth = plan.ground_truth[t]
             for run in group.runs:
-                err_pos, err_yaw = pose_error(self.estimates[run], ground_truth)
+                err_pos, err_yaw = pose_error(self.stack.estimate(run), ground_truth)
                 timestamps[run].append(timestamp)
                 position_errors[run].append(err_pos)
                 yaw_errors[run].append(err_yaw)
-                estimate_rows[run].append(self.estimate_arrays[run])
+                estimate_rows[run].append(self.stack.estimate_array(run))

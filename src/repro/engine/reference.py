@@ -7,6 +7,13 @@ increments and ToF frames and recording the estimate-vs-mocap errors at
 every frame instant.  It is the ground truth the batched backend is
 tested against, and the fallback for configurations a fancier backend
 does not support.
+
+:class:`ReferenceStack` is the backend's step-level entry point
+(:class:`~repro.engine.backend.SessionStack`): one scalar
+:class:`~repro.core.particles.ParticleSet` per row, advanced through
+exactly the ``MonteCarloLocalization.process`` code path.  It exists so
+the serve layer can multiplex sessions over *either* backend — and so
+fleet traces can be pinned against the scalar loop step by step.
 """
 
 from __future__ import annotations
@@ -15,13 +22,162 @@ from typing import Sequence
 
 import numpy as np
 
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D
+from ..common.rng import make_rng
 from ..core.config import MclConfig
 from ..core.mcl import MonteCarloLocalization
-from ..core.pose_estimate import pose_error
+from ..core.motion import apply_motion_model
+from ..core.observation import apply_observation_model
+from ..core.particles import ParticleSet
+from ..core.pose_estimate import estimate_pose, pose_error
+from ..core.resampling import draw_wheel_offset, systematic_resample
+from ..core.snapshot import FilterStateSnapshot
 from ..dataset.recorder import RecordedSequence
 from ..maps.distance_field import DistanceField
 from ..maps.occupancy import OccupancyGrid
-from .backend import RunSpec, RunTrace
+from .backend import RunSpec, RunTrace, StepWork
+
+
+class ReferenceStack:
+    """Scalar step-level stack: one :class:`ParticleSet` per row.
+
+    Each packed :meth:`step` unrolls into per-row scalar updates that
+    follow ``MonteCarloLocalization.process`` operation for operation
+    (motion model, observation model, ESS-gated wheel resampling, pose
+    estimate), with the gating and beam extraction already resolved by
+    the caller's replay step.  Per-row results are trivially independent
+    of the packing — there is no cross-row arithmetic at all.
+    """
+
+    def __init__(self, config: MclConfig, rows: int = 0) -> None:
+        self.config = config
+        self.count = config.particle_count
+        self._particles: list[ParticleSet | None] = []
+        self._rngs: list[np.random.Generator | None] = []
+        self._updates: list[int] = []
+        self._estimates: list[Pose2D] = []
+        self._estimate_arrays: list[np.ndarray | None] = []
+        self.ensure_capacity(rows)
+
+    # ------------------------------------------------------------------
+    # Row management
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, rows: int) -> None:
+        added = rows - len(self._particles)
+        if added <= 0:
+            return
+        self._particles.extend([None] * added)
+        self._rngs.extend([None] * added)
+        self._updates.extend([0] * added)
+        self._estimates.extend([Pose2D.identity()] * added)
+        self._estimate_arrays.extend([None] * added)
+
+    def init_row(self, row: int, grid: OccupancyGrid, spec: RunSpec) -> None:
+        """(Re)initialize ``row`` exactly like a fresh reference filter."""
+        rng = make_rng(spec.seed, "mcl")
+        particles = ParticleSet(self.count, self.config.precision)
+        particles.init_uniform(grid, rng)
+        if spec.tracking_init:
+            start = spec.sequence.ground_truth_pose(0)
+            particles.init_gaussian(
+                start.x,
+                start.y,
+                start.theta,
+                spec.tracking_sigma_xy,
+                spec.tracking_sigma_theta,
+                rng,
+            )
+        self._particles[row] = particles
+        self._rngs[row] = rng
+        self._updates[row] = 0
+        self._set_estimate(row, estimate_pose(particles).pose)
+
+    def _row(self, row: int) -> tuple[ParticleSet, np.random.Generator]:
+        particles = self._particles[row]
+        rng = self._rngs[row]
+        if particles is None or rng is None:
+            raise ConfigurationError(f"stack row {row} was never initialized")
+        return particles, rng
+
+    def _set_estimate(self, row: int, pose: Pose2D) -> None:
+        self._estimates[row] = pose
+        self._estimate_arrays[row] = pose.as_array()
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, work: Sequence[StepWork]) -> None:
+        for item in work:
+            for row in item.rows:
+                self._step_row(row, item)
+
+    def _step_row(self, row: int, item: StepWork) -> None:
+        particles, rng = self._row(row)
+        config = self.config
+        step = item.step
+        assert step.pending is not None  # packed steps always fired
+        apply_motion_model(particles, step.pending, config, rng)
+        observed = False
+        if step.beams is not None:
+            observed = apply_observation_model(
+                particles, step.beams, item.field, config
+            )
+        if observed:
+            ess = particles.effective_sample_size()
+            threshold = config.resample_ess_fraction * particles.count
+            if ess <= threshold:
+                u0 = draw_wheel_offset(rng, particles.count)
+                indices = systematic_resample(
+                    particles.weights.astype(np.float64), u0
+                )
+                particles.swap_from_indices(indices)
+        self._set_estimate(row, estimate_pose(particles).pose)
+        self._updates[row] += 1
+
+    # ------------------------------------------------------------------
+    # Queries and state capture
+    # ------------------------------------------------------------------
+    def estimate(self, row: int) -> Pose2D:
+        return self._estimates[row]
+
+    def estimate_array(self, row: int) -> np.ndarray:
+        array = self._estimate_arrays[row]
+        if array is None:
+            raise ConfigurationError(f"stack row {row} was never initialized")
+        return array
+
+    def updates(self, row: int) -> int:
+        return self._updates[row]
+
+    def export_row(self, row: int) -> FilterStateSnapshot:
+        particles, rng = self._row(row)
+        return FilterStateSnapshot.capture(
+            particles.x,
+            particles.y,
+            particles.theta,
+            particles.weights,
+            rng,
+            self._updates[row],
+            self.estimate_array(row),
+        )
+
+    def import_row(self, row: int, snapshot: FilterStateSnapshot) -> None:
+        particles = self._particles[row]
+        if particles is None:
+            particles = ParticleSet(self.count, self.config.precision)
+            self._particles[row] = particles
+        snapshot.check_compatible(
+            self.count, self.config.precision.particle_dtype
+        )
+        snapshot.check_no_pending()
+        particles.x[:] = snapshot.x
+        particles.y[:] = snapshot.y
+        particles.theta[:] = snapshot.theta
+        particles.weights[:] = snapshot.weights
+        self._rngs[row] = snapshot.make_rng()
+        self._updates[row] = int(snapshot.update_count)
+        self._set_estimate(row, snapshot.estimate_pose())
 
 
 class ReferenceBackend:
@@ -37,6 +193,10 @@ class ReferenceBackend:
         field: DistanceField | None = None,
     ) -> list[RunTrace]:
         return [self._run_one(grid, spec, config, field) for spec in specs]
+
+    def open_stack(self, config: MclConfig, rows: int = 0) -> ReferenceStack:
+        """Open the step-level entry point: one scalar filter per row."""
+        return ReferenceStack(config, rows)
 
     def _run_one(
         self,

@@ -36,6 +36,7 @@ import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from ..common.atomics import atomic_create
 from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import PAPER_VARIANTS, MclConfig
 from ..scenarios.base import ScenarioSpec
@@ -340,6 +341,88 @@ def run_campaign(
         skipped=skipped,
         recovered_files=recovered,
         store_root=str(store.root),
+    )
+
+
+@dataclass
+class MergeSummary:
+    """What one :func:`merge_campaign_stores` call did."""
+
+    dest: str
+    source: str
+    copied: int
+    verified: int
+    skipped_invalid: int
+    total_source_cells: int
+
+
+def merge_campaign_stores(
+    dest: CampaignStore, source: CampaignStore
+) -> MergeSummary:
+    """Union ``source``'s cells into ``dest`` (multi-host scale-out).
+
+    The intended workflow: shard one campaign's cell list across
+    machines (same spec, disjoint or overlapping subsets), then merge
+    the resulting stores.  Because cell bytes are a pure function of the
+    cell key, collisions are verified byte-for-byte — equal bytes are
+    counted as ``verified``, a mismatch raises (it means the equivalence
+    contract broke on one host, and silently preferring either side
+    would hide that).  The manifests must agree byte-for-byte too; a
+    destination without a manifest (fresh name) adopts the source's, so
+    merging into a new name is a store copy.
+
+    Cells are copied as raw bytes — never re-encoded — so a merged store
+    is byte-identical to one produced by a single host.  Torn source
+    files (unparseable JSON) are skipped and counted, exactly as
+    :meth:`CampaignStore.completed_keys` would ignore them.
+    """
+    source_manifest = source.manifest_path
+    if not source_manifest.exists():
+        raise EvaluationError(
+            f"source campaign {source.name!r} has no manifest under "
+            f"{source.root}"
+        )
+    manifest_bytes = source_manifest.read_bytes()
+    # Adopt-or-verify, race-safely: exactly one concurrent merger can
+    # publish a fresh destination manifest; every other path (including
+    # losing that race) must match the published bytes before copying
+    # any cells, or two campaign specs could silently mix in one store.
+    if dest.manifest_path.exists() or not atomic_create(
+        dest.manifest_path, manifest_bytes
+    ):
+        if dest.manifest_path.read_bytes() != manifest_bytes:
+            raise EvaluationError(
+                f"campaign manifests differ between {dest.name!r} and "
+                f"{source.name!r} — only shards of one campaign spec can "
+                "be merged"
+            )
+
+    copied = verified = skipped = 0
+    total = 0
+    if source.cells_dir.is_dir():
+        for path in sorted(source.cells_dir.glob("*.json")):
+            total += 1
+            data = path.read_bytes()
+            key = path.stem
+            existed = dest.cell_path(key).exists()
+            try:
+                dest.put_cell_bytes(key, data)
+            except EvaluationError:
+                if source.get_cell(key) is None:  # torn source file
+                    skipped += 1
+                    continue
+                raise
+            if existed:
+                verified += 1
+            else:
+                copied += 1
+    return MergeSummary(
+        dest=dest.name,
+        source=source.name,
+        copied=copied,
+        verified=verified,
+        skipped_invalid=skipped,
+        total_source_cells=total,
     )
 
 

@@ -107,6 +107,24 @@ def evaluate_run(
     )
 
 
+def evaluate_partial_run(
+    timestamps: np.ndarray,
+    position_errors: np.ndarray,
+    yaw_errors: np.ndarray,
+) -> RunMetrics | None:
+    """Metrics of a *live* trace prefix (serve-layer session queries).
+
+    Unlike :func:`evaluate_run`, an empty prefix is a legal state for a
+    session that has not been stepped yet — it yields ``None`` rather
+    than an error.  A non-empty prefix is evaluated exactly like a
+    finished run: the metrics are "as if the run ended here", so
+    ``success`` may still flip while the session keeps streaming.
+    """
+    if np.asarray(timestamps).size == 0:
+        return None
+    return evaluate_run(timestamps, position_errors, yaw_errors)
+
+
 def convergence_curve(
     convergence_times: list[float | None],
     horizon_s: float,

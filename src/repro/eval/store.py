@@ -31,15 +31,13 @@ byte-comparable):
 
 from __future__ import annotations
 
-import contextlib
 import json
 import math
-import os
-import tempfile
 import time
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..common.atomics import atomic_create, atomic_write
 from ..common.errors import ConfigurationError, EvaluationError
 from ..viz.export import results_directory
 
@@ -48,7 +46,7 @@ STORE_VERSION = 1
 
 #: Minimum age before :meth:`CampaignStore.recover` treats a ``*.tmp``
 #: file as abandoned.  Younger tmp files may belong to a concurrently
-#: running writer mid-``_atomic_write`` (several processes may legally
+#: running writer mid-``atomic_write`` (several processes may legally
 #: share one store); deleting those would crash that writer's publish.
 TMP_GRACE_S = 300.0
 
@@ -85,63 +83,6 @@ def canonical_json_bytes(payload: dict) -> bytes:
         sanitize_nan(payload), sort_keys=True, indent=2, allow_nan=False
     )
     return (text + "\n").encode("utf-8")
-
-
-def _write_scratch(path: Path, data: bytes) -> str:
-    """Write ``data`` to a unique tmp sibling of ``path``; return its name.
-
-    The tmp name is unique per writer (``mkstemp``), so two processes
-    racing to publish the same file never share a scratch file.  mkstemp
-    creates 0600 scratch files; umask-derived permissions are restored so
-    stores shared between users stay readable.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=f"{path.name}.", suffix=".tmp"
-    )
-    umask = os.umask(0)
-    os.umask(umask)
-    os.fchmod(fd, 0o666 & ~umask)
-    with os.fdopen(fd, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    return tmp_name
-
-
-def _atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (unique tmp + rename).
-
-    ``os.replace`` makes whichever racing writer lands last win —
-    harmless for cell files, where equal keys imply equal bytes.
-    """
-    tmp_name = _write_scratch(path, data)
-    try:
-        os.replace(tmp_name, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        raise
-
-
-def _atomic_create(path: Path, data: bytes) -> bool:
-    """Publish ``data`` at ``path`` only if nothing exists there yet.
-
-    Uses ``os.link`` from a unique scratch file — an atomic
-    create-if-absent even on shared network mounts — so two processes
-    racing to create the same file cannot both succeed.  Returns True if
-    this caller published, False if ``path`` already existed (complete:
-    files published this way are never partial).
-    """
-    tmp_name = _write_scratch(path, data)
-    try:
-        os.link(tmp_name, path)
-        return True
-    except FileExistsError:
-        return False
-    finally:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
 
 
 class CampaignStore:
@@ -184,7 +125,7 @@ class CampaignStore:
         """
         manifest = dict(manifest, store_version=STORE_VERSION)
         data = canonical_json_bytes(manifest)
-        if _atomic_create(self.manifest_path, data):
+        if atomic_create(self.manifest_path, data):
             return
         # Exactly one racing creator wins; everyone else (including this
         # late re-check) must match the published spec byte for byte.
@@ -220,7 +161,34 @@ class CampaignStore:
                     "determinism violation (backend or protocol drift?)"
                 )
             return path
-        _atomic_write(path, data)
+        atomic_write(path, data)
+        return path
+
+    def put_cell_bytes(self, key: str, data: bytes) -> Path:
+        """Append one cell's *already-canonical* bytes (merge/copy path).
+
+        Same append-only semantics as :meth:`put_cell`, but trusts the
+        caller to supply canonical JSON produced by another store —
+        verifying it parses — instead of re-encoding a payload.  This is
+        what lets ``campaign merge`` union stores byte-for-byte.
+        """
+        try:
+            json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise EvaluationError(
+                f"cell {key} bytes are not valid JSON — refusing to merge "
+                f"a torn source file: {exc}"
+            ) from exc
+        path = self.cell_path(key)
+        if path.exists():
+            if path.read_bytes() != data:
+                raise EvaluationError(
+                    f"cell {key} already stored with different bytes — "
+                    "the two stores disagree (determinism violation or "
+                    "mismatched campaign specs)"
+                )
+            return path
+        atomic_write(path, data)
         return path
 
     def get_cell(self, key: str) -> dict | None:

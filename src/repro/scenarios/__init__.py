@@ -15,6 +15,7 @@ Public surface:
 """
 
 from .base import Scenario, ScenarioFamily, ScenarioSpec
+from .fleet import FleetMemberSpec, FleetSessionDecl, FleetSpec
 from .registry import (
     available_families,
     build_scenario,
@@ -27,6 +28,9 @@ from .registry import (
 )
 
 __all__ = [
+    "FleetMemberSpec",
+    "FleetSessionDecl",
+    "FleetSpec",
     "Scenario",
     "ScenarioFamily",
     "ScenarioSpec",

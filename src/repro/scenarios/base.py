@@ -159,10 +159,12 @@ class Scenario:
     # ------------------------------------------------------------------
     # Serialization — one .npz bundling map, tour and flight
     # ------------------------------------------------------------------
-    def save_npz(self, path: str | Path) -> None:
+    def save_npz(self, path) -> None:
         """Write the scenario to a single compressed ``.npz`` archive.
 
-        The sequence payload is embedded under its native keys (see
+        ``path`` may be a filesystem path or an open binary file object
+        (the registry streams through an atomic tmp+rename writer).  The
+        sequence payload is embedded under its native keys (see
         :meth:`RecordedSequence.to_npz_payload`); scenario-level arrays
         use a ``scenario_`` prefix.  Writing is deterministic: identical
         scenarios serialize to byte-identical files.
@@ -175,7 +177,9 @@ class Scenario:
             [self.grid.origin_x, self.grid.origin_y], dtype=np.float64
         )
         payload["scenario_tour"] = np.asarray(self.tour, dtype=np.float64)
-        np.savez_compressed(Path(path), **payload)
+        if isinstance(path, (str, Path)):
+            path = Path(path)
+        np.savez_compressed(path, **payload)
 
     @staticmethod
     def load_npz(path: str | Path) -> "Scenario":

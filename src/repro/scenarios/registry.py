@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from ..common.atomics import atomic_binary_writer
 from ..common.errors import ConfigurationError
 from ..common.paths import data_root
 from .base import Scenario, ScenarioFamily, ScenarioSpec
@@ -90,8 +91,12 @@ def build_scenario(
         return Scenario.load_npz(path)
     scenario = get_family(spec.family).generate(spec)
     if cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        scenario.save_npz(path)
+        # Atomic tmp+rename publish: concurrent session spin-up or
+        # parallel generation can never observe a torn cache file, and
+        # racing generators of the same spec write identical bytes (the
+        # archive is a pure function of the spec), so last-wins is safe.
+        with atomic_binary_writer(path) as handle:
+            scenario.save_npz(handle)
     return scenario
 
 

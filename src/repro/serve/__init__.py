@@ -1,0 +1,38 @@
+"""Fleet serving: multiplexed online localization sessions.
+
+This package turns the filter into a *service*: a
+:class:`SessionManager` owns many concurrent :class:`FilterSession`s —
+one per simulated drone, mixing scenarios, precision variants, particle
+counts and seeds — and a deterministic :class:`StepScheduler` packs
+their pending observation steps into shared ``(R, N)``-stacked backend
+calls, so fleet throughput inherits the batched backend's small-N win
+instead of paying one scalar filter loop per drone.
+
+Sessions support create / step (submit + flush) / query / close plus
+byte-stable snapshot / restore; every session's trace is **bitwise
+identical** to the same (scenario, variant, N, seed) run stepped alone
+through the reference backend.  See ``docs/serving.md``.
+"""
+
+from .manager import FlushReport, SessionManager
+from .scheduler import StepScheduler
+from .session import (
+    FilterSession,
+    SessionResult,
+    SessionSpec,
+    SessionStatus,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+
+__all__ = [
+    "FilterSession",
+    "FlushReport",
+    "SessionManager",
+    "SessionResult",
+    "SessionSpec",
+    "SessionStatus",
+    "StepScheduler",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
+]

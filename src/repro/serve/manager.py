@@ -1,0 +1,291 @@
+"""The session manager: the serving layer's one front door.
+
+A :class:`SessionManager` owns many concurrent
+:class:`~repro.serve.session.FilterSession`s — an arbitrary mix of
+scenarios, precision variants, particle counts and seeds — and serves
+them through a deterministic
+:class:`~repro.serve.scheduler.StepScheduler` over shared stacked
+backend calls.  The lifecycle verbs:
+
+* :meth:`create` / :meth:`create_fleet` — open sessions (worlds and
+  distance fields resolved through per-manager caches; replay plans
+  shared per (scenario, gating signature));
+* :meth:`submit` + :meth:`flush` — queue observation frames per session,
+  then execute everything queued in packed scheduler ticks (the serving
+  analogue of a request queue + batcher);
+* :meth:`query` — live progress, estimate and metrics-so-far;
+* :meth:`snapshot` / :meth:`restore` — byte-stable full-state
+  serialization: a restored session continues **bit-for-bit**;
+* :meth:`close` — retire a session, returning its trace + metrics.
+
+Equivalence contract: a fully served session's trace and metrics are
+bitwise identical to the same (scenario, variant, N, seed) executed
+alone through the reference backend, regardless of fleet composition,
+flush sizes, or backend choice (``tests/serve/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError, EvaluationError
+from ..core.config import MclConfig
+from ..engine.backend import RunSpec
+from ..engine.replay import ReplayPlan
+from ..eval.metrics import AggregateMetrics
+from ..eval.sweep_engine import DistanceFieldCache
+from ..maps.distance_field import FieldKind
+from ..scenarios.base import Scenario
+from ..scenarios.fleet import FleetSpec
+from ..scenarios.registry import build_scenario
+from .scheduler import StepScheduler
+from .session import (
+    FilterSession,
+    SessionResult,
+    SessionSpec,
+    SessionStatus,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+
+#: Bounds on what a manager caches per distinct world: EDTs, loaded
+#: scenarios, and replay plans (mirrors the sweep workers' bounded
+#: caches — a serving process is long-lived by design, so every keyed
+#: cache must evict).  Oldest insertion goes first; live sessions hold
+#: their own references, so eviction only affects future creates.
+_FIELD_CACHE_LIMIT = 32
+_SCENARIO_CACHE_LIMIT = 32
+_PLAN_CACHE_LIMIT = 64  # ~2 gating signatures per cached scenario
+
+
+@dataclass
+class FlushReport:
+    """What one :meth:`SessionManager.flush` call did."""
+
+    ticks: int
+    frames: int
+    updates: int
+
+
+class SessionManager:
+    """Multiplexes live localization sessions over one filter backend."""
+
+    def __init__(
+        self,
+        backend: str = "batched",
+        base_config: MclConfig | None = None,
+        cache: bool = True,
+    ) -> None:
+        self.base_config = base_config or MclConfig()
+        self.scheduler = StepScheduler(backend)
+        self.cache = cache
+        self._sessions: dict[str, FilterSession] = {}
+        self._scenarios: dict[str, Scenario] = {}
+        self._plans: dict[tuple, ReplayPlan] = {}
+        self._field_cache = DistanceFieldCache(limit=_FIELD_CACHE_LIMIT)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def session_ids(self) -> list[str]:
+        """Active session ids in scheduler (lexicographic) order."""
+        return sorted(self._sessions)
+
+    def _session(self, session_id: str) -> FilterSession:
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise EvaluationError(f"unknown session {session_id!r}")
+        return session
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create(self, spec: SessionSpec) -> str:
+        """Open one session; returns its id."""
+        if spec.session_id in self._sessions:
+            raise ConfigurationError(
+                f"session {spec.session_id!r} already exists"
+            )
+        session = self._materialize(spec)
+        self.scheduler.admit(session)
+        stack = self.scheduler.stack(session)
+        stack.init_row(
+            session.row,
+            session.scenario.grid,
+            RunSpec(sequence=session.scenario.sequence, seed=spec.seed),
+        )
+        self._sessions[spec.session_id] = session
+        return spec.session_id
+
+    def create_fleet(self, fleet: "FleetSpec | str") -> list[str]:
+        """Open one session per fleet declaration; returns their ids."""
+        if isinstance(fleet, str):
+            fleet = FleetSpec.parse(fleet)
+        return [
+            self.create(SessionSpec.from_declaration(decl))
+            for decl in fleet.declarations()
+        ]
+
+    def close(self, session_id: str) -> SessionResult:
+        """Retire a session, returning the trace served so far."""
+        session = self._session(session_id)
+        stack = self.scheduler.stack(session)
+        result = SessionResult(
+            spec=session.spec,
+            trace=session.trace(stack.updates(session.row)),
+            metrics=session.metrics(),
+        )
+        self.scheduler.evict(session)
+        del self._sessions[session_id]
+        return result
+
+    def _materialize(self, spec: SessionSpec) -> FilterSession:
+        """Resolve a spec's world, config, field and replay plan."""
+        scenario = self._scenarios.get(spec.scenario)
+        if scenario is None:
+            scenario = build_scenario(spec.scenario, cache=self.cache)
+            while len(self._scenarios) >= _SCENARIO_CACHE_LIMIT:
+                self._scenarios.pop(next(iter(self._scenarios)))
+            self._scenarios[spec.scenario] = scenario
+        config = spec.config(self.base_config)
+        field = self._field_cache.get(
+            scenario.grid, config.r_max, FieldKind.for_mode(config.precision)
+        )
+        plan_key = (spec.scenario, ReplayPlan.signature(config))
+        plan = self._plans.get(plan_key)
+        if plan is None:
+            plan = ReplayPlan(scenario.sequence, config)
+            while len(self._plans) >= _PLAN_CACHE_LIMIT:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[plan_key] = plan
+        return FilterSession(spec, scenario, config, plan, field)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def submit(self, session_id: str, frames: int = 1) -> int:
+        """Queue up to ``frames`` observation frames for one session.
+
+        Queues never extend past the session's sequence; returns how
+        many frames are now queued.
+        """
+        if frames < 0:
+            raise ConfigurationError(f"frames must be >= 0, got {frames}")
+        session = self._session(session_id)
+        session.queued = min(session.queued + frames, session.remaining)
+        return session.queued
+
+    def submit_all(self, frames: int = 1) -> None:
+        """Queue ``frames`` for every active, unfinished session."""
+        for session_id in self.session_ids():
+            self.submit(session_id, frames)
+
+    def flush(self) -> FlushReport:
+        """Serve every queued frame in packed scheduler ticks.
+
+        Each tick advances every session with queued work by one frame;
+        ticks repeat until all queues drain.  Sessions at different
+        replay positions and of different cohorts interleave freely —
+        packing is the scheduler's deterministic function of ids.
+        """
+        ticks = frames = updates = 0
+        while True:
+            pending = [s for s in self._sessions.values() if s.queued > 0]
+            if not pending:
+                break
+            updates += self.scheduler.tick(pending)
+            for session in pending:
+                session.queued -= 1
+            frames += len(pending)
+            ticks += 1
+        return FlushReport(ticks=ticks, frames=frames, updates=updates)
+
+    def run_to_completion(self, frames_per_flush: int = 16) -> int:
+        """Serve every session to the end of its sequence.
+
+        Frames are queued in ``frames_per_flush`` slices (as a real
+        ingest loop would) purely for pacing — slicing cannot change
+        results.  Returns the total number of frames served.
+        """
+        if frames_per_flush < 1:
+            raise ConfigurationError(
+                f"frames_per_flush must be >= 1, got {frames_per_flush}"
+            )
+        total = 0
+        while any(not s.done for s in self._sessions.values()):
+            self.submit_all(frames_per_flush)
+            total += self.flush().frames
+        return total
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, session_id: str) -> SessionStatus:
+        """Progress, live estimate and metrics-so-far of one session."""
+        session = self._session(session_id)
+        stack = self.scheduler.stack(session)
+        return SessionStatus(
+            session_id=session.spec.session_id,
+            scenario=session.spec.scenario,
+            variant=session.spec.variant,
+            particle_count=session.spec.particle_count,
+            seed=session.spec.seed,
+            cursor=session.cursor,
+            frames_total=session.frames_total,
+            queued=session.queued,
+            update_count=stack.updates(session.row),
+            done=session.done,
+            estimate=stack.estimate(session.row),
+            metrics=session.metrics(),
+        )
+
+    def fleet_metrics(self) -> AggregateMetrics:
+        """Aggregate metrics over every active session with frames served."""
+        aggregate = AggregateMetrics()
+        for session_id in self.session_ids():
+            metrics = self._sessions[session_id].metrics()
+            if metrics is not None:
+                aggregate.add(metrics)
+        return aggregate
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (migration and exact replay)
+    # ------------------------------------------------------------------
+    def snapshot(self, session_id: str) -> bytes:
+        """Serialize one session completely (byte-stable)."""
+        session = self._session(session_id)
+        stack = self.scheduler.stack(session)
+        return snapshot_to_bytes(session, stack.export_row(session.row))
+
+    def restore(self, data: bytes, session_id: str | None = None) -> str:
+        """Recreate a session from snapshot bytes; returns its id.
+
+        The restored session continues bit-for-bit: filter state, RNG
+        position, cursor and trace all resume exactly.  ``session_id``
+        optionally renames it (results are id-independent).
+        """
+        spec, cursor, state, trace = snapshot_from_bytes(data, session_id)
+        if spec.session_id in self._sessions:
+            raise ConfigurationError(
+                f"session {spec.session_id!r} already exists"
+            )
+        session = self._materialize(spec)
+        if cursor > session.plan.length:
+            raise EvaluationError(
+                f"snapshot cursor {cursor} exceeds sequence length "
+                f"{session.plan.length} — scenario definition drifted"
+            )
+        self.scheduler.admit(session)
+        self.scheduler.stack(session).import_row(session.row, state)
+        session.cursor = cursor
+        session.timestamps = [float(t) for t in trace["trace_timestamps"]]
+        session.position_errors = [
+            float(v) for v in trace["trace_position_errors"]
+        ]
+        session.yaw_errors = [float(v) for v in trace["trace_yaw_errors"]]
+        session.estimate_rows = list(trace["trace_estimates"])
+        self._sessions[spec.session_id] = session
+        return spec.session_id

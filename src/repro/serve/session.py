@@ -1,0 +1,289 @@
+"""Live localization sessions: one filter served per simulated drone.
+
+A :class:`FilterSession` is one client of the serving layer: a filter
+replaying one scenario under one (variant, N, seed), advanced one
+observation frame at a time.  Its particle state lives as a *row* in a
+shared :class:`~repro.engine.backend.SessionStack` owned by the
+scheduler's cohort for its ``(variant, N)``; the session itself owns
+everything per-client — the replay cursor, the pending-frame queue, and
+the accumulated error trace.
+
+The trace a fully stepped session accumulates is **bitwise identical**
+to the :class:`~repro.engine.backend.RunTrace` of the same
+(sequence, seed) executed alone through the reference backend — that is
+the serve layer's extension of the engine's equivalence contract, and
+``tests/serve/test_fleet_equivalence.py`` asserts it for mixed fleets.
+
+Snapshots (:func:`snapshot_to_bytes` / :func:`snapshot_from_bytes`)
+serialize a session completely — filter state, cursor, trace — as one
+byte-stable ``.npz`` blob: the same session state always produces the
+same bytes, and a restored session continues bit-for-bit, enabling
+migration between managers/hosts and exact replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D
+from ..core.config import PAPER_VARIANTS, MclConfig
+from ..core.pose_estimate import pose_error
+from ..core.snapshot import SNAPSHOT_VERSION, FilterStateSnapshot
+from ..engine.backend import RunTrace
+from ..engine.replay import ReplayPlan
+from ..eval.metrics import RunMetrics, evaluate_partial_run
+from ..scenarios.base import Scenario
+from ..scenarios.fleet import FleetSessionDecl
+from ..scenarios.registry import canonical_scenario_id
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """The declaration of one serving session.
+
+    ``scenario`` is normalized to its canonical id on construction, so
+    two spellings of the same world declare the same session workload.
+    """
+
+    session_id: str
+    scenario: str
+    variant: str = "fp32"
+    particle_count: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.session_id:
+            raise ConfigurationError("session needs a non-empty id")
+        object.__setattr__(
+            self, "scenario", canonical_scenario_id(self.scenario)
+        )
+        if self.variant not in PAPER_VARIANTS:
+            raise ConfigurationError(
+                f"unknown variant {self.variant!r}; expected from {PAPER_VARIANTS}"
+            )
+        if self.particle_count < 1:
+            raise ConfigurationError(
+                f"particle count must be >= 1, got {self.particle_count}"
+            )
+        object.__setattr__(self, "particle_count", int(self.particle_count))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @staticmethod
+    def from_declaration(decl: FleetSessionDecl) -> "SessionSpec":
+        return SessionSpec(
+            session_id=decl.session_id,
+            scenario=decl.scenario,
+            variant=decl.variant,
+            particle_count=decl.particle_count,
+            seed=decl.seed,
+        )
+
+    def config(self, base: MclConfig) -> MclConfig:
+        """The full filter config this session runs under."""
+        return dataclasses.replace(
+            base, particle_count=self.particle_count
+        ).with_variant(self.variant)
+
+    @property
+    def cohort_key(self) -> tuple[str, int]:
+        """Sessions sharing this key can share one stacked step call."""
+        return (self.variant, self.particle_count)
+
+
+@dataclass
+class SessionStatus:
+    """A live snapshot of one session's progress (``manager.query``)."""
+
+    session_id: str
+    scenario: str
+    variant: str
+    particle_count: int
+    seed: int
+    cursor: int
+    frames_total: int
+    queued: int
+    update_count: int
+    done: bool
+    estimate: Pose2D
+    metrics: RunMetrics | None
+
+
+@dataclass
+class SessionResult:
+    """What closing a session returns: its full trace plus metrics.
+
+    ``trace``/``metrics`` cover the frames actually served; for a
+    completely stepped session they equal the offline evaluation of the
+    same (sequence, seed) bit for bit.
+    """
+
+    spec: SessionSpec
+    trace: RunTrace
+    metrics: RunMetrics | None
+
+
+class FilterSession:
+    """Mutable serving state of one session (scheduler-internal).
+
+    The session references — but does not own — its stack row; the
+    scheduler assigns and recycles rows as sessions come and go.
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        scenario: Scenario,
+        config: MclConfig,
+        plan: ReplayPlan,
+        field,
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario
+        self.config = config
+        self.plan = plan
+        self.field = field
+        self.row = -1  # assigned by the scheduler
+        self.cursor = 0
+        self.queued = 0
+        self.timestamps: list[float] = []
+        self.position_errors: list[float] = []
+        self.yaw_errors: list[float] = []
+        self.estimate_rows: list[np.ndarray] = []
+
+    @property
+    def frames_total(self) -> int:
+        return self.plan.length
+
+    @property
+    def done(self) -> bool:
+        return self.cursor >= self.plan.length
+
+    @property
+    def remaining(self) -> int:
+        return self.plan.length - self.cursor
+
+    def record(self, estimate: Pose2D, estimate_array: np.ndarray) -> None:
+        """Append the current frame's estimate-vs-truth errors and advance."""
+        ground_truth = self.plan.ground_truth[self.cursor]
+        err_pos, err_yaw = pose_error(estimate, ground_truth)
+        self.timestamps.append(self.plan.timestamps[self.cursor])
+        self.position_errors.append(err_pos)
+        self.yaw_errors.append(err_yaw)
+        self.estimate_rows.append(estimate_array)
+        self.cursor += 1
+
+    def trace(self, update_count: int) -> RunTrace:
+        """The trace served so far, in backend ``RunTrace`` form."""
+        estimates = (
+            np.stack(self.estimate_rows)
+            if self.estimate_rows
+            else np.empty((0, 3), dtype=np.float64)
+        )
+        return RunTrace(
+            timestamps=np.array(self.timestamps),
+            position_errors=np.array(self.position_errors),
+            yaw_errors=np.array(self.yaw_errors),
+            estimate_trace=estimates,
+            update_count=int(update_count),
+        )
+
+    def metrics(self) -> RunMetrics | None:
+        """Paper metrics of the trace so far (None before any frame)."""
+        return evaluate_partial_run(
+            np.array(self.timestamps),
+            np.array(self.position_errors),
+            np.array(self.yaw_errors),
+        )
+
+
+# ----------------------------------------------------------------------
+# Snapshot serialization (byte-stable .npz blobs)
+# ----------------------------------------------------------------------
+def snapshot_to_bytes(
+    session: FilterSession, state: FilterStateSnapshot
+) -> bytes:
+    """Serialize a session + its filter state as one byte-stable blob.
+
+    The payload is written with sorted keys through
+    ``np.savez_compressed`` (fixed zip timestamps), so identical session
+    state always yields identical bytes — snapshots can themselves be
+    content-addressed, diffed, and byte-verified after migration.
+    """
+    meta = {
+        "format": SNAPSHOT_VERSION,
+        "kind": "serve-session",
+        "session_id": session.spec.session_id,
+        "scenario": session.spec.scenario,
+        "variant": session.spec.variant,
+        "particle_count": session.spec.particle_count,
+        "seed": session.spec.seed,
+        "cursor": session.cursor,
+    }
+    payload = state.to_payload(prefix="state_")
+    payload["serve_meta"] = np.array(json.dumps(meta, sort_keys=True))
+    payload["trace_timestamps"] = np.array(session.timestamps, dtype=np.float64)
+    payload["trace_position_errors"] = np.array(
+        session.position_errors, dtype=np.float64
+    )
+    payload["trace_yaw_errors"] = np.array(session.yaw_errors, dtype=np.float64)
+    payload["trace_estimates"] = (
+        np.stack(session.estimate_rows).astype(np.float64)
+        if session.estimate_rows
+        else np.empty((0, 3), dtype=np.float64)
+    )
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer, **{key: payload[key] for key in sorted(payload)}
+    )
+    return buffer.getvalue()
+
+
+def snapshot_from_bytes(
+    data: bytes, session_id: str | None = None
+) -> tuple[SessionSpec, int, FilterStateSnapshot, dict[str, np.ndarray]]:
+    """Parse a snapshot blob back into its parts.
+
+    Returns ``(spec, cursor, filter_state, trace_arrays)``;
+    ``session_id`` optionally renames the restored session (state and
+    results are id-independent — only scheduler packing order changes).
+    """
+    with np.load(io.BytesIO(data)) as archive:
+        try:
+            meta = json.loads(str(archive["serve_meta"]))
+        except KeyError as exc:
+            raise ConfigurationError(
+                "not a serve-session snapshot (missing serve_meta)"
+            ) from exc
+        if meta.get("kind") != "serve-session":
+            raise ConfigurationError(
+                f"unexpected snapshot kind {meta.get('kind')!r}"
+            )
+        if meta.get("format") != SNAPSHOT_VERSION:
+            raise ConfigurationError(
+                f"snapshot format {meta.get('format')!r} is not supported "
+                f"(expected {SNAPSHOT_VERSION})"
+            )
+        spec = SessionSpec(
+            session_id=session_id or meta["session_id"],
+            scenario=meta["scenario"],
+            variant=meta["variant"],
+            particle_count=meta["particle_count"],
+            seed=meta["seed"],
+        )
+        state = FilterStateSnapshot.from_payload(archive, prefix="state_")
+        trace = {
+            key: np.array(archive[key])
+            for key in (
+                "trace_timestamps",
+                "trace_position_errors",
+                "trace_yaw_errors",
+                "trace_estimates",
+            )
+        }
+    return spec, int(meta["cursor"]), state, trace

@@ -115,11 +115,11 @@ class TestCampaignStore:
         assert store.read_manifest()["store_version"] == 1
 
     def test_atomic_create_is_exclusive(self, tmp_path):
-        from repro.eval.store import _atomic_create
+        from repro.common.atomics import atomic_create
 
         target = tmp_path / "m.json"
-        assert _atomic_create(target, b"one") is True
-        assert _atomic_create(target, b"two") is False
+        assert atomic_create(target, b"one") is True
+        assert atomic_create(target, b"two") is False
         assert target.read_bytes() == b"one"  # first creator wins
         assert list(tmp_path.glob("*.tmp")) == []  # scratch cleaned up
 

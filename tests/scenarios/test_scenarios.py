@@ -121,6 +121,47 @@ class TestRegistry:
             assert "flight_s" in dict(get_family(name).defaults)
 
 
+class TestAtomicCacheWrites:
+    """The ``.npz`` cache publishes via tmp+rename: a reader (or a
+    concurrently spawning serve session / jobs>1 worker) can never
+    observe a torn cache file, and a crashed generator leaves the final
+    path untouched."""
+
+    def test_generation_leaves_no_scratch_files(self):
+        spec = ScenarioSpec.of("office", 3, flight_s=6.0)
+        path = scenario_cache_path(spec)
+        path.unlink(missing_ok=True)
+        build_scenario(spec)
+        assert path.exists()
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_interrupted_write_publishes_nothing(self, monkeypatch):
+        from repro.scenarios.base import Scenario
+
+        spec = ScenarioSpec.of("office", 4, flight_s=6.0)
+        path = scenario_cache_path(spec)
+        path.unlink(missing_ok=True)
+
+        def explode(self, handle):
+            handle.write(b"partial bytes that must never be published")
+            raise RuntimeError("simulated crash mid-serialization")
+
+        monkeypatch.setattr(Scenario, "save_npz", explode)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            build_scenario(spec)
+        assert not path.exists()  # no torn file at the final path
+        assert list(path.parent.glob("*.tmp")) == []  # scratch cleaned up
+
+    def test_concurrent_style_republish_is_byte_identical(self):
+        spec = ScenarioSpec.of("office", 3, flight_s=6.0)
+        path = scenario_cache_path(spec)
+        build_scenario(spec)
+        first = path.read_bytes()
+        path.unlink()
+        build_scenario(spec)  # a "racing" regenerator republishing
+        assert path.read_bytes() == first
+
+
 class TestDeterminism:
     @pytest.mark.parametrize("family", ALL_FAMILIES)
     def test_regeneration_is_byte_identical(self, family):

@@ -133,6 +133,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cli-study" in out
 
+        # Merging a completed store into a fresh name copies it.
+        assert main(["campaign", "merge", "cli-study-copy", "cli-study"]) == 0
+        out = capsys.readouterr().out
+        assert "1 cells copied" in out
+        # Re-merging collides on byte-identical cells: verified, not copied.
+        assert main(["campaign", "merge", "cli-study-copy", "cli-study"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cells copied" in out
+        assert "1 byte-verified" in out
+
+    def test_serve_sim(self, capsys):
+        fleet = "corridor:2:flight_s=6.0@fp32@32*2,office:2:flight_s=6.0@fp16qm@32*2~2"
+        assert main(["serve-sim", "--fleet", fleet]) == 0
+        out = capsys.readouterr().out
+        assert "4 sessions" in out
+        assert "sessions/s" in out
+        assert "000.corridor:2:flight_s=6.0.fp32.n32.s0" in out
+
+    def test_serve_sim_rejects_bad_fleet(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--fleet", "office@nope"])
+
     def test_scenarios_generate_and_sweep(self, capsys):
         # Generate once (cached by tests/conftest.py's tmp data dir),
         # then sweep the same spec — the sweep must reuse the cache.
