@@ -30,6 +30,7 @@ from .common import (
 from .core import (
     PAPER_PARTICLE_COUNTS,
     PAPER_VARIANTS,
+    ConfigSpec,
     MclConfig,
     MonteCarloLocalization,
     ParticleSet,
@@ -77,6 +78,7 @@ __all__ = [
     "make_rng",
     "PAPER_PARTICLE_COUNTS",
     "PAPER_VARIANTS",
+    "ConfigSpec",
     "MclConfig",
     "MonteCarloLocalization",
     "ParticleSet",

@@ -8,10 +8,11 @@ Subcommands:
 * ``scenarios``       — list scenario families / generate scenario files
 * ``run``             — localize one sequence with one configuration
 * ``sweep``           — run an evaluation sweep through the sweep engine
-  (``--scenarios`` sweeps generated worlds instead of the canonical maze)
+  (``--scenarios`` sweeps generated worlds instead of the canonical
+  maze; ``--ablate`` expands config-override axes)
 * ``campaign``        — resumable scenario-parallel sweep campaigns over
   the on-disk result store (``run`` / ``status`` / ``report`` / ``list``
-  / ``merge``)
+  / ``merge`` / ``shard``)
 * ``serve-sim``       — replay a simulated drone fleet through the
   online serving layer (multiplexed sessions, aggregate + per-session
   metrics)
@@ -21,7 +22,10 @@ Subcommands:
 
 Commands that execute the filter accept ``--backend {reference,batched}``
 to pick the :class:`~repro.engine.backend.FilterBackend`; all backends
-produce identical results, so the flag only affects throughput.
+produce identical results, so the flag only affects throughput.  Every
+``--variant``/``--variants`` flag speaks the config-spec grammar
+``variant[+key=value...]`` (:class:`~repro.core.config.ConfigSpec`), so
+paper variants and ablated configurations are interchangeable.
 
 The full reference is generated from this parser tree into
 ``docs/cli.md`` (kept in sync by a CI drift check), so every flag
@@ -36,7 +40,11 @@ import sys
 
 from . import __version__
 from .common.errors import ConfigurationError
-from .core.config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
+from .core.config import (
+    PAPER_PARTICLE_COUNTS,
+    PAPER_VARIANTS,
+    ConfigSpec,
+)
 from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequence
 from .engine.backend import available_backends
 from .eval.aggregate import SweepProtocol
@@ -151,7 +159,7 @@ def _parse_scenarios(raw: str) -> list[ScenarioSpec]:
 def _cmd_run(args: argparse.Namespace) -> int:
     world = build_drone_maze_world()
     sequence = load_sequence(args.sequence, world)
-    config = MclConfig(particle_count=args.particles).with_variant(args.variant)
+    config = ConfigSpec.parse(args.variant).config(particle_count=args.particles)
     result = run_localization(
         world.grid, sequence, config, seed=args.seed, backend=args.backend
     )
@@ -183,16 +191,69 @@ def _parse_particles(raw: str) -> list[int]:
     return counts
 
 
+def _parse_config_spec(raw: str) -> str:
+    """Validate one ``variant[+key=value...]`` spec; return its canonical id."""
+    try:
+        return ConfigSpec.parse(raw).id
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _parse_variants(raw: str) -> list[str]:
-    variants = [part.strip() for part in raw.split(",") if part.strip()]
-    for variant in variants:
-        if variant not in PAPER_VARIANTS:
-            raise argparse.ArgumentTypeError(
-                f"unknown variant {variant!r}; expected from {PAPER_VARIANTS}"
-            )
+    variants = [
+        _parse_config_spec(part) for part in raw.split(",") if part.strip()
+    ]
     if not variants:
-        raise argparse.ArgumentTypeError("need at least one variant")
-    return variants
+        raise argparse.ArgumentTypeError("need at least one config spec")
+    return list(dict.fromkeys(variants))
+
+
+def _parse_ablate(raw: str) -> tuple[str, list[float]]:
+    """Parse one ``--ablate key=v1,v2,...`` axis.
+
+    Key and value validation is delegated to :class:`ConfigSpec` (the
+    one config grammar), so ``--ablate`` accepts exactly the overrides
+    every other config-spec surface accepts.
+    """
+    key, sep, values_text = raw.partition("=")
+    key = key.strip()
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--ablate expects key=v1,v2,..., got {raw!r}"
+        )
+    try:
+        values = [
+            float(part) for part in values_text.split(",") if part.strip()
+        ]
+        for value in values:
+            ConfigSpec("fp32", ((key, value),))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--ablate values must be numeric: {exc}"
+        ) from exc
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    if not values:
+        raise argparse.ArgumentTypeError(f"--ablate {key}= needs at least one value")
+    return key, values
+
+
+def _expand_ablations(
+    variants: list[str], ablations: list[tuple[str, list[float]]] | None
+) -> list[str]:
+    """Cross every base config spec with every ``--ablate`` axis.
+
+    Each axis multiplies the spec list: two base variants ablated over
+    three sigmas and two r_max values become 12 config specs.  Duplicate
+    canonical ids (e.g. an ablation value equal to the paper default of
+    a variant already listed) collapse.
+    """
+    specs = [ConfigSpec.parse(variant) for variant in variants]
+    for key, values in ablations or ():
+        specs = [
+            spec.with_override(key, value) for spec in specs for value in values
+        ]
+    return list(dict.fromkeys(spec.id for spec in specs))
 
 
 def _print_sweep_tables(result, variants, particles, title_suffix, footnote) -> None:
@@ -230,13 +291,18 @@ def _print_sweep_tables(result, variants, particles, title_suffix, footnote) -> 
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        variants = _expand_ablations(args.variants, args.ablate)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     engine = SweepEngine(backend=args.backend, jobs=args.jobs)
     progress = print if args.verbose else None
     footnote = f"backend={args.backend} jobs={args.jobs}"
     if args.scenarios:
         results = engine.run_scenarios(
             args.scenarios,
-            variants=args.variants,
+            variants=variants,
             particle_counts=args.particles,
             progress=progress,
         )
@@ -244,7 +310,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if index:
                 print()
             _print_sweep_tables(
-                result, args.variants, args.particles,
+                result, variants, args.particles,
                 f"  — {scenario_id}", footnote,
             )
         return 0
@@ -253,11 +319,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     result = engine.run(
         world.grid,
         sequences,
-        variants=args.variants,
+        variants=variants,
         particle_counts=args.particles,
         progress=progress,
     )
-    _print_sweep_tables(result, args.variants, args.particles, "", footnote)
+    _print_sweep_tables(result, variants, args.particles, "", footnote)
     return 0
 
 
@@ -271,22 +337,19 @@ def _parse_seeds(raw: str) -> tuple[int, ...]:
     return seeds
 
 
-def _cmd_campaign_run(args: argparse.Namespace) -> int:
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the declarative campaign spec shared by ``run`` and ``shard``."""
     seeds = args.seeds if args.seeds is not None else SweepProtocol.from_env().seeds
-    spec = CampaignSpec(
+    return CampaignSpec(
         name=args.name,
         scenarios=tuple(spec.id for spec in args.scenarios),
-        variants=tuple(args.variants),
+        variants=tuple(_expand_ablations(args.variants, args.ablate)),
         particle_counts=tuple(args.particles),
         seeds=seeds,
     )
-    summary = run_campaign(
-        spec,
-        backend=args.backend,
-        jobs=args.jobs,
-        resume=args.resume,
-        progress=print if args.verbose else None,
-    )
+
+
+def _print_campaign_summary(summary) -> None:
     print(
         f"campaign {summary.name!r}: {summary.executed} cells executed, "
         f"{summary.skipped} skipped (already stored), "
@@ -295,6 +358,81 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if summary.recovered_files:
         print(f"recovered partial files: {', '.join(summary.recovered_files)}")
     print(f"store: {summary.store_root}")
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    try:
+        spec = _campaign_spec_from_args(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = run_campaign(
+        spec,
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume,
+        progress=print if args.verbose else None,
+    )
+    _print_campaign_summary(summary)
+    return 0
+
+
+def _cmd_campaign_shard(args: argparse.Namespace) -> int:
+    from .eval.campaign import shard_cells
+
+    try:
+        spec = _campaign_spec_from_args(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.index is not None and not 0 <= args.index < args.shards:
+        print(
+            f"error: --index must be in [0, {args.shards}), got {args.index}",
+            file=sys.stderr,
+        )
+        return 2
+    shards = shard_cells(spec, args.shards)
+    if args.index is None:
+        rows = [
+            [
+                index,
+                len(cells),
+                f"repro campaign shard {spec.name} ... --shards "
+                f"{args.shards} --index {index}",
+            ]
+            for index, cells in enumerate(shards)
+        ]
+        print(
+            format_table(
+                ["shard", "cells", "run with"],
+                rows,
+                title=(
+                    f"campaign {spec.name!r}: {len(spec.cells())} cells "
+                    f"over {args.shards} shards (round-robin)"
+                ),
+                footnote=(
+                    "each shard writes the full-spec manifest; merge the "
+                    f"stores back with: repro campaign merge {spec.name} "
+                    f"{spec.name}-shard<i>"
+                ),
+            )
+        )
+        return 0
+    store = CampaignStore(f"{spec.name}-shard{args.index}")
+    summary = run_campaign(
+        spec,
+        backend=args.backend,
+        jobs=args.jobs,
+        resume=args.resume,
+        store=store,
+        progress=print if args.verbose else None,
+        shard=(args.index, args.shards),
+    )
+    _print_campaign_summary(summary)
+    print(
+        f"merge back with: repro campaign merge {spec.name} "
+        f"{spec.name}-shard{args.index}"
+    )
     return 0
 
 
@@ -665,7 +803,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="localize one sequence")
     run.add_argument("--sequence", type=int, default=0, help="sequence index 0-5")
     run.add_argument(
-        "--variant", choices=list(PAPER_VARIANTS), default="fp32", help="paper variant"
+        "--variant",
+        type=_parse_config_spec,
+        default="fp32",
+        help=(
+            "config spec variant[+key=value...], e.g. fp32 or "
+            "fp16qm+sigma=0.15+r_max=2.0"
+        ),
     )
     run.add_argument("--particles", type=int, default=4096)
     run.add_argument("--seed", type=int, default=0)
@@ -684,7 +828,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--variants",
         type=_parse_variants,
         default=list(PAPER_VARIANTS),
-        help="comma-separated paper variants",
+        help=(
+            "comma-separated config specs (variant[+key=value...]), "
+            "e.g. fp32,fp16qm+sigma=0.15"
+        ),
+    )
+    sweep.add_argument(
+        "--ablate",
+        type=_parse_ablate,
+        action="append",
+        metavar="KEY=V1,V2,...",
+        help=(
+            "expand every --variants entry over these override values "
+            "(repeatable; axes multiply), e.g. --ablate sigma=1.0,2.0,4.0 "
+            "--ablate r_max=1.0,1.5"
+        ),
     )
     sweep.add_argument(
         "--particles",
@@ -732,6 +890,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
 
+    def add_campaign_grid_args(parser_: argparse.ArgumentParser) -> None:
+        """Grid + execution flags shared by ``campaign run`` and ``shard``."""
+        parser_.add_argument("name", help="campaign name (store directory name)")
+        parser_.add_argument(
+            "--scenarios",
+            type=_parse_scenarios,
+            required=True,
+            metavar="SPEC[,SPEC...]",
+            help="comma-separated scenario specs, e.g. office:3,maze:1:cells=7",
+        )
+        parser_.add_argument(
+            "--variants",
+            type=_parse_variants,
+            default=list(PAPER_VARIANTS),
+            help=(
+                "comma-separated config specs (variant[+key=value...]), "
+                "e.g. fp32,fp32+sigma=1.0"
+            ),
+        )
+        parser_.add_argument(
+            "--ablate",
+            type=_parse_ablate,
+            action="append",
+            metavar="KEY=V1,V2,...",
+            help=(
+                "expand every --variants entry over these override values "
+                "(repeatable; axes multiply)"
+            ),
+        )
+        parser_.add_argument(
+            "--particles",
+            type=_parse_particles,
+            default=list(PAPER_PARTICLE_COUNTS),
+            help="comma-separated particle counts",
+        )
+        parser_.add_argument(
+            "--seeds",
+            type=_parse_seeds,
+            default=None,
+            help="comma-separated filter seeds (default: the REPRO_SCALE protocol seeds)",
+        )
+        parser_.add_argument(
+            "--backend",
+            choices=list(available_backends()),
+            default="batched",
+            help="filter backend executing each cell",
+        )
+        parser_.add_argument(
+            "--jobs",
+            type=_positive_int,
+            default=1,
+            help="worker processes for (scenario, cell) fan-out",
+        )
+        parser_.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip cells already completed in the store (by content key)",
+        )
+        parser_.add_argument(
+            "--verbose", action="store_true", help="print one line per completed cell"
+        )
+
     campaign_run = campaign_sub.add_parser(
         "run",
         help="execute (or resume) a campaign into the result store",
@@ -741,53 +961,35 @@ def build_parser() -> argparse.ArgumentParser:
             "on --backend or --jobs (bitwise-equivalence contract)."
         ),
     )
-    campaign_run.add_argument("name", help="campaign name (store directory name)")
-    campaign_run.add_argument(
-        "--scenarios",
-        type=_parse_scenarios,
-        required=True,
-        metavar="SPEC[,SPEC...]",
-        help="comma-separated scenario specs, e.g. office:3,maze:1:cells=7",
-    )
-    campaign_run.add_argument(
-        "--variants",
-        type=_parse_variants,
-        default=list(PAPER_VARIANTS),
-        help="comma-separated paper variants",
-    )
-    campaign_run.add_argument(
-        "--particles",
-        type=_parse_particles,
-        default=list(PAPER_PARTICLE_COUNTS),
-        help="comma-separated particle counts",
-    )
-    campaign_run.add_argument(
-        "--seeds",
-        type=_parse_seeds,
-        default=None,
-        help="comma-separated filter seeds (default: the REPRO_SCALE protocol seeds)",
-    )
-    campaign_run.add_argument(
-        "--backend",
-        choices=list(available_backends()),
-        default="batched",
-        help="filter backend executing each cell",
-    )
-    campaign_run.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        help="worker processes for (scenario, cell) fan-out",
-    )
-    campaign_run.add_argument(
-        "--resume",
-        action="store_true",
-        help="skip cells already completed in the store (by content key)",
-    )
-    campaign_run.add_argument(
-        "--verbose", action="store_true", help="print one line per completed cell"
-    )
+    add_campaign_grid_args(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign_run)
+
+    campaign_shard = campaign_sub.add_parser(
+        "shard",
+        help="split a campaign's cell list across hosts (round-robin)",
+        description=(
+            "Deterministically split the campaign grid into --shards "
+            "round-robin cell lists. Without --index, print the shard "
+            "assignment; with --index i, execute only shard i into the "
+            "store <name>-shard<i> (carrying the full-spec manifest), so "
+            "completed shard stores union back byte-identically with "
+            "'repro campaign merge <name> <name>-shard<i>'."
+        ),
+    )
+    add_campaign_grid_args(campaign_shard)
+    campaign_shard.add_argument(
+        "--shards",
+        type=_positive_int,
+        required=True,
+        help="total number of shards the cell list is split into",
+    )
+    campaign_shard.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="execute this shard (0-based); omit to just print the split",
+    )
+    campaign_shard.set_defaults(func=_cmd_campaign_shard)
 
     campaign_status_parser = campaign_sub.add_parser(
         "status", help="show completed vs expected cells of a campaign"
@@ -839,8 +1041,9 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="MEMBER[,MEMBER...]",
         help=(
-            "fleet spec: scenario[@variant[@particles]][*replicas][~seed0] "
-            "groups, e.g. office:1@fp32@64*4,corridor:2@fp16qm@128*2~10"
+            "fleet spec: scenario[@config[@particles]][*replicas][~seed0] "
+            "groups (config = variant[+key=value...]), e.g. "
+            "office:1@fp32@64*4,corridor:2@fp16qm+sigma=0.15@128*2~10"
         ),
     )
     serve.add_argument(

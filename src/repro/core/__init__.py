@@ -1,6 +1,13 @@
 """Monte Carlo localization: the paper's primary contribution."""
 
-from .config import PAPER_PARTICLE_COUNTS, PAPER_VARIANTS, MclConfig
+from .config import (
+    CONFIG_OVERRIDE_ALIASES,
+    CONFIG_OVERRIDE_FIELDS,
+    PAPER_PARTICLE_COUNTS,
+    PAPER_VARIANTS,
+    ConfigSpec,
+    MclConfig,
+)
 from .mcl import McUpdateReport, MonteCarloLocalization
 from .motion import apply_motion_model
 from .observation import (
@@ -21,8 +28,11 @@ from .resampling import (
 )
 
 __all__ = [
+    "CONFIG_OVERRIDE_ALIASES",
+    "CONFIG_OVERRIDE_FIELDS",
     "PAPER_PARTICLE_COUNTS",
     "PAPER_VARIANTS",
+    "ConfigSpec",
     "MclConfig",
     "McUpdateReport",
     "MonteCarloLocalization",

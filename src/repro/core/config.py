@@ -12,11 +12,32 @@ Defaults are the paper's experimental parameters (Sec. IV-A):
 
 The particle counts swept by the paper's figures are exposed as
 :data:`PAPER_PARTICLE_COUNTS`.
+
+Config identity
+---------------
+This module is also where **configuration identity** is defined, the way
+:mod:`repro.scenarios.registry` defines scenario identity:
+
+* :meth:`MclConfig.to_canonical_dict` / :meth:`MclConfig.from_canonical_dict`
+  give every config one canonical (JSON-stable) serialization;
+* :meth:`MclConfig.fingerprint` digests that serialization into a short
+  stable id — the unit of config identity everywhere results are keyed
+  (sweep cells, campaign content keys, serve cohorts).  The particle
+  count is deliberately *excluded*: N is a first-class sweep axis of its
+  own, so a full identity is always the pair ``(fingerprint, N)``;
+* :class:`ConfigSpec` is the one parser of the config-spec grammar
+  ``variant[+key=value...]`` (e.g. ``fp16qm+sigma=0.15+r_max=2.0``) that
+  every CLI flag, fleet declaration and campaign axis accepts.  A spec
+  with no overrides canonicalizes to the bare paper-variant name, which
+  is what keeps default-param results keyed exactly as before the
+  config axis existed.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass
 
@@ -109,3 +130,238 @@ class MclConfig:
     def movement_trigger(self, dx: float, dy: float, dtheta: float) -> bool:
         """True when accumulated motion warrants a filter update."""
         return math.hypot(dx, dy) > self.d_xy or abs(dtheta) > self.d_theta
+
+    # ------------------------------------------------------------------
+    # Canonical serialization and fingerprinting
+    # ------------------------------------------------------------------
+    def to_canonical_dict(self) -> dict:
+        """Every tunable as canonical JSON types (floats, ints, lists).
+
+        The encoding is construction-order independent (the fingerprint
+        sorts keys) and round-trips exactly through
+        :meth:`from_canonical_dict`; the precision mode serializes as its
+        paper label.
+        """
+        return {
+            "particle_count": int(self.particle_count),
+            "sigma_odom_xy": float(self.sigma_odom_xy),
+            "sigma_odom_theta": float(self.sigma_odom_theta),
+            "sigma_obs": float(self.sigma_obs),
+            "r_max": float(self.r_max),
+            "d_xy": float(self.d_xy),
+            "d_theta": float(self.d_theta),
+            "precision": self.precision.value,
+            "use_rear_sensor": bool(self.use_rear_sensor),
+            "beam_rows": [int(row) for row in self.beam_rows],
+            "max_beam_range_m": float(self.max_beam_range_m),
+            "beam_replication": float(self.beam_replication),
+            "resample_ess_fraction": float(self.resample_ess_fraction),
+        }
+
+    @staticmethod
+    def from_canonical_dict(payload: dict) -> "MclConfig":
+        """Rebuild a config from :meth:`to_canonical_dict` output."""
+        data = dict(payload)
+        unknown = set(data) - {f.name for f in dataclasses.fields(MclConfig)}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown MclConfig fields in canonical dict: {sorted(unknown)}"
+            )
+        if "precision" in data:
+            data["precision"] = PrecisionMode.from_label(data["precision"])
+        if "beam_rows" in data:
+            data["beam_rows"] = tuple(int(row) for row in data["beam_rows"])
+        return MclConfig(**data)
+
+    def fingerprint(self) -> str:
+        """Short stable digest of the configuration, excluding N.
+
+        SHA-256 of the canonical JSON (sorted keys) of
+        :meth:`to_canonical_dict` minus ``particle_count``, truncated to
+        12 hex characters.  Identical on every machine, process and
+        session (no ``hash()`` salting), so it can key on-disk results:
+        under the bitwise backend-equivalence contract, identical
+        ``(fingerprint, N, scenario, seed)`` implies identical trace
+        bytes across backends, jobs, resume and serving.  Particle count
+        is excluded because N is its own sweep/cohort axis everywhere —
+        a full config identity is the pair ``(fingerprint, N)``.
+        """
+        payload = self.to_canonical_dict()
+        del payload["particle_count"]
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(encoded).hexdigest()[:12]
+
+    def default_variant_label(self) -> str | None:
+        """The paper-variant name this config is a pure instance of.
+
+        Returns the variant whose default-parameter config (at this
+        config's N) equals this config exactly, or ``None`` when any
+        field was ablated away from the paper defaults.  This is what
+        preserves legacy result keys: only configs recognized here may
+        use the plain variant string as their identity.
+        """
+        for variant in PAPER_VARIANTS:
+            if self == MclConfig(particle_count=self.particle_count).with_variant(
+                variant
+            ):
+                return variant
+        return None
+
+
+# ----------------------------------------------------------------------
+# The config-spec grammar: ``variant[+key=value...]``
+# ----------------------------------------------------------------------
+#: MclConfig fields the grammar may override.  ``particle_count`` is
+#: deliberately absent (N is its own axis everywhere), as are
+#: ``precision``/``use_rear_sensor`` (named by the variant) and
+#: ``beam_rows`` (a tuple — not expressible as one ``key=value``).
+CONFIG_OVERRIDE_FIELDS: tuple[str, ...] = (
+    "sigma_odom_xy",
+    "sigma_odom_theta",
+    "sigma_obs",
+    "r_max",
+    "d_xy",
+    "d_theta",
+    "max_beam_range_m",
+    "beam_replication",
+    "resample_ess_fraction",
+)
+
+#: Grammar shorthands, resolved during parsing so aliased and full
+#: spellings canonicalize (and fingerprint) identically.
+CONFIG_OVERRIDE_ALIASES: dict[str, str] = {
+    "sigma": "sigma_obs",
+    "trigger_xy": "d_xy",
+    "trigger_theta": "d_theta",
+}
+
+#: The paper-default tunables, used to drop no-op overrides during spec
+#: canonicalization (``fp32+sigma_obs=2.0`` *is* ``fp32``).
+_DEFAULT_CONFIG = MclConfig()
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One parsed config spec: a paper variant plus canonical overrides.
+
+    This is the single grammar every configuration axis speaks —
+    ``variant[+key=value...]``, e.g. ``fp32``, ``fp16qm+sigma=0.15``,
+    ``fp32+r_max=2.0+d_xy=0.05``.  Construction canonicalizes: aliases
+    resolve to field names, values coerce to float (last spelling wins),
+    overrides sort by name, and overrides equal to the paper default are
+    dropped — so every spelling of one configuration shares one
+    :attr:`id` and one :meth:`fingerprint`, and a spec with no effective
+    overrides (:attr:`is_default`) is indistinguishable from the bare
+    variant, keeping legacy keys and stores valid.
+
+    Identity is therefore defined **relative to the paper defaults**:
+    an override spelled at its default value is a no-op and does not
+    survive canonicalization, even if :meth:`config` is later given a
+    ``base`` whose field differs (``fp32+sigma=2.0`` over a
+    ``sigma_obs=1.0`` base yields 1.0).  Every keyed path in this
+    repository — campaigns, serving, the CLI — materializes specs over
+    the paper-default base, where spec identity and materialized config
+    agree exactly; custom ``base`` configs are an advanced API-only path
+    and do not participate in config identity.
+    """
+
+    variant: str
+    overrides: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.variant not in PAPER_VARIANTS:
+            raise ConfigurationError(
+                f"unknown variant {self.variant!r}; expected from {PAPER_VARIANTS}"
+            )
+        canonical: dict[str, float] = {}
+        for key, value in self.overrides:
+            name = CONFIG_OVERRIDE_ALIASES.get(key, key)
+            if name not in CONFIG_OVERRIDE_FIELDS:
+                valid = ", ".join(
+                    sorted((*CONFIG_OVERRIDE_FIELDS, *CONFIG_OVERRIDE_ALIASES))
+                )
+                raise ConfigurationError(
+                    f"unknown config override {key!r}; expected one of: {valid}"
+                )
+            try:
+                value = float(value)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"config override {key!r} needs a numeric value, got {value!r}"
+                ) from exc
+            if value == getattr(_DEFAULT_CONFIG, name):
+                canonical.pop(name, None)  # no-op: equals the paper default
+            else:
+                canonical[name] = value
+        object.__setattr__(self, "overrides", tuple(sorted(canonical.items())))
+        self.config()  # validate eagerly (range checks live in MclConfig)
+
+    @staticmethod
+    def parse(text: "str | ConfigSpec") -> "ConfigSpec":
+        """Parse ``variant[+key=value...]`` (specs pass through)."""
+        if isinstance(text, ConfigSpec):
+            return text
+        parts = [part.strip() for part in text.strip().split("+")]
+        if not parts or not parts[0]:
+            raise ConfigurationError(f"empty config spec in {text!r}")
+        overrides = []
+        for item in parts[1:]:
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"config override {item!r} must look like key=value "
+                    f"(in spec {text!r})"
+                )
+            key, raw = item.split("=", 1)
+            try:
+                value = float(raw.strip())
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"config override {key.strip()!r} needs a numeric value, "
+                    f"got {raw.strip()!r} (in spec {text!r})"
+                ) from exc
+            overrides.append((key.strip(), value))
+        return ConfigSpec(parts[0], tuple(overrides))
+
+    @property
+    def id(self) -> str:
+        """Canonical spec string (round-trips through :meth:`parse`)."""
+        if not self.overrides:
+            return self.variant
+        return self.variant + "".join(
+            f"+{key}={value!r}" for key, value in self.overrides
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """True when this is a pure paper variant at default parameters."""
+        return not self.overrides
+
+    def with_override(self, key: str, value: float) -> "ConfigSpec":
+        """A copy with one more override (aliases and no-ops handled)."""
+        return ConfigSpec(self.variant, (*self.overrides, (key, value)))
+
+    def config(
+        self,
+        base: MclConfig | None = None,
+        particle_count: int | None = None,
+    ) -> MclConfig:
+        """Materialize the full :class:`MclConfig` this spec names.
+
+        Starting from ``base`` (paper defaults when omitted): apply the
+        variant, then the overrides, then ``particle_count`` if given.
+        """
+        config = (base or _DEFAULT_CONFIG).with_variant(self.variant)
+        if self.overrides:
+            config = dataclasses.replace(config, **dict(self.overrides))
+        if particle_count is not None:
+            config = dataclasses.replace(config, particle_count=particle_count)
+        return config
+
+    def fingerprint(self) -> str:
+        """The spec's config fingerprint under the paper-default base.
+
+        Distinct canonical spec ids always map to distinct fingerprints
+        (canonicalization already dropped every no-op override), so
+        fingerprint equality is spec-identity equality.
+        """
+        return self.config().fingerprint()

@@ -16,6 +16,7 @@ from .campaign import (
     campaign_status,
     load_campaign,
     run_campaign,
+    shard_cells,
 )
 from .diagnostics import (
     BeliefMode,
@@ -50,6 +51,7 @@ __all__ = [
     "list_campaigns",
     "load_campaign",
     "run_campaign",
+    "shard_cells",
     "DistanceFieldCache",
     "SweepEngine",
     "run_localization_batch",

@@ -121,9 +121,12 @@ def run_sweep(
     """Execute the full evaluation protocol.
 
     Delegates to :class:`~repro.eval.sweep_engine.SweepEngine`: each
-    (variant, N) cell's sequences-x-seeds runs are dispatched as one
+    (config, N) cell's sequences-x-seeds runs are dispatched as one
     batch through the selected filter backend, with distance fields
-    shared via a keyed cache.  All backends produce identical results;
+    shared via a keyed cache.  ``variants`` entries are config specs
+    (``variant[+key=value...]``, see
+    :class:`repro.core.config.ConfigSpec`), so ablations sweep exactly
+    like paper variants.  All backends produce identical results;
     ``backend``/``jobs`` only select the execution strategy.
 
     ``progress`` is an optional callable receiving a one-line status

@@ -80,8 +80,12 @@ def compare_backends(
 
     cache = DistanceFieldCache()
     cells = _cell_specs(base_config, variants, particle_counts)
+    # Keyed like SweepEngine.run: r_max-ablated config specs need their
+    # own EDT truncation, not the base config's.
     fields = {
-        cell.field_kind: cache.get(grid, base_config.r_max, cell.field_kind)
+        (cell.field_kind, cell.config.r_max): cache.get(
+            grid, cell.config.r_max, cell.field_kind
+        )
         for cell in cells
     }
 
@@ -103,7 +107,7 @@ def compare_backends(
                 used_sequences,
                 protocol.seeds,
                 cell,
-                fields[cell.field_kind],
+                fields[(cell.field_kind, cell.config.r_max)],
                 executor,
             )
             elapsed = time.perf_counter() - start

@@ -1,6 +1,6 @@
 """Resumable, scenario-parallel sweep campaigns over the result store.
 
-A *campaign* is a declarative grid — scenarios x variants x particle
+A *campaign* is a declarative grid — scenarios x config specs x particle
 counts, evaluated under a fixed seed protocol — executed as independent
 **cells** and streamed into an append-only
 :class:`~repro.eval.store.CampaignStore` as each cell finishes.  This is
@@ -10,7 +10,11 @@ survives at paper-study scale:
 
 * **declarative expansion** — :class:`CampaignSpec` names the axes; the
   cell list (and each cell's stable content key) is derived from it, so
-  two processes given the same spec always agree on the work queue;
+  two processes given the same spec always agree on the work queue.  The
+  variant axis speaks the config-spec grammar
+  (:class:`repro.core.config.ConfigSpec`): ablated configurations fold
+  their fingerprint into the content key, while pure paper variants at
+  default parameters keep the legacy key — old stores resume byte-exactly;
 * **scenario-parallel execution** — cells fan out over a process pool at
   (scenario, variant, N) granularity via the sweep engine's worker path,
   each worker holding its own keyed distance-field cache;
@@ -31,14 +35,13 @@ canonical JSON — so ``jobs=1`` vs ``jobs=N``, fresh vs resumed, and
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..common.atomics import atomic_create
 from ..common.errors import ConfigurationError, EvaluationError
-from ..core.config import PAPER_VARIANTS, MclConfig
+from ..core.config import ConfigSpec, MclConfig
 from ..scenarios.base import ScenarioSpec
 from ..scenarios.registry import build_scenario, canonical_scenario_id
 from .runner import RunResult
@@ -55,9 +58,11 @@ from .sweep_engine import (
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One unit of campaign work: (scenario, variant, N) under the seeds.
+    """One unit of campaign work: (scenario, config, N) under the seeds.
 
-    The :attr:`key` is the cell's *content key* — a stable digest of
+    ``variant`` is a canonical config-spec id (bare paper variant or
+    ablated spec, see :class:`repro.core.config.ConfigSpec`).  The
+    :attr:`key` is the cell's *content key* — a stable digest of
     everything that determines the cell's numbers.  Execution details
     (backend, job count, host) are deliberately excluded: they cannot
     change results under the bitwise-equivalence contract, so they must
@@ -71,21 +76,32 @@ class CampaignCell:
 
     @property
     def key(self) -> str:
+        """Content key; folds the config fingerprint in for ablations.
+
+        Pure paper variants at default parameters keep the exact key
+        (identity dict *and* filename) the pre-config-axis store used,
+        so existing campaign stores resume with zero recomputation;
+        ablated configs add the config fingerprint to both.
+        """
+        spec = ConfigSpec.parse(self.variant)
         identity = {
             "scenario": self.scenario,
-            "variant": self.variant,
+            "variant": spec.id,
             "particle_count": self.particle_count,
             "seeds": list(self.seeds),
         }
+        label = spec.variant
+        if not spec.is_default:
+            identity["config_fingerprint"] = spec.fingerprint()
+            label = f"{spec.variant}-{spec.fingerprint()}"
         digest = hashlib.sha256(canonical_json_bytes(identity)).hexdigest()[:12]
         stem = ScenarioSpec.parse(self.scenario).cache_stem
-        return f"{stem}-{self.variant}-n{self.particle_count}-{digest}"
+        return f"{stem}-{label}-n{self.particle_count}-{digest}"
 
     def sweep_cell(self, base_config: MclConfig) -> SweepCellSpec:
-        config = dataclasses.replace(
-            base_config, particle_count=self.particle_count
-        ).with_variant(self.variant)
-        return SweepCellSpec(self.variant, self.particle_count, config)
+        spec = ConfigSpec.parse(self.variant)
+        config = spec.config(base=base_config, particle_count=self.particle_count)
+        return SweepCellSpec(spec.id, self.particle_count, config)
 
 
 @dataclass(frozen=True)
@@ -112,11 +128,6 @@ class CampaignSpec:
             raise ConfigurationError("campaign needs at least one scenario")
         if not self.variants:
             raise ConfigurationError("campaign needs at least one variant")
-        for variant in self.variants:
-            if variant not in PAPER_VARIANTS:
-                raise ConfigurationError(
-                    f"unknown variant {variant!r}; expected from {PAPER_VARIANTS}"
-                )
         if not self.particle_counts or any(
             count < 1 for count in self.particle_counts
         ):
@@ -125,12 +136,23 @@ class CampaignSpec:
             raise ConfigurationError("campaign needs at least one seed")
         # Normalize and dedupe every axis (input order preserved), so
         # repeated values can never expand into duplicate cells sharing
-        # one content key.
+        # one content key.  Variants route through the shared config-spec
+        # parser — the one place that validates paper variants, ablation
+        # keys and values alike — and canonicalize to spec ids, so two
+        # spellings of one configuration can never become two cells.
         canonical = dict.fromkeys(
             canonical_scenario_id(scenario) for scenario in self.scenarios
         )
         object.__setattr__(self, "scenarios", tuple(canonical))
-        object.__setattr__(self, "variants", tuple(dict.fromkeys(self.variants)))
+        object.__setattr__(
+            self,
+            "variants",
+            tuple(
+                dict.fromkeys(
+                    ConfigSpec.parse(variant).id for variant in self.variants
+                )
+            ),
+        )
         object.__setattr__(
             self,
             "particle_counts",
@@ -233,6 +255,25 @@ class CampaignRunSummary:
     store_root: str
 
 
+def shard_cells(
+    spec: CampaignSpec, shards: int
+) -> list[list[CampaignCell]]:
+    """Deterministically split a spec's cell list across ``shards`` hosts.
+
+    Round-robin over the deterministic cell order (shard ``i`` takes
+    cells ``i, i + shards, ...``), so every host given the same spec and
+    shard count agrees on the full assignment without coordination, and
+    the shard workloads stay balanced even though the grid is
+    scenario-major.  The union of all shards is exactly ``spec.cells()``
+    and the shards are disjoint; completed shard stores merge back with
+    :func:`merge_campaign_stores` (they share the spec's manifest).
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    cells = spec.cells()
+    return [cells[index::shards] for index in range(shards)]
+
+
 def run_campaign(
     spec: CampaignSpec,
     backend: str = "batched",
@@ -240,6 +281,7 @@ def run_campaign(
     resume: bool = False,
     store: CampaignStore | None = None,
     progress=None,
+    shard: tuple[int, int] | None = None,
 ) -> CampaignRunSummary:
     """Execute a campaign, streaming each finished cell into the store.
 
@@ -258,9 +300,16 @@ def run_campaign(
     finish, in completion order — the store's content addressing makes
     that order irrelevant.
 
-    Campaigns always evaluate under the paper-default
-    :class:`~repro.core.config.MclConfig` (the spec's variants/counts
-    are the only configuration axes), so a cell's content key fully
+    ``shard=(index, count)`` executes only shard ``index`` of the
+    :func:`shard_cells` split (multi-host scale-out): every shard writes
+    the full-spec manifest, so the per-host stores merge back with
+    :func:`merge_campaign_stores` into a store byte-identical to a
+    single-host run.
+
+    Cell configurations come from the spec's variant axis — canonical
+    config specs materialized over the paper-default
+    :class:`~repro.core.config.MclConfig` — so a cell's content key
+    (which folds in the config fingerprint for ablated specs) fully
     determines its numbers.
     """
     if jobs < 1:
@@ -270,7 +319,15 @@ def run_campaign(
     recovered = store.recover()
     store.write_manifest(spec.to_manifest())
 
-    cells = spec.cells()
+    if shard is None:
+        cells = spec.cells()
+    else:
+        index, count = shard
+        if not 0 <= index < count:
+            raise ConfigurationError(
+                f"shard index must be in [0, {count}), got {index}"
+            )
+        cells = shard_cells(spec, count)[index]
     completed = store.completed_keys() if resume else set()
     pending = [cell for cell in cells if cell.key not in completed]
     skipped = len(cells) - len(pending)

@@ -5,9 +5,12 @@ A campaign's results live under ``REPRO_RESULTS_DIR/campaigns/<name>/``:
 * ``manifest.json`` — the declarative campaign spec, written once when
   the campaign starts; resumed runs must present an identical spec.
 * ``cells/<key>.json`` — one file per completed cell, keyed by the
-  cell's stable content key (scenario spec id, variant, particle count
-  and protocol seeds; never the backend or job count — those only pick
-  an execution strategy).
+  cell's stable content key (scenario spec id, canonical config spec,
+  particle count and protocol seeds; ablated configs additionally fold
+  in their :meth:`~repro.core.config.MclConfig.fingerprint`, while pure
+  paper variants at default parameters keep the legacy key so old
+  stores stay resumable; never the backend or job count — those only
+  pick an execution strategy).
 
 **Invariants** (these are what make campaigns resumable and the store
 byte-comparable):

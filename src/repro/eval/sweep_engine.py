@@ -1,9 +1,13 @@
 """Batched multi-run sweep engine: cells dispatched through a backend.
 
-The paper's results are all *sweeps* — variants x particle counts x
-seeds x sequences.  :class:`SweepEngine` executes that grid as **cells**
-(one (variant, N) combination = R = sequences x seeds runs), with three
-levers the per-run loop in older revisions lacked:
+The paper's results are all *sweeps* — configurations x particle counts
+x seeds x sequences.  :class:`SweepEngine` executes that grid as
+**cells** (one (config, N) combination = R = sequences x seeds runs).
+The configuration axis speaks the config-spec grammar
+(``variant[+key=value...]``, :class:`repro.core.config.ConfigSpec`), so
+ablations over sigma / r_max / trigger thresholds sweep exactly like the
+four paper variants.  Three levers the per-run loop in older revisions
+lacked:
 
 * **backend dispatch** — a whole cell goes to one
   :class:`~repro.engine.backend.FilterBackend` call, so the ``batched``
@@ -28,13 +32,12 @@ stored result is a pure function of its content key, regardless of how
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from ..common.errors import ConfigurationError, EvaluationError
-from ..core.config import MclConfig
+from ..core.config import ConfigSpec, MclConfig
 from ..dataset.recorder import RecordedSequence
 from ..engine.backend import FilterBackend, RunSpec, get_backend
 from ..maps.distance_field import DistanceField, FieldKind
@@ -93,7 +96,14 @@ class DistanceFieldCache:
 
 @dataclass(frozen=True)
 class SweepCellSpec:
-    """One unit of sweep work: a (variant, particle count) cell."""
+    """One unit of sweep work: a (config, particle count) cell.
+
+    ``variant`` is the cell's canonical config-spec id (a bare paper
+    variant like ``"fp32"``, or an ablated spec such as
+    ``"fp32+sigma_obs=0.15"``) — the string results are keyed by.  The
+    materialized ``config`` carries the full identity; its
+    :attr:`fingerprint` is what campaign keys and serve cohorts fold in.
+    """
 
     variant: str
     particle_count: int
@@ -103,18 +113,27 @@ class SweepCellSpec:
     def field_kind(self) -> FieldKind:
         return FieldKind.for_mode(self.config.precision)
 
+    @property
+    def fingerprint(self) -> str:
+        return self.config.fingerprint()
+
 
 def _cell_specs(
     base_config: MclConfig, variants: list[str], particle_counts: list[int]
 ) -> list[SweepCellSpec]:
-    """The sweep grid in deterministic (variant-major) cell order."""
+    """The sweep grid in deterministic (config-spec-major) cell order.
+
+    ``variants`` entries are config specs (``variant[+key=value...]``)
+    parsed through the one grammar in :class:`repro.core.config.ConfigSpec`;
+    cells are keyed by the canonical spec id, so any accepted spelling of
+    a configuration lands in the same cell.
+    """
     cells = []
     for variant in variants:
+        spec = ConfigSpec.parse(variant)
         for count in particle_counts:
-            config = dataclasses.replace(
-                base_config, particle_count=count
-            ).with_variant(variant)
-            cells.append(SweepCellSpec(variant, count, config))
+            config = spec.config(base=base_config, particle_count=count)
+            cells.append(SweepCellSpec(spec.id, count, config))
     return cells
 
 
@@ -282,10 +301,12 @@ class SweepEngine:
         used_sequences = sequences[: protocol.sequence_count]
         cells = _cell_specs(base_config, variants, particle_counts)
 
-        # Group work by field kind so each EDT is built exactly once.
+        # Resolve every cell's field up front through the keyed cache:
+        # cells sharing (kind, r_max) share one EDT, and r_max-ablated
+        # cells get their own truncation instead of the base config's.
         fields = {
-            cell.field_kind: self.field_cache.get(
-                grid, base_config.r_max, cell.field_kind
+            (cell.field_kind, cell.config.r_max): self.field_cache.get(
+                grid, cell.config.r_max, cell.field_kind
             )
             for cell in cells
         }
@@ -315,7 +336,7 @@ class SweepEngine:
                         used_sequences,
                         protocol.seeds,
                         cell,
-                        fields[cell.field_kind],
+                        fields[(cell.field_kind, cell.config.r_max)],
                         self._executor,
                     ),
                 )
@@ -329,7 +350,7 @@ class SweepEngine:
                     used_sequences,
                     protocol.seeds,
                     cell,
-                    fields[cell.field_kind],
+                    fields[(cell.field_kind, cell.config.r_max)],
                     self.backend,
                 ): cell
                 for cell in cells

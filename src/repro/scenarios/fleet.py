@@ -9,17 +9,21 @@ declarations.
 
 Grammar (one member per comma-separated group)::
 
-    scenario[@variant[@particles]][*replicas][~seed0]
+    scenario[@config[@particles]][*replicas][~seed0]
 
 where ``scenario`` is any scenario-spec string
 (``family[:seed[:k=v+k=v]]`` — the ``@``, ``*``, ``~`` and ``,``
 characters are reserved by this grammar and cannot appear in scenario
-params).  ``replicas`` expands one member into that many sessions with
+params) and ``config`` is any config-spec string
+(``variant[+key=value...]``, see :class:`repro.core.config.ConfigSpec`)
+— so one fleet can mix paper variants and ablated filters.
+``replicas`` expands one member into that many sessions with
 consecutive filter seeds starting at ``seed0``.  Examples::
 
-    office:3@fp32@64*4                 # 4 drones, office:3, fp32/N=64, seeds 0-3
-    maze:1:cells=7@fp16qm@128*2~10     # 2 drones, seeds 10-11
-    office:1@fp32@64*2,corridor:2*2    # mixed two-family fleet
+    office:3@fp32@64*4                   # 4 drones, office:3, fp32/N=64, seeds 0-3
+    maze:1:cells=7@fp16qm@128*2~10       # 2 drones, seeds 10-11
+    office:1@fp32@64*2,corridor:2*2      # mixed two-family fleet
+    office:1@fp32+sigma=0.15@64*2        # 2 drones on an ablated filter
 
 Expansion (:meth:`FleetSpec.declarations`) is a pure function of the
 spec: session ids embed the expansion index, so a fleet's packing order
@@ -32,7 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.errors import ConfigurationError
-from ..core.config import PAPER_VARIANTS
+from ..core.config import ConfigSpec
 from .base import ScenarioSpec
 from .registry import canonical_scenario_id
 
@@ -56,7 +60,12 @@ class FleetSessionDecl:
 
 @dataclass(frozen=True)
 class FleetMemberSpec:
-    """One fleet-member group: a scenario replicated over seeds."""
+    """One fleet-member group: a scenario replicated over seeds.
+
+    ``variant`` is a config spec (``variant[+key=value...]``), stored in
+    canonical form so any spelling of one configuration declares the
+    same member.
+    """
 
     scenario: str
     variant: str = DEFAULT_FLEET_VARIANT
@@ -68,10 +77,7 @@ class FleetMemberSpec:
         object.__setattr__(
             self, "scenario", canonical_scenario_id(self.scenario)
         )
-        if self.variant not in PAPER_VARIANTS:
-            raise ConfigurationError(
-                f"unknown variant {self.variant!r}; expected from {PAPER_VARIANTS}"
-            )
+        object.__setattr__(self, "variant", ConfigSpec.parse(self.variant).id)
         if self.particle_count < 1:
             raise ConfigurationError(
                 f"particle count must be >= 1, got {self.particle_count}"
@@ -86,7 +92,7 @@ class FleetMemberSpec:
 
     @staticmethod
     def parse(text: str) -> "FleetMemberSpec":
-        """Parse one ``scenario[@variant[@N]][*replicas][~seed0]`` group."""
+        """Parse one ``scenario[@config[@N]][*replicas][~seed0]`` group."""
         body = text.strip()
         if not body:
             raise ConfigurationError("empty fleet member")

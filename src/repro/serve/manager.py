@@ -2,10 +2,12 @@
 
 A :class:`SessionManager` owns many concurrent
 :class:`~repro.serve.session.FilterSession`s — an arbitrary mix of
-scenarios, precision variants, particle counts and seeds — and serves
-them through a deterministic
-:class:`~repro.serve.scheduler.StepScheduler` over shared stacked
-backend calls.  The lifecycle verbs:
+scenarios, filter configurations (config specs
+``variant[+key=value...]``, so ablated and default-parameter filters
+serve side by side), particle counts and seeds — and serves them
+through a deterministic :class:`~repro.serve.scheduler.StepScheduler`
+over shared stacked backend calls, cohorted by
+``(config fingerprint, N)``.  The lifecycle verbs:
 
 * :meth:`create` / :meth:`create_fleet` — open sessions (worlds and
   distance fields resolved through per-manager caches; replay plans

@@ -12,9 +12,10 @@ sessions at arbitrary replay positions.
 tick:
 
 1. sessions are ordered by ``session_id`` (lexicographic);
-2. firing sessions group into **cohorts** by ``(variant, N)`` — the
-   facets that fix the stack's array shapes and config — processed in
-   sorted cohort-key order;
+2. firing sessions group into **cohorts** by ``(config fingerprint, N)``
+   — the facets that fix the stack's array shapes and its full numeric
+   config, so one fleet can mix ablated and default-parameter filters —
+   processed in sorted cohort-key order;
 3. inside a cohort, sessions sharing ``(scenario, cursor)`` — and hence
    the identical replay step and distance field — form one
    :class:`~repro.engine.backend.StepWork` item, in first-session order.
@@ -40,7 +41,7 @@ from .session import FilterSession
 
 @dataclass
 class _Cohort:
-    """One (variant, N) stack plus its row bookkeeping."""
+    """One (config fingerprint, N) stack plus its row bookkeeping."""
 
     config: MclConfig
     stack: SessionStack
@@ -80,17 +81,17 @@ class StepScheduler:
 
     def admit(self, session: FilterSession) -> None:
         """Assign the session a stack row (state not yet initialized)."""
-        entry = self.cohort(session.spec.cohort_key, session.config)
+        entry = self.cohort(session.cohort_key, session.config)
         session.row = entry.assign_row()
 
     def evict(self, session: FilterSession) -> None:
         """Return the session's row to its cohort's free pool."""
         if session.row >= 0:
-            self._cohorts[session.spec.cohort_key].release_row(session.row)
+            self._cohorts[session.cohort_key].release_row(session.row)
             session.row = -1
 
     def stack(self, session: FilterSession) -> SessionStack:
-        return self._cohorts[session.spec.cohort_key].stack
+        return self._cohorts[session.cohort_key].stack
 
     # ------------------------------------------------------------------
     # Ticking
@@ -114,7 +115,7 @@ class StepScheduler:
                 continue
             if not session.plan.steps[session.cursor].fires:
                 continue
-            groups = packing.setdefault(session.spec.cohort_key, {})
+            groups = packing.setdefault(session.cohort_key, {})
             groups.setdefault(
                 (session.spec.scenario, session.cursor), []
             ).append(session)
@@ -147,7 +148,7 @@ class StepScheduler:
         for session in ordered:
             if session.done:
                 continue
-            stack = self._cohorts[session.spec.cohort_key].stack
+            stack = self._cohorts[session.cohort_key].stack
             session.record(
                 stack.estimate(session.row), stack.estimate_array(session.row)
             )

@@ -1,10 +1,12 @@
 """Live localization sessions: one filter served per simulated drone.
 
 A :class:`FilterSession` is one client of the serving layer: a filter
-replaying one scenario under one (variant, N, seed), advanced one
+replaying one scenario under one (config spec, N, seed), advanced one
 observation frame at a time.  Its particle state lives as a *row* in a
 shared :class:`~repro.engine.backend.SessionStack` owned by the
-scheduler's cohort for its ``(variant, N)``; the session itself owns
+scheduler's cohort for its ``(config fingerprint, N)`` — the session's
+:attr:`~FilterSession.cohort_key`, computed from the materialized
+config; the session itself owns
 everything per-client — the replay cursor, the pending-frame queue, and
 the accumulated error trace.
 
@@ -23,7 +25,6 @@ migration between managers/hosts and exact replay.
 
 from __future__ import annotations
 
-import dataclasses
 import io
 import json
 from dataclasses import dataclass
@@ -32,7 +33,7 @@ import numpy as np
 
 from ..common.errors import ConfigurationError
 from ..common.geometry import Pose2D
-from ..core.config import PAPER_VARIANTS, MclConfig
+from ..core.config import ConfigSpec, MclConfig
 from ..core.pose_estimate import pose_error
 from ..core.snapshot import SNAPSHOT_VERSION, FilterStateSnapshot
 from ..engine.backend import RunTrace
@@ -49,6 +50,8 @@ class SessionSpec:
 
     ``scenario`` is normalized to its canonical id on construction, so
     two spellings of the same world declare the same session workload.
+    ``variant`` is a config spec (``variant[+key=value...]``), likewise
+    normalized — one fleet can mix paper variants and ablated filters.
     """
 
     session_id: str
@@ -63,10 +66,7 @@ class SessionSpec:
         object.__setattr__(
             self, "scenario", canonical_scenario_id(self.scenario)
         )
-        if self.variant not in PAPER_VARIANTS:
-            raise ConfigurationError(
-                f"unknown variant {self.variant!r}; expected from {PAPER_VARIANTS}"
-            )
+        object.__setattr__(self, "variant", ConfigSpec.parse(self.variant).id)
         if self.particle_count < 1:
             raise ConfigurationError(
                 f"particle count must be >= 1, got {self.particle_count}"
@@ -86,14 +86,9 @@ class SessionSpec:
 
     def config(self, base: MclConfig) -> MclConfig:
         """The full filter config this session runs under."""
-        return dataclasses.replace(
-            base, particle_count=self.particle_count
-        ).with_variant(self.variant)
-
-    @property
-    def cohort_key(self) -> tuple[str, int]:
-        """Sessions sharing this key can share one stacked step call."""
-        return (self.variant, self.particle_count)
+        return ConfigSpec.parse(self.variant).config(
+            base=base, particle_count=self.particle_count
+        )
 
 
 @dataclass
@@ -148,6 +143,10 @@ class FilterSession:
         self.config = config
         self.plan = plan
         self.field = field
+        # Cohort identity of the *materialized* config: sessions sharing
+        # this key share one stack, so it must pin every numeric facet —
+        # the fingerprint does (N fixes the array shapes).
+        self.cohort_key = (config.fingerprint(), config.particle_count)
         self.row = -1  # assigned by the scheduler
         self.cursor = 0
         self.queued = 0

@@ -1,0 +1,196 @@
+"""Config identity: canonical serialization, fingerprints, the spec grammar.
+
+The fingerprint is what keys on-disk results (campaign cells, serve
+cohorts), so these tests pin its value and its invariants hard: stable
+across processes and dict orderings, injective over the paper's ablation
+grid, excluding N, and — via the legacy-key test in
+``tests/eval/test_campaign.py`` — backward compatible for pure paper
+variants.
+"""
+
+import dataclasses
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.precision import PrecisionMode
+from repro.core.config import (
+    CONFIG_OVERRIDE_FIELDS,
+    PAPER_VARIANTS,
+    ConfigSpec,
+    MclConfig,
+)
+
+#: Pinned digest of the paper-default configuration.  Changing canonical
+#: serialization (field set, types, encoding) changes every fingerprint
+#: and therefore every ablated cell key in every existing store — that
+#: must be a deliberate, reviewed decision, so it fails loudly here.
+DEFAULT_FINGERPRINT = "2a3601d5d6f8"
+
+
+class TestCanonicalDict:
+    def test_round_trip_exact(self):
+        config = MclConfig(
+            particle_count=128,
+            sigma_obs=1.25,
+            r_max=2.0,
+            precision=PrecisionMode.FP16_QM,
+            use_rear_sensor=False,
+            beam_rows=(2, 5),
+        )
+        assert MclConfig.from_canonical_dict(config.to_canonical_dict()) == config
+
+    def test_json_types_only(self):
+        payload = MclConfig().to_canonical_dict()
+        for key, value in payload.items():
+            assert isinstance(value, (int, float, str, bool, list)), key
+
+    def test_unknown_field_rejected(self):
+        payload = MclConfig().to_canonical_dict()
+        payload["warp_factor"] = 9
+        with pytest.raises(ConfigurationError):
+            MclConfig.from_canonical_dict(payload)
+
+    def test_covers_every_config_field(self):
+        assert set(MclConfig().to_canonical_dict()) == {
+            f.name for f in dataclasses.fields(MclConfig)
+        }
+
+
+class TestFingerprint:
+    def test_default_fingerprint_pinned(self):
+        assert MclConfig().fingerprint() == DEFAULT_FINGERPRINT
+
+    def test_stable_across_processes(self):
+        # A fresh interpreter (different PYTHONHASHSEED) must agree —
+        # the fingerprint may never depend on hash() salting.
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.core.config import MclConfig;"
+             "print(MclConfig().fingerprint())"],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "12345"},
+            cwd=str(pathlib.Path(__file__).parents[2]),
+        )
+        assert out.stdout.strip() == DEFAULT_FINGERPRINT
+
+    def test_independent_of_dict_ordering(self):
+        payload = MclConfig().to_canonical_dict()
+        reordered = dict(sorted(payload.items(), reverse=True))
+        assert (
+            MclConfig.from_canonical_dict(reordered).fingerprint()
+            == DEFAULT_FINGERPRINT
+        )
+
+    def test_particle_count_excluded(self):
+        # N is its own sweep/cohort axis: identity is (fingerprint, N).
+        assert (
+            MclConfig(particle_count=64).fingerprint()
+            == MclConfig(particle_count=16384).fingerprint()
+        )
+
+    def test_injective_over_paper_grid(self):
+        # Variants x sigma x r_max — the ablation space the paper's
+        # figures cover — must all map to distinct fingerprints.
+        fingerprints = set()
+        cells = 0
+        for variant in PAPER_VARIANTS:
+            for sigma in (0.5, 1.0, 2.0, 4.0):
+                for r_max in (1.0, 1.5, 2.0):
+                    spec = (
+                        ConfigSpec.parse(variant)
+                        .with_override("sigma", sigma)
+                        .with_override("r_max", r_max)
+                    )
+                    fingerprints.add(spec.fingerprint())
+                    cells += 1
+        assert len(fingerprints) == cells
+
+    def test_every_override_field_moves_the_fingerprint(self):
+        base = MclConfig().fingerprint()
+        for name in CONFIG_OVERRIDE_FIELDS:
+            changed = dataclasses.replace(
+                MclConfig(), **{name: getattr(MclConfig(), name) * 0.5}
+            )
+            assert changed.fingerprint() != base, name
+
+
+class TestDefaultVariantLabel:
+    def test_all_paper_variants_recognized(self):
+        for variant in PAPER_VARIANTS:
+            config = MclConfig(particle_count=96).with_variant(variant)
+            assert config.default_variant_label() == variant
+
+    def test_ablated_config_not_recognized(self):
+        assert (
+            MclConfig(sigma_obs=1.0).default_variant_label() is None
+        )
+
+
+class TestConfigSpecGrammar:
+    def test_bare_variant_round_trips(self):
+        for variant in PAPER_VARIANTS:
+            spec = ConfigSpec.parse(variant)
+            assert spec.id == variant
+            assert spec.is_default
+
+    def test_overrides_canonicalize_and_round_trip(self):
+        spec = ConfigSpec.parse("fp16qm+sigma=0.15+r_max=2.0")
+        assert spec.id == "fp16qm+r_max=2.0+sigma_obs=0.15"
+        assert ConfigSpec.parse(spec.id) == spec
+        assert not spec.is_default
+
+    def test_alias_and_full_name_share_identity(self):
+        assert (
+            ConfigSpec.parse("fp32+sigma=0.5").fingerprint()
+            == ConfigSpec.parse("fp32+sigma_obs=0.5").fingerprint()
+        )
+
+    def test_default_valued_override_is_dropped(self):
+        # fp32+sigma_obs=2.0 *is* fp32: no-op overrides cannot fork
+        # identity (or break legacy keys).
+        spec = ConfigSpec.parse("fp32+sigma_obs=2.0")
+        assert spec.id == "fp32"
+        assert spec.is_default
+        assert spec.fingerprint() == DEFAULT_FINGERPRINT
+
+    def test_last_spelling_wins(self):
+        spec = ConfigSpec.parse("fp32+sigma=0.5+sigma_obs=1.0")
+        assert spec.id == "fp32+sigma_obs=1.0"
+
+    def test_materialized_config_applies_everything(self):
+        config = ConfigSpec.parse("fp16qm+sigma=0.15+r_max=2.0").config(
+            particle_count=96
+        )
+        assert config.precision is PrecisionMode.FP16_QM
+        assert config.sigma_obs == 0.15
+        assert config.r_max == 2.0
+        assert config.particle_count == 96
+
+    def test_default_spec_config_equals_variant_path(self):
+        # The acceptance criterion's core: a default-param config spec
+        # materializes the exact config the pre-spec variant path built.
+        for variant in PAPER_VARIANTS:
+            assert ConfigSpec.parse(variant).config(particle_count=64) == (
+                MclConfig(particle_count=64).with_variant(variant)
+            )
+
+    def test_errors(self):
+        for bad in (
+            "",
+            "fp64",
+            "fp32+sigma",
+            "fp32+warp=9",
+            "fp32+sigma=fast",
+            "fp32+particle_count=64",  # N is not an override axis
+            "fp32+sigma=-1.0",  # MclConfig range check propagates
+        ):
+            with pytest.raises(ConfigurationError):
+                ConfigSpec.parse(bad)
+
+    def test_spec_instances_pass_through_parse(self):
+        spec = ConfigSpec.parse("fp32+r_max=2.0")
+        assert ConfigSpec.parse(spec) is spec

@@ -1,16 +1,22 @@
 """Tests for the campaign layer: spec expansion, resume, determinism."""
 
+import hashlib
+
 import pytest
 
 from repro.common.errors import ConfigurationError, EvaluationError
 from repro.eval.campaign import (
+    CampaignCell,
     CampaignSpec,
     aggregate_report,
     campaign_status,
     load_campaign,
+    merge_campaign_stores,
     run_campaign,
+    shard_cells,
 )
-from repro.eval.store import CampaignStore
+from repro.eval.store import CampaignStore, canonical_json_bytes
+from repro.scenarios.base import ScenarioSpec
 
 #: Deliberately tiny: two worlds, one variant, two cells per world, short
 #: flights.  Scenario generation is cached in the session tmp data dir,
@@ -115,6 +121,71 @@ class TestCampaignSpec:
     def test_manifest_roundtrip(self):
         spec = tiny_spec()
         assert CampaignSpec.from_manifest(spec.to_manifest()) == spec
+
+    def test_variant_validation_routes_through_config_parser(self):
+        good = dict(
+            name="c", scenarios=("office:0",), variants=("fp32",),
+            particle_counts=(16,), seeds=(0,),
+        )
+        # Ablated specs are valid variants now...
+        spec = CampaignSpec(**{**good, "variants": ("fp32+sigma=0.5",)})
+        assert spec.variants == ("fp32+sigma_obs=0.5",)
+        # ...and bad specs get the parser's real error, not a
+        # PAPER_VARIANTS membership check.
+        for bad in ("fp64", "fp32+warp=9", "fp32+sigma=fast"):
+            with pytest.raises(ConfigurationError):
+                CampaignSpec(**{**good, "variants": (bad,)})
+
+    def test_variant_spellings_collapse_to_one_cell(self):
+        spec = CampaignSpec(
+            name="c", scenarios=("office:0",),
+            variants=("fp32+sigma=0.5", "fp32+sigma_obs=0.5", "fp32+sigma_obs=2.0", "fp32"),
+            particle_counts=(16,), seeds=(0,),
+        )
+        assert spec.variants == ("fp32+sigma_obs=0.5", "fp32")
+
+    def test_default_variant_cells_keep_legacy_keys(self):
+        # Pre-config-axis key algorithm, reproduced verbatim: content
+        # digest over {scenario, variant, particle_count, seeds} and a
+        # `<stem>-<variant>-n<N>-<digest>` filename.  Pure paper
+        # variants at default params must still produce exactly this,
+        # or existing stores would re-execute everything on resume.
+        cell = CampaignCell("office:1", "fp32", 64, (0, 1))
+        identity = {
+            "scenario": "office:1",
+            "variant": "fp32",
+            "particle_count": 64,
+            "seeds": [0, 1],
+        }
+        digest = hashlib.sha256(
+            canonical_json_bytes(identity)
+        ).hexdigest()[:12]
+        stem = ScenarioSpec.parse("office:1").cache_stem
+        assert cell.key == f"{stem}-fp32-n64-{digest}"
+
+    def test_ablated_cells_fold_in_the_fingerprint(self):
+        from repro.core.config import ConfigSpec
+
+        cell = CampaignCell("office:1", "fp32+sigma_obs=0.5", 64, (0, 1))
+        fingerprint = ConfigSpec.parse("fp32+sigma_obs=0.5").fingerprint()
+        assert fingerprint in cell.key
+        assert cell.key != CampaignCell("office:1", "fp32", 64, (0, 1)).key
+
+    def test_shard_cells_partition_round_robin(self):
+        spec = tiny_spec()
+        cells = spec.cells()
+        shards = shard_cells(spec, 3)
+        # Disjoint, exhaustive, deterministic round-robin.
+        flat = sorted(
+            (cell.key for shard in shards for cell in shard)
+        )
+        assert flat == sorted(cell.key for cell in cells)
+        for index, shard in enumerate(shards):
+            assert [cell.key for cell in shard] == [
+                cell.key for cell in cells[index::3]
+            ]
+        with pytest.raises(ConfigurationError):
+            shard_cells(spec, 0)
 
 
 class TestRunCampaign:
@@ -223,3 +294,93 @@ class TestRunCampaign:
         empty.write_manifest(tiny_spec().to_manifest())
         with pytest.raises(EvaluationError):
             aggregate_report("tiny", store=empty)
+
+
+#: The acceptance-criteria ablation grid: three sigma values over two
+#: scenario families (reusing the session-cached tiny worlds).
+ABLATION_VARIANTS = (
+    "fp32+sigma_obs=1.0",
+    "fp32",  # sigma_obs=2.0, the paper default
+    "fp32+sigma_obs=4.0",
+)
+
+
+def ablation_spec(name: str = "ablation") -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        scenarios=SCENARIOS,
+        variants=ABLATION_VARIANTS,
+        particle_counts=(16,),
+        seeds=(0,),
+    )
+
+
+class TestAblationCampaign:
+    """An ablation campaign runs, resumes, shards and merges byte-stably."""
+
+    @pytest.fixture(scope="class")
+    def fresh(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("ablation") / "fresh"
+        store = CampaignStore("ablation", root=root)
+        summary = run_campaign(ablation_spec(), store=store)
+        return store, summary
+
+    def test_all_cells_execute_with_distinct_keys(self, fresh):
+        store, summary = fresh
+        cells = ablation_spec().cells()
+        assert summary.executed == len(cells) == 6  # 2 scenarios x 3 sigmas
+        assert store.completed_keys() == {cell.key for cell in cells}
+
+    def test_resume_skips_everything_byte_identically(self, fresh):
+        store, __ = fresh
+        before = store_bytes(store)
+        summary = run_campaign(ablation_spec(), store=store, resume=True)
+        assert summary.executed == 0
+        assert summary.skipped == summary.total_cells
+        assert store_bytes(store) == before
+
+    def test_backends_byte_identical(self, fresh, tmp_path):
+        store, __ = fresh
+        reference = CampaignStore("ablation", root=tmp_path / "reference")
+        run_campaign(ablation_spec(), store=reference, backend="reference")
+        assert store_bytes(reference) == store_bytes(store)
+
+    def test_default_sigma_cell_shares_bytes_with_plain_variant_campaign(
+        self, fresh, tmp_path
+    ):
+        # The fp32 cells of the ablation campaign are the same content
+        # keys (and bytes) a variants-only campaign produces: ablation
+        # axes cannot fork the identity of the default configuration.
+        store, __ = fresh
+        plain = CampaignStore("plain", root=tmp_path / "plain")
+        plain_spec = CampaignSpec(
+            name="plain", scenarios=SCENARIOS, variants=("fp32",),
+            particle_counts=(16,), seeds=(0,),
+        )
+        run_campaign(plain_spec, store=plain)
+        ablation_bytes = store_bytes(store)
+        for name, data in store_bytes(plain).items():
+            assert ablation_bytes[name] == data
+
+    def test_sharded_run_merges_back_byte_identically(self, fresh, tmp_path):
+        store, __ = fresh
+        spec = ablation_spec()
+        shards = 2
+        shard_stores = []
+        for index in range(shards):
+            shard_store = CampaignStore(
+                "ablation", root=tmp_path / f"shard{index}"
+            )
+            summary = run_campaign(
+                spec, store=shard_store, shard=(index, shards)
+            )
+            assert summary.total_cells == len(shard_cells(spec, shards)[index])
+            shard_stores.append(shard_store)
+        merged = CampaignStore("ablation", root=tmp_path / "merged")
+        for shard_store in shard_stores:
+            merge_campaign_stores(merged, shard_store)
+        assert store_bytes(merged) == store_bytes(store)
+
+    def test_invalid_shard_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(ablation_spec(), shard=(2, 2))

@@ -179,3 +179,38 @@ class TestCompareBackends:
 
         loaded = json.loads(path.read_text())
         assert loaded["backends"] == ["reference", "batched"]
+
+    def test_ablated_r_max_uses_its_own_field(self, mini_world):
+        # The bench must resolve distance fields per cell (kind, r_max),
+        # like SweepEngine.run — an r_max-ablated spec executed against
+        # the base config's truncation would silently change results
+        # while still reporting "equivalent" (both backends sharing the
+        # same wrong field).
+        grid, sequence = mini_world
+        spec = "fp32+r_max=0.5"
+        protocol = SweepProtocol(sequence_count=1, seeds=(0,))
+        report = compare_backends(
+            grid, [sequence], variants=[spec], particle_counts=[64],
+            protocol=protocol,
+        )
+        assert report["equivalent"] is True
+
+        sweep = SweepEngine(backend="reference").run(
+            grid, [sequence], [spec], [64], protocol=protocol
+        )
+        run = sweep.cells[(spec, 64)].runs[0]
+        from repro.eval.bench import _run_signature
+
+        # Re-derive the bench's cell result the way compare_backends
+        # does and pin it to the sweep engine's.
+        from repro.engine.backend import get_backend
+        from repro.eval.sweep_engine import _cell_specs, _execute_cell
+
+        cell = _cell_specs(MclConfig(), [spec], [64])[0]
+        assert cell.config.r_max == 0.5
+        field = DistanceFieldCache().get(grid, cell.config.r_max, cell.field_kind)
+        bench_run = _execute_cell(
+            grid, [sequence], protocol.seeds, cell, field,
+            get_backend("reference"),
+        )[0]
+        assert _run_signature(bench_run) == _run_signature(run)

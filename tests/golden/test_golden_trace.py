@@ -1,12 +1,17 @@
-"""Golden-trace regression: one sweep cell pinned bit-for-bit.
+"""Golden-trace regression: sweep cells pinned bit-for-bit.
 
-``golden_fp32_n64.json`` snapshots the complete observable output of one
+Each golden JSON snapshots the complete observable output of one
 fp32/N=64 sweep cell over a generated scenario: every scalar metric as
 an exact float (``float.hex``) and every per-frame trace array as a
 SHA-256 of its raw bytes.  Both backends must keep reproducing it
 exactly — a refactor that drifts any resampling decision, weight, or
 trace sample by one ulp fails loudly here instead of silently shifting
 published numbers.
+
+Two cells are pinned: the default fp32 configuration, and one *ablated*
+config spec (``fp32+sigma_obs=1.0``) so the config-override path —
+spec parsing, override application, fingerprinted identity — is held to
+the same bit-for-bit standard as the paper variants.
 
 To intentionally re-baseline after a *deliberate* numerical change:
 
@@ -29,13 +34,16 @@ from repro.eval.aggregate import SweepProtocol
 from repro.eval.sweep_engine import SweepEngine
 from repro.scenarios import build_scenario
 
-GOLDEN_PATH = Path(__file__).parent / "golden_fp32_n64.json"
-
-#: The pinned cell: a generated maze scenario, fp32, N=64, two seeds.
+#: The pinned world: a generated maze scenario, N=64, two seeds.
 SCENARIO_SPEC = "maze:0:cells=5+flight_s=25.0+size_m=3.0"
-VARIANT = "fp32"
 PARTICLE_COUNT = 64
 PROTOCOL = SweepProtocol(sequence_count=1, seeds=(0, 1))
+
+#: Pinned cells: golden file name -> config spec.
+GOLDEN_CELLS = {
+    "golden_fp32_n64.json": "fp32",
+    "golden_fp32_sigma1_n64.json": "fp32+sigma_obs=1.0",
+}
 
 
 def _hex(value: float | None) -> str:
@@ -50,17 +58,17 @@ def _digest(array) -> str:
     return hashlib.sha256(array.tobytes()).hexdigest()
 
 
-def _cell_snapshot(backend: str) -> dict:
+def _cell_snapshot(backend: str, variant: str) -> dict:
     scenario = build_scenario(SCENARIO_SPEC)
     engine = SweepEngine(backend=backend)
     result = engine.run(
         scenario.grid,
         [scenario.sequence],
-        [VARIANT],
+        [variant],
         [PARTICLE_COUNT],
         protocol=PROTOCOL,
     )
-    cell = result.cells[(VARIANT, PARTICLE_COUNT)]
+    cell = result.cells[(variant, PARTICLE_COUNT)]
     runs = []
     for run in cell.runs:
         metrics = run.metrics
@@ -86,25 +94,28 @@ def _cell_snapshot(backend: str) -> dict:
         )
     return {
         "scenario": SCENARIO_SPEC,
-        "variant": VARIANT,
+        "variant": variant,
         "particle_count": PARTICLE_COUNT,
         "seeds": list(PROTOCOL.seeds),
         "runs": runs,
     }
 
 
+@pytest.mark.parametrize("golden_name", sorted(GOLDEN_CELLS))
 @pytest.mark.parametrize("backend", ["reference", "batched"])
-def test_golden_cell_reproduces_bit_for_bit(backend):
-    snapshot = _cell_snapshot(backend)
+def test_golden_cell_reproduces_bit_for_bit(backend, golden_name):
+    variant = GOLDEN_CELLS[golden_name]
+    golden_path = Path(__file__).parent / golden_name
+    snapshot = _cell_snapshot(backend, variant)
     if os.environ.get("REPRO_UPDATE_GOLDEN"):
-        GOLDEN_PATH.write_text(json.dumps(snapshot, indent=2) + "\n")
+        golden_path.write_text(json.dumps(snapshot, indent=2) + "\n")
         pytest.skip(f"golden snapshot rewritten by {backend}")
-    assert GOLDEN_PATH.exists(), (
+    assert golden_path.exists(), (
         "golden snapshot missing; regenerate with REPRO_UPDATE_GOLDEN=1"
     )
-    golden = json.loads(GOLDEN_PATH.read_text())
+    golden = json.loads(golden_path.read_text())
     assert snapshot == golden, (
-        f"{backend} backend drifted from the golden fp32/N=64 cell; if the "
-        "numerical change is intentional, re-baseline with "
+        f"{backend} backend drifted from the golden {variant}/N=64 cell; if "
+        "the numerical change is intentional, re-baseline with "
         "REPRO_UPDATE_GOLDEN=1 and justify it in the commit"
     )

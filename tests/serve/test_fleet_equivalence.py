@@ -137,6 +137,44 @@ class TestFleetEquivalence:
             assert result.metrics is not None
             assert metrics_signature(result.metrics) == metrics_signature(expected)
 
+    def test_ablated_fleet_matches_solo_reference(self):
+        """A fleet mixing two config fingerprints (default fp32 and a
+        sigma-ablated fp32) on one world — each session must equal its
+        solo reference run executed under the same materialized config,
+        and the ablated sessions must land in their own cohort."""
+        from repro.core.config import ConfigSpec
+
+        members = [
+            ("000.default", "fp32", 0),
+            ("001.default", "fp32", 1),
+            ("002.ablated", "fp32+sigma_obs=1.0", 0),
+            ("003.ablated", "fp32+sigma_obs=1.0", 1),
+        ]
+        scenario_id = "maze:1:flight_s=8"
+        scenario = build_scenario(scenario_id)
+        manager = SessionManager(backend="batched")
+        for sid, variant, seed in members:
+            manager.create(
+                SessionSpec(
+                    session_id=sid, scenario=scenario_id, variant=variant,
+                    particle_count=64, seed=seed,
+                )
+            )
+        assert len(manager.scheduler._cohorts) == 2  # two fingerprints
+        manager.run_to_completion(frames_per_flush=13)
+        for sid, variant, seed in members:
+            config = ConfigSpec.parse(variant).config(particle_count=64)
+            field = DistanceField.build_for_mode(
+                scenario.grid, config.r_max, config.precision
+            )
+            solo = ReferenceBackend().execute(
+                scenario.grid,
+                [RunSpec(scenario.sequence, seed)],
+                config,
+                field,
+            )[0]
+            assert_trace_equal(manager.close(sid).trace, solo)
+
     def test_session_ids_do_not_affect_results(self, solo_traces):
         """Renaming sessions permutes the packing order, not the numbers."""
         manager = SessionManager(backend="batched")

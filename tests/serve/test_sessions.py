@@ -194,9 +194,28 @@ class TestFleetSpecs:
 
     def test_bad_members_rejected(self):
         for bad in ("", "office@nope", "office@fp32@0", "office*0", "office~x",
-                    "office@fp32@64@9@9"):
+                    "office@fp32@64@9@9", "office@fp32+warp=9@64"):
             with pytest.raises(ConfigurationError):
                 FleetSpec.parse(bad)
+
+    def test_config_spec_members(self):
+        # One fleet can mix paper variants and ablated filters; config
+        # specs canonicalize inside the member (aliases resolve, no-op
+        # overrides drop) and the fleet id round-trips.
+        fleet = FleetSpec.parse(
+            "office:1@fp32@64*2,office:1@fp32+sigma=0.15@64*2~2"
+        )
+        assert FleetSpec.parse(fleet.id) == fleet
+        assert [member.variant for member in fleet.members] == [
+            "fp32", "fp32+sigma_obs=0.15",
+        ]
+        declarations = fleet.declarations()
+        assert len(declarations) == 4
+        assert declarations[2].variant == "fp32+sigma_obs=0.15"
+        assert (
+            FleetSpec.parse("office:1@fp32+sigma_obs=2.0@64").members[0].variant
+            == "fp32"
+        )
 
     def test_create_fleet_accepts_spec_strings(self):
         manager = SessionManager()

@@ -54,7 +54,7 @@ class TestRngState:
             pack_rng_state(rng)
 
 
-@pytest.mark.parametrize("variant", ["fp32", "fp16qm"])
+@pytest.mark.parametrize("variant", ["fp32", "fp16qm", "fp32+sigma=1.0"])
 class TestServeSnapshots:
     def test_snapshot_round_trip_is_byte_stable(self, variant):
         manager = SessionManager()

@@ -27,6 +27,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--variant", "fp64"])
 
+    def test_run_accepts_config_spec(self):
+        args = build_parser().parse_args(
+            ["run", "--variant", "fp16qm+sigma=0.15+r_max=2.0"]
+        )
+        assert args.variant == "fp16qm+r_max=2.0+sigma_obs=0.15"
+
+    def test_variants_accept_config_specs(self):
+        args = build_parser().parse_args(
+            ["sweep", "--variants", "fp32,fp32+sigma=0.5"]
+        )
+        assert args.variants == ["fp32", "fp32+sigma_obs=0.5"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--variants", "fp32+warp=9"])
+
+    def test_sweep_ablate_axes(self):
+        args = build_parser().parse_args(
+            ["sweep", "--ablate", "sigma=1.0,2.0", "--ablate", "r_max=1.5"]
+        )
+        assert args.ablate == [("sigma", [1.0, 2.0]), ("r_max", [1.5])]
+        for bad in ("sigma", "warp=9", "sigma=fast", "sigma="):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "--ablate", bad])
+
+    def test_campaign_shard_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "shard", "study", "--scenarios", "office:3",
+             "--shards", "4", "--index", "2"]
+        )
+        assert args.shards == 4
+        assert args.index == 2
+        with pytest.raises(SystemExit):  # --shards is required
+            build_parser().parse_args(
+                ["campaign", "shard", "study", "--scenarios", "office:3"]
+            )
+
     def test_sweep_parses_scenario_specs(self):
         args = build_parser().parse_args(
             ["sweep", "--scenarios", "office:3,maze:1:cells=7"]
@@ -142,6 +177,33 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "0 cells copied" in out
         assert "1 byte-verified" in out
+
+    def test_campaign_shard_prints_split_and_round_trips(self, capsys):
+        base = ["campaign", "shard", "cli-shard", "--scenarios",
+                "corridor:2:flight_s=6.0", "--variants", "fp32",
+                "--ablate", "sigma=1.0,4.0", "--particles", "16",
+                "--seeds", "0", "--shards", "2"]
+        # Without --index: print the deterministic assignment only.
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "2 cells over 2 shards" in out
+        # Execute both shards, then merge them back into the main name.
+        for index in ("0", "1"):
+            assert main(base + ["--index", index]) == 0
+            out = capsys.readouterr().out
+            assert "1 cells executed" in out
+            assert f"cli-shard-shard{index}" in out
+        for index in ("0", "1"):
+            assert main(["campaign", "merge", "cli-shard",
+                         f"cli-shard-shard{index}"]) == 0
+        assert main(["campaign", "status", "cli-shard"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 cells completed" in out
+
+    def test_campaign_shard_rejects_bad_index(self, capsys):
+        assert main(["campaign", "shard", "x", "--scenarios", "office:3",
+                     "--shards", "2", "--index", "5"]) == 2
+        assert "--index must be in [0, 2)" in capsys.readouterr().err
 
     def test_serve_sim(self, capsys):
         fleet = "corridor:2:flight_s=6.0@fp32@32*2,office:2:flight_s=6.0@fp16qm@32*2~2"
