@@ -1,7 +1,8 @@
-"""Backend throughput: reference vs batched on the Fig. 6/7 sweep grid.
+"""Backend throughput: reference vs batched vs fast on the Fig. 6/7 grid.
 
-Times the same sweep cells under the sequential ``reference`` backend
-and the ``(R, N)``-stacked ``batched`` backend, verifies they produced
+Times the same sweep cells under the sequential ``reference`` backend,
+the ``(R, N)``-stacked ``batched`` backend and — when a fused-kernel
+provider is available — the ``fast`` backend, verifies they produced
 identical per-run metrics, prints the per-cell table, and writes the
 machine-readable report to ``results/BENCH_backends.json``.
 
@@ -11,10 +12,17 @@ override it).  Expected shape on one core:
 
 * small N (64): evaluation throughput is dispatch/replay bound — the
   batched backend amortizes beam extraction, frame materialization and
-  kernel dispatch over all seeds and wins >= 3x;
-* large N (>= 1024): the per-element EDT/transform math dominates and is
-  bitwise-pinned, so both backends converge to the same wall-clock
-  (the batched chunking keeps working sets cache-resident either way).
+  kernel dispatch over all seeds and wins >= 3x; the fast backend
+  inherits that run loop, so it must never regress against batched;
+* large N (>= 1024): the per-element EDT/transform math dominates.  The
+  batched backend converges to the reference wall-clock there (both are
+  wide-numpy bound), while the fast backend's fused per-row kernels —
+  no ``(R, N, K)`` temporaries, one vectorized transform+gather+tree
+  pass per row — must beat the reference >= 5x at fp32/N=1024.
+
+The report also records ``cpu_count`` and, on multi-core hosts, one
+process-parallel (``jobs > 1``) sweep timing row for the fastest
+backend.
 """
 
 from __future__ import annotations
@@ -25,11 +33,16 @@ from conftest import current_scale
 
 from repro.common.rng import PAPER_SEEDS
 from repro.eval.aggregate import SweepProtocol
-from repro.eval.bench import compare_backends, write_backend_report
+from repro.eval.bench import compare_backends, default_bench_backends, write_backend_report
 from repro.viz.tables import format_table
 
 DEFAULT_COUNTS = [64, 256, 1024]
 VARIANTS = ["fp32", "fp16qm"]
+
+#: The tentpole throughput bar: the fused backend against the reference
+#: scalar loop on the biggest dual-precision cell of the default grid.
+FAST_SPEEDUP_CELL = "fp32/N=1024"
+FAST_SPEEDUP_MIN = 5.0
 
 
 def bench_counts() -> list[int]:
@@ -54,6 +67,7 @@ def bench_protocol() -> SweepProtocol:
 def test_backend_throughput(benchmark, world, sequences):
     counts = bench_counts()
     protocol = bench_protocol()
+    backends = default_bench_backends()
 
     def compare():
         return compare_backends(
@@ -62,30 +76,51 @@ def test_backend_throughput(benchmark, world, sequences):
             variants=VARIANTS,
             particle_counts=counts,
             protocol=protocol,
+            backends=backends,
         )
 
     report = benchmark.pedantic(compare, rounds=1, iterations=1)
 
-    backends = report["backends"]
+    cells = report["timings"]["reference"]["cells_s"]
     rows = []
-    for cell in report["timings"][backends[0]]["cells_s"]:
-        ref_s = report["timings"]["reference"]["cells_s"][cell]
-        bat_s = report["timings"]["batched"]["cells_s"][cell]
-        rows.append([cell, f"{ref_s:.2f}s", f"{bat_s:.2f}s", f"{ref_s / bat_s:.2f}x"])
+    for cell in cells:
+        ref_s = cells[cell]
+        row = [cell, f"{ref_s:.2f}s"]
+        for backend in backends[1:]:
+            b_s = report["timings"][backend]["cells_s"][cell]
+            row.append(f"{b_s:.2f}s")
+            row.append(f"{ref_s / b_s:.2f}x")
+        rows.append(row)
     ref_total = report["timings"]["reference"]["total_s"]
-    bat_total = report["timings"]["batched"]["total_s"]
-    rows.append(["total", f"{ref_total:.2f}s", f"{bat_total:.2f}s",
-                 f"{ref_total / bat_total:.2f}x"])
+    total_row = ["total", f"{ref_total:.2f}s"]
+    for backend in backends[1:]:
+        b_total = report["timings"][backend]["total_s"]
+        total_row.append(f"{b_total:.2f}s")
+        total_row.append(f"{ref_total / b_total:.2f}x")
+    rows.append(total_row)
+
+    header = ["cell", "reference"]
+    for backend in backends[1:]:
+        header.extend([backend, "speedup"])
+    parallel = report.get("parallel")
+    footnote = (
+        f"identical per-run metrics asserted; {report['cpu_count']} core(s)"
+    )
+    if parallel:
+        footnote += (
+            f"; {parallel['backend']}@jobs={parallel['jobs']}: "
+            f"{parallel['total_s']:.2f}s"
+        )
     print()
     print(
         format_table(
-            ["cell", "reference", "batched", "speedup"],
+            header,
             rows,
             title=(
                 f"Backend sweep timing — {len(protocol.seeds)} seeds x "
                 f"{protocol.sequence_count} sequences per cell"
             ),
-            footnote="identical per-run metrics asserted; one core",
+            footnote=footnote,
         )
     )
     path = write_backend_report(report)
@@ -99,12 +134,32 @@ def test_backend_throughput(benchmark, world, sequences):
     # batched engine must win decisively there; overall it must never be
     # slower.  (Margins are loose: shared-machine timing jitter.)
     smallest = min(counts)
-    small_cells = [c for c in report["timings"]["reference"]["cells_s"]
-                   if c.endswith(f"N={smallest}")]
+    small_cells = [c for c in cells if c.endswith(f"N={smallest}")]
+    bat_total = report["timings"]["batched"]["total_s"]
     for cell in small_cells:
-        ratio = (
-            report["timings"]["reference"]["cells_s"][cell]
-            / report["timings"]["batched"]["cells_s"][cell]
-        )
+        ratio = cells[cell] / report["timings"]["batched"]["cells_s"][cell]
         assert ratio > 1.5, f"batched should clearly win {cell}, got {ratio:.2f}x"
     assert bat_total < ref_total * 1.05, "batched must not lose overall"
+
+    if "fast" not in backends:
+        return
+
+    # The fused backend inherits the batched run loop, so its small-N
+    # dispatch cost must stay within noise of batched (no regression
+    # beyond 5%)...
+    for cell in small_cells:
+        fast_s = report["timings"]["fast"]["cells_s"][cell]
+        bat_s = report["timings"]["batched"]["cells_s"][cell]
+        assert fast_s < bat_s * 1.05, (
+            f"fast regressed vs batched on {cell}: {fast_s:.2f}s vs {bat_s:.2f}s"
+        )
+    # ...and the big dual-precision cell is where the fused kernels must
+    # earn their keep against the reference loop.
+    if FAST_SPEEDUP_CELL in cells:
+        speedup = cells[FAST_SPEEDUP_CELL] / report["timings"]["fast"]["cells_s"][
+            FAST_SPEEDUP_CELL
+        ]
+        assert speedup >= FAST_SPEEDUP_MIN, (
+            f"fast must beat reference >= {FAST_SPEEDUP_MIN:.0f}x on "
+            f"{FAST_SPEEDUP_CELL}, got {speedup:.2f}x"
+        )

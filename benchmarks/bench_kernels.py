@@ -5,9 +5,14 @@ implementation's* per-step cost with pytest-benchmark so regressions in
 the vectorized kernels are caught.  Absolute numbers are host-dependent
 and not comparable to Table I — the structure (observation dominating,
 resampling cheap) is.
+
+Each kernel's timing summary is also written to
+``results/BENCH_kernels.json`` so CI can archive per-commit numbers.
 """
 
 from __future__ import annotations
+
+import json
 
 import pytest
 
@@ -29,6 +34,39 @@ from repro.maps.maze import build_drone_maze_world, main_drone_maze
 from repro.sensors.tof import TofSensor, TofSensorSpec
 
 N_PARTICLES = 4096
+
+#: Per-kernel timing summaries collected by :func:`_record`, flushed to
+#: ``results/BENCH_kernels.json`` when the module finishes.
+_RESULTS: dict[str, dict] = {}
+
+
+def _record(benchmark, name: str) -> None:
+    """Stash one kernel's pytest-benchmark stats for the JSON report."""
+    meta = getattr(benchmark, "stats", None)
+    stats = getattr(meta, "stats", None)
+    if stats is None:  # --benchmark-disable runs
+        return
+    _RESULTS[name] = {
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "stddev_s": stats.stddev,
+        "rounds": len(stats.data),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _kernel_report():
+    yield
+    if not _RESULTS:
+        return
+    from repro.viz.export import results_directory
+
+    path = results_directory() / "BENCH_kernels.json"
+    payload = {"n_particles": N_PARTICLES, "kernels": dict(sorted(_RESULTS.items()))}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nkernel report: {path}")
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +103,7 @@ def test_kernel_observation(benchmark, populated_particles, beam_bundle, field):
         apply_observation_model(populated_particles, beam_bundle, field, config)
 
     benchmark(run)
+    _record(benchmark, "observation")
 
 
 def test_kernel_motion(benchmark, populated_particles):
@@ -76,6 +115,7 @@ def test_kernel_motion(benchmark, populated_particles):
         apply_motion_model(populated_particles, increment, config, rng)
 
     benchmark(run)
+    _record(benchmark, "motion")
 
 
 def test_kernel_resampling_serial(benchmark):
@@ -83,6 +123,7 @@ def test_kernel_resampling_serial(benchmark):
     weights = rng.random(N_PARTICLES) + 1e-9
     u0 = draw_wheel_offset(rng, N_PARTICLES)
     benchmark(lambda: systematic_resample(weights, u0))
+    _record(benchmark, "resampling_serial")
 
 
 def test_kernel_resampling_parallel_wheel(benchmark):
@@ -90,10 +131,12 @@ def test_kernel_resampling_parallel_wheel(benchmark):
     weights = rng.random(N_PARTICLES) + 1e-9
     u0 = draw_wheel_offset(rng, N_PARTICLES)
     benchmark(lambda: parallel_systematic_resample(weights, u0, 8))
+    _record(benchmark, "resampling_parallel_wheel")
 
 
 def test_kernel_pose_estimate(benchmark, populated_particles):
     benchmark(lambda: estimate_pose(populated_particles))
+    _record(benchmark, "pose_estimate")
 
 
 def test_kernel_edt_build(benchmark):
@@ -101,6 +144,7 @@ def test_kernel_edt_build(benchmark):
     benchmark.pedantic(
         lambda: euclidean_distance_field(grid, r_max=1.5), rounds=3, iterations=1
     )
+    _record(benchmark, "edt_build")
 
 
 def test_kernel_particle_gather(benchmark, populated_particles):
@@ -111,3 +155,4 @@ def test_kernel_particle_gather(benchmark, populated_particles):
         populated_particles.swap_from_indices(indices)
 
     benchmark(run)
+    _record(benchmark, "particle_gather")

@@ -16,13 +16,17 @@ Subcommands:
 * ``serve-sim``       — replay a simulated drone fleet through the
   online serving layer (multiplexed sessions, aggregate + per-session
   metrics)
-* ``bench-backends``  — time reference vs batched backends on one sweep
+* ``bench-backends``  — time reference vs batched vs fast backends on
+  one sweep (``fast`` joins wherever a fused provider is available)
 * ``perf``            — print the Table I / Table II model predictions
 * ``docs-cli``        — emit the generated CLI reference (docs/cli.md)
 
-Commands that execute the filter accept ``--backend {reference,batched}``
-to pick the :class:`~repro.engine.backend.FilterBackend`; all backends
-produce identical results, so the flag only affects throughput.  Every
+Commands that execute the filter accept ``--backend
+{reference,batched,fast}`` to pick the
+:class:`~repro.engine.backend.FilterBackend`; all backends produce
+bitwise-identical results, so the flag only affects throughput (``fast``
+needs numba or a C toolchain and fails with a clear configuration error
+otherwise).  Every
 ``--variant``/``--variants`` flag speaks the config-spec grammar
 ``variant[+key=value...]`` (:class:`~repro.core.config.ConfigSpec`), so
 paper variants and ablated configurations are interchangeable.
@@ -688,6 +692,7 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
         variants=args.variants,
         particle_counts=args.particles,
         progress=print if args.verbose else None,
+        jobs=args.jobs,
     )
     rows = []
     for cell in report["timings"][report["backends"][0]]["cells_s"]:
@@ -699,12 +704,22 @@ def _cmd_bench_backends(args: argparse.Namespace) -> int:
         ["total"]
         + [f"{report['timings'][b]['total_s']:.2f}s" for b in report["backends"]]
     )
+    footnote = (
+        f"equivalent results: {report['equivalent']}; "
+        f"{report['cpu_count']} core(s)"
+    )
+    parallel = report.get("parallel")
+    if parallel:
+        footnote += (
+            f"; {parallel['backend']}@jobs={parallel['jobs']}: "
+            f"{parallel['total_s']:.2f}s"
+        )
     print(
         format_table(
             ["cell"] + list(report["backends"]),
             rows,
             title="Backend sweep timing (lower is better)",
-            footnote=f"equivalent results: {report['equivalent']}",
+            footnote=footnote,
         )
     )
     baseline = report["backends"][0]
@@ -1064,7 +1079,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(func=_cmd_serve_sim)
 
     bench = sub.add_parser(
-        "bench-backends", help="time reference vs batched backends on one sweep"
+        "bench-backends",
+        help="time reference vs batched (vs fast, when available) on one sweep",
     )
     bench.add_argument("--variants", type=_parse_variants, default=None)
     bench.add_argument("--particles", type=_parse_particles, default=None)
@@ -1073,6 +1089,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--verbose", action="store_true", help="print per-cell timings as they finish"
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "workers for the extra process-parallel timing row "
+            "(default: auto on multi-core hosts, 1 disables)"
+        ),
     )
     bench.set_defaults(func=_cmd_bench_backends)
 

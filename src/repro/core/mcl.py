@@ -144,8 +144,10 @@ class MonteCarloLocalization:
             threshold = self.config.resample_ess_fraction * self.particles.count
             if ess <= threshold:
                 u0 = draw_wheel_offset(self._rng, self.particles.count)
+                # Weights are normalized by the observation model; the
+                # fast path skips the redundant renormalizing divide.
                 indices = systematic_resample(
-                    self.particles.weights.astype(np.float64), u0
+                    self.particles.weights.astype(np.float64), u0, normalized=True
                 )
                 self.particles.swap_from_indices(indices)
                 report.resampled = True

@@ -3,11 +3,11 @@
 ``repro.engine`` owns the filter's arithmetic (``kernels``) and the
 :class:`FilterBackend` seam that the evaluation stack dispatches runs
 through.  The ``core`` modules delegate their math to the kernels; the
-concrete backends (``reference``, ``batched``) are loaded lazily because
-they build on ``core`` — see :mod:`repro.engine.backend`.
+concrete backends (``reference``, ``batched``, ``fast``) are loaded
+lazily because they build on ``core`` — see :mod:`repro.engine.backend`.
 """
 
-from . import kernels
+from . import kernels, reductions
 from .backend import (
     FilterBackend,
     RunSpec,
@@ -21,6 +21,7 @@ from .backend import (
 
 __all__ = [
     "kernels",
+    "reductions",
     "FilterBackend",
     "RunSpec",
     "RunTrace",
@@ -30,6 +31,8 @@ __all__ = [
     "get_backend",
     "register_backend",
     "BatchedBackend",
+    "FastBackend",
+    "FastStack",
     "ParticleStack",
     "ReferenceBackend",
     "ReferenceStack",
@@ -46,6 +49,8 @@ _LAZY = {
     "ReferenceStack": "reference",
     "BatchedBackend": "batched",
     "ParticleStack": "batched",
+    "FastBackend": "fast",
+    "FastStack": "fast",
     "ReplayPlan": "replay",
     "ReplayStep": "replay",
 }

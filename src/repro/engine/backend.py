@@ -14,26 +14,30 @@ invariant:
 ``tests/engine/test_backends.py``, never with tolerances (particle
 filters amplify 1-ulp weight differences into divergent resampling
 decisions, so "close" is untestable).  Conforming implementations
-(a) reduce only along the last contiguous axis (numpy's pairwise sum is
-then per-row deterministic; BLAS matmul/einsum reductions are not
-order-safe), (b) consume each run's ``make_rng(seed, "mcl")`` stream in
-the reference draw order, and (c) reassociate only IEEE-commutative
+(a) run every order-sensitive reduction along the last axis through the
+deterministic tree of :mod:`repro.engine.reductions` (``det_sum`` et
+al. — an explicit, documented order that compiled backends replicate
+with a plain loop; BLAS matmul/einsum reductions are not order-safe),
+(b) consume each run's ``make_rng(seed, "mcl")`` stream in the
+reference draw order, and (c) reassociate only IEEE-commutative
 operations.  See docs/architecture.md for the full rules.  The contract
 is what makes backend choice and process fan-out pure throughput
 decisions, and what lets the campaign result store be content-addressed.
 
-Two backends ship today:
+Three backends ship today:
 
 * ``reference`` — the original scalar-per-run loop
   (:class:`~repro.engine.reference.ReferenceBackend`), one
   :class:`~repro.core.mcl.MonteCarloLocalization` per run;
 * ``batched`` — :class:`~repro.engine.batched.BatchedBackend`, which
   stacks all R runs' particle populations into ``(R, N)`` arrays and
-  advances them in single vectorized passes.
+  advances them in single vectorized passes;
+* ``fast`` — :class:`~repro.engine.fast.FastBackend`, the batched run
+  loop over fused per-row compiled kernels (numba or cffi C; requires
+  one of them, or ``REPRO_FAST_IMPL=numpy`` for the slow fallback).
 
-Future numba/GPU backends plug in by registering a new name — and must
-either keep the contract or register under a name that signals the
-difference.
+Further backends plug in by registering a new name — and must either
+keep the contract or register under a name that signals the difference.
 """
 
 from __future__ import annotations
@@ -216,10 +220,19 @@ def _ensure_builtin_backends() -> None:
     """Register the built-in backends on first use (lazily: the concrete
     implementations import ``core`` modules, which themselves import the
     engine kernels)."""
-    if "reference" in _FACTORIES and "batched" in _FACTORIES:
+    if (
+        "reference" in _FACTORIES
+        and "batched" in _FACTORIES
+        and "fast" in _FACTORIES
+    ):
         return
     from .batched import BatchedBackend
+    from .fast import FastBackend
     from .reference import ReferenceBackend
 
+    # "fast" always registers (so listings and CLI choices are
+    # environment-independent); constructing it raises a clear
+    # ConfigurationError when no fused implementation is available.
     _FACTORIES.setdefault("reference", ReferenceBackend)
     _FACTORIES.setdefault("batched", BatchedBackend)
+    _FACTORIES.setdefault("fast", FastBackend)

@@ -317,7 +317,10 @@ class ParticleStack:
                 continue
             u0 = kernels.draw_wheel_offset(self.rngs[run], self.count)
             indices = kernels.systematic_resample(
-                self.weights[run].astype(np.float64), u0, validate=False
+                self.weights[run].astype(np.float64),
+                u0,
+                validate=False,
+                normalized=True,
             )
             self.x[run] = self.x[run][indices]
             self.y[run] = self.y[run][indices]
@@ -357,7 +360,7 @@ class ParticleStack:
         y64 = self.y[triggered].astype(np.float64)
         theta64 = self.theta[triggered].astype(np.float64)
         w64 = self.weights[triggered].astype(np.float64)
-        totals = w64.sum(axis=-1)
+        totals = np.asarray(kernels.det_sum(w64))
         degenerate = ~((totals > 0) & np.isfinite(totals))
         if degenerate.any():  # rare: fall back to the scalar kernel
             for run in triggered:
@@ -366,11 +369,11 @@ class ParticleStack:
         w64 /= totals[:, None]
         sin_t = np.sin(theta64)
         cos_t = np.cos(theta64)
-        sums = w64.sum(axis=-1)
+        sums = np.asarray(kernels.det_sum(w64))
         for i, run in enumerate(triggered):
             weights = w64[i]
-            mean_x = float(np.dot(weights, x64[i]))
-            mean_y = float(np.dot(weights, y64[i]))
+            mean_x = float(kernels.det_dot(weights, x64[i]))
+            mean_y = float(kernels.det_dot(weights, y64[i]))
             mean_theta = self._circular_mean_row(
                 weights, sin_t[i], cos_t[i], float(sums[i])
             )
@@ -394,15 +397,16 @@ class ParticleStack:
     def _circular_mean_row(
         weights: np.ndarray, sin_t: np.ndarray, cos_t: np.ndarray, total: float
     ) -> float:
-        """One row of :func:`repro.common.geometry.circular_mean`.
+        """One row of :func:`repro.engine.kernels._circular_mean_det`.
 
         ``sin_t``/``cos_t`` are the precomputed elementwise transforms;
-        the dots and guards replicate the scalar helper exactly.  The
-        degenerate branches (non-positive or non-finite totals) are
-        handled by the caller's fallback, so ``total > 0`` holds here.
+        the det-tree dots and guards replicate the scalar helper
+        exactly.  The degenerate branches (non-positive or non-finite
+        totals) are handled by the caller's fallback, so ``total > 0``
+        holds here.
         """
-        sin_sum = float(np.dot(weights, sin_t))
-        cos_sum = float(np.dot(weights, cos_t))
+        sin_sum = float(kernels.det_dot(weights, sin_t))
+        cos_sum = float(kernels.det_dot(weights, cos_t))
         eps = 1e-9 * max(1.0, total)
         if abs(sin_sum) < eps and abs(cos_sum) < eps:
             return 0.0
@@ -435,9 +439,10 @@ class BatchedBackend:
             raise ConfigurationError(
                 "distance field resolution does not match the occupancy grid"
             )
-        batch = _RunBatch(
-            grid, list(specs), config, field, self.obs_chunk_elements, self.plan
-        )
+        # The stack comes from open_stack so subclasses swapping the stack
+        # implementation (the fast backend) inherit the whole run loop.
+        stack = self.open_stack(config, len(specs))
+        batch = _RunBatch(grid, list(specs), config, field, stack, self.plan)
         return batch.run()
 
     def open_stack(self, config: MclConfig, rows: int = 0) -> ParticleStack:
@@ -473,7 +478,8 @@ class _RunBatch:
 
     Owns the batch layout (grouping runs by sequence, per-instant gate
     masks, trace recording); all particle math is delegated to one
-    :class:`ParticleStack` holding every run as a row.
+    injected :class:`ParticleStack` (or subclass) holding every run as a
+    row.
     """
 
     def __init__(
@@ -482,12 +488,13 @@ class _RunBatch:
         specs: list[RunSpec],
         config: MclConfig,
         field: DistanceField,
-        obs_chunk_elements: int,
+        stack: ParticleStack,
         plan_for,
     ) -> None:
         self.specs = specs
         self.field = field
-        self.stack = ParticleStack(config, len(specs), obs_chunk_elements)
+        self.stack = stack
+        stack.ensure_capacity(len(specs))
 
         # Group runs by the sequence they replay; the replay plan (gating
         # trace, beams, ground truth) is shared within a group and — via

@@ -1,0 +1,497 @@
+"""The ``fast`` backend: fused per-row kernels behind the bitwise contract.
+
+This is the second-generation throughput backend the deterministic
+reduction spec (:mod:`repro.engine.reductions`) exists to enable.  The
+batched backend plateaus near the reference at large N because both
+spend their time in the same wide numpy passes — transform, EDT gather,
+log-likelihood — materializing ``(R, N, K)`` float64 temporaries.  The
+fast backend replaces exactly those passes with one fused loop per
+particle (transform -> gather -> chunk-of-8 tree reduction, no
+``(R, N, K)`` temporaries at all), plus fused resampling-wheel and
+estimate-reduction kernels, while keeping **bit-for-bit** the results
+of the reference scalar loop — it is asserted in the same equivalence
+stacks as reference/batched, and the golden traces pin it.
+
+How it stays bitwise
+--------------------
+* Transcendentals (``sin``/``cos``/``exp``) are always evaluated by
+  numpy on contiguous float64 arrays and passed into the fused kernels:
+  numpy's SIMD implementations are not guaranteed to match libm (or any
+  JIT's lowering) in the last ulp.  Only IEEE-exact arithmetic — add,
+  multiply, divide, floor, casts, compares, gathers, the wrap's
+  ``fmod`` — crosses into compiled code.
+* Every reduction follows the deterministic tree spec; scans (the
+  wheel) replicate the sequential order of
+  :func:`repro.engine.kernels.systematic_resample`.
+* All stateful bookkeeping (RNG draw order, storage-precision casts,
+  the double yaw wrap of compose + store) is inherited unchanged from
+  :class:`~repro.engine.batched.ParticleStack`.
+
+Implementation tiers
+--------------------
+The fused kernels come from the first available *provider*:
+
+``numba``  :mod:`repro.engine.fast_numba` (optional dependency), or
+``c``      :mod:`repro.engine.fast_c` — the same kernels compiled from
+           C with the system toolchain via cffi (this tier is the
+           host-side analogue of the paper's GAP9 C port), or
+``numpy``  a pure-numpy fused-per-row fallback in this module — no
+           speedup, but it keeps the backend importable and testable
+           everywhere.
+
+``REPRO_FAST_IMPL`` (``auto``/``numba``/``c``/``numpy``) pins a tier.
+``auto`` tries numba then C and raises a clear
+:class:`~repro.common.errors.ConfigurationError` when neither is
+usable — the numpy tier must be requested explicitly so a missing
+dependency can never silently demote a performance benchmark.
+
+The float64 shadow state
+------------------------
+The stack keeps, next to the storage-precision arrays, float64 shadows
+``x64/y64/theta64/w64`` with the invariant ``shadow ==
+stored.astype(float64)`` after every write.  The batched backend pays a
+widening cast at the top of every stage; the shadows pay one widening
+per *write* instead and hand the fused kernels (and the numpy stages
+reused from the parent class) ready-made float64 inputs — same values,
+fewer passes.  Two trig shadows ride along: ``cos64/sin64 ==
+np.cos/sin(theta64)``, re-evaluated once after each yaw write and
+*gathered* (exact) through resampling, so the three stages that need
+yaw trig per step (motion compose, beam transform, estimate) share one
+evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Sequence
+
+import numpy as np
+
+from ..common.errors import ConfigurationError
+from ..common.geometry import Pose2D
+from ..core.config import MclConfig
+from ..core.snapshot import FilterStateSnapshot
+from . import kernels
+from .batched import OBS_CHUNK_ELEMENTS, BatchedBackend, ParticleStack
+from .backend import StepWork
+from .reductions import det_sum
+
+__all__ = ["FastBackend", "FastStack", "NumpyProvider", "resolve_provider"]
+
+#: Recognized values of the ``REPRO_FAST_IMPL`` environment override.
+IMPL_CHOICES = ("auto", "numba", "c", "numpy")
+
+
+class NumpyProvider:
+    """Pure-numpy provider: fused per row-batch, bitwise to the spec.
+
+    The arithmetic replicates the batched backend's stacked passes
+    (which are elementwise + det-tree, hence shape-independent); it
+    exists so the fast backend's orchestration is testable without
+    numba or a C toolchain, not for speed.
+    """
+
+    name = "numpy"
+    #: No compiled fused float32 row paths — FastStack keeps the generic
+    #: (batched-style) stages under this provider.
+    fused_f32 = False
+
+    def loglik_sums(self, x, y, cos_t, sin_t, end_x, end_y, field):
+        # kernels.transform_endpoints with the trig factored out (the
+        # caller computed cos/sin once for all fused stages): identical
+        # elementwise operations and order.
+        cos_k = cos_t[..., None]
+        sin_k = sin_t[..., None]
+        world_x = cos_k * end_x
+        world_x += x[..., None]
+        scratch = sin_k * end_y
+        world_x -= scratch
+        world_y = np.multiply(sin_k, end_x, out=scratch)
+        world_y += y[..., None]
+        world_y += cos_k * end_y
+        squared = field.lookup_squared_world(world_x, world_y)
+        return np.asarray(det_sum(squared))
+
+    def estimate_row(self, x, y, sin_t, cos_t, w, total, scratch_a, scratch_b):
+        wn = w / total
+        wn_total = float(det_sum(wn))
+        mean_x = float(kernels.det_dot(wn, x))
+        mean_y = float(kernels.det_dot(wn, y))
+        sin_sum = float(kernels.det_dot(wn, sin_t))
+        cos_sum = float(kernels.det_dot(wn, cos_t))
+        return wn_total, mean_x, mean_y, sin_sum, cos_sum
+
+    def resample_indices(self, w, u0, scratch):
+        return kernels.systematic_resample(w, u0, validate=False, normalized=True)
+
+    def det_sum_row(self, a, scratch):
+        return float(det_sum(a))
+
+    def ess_rows(self, w, scratch):
+        return np.atleast_1d(np.asarray(kernels.effective_sample_size(w)))
+
+
+def _build_provider(impl: str):
+    if impl == "numpy":
+        return NumpyProvider()
+    if impl == "numba":
+        from .fast_numba import NumbaProvider
+
+        return NumbaProvider()
+    if impl == "c":
+        from .fast_c import CProvider
+
+        return CProvider()
+    raise ConfigurationError(
+        f"unknown REPRO_FAST_IMPL {impl!r}; expected one of: "
+        + ", ".join(IMPL_CHOICES)
+    )
+
+
+def resolve_provider(impl: str | None = None):
+    """Resolve the fused-kernel provider for the fast backend.
+
+    ``impl=None`` reads ``REPRO_FAST_IMPL`` (default ``auto``).  Auto
+    tries ``numba`` then ``c`` and raises ``ConfigurationError`` naming
+    both failures; the numpy fallback is only used when asked for.
+    """
+    choice = impl or os.environ.get("REPRO_FAST_IMPL", "auto") or "auto"
+    if choice != "auto":
+        if choice not in IMPL_CHOICES:
+            raise ConfigurationError(
+                f"unknown REPRO_FAST_IMPL {choice!r}; expected one of: "
+                + ", ".join(IMPL_CHOICES)
+            )
+        try:
+            return _build_provider(choice)
+        except ConfigurationError:
+            raise
+        except Exception as exc:
+            raise ConfigurationError(
+                f"fast backend implementation {choice!r} is unavailable: {exc}"
+            ) from exc
+    failures = []
+    for candidate in ("numba", "c"):
+        try:
+            return _build_provider(candidate)
+        except Exception as exc:  # noqa: BLE001 - collected into the error
+            failures.append(f"{candidate}: {exc}")
+    raise ConfigurationError(
+        "the fast backend needs numba or a C toolchain (cffi + cc); neither "
+        "worked [" + "; ".join(failures) + "]. Install numba, or set "
+        "REPRO_FAST_IMPL=numpy to run the (slow) pure-numpy fallback."
+    )
+
+
+class FastStack(ParticleStack):
+    """:class:`ParticleStack` with fused kernels and float64 shadows.
+
+    Inherits all row management, RNG bookkeeping and storage-precision
+    semantics; overrides the four numeric stages of :meth:`step` to read
+    the float64 shadow state and dispatch the fused provider kernels.
+    """
+
+    def __init__(
+        self,
+        config: MclConfig,
+        rows: int = 0,
+        obs_chunk_elements: int = OBS_CHUNK_ELEMENTS,
+        provider=None,
+    ) -> None:
+        self._provider = provider if provider is not None else resolve_provider()
+        n = config.particle_count
+        self.x64 = np.zeros((0, n))
+        self.y64 = np.zeros((0, n))
+        self.theta64 = np.zeros((0, n))
+        self.w64 = np.zeros((0, n))
+        # Trig shadows: cos64/sin64 == np.cos/sin(theta64) after every
+        # write.  Yaw trig feeds three stages per step (motion compose,
+        # beam transform, estimate); maintaining it at the write sites —
+        # one evaluation after each yaw update, exact gathers through
+        # resampling — evaluates it once instead of three times.
+        self.cos64 = np.zeros((0, n))
+        self.sin64 = np.zeros((0, n))
+        self._scratch_a = np.empty(n)
+        self._scratch_b = np.empty(n)
+        self._scratch_i = np.empty(n, dtype=np.int64)
+        self._scratch_f = np.empty(n, dtype=np.float32)
+        super().__init__(config, rows, obs_chunk_elements)
+        # The fully fused row paths are implemented for float32 storage
+        # only; fp16 rows run the generic (batched-style) stages, which
+        # every provider supports.
+        self._fused = bool(getattr(self._provider, "fused_f32", False)) and (
+            np.dtype(self.dtype) == np.float32
+        )
+
+    # ------------------------------------------------------------------
+    # Shadow maintenance: shadow == stored.astype(float64), always.
+    # ------------------------------------------------------------------
+    def ensure_capacity(self, rows: int) -> None:
+        super().ensure_capacity(rows)
+        old_rows = self.x64.shape[0]
+        if old_rows >= self.rows:
+            return
+
+        def grow(shadow: np.ndarray) -> np.ndarray:
+            wide = np.zeros((self.rows, self.count))
+            wide[: shadow.shape[0]] = shadow
+            return wide
+
+        self.x64 = grow(self.x64)
+        self.y64 = grow(self.y64)
+        self.theta64 = grow(self.theta64)
+        self.w64 = grow(self.w64)
+        self.cos64 = grow(self.cos64)
+        self.sin64 = grow(self.sin64)
+        # Fresh rows hold theta64 == 0; keep the trig invariant exact
+        # even before init_row touches them.
+        self.cos64[old_rows:] = 1.0
+
+    def _sync_shadows(self, rows, weights: bool = True) -> None:
+        self.x64[rows] = self.x[rows].astype(np.float64)
+        self.y64[rows] = self.y[rows].astype(np.float64)
+        theta64 = self.theta[rows].astype(np.float64)
+        self.theta64[rows] = theta64
+        self.cos64[rows] = np.cos(theta64)
+        self.sin64[rows] = np.sin(theta64)
+        if weights:
+            self.w64[rows] = self.weights[rows].astype(np.float64)
+
+    def _store(self, rows, x, y, theta, weights=None) -> None:
+        super()._store(rows, x, y, theta, weights)
+        self._sync_shadows(rows, weights=weights is not None)
+
+    def import_row(self, row: int, snapshot: FilterStateSnapshot) -> None:
+        super().import_row(row, snapshot)
+        self._sync_shadows(row)
+
+    # ------------------------------------------------------------------
+    # Fused step stages
+    # ------------------------------------------------------------------
+    def _motion_update(self, triggered: np.ndarray, work: Sequence[StepWork]) -> None:
+        config = self.config
+        n = self.count
+        if self._fused:
+            # Per-row fused compose+wrap+store+shadow refresh: numpy
+            # supplies the RNG draws (reference order) and the trig of
+            # the prior yaw; everything IEEE-exact runs in the provider.
+            for item in work:
+                pending = item.step.pending
+                assert pending is not None  # packed steps always fired
+                for row in item.rows:
+                    nx, ny, nt = kernels.sample_motion_noise(
+                        self.rngs[row], n, config.sigma_odom_xy, config.sigma_odom_theta
+                    )
+                    theta_row = self.theta64[row]
+                    self._provider.compose_store_row(
+                        self.cos64[row],
+                        self.sin64[row],
+                        pending.x + nx,
+                        pending.y + ny,
+                        pending.theta + nt,
+                        self.x[row],
+                        self.y[row],
+                        self.theta[row],
+                        self.x64[row],
+                        self.y64[row],
+                        theta_row,
+                    )
+                    # The compose consumed the prior trig; the row now
+                    # holds the posterior yaw, so re-establish the
+                    # invariant (the step's single trig evaluation).
+                    np.cos(theta_row, out=self.cos64[row])
+                    np.sin(theta_row, out=self.sin64[row])
+            return
+
+        rows = len(triggered)
+        noise_x = np.empty((rows, n))
+        noise_y = np.empty((rows, n))
+        noise_theta = np.empty((rows, n))
+        inc = np.empty((rows, 3))
+        i = 0
+        for item in work:
+            pending = item.step.pending
+            assert pending is not None  # packed steps always fired
+            for row in item.rows:
+                noise_x[i], noise_y[i], noise_theta[i] = kernels.sample_motion_noise(
+                    self.rngs[row], n, config.sigma_odom_xy, config.sigma_odom_theta
+                )
+                inc[i] = (pending.x, pending.y, pending.theta)
+                i += 1
+
+        # Shadows replace the parent's three widening casts; the compose
+        # kernel (numpy trig + elementwise) is shared unchanged, and the
+        # inherited _store applies the second wrap + storage cast.
+        new_x, new_y, new_theta = kernels.compose_increment(
+            self.x64[triggered],
+            self.y64[triggered],
+            self.theta64[triggered],
+            inc[:, 0:1] + noise_x,
+            inc[:, 1:2] + noise_y,
+            inc[:, 2:3] + noise_theta,
+        )
+        self._store(triggered, new_x, new_y, new_theta)
+
+    def _observation_update(self, work: Sequence[StepWork]) -> np.ndarray:
+        config = self.config
+        denom = 2.0 * config.sigma_obs**2
+        inv_count = 1.0 / self.count
+        observed: list[int] = []
+        for item in work:
+            step = item.step
+            if step.beams is None:
+                continue
+            for chunk in self._row_chunks(item.rows, step.beams.beam_count):
+                cos_t = self.cos64[chunk]
+                sin_t = self.sin64[chunk]
+                log_lik = self._provider.loglik_sums(
+                    self.x64[chunk],
+                    self.y64[chunk],
+                    cos_t,
+                    sin_t,
+                    step.end_x,
+                    step.end_y,
+                    item.field,
+                )
+                np.negative(log_lik, out=log_lik)
+                log_lik /= denom
+                if self._fused:
+                    # posterior_log_weights split at its one
+                    # transcendental: replication scale and per-row max
+                    # subtraction feed numpy's exp, then the provider
+                    # fuses prior multiply + storage cast + normalize +
+                    # shadow refresh per row.
+                    log_lik *= config.beam_replication
+                    log_lik -= log_lik.max(axis=-1, keepdims=True)
+                    like = np.exp(log_lik)
+                    for j, row in enumerate(chunk):
+                        row = int(row)
+                        self._provider.update_weights_row(
+                            self.w64[row],
+                            like[j],
+                            self.weights[row],
+                            inv_count,
+                            self._scratch_a,
+                        )
+                else:
+                    updated = kernels.posterior_log_weights(
+                        self.w64[chunk], log_lik, config.beam_replication
+                    )
+                    stored = updated.astype(self.dtype)
+                    kernels.normalize_weights(stored, self.dtype)
+                    self.weights[chunk] = stored
+                    self.w64[chunk] = stored.astype(np.float64)
+            observed.extend(item.rows)
+        return np.array(observed, dtype=np.int64)
+
+    def _resample(self, observed: np.ndarray) -> None:
+        threshold = self.config.resample_ess_fraction * self.count
+        ess = self._provider.ess_rows(self.w64[observed], self._scratch_a)
+        uniform = np.asarray(1.0 / self.count, dtype=self.dtype)
+        uniform64 = float(np.float64(uniform))
+        for i, run in enumerate(observed):
+            run = int(run)
+            if ess[i] > threshold:
+                continue
+            u0 = kernels.draw_wheel_offset(self.rngs[run], self.count)
+            if self._fused:
+                # Fused wheel + gather of the three stored rows and
+                # their five shadows; the weight rows reset to uniform
+                # below.
+                self._provider.resample_row(
+                    self.w64[run],
+                    u0,
+                    self.x[run],
+                    self.y[run],
+                    self.theta[run],
+                    self.x64[run],
+                    self.y64[run],
+                    self.theta64[run],
+                    self.cos64[run],
+                    self.sin64[run],
+                    self._scratch_a,
+                    self._scratch_b,
+                    self._scratch_i,
+                    self._scratch_f,
+                )
+            else:
+                indices = self._provider.resample_indices(
+                    self.w64[run], u0, self._scratch_a
+                )
+                self.x[run] = self.x[run][indices]
+                self.y[run] = self.y[run][indices]
+                self.theta[run] = self.theta[run][indices]
+                # Gathers of exact shadows stay exact; uniform re-widens
+                # the stored value so the invariant holds at fp16 too.
+                self.x64[run] = self.x64[run][indices]
+                self.y64[run] = self.y64[run][indices]
+                self.theta64[run] = self.theta64[run][indices]
+                self.cos64[run] = self.cos64[run][indices]
+                self.sin64[run] = self.sin64[run][indices]
+            self.weights[run] = uniform
+            self.w64[run] = uniform64
+
+    def _refresh_estimates(self, triggered: np.ndarray) -> None:
+        # Row views, no stacked gathers: every reduction here is per-row
+        # anyway, and the trig is elementwise — bitwise identical to the
+        # parent's stacked formulation.
+        for run in triggered:
+            run = int(run)
+            w64 = self.w64[run]
+            total = self._provider.det_sum_row(w64, self._scratch_a)
+            if not (total > 0.0 and math.isfinite(total)):
+                self._refresh_estimate(run)  # rare: scalar fallback
+                continue
+            wn_total, mean_x, mean_y, sin_sum, cos_sum = self._provider.estimate_row(
+                self.x64[run],
+                self.y64[run],
+                self.sin64[run],
+                self.cos64[run],
+                w64,
+                total,
+                self._scratch_a,
+                self._scratch_b,
+            )
+            eps = 1e-9 * max(1.0, wn_total)
+            if abs(sin_sum) < eps and abs(cos_sum) < eps:
+                mean_theta = 0.0
+            else:
+                mean_theta = math.atan2(sin_sum / wn_total, cos_sum / wn_total)
+            estimate = Pose2D(mean_x, mean_y, mean_theta)
+            self.estimates[run] = estimate
+            self.estimate_arrays[run] = estimate.as_array()
+
+
+class FastBackend(BatchedBackend):
+    """Fused-kernel executor: batched orchestration, per-row fused math.
+
+    Inherits the batched backend's run loop, replay-plan cache and row
+    packing; only the stack construction changes, so ``--backend fast``
+    is a drop-in throughput upgrade everywhere a backend name is
+    accepted (sweeps, campaigns, serve cohorts, benchmarks).
+
+    Raises :class:`ConfigurationError` at construction when no fused
+    implementation is available (see :func:`resolve_provider`).
+    """
+
+    name = "fast"
+
+    def __init__(
+        self,
+        obs_chunk_elements: int = OBS_CHUNK_ELEMENTS,
+        impl: str | None = None,
+    ) -> None:
+        super().__init__(obs_chunk_elements)
+        self._provider = resolve_provider(impl)
+
+    @property
+    def provider_name(self) -> str:
+        """Which implementation tier serves the fused kernels."""
+        return self._provider.name
+
+    def open_stack(self, config: MclConfig, rows: int = 0) -> FastStack:
+        """Open the step-level entry point: a fused-kernel session stack."""
+        return FastStack(
+            config, rows, self.obs_chunk_elements, provider=self._provider
+        )

@@ -1,0 +1,333 @@
+"""numba provider of the ``fast`` backend: nopython fused kernels.
+
+Statement-for-statement mirror of the C provider
+(:mod:`repro.engine.fast_c`) in ``@njit(nopython)`` form, for
+environments with numba but no C toolchain.  The same bitwise rules
+apply — and two deserve emphasis because numba makes them easy to break:
+
+* ``fastmath`` stays **off**: it licenses reassociation and FMA
+  contraction, either of which changes the deterministic-tree sums.
+* No transcendentals inside jitted code — ``sin``/``cos`` come in as
+  numpy-computed arrays, exactly like the C tier, because numba lowers
+  ``math.sin`` to libm while numpy uses its own SIMD implementations
+  (they may disagree by one ulp).
+
+Importing this module raises ``ImportError`` when numba is missing;
+availability policy lives in :mod:`repro.engine.fast`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numba import njit
+
+DET_CHUNK = 8
+
+
+@njit(cache=False, fastmath=False)
+def _det_sum_inplace(v, n):
+    """Chunk-of-8 deterministic tree sum, destroying ``v[:n]``."""
+    m = n
+    while m > 1:
+        out = (m + DET_CHUNK - 1) // DET_CHUNK
+        for j in range(out):
+            lo = j * DET_CHUNK
+            hi = min(lo + DET_CHUNK, m)
+            acc = v[lo]
+            for i in range(lo + 1, hi):
+                acc += v[i]
+            v[j] = acc
+        m = out
+    if m == 1:
+        return v[0]
+    return 0.0
+
+
+@njit(cache=False, fastmath=False)
+def _det_dot_scratch(w, v, n, scratch):
+    for i in range(n):
+        scratch[i] = w[i] * v[i]
+    return _det_sum_inplace(scratch, n)
+
+
+@njit(cache=False, fastmath=False)
+def _fused_loglik_f64(
+    x, y, cos_t, sin_t, end_x, end_y, sq_table, rows, cols,
+    origin_x, origin_y, resolution, border_sq, m, k, beam_scratch, out
+):
+    size = rows * cols
+    for i in range(m):
+        xi = x[i]
+        yi = y[i]
+        ci = cos_t[i]
+        si = sin_t[i]
+        for b in range(k):
+            wx = (ci * end_x[b] + xi) - si * end_y[b]
+            wy = (si * end_x[b] + yi) + ci * end_y[b]
+            col = np.int64(np.floor((wx - origin_x) / resolution))
+            row = np.int64(np.floor((wy - origin_y) / resolution))
+            inside = (row >= 0) and (row < rows) and (col >= 0) and (col < cols)
+            flat = row * cols + col
+            if flat < 0:
+                flat = 0
+            if flat >= size:
+                flat = size - 1
+            if inside:
+                beam_scratch[b] = sq_table[flat]
+            else:
+                beam_scratch[b] = border_sq
+        out[i] = _det_sum_inplace(beam_scratch, k)
+
+
+@njit(cache=False, fastmath=False)
+def _fused_loglik_u8(
+    x, y, cos_t, sin_t, end_x, end_y, codes, sq_lut, rows, cols,
+    origin_x, origin_y, resolution, border_sq, m, k, beam_scratch, out
+):
+    size = rows * cols
+    for i in range(m):
+        xi = x[i]
+        yi = y[i]
+        ci = cos_t[i]
+        si = sin_t[i]
+        for b in range(k):
+            wx = (ci * end_x[b] + xi) - si * end_y[b]
+            wy = (si * end_x[b] + yi) + ci * end_y[b]
+            col = np.int64(np.floor((wx - origin_x) / resolution))
+            row = np.int64(np.floor((wy - origin_y) / resolution))
+            inside = (row >= 0) and (row < rows) and (col >= 0) and (col < cols)
+            flat = row * cols + col
+            if flat < 0:
+                flat = 0
+            if flat >= size:
+                flat = size - 1
+            if inside:
+                beam_scratch[b] = sq_lut[codes[flat]]
+            else:
+                beam_scratch[b] = border_sq
+        out[i] = _det_sum_inplace(beam_scratch, k)
+
+
+@njit(cache=False, fastmath=False)
+def _estimate_row(x, y, sin_t, cos_t, w, total, n, wn, scratch, out):
+    for i in range(n):
+        wn[i] = w[i] / total
+    for i in range(n):
+        scratch[i] = wn[i]
+    out[0] = _det_sum_inplace(scratch, n)
+    out[1] = _det_dot_scratch(wn, x, n, scratch)
+    out[2] = _det_dot_scratch(wn, y, n, scratch)
+    out[3] = _det_dot_scratch(wn, sin_t, n, scratch)
+    out[4] = _det_dot_scratch(wn, cos_t, n, scratch)
+
+
+@njit(cache=False, fastmath=False)
+def _wheel_resample(w, n, u0, cumulative, idx):
+    acc = 0.0
+    for i in range(n):
+        acc += w[i]
+        cumulative[i] = acc
+    cumulative[n - 1] = 1.0
+    j = 0
+    for i in range(n):
+        pos = u0 + np.float64(i) / np.float64(n)
+        while cumulative[j] <= pos and j < n - 1:
+            j += 1
+        idx[i] = j
+
+
+@njit(cache=False, fastmath=False)
+def _det_wrap(a):
+    """wrap_angle with numpy remainder semantics (math.fmod is exact)."""
+    mod = math.fmod(a + np.pi, 2.0 * np.pi)
+    if mod != 0.0:
+        if mod < 0.0:
+            mod += 2.0 * np.pi
+    else:
+        mod = 0.0
+    return mod - np.pi
+
+
+@njit(cache=False, fastmath=False)
+def _det_sum_rows(a, r, n, scratch, out):
+    for row in range(r):
+        for i in range(n):
+            scratch[i] = a[row * n + i]
+        out[row] = _det_sum_inplace(scratch, n)
+
+
+@njit(cache=False, fastmath=False)
+def _ess_rows(w, r, n, scratch, out):
+    for row in range(r):
+        base = row * n
+        for i in range(n):
+            scratch[i] = w[base + i]
+        total = _det_sum_inplace(scratch, n)
+        if not total > 0.0:
+            out[row] = 0.0
+            continue
+        for i in range(n):
+            wn = w[base + i] / total
+            scratch[i] = wn * wn
+        sq = _det_sum_inplace(scratch, n)
+        out[row] = 1.0 / (sq if sq > 0.0 else 1.0)
+
+
+@njit(cache=False, fastmath=False)
+def _update_weights_f32(prior, like, n, inv_count, scratch, stored, shadow):
+    for i in range(n):
+        u = prior[i] * like[i]
+        sf = np.float32(u)
+        s = np.float64(sf)
+        if not np.isfinite(s):
+            s = 0.0
+        shadow[i] = s
+        scratch[i] = s
+    total = _det_sum_inplace(scratch, n)
+    if total > 0.0:
+        for i in range(n):
+            o = np.float32(shadow[i] / total)
+            stored[i] = o
+            shadow[i] = np.float64(o)
+    else:
+        o = np.float32(inv_count)
+        od = np.float64(o)
+        for i in range(n):
+            stored[i] = o
+            shadow[i] = od
+
+
+@njit(cache=False, fastmath=False)
+def _compose_store_f32(cos_t, sin_t, dx, dy, dt, n, xs, ys, ts, x64, y64, t64):
+    for i in range(n):
+        nx = (x64[i] + cos_t[i] * dx[i]) - sin_t[i] * dy[i]
+        ny = (y64[i] + sin_t[i] * dx[i]) + cos_t[i] * dy[i]
+        nt = _det_wrap(_det_wrap(t64[i] + dt[i]))
+        fx = np.float32(nx)
+        fy = np.float32(ny)
+        ft = np.float32(nt)
+        xs[i] = fx
+        ys[i] = fy
+        ts[i] = ft
+        x64[i] = np.float64(fx)
+        y64[i] = np.float64(fy)
+        t64[i] = np.float64(ft)
+
+
+@njit(cache=False, fastmath=False)
+def _resample_f32(
+    w, n, u0, cumulative, idx, xs, ys, ts, x64, y64, t64, c64, s64,
+    fscratch, dscratch
+):
+    _wheel_resample(w, n, u0, cumulative, idx)
+    for i in range(n):
+        fscratch[i] = xs[idx[i]]
+    for i in range(n):
+        xs[i] = fscratch[i]
+    for i in range(n):
+        fscratch[i] = ys[idx[i]]
+    for i in range(n):
+        ys[i] = fscratch[i]
+    for i in range(n):
+        fscratch[i] = ts[idx[i]]
+    for i in range(n):
+        ts[i] = fscratch[i]
+    for i in range(n):
+        dscratch[i] = x64[idx[i]]
+    for i in range(n):
+        x64[i] = dscratch[i]
+    for i in range(n):
+        dscratch[i] = y64[idx[i]]
+    for i in range(n):
+        y64[i] = dscratch[i]
+    for i in range(n):
+        dscratch[i] = t64[idx[i]]
+    for i in range(n):
+        t64[i] = dscratch[i]
+    for i in range(n):
+        dscratch[i] = c64[idx[i]]
+    for i in range(n):
+        c64[i] = dscratch[i]
+    for i in range(n):
+        dscratch[i] = s64[idx[i]]
+    for i in range(n):
+        s64[i] = dscratch[i]
+
+
+class NumbaProvider:
+    """Fused-kernel provider backed by numba nopython JIT."""
+
+    name = "numba"
+    #: Offers the fully fused float32 row paths, like the C tier.
+    fused_f32 = True
+
+    def loglik_sums(self, x, y, cos_t, sin_t, end_x, end_y, field):
+        from ..maps.distance_field import FieldKind
+
+        m = x.size
+        k = end_x.size
+        flat_x = np.ascontiguousarray(x).reshape(-1)
+        flat_y = np.ascontiguousarray(y).reshape(-1)
+        flat_cos = np.ascontiguousarray(cos_t).reshape(-1)
+        flat_sin = np.ascontiguousarray(sin_t).reshape(-1)
+        end_x = np.ascontiguousarray(end_x, dtype=np.float64)
+        end_y = np.ascontiguousarray(end_y, dtype=np.float64)
+        out = np.empty(m, dtype=np.float64)
+        beam_scratch = np.empty(max(k, 1), dtype=np.float64)
+        rows, cols = field.data.shape
+        if field.kind is FieldKind.QUANTIZED_U8:
+            _fused_loglik_u8(
+                flat_x, flat_y, flat_cos, flat_sin, end_x, end_y,
+                field.data.reshape(-1), field.squared_lut(),
+                rows, cols, field.origin_x, field.origin_y,
+                field.resolution, field.border_squared(), m, k,
+                beam_scratch, out,
+            )
+        else:
+            _fused_loglik_f64(
+                flat_x, flat_y, flat_cos, flat_sin, end_x, end_y,
+                field.squared_table(), rows, cols,
+                field.origin_x, field.origin_y, field.resolution,
+                field.border_squared(), m, k, beam_scratch, out,
+            )
+        return out.reshape(x.shape)
+
+    def estimate_row(self, x, y, sin_t, cos_t, w, total, scratch_a, scratch_b):
+        out = np.empty(5, dtype=np.float64)
+        _estimate_row(
+            x, y, sin_t, cos_t, w, float(total), x.size, scratch_a, scratch_b, out
+        )
+        return float(out[0]), float(out[1]), float(out[2]), float(out[3]), float(out[4])
+
+    def resample_indices(self, w, u0, scratch):
+        idx = np.empty(w.size, dtype=np.int64)
+        _wheel_resample(w, w.size, float(u0), scratch, idx)
+        return idx
+
+    def det_sum_row(self, a, scratch):
+        out = np.empty(1, dtype=np.float64)
+        _det_sum_rows(a.reshape(-1), 1, a.size, scratch, out)
+        return float(out[0])
+
+    def ess_rows(self, w, scratch):
+        r, n = w.shape
+        out = np.empty(r, dtype=np.float64)
+        _ess_rows(np.ascontiguousarray(w).reshape(-1), r, n, scratch, out)
+        return out
+
+    def update_weights_row(self, w64, like, stored, inv_count, scratch):
+        _update_weights_f32(w64, like, w64.size, float(inv_count), scratch, stored, w64)
+
+    def compose_store_row(self, cos_t, sin_t, dx, dy, dt, xs, ys, ts, x64, y64, t64):
+        _compose_store_f32(cos_t, sin_t, dx, dy, dt, xs.size, xs, ys, ts, x64, y64, t64)
+
+    def resample_row(
+        self, w64, u0, xs, ys, ts, x64, y64, t64, c64, s64,
+        dscratch_a, dscratch_b, iscratch, fscratch,
+    ):
+        _resample_f32(
+            w64, w64.size, float(u0), dscratch_a, iscratch,
+            xs, ys, ts, x64, y64, t64, c64, s64, fscratch, dscratch_b,
+        )

@@ -15,14 +15,18 @@ applied to one run's ``(N,)`` arrays or to a row of an ``(R, N)`` stack:
 
 * elementwise ops (compose, transform, exp, casts) are trivially
   shape-independent;
-* reductions always run along the **last (contiguous) axis**, where numpy
-  applies the same pairwise summation per row as it does for a flat
-  ``(N,)`` array;
+* every order-sensitive reduction runs along the **last axis** through
+  the explicit deterministic tree of :mod:`repro.engine.reductions`
+  (``det_sum`` / ``det_dot`` / ``det_sum_squares``) — a documented
+  chunk-of-8 reduction order that JIT/compiled backends replicate with
+  a plain loop instead of reverse-engineering numpy's pairwise-sum
+  blocking;
 * order-dependent scans (``cumsum``/``searchsorted`` in the resampling
   wheel) are only ever invoked per run.
 
 This contract is what lets the equivalence tests assert exact equality
-between the reference and batched backends instead of fragile tolerances.
+between the reference, batched and fast backends instead of fragile
+tolerances.
 """
 
 from __future__ import annotations
@@ -32,8 +36,9 @@ import math
 import numpy as np
 
 from ..common.errors import ConfigurationError
-from ..common.geometry import circular_mean, wrap_angle
+from ..common.geometry import wrap_angle
 from ..maps.distance_field import DistanceField
+from .reductions import det_dot, det_sum, det_sum_squares
 
 __all__ = [
     "sample_motion_noise",
@@ -140,7 +145,7 @@ def beam_log_likelihoods(
     """
     world_x, world_y = transform_endpoints(x, y, theta, end_x, end_y)
     squared = field.lookup_squared_world(world_x, world_y)
-    log_lik = np.sum(squared, axis=-1)
+    log_lik = np.asarray(det_sum(squared))
     np.negative(log_lik, out=log_lik)
     log_lik /= 2.0 * sigma_obs**2
     return log_lik
@@ -163,21 +168,34 @@ def posterior_log_weights(
 def normalize_weights(weights: np.ndarray, dtype: np.dtype) -> np.ndarray:
     """Normalize storage-precision weights in-place along the last axis.
 
-    The sum runs in float64 (the paper's parallel implementation keeps a
-    full-precision accumulator per core for the same reason).  Degenerate
-    rows — all weights zero or non-finite — are reset to uniform: the
-    filter lost, but must stay operational.  Returns the per-row
-    pre-normalization sums (float64, shape ``(...)``).
+    The sum runs in float64 through the deterministic tree (the paper's
+    parallel implementation keeps a full-precision accumulator per core
+    for the same reason).  Degenerate rows — all weights zero or
+    non-finite — are reset to uniform: the filter lost, but must stay
+    operational.  Returns the per-row pre-normalization sums (float64,
+    shape ``(...)``).
+
+    All arithmetic happens in-place on one float64 scratch buffer (plus
+    the boolean masks): widen once, zero non-finite entries, divide by
+    the per-row totals, overwrite degenerate rows with uniform, cast
+    back — no full-size ``np.where`` temporaries.
     """
     count = weights.shape[-1]
-    as64 = weights.astype(np.float64)
-    as64[~np.isfinite(as64)] = 0.0
-    totals = as64.sum(axis=-1, keepdims=True)
+    scratch = weights.astype(np.float64)  # the single float64 scratch
+    finite = np.isfinite(scratch)
+    if not finite.all():
+        np.logical_not(finite, out=finite)
+        scratch[finite] = 0.0
+    totals = np.asarray(det_sum(scratch))
     degenerate = ~(totals > 0.0)
-    normalized = as64 / np.where(degenerate, 1.0, totals)
-    normalized = np.where(degenerate, 1.0 / count, normalized)
-    weights[...] = normalized.astype(dtype)
-    return np.squeeze(totals, axis=-1)
+    if degenerate.any():
+        safe = np.where(degenerate, 1.0, totals)  # (...) scalars, not (N,)
+        scratch /= safe[..., None]
+        np.copyto(scratch, 1.0 / count, where=degenerate[..., None])
+    else:
+        scratch /= totals[..., None]
+    weights[...] = scratch.astype(dtype)
+    return totals[()]
 
 
 def effective_sample_size(weights: np.ndarray) -> np.ndarray | float:
@@ -188,10 +206,10 @@ def effective_sample_size(weights: np.ndarray) -> np.ndarray | float:
     ``(R,)`` array with the identical per-row values).
     """
     as64 = weights.astype(np.float64)
-    totals = as64.sum(axis=-1, keepdims=True)
+    totals = np.asarray(det_sum(as64))[..., None]
     valid = totals > 0.0
     normalized = as64 / np.where(valid, totals, 1.0)
-    squared = np.sum(normalized**2, axis=-1)
+    squared = det_sum_squares(normalized)
     # A valid row's squared sum is >= 1/N > 0, so the guarded divide only
     # papers over rows already forced to ESS 0.
     ess = np.where(
@@ -221,14 +239,14 @@ def _normalized(weights: np.ndarray) -> np.ndarray:
         raise ConfigurationError("weights must be a non-empty 1-D array")
     if np.any(weights < 0) or not np.all(np.isfinite(weights)):
         raise ConfigurationError("weights must be finite and non-negative")
-    total = weights.sum()
+    total = float(det_sum(weights))
     if total <= 0:
         raise ConfigurationError("weights must not sum to zero")
     return weights / total
 
 
 def systematic_resample(
-    weights: np.ndarray, u0: float, validate: bool = True
+    weights: np.ndarray, u0: float, validate: bool = True, normalized: bool = False
 ) -> np.ndarray:
     """Serial systematic resampling; returns N source indices.
 
@@ -238,14 +256,20 @@ def systematic_resample(
     low-variance guarantees.
 
     ``validate=False`` skips the input sanity checks (pure reads, no
-    effect on the result) — for backends resampling many runs per step
-    whose weights are normalized by construction.
+    effect on the result); ``normalized=True`` additionally skips the
+    renormalizing divide for callers whose weights are normalized by
+    construction — every backend resamples through this fast path, and
+    the guard ``cumulative[-1] = 1.0`` below absorbs the sub-ulp
+    shortfall/overshoot of a stored-precision weight row exactly as it
+    absorbs float64 rounding.
     """
-    if validate:
+    if normalized:
+        weights = np.asarray(weights, dtype=np.float64)
+    elif validate:
         weights = _normalized(weights)
     else:
         weights = np.asarray(weights, dtype=np.float64)
-        weights = weights / weights.sum()
+        weights = weights / det_sum(weights)
     count = weights.size
     if validate and not 0.0 <= u0 < 1.0 / count:
         raise ConfigurationError(f"u0 must be in [0, 1/N), got {u0}")
@@ -269,15 +293,37 @@ def weighted_mean_pose(
     mean, exactly like the filter's defensive re-normalization.
     """
     weights = weights.astype(np.float64)
-    total = weights.sum()
+    total = float(det_sum(weights))
     if total <= 0 or not np.isfinite(total):
         weights = np.full(x.size, 1.0 / x.size)
     else:
         weights = weights / total
-    mean_x = float(np.dot(weights, x))
-    mean_y = float(np.dot(weights, y))
-    mean_theta = circular_mean(theta, weights)
+    mean_x = float(det_dot(weights, x))
+    mean_y = float(det_dot(weights, y))
+    mean_theta = _circular_mean_det(theta, weights)
     return weights, mean_x, mean_y, mean_theta
+
+
+def _circular_mean_det(theta: np.ndarray, weights: np.ndarray) -> float:
+    """:func:`repro.common.geometry.circular_mean` with det-tree reductions.
+
+    Identical guards and operation order to the scalar helper — only the
+    three reductions (weight total, weighted sin/cos dots) run through
+    the deterministic tree so stacked backends can replicate the value
+    per row.  ``weights`` is already float64 and normalized here, so the
+    degenerate-total fallback of the public helper cannot trigger — it
+    is kept anyway to preserve the helper's contract for direct callers.
+    """
+    total = float(det_sum(weights))
+    if total <= 0.0 or not math.isfinite(total):
+        weights = np.ones_like(theta)
+        total = float(theta.size)
+    sin_sum = float(det_dot(weights, np.sin(theta)))
+    cos_sum = float(det_dot(weights, np.cos(theta)))
+    eps = 1e-9 * max(1.0, total)
+    if abs(sin_sum) < eps and abs(cos_sum) < eps:
+        return 0.0
+    return math.atan2(sin_sum / total, cos_sum / total)
 
 
 def weighted_pose_spread(
@@ -296,13 +342,13 @@ def weighted_pose_spread(
     dx = x - mean_x
     dy = y - mean_y
     cov = np.empty((2, 2), dtype=np.float64)
-    cov[0, 0] = float(np.dot(weights, dx * dx))
-    cov[0, 1] = cov[1, 0] = float(np.dot(weights, dx * dy))
-    cov[1, 1] = float(np.dot(weights, dy * dy))
+    cov[0, 0] = float(det_dot(weights, dx * dx))
+    cov[0, 1] = cov[1, 0] = float(det_dot(weights, dx * dy))
+    cov[1, 1] = float(det_dot(weights, dy * dy))
 
     # Circular spread: R = |weighted mean resultant|, std = sqrt(-2 ln R).
     resultant = complex(
-        float(np.dot(weights, np.cos(theta))), float(np.dot(weights, np.sin(theta)))
+        float(det_dot(weights, np.cos(theta))), float(det_dot(weights, np.sin(theta)))
     )
     r_len = min(abs(resultant), 1.0)
     yaw_std = math.sqrt(max(-2.0 * math.log(max(r_len, 1e-12)), 0.0))

@@ -1,0 +1,105 @@
+"""Deterministic reductions: the spec behind the bitwise contract.
+
+Every order-sensitive reduction of the filter (weight sums, weighted
+dots, the beam log-likelihood sum) historically relied on numpy's
+*pairwise* summation being per-row deterministic along the last
+contiguous axis.  That made bitwise reproducibility an accident of numpy
+internals — impossible for a JIT or GPU backend to replicate without
+re-implementing numpy's private blocking scheme.  This module promotes
+the reduction order to a **spec** that any backend can implement with a
+plain loop:
+
+The deterministic reduction tree
+--------------------------------
+A length-``n`` vector is reduced along its last axis in levels with a
+fixed chunk width ``DET_CHUNK = 8``:
+
+1. Split the vector into consecutive chunks of 8 elements (the final
+   chunk may be shorter — it is *not* zero-padded).
+2. Reduce each chunk **sequentially left to right**:
+   ``p_j = (((v[8j] + v[8j+1]) + v[8j+2]) + ...)``.
+3. The partials ``p_0 .. p_{ceil(n/8)-1}`` form the next level's vector;
+   repeat until one value remains.  ``n = 0`` reduces to ``+0.0``.
+
+For ``n = 1024`` the levels are ``1024 -> 128 -> 16 -> 2 -> 1``.  The
+tree depends only on ``n``, never on leading shape, memory layout or
+chunking of the caller — so a ``(N,)`` vector, a row of an ``(R, N)``
+stack, and a scalar loop in C/numba/CUDA all produce the identical
+float64 result.  All reductions run in float64 (inputs are coerced);
+products of :func:`det_dot` / squares of :func:`det_sum_squares` are
+formed elementwise *before* the tree, exactly as a fused
+multiply-into-accumulator loop would.
+
+Every backend that joins the bitwise-equivalence contract MUST reduce
+through this tree (see docs/architecture.md, "Deterministic
+reductions").  Order-dependent *scans* (the resampling wheel's cumsum /
+searchsorted) are outside this spec: they remain strictly sequential
+per run, which every implementation agrees on already.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DET_CHUNK", "det_sum", "det_dot", "det_sum_squares"]
+
+#: Chunk width of the deterministic reduction tree.  8 keeps the
+#: sequential runs short (bounding rounding-error growth like pairwise
+#: summation does) while mapping cleanly onto unrolled scalar loops and
+#: one AVX-512 lane group.  Changing it changes every reduction in the
+#: system — that is a golden re-baseline, not a tuning knob.
+DET_CHUNK = 8
+
+
+def _reduce_level(a: np.ndarray) -> np.ndarray:
+    """One tree level: chunk-of-8 sequential partial sums, ragged tail.
+
+    ``a[..., j]`` of the result is the left-to-right sum of input
+    elements ``8j .. min(8j+8, n)-1``.  Implemented as 7 strided
+    elementwise adds — each strictly elementwise, so the per-element
+    IEEE-754 results are independent of leading shape and layout.
+    """
+    out = a[..., 0::DET_CHUNK].astype(np.float64)  # contiguous copy
+    for k in range(1, DET_CHUNK):
+        part = a[..., k::DET_CHUNK]
+        width = part.shape[-1]
+        if width == 0:
+            break
+        out[..., :width] += part
+    return out
+
+
+def det_sum(a: np.ndarray) -> np.ndarray:
+    """Deterministic-tree sum along the last axis (float64).
+
+    Returns an array of ``a.shape[:-1]`` (a 0-d scalar for 1-D input),
+    bit-for-bit identical for any leading shape and memory layout.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim == 0:
+        raise ValueError("det_sum reduces the last axis; got a 0-d array")
+    if a.shape[-1] == 0:
+        return np.zeros(a.shape[:-1], dtype=np.float64)[()]
+    if a.shape[-1] == 1:
+        return a[..., 0].astype(np.float64)  # detached copy, never a view
+    while a.shape[-1] > 1:
+        a = _reduce_level(a)
+    return a[..., 0]
+
+
+def det_dot(w: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Deterministic weighted dot: ``det_sum(w * v)`` along the last axis.
+
+    The elementwise products are formed in float64 first, then reduced
+    through the tree — matching a fused multiply-accumulate loop that
+    follows the same chunk order.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    return det_sum(w * v)
+
+
+def det_sum_squares(a: np.ndarray) -> np.ndarray:
+    """Deterministic sum of squares: ``det_sum(a * a)`` along the last axis."""
+    a = np.asarray(a, dtype=np.float64)
+    return det_sum(a * a)

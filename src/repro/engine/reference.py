@@ -129,7 +129,7 @@ class ReferenceStack:
             if ess <= threshold:
                 u0 = draw_wheel_offset(rng, particles.count)
                 indices = systematic_resample(
-                    particles.weights.astype(np.float64), u0
+                    particles.weights.astype(np.float64), u0, normalized=True
                 )
                 particles.swap_from_indices(indices)
         self._set_estimate(row, estimate_pose(particles).pose)

@@ -1,20 +1,27 @@
-"""Backend throughput comparison: reference vs batched sweep timing.
+"""Backend throughput comparison: reference vs batched vs fast timing.
 
 :func:`compare_backends` runs the same sweep grid through each backend,
 times every (variant, N) cell, checks that the backends agreed run-by-run
-(they must — the batched backend is bitwise-equivalent), and reduces
+(they must — every backend is bitwise-equivalent), and reduces
 everything into one JSON-serializable report.  The ``bench-backends``
 CLI command and ``benchmarks/bench_backends.py`` both build on it.
+
+The ``fast`` backend joins the comparison wherever a fused-kernel
+provider is available (:func:`default_bench_backends` probes for it);
+the report also records ``cpu_count`` and — on multi-core hosts — one
+process-parallel sweep timing row, so throughput numbers from different
+machines stay interpretable.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from pathlib import Path
 
-from ..common.errors import EvaluationError
+from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import MclConfig
 from ..engine.backend import get_backend
 from ..dataset.recorder import RecordedSequence
@@ -22,13 +29,30 @@ from ..maps.occupancy import OccupancyGrid
 from ..viz.export import results_directory
 from .aggregate import SweepProtocol
 from .runner import RunResult
-from .sweep_engine import DistanceFieldCache, _cell_specs, _execute_cell
+from .sweep_engine import DistanceFieldCache, SweepEngine, _cell_specs, _execute_cell
 
 #: Default grid of the backend bench: the dual- and reduced-precision
 #: variants over the lower half of the paper's particle sweep, where
 #: evaluation throughput (not raw FLOPs) dominates the wall-clock.
 DEFAULT_VARIANTS = ("fp32", "fp16qm")
 DEFAULT_PARTICLE_COUNTS = (64, 256, 1024)
+
+
+def default_bench_backends() -> tuple[str, ...]:
+    """The backends the bench compares: all of them, where constructible.
+
+    ``fast`` always *registers* so CLI listings are environment
+    independent, but constructing it raises ``ConfigurationError`` when
+    neither numba nor a C toolchain is present — probe once here and
+    drop it from the default comparison rather than failing the bench.
+    """
+    backends = ["reference", "batched"]
+    try:
+        get_backend("fast")
+    except ConfigurationError:
+        return tuple(backends)
+    backends.append("fast")
+    return tuple(backends)
 
 
 def _run_signature(run: RunResult) -> tuple:
@@ -59,15 +83,23 @@ def compare_backends(
     particle_counts: list[int] | None = None,
     protocol: SweepProtocol | None = None,
     base_config: MclConfig | None = None,
-    backends: tuple[str, ...] = ("reference", "batched"),
+    backends: tuple[str, ...] | None = None,
     progress=None,
+    jobs: int | None = None,
 ) -> dict:
     """Time the same sweep under every backend and report speedups.
 
     Distance fields are prebuilt through one shared cache so the timing
     isolates filter execution; the report's ``"equivalent"`` flag
     records whether all backends produced identical per-run metrics.
+    ``backends=None`` compares every constructible backend
+    (:func:`default_bench_backends`).  ``jobs=None`` additionally times
+    one process-parallel sweep of the last backend when the host has
+    more than one core (pass ``jobs=1`` to disable, or an explicit
+    worker count to force it).
     """
+    if backends is None:
+        backends = default_bench_backends()
     if len(backends) < 2:
         raise EvaluationError("need at least two backends to compare")
     variants = list(variants or DEFAULT_VARIANTS)
@@ -125,6 +157,7 @@ def compare_backends(
     baseline = backends[0]
     first = signatures[baseline]
     equivalent = all(signatures[b] == first for b in backends[1:])
+    cpu_count = os.cpu_count() or 1
     report = {
         "protocol": {
             "sequences": [s.name for s in used_sequences],
@@ -134,6 +167,7 @@ def compare_backends(
         "variants": variants,
         "particle_counts": particle_counts,
         "backends": list(backends),
+        "cpu_count": cpu_count,
         "timings": timings,
         "equivalent": equivalent,
         "speedup_vs_" + baseline: {
@@ -141,6 +175,33 @@ def compare_backends(
             for b in backends[1:]
         },
     }
+
+    # Process fan-out row: one multi-worker sweep of the last (fastest)
+    # backend, recorded only where the host can actually parallelize.
+    # The per-run results are bitwise-pinned, so this is a pure
+    # throughput data point.
+    if jobs is None:
+        jobs = min(cpu_count, 4) if cpu_count > 1 else 1
+    if jobs > 1:
+        parallel_backend = backends[-1]
+        engine = SweepEngine(backend=parallel_backend, jobs=jobs)
+        start = time.perf_counter()
+        engine.run(
+            grid,
+            used_sequences,
+            variants,
+            particle_counts,
+            protocol=protocol,
+            base_config=base_config,
+        )
+        elapsed = time.perf_counter() - start
+        report["parallel"] = {
+            "backend": parallel_backend,
+            "jobs": jobs,
+            "total_s": elapsed,
+        }
+        if progress is not None:
+            progress(f"{parallel_backend}@jobs={jobs}: {elapsed:.2f}s")
     return report
 
 

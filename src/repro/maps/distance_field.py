@@ -218,21 +218,46 @@ class DistanceField:
         row *= cols
         row += col
         if self.kind is FieldKind.QUANTIZED_U8:
-            if self._sq64_lut is None:
-                codes = np.arange(QUANT_LEVELS, dtype=np.uint8)
-                lut = dequantize_distances(codes, self.r_max).astype(np.float64)
-                self._sq64_lut = np.square(lut)
             raw = self.data.take(row, mode="clip")
-            sq = self._sq64_lut.take(raw)
+            sq = self.squared_lut().take(raw)
         else:
-            if self._sq64 is None:
-                sq64 = self.data.astype(np.float64)
-                np.square(sq64, out=sq64)
-                self._sq64 = sq64.reshape(-1)
-            sq = self._sq64.take(row, mode="clip")
-        border = np.float64(np.float32(self.r_max)) ** 2
-        np.copyto(sq, border, where=~inside)
+            sq = self.squared_table().take(row, mode="clip")
+        np.copyto(sq, self.border_squared(), where=~inside)
         return sq
+
+    def squared_lut(self) -> np.ndarray:
+        """256-entry float64 code -> squared-metres table (quantized only).
+
+        Built lazily once per field; shared by :meth:`lookup_squared_world`
+        and the fast backend's fused gather kernels, so both consume the
+        exact same per-code values.
+        """
+        if self.kind is not FieldKind.QUANTIZED_U8:
+            raise MapError("squared_lut is only defined for quantized fields")
+        if self._sq64_lut is None:
+            codes = np.arange(QUANT_LEVELS, dtype=np.uint8)
+            lut = dequantize_distances(codes, self.r_max).astype(np.float64)
+            self._sq64_lut = np.square(lut)
+        return self._sq64_lut
+
+    def squared_table(self) -> np.ndarray:
+        """Flat float64 squared-metres payload (float storage kinds).
+
+        One entry per cell in row-major order; float->float64 widening is
+        exact, so squaring each cell once up front is bit-identical to
+        widening and squaring per lookup.
+        """
+        if self.kind is FieldKind.QUANTIZED_U8:
+            raise MapError("squared_table is not defined for quantized fields")
+        if self._sq64 is None:
+            sq64 = self.data.astype(np.float64)
+            np.square(sq64, out=sq64)
+            self._sq64 = sq64.reshape(-1)
+        return self._sq64
+
+    def border_squared(self) -> float:
+        """Out-of-bounds squared distance: ``float64(float32(r_max)) ** 2``."""
+        return float(np.float64(np.float32(self.r_max)) ** 2)
 
     # ------------------------------------------------------------------
     # Memory accounting (Fig. 9)

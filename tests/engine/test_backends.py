@@ -212,6 +212,132 @@ class TestScenarioEquivalence:
         _assert_traces_identical(reference, batched)
 
 
+def _fast_backend_or_skip(**kwargs):
+    from repro.engine.fast import FastBackend
+
+    try:
+        return FastBackend(**kwargs)
+    except ConfigurationError as exc:
+        pytest.skip(f"no fused fast-backend provider available: {exc}")
+
+
+class TestFastEquivalence:
+    """The fast backend joins the same contract: bitwise-identical
+    traces and metrics to the reference, whichever fused provider
+    (numba / C / numpy fallback) serves the kernels."""
+
+    @pytest.mark.parametrize("variant", ["fp32", "fp321tof", "fp32qm", "fp16qm"])
+    def test_r6_stacked_runs_match_sequential_reference(self, mini_world, variant):
+        grid, long_flight, short_flight = mini_world
+        config = MclConfig(particle_count=128).with_variant(variant)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = ReferenceBackend().execute(grid, specs, config, field)
+        fast = _fast_backend_or_skip().execute(grid, specs, config, field)
+        _assert_traces_identical(reference, fast)
+
+    def test_partial_resampling_row_offsets(self, mini_world):
+        """ESS-gated partial resampling exercises the fused per-row
+        resample path (some rows gather, some don't)."""
+        grid, long_flight, short_flight = mini_world
+        config = dataclasses.replace(
+            MclConfig(particle_count=128), resample_ess_fraction=0.5
+        )
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = ReferenceBackend().execute(grid, specs, config, field)
+        fast = _fast_backend_or_skip().execute(grid, specs, config, field)
+        _assert_traces_identical(reference, fast)
+
+    def test_metrics_identical_through_runner(self, mini_world):
+        from repro.eval.runner import run_localization_batch
+
+        _fast_backend_or_skip()  # skip early when unavailable
+        grid, long_flight, short_flight = mini_world
+        config = MclConfig(particle_count=128).with_variant("fp16qm")
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [
+            RunSpec(sequence, seed)
+            for sequence in (long_flight, short_flight)
+            for seed in (0, 1, 2)
+        ]
+        reference = run_localization_batch(grid, specs, config, field, "reference")
+        fast = run_localization_batch(grid, specs, config, field, "fast")
+        assert [_metrics_signature(r) for r in reference] == [
+            _metrics_signature(f) for f in fast
+        ]
+
+    def test_tiny_observation_chunks_agree(self, mini_world):
+        """The fused per-row kernels see whatever row tiling the chunk
+        budget produces; tiling must never leak into results."""
+        grid, long_flight, __ = mini_world
+        config = MclConfig(particle_count=96)
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [RunSpec(long_flight, seed) for seed in (0, 1, 2)]
+        whole = _fast_backend_or_skip().execute(grid, specs, config, field)
+        tiled = _fast_backend_or_skip(obs_chunk_elements=1).execute(
+            grid, specs, config, field
+        )
+        _assert_traces_identical(whole, tiled)
+
+    def test_numpy_fallback_matches_compiled_provider(self, mini_world):
+        """Cross-provider check: the pure-numpy provider and whichever
+        compiled tier resolve both land on the same bits — the contract
+        binds implementations, not just backends."""
+        grid, long_flight, __ = mini_world
+        compiled = _fast_backend_or_skip()
+        from repro.engine.fast import FastBackend
+
+        fallback = FastBackend(impl="numpy")
+        assert fallback.provider_name == "numpy"
+        config = MclConfig(particle_count=128).with_variant("fp32")
+        field = DistanceField.build_for_mode(grid, config.r_max, config.precision)
+        specs = [RunSpec(long_flight, seed) for seed in (0, 1)]
+        _assert_traces_identical(
+            compiled.execute(grid, specs, config, field),
+            fallback.execute(grid, specs, config, field),
+        )
+
+    def test_unknown_impl_rejected(self):
+        from repro.engine.fast import FastBackend
+
+        with pytest.raises(ConfigurationError, match="REPRO_FAST_IMPL"):
+            FastBackend(impl="gpu")
+
+    def test_missing_provider_is_configuration_error(self, monkeypatch):
+        """Pinning a tier whose dependency is absent must fail loudly
+        with ConfigurationError, not an ImportError mid-sweep."""
+        import builtins
+        import sys
+
+        from repro.engine.fast import FastBackend
+
+        real_import = builtins.__import__
+
+        def no_numba(name, *args, **kwargs):
+            if name == "numba" or name.startswith("numba."):
+                raise ImportError("numba intentionally unavailable")
+            return real_import(name, *args, **kwargs)
+
+        # Evict any cached modules so the pinned tier re-imports numba
+        # (and hits the block) even on hosts where numba IS installed.
+        for module in list(sys.modules):
+            if module == "numba" or module.startswith("numba."):
+                monkeypatch.delitem(sys.modules, module, raising=False)
+        monkeypatch.delitem(sys.modules, "repro.engine.fast_numba", raising=False)
+        monkeypatch.setattr(builtins, "__import__", no_numba)
+        with pytest.raises(ConfigurationError, match="numba"):
+            FastBackend(impl="numba")
+
+
 class TestReplayPlan:
     def test_gating_trace_matches_sequence(self, mini_world):
         grid, long_flight, __ = mini_world
@@ -235,7 +361,9 @@ class TestReplayPlan:
 
 class TestBackendRegistry:
     def test_builtin_backends_listed(self):
-        assert set(available_backends()) >= {"reference", "batched"}
+        # "fast" always *lists* (construction may still raise
+        # ConfigurationError when no provider is available).
+        assert set(available_backends()) >= {"reference", "batched", "fast"}
 
     def test_get_backend_resolves_names(self):
         assert get_backend("reference").name == "reference"

@@ -1,0 +1,175 @@
+"""Property tests for the deterministic reduction tree.
+
+The tree (``engine/reductions.py``) is the spec every backend reduces
+through, so its invariants are load-bearing for the whole bitwise
+contract: the result must depend only on the last-axis *values*, never
+on leading shape, memory layout, or how the caller chunked the data.
+All assertions here are exact — a one-ulp deviation in a weight sum is
+a divergent resampling decision downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.reductions import DET_CHUNK, det_dot, det_sum, det_sum_squares
+
+#: Lengths that probe every tree shape: single partial chunk, exact
+#: chunk, chunk+1 (ragged tail of width 1), level boundaries (63/64/65
+#: and 255/256), and the headline particle count.
+BOUNDARY_LENGTHS = list(range(1, 41)) + [63, 64, 65, 255, 256, 1024]
+
+
+def _reference_tree(values: np.ndarray) -> float:
+    """Straight-line re-implementation of the spec prose, no vectorization.
+
+    An intentionally naive second implementation: chunks of DET_CHUNK
+    reduced left-to-right, levels repeated until one value remains.
+    The vectorized ``det_sum`` must agree bit-for-bit.
+    """
+    level = [float(v) for v in np.asarray(values, dtype=np.float64).ravel()]
+    if not level:
+        return 0.0
+    while len(level) > 1:
+        nxt = []
+        for start in range(0, len(level), DET_CHUNK):
+            acc = level[start]
+            for v in level[start + 1 : start + DET_CHUNK]:
+                acc = acc + v
+            nxt.append(acc)
+        level = nxt
+    return level[0]
+
+
+def _vectors(n: int, seed: int = 0) -> np.ndarray:
+    """Adversarial float64 data: mixed magnitudes and signs so that
+    chunk order genuinely changes the rounding (catches any silent
+    fallback to np.sum)."""
+    rng = np.random.default_rng(seed + n)
+    scales = 10.0 ** rng.integers(-8, 9, size=n)
+    return rng.standard_normal(n) * scales
+
+
+class TestTreeSpec:
+    @pytest.mark.parametrize("n", BOUNDARY_LENGTHS)
+    def test_matches_scalar_reference_tree(self, n):
+        values = _vectors(n)
+        assert float(det_sum(values)) == _reference_tree(values)
+
+    def test_differs_from_numpy_pairwise_sum(self):
+        """The tree is its own spec, not an alias of np.sum — on
+        adversarial data the orders round differently somewhere."""
+        hits = sum(
+            float(det_sum(_vectors(1024, seed=s))) != float(np.sum(_vectors(1024, seed=s)))
+            for s in range(8)
+        )
+        assert hits > 0
+
+    def test_empty_and_singleton(self):
+        assert float(det_sum(np.array([]))) == 0.0
+        assert float(det_sum(np.array([3.25]))) == 3.25
+        out = det_sum(np.zeros((4, 0)))
+        assert out.shape == (4,)
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+    def test_zero_d_rejected(self):
+        with pytest.raises(ValueError):
+            det_sum(np.float64(1.0))
+
+
+class TestShapeAndLayoutInvariance:
+    @pytest.mark.parametrize("n", BOUNDARY_LENGTHS)
+    def test_leading_shape_invariance(self, n):
+        """A (N,) vector and the same values as a row of an (R, N)
+        stack reduce to bit-identical float64."""
+        values = _vectors(n, seed=7)
+        stack = np.stack([_vectors(n, seed=s) for s in (3, 7, 9)])
+        stack[1] = values
+        alone = float(det_sum(values))
+        stacked = det_sum(stack)
+        assert stacked.shape == (3,)
+        assert float(stacked[1]) == alone
+
+    @pytest.mark.parametrize("n", [17, 64, 65, 256, 1024])
+    def test_contiguity_invariance(self, n):
+        """C-order, F-order and strided views all reduce identically."""
+        stack = np.stack([_vectors(n, seed=s) for s in range(4)])
+        c_order = np.ascontiguousarray(stack)
+        f_order = np.asfortranarray(stack)
+        assert not f_order.flags["C_CONTIGUOUS"] or n == 1
+        strided = np.ascontiguousarray(np.repeat(stack, 2, axis=0))[::2]
+        expected = det_sum(c_order)
+        np.testing.assert_array_equal(det_sum(f_order), expected)
+        np.testing.assert_array_equal(det_sum(strided), expected)
+
+    @pytest.mark.parametrize("n", BOUNDARY_LENGTHS)
+    def test_chunk_boundary_concatenation(self, n):
+        """Result depends only on the length-n value sequence: the same
+        values arriving pre-split at arbitrary offsets (then
+        concatenated) reduce identically — callers never need to align
+        their tiles to DET_CHUNK."""
+        values = _vectors(n, seed=11)
+        for split in {0, 1, n // 2, max(n - 1, 0)}:
+            parts = np.concatenate([values[:split], values[split:]])
+            assert float(det_sum(parts)) == float(det_sum(values))
+
+    def test_float32_inputs_coerced_to_float64(self):
+        values32 = _vectors(256).astype(np.float32)
+        assert float(det_sum(values32)) == _reference_tree(
+            values32.astype(np.float64)
+        )
+
+
+class TestDerivedReductions:
+    @pytest.mark.parametrize("n", [1, 8, 9, 64, 65, 1024])
+    def test_det_dot_products_before_tree(self, n):
+        w = _vectors(n, seed=21)
+        v = _vectors(n, seed=22)
+        assert float(det_dot(w, v)) == _reference_tree(
+            w.astype(np.float64) * v.astype(np.float64)
+        )
+
+    @pytest.mark.parametrize("n", [1, 8, 9, 64, 65, 1024])
+    def test_det_sum_squares(self, n):
+        a = _vectors(n, seed=23)
+        assert float(det_sum_squares(a)) == _reference_tree(a * a)
+
+    def test_det_dot_broadcasts_over_rows(self):
+        w = np.stack([_vectors(40, seed=s) for s in range(3)])
+        v = _vectors(40, seed=99)
+        out = det_dot(w, v)
+        assert out.shape == (3,)
+        for row in range(3):
+            assert float(out[row]) == _reference_tree(w[row] * v)
+
+
+class TestPinnedTree:
+    def test_known_vector_regression(self):
+        """The tree of a fixed 20-element vector is pinned bit-for-bit.
+
+        This value encodes the reduction *order* (chunks of 8, ragged
+        tail of 4, sequential within chunks).  If it ever changes, the
+        spec changed — that is a golden re-baseline event, not a test
+        to update casually (see docs/reproducibility.md).
+        """
+        values = np.array(
+            [
+                1e16, 1.0, -1e16, 2.0, 1e-3, -2.0, 3.0, 1e8,
+                -1e8, 4.0, 1e-7, -4.0, 5.0, 1e4, -1e4, 6.0,
+                7.0, 1e-11, -7.0, 8.0,
+            ]
+        )
+        result = float(det_sum(values))
+        assert result == _reference_tree(values)
+        assert result == 22.001000106344687
+        # The IEEE-754 bit pattern, pinned exactly (little-endian hex) —
+        # and visibly different from numpy's pairwise order on the same
+        # data (22.00100000203656).
+        assert np.float64(result).tobytes().hex() == "ff0a008b41003640"
+        assert result != float(np.sum(values))
+
+    def test_det_chunk_is_eight(self):
+        """DET_CHUNK is part of the serialized contract — changing it
+        invalidates every golden trace."""
+        assert DET_CHUNK == 8

@@ -169,16 +169,36 @@ class TestCompareBackends:
             protocol=SweepProtocol(sequence_count=1, seeds=(0, 1)),
         )
         assert report["equivalent"] is True
-        assert set(report["timings"]) == {"reference", "batched"}
+        # The default comparison covers every constructible backend —
+        # always reference + batched, plus fast where a fused provider
+        # resolves on this host.
+        assert set(report["timings"]) == set(report["backends"])
+        assert {"reference", "batched"} <= set(report["backends"])
         assert report["timings"]["reference"]["total_s"] > 0
         assert "batched" in report["speedup_vs_reference"]
+        assert report["cpu_count"] >= 1
 
         path = write_backend_report(report, tmp_path / "BENCH_backends.json")
         assert path.exists()
         import json
 
         loaded = json.loads(path.read_text())
-        assert loaded["backends"] == ["reference", "batched"]
+        assert loaded["backends"] == report["backends"]
+
+    def test_explicit_backend_selection(self, mini_world):
+        grid, sequence = mini_world
+        report = compare_backends(
+            grid,
+            [sequence],
+            variants=["fp32"],
+            particle_counts=[64],
+            protocol=SweepProtocol(sequence_count=1, seeds=(0,)),
+            backends=("reference", "batched"),
+            jobs=1,
+        )
+        assert report["backends"] == ["reference", "batched"]
+        assert set(report["timings"]) == {"reference", "batched"}
+        assert "parallel" not in report
 
     def test_ablated_r_max_uses_its_own_field(self, mini_world):
         # The bench must resolve distance fields per cell (kind, r_max),

@@ -102,10 +102,18 @@ def _cell_snapshot(backend: str, variant: str) -> dict:
 
 
 @pytest.mark.parametrize("golden_name", sorted(GOLDEN_CELLS))
-@pytest.mark.parametrize("backend", ["reference", "batched"])
+@pytest.mark.parametrize("backend", ["reference", "batched", "fast"])
 def test_golden_cell_reproduces_bit_for_bit(backend, golden_name):
     variant = GOLDEN_CELLS[golden_name]
     golden_path = Path(__file__).parent / golden_name
+    if backend == "fast":
+        from repro.common.errors import ConfigurationError
+        from repro.engine import get_backend
+
+        try:
+            get_backend("fast")
+        except ConfigurationError as exc:
+            pytest.skip(f"no fused fast-backend provider available: {exc}")
     snapshot = _cell_snapshot(backend, variant)
     if os.environ.get("REPRO_UPDATE_GOLDEN"):
         golden_path.write_text(json.dumps(snapshot, indent=2) + "\n")

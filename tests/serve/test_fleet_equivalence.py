@@ -98,6 +98,22 @@ class TestFleetEquivalence:
             result = manager.close(spec.session_id)
             assert_trace_equal(result.trace, solo_traces[spec.session_id])
 
+    def test_fast_backend_fleet_matches_solo_reference(self, solo_traces):
+        """The fused fast backend serves the same mixed fleet bit-for-bit
+        (skipped where no fused provider is constructible)."""
+        from repro.common.errors import ConfigurationError
+
+        try:
+            manager = SessionManager(backend="fast")
+        except ConfigurationError as exc:
+            pytest.skip(f"no fused fast-backend provider available: {exc}")
+        for spec in fleet_specs():
+            manager.create(spec)
+        manager.run_to_completion(frames_per_flush=16)
+        for spec in fleet_specs():
+            result = manager.close(spec.session_id)
+            assert_trace_equal(result.trace, solo_traces[spec.session_id])
+
     def test_irregular_flush_pacing_is_invisible(self, solo_traces):
         """Ragged per-session queues (sessions at wildly different replay
         positions, packed with whoever happens to be pending) cannot
