@@ -1,0 +1,218 @@
+"""Online gateway benchmark: fleets served through the socket.
+
+Where ``bench_serve.py`` measures the in-process serving library, this
+bench measures the full network path: an :class:`OnlineServer` on a
+loopback TCP port, fleets of R mixed-family fp32/N=64 sessions driven
+to completion by several concurrent client connections (one step
+barrier per connection per round, timed individually).  Reported per
+fleet size:
+
+* ``sessions_per_s`` / ``frames_per_s`` — end-to-end serve throughput,
+* ``step_latency_p50_ms`` / ``p99`` — submit-to-served barrier latency,
+* ``ticks`` — how many packed flushes served the whole fleet (the
+  coalescing win: frames-per-tick >> 1 under concurrent clients).
+
+Every trace that comes back through the socket is asserted **bitwise
+identical** to the same (scenario, variant, N, seed) executed alone
+through the reference backend — the serve layer's equivalence contract
+survives JSON framing and the event loop.
+
+Results go to ``results/BENCH_serve_online.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from conftest import current_scale
+
+from repro.core.config import MclConfig
+from repro.engine.backend import RunSpec
+from repro.engine.reference import ReferenceBackend
+from repro.maps.distance_field import DistanceField
+from repro.scenarios import build_scenario
+from repro.scenarios.fleet import FleetSpec
+from repro.serve import AdmissionPolicy, OnlineServer
+from repro.serve.online import drive_fleet
+from repro.viz.export import results_directory
+from repro.viz.tables import format_table
+
+FAMILIES = ("office", "corridor")
+VARIANT = "fp32"
+PARTICLES = 64
+CONNECTIONS = 8
+FRAMES_PER_ROUND = 8
+
+
+def online_protocol() -> tuple[tuple[int, ...], float]:
+    """(fleet sizes, flight seconds) for the current scale.
+
+    Non-smoke scales serve fleets of at least 64 sessions — the regime
+    the gateway exists for.
+    """
+    if current_scale() == "smoke":
+        return (4, 16), 6.0
+    if current_scale() == "paper":
+        return (64, 256, 1024), 20.0
+    return (64, 256), 10.0
+
+
+def _traces_equal(a, b) -> bool:
+    return (
+        a.update_count == b.update_count
+        and np.array_equal(a.timestamps, b.timestamps)
+        and np.array_equal(a.position_errors, b.position_errors)
+        and np.array_equal(a.yaw_errors, b.yaw_errors)
+        and np.array_equal(a.estimate_trace, b.estimate_trace)
+    )
+
+
+def test_serve_online_throughput(benchmark):
+    sizes, flight_s = online_protocol()
+    config = MclConfig(particle_count=PARTICLES).with_variant(VARIANT)
+
+    # One-time costs shared by the server and the solo references:
+    # generated worlds + EDTs (the manager caches the same objects).
+    scenarios = {
+        family: build_scenario(f"{family}:1:flight_s={flight_s}")
+        for family in FAMILIES
+    }
+    fields = {
+        family: DistanceField.build_for_mode(
+            scenario.grid, config.r_max, config.precision
+        )
+        for family, scenario in scenarios.items()
+    }
+
+    async def serve_fleet(size: int):
+        fleet = FleetSpec.mixed(
+            FAMILIES,
+            variant=VARIANT,
+            particle_count=PARTICLES,
+            replicas=size // len(FAMILIES),
+            flight_s=flight_s,
+        )
+        policy = AdmissionPolicy(max_sessions=max(1024, size))
+        async with OnlineServer(policy=policy) as server:
+            host, port = server.address
+            return await drive_fleet(
+                host,
+                port,
+                fleet,
+                connections=CONNECTIONS,
+                frames_per_round=FRAMES_PER_ROUND,
+            )
+
+    def run() -> dict:
+        report: dict = {
+            "protocol": {
+                "families": list(FAMILIES),
+                "variant": VARIANT,
+                "particle_count": PARTICLES,
+                "flight_s": flight_s,
+                "connections": CONNECTIONS,
+                "frames_per_round": FRAMES_PER_ROUND,
+            },
+            "fleets": [],
+            "equivalent": True,
+        }
+        backend = ReferenceBackend()
+        for size in sizes:
+            drive = asyncio.run(serve_fleet(size))
+
+            start = time.perf_counter()
+            equivalent = True
+            for closed in drive.results.values():
+                family = closed.spec.scenario.split(":", 1)[0]
+                solo = backend.execute(
+                    scenarios[family].grid,
+                    [RunSpec(scenarios[family].sequence, closed.spec.seed)],
+                    config,
+                    fields[family],
+                )[0]
+                equivalent &= _traces_equal(closed.trace, solo)
+            solo_s = time.perf_counter() - start
+
+            report["equivalent"] &= equivalent
+            latencies_ms = 1e3 * np.asarray(drive.step_latencies_s)
+            frames = drive.stats["frames_served"]
+            report["fleets"].append(
+                {
+                    "sessions": size,
+                    "frames_served": frames,
+                    "serve_s": drive.serve_s,
+                    "solo_reference_s": solo_s,
+                    "sessions_per_s": size / drive.serve_s,
+                    "frames_per_s": frames / drive.serve_s,
+                    "step_latency_p50_ms": float(
+                        np.percentile(latencies_ms, 50)
+                    ),
+                    "step_latency_p99_ms": float(
+                        np.percentile(latencies_ms, 99)
+                    ),
+                    "barriers": int(latencies_ms.size),
+                    "ticks": drive.stats["ticks"],
+                    "frames_per_tick": frames / max(1, drive.stats["ticks"]),
+                    "equivalent": equivalent,
+                }
+            )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = [
+        [
+            entry["sessions"],
+            f"{entry['serve_s']:.2f}s",
+            f"{entry['sessions_per_s']:.1f}",
+            f"{entry['frames_per_s']:.0f}",
+            f"{entry['step_latency_p50_ms']:.2f}ms",
+            f"{entry['step_latency_p99_ms']:.2f}ms",
+            f"{entry['frames_per_tick']:.1f}",
+        ]
+        for entry in report["fleets"]
+    ]
+    print(
+        format_table(
+            [
+                "fleet",
+                "serve",
+                "sessions/s",
+                "frames/s",
+                "p50 step",
+                "p99 step",
+                "frames/tick",
+            ],
+            rows,
+            title=(
+                f"Online gateway — fleets over loopback TCP "
+                f"({VARIANT}/N={PARTICLES}, {CONNECTIONS} connections)"
+            ),
+            footnote=(
+                "served traces bitwise-identical to solo reference runs: "
+                f"{report['equivalent']} (asserted)"
+            ),
+        )
+    )
+
+    path = results_directory() / "BENCH_serve_online.json"
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report: {path}")
+
+    assert report["equivalent"], "the socket path broke the bitwise contract"
+    if current_scale() != "smoke":
+        assert report["fleets"][-1]["sessions"] >= 64, (
+            "online bench must exercise fleets of >= 64 sessions"
+        )
+    for entry in report["fleets"]:
+        assert entry["frames_per_tick"] > 1.0, (
+            "tick coalescing degraded to one frame per packed flush at "
+            f"fleet size {entry['sessions']}"
+        )

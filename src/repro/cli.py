@@ -16,6 +16,10 @@ Subcommands:
 * ``serve-sim``       — replay a simulated drone fleet through the
   online serving layer (multiplexed sessions, aggregate + per-session
   metrics)
+* ``serve-online``    — run the asyncio session gateway (length-prefixed
+  JSON protocol over TCP: per-session ordering, coalesced ticking,
+  admission control, backpressure); ``--replay FLEET`` drives a loopback
+  demo fleet through the socket instead of serving forever
 * ``bench-backends``  — time reference vs batched vs fast backends on
   one sweep (``fast`` joins wherever a fused provider is available)
 * ``perf``            — print the Table I / Table II model predictions
@@ -578,6 +582,97 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_online(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from .serve import AdmissionPolicy, OnlineServer
+    from .serve.online import drive_fleet
+
+    policy = AdmissionPolicy(
+        max_sessions=args.max_sessions,
+        max_pending_frames=args.max_pending_frames,
+    )
+
+    async def serve() -> int:
+        server = OnlineServer(backend=args.backend, policy=policy)
+        await server.start(host=args.host, port=args.port)
+        host, port = server.address
+        if args.replay is None:
+            print(
+                f"serve-online listening on {host}:{port} "
+                f"(backend={args.backend}, max_sessions={policy.max_sessions}, "
+                f"max_pending_frames={policy.max_pending_frames}) — Ctrl-C stops"
+            )
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.stop()
+            return 0
+
+        try:
+            report = await drive_fleet(
+                host,
+                port,
+                args.replay,
+                connections=args.connections,
+                frames_per_round=args.frames_per_round,
+            )
+        finally:
+            await server.stop()
+
+        rows = []
+        successes = 0
+        for session_id in sorted(report.results):
+            closed = report.results[session_id]
+            metrics = closed.metrics or {}
+            converged = bool(metrics.get("converged"))
+            success = bool(metrics.get("success"))
+            successes += 1 if success else 0
+            rows.append(
+                [
+                    session_id,
+                    closed.spec.variant,
+                    closed.spec.particle_count,
+                    len(closed.trace.timestamps),
+                    closed.trace.update_count,
+                    "yes" if converged else "no",
+                    f"{metrics['ate_mean_m']:.3f}" if converged else "-",
+                    "yes" if success else "no",
+                ]
+            )
+        print(
+            format_table(
+                ["session", "variant", "N", "frames", "updates", "conv", "ate m", "ok"],
+                rows,
+                title=(
+                    f"Online gateway replay — {len(rows)} sessions over "
+                    f"{args.connections} connection(s), backend={args.backend}"
+                ),
+                footnote="every trace travelled the socket bit-exactly",
+            )
+        )
+        latencies = np.array(report.step_latencies_s)
+        frames = report.stats["frames_served"]
+        print()
+        print(
+            f"aggregate: {successes}/{len(rows)} sessions successful, "
+            f"{frames} frames in {report.serve_s:.2f}s "
+            f"({frames / report.serve_s:.0f} frames/s, "
+            f"{len(rows) / report.serve_s:.2f} sessions/s); "
+            f"step latency p50 {1e3 * float(np.percentile(latencies, 50)):.2f} ms, "
+            f"p99 {1e3 * float(np.percentile(latencies, 99)):.2f} ms over "
+            f"{latencies.size} barriers; "
+            f"{report.stats['ticks']} ticks, {report.stats['updates']} updates"
+        )
+        return 0
+
+    return asyncio.run(serve())
+
+
 def _cmd_campaign_list(_args: argparse.Namespace) -> int:
     names = list_campaigns()
     if not names:
@@ -1077,6 +1172,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="print one line per closed session"
     )
     serve.set_defaults(func=_cmd_serve_sim)
+
+    online = sub.add_parser(
+        "serve-online",
+        help="run the asyncio session gateway (length-prefixed JSON over TCP)",
+        description=(
+            "Serve live localization sessions over a TCP socket: a "
+            "length-prefixed JSON protocol (create / create_fleet / submit / "
+            "flush / query / snapshot / restore / close / stats) with "
+            "per-session request ordering, frames coalesced into packed "
+            "scheduler ticks, admission control (--max-sessions) and ingest "
+            "backpressure (--max-pending-frames). Every served trace stays "
+            "bitwise identical to its solo reference run, end to end through "
+            "the socket. Without --replay the server runs until interrupted; "
+            "with --replay FLEET it drives the fleet through a loopback "
+            "client and reports throughput, step latency and per-session "
+            "metrics."
+        ),
+    )
+    online.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    online.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks a free port and prints it)",
+    )
+    online.add_argument(
+        "--backend",
+        choices=list(available_backends()),
+        default="batched",
+        help="filter backend stepping the sessions (identical results)",
+    )
+    online.add_argument(
+        "--max-sessions",
+        type=_positive_int,
+        default=1024,
+        help="admission control: live-session cap",
+    )
+    online.add_argument(
+        "--max-pending-frames",
+        type=_positive_int,
+        default=65536,
+        help="backpressure: cap on accepted-but-unserved frames",
+    )
+    online.add_argument(
+        "--replay",
+        type=_parse_fleet,
+        default=None,
+        metavar="MEMBER[,MEMBER...]",
+        help=(
+            "loopback demo: serve this fleet spec through the socket and "
+            "exit (same grammar as serve-sim --fleet)"
+        ),
+    )
+    online.add_argument(
+        "--connections",
+        type=_positive_int,
+        default=4,
+        help="client connections driving a --replay fleet",
+    )
+    online.add_argument(
+        "--frames-per-round",
+        type=_positive_int,
+        default=1,
+        help="frames each session submits per --replay step barrier",
+    )
+    online.set_defaults(func=_cmd_serve_online)
 
     bench = sub.add_parser(
         "bench-backends",

@@ -12,9 +12,16 @@ Sessions support create / step (submit + flush) / query / close plus
 byte-stable snapshot / restore; every session's trace is **bitwise
 identical** to the same (scenario, variant, N, seed) run stepped alone
 through the reference backend.  See ``docs/serving.md``.
+
+The network edge lives in :mod:`repro.serve.online`
+(:class:`OnlineServer` / :class:`OnlineClient`, the asyncio gateway with
+per-session ordering, coalesced ticking, admission control and
+backpressure) over the wire protocol of :mod:`repro.serve.protocol`.
 """
 
 from .manager import FlushReport, SessionManager
+from .online import AdmissionPolicy, OnlineClient, OnlineServer
+from .protocol import PROTOCOL_VERSION, ErrorCode, OnlineError, ProtocolError
 from .scheduler import StepScheduler
 from .session import (
     FilterSession,
@@ -26,8 +33,15 @@ from .session import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "ErrorCode",
     "FilterSession",
     "FlushReport",
+    "OnlineClient",
+    "OnlineError",
+    "OnlineServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "SessionManager",
     "SessionResult",
     "SessionSpec",

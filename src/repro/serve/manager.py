@@ -106,30 +106,51 @@ class SessionManager:
     # Lifecycle
     # ------------------------------------------------------------------
     def create(self, spec: SessionSpec) -> str:
-        """Open one session; returns its id."""
+        """Open one session; returns its id.
+
+        Creation is transactional: if row initialization fails after the
+        scheduler admitted the session, the row (and a cohort grown just
+        for it) is evicted before the error propagates, leaving the
+        manager exactly as if the call had never been made.
+        """
         if spec.session_id in self._sessions:
             raise ConfigurationError(
                 f"session {spec.session_id!r} already exists"
             )
         session = self._materialize(spec)
         self.scheduler.admit(session)
-        stack = self.scheduler.stack(session)
-        stack.init_row(
-            session.row,
-            session.scenario.grid,
-            RunSpec(sequence=session.scenario.sequence, seed=spec.seed),
-        )
+        try:
+            stack = self.scheduler.stack(session)
+            stack.init_row(
+                session.row,
+                session.scenario.grid,
+                RunSpec(sequence=session.scenario.sequence, seed=spec.seed),
+            )
+        except BaseException:
+            self.scheduler.evict(session)
+            raise
         self._sessions[spec.session_id] = session
         return spec.session_id
 
     def create_fleet(self, fleet: "FleetSpec | str") -> list[str]:
-        """Open one session per fleet declaration; returns their ids."""
+        """Open one session per fleet declaration; returns their ids.
+
+        Atomic: if any declaration fails, the sessions already created
+        by this call are closed again before the error propagates —
+        a fleet either comes up whole or not at all.  Sessions that
+        existed before the call are never touched.
+        """
         if isinstance(fleet, str):
             fleet = FleetSpec.parse(fleet)
-        return [
-            self.create(SessionSpec.from_declaration(decl))
-            for decl in fleet.declarations()
-        ]
+        created: list[str] = []
+        try:
+            for decl in fleet.declarations():
+                created.append(self.create(SessionSpec.from_declaration(decl)))
+        except BaseException:
+            for session_id in reversed(created):
+                self.close(session_id)
+            raise
+        return created
 
     def close(self, session_id: str) -> SessionResult:
         """Retire a session, returning the trace served so far."""
@@ -185,16 +206,26 @@ class SessionManager:
         for session_id in self.session_ids():
             self.submit(session_id, frames)
 
-    def flush(self) -> FlushReport:
-        """Serve every queued frame in packed scheduler ticks.
+    def queued(self, session_id: str) -> int:
+        """Frames currently queued (accepted, unserved) for one session."""
+        return self._session(session_id).queued
+
+    def pending_frames(self) -> int:
+        """Total frames queued across all sessions (the ingest backlog)."""
+        return sum(session.queued for session in self._sessions.values())
+
+    def flush(self, max_ticks: int | None = None) -> FlushReport:
+        """Serve queued frames in packed scheduler ticks.
 
         Each tick advances every session with queued work by one frame;
-        ticks repeat until all queues drain.  Sessions at different
+        ticks repeat until all queues drain (or ``max_ticks`` ticks ran
+        — the online server serves tick-by-tick so new submissions can
+        coalesce into the next packed call).  Sessions at different
         replay positions and of different cohorts interleave freely —
         packing is the scheduler's deterministic function of ids.
         """
         ticks = frames = updates = 0
-        while True:
+        while max_ticks is None or ticks < max_ticks:
             pending = [s for s in self._sessions.values() if s.queued > 0]
             if not pending:
                 break
@@ -281,7 +312,14 @@ class SessionManager:
                 f"{session.plan.length} — scenario definition drifted"
             )
         self.scheduler.admit(session)
-        self.scheduler.stack(session).import_row(session.row, state)
+        try:
+            self.scheduler.stack(session).import_row(session.row, state)
+        except BaseException:
+            # Same transactionality as create: a snapshot that fails to
+            # import (dtype/shape drift, truncated state) must not leak
+            # the admitted scheduler row or its grown cohort stack.
+            self.scheduler.evict(session)
+            raise
         session.cursor = cursor
         session.timestamps = [float(t) for t in trace["trace_timestamps"]]
         session.position_errors = [

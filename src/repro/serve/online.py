@@ -1,0 +1,687 @@
+"""The online gateway: an asyncio network edge over ``SessionManager``.
+
+:class:`OnlineServer` turns the in-process serving library into a
+long-lived network service speaking the length-prefixed JSON protocol of
+:mod:`repro.serve.protocol` (create / create_fleet / submit / flush /
+query / snapshot / restore / close / stats).  Three properties define
+the server, each load-bearing for the "millions of users" axis:
+
+**Per-session request ordering.**  All state mutation happens on one
+event loop — there are no threads — and each connection's requests are
+processed strictly in arrival order.  A session's verbs therefore apply
+in the order its client sent them; interleaving across *different*
+sessions is unconstrained (and is where the throughput comes from).
+
+**Coalesced ticking.**  ``submit`` only *queues* frames; a single
+background step task drains all queues through
+``SessionManager.flush(max_ticks=1)``, yielding to the event loop
+between ticks.  Frames submitted by any number of connections while a
+tick executes coalesce into the *next* packed tick, so the scheduler's
+``(fingerprint, N)`` cohort batching — the ~4x multiplexing win —
+survives heavy mixed traffic instead of degrading to one tiny stacked
+call per request.  ``flush`` (and ``submit`` with ``wait=true``) is a
+barrier: it resolves once the named sessions' queues are empty.
+
+**Admission control and backpressure.**  ``max_sessions`` bounds live
+sessions (``create`` / ``create_fleet`` / ``restore`` beyond it are
+rejected with the structured code ``admission_rejected``; a fleet is
+admitted whole or not at all).  ``max_pending_frames`` bounds the
+accepted-but-unserved ingest backlog: submissions that would exceed it
+are rejected with ``overloaded`` and the client retries after draining —
+the server's memory and tick latency stay bounded no matter how fast
+clients push.  Below both sits transport backpressure: frames are read
+one at a time per connection and responses are written with ``drain()``.
+
+Everything served through the socket keeps the serve layer's bitwise
+contract: a session's trace returned by ``close`` decodes to arrays
+bit-for-bit identical to the same (scenario, variant, N, seed) executed
+alone through the reference backend (asserted end-to-end in
+``tests/serve/test_online.py`` and ``benchmarks/bench_serve_online.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError, EvaluationError, ReproError
+from ..core.config import MclConfig
+from ..engine.backend import RunTrace
+from ..eval.metrics import RunMetrics
+from ..scenarios.fleet import FleetSpec
+from .manager import SessionManager
+from .protocol import (
+    PROTOCOL_VERSION,
+    ErrorCode,
+    OnlineError,
+    ProtocolError,
+    blob_from_json,
+    blob_to_json,
+    read_frame,
+    trace_from_json,
+    trace_to_json,
+    write_frame,
+)
+from .session import SessionSpec, SessionStatus
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """What the gateway lets in before structured rejection kicks in."""
+
+    #: Live-session cap; ``create``/``create_fleet``/``restore`` past it
+    #: answer ``admission_rejected``.
+    max_sessions: int = 1024
+    #: Cap on frames accepted but not yet served (the ingest backlog);
+    #: ``submit`` past it answers ``overloaded``.
+    max_pending_frames: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ConfigurationError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.max_pending_frames < 1:
+            raise ConfigurationError(
+                "max_pending_frames must be >= 1, got "
+                f"{self.max_pending_frames}"
+            )
+
+
+def _metrics_to_json(metrics: RunMetrics | None) -> dict | None:
+    if metrics is None:
+        return None
+    return {
+        "converged": bool(metrics.converged),
+        "convergence_time_s": (
+            None
+            if metrics.convergence_time_s is None
+            else float(metrics.convergence_time_s)
+        ),
+        "success": bool(metrics.success),
+        "ate_mean_m": float(metrics.ate_mean_m),
+        "ate_rmse_m": float(metrics.ate_rmse_m),
+        "ate_max_m": float(metrics.ate_max_m),
+        "yaw_mean_rad": float(metrics.yaw_mean_rad),
+    }
+
+
+def _status_to_json(status: SessionStatus) -> dict:
+    return {
+        "session_id": status.session_id,
+        "scenario": status.scenario,
+        "variant": status.variant,
+        "particle_count": status.particle_count,
+        "seed": status.seed,
+        "cursor": status.cursor,
+        "frames_total": status.frames_total,
+        "queued": status.queued,
+        "update_count": status.update_count,
+        "done": status.done,
+        "estimate": [status.estimate.x, status.estimate.y, status.estimate.theta],
+        "metrics": _metrics_to_json(status.metrics),
+    }
+
+
+class OnlineServer:
+    """Asyncio session gateway; one instance owns one ``SessionManager``."""
+
+    def __init__(
+        self,
+        backend: str = "batched",
+        base_config: MclConfig | None = None,
+        policy: AdmissionPolicy | None = None,
+        manager: SessionManager | None = None,
+    ) -> None:
+        self.manager = manager or SessionManager(
+            backend=backend, base_config=base_config
+        )
+        self.policy = policy or AdmissionPolicy()
+        self._server: asyncio.AbstractServer | None = None
+        self._step_task: asyncio.Task | None = None
+        self._work = asyncio.Event()
+        self._tick_waiters: list[asyncio.Future] = []
+        self.stats = {
+            "ticks": 0,
+            "frames_served": 0,
+            "updates": 0,
+            "connections": 0,
+            "requests": 0,
+            "rejected_admission": 0,
+            "rejected_overload": 0,
+            "protocol_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        self._step_task = asyncio.ensure_future(self._step_loop())
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — useful with ``port=0``."""
+        if self._server is None or not self._server.sockets:
+            raise EvaluationError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise EvaluationError("server is not started")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the step loop, release waiters."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._step_task is not None:
+            self._step_task.cancel()
+            try:
+                await self._step_task
+            except asyncio.CancelledError:
+                pass
+            self._step_task = None
+        self._resolve_tick_waiters()
+
+    async def __aenter__(self) -> "OnlineServer":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # The step loop (coalesced ticking)
+    # ------------------------------------------------------------------
+    async def _step_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while self.manager.pending_frames() > 0:
+                report = self.manager.flush(max_ticks=1)
+                self.stats["ticks"] += report.ticks
+                self.stats["frames_served"] += report.frames
+                self.stats["updates"] += report.updates
+                self._resolve_tick_waiters()
+                # Yield so connections can ingest new submissions; those
+                # frames join the *next* packed tick.
+                await asyncio.sleep(0)
+            self._resolve_tick_waiters()
+
+    def _resolve_tick_waiters(self) -> None:
+        waiters, self._tick_waiters = self._tick_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def _kick(self) -> None:
+        self._work.set()
+
+    async def _wait_drained(self, session_ids: list[str]) -> None:
+        """Resolve when every named session's queue is empty."""
+
+        def pending() -> bool:
+            return any(
+                sid in self.manager._sessions
+                and self.manager._sessions[sid].queued > 0
+                for sid in session_ids
+            )
+
+        while pending():
+            waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._tick_waiters.append(waiter)
+            await waiter
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats["connections"] += 1
+        try:
+            while True:
+                try:
+                    request = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Framing is broken — answer once and hang up; the
+                    # sessions this connection touched are server-side
+                    # state and keep serving.
+                    self.stats["protocol_errors"] += 1
+                    await self._safe_error(
+                        writer, ErrorCode.BAD_REQUEST, str(exc)
+                    )
+                    break
+                if request is None:
+                    break  # clean EOF (or reset) — sessions live on
+                response = await self._dispatch(request)
+                try:
+                    await write_frame(writer, response)
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _safe_error(
+        self, writer: asyncio.StreamWriter, code: str, message: str
+    ) -> None:
+        try:
+            await write_frame(
+                writer,
+                {"ok": False, "error": {"code": code, "message": message}},
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        self.stats["requests"] += 1
+        op = request.get("op")
+        handler = self._HANDLERS.get(op)
+        if handler is None:
+            return _error(
+                ErrorCode.BAD_REQUEST,
+                f"unknown op {op!r}; expected one of: "
+                + ", ".join(sorted(self._HANDLERS)),
+            )
+        version = request.get("v", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            return _error(
+                ErrorCode.BAD_REQUEST,
+                f"protocol version {version!r} is not supported "
+                f"(server speaks {PROTOCOL_VERSION})",
+            )
+        try:
+            return await handler(self, request)
+        except _Rejection as exc:
+            return _error(exc.code, str(exc))
+        except ConfigurationError as exc:
+            return _error(ErrorCode.CONFIGURATION, str(exc))
+        except EvaluationError as exc:
+            return _error(ErrorCode.EVALUATION, str(exc))
+        except ReproError as exc:
+            return _error(ErrorCode.BAD_REQUEST, str(exc))
+        except Exception as exc:  # noqa: BLE001 — one request, not the server
+            return _error(
+                ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit_sessions(self, new_sessions: int) -> None:
+        if len(self.manager) + new_sessions > self.policy.max_sessions:
+            self.stats["rejected_admission"] += 1
+            raise _Rejection(
+                ErrorCode.ADMISSION_REJECTED,
+                f"admitting {new_sessions} session(s) would exceed the "
+                f"cap of {self.policy.max_sessions} "
+                f"({len(self.manager)} live)",
+            )
+
+    def _admit_frames(self, new_frames: int) -> None:
+        backlog = self.manager.pending_frames()
+        if backlog + new_frames > self.policy.max_pending_frames:
+            self.stats["rejected_overload"] += 1
+            raise _Rejection(
+                ErrorCode.OVERLOADED,
+                f"submitting {new_frames} frame(s) would exceed the "
+                f"ingest bound of {self.policy.max_pending_frames} "
+                f"({backlog} queued); drain with flush and retry",
+            )
+
+    # ------------------------------------------------------------------
+    # Op handlers
+    # ------------------------------------------------------------------
+    async def _op_create(self, request: dict) -> dict:
+        spec = SessionSpec(
+            session_id=_require(request, "session_id", str),
+            scenario=_require(request, "scenario", str),
+            variant=request.get("variant", "fp32"),
+            particle_count=request.get("particle_count", 64),
+            seed=request.get("seed", 0),
+        )
+        self._admit_sessions(1)
+        return _ok(session_id=self.manager.create(spec))
+
+    async def _op_create_fleet(self, request: dict) -> dict:
+        fleet = FleetSpec.parse(_require(request, "fleet", str))
+        self._admit_sessions(len(fleet))
+        return _ok(session_ids=self.manager.create_fleet(fleet))
+
+    async def _op_submit(self, request: dict) -> dict:
+        session_ids = _session_list(request)
+        frames = request.get("frames", 1)
+        if not isinstance(frames, int) or frames < 0:
+            raise _Rejection(
+                ErrorCode.BAD_REQUEST, f"frames must be an int >= 0, got {frames!r}"
+            )
+        for sid in session_ids:  # validate before mutating anything
+            self.manager._session(sid)
+        self._admit_frames(frames * len(session_ids))
+        queued = {sid: self.manager.submit(sid, frames) for sid in session_ids}
+        self._kick()
+        if request.get("wait", False):
+            await self._wait_drained(session_ids)
+        return _ok(queued=queued, pending=self.manager.pending_frames())
+
+    async def _op_flush(self, request: dict) -> dict:
+        session_ids = (
+            _session_list(request)
+            if ("session" in request or "sessions" in request)
+            else self.manager.session_ids()
+        )
+        self._kick()
+        await self._wait_drained(session_ids)
+        return _ok(
+            ticks=self.stats["ticks"],
+            frames_served=self.stats["frames_served"],
+            pending=self.manager.pending_frames(),
+        )
+
+    async def _op_query(self, request: dict) -> dict:
+        status = self.manager.query(_require(request, "session", str))
+        return _ok(status=_status_to_json(status))
+
+    async def _op_snapshot(self, request: dict) -> dict:
+        blob = self.manager.snapshot(_require(request, "session", str))
+        return _ok(snapshot=blob_to_json(blob))
+
+    async def _op_restore(self, request: dict) -> dict:
+        blob = blob_from_json(_require(request, "snapshot", str))
+        session_id = request.get("session_id")
+        self._admit_sessions(1)
+        return _ok(session_id=self.manager.restore(blob, session_id))
+
+    async def _op_close(self, request: dict) -> dict:
+        result = self.manager.close(_require(request, "session", str))
+        return _ok(
+            session_id=result.spec.session_id,
+            scenario=result.spec.scenario,
+            variant=result.spec.variant,
+            particle_count=result.spec.particle_count,
+            seed=result.spec.seed,
+            trace=trace_to_json(result.trace),
+            metrics=_metrics_to_json(result.metrics),
+        )
+
+    async def _op_stats(self, _request: dict) -> dict:
+        return _ok(
+            protocol=PROTOCOL_VERSION,
+            sessions=len(self.manager),
+            pending_frames=self.manager.pending_frames(),
+            cohorts=self.manager.scheduler.cohort_count(),
+            max_sessions=self.policy.max_sessions,
+            max_pending_frames=self.policy.max_pending_frames,
+            **self.stats,
+        )
+
+    _HANDLERS = {
+        "create": _op_create,
+        "create_fleet": _op_create_fleet,
+        "submit": _op_submit,
+        "flush": _op_flush,
+        "query": _op_query,
+        "snapshot": _op_snapshot,
+        "restore": _op_restore,
+        "close": _op_close,
+        "stats": _op_stats,
+    }
+
+
+class _Rejection(ReproError):
+    """Internal: a structured rejection with a protocol error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def _ok(**fields) -> dict:
+    return {"ok": True, **fields}
+
+
+def _error(code: str, message: str) -> dict:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def _require(request: dict, key: str, kind: type) -> object:
+    value = request.get(key)
+    if not isinstance(value, kind):
+        raise _Rejection(
+            ErrorCode.BAD_REQUEST,
+            f"request field {key!r} must be a {kind.__name__}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+def _session_list(request: dict) -> list[str]:
+    if "session" in request:
+        return [_require(request, "session", str)]
+    sessions = request.get("sessions")
+    if (
+        not isinstance(sessions, list)
+        or not sessions
+        or not all(isinstance(sid, str) for sid in sessions)
+    ):
+        raise _Rejection(
+            ErrorCode.BAD_REQUEST,
+            "request needs 'session' (str) or 'sessions' (non-empty "
+            "list of str)",
+        )
+    return sessions
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+@dataclass
+class ClosedSession:
+    """What ``OnlineClient.close_session`` returns, decoded."""
+
+    spec: SessionSpec
+    trace: RunTrace
+    metrics: dict | None
+
+
+class OnlineClient:
+    """Asyncio client of one :class:`OnlineServer` connection.
+
+    One client = one ordered request stream: every call sends one frame
+    and awaits its response, so a session driven by one client sees its
+    verbs applied in call order (the server's per-connection guarantee).
+    Server-side rejections raise :class:`~repro.serve.protocol.OnlineError`
+    carrying the structured code.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "OnlineClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **params) -> dict:
+        await write_frame(self._writer, {"op": op, **params})
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise OnlineError(
+                error.get("code", ErrorCode.INTERNAL),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    async def create(self, spec: SessionSpec) -> str:
+        response = await self.request(
+            "create",
+            session_id=spec.session_id,
+            scenario=spec.scenario,
+            variant=spec.variant,
+            particle_count=spec.particle_count,
+            seed=spec.seed,
+        )
+        return response["session_id"]
+
+    async def create_fleet(self, fleet: "FleetSpec | str") -> list[str]:
+        spec = fleet if isinstance(fleet, str) else fleet.id
+        response = await self.request("create_fleet", fleet=spec)
+        return response["session_ids"]
+
+    async def submit(
+        self,
+        sessions: "str | list[str]",
+        frames: int = 1,
+        wait: bool = False,
+    ) -> dict:
+        params: dict = {"frames": frames, "wait": wait}
+        if isinstance(sessions, str):
+            params["session"] = sessions
+        else:
+            params["sessions"] = sessions
+        return await self.request("submit", **params)
+
+    async def flush(self, sessions: "list[str] | None" = None) -> dict:
+        if sessions is None:
+            return await self.request("flush")
+        return await self.request("flush", sessions=sessions)
+
+    async def query(self, session_id: str) -> dict:
+        return (await self.request("query", session=session_id))["status"]
+
+    async def snapshot(self, session_id: str) -> bytes:
+        response = await self.request("snapshot", session=session_id)
+        return blob_from_json(response["snapshot"])
+
+    async def restore(
+        self, blob: bytes, session_id: "str | None" = None
+    ) -> str:
+        params: dict = {"snapshot": blob_to_json(blob)}
+        if session_id is not None:
+            params["session_id"] = session_id
+        return (await self.request("restore", **params))["session_id"]
+
+    async def close_session(self, session_id: str) -> ClosedSession:
+        response = await self.request("close", session=session_id)
+        return ClosedSession(
+            spec=SessionSpec(
+                session_id=response["session_id"],
+                scenario=response["scenario"],
+                variant=response["variant"],
+                particle_count=response["particle_count"],
+                seed=response["seed"],
+            ),
+            trace=trace_from_json(response["trace"]),
+            metrics=response["metrics"],
+        )
+
+    async def stats(self) -> dict:
+        return await self.request("stats")
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "OnlineClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+# ----------------------------------------------------------------------
+# Fleet driver (CLI demo + benchmark harness)
+# ----------------------------------------------------------------------
+@dataclass
+class FleetDriveReport:
+    """What :func:`drive_fleet` measured over one served fleet."""
+
+    #: Closed sessions by id (full traces, decoded from the wire).
+    results: dict
+    #: Wall-clock seconds per (connection, round) step barrier — each
+    #: sample is the latency from submitting one frame per owned session
+    #: to all of them being served.
+    step_latencies_s: list
+    #: Serving wall clock: first submit to last queue drained.
+    serve_s: float
+    #: Server-side counters at the end of the drive.
+    stats: dict
+
+
+async def drive_fleet(
+    host: str,
+    port: int,
+    fleet: "FleetSpec | str",
+    connections: int = 4,
+    frames_per_round: int = 1,
+) -> FleetDriveReport:
+    """Serve one fleet to completion through the socket gateway.
+
+    Opens ``connections`` client connections, partitions the fleet's
+    sessions round-robin across them, and has every connection submit
+    ``frames_per_round`` frames per owned session with ``wait=true`` —
+    a step barrier per connection per round, timed individually.
+    Connections run concurrently and unsynchronized, so the server sees
+    heavy mixed traffic at staggered replay positions and its tick
+    coalescing is what keeps the cohort batching intact.
+    """
+    import time
+
+    control = await OnlineClient.connect(host, port)
+    session_ids = await control.create_fleet(
+        fleet if isinstance(fleet, str) else fleet.id
+    )
+    connections = max(1, min(connections, len(session_ids)))
+    groups: list[list[str]] = [[] for _ in range(connections)]
+    remaining: dict[str, int] = {}
+    for index, sid in enumerate(session_ids):
+        groups[index % connections].append(sid)
+        status = await control.query(sid)
+        remaining[sid] = status["frames_total"]
+
+    latencies: list[float] = []
+
+    async def run_group(owned: list[str]) -> None:
+        async with await OnlineClient.connect(host, port) as client:
+            while any(remaining[sid] > 0 for sid in owned):
+                live = [sid for sid in owned if remaining[sid] > 0]
+                start = time.perf_counter()
+                await client.submit(live, frames=frames_per_round, wait=True)
+                latencies.append(time.perf_counter() - start)
+                for sid in live:
+                    remaining[sid] -= min(frames_per_round, remaining[sid])
+
+    serve_start = time.perf_counter()
+    await asyncio.gather(*(run_group(group) for group in groups if group))
+    serve_s = time.perf_counter() - serve_start
+
+    results = {sid: await control.close_session(sid) for sid in session_ids}
+    stats = await control.stats()
+    await control.close()
+    return FleetDriveReport(
+        results=results,
+        step_latencies_s=latencies,
+        serve_s=serve_s,
+        stats=stats,
+    )

@@ -1,0 +1,176 @@
+"""The online serving wire protocol: length-prefixed JSON frames.
+
+One *frame* is one request or one response.  The encoding is
+deliberately primitive — debuggable with ``nc`` and implementable in a
+few lines from any language:
+
+.. code-block:: text
+
+    frame  := header payload
+    header := ASCII decimal byte-length of payload, then "\\n"
+    payload:= canonical JSON object (sorted keys, compact), then "\\n"
+
+The length prefix makes framing binary-safe and O(1) (no scanning for
+delimiters inside payloads); the JSON-lines payload keeps every frame a
+single human-readable line.  Binary values (session snapshots) travel
+base64-encoded.  Floats round-trip exactly: Python's JSON writer emits
+the shortest ``repr`` that parses back to the identical IEEE-754 double,
+which is what lets the serve layer's *bitwise* equivalence contract
+extend across the socket (``tests/serve/test_online.py`` asserts it).
+
+Requests are ``{"op": <verb>, ...params}``; responses are
+``{"ok": true, ...result}`` or ``{"ok": false, "error": {"code": ...,
+"message": ...}}``.  The verbs and their semantics (ordering,
+backpressure, admission) are documented in ``docs/serving.md`` and
+implemented by :class:`repro.serve.online.OnlineServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..engine.backend import RunTrace
+
+#: Protocol revision; servers reject frames from a different major.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload, enforced by readers on the length
+#: header *before* allocating — a corrupt or hostile header can never
+#: make the server buffer gigabytes.  Snapshots of large-N sessions are
+#: the biggest legitimate frames; 64 MiB clears them by orders of
+#: magnitude.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+# ----------------------------------------------------------------------
+# Error codes (structured rejections)
+# ----------------------------------------------------------------------
+class ErrorCode:
+    """Stable error codes carried by ``{"ok": false}`` responses."""
+
+    BAD_REQUEST = "bad_request"  # malformed frame / unknown op / bad params
+    CONFIGURATION = "configuration"  # ConfigurationError from the library
+    EVALUATION = "evaluation"  # EvaluationError (unknown session, drift)
+    ADMISSION_REJECTED = "admission_rejected"  # session cap reached
+    OVERLOADED = "overloaded"  # ingest queue full (backpressure)
+    INTERNAL = "internal"  # unexpected server-side failure
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire protocol (framing, not semantics)."""
+
+
+class OnlineError(ReproError):
+    """A structured server-side rejection, re-raised client-side.
+
+    ``code`` is one of the :class:`ErrorCode` constants, so callers can
+    distinguish backpressure (retryable) from semantic errors.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+# ----------------------------------------------------------------------
+# Frame encoding
+# ----------------------------------------------------------------------
+def encode_frame(message: dict) -> bytes:
+    """Serialize one message as a length-prefixed canonical JSON line."""
+    payload = (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    return f"{len(payload)}\n".encode("ascii") + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF before a header.
+
+    Raises :class:`ProtocolError` on garbage headers, oversized lengths,
+    truncated payloads or non-object payloads.
+    """
+    try:
+        header = await reader.readline()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        return None
+    if not header:
+        return None
+    try:
+        length = int(header.decode("ascii").strip())
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"bad frame header {header[:32]!r}") from exc
+    if length < 2 or length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} outside protocol bounds")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("frame payload is not valid JSON") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Encode and send one frame, honouring transport backpressure."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Payload helpers (exact value round-trips)
+# ----------------------------------------------------------------------
+def blob_to_json(blob: bytes) -> str:
+    """Binary payloads (snapshots) as base64 text."""
+    return base64.b64encode(blob).decode("ascii")
+
+
+def blob_from_json(text: str) -> bytes:
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except Exception as exc:  # binascii.Error, UnicodeEncodeError
+        raise ProtocolError("blob field is not valid base64") from exc
+
+
+def trace_to_json(trace: RunTrace) -> dict:
+    """A :class:`RunTrace` as JSON-safe lists (float64-exact).
+
+    ``float(np.float64)`` is the identical double and JSON carries it
+    via shortest-repr, so decoding reproduces every array bit-for-bit.
+    """
+    return {
+        "timestamps": [float(v) for v in trace.timestamps],
+        "position_errors": [float(v) for v in trace.position_errors],
+        "yaw_errors": [float(v) for v in trace.yaw_errors],
+        "estimate_trace": [
+            [float(v) for v in row] for row in trace.estimate_trace
+        ],
+        "update_count": int(trace.update_count),
+    }
+
+
+def trace_from_json(data: dict) -> RunTrace:
+    """Rebuild the exact :class:`RunTrace` arrays from the wire form."""
+    estimates = np.array(data["estimate_trace"], dtype=np.float64)
+    if estimates.size == 0:
+        estimates = estimates.reshape(0, 3)
+    return RunTrace(
+        timestamps=np.array(data["timestamps"], dtype=np.float64),
+        position_errors=np.array(data["position_errors"], dtype=np.float64),
+        yaw_errors=np.array(data["yaw_errors"], dtype=np.float64),
+        estimate_trace=estimates,
+        update_count=int(data["update_count"]),
+    )

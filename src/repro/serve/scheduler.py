@@ -27,11 +27,15 @@ schedule is reproducible from its declaration, which keeps scheduling
 regressions observable and wall-clock comparisons meaningful.
 
 Rows are recycled: closing a session frees its row for the next session
-of the same cohort (lowest free row first — again deterministic).
+of the same cohort (lowest free row first — again deterministic), and a
+cohort whose last row is released is retired entirely — its stacked
+arrays are dropped, so a long-lived manager serving a churning mix of
+configurations never accumulates dead stacks.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from ..core.config import MclConfig
@@ -41,7 +45,11 @@ from .session import FilterSession
 
 @dataclass
 class _Cohort:
-    """One (config fingerprint, N) stack plus its row bookkeeping."""
+    """One (config fingerprint, N) stack plus its row bookkeeping.
+
+    ``free_rows`` is a min-heap, so recycling always hands out the
+    lowest free row without re-sorting the pool on every assignment.
+    """
 
     config: MclConfig
     stack: SessionStack
@@ -51,15 +59,19 @@ class _Cohort:
     def assign_row(self) -> int:
         """Lowest free row, growing the stack when none is available."""
         if self.free_rows:
-            self.free_rows.sort()
-            return self.free_rows.pop(0)
+            return heapq.heappop(self.free_rows)
         row = self.rows_used
         self.rows_used += 1
         self.stack.ensure_capacity(self.rows_used)
         return row
 
     def release_row(self, row: int) -> None:
-        self.free_rows.append(row)
+        heapq.heappush(self.free_rows, row)
+
+    @property
+    def active_rows(self) -> int:
+        """Rows currently owned by live sessions."""
+        return self.rows_used - len(self.free_rows)
 
 
 class StepScheduler:
@@ -85,10 +97,23 @@ class StepScheduler:
         session.row = entry.assign_row()
 
     def evict(self, session: FilterSession) -> None:
-        """Return the session's row to its cohort's free pool."""
+        """Return the session's row to its cohort's free pool.
+
+        A cohort whose last active row is released is retired with its
+        stacked arrays: under a churning mix of configurations the
+        cohort map stays proportional to the *live* fleet, not to every
+        ``(fingerprint, N)`` ever served.
+        """
         if session.row >= 0:
-            self._cohorts[session.cohort_key].release_row(session.row)
+            cohort = self._cohorts[session.cohort_key]
+            cohort.release_row(session.row)
             session.row = -1
+            if cohort.active_rows == 0:
+                del self._cohorts[session.cohort_key]
+
+    def cohort_count(self) -> int:
+        """How many live (fingerprint, N) cohort stacks exist right now."""
+        return len(self._cohorts)
 
     def stack(self, session: FilterSession) -> SessionStack:
         return self._cohorts[session.cohort_key].stack

@@ -1,0 +1,240 @@
+"""Regression tests for serve-layer lifecycle exception-safety.
+
+Three real bugs found auditing the serve layer for the online gateway:
+
+* ``SessionManager.create``/``restore`` leaked the admitted scheduler
+  row (and stack capacity grown for it) when row initialization raised;
+* ``StepScheduler`` never retired empty cohorts, so a long-running
+  manager under a churning config mix grew without bound;
+* ``create_fleet`` had no rollback — a failure on declaration K left
+  sessions 1..K-1 open.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, EvaluationError
+from repro.engine.batched import ParticleStack
+from repro.serve import SessionManager, SessionSpec
+
+SCENARIO = "office:1:flight_s=8"
+
+
+def make_spec(session_id="s0", **overrides):
+    defaults = dict(
+        session_id=session_id,
+        scenario=SCENARIO,
+        variant="fp32",
+        particle_count=64,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SessionSpec(**defaults)
+
+
+def serve_one(manager, spec, frames=20):
+    manager.create(spec)
+    manager.submit(spec.session_id, frames)
+    manager.flush()
+    return manager.close(spec.session_id)
+
+
+class TestCreateRollback:
+    def test_failed_create_leaves_manager_pristine(self, monkeypatch):
+        manager = SessionManager()
+
+        def boom(self, row, grid, spec):
+            raise RuntimeError("injected init failure")
+
+        monkeypatch.setattr(ParticleStack, "init_row", boom)
+        with pytest.raises(RuntimeError):
+            manager.create(make_spec())
+        monkeypatch.undo()
+
+        # No session, no leaked row, no leaked cohort stack.
+        assert len(manager) == 0
+        assert manager.scheduler.cohort_count() == 0
+
+        # The same manager retries cleanly and serves bitwise-identically
+        # to a manager that never saw the failure.
+        retried = serve_one(manager, make_spec())
+        fresh = serve_one(SessionManager(), make_spec())
+        np.testing.assert_array_equal(
+            retried.trace.estimate_trace, fresh.trace.estimate_trace
+        )
+
+    def test_failed_create_in_populated_cohort_frees_the_row(self, monkeypatch):
+        manager = SessionManager()
+        manager.create(make_spec("a"))
+
+        def boom(self, row, grid, spec):
+            raise RuntimeError("injected init failure")
+
+        monkeypatch.setattr(ParticleStack, "init_row", boom)
+        with pytest.raises(RuntimeError):
+            manager.create(make_spec("b", seed=1))
+        monkeypatch.undo()
+
+        assert manager.session_ids() == ["a"]
+        (cohort,) = manager.scheduler._cohorts.values()
+        assert cohort.active_rows == 1
+        # The failed session's row went back to the pool: the next
+        # create reuses it instead of growing the stack.
+        manager.create(make_spec("c", seed=2))
+        assert manager._sessions["c"].row == 1
+        assert cohort.rows_used == 2
+
+
+class TestRestoreRollback:
+    def _snapshot(self, frames=30):
+        donor = SessionManager()
+        donor.create(make_spec())
+        donor.submit("s0", frames)
+        donor.flush()
+        return donor.snapshot("s0")
+
+    def test_failed_import_leaves_manager_pristine(self, monkeypatch):
+        blob = self._snapshot()
+        manager = SessionManager()
+
+        def boom(self, row, snapshot):
+            raise RuntimeError("injected import failure")
+
+        monkeypatch.setattr(ParticleStack, "import_row", boom)
+        with pytest.raises(RuntimeError):
+            manager.restore(blob)
+        monkeypatch.undo()
+
+        assert len(manager) == 0
+        assert manager.scheduler.cohort_count() == 0
+        # Retry succeeds on the untouched manager.
+        assert manager.restore(blob) == "s0"
+
+    def test_drifted_scenario_rejected_without_leak(self):
+        # Simulate a scenario whose definition shrank between snapshot
+        # and restore: the stored cursor points past the sequence end.
+        blob = self._snapshot(frames=100)
+        with np.load(io.BytesIO(blob)) as archive:
+            payload = {key: np.array(archive[key]) for key in archive.files}
+        meta = json.loads(str(payload["serve_meta"]))
+        meta["scenario"] = "office:1:flight_s=5"
+        payload["serve_meta"] = np.array(json.dumps(meta, sort_keys=True))
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **{k: payload[k] for k in sorted(payload)})
+
+        manager = SessionManager()
+        with pytest.raises(EvaluationError, match="drifted"):
+            manager.restore(buffer.getvalue())
+        assert len(manager) == 0
+        assert manager.scheduler.cohort_count() == 0
+
+
+class TestCohortRetirement:
+    def test_closing_last_session_retires_the_cohort(self):
+        manager = SessionManager()
+        manager.create(make_spec("a", variant="fp32", particle_count=64))
+        manager.create(make_spec("b", variant="fp16qm", particle_count=96))
+        assert manager.scheduler.cohort_count() == 2
+        manager.close("a")
+        assert manager.scheduler.cohort_count() == 1
+        manager.close("b")
+        assert manager.scheduler.cohort_count() == 0
+
+    def test_churning_config_mix_returns_to_baseline(self):
+        # A long-lived manager cycling through distinct configurations
+        # must not accumulate one dead stack per (fingerprint, N) seen.
+        manager = SessionManager()
+        for index, sigma in enumerate((0.5, 1.0, 2.0, 4.0)):
+            sid = f"s{index}"
+            manager.create(
+                make_spec(sid, variant=f"fp32+sigma={sigma}", seed=index)
+            )
+            manager.submit(sid, 5)
+            manager.flush()
+            manager.close(sid)
+            assert manager.scheduler.cohort_count() == 0
+        assert len(manager) == 0
+
+    def test_grown_capacity_is_released_with_the_cohort(self):
+        manager = SessionManager()
+        for index in range(4):
+            manager.create(make_spec(f"s{index}", seed=index))
+        (cohort,) = manager.scheduler._cohorts.values()
+        assert cohort.rows_used == 4
+        for index in range(4):
+            manager.close(f"s{index}")
+        assert manager.scheduler.cohort_count() == 0
+        # A fresh session opens a fresh cohort at baseline capacity.
+        manager.create(make_spec("again"))
+        (cohort,) = manager.scheduler._cohorts.values()
+        assert cohort.rows_used == 1
+
+    def test_failed_create_retires_a_cohort_grown_for_it(self, monkeypatch):
+        manager = SessionManager()
+        manager.create(make_spec("a"))  # fp32/64 cohort
+
+        def boom(self, row, grid, spec):
+            raise RuntimeError("injected init failure")
+
+        monkeypatch.setattr(ParticleStack, "init_row", boom)
+        with pytest.raises(RuntimeError):
+            manager.create(
+                make_spec("b", variant="fp16qm", particle_count=96)
+            )
+        monkeypatch.undo()
+        # The cohort opened just for the failed session is gone again.
+        assert manager.scheduler.cohort_count() == 1
+
+
+class TestRowPoolDeterminism:
+    def test_lowest_free_row_is_reused_first(self):
+        manager = SessionManager()
+        for index, sid in enumerate(("a", "b", "c")):
+            manager.create(make_spec(sid, seed=index))
+        assert [manager._sessions[sid].row for sid in ("a", "b", "c")] == [0, 1, 2]
+        manager.close("a")
+        manager.close("c")  # "b" keeps the cohort alive
+        manager.create(make_spec("d", seed=3))
+        assert manager._sessions["d"].row == 0
+        manager.create(make_spec("e", seed=4))
+        assert manager._sessions["e"].row == 2
+
+
+class TestFleetAtomicity:
+    def test_partial_failure_rolls_back_created_sessions(self):
+        manager = SessionManager()
+        # Pre-existing session whose id collides with declaration #1 of
+        # the fleet below — the fleet fails halfway through expansion.
+        colliding = f"001.{SCENARIO}.fp32.n64.s1"
+        manager.create(make_spec(colliding, seed=1))
+        with pytest.raises(ConfigurationError, match="already exists"):
+            manager.create_fleet(f"{SCENARIO}@fp32@64*3")
+        # Declaration #0 was rolled back; the pre-existing session and
+        # its cohort row survive untouched.
+        assert manager.session_ids() == [colliding]
+        (cohort,) = manager.scheduler._cohorts.values()
+        assert cohort.active_rows == 1
+        # The survivor still serves.
+        manager.submit(colliding, 5)
+        assert manager.flush().frames == 5
+
+    def test_failed_fleet_on_empty_manager_leaves_nothing(self):
+        manager = SessionManager()
+        manager.create(make_spec(f"000.{SCENARIO}.fp32.n64.s0"))
+        manager.close(f"000.{SCENARIO}.fp32.n64.s0")
+        manager.create(make_spec(f"002.{SCENARIO}.fp32.n64.s2", seed=2))
+        manager.close(f"002.{SCENARIO}.fp32.n64.s2")
+        manager.create(make_spec(f"001.{SCENARIO}.fp32.n64.s1", seed=1))
+        with pytest.raises(ConfigurationError):
+            manager.create_fleet(f"{SCENARIO}@fp32@64*3")
+        assert manager.session_ids() == [f"001.{SCENARIO}.fp32.n64.s1"]
+
+    def test_unknown_family_in_fleet_is_rejected_upfront(self):
+        manager = SessionManager()
+        with pytest.raises(ConfigurationError, match="unknown scenario family"):
+            manager.create_fleet("office:1@fp32@64*2,bogus:1@fp32@64")
+        assert len(manager) == 0
+        assert manager.scheduler.cohort_count() == 0

@@ -1,0 +1,408 @@
+"""The asyncio session gateway: protocol, ordering, admission, and the
+bitwise contract extended across the socket.
+
+Every test runs a real ``OnlineServer`` on a loopback TCP port and
+drives it through ``OnlineClient`` (or a raw socket, for the framing and
+disconnect cases) inside ``asyncio.run`` — no event-loop test plugins
+required.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import MclConfig
+from repro.engine.backend import RunSpec
+from repro.engine.reference import ReferenceBackend
+from repro.maps.distance_field import DistanceField
+from repro.scenarios import build_scenario
+from repro.serve import (
+    AdmissionPolicy,
+    ErrorCode,
+    OnlineClient,
+    OnlineError,
+    OnlineServer,
+    ProtocolError,
+)
+from repro.serve.online import drive_fleet
+from repro.serve.protocol import encode_frame, read_frame
+
+SCENARIO = "office:1:flight_s=8"
+FLEET = (
+    "office:1:flight_s=8@fp32@64*2,"
+    "corridor:1:flight_s=8@fp32@64~2,"
+    "office:1:flight_s=8@fp16qm@96~3"
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def solo_reference_trace(scenario_id: str, variant: str, particles: int, seed: int):
+    """The same (scenario, variant, N, seed) executed alone, offline."""
+    scenario = build_scenario(scenario_id)
+    config = MclConfig(particle_count=particles).with_variant(variant)
+    field = DistanceField.build_for_mode(
+        scenario.grid, config.r_max, config.precision
+    )
+    return ReferenceBackend().execute(
+        scenario.grid, [RunSpec(scenario.sequence, seed)], config, field
+    )[0]
+
+
+def assert_traces_equal(served, solo):
+    assert served.update_count == solo.update_count
+    np.testing.assert_array_equal(served.timestamps, solo.timestamps)
+    np.testing.assert_array_equal(served.position_errors, solo.position_errors)
+    np.testing.assert_array_equal(served.yaw_errors, solo.yaw_errors)
+    np.testing.assert_array_equal(served.estimate_trace, solo.estimate_trace)
+
+
+class TestSocketEquivalence:
+    def test_mixed_fleet_served_through_socket_is_bitwise_solo(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                return await drive_fleet(
+                    host, port, FLEET, connections=3, frames_per_round=7
+                )
+
+        report = run(serve())
+        assert len(report.results) == 4
+        for closed in report.results.values():
+            solo = solo_reference_trace(
+                closed.spec.scenario,
+                closed.spec.variant,
+                closed.spec.particle_count,
+                closed.spec.seed,
+            )
+            assert_traces_equal(closed.trace, solo)
+        # The driver produced real step barriers and the server ticked.
+        assert report.step_latencies_s
+        assert report.stats["ticks"] > 0
+        assert report.stats["frames_served"] == sum(
+            len(c.trace.timestamps) for c in report.results.values()
+        )
+
+    def test_snapshot_restore_through_socket_continues_bitwise(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    sid = await client.create_fleet(f"{SCENARIO}@fp32@64")
+                    await client.submit(sid, frames=40, wait=True)
+                    blob = await client.snapshot(sid[0])
+                    interrupted = await client.close_session(sid[0])
+                    restored_id = await client.restore(blob, "resumed")
+                    status = await client.query(restored_id)
+                    assert status["cursor"] == 40
+                    remaining = status["frames_total"] - status["cursor"]
+                    await client.submit(
+                        restored_id, frames=remaining, wait=True
+                    )
+                    resumed = await client.close_session(restored_id)
+                    return interrupted, resumed
+
+        interrupted, resumed = run(serve())
+        solo = solo_reference_trace(interrupted.spec.scenario, "fp32", 64, 0)
+        # The pre-snapshot prefix and the resumed full trace both match
+        # the uninterrupted solo run exactly.
+        np.testing.assert_array_equal(
+            interrupted.trace.estimate_trace, solo.estimate_trace[:40]
+        )
+        assert_traces_equal(resumed.trace, solo)
+
+
+class TestAdmissionControl:
+    def test_session_cap_rejects_create_with_structured_code(self):
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=2, max_pending_frames=1000)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    await client.create_fleet(f"{SCENARIO}@fp32@64*2")
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.request(
+                            "create", session_id="extra", scenario=SCENARIO
+                        )
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.ADMISSION_REJECTED
+        assert stats["sessions"] == 2
+        assert stats["rejected_admission"] == 1
+
+    def test_fleet_admission_is_all_or_nothing(self):
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=3, max_pending_frames=1000)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    await client.create_fleet(f"{SCENARIO}@fp32@64")
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.create_fleet(f"{SCENARIO}@fp32@64*3~5")
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.ADMISSION_REJECTED
+        assert stats["sessions"] == 1  # none of the three were admitted
+
+    def test_restore_is_admission_controlled(self):
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=1, max_pending_frames=1000)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    (sid,) = await client.create_fleet(f"{SCENARIO}@fp32@64")
+                    blob = await client.snapshot(sid)
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.restore(blob, "clone")
+                    return excinfo.value
+
+        assert run(serve()).code == ErrorCode.ADMISSION_REJECTED
+
+    def test_ingest_bound_rejects_then_recovers_after_drain(self):
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=8, max_pending_frames=16)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    ids = await client.create_fleet(f"{SCENARIO}@fp32@64*2")
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.submit(ids, frames=10)  # 20 > 16
+                    rejected = excinfo.value
+                    # Nothing was queued by the rejected submission.
+                    pending_after_reject = (
+                        await client.stats()
+                    )["pending_frames"]
+                    # Within the bound it is accepted; after draining,
+                    # the full budget is available again.
+                    await client.submit(ids, frames=8, wait=True)
+                    await client.submit(ids, frames=8, wait=True)
+                    cursors = [
+                        (await client.query(sid))["cursor"] for sid in ids
+                    ]
+                    stats = await client.stats()
+                    return rejected, pending_after_reject, cursors, stats
+
+        rejected, pending_after_reject, cursors, stats = run(serve())
+        assert rejected.code == ErrorCode.OVERLOADED
+        assert pending_after_reject == 0
+        assert cursors == [16, 16]
+        assert stats["rejected_overload"] == 1
+
+
+class TestFailurePaths:
+    def test_unknown_scenario_in_fleet_spec_is_structured(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.create_fleet(
+                            f"{SCENARIO}@fp32@64*2,bogus:1@fp32@64"
+                        )
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.CONFIGURATION
+        assert "unknown scenario family" in str(error)
+        assert stats["sessions"] == 0  # atomic: nothing leaked
+
+    def test_restore_against_drifted_scenario_is_structured(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    (sid,) = await client.create_fleet(
+                        f"{SCENARIO}@fp32@64"
+                    )
+                    await client.submit(sid, frames=100, wait=True)
+                    blob = await client.snapshot(sid)
+                    # Same snapshot, restored onto a server whose
+                    # manager resolves the scenario to a shorter flight
+                    # (the definition "drifted" between hosts).
+                    import io
+                    import json as jsonlib
+
+                    with np.load(io.BytesIO(blob)) as archive:
+                        payload = {
+                            key: np.array(archive[key])
+                            for key in archive.files
+                        }
+                    meta = jsonlib.loads(str(payload["serve_meta"]))
+                    meta["scenario"] = "office:1:flight_s=5"
+                    meta["session_id"] = "drifted"
+                    payload["serve_meta"] = np.array(
+                        jsonlib.dumps(meta, sort_keys=True)
+                    )
+                    buffer = io.BytesIO()
+                    np.savez_compressed(
+                        buffer, **{k: payload[k] for k in sorted(payload)}
+                    )
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.restore(buffer.getvalue())
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.EVALUATION
+        assert "drifted" in str(error)
+        assert stats["sessions"] == 1  # only the original session
+        assert stats["cohorts"] == 1  # no leaked stack from the failure
+
+    def test_unknown_session_in_submit_batch_queues_nothing(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    ids = await client.create_fleet(f"{SCENARIO}@fp32@64")
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.submit(ids + ["ghost"], frames=5)
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.EVALUATION
+        assert stats["pending_frames"] == 0
+
+    def test_malformed_frame_answers_bad_request_and_hangs_up(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"not-a-length\n")
+                await writer.drain()
+                response = await read_frame(reader)
+                trailing = await reader.read()  # server closed after it
+                writer.close()
+                await writer.wait_closed()
+                # The server is still healthy for well-formed clients.
+                async with await OnlineClient.connect(host, port) as client:
+                    stats = await client.stats()
+                return response, trailing, stats
+
+        response, trailing, stats = run(serve())
+        assert response["ok"] is False
+        assert response["error"]["code"] == ErrorCode.BAD_REQUEST
+        assert trailing == b""
+        assert stats["protocol_errors"] == 1
+
+    def test_client_disconnect_mid_flush_spares_survivors(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                control = await OnlineClient.connect(host, port)
+                ids = await control.create_fleet(
+                    f"{SCENARIO}@fp32@64*2,corridor:1:flight_s=8@fp32@64~2"
+                )
+                victim_ids, survivor = ids[:2], ids[2]
+
+                # A second client floods frames for its sessions and
+                # vanishes without reading the response or waiting.
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(
+                    encode_frame(
+                        {"op": "submit", "sessions": victim_ids, "frames": 60}
+                    )
+                )
+                await writer.drain()
+                writer.close()  # gone mid-flush
+
+                # The survivor (and the orphaned sessions) keep serving.
+                total = (await control.query(survivor))["frames_total"]
+                await control.submit(survivor, frames=total, wait=True)
+                await control.flush()  # drain the orphaned queues too
+                orphan_cursors = [
+                    (await control.query(sid))["cursor"] for sid in victim_ids
+                ]
+                closed = {
+                    sid: await control.close_session(sid) for sid in ids
+                }
+                await control.close()
+                return orphan_cursors, closed
+
+        orphan_cursors, closed = run(serve())
+        # The disconnected client's frames were accepted and served.
+        assert orphan_cursors == [60, 60]
+        # Every session — survivor and orphans — is bitwise-solo.
+        for closed_session in closed.values():
+            solo = solo_reference_trace(
+                closed_session.spec.scenario,
+                closed_session.spec.variant,
+                closed_session.spec.particle_count,
+                closed_session.spec.seed,
+            )
+            cursor = len(closed_session.trace.timestamps)
+            np.testing.assert_array_equal(
+                closed_session.trace.estimate_trace,
+                solo.estimate_trace[:cursor],
+            )
+
+
+class TestProtocolFraming:
+    def test_frame_roundtrip(self):
+        async def roundtrip():
+            message = {"op": "query", "session": "s0", "value": 1.5}
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame(message))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        message = run(roundtrip())
+        assert message == {"op": "query", "session": "s0", "value": 1.5}
+
+    def test_eof_before_header_is_clean_none(self):
+        async def eof():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        assert run(eof()) is None
+
+    def test_truncated_payload_raises(self):
+        async def truncated():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"100\n{\"op\":")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            run(truncated())
+
+    def test_oversized_length_rejected_before_allocation(self):
+        async def oversized():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"999999999999\nx")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(ProtocolError, match="bounds"):
+            run(oversized())
+
+    def test_unknown_op_is_bad_request(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.request("warp")
+                    return excinfo.value
+
+        assert run(serve()).code == ErrorCode.BAD_REQUEST
+
+    def test_protocol_version_mismatch_is_bad_request(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.request("stats", v=99)
+                    return excinfo.value
+
+        assert run(serve()).code == ErrorCode.BAD_REQUEST

@@ -217,6 +217,18 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["serve-sim", "--fleet", "office@nope"])
 
+    def test_serve_online_replay(self, capsys):
+        fleet = "corridor:2:flight_s=6.0@fp32@32*2,office:2:flight_s=6.0@fp16qm@32*2~2"
+        assert main(["serve-online", "--replay", fleet, "--connections", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 sessions" in out
+        assert "000.corridor:2:flight_s=6.0.fp32.n32.s0" in out
+        assert "step latency p50" in out
+
+    def test_serve_online_rejects_bad_fleet(self):
+        with pytest.raises(SystemExit):
+            main(["serve-online", "--replay", "office@nope"])
+
     def test_scenarios_generate_and_sweep(self, capsys):
         # Generate once (cached by tests/conftest.py's tmp data dir),
         # then sweep the same spec — the sweep must reuse the cache.
