@@ -1,0 +1,366 @@
+"""Live-migration benchmark: a rolling rebalance under load.
+
+Two :class:`OnlineServer` gateways share one event loop.  A fleet is
+seeded on server A and driven to completion by concurrent client
+connections; once a quarter of the total frames have been served, a
+controller performs a **rolling rebalance** — migrating half the fleet
+to server B one handoff at a time while the drivers keep submitting
+(absorbing ``draining`` rejections and re-routing sessions that moved).
+Reported per fleet size:
+
+* ``blackout_p50_ms`` / ``p99`` — per-session handoff blackout, the
+  drain-to-redirect round-trip during which neither server admits the
+  session's frames;
+* ``frames_per_s_before`` / ``during`` / ``after`` — fleet throughput
+  in the three phases, showing what a whole-fleet rebalance costs the
+  sessions that are *not* moving;
+* ``sessions_per_s`` — end-to-end serve throughput including the
+  rebalance.
+
+Every trace — migrated or not — is asserted **bitwise identical** to
+the same (scenario, variant, N, seed) executed alone through the
+reference backend: the rebalance is invisible in the numbers.
+
+Results go to ``results/BENCH_migration.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from conftest import current_scale
+
+from repro.core.config import MclConfig
+from repro.engine.backend import RunSpec
+from repro.engine.reference import ReferenceBackend
+from repro.maps.distance_field import DistanceField
+from repro.scenarios import build_scenario
+from repro.scenarios.fleet import FleetSpec
+from repro.serve import AdmissionPolicy, ErrorCode, OnlineError, OnlineServer
+from repro.serve.online import OnlineClient
+from repro.viz.export import results_directory
+from repro.viz.tables import format_table
+
+FAMILIES = ("office", "corridor")
+VARIANT = "fp32"
+PARTICLES = 64
+CONNECTIONS = 8
+FRAMES_PER_ROUND = 8
+#: The rebalance starts once this fraction of all frames is served.
+#: Early enough that even the largest fleet's rolling rebalance (one
+#: handoff at a time, contending with driver traffic) finishes with a
+#: measurable steady-state window left after it.
+REBALANCE_AT = 0.1
+
+
+def migration_protocol() -> tuple[tuple[int, float], ...]:
+    """((fleet size, flight seconds), ...) for the current scale.
+
+    The big fleets fly longer: a rolling rebalance moves ``size/2``
+    sessions one handoff at a time against live traffic, and the run
+    must outlast it so the *after* window (post-rebalance steady state)
+    is actually measurable.
+    """
+    if current_scale() == "smoke":
+        return ((4, 6.0), (16, 6.0))
+    if current_scale() == "paper":
+        return ((64, 20.0), (256, 45.0))
+    return ((64, 10.0), (256, 30.0))
+
+
+def _traces_equal(a, b) -> bool:
+    return (
+        a.update_count == b.update_count
+        and np.array_equal(a.timestamps, b.timestamps)
+        and np.array_equal(a.position_errors, b.position_errors)
+        and np.array_equal(a.yaw_errors, b.yaw_errors)
+        and np.array_equal(a.estimate_trace, b.estimate_trace)
+    )
+
+
+async def _drive_with_rebalance(size: int, flight_s: float) -> dict:
+    """Serve one fleet across two gateways with a mid-run rebalance."""
+    fleet = FleetSpec.mixed(
+        FAMILIES,
+        variant=VARIANT,
+        particle_count=PARTICLES,
+        replicas=size // len(FAMILIES),
+        flight_s=flight_s,
+    )
+    policy = AdmissionPolicy(max_sessions=max(1024, size))
+    async with (
+        OnlineServer(policy=policy) as server_a,
+        OnlineServer(policy=policy) as server_b,
+    ):
+        a_addr, b_addr = server_a.address, server_b.address
+        control_a = await OnlineClient.connect(*a_addr)
+        control_b = await OnlineClient.connect(*b_addr)
+        session_ids = await control_a.create_fleet(fleet)
+        #: Which gateway currently owns each session ("a" or "b");
+        #: drivers re-route on evaluation errors when this goes stale.
+        home: dict[str, str] = {sid: "a" for sid in session_ids}
+        remaining: dict[str, int] = {}
+        for sid in session_ids:
+            remaining[sid] = (await control_a.query(sid))["frames_total"]
+        total_frames = sum(remaining.values())
+
+        phase = {"name": "before"}
+        frames_by_phase = {"before": 0, "during": 0, "after": 0}
+        phase_clock = {"before": 0.0, "during": 0.0, "after": 0.0}
+
+        async def locate(client_a, client_b, sid) -> str:
+            for name, client in (("a", client_a), ("b", client_b)):
+                try:
+                    await client.query(sid)
+                    return name
+                except OnlineError:
+                    continue
+            raise RuntimeError(f"session {sid} on neither gateway")
+
+        async def submit_group(client_a, client_b, sids) -> None:
+            """Submit one round for ``sids``, absorbing migration churn.
+
+            ``draining`` means a handoff is in flight — back off and
+            retry; an evaluation error means at least one session moved
+            — re-locate the batch and retry.  Rejected batches queue
+            nothing, so retrying never double-submits."""
+            pending = list(sids)
+            for _ in range(200):
+                groups: dict[str, list[str]] = {"a": [], "b": []}
+                for sid in pending:
+                    groups[home[sid]].append(sid)
+                retry = []
+                for name, client in (("a", client_a), ("b", client_b)):
+                    if not groups[name]:
+                        continue
+                    try:
+                        await client.submit_with_retry(
+                            groups[name], frames=FRAMES_PER_ROUND, wait=True
+                        )
+                    except OnlineError as exc:
+                        if exc.code not in (
+                            ErrorCode.DRAINING,
+                            ErrorCode.EVALUATION,
+                        ):
+                            raise
+                        for sid in groups[name]:
+                            home[sid] = await locate(client_a, client_b, sid)
+                        retry.extend(groups[name])
+                if not retry:
+                    return
+                pending = retry
+                await asyncio.sleep(0.005)
+            raise RuntimeError("submission starved by migration churn")
+
+        async def run_group(owned: list[str]) -> None:
+            client_a = await OnlineClient.connect(*a_addr)
+            client_b = await OnlineClient.connect(*b_addr)
+            async with client_a, client_b:
+                while any(remaining[sid] > 0 for sid in owned):
+                    live = [sid for sid in owned if remaining[sid] > 0]
+                    await submit_group(client_a, client_b, live)
+                    served = sum(
+                        min(FRAMES_PER_ROUND, remaining[sid]) for sid in live
+                    )
+                    frames_by_phase[phase["name"]] += served
+                    for sid in live:
+                        remaining[sid] -= min(
+                            FRAMES_PER_ROUND, remaining[sid]
+                        )
+
+        async def rolling_rebalance() -> list[float]:
+            """Migrate half the fleet A -> B, one handoff at a time."""
+            while (
+                server_a.stats["frames_served"]
+                + server_b.stats["frames_served"]
+                < REBALANCE_AT * total_frames
+            ):
+                await asyncio.sleep(0.01)
+            phase_clock["before"] = time.perf_counter() - serve_start
+            phase["name"] = "during"
+            start_during = time.perf_counter()
+            blackouts = []
+            movers = session_ids[::2]
+            target = "%s:%d" % b_addr
+            for sid in movers:
+                begin = time.perf_counter()
+                await control_a.migrate(sid, target=target)
+                blackouts.append(time.perf_counter() - begin)
+                home[sid] = "b"
+            phase_clock["during"] = time.perf_counter() - start_during
+            phase["name"] = "after"
+            return blackouts
+
+        connections = max(1, min(CONNECTIONS, len(session_ids)))
+        groups: list[list[str]] = [[] for _ in range(connections)]
+        for index, sid in enumerate(session_ids):
+            groups[index % connections].append(sid)
+
+        serve_start = time.perf_counter()
+        rebalance = asyncio.ensure_future(rolling_rebalance())
+        await asyncio.gather(*(run_group(group) for group in groups if group))
+        blackouts = await rebalance
+        serve_s = time.perf_counter() - serve_start
+        phase_clock["after"] = (
+            serve_s - phase_clock["before"] - phase_clock["during"]
+        )
+
+        results = {}
+        for sid in session_ids:
+            control = control_b if home[sid] == "b" else control_a
+            results[sid] = await control.close_session(sid)
+        stats = {"a": dict(server_a.stats), "b": dict(server_b.stats)}
+        await control_a.close()
+        await control_b.close()
+        return {
+            "results": results,
+            "blackouts_s": blackouts,
+            "serve_s": serve_s,
+            "frames_by_phase": frames_by_phase,
+            "phase_clock": phase_clock,
+            "stats": stats,
+        }
+
+
+def test_migration_rolling_rebalance(benchmark):
+    cells = migration_protocol()
+    config = MclConfig(particle_count=PARTICLES).with_variant(VARIANT)
+
+    scenarios = {}
+    fields = {}
+    for _, flight_s in cells:
+        for family in FAMILIES:
+            key = (family, flight_s)
+            if key in scenarios:
+                continue
+            scenarios[key] = build_scenario(f"{family}:1:flight_s={flight_s}")
+            fields[key] = DistanceField.build_for_mode(
+                scenarios[key].grid, config.r_max, config.precision
+            )
+
+    def run() -> dict:
+        report: dict = {
+            "protocol": {
+                "families": list(FAMILIES),
+                "variant": VARIANT,
+                "particle_count": PARTICLES,
+                "fleets_flight_s": [list(cell) for cell in cells],
+                "connections": CONNECTIONS,
+                "frames_per_round": FRAMES_PER_ROUND,
+                "rebalance_at_fraction": REBALANCE_AT,
+                "migrated_fraction": 0.5,
+            },
+            "fleets": [],
+            "equivalent": True,
+        }
+        backend = ReferenceBackend()
+        for size, flight_s in cells:
+            drive = asyncio.run(_drive_with_rebalance(size, flight_s))
+
+            equivalent = True
+            for closed in drive["results"].values():
+                family = closed.spec.scenario.split(":", 1)[0]
+                key = (family, flight_s)
+                solo = backend.execute(
+                    scenarios[key].grid,
+                    [RunSpec(scenarios[key].sequence, closed.spec.seed)],
+                    config,
+                    fields[key],
+                )[0]
+                equivalent &= _traces_equal(closed.trace, solo)
+            report["equivalent"] &= equivalent
+
+            blackouts_ms = 1e3 * np.asarray(drive["blackouts_s"])
+            rates = {
+                name: drive["frames_by_phase"][name]
+                / max(1e-9, drive["phase_clock"][name])
+                for name in ("before", "during", "after")
+            }
+            a_stats, b_stats = drive["stats"]["a"], drive["stats"]["b"]
+            report["fleets"].append(
+                {
+                    "sessions": size,
+                    "flight_s": flight_s,
+                    "migrations": int(blackouts_ms.size),
+                    "serve_s": drive["serve_s"],
+                    "sessions_per_s": size / drive["serve_s"],
+                    "blackout_p50_ms": float(np.percentile(blackouts_ms, 50)),
+                    "blackout_p99_ms": float(np.percentile(blackouts_ms, 99)),
+                    "blackout_max_ms": float(blackouts_ms.max()),
+                    "frames_per_s_before": rates["before"],
+                    "frames_per_s_during": rates["during"],
+                    "frames_per_s_after": rates["after"],
+                    "frames_served_a": a_stats["frames_served"],
+                    "frames_served_b": b_stats["frames_served"],
+                    "migrations_failed": a_stats["migrations_failed"],
+                    "equivalent": equivalent,
+                }
+            )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    rows = [
+        [
+            entry["sessions"],
+            entry["migrations"],
+            f"{entry['blackout_p50_ms']:.1f}ms",
+            f"{entry['blackout_p99_ms']:.1f}ms",
+            f"{entry['frames_per_s_before']:.0f}",
+            f"{entry['frames_per_s_during']:.0f}",
+            f"{entry['frames_per_s_after']:.0f}",
+            f"{entry['sessions_per_s']:.1f}",
+        ]
+        for entry in report["fleets"]
+    ]
+    print(
+        format_table(
+            [
+                "fleet",
+                "moved",
+                "p50 blackout",
+                "p99 blackout",
+                "f/s before",
+                "f/s during",
+                "f/s after",
+                "sessions/s",
+            ],
+            rows,
+            title=(
+                f"Rolling rebalance — half the fleet A->B mid-run "
+                f"({VARIANT}/N={PARTICLES}, {CONNECTIONS} connections)"
+            ),
+            footnote=(
+                "all traces bitwise-identical to solo reference runs: "
+                f"{report['equivalent']} (asserted)"
+            ),
+        )
+    )
+
+    path = results_directory() / "BENCH_migration.json"
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report: {path}")
+
+    assert report["equivalent"], "migration broke the bitwise contract"
+    if current_scale() != "smoke":
+        assert {e["sessions"] for e in report["fleets"]} >= {64, 256}, (
+            "migration bench must cover fleets 64 and 256"
+        )
+    for entry in report["fleets"]:
+        assert entry["migrations"] == entry["sessions"] // 2
+        assert entry["migrations_failed"] == 0
+        assert entry["frames_served_b"] > 0, (
+            "the target server never served a frame — the rebalance "
+            "did not happen"
+        )
+        assert entry["frames_per_s_after"] > 0, (
+            "the run ended before the rolling rebalance did — raise "
+            "this fleet's flight seconds in migration_protocol()"
+        )

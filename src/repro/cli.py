@@ -18,8 +18,14 @@ Subcommands:
   metrics)
 * ``serve-online``    — run the asyncio session gateway (length-prefixed
   JSON protocol over TCP: per-session ordering, coalesced ticking,
-  admission control, backpressure); ``--replay FLEET`` drives a loopback
-  demo fleet through the socket instead of serving forever
+  admission control, backpressure, drain/handoff migration verbs);
+  ``--peer`` names fellow servers for ``migrate``-by-index, ``--replay
+  FLEET`` drives a loopback demo fleet through the socket instead of
+  serving forever
+* ``migrate``         — move live sessions between running gateways:
+  explicit session moves, whole-peer eviction (``--evict``) or a
+  fleet-wide cohort-aware rebalance (``--rebalance``), each handoff
+  bitwise-invisible to the migrated session's trace
 * ``bench-backends``  — time reference vs batched vs fast backends on
   one sweep (``fast`` joins wherever a fused provider is available)
 * ``perf``            — print the Table I / Table II model predictions
@@ -596,14 +602,23 @@ def _cmd_serve_online(args: argparse.Namespace) -> int:
     )
 
     async def serve() -> int:
-        server = OnlineServer(backend=args.backend, policy=policy)
+        server = OnlineServer(
+            backend=args.backend,
+            policy=policy,
+            peers=args.peer,
+            handoff_timeout_s=args.handoff_timeout,
+        )
         await server.start(host=args.host, port=args.port)
         host, port = server.address
         if args.replay is None:
+            peers = (
+                f", peers={','.join(args.peer)}" if args.peer else ""
+            )
             print(
                 f"serve-online listening on {host}:{port} "
                 f"(backend={args.backend}, max_sessions={policy.max_sessions}, "
-                f"max_pending_frames={policy.max_pending_frames}) — Ctrl-C stops"
+                f"max_pending_frames={policy.max_pending_frames}{peers}) "
+                "— Ctrl-C stops"
             )
             try:
                 await server.serve_forever()
@@ -671,6 +686,117 @@ def _cmd_serve_online(args: argparse.Namespace) -> int:
         return 0
 
     return asyncio.run(serve())
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.migrate import MigrationCoordinator, Move, Peer
+
+    if args.rebalance and args.evict:
+        print("migrate: --rebalance and --evict are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.evict and not args.source:
+        print("migrate: --evict needs --source HOST:PORT", file=sys.stderr)
+        return 2
+    if not (args.rebalance or args.evict) and not (
+        args.source and args.target
+    ):
+        print(
+            "migrate: name an operation — --rebalance, --evict --source S, "
+            "or --source S --target T [--session ID ...]",
+            file=sys.stderr,
+        )
+        return 2
+
+    peers = [Peer.parse(p) for p in args.peers]
+    for named in (args.source, args.target):
+        if named is not None and Peer.parse(named) not in peers:
+            peers.append(Peer.parse(named))
+    if len(peers) < 2:
+        print(
+            "migrate: a fleet needs >= 2 peers (--peers HOST:PORT,HOST:PORT)",
+            file=sys.stderr,
+        )
+        return 2
+
+    async def run() -> int:
+        coordinator = MigrationCoordinator(
+            peers, handoff_timeout_s=args.handoff_timeout
+        )
+        occupancy = coordinator.occupancy_of(await coordinator.fleet_stats())
+        if args.rebalance:
+            moves = coordinator.plan_rebalance(occupancy)
+            operation = f"rebalance across {len(peers)} peers"
+        elif args.evict:
+            source = Peer.parse(args.source)
+            moves = coordinator.plan_evict(occupancy, source, args.keep)
+            operation = f"evict {source.id} down to {args.keep} sessions"
+        else:
+            source, target = Peer.parse(args.source), Peer.parse(args.target)
+            sessions = args.session or sorted(
+                sid
+                for cohort in occupancy.get(source, {}).values()
+                for sid in cohort
+            )
+            moves = [Move(sid, source, target) for sid in sessions]
+            operation = f"move {len(moves)} session(s) {source.id} -> {target.id}"
+
+        if not moves:
+            print(f"{operation}: fleet already satisfies the plan, no moves")
+            return 0
+        if args.plan:
+            rows = [[m.session_id, m.source.id, m.target.id] for m in moves]
+            print(
+                format_table(
+                    ["session", "source", "target"],
+                    rows,
+                    title=f"Planned (not executed): {operation}",
+                    footnote="re-run without --plan to execute",
+                )
+            )
+            return 0
+
+        results = await coordinator.execute(moves)
+        rows = [
+            [
+                r.move.session_id,
+                r.move.source.id,
+                r.move.target.id,
+                "ok" if r.ok else "FAILED",
+                f"{1e3 * r.blackout_s:.1f}",
+                r.error or "-",
+            ]
+            for r in results
+        ]
+        failures = sum(1 for r in results if not r.ok)
+        blackouts = sorted(r.blackout_s for r in results if r.ok)
+        footnote = "each handoff is bitwise-invisible to the session's trace"
+        if blackouts:
+            mid = blackouts[len(blackouts) // 2]
+            footnote = (
+                f"blackout p50 {1e3 * mid:.1f} ms, "
+                f"max {1e3 * blackouts[-1]:.1f} ms; " + footnote
+            )
+        print(
+            format_table(
+                ["session", "source", "target", "status", "blackout ms", "error"],
+                rows,
+                title=f"Executed: {operation}",
+                footnote=footnote,
+            )
+        )
+        if failures:
+            print(
+                f"{failures}/{len(results)} handoffs failed and rolled back "
+                "(sessions keep serving on their source)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_campaign_list(_args: argparse.Namespace) -> int:
@@ -1184,10 +1310,13 @@ def build_parser() -> argparse.ArgumentParser:
             "scheduler ticks, admission control (--max-sessions) and ingest "
             "backpressure (--max-pending-frames). Every served trace stays "
             "bitwise identical to its solo reference run, end to end through "
-            "the socket. Without --replay the server runs until interrupted; "
-            "with --replay FLEET it drives the fleet through a loopback "
-            "client and reports throughput, step latency and per-session "
-            "metrics."
+            "the socket. Live sessions can be handed to other gateways "
+            "through the drain / migrate / accept verbs (see `repro "
+            "migrate`); --peer names fellow servers so clients can say "
+            "migrate-to-peer-i without knowing addresses. Without --replay "
+            "the server runs until interrupted; with --replay FLEET it "
+            "drives the fleet through a loopback client and reports "
+            "throughput, step latency and per-session metrics."
         ),
     )
     online.add_argument(
@@ -1218,6 +1347,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="backpressure: cap on accepted-but-unserved frames",
     )
     online.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help=(
+            "fellow gateway for migration (repeatable); the migrate verb "
+            "accepts peer indexes into this list"
+        ),
+    )
+    online.add_argument(
+        "--handoff-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "cap on each network leg of one outgoing handoff; an "
+            "unresponsive target rolls the migration back"
+        ),
+    )
+    online.add_argument(
         "--replay",
         type=_parse_fleet,
         default=None,
@@ -1240,6 +1389,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="frames each session submits per --replay step barrier",
     )
     online.set_defaults(func=_cmd_serve_online)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="move live sessions between running serve-online gateways",
+        description=(
+            "Live session migration between running serve-online gateways: "
+            "each handoff drains the session at a frame boundary, ships its "
+            "byte-stable snapshot plus frozen queue to the target's accept "
+            "verb, and rolls back onto the source if the target rejects or "
+            "dies — bitwise-invisible to the session's trace either way. "
+            "Three operations: explicit moves (--source + --target, "
+            "optionally --session ID per session, otherwise everything on "
+            "the source), whole-peer eviction (--evict --source, shedding "
+            "down to --keep sessions across --peers), and a fleet-wide "
+            "cohort-aware rebalance (--rebalance over --peers). Plans are "
+            "deterministic functions of observed fleet occupancy; --plan "
+            "prints the moves without executing them."
+        ),
+    )
+    migrate.add_argument(
+        "--peers",
+        type=lambda text: [p for p in text.split(",") if p],
+        default=[],
+        metavar="HOST:PORT,...",
+        help="the gateway fleet to observe and move sessions across",
+    )
+    migrate.add_argument(
+        "--source", default=None, metavar="HOST:PORT",
+        help="gateway sessions move away from",
+    )
+    migrate.add_argument(
+        "--target", default=None, metavar="HOST:PORT",
+        help="gateway explicit moves land on",
+    )
+    migrate.add_argument(
+        "--session",
+        action="append",
+        default=[],
+        metavar="ID",
+        help="session to move explicitly (repeatable; default: all on --source)",
+    )
+    migrate.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="equalize session counts across --peers, cohort-aware",
+    )
+    migrate.add_argument(
+        "--evict",
+        action="store_true",
+        help="move sessions off --source onto the rest of --peers",
+    )
+    migrate.add_argument(
+        "--keep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sessions --evict leaves on the source (default 0: empty it)",
+    )
+    migrate.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the planned moves without executing any handoff",
+    )
+    migrate.add_argument(
+        "--handoff-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-handoff cap; a timed-out handoff rolls back on the source",
+    )
+    migrate.set_defaults(func=_cmd_migrate)
 
     bench = sub.add_parser(
         "bench-backends",

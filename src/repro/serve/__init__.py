@@ -17,9 +17,14 @@ The network edge lives in :mod:`repro.serve.online`
 (:class:`OnlineServer` / :class:`OnlineClient`, the asyncio gateway with
 per-session ordering, coalesced ticking, admission control and
 backpressure) over the wire protocol of :mod:`repro.serve.protocol`.
+Live sessions move *between* servers through the drain/handoff verbs
+and the fleet-level :class:`MigrationCoordinator` of
+:mod:`repro.serve.migrate` — migration is bitwise-invisible to the
+migrated session's trace.
 """
 
 from .manager import FlushReport, SessionManager
+from .migrate import MigrationCoordinator, Move, MoveResult, Peer
 from .online import AdmissionPolicy, OnlineClient, OnlineServer
 from .protocol import PROTOCOL_VERSION, ErrorCode, OnlineError, ProtocolError
 from .scheduler import StepScheduler
@@ -37,10 +42,14 @@ __all__ = [
     "ErrorCode",
     "FilterSession",
     "FlushReport",
+    "MigrationCoordinator",
+    "Move",
+    "MoveResult",
     "OnlineClient",
     "OnlineError",
     "OnlineServer",
     "PROTOCOL_VERSION",
+    "Peer",
     "ProtocolError",
     "SessionManager",
     "SessionResult",

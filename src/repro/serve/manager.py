@@ -165,6 +165,17 @@ class SessionManager:
         del self._sessions[session_id]
         return result
 
+    def discard(self, session_id: str) -> None:
+        """Drop a session without building its result.
+
+        The migration commit path: once the target has accepted the
+        snapshot, the source copy is forgotten — its trace travelled
+        inside the blob, so nothing is lost.
+        """
+        session = self._session(session_id)
+        self.scheduler.evict(session)
+        del self._sessions[session_id]
+
     def _materialize(self, spec: SessionSpec) -> FilterSession:
         """Resolve a spec's world, config, field and replay plan."""
         scenario = self._scenarios.get(spec.scenario)
@@ -198,13 +209,20 @@ class SessionManager:
         if frames < 0:
             raise ConfigurationError(f"frames must be >= 0, got {frames}")
         session = self._session(session_id)
+        if session.draining:
+            raise EvaluationError(
+                f"session {session_id!r} is draining (migration in "
+                "flight); new frames are not admitted"
+            )
         session.queued = min(session.queued + frames, session.remaining)
         return session.queued
 
     def submit_all(self, frames: int = 1) -> None:
-        """Queue ``frames`` for every active, unfinished session."""
+        """Queue ``frames`` for every active, unfinished, non-draining
+        session."""
         for session_id in self.session_ids():
-            self.submit(session_id, frames)
+            if not self._sessions[session_id].draining:
+                self.submit(session_id, frames)
 
     def queued(self, session_id: str) -> int:
         """Frames currently queued (accepted, unserved) for one session."""
@@ -213,6 +231,40 @@ class SessionManager:
     def pending_frames(self) -> int:
         """Total frames queued across all sessions (the ingest backlog)."""
         return sum(session.queued for session in self._sessions.values())
+
+    def servable_frames(self) -> int:
+        """Queued frames :meth:`flush` is allowed to serve right now —
+        the backlog minus frozen (draining) sessions' queues."""
+        return sum(
+            session.queued
+            for session in self._sessions.values()
+            if not session.draining
+        )
+
+    # ------------------------------------------------------------------
+    # Drain / resume (the migration freeze)
+    # ------------------------------------------------------------------
+    def drain(self, session_id: str) -> int:
+        """Freeze one session for handoff; returns its queued backlog.
+
+        A draining session admits no new frames (:meth:`submit` raises)
+        and is skipped by :meth:`flush`, so its filter state holds at the
+        current frame boundary and its queued count stays exactly what
+        the migration ships.  Idempotent.
+        """
+        session = self._session(session_id)
+        session.draining = True
+        return session.queued
+
+    def resume(self, session_id: str) -> int:
+        """Unfreeze a drained session (migration rollback); returns its
+        queued backlog, which is servable again.  Idempotent."""
+        session = self._session(session_id)
+        session.draining = False
+        return session.queued
+
+    def is_draining(self, session_id: str) -> bool:
+        return self._session(session_id).draining
 
     def flush(self, max_ticks: int | None = None) -> FlushReport:
         """Serve queued frames in packed scheduler ticks.
@@ -226,7 +278,11 @@ class SessionManager:
         """
         ticks = frames = updates = 0
         while max_ticks is None or ticks < max_ticks:
-            pending = [s for s in self._sessions.values() if s.queued > 0]
+            pending = [
+                s
+                for s in self._sessions.values()
+                if s.queued > 0 and not s.draining
+            ]
             if not pending:
                 break
             updates += self.scheduler.tick(pending)
@@ -248,7 +304,9 @@ class SessionManager:
                 f"frames_per_flush must be >= 1, got {frames_per_flush}"
             )
         total = 0
-        while any(not s.done for s in self._sessions.values()):
+        while any(
+            not s.done and not s.draining for s in self._sessions.values()
+        ):
             self.submit_all(frames_per_flush)
             total += self.flush().frames
         return total
@@ -274,6 +332,20 @@ class SessionManager:
             estimate=stack.estimate(session.row),
             metrics=session.metrics(),
         )
+
+    def cohort_occupancy(self) -> dict[tuple[str, int], dict]:
+        """Scheduler row usage per ``(fingerprint, N)`` cohort, plus the
+        session ids packed into each — the placement-policy view (and
+        what the ``stats`` verb publishes), so callers can assert packing
+        without reaching into scheduler internals."""
+        occupancy: dict[tuple[str, int], dict] = {
+            key: dict(entry, sessions=[])
+            for key, entry in self.scheduler.occupancy().items()
+        }
+        for session_id in self.session_ids():
+            cohort_key = self._sessions[session_id].cohort_key
+            occupancy[cohort_key]["sessions"].append(session_id)
+        return occupancy
 
     def fleet_metrics(self) -> AggregateMetrics:
         """Aggregate metrics over every active session with frames served."""

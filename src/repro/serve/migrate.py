@@ -1,0 +1,326 @@
+"""Fleet-level live migration: the drain/handoff control plane.
+
+The gateway's ``drain`` / ``migrate`` / ``accept`` verbs move one
+session between two servers; this module decides *which* sessions move
+*where*.  A :class:`MigrationCoordinator` speaks to a set of peer
+servers through their ``stats`` verbs (per-cohort occupancy is part of
+the payload), plans moves as a **pure, deterministic function** of the
+observed occupancy, and executes them one handoff at a time, timing each
+session's blackout (the drain-to-redirect round-trip).
+
+Two policies ship:
+
+* **evict-by-load** (:meth:`MigrationCoordinator.plan_evict`) — move
+  sessions off one peer (all of them, or down to a cap) onto the rest
+  of the fleet: the rolling-restart / scale-in primitive;
+* **rebalance-to-cohort** (:meth:`MigrationCoordinator.plan_rebalance`)
+  — equalize session counts across peers while preferring placements
+  that co-locate ``(fingerprint, N)`` cohorts, so the scheduler's
+  stacked-batching win survives the shuffle instead of fragmenting into
+  one-row stacks.
+
+Planning never talks to the network (it takes the occupancy mapping and
+returns :class:`Move` values), so policies are unit-testable and any
+observed fleet state always plans the same moves.  Execution is
+sequential and source-ordered; a failed handoff rolls back on the
+source (the gateway's guarantee) and is reported, not raised — one bad
+peer cannot wedge a fleet-wide rebalance.
+
+Every move is bitwise-invisible: the migrated session's trace equals
+its uninterrupted solo run (``tests/serve/test_migration.py``), and
+``benchmarks/bench_migrate.py`` measures the blackout this control
+plane imposes at fleet sizes 64–256.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+from .online import OnlineClient
+from .protocol import OnlineError, ProtocolError, parse_address
+
+
+@dataclass(frozen=True, order=True)
+class Peer:
+    """One serve-online server, addressed as ``host:port``."""
+
+    host: str
+    port: int
+
+    @staticmethod
+    def parse(text: str) -> "Peer":
+        host, port = parse_address(text)
+        return Peer(host, port)
+
+    @property
+    def id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Move:
+    """One planned handoff: a session leaving ``source`` for ``target``."""
+
+    session_id: str
+    source: Peer
+    target: Peer
+
+
+@dataclass
+class MoveResult:
+    """One executed handoff and what it cost.
+
+    ``blackout_s`` is the session's full unavailability window as the
+    coordinator observes it: drain, snapshot, ship, restore and
+    redirect — the time during which neither server admits frames for
+    the session.
+    """
+
+    move: Move
+    ok: bool
+    blackout_s: float
+    error: str | None = None
+
+
+#: The occupancy mapping planning consumes: for every peer, its cohort
+#: ids (the ``stats`` verb's ``"fingerprint/N"`` strings) to the session
+#: ids packed in that cohort.
+Occupancy = "dict[Peer, dict[str, list[str]]]"
+
+
+class MigrationCoordinator:
+    """Plans and drives whole-fleet session moves across peer servers."""
+
+    def __init__(
+        self, peers: "list[Peer | str]", handoff_timeout_s: float = 30.0
+    ) -> None:
+        resolved = [
+            Peer.parse(peer) if isinstance(peer, str) else peer
+            for peer in peers
+        ]
+        if len(set(resolved)) != len(resolved):
+            raise ConfigurationError("duplicate peer addresses")
+        if len(resolved) < 2:
+            raise ConfigurationError(
+                f"a migration fleet needs >= 2 peers, got {len(resolved)}"
+            )
+        #: Sorted: every fleet-wide iteration below is address-ordered,
+        #: which (with the pure planners) makes whole rebalances
+        #: deterministic functions of the observed fleet state.
+        self.peers: list[Peer] = sorted(resolved)
+        self.handoff_timeout_s = handoff_timeout_s
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    async def fleet_stats(self) -> "dict[Peer, dict]":
+        """The ``stats`` payload of every peer (serially, in order)."""
+        stats: dict[Peer, dict] = {}
+        for peer in self.peers:
+            async with await OnlineClient.connect(peer.host, peer.port) as c:
+                stats[peer] = await c.stats()
+        return stats
+
+    @staticmethod
+    def occupancy_of(stats: "dict[Peer, dict]") -> "dict[Peer, dict[str, list[str]]]":
+        """Reduce ``stats`` payloads to the planners' occupancy view."""
+        return {
+            peer: {
+                cohort: list(entry["sessions"])
+                for cohort, entry in payload["cohort_occupancy"].items()
+            }
+            for peer, payload in stats.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Planning (pure + deterministic)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def plan_rebalance(
+        occupancy: "dict[Peer, dict[str, list[str]]]",
+    ) -> list[Move]:
+        """Equalize session counts, preferring cohort co-location.
+
+        Targets are the balanced partition of the total (address-ordered
+        peers absorb the remainder first).  While any peer exceeds its
+        target, the most-loaded peer donates one session to the
+        least-loaded: the donated session is chosen from the donor's
+        smallest cohort that the receiver *already hosts* (growing an
+        existing stack — ``rebalance-to-cohort``), falling back to the
+        donor's smallest cohort outright (evacuating minorities keeps
+        cohorts whole), ties broken lexicographically throughout.
+        """
+        peers = sorted(occupancy)
+        if not peers:
+            return []
+        # Virtual state the planner mutates as it assigns moves.
+        state: dict[Peer, dict[str, list[str]]] = {
+            peer: {c: sorted(sids) for c, sids in sorted(occupancy[peer].items())}
+            for peer in peers
+        }
+        loads = {p: sum(len(s) for s in state[p].values()) for p in peers}
+        total = sum(loads.values())
+        base, extra = divmod(total, len(peers))
+        target = {
+            peer: base + (1 if index < extra else 0)
+            for index, peer in enumerate(peers)
+        }
+        moves: list[Move] = []
+        while True:
+            donors = [p for p in peers if loads[p] > target[p]]
+            receivers = [p for p in peers if loads[p] < target[p]]
+            if not donors or not receivers:
+                break
+            donor = max(donors, key=lambda p: (loads[p] - target[p], p))
+            receiver = min(
+                receivers, key=lambda p: (loads[p] - target[p], p)
+            )
+            cohort, session_id = _pick_donation(state[donor], state[receiver])
+            moves.append(Move(session_id, donor, receiver))
+            state[donor][cohort].remove(session_id)
+            if not state[donor][cohort]:
+                del state[donor][cohort]
+            state[receiver].setdefault(cohort, []).append(session_id)
+            loads[donor] -= 1
+            loads[receiver] += 1
+        return moves
+
+    @staticmethod
+    def plan_evict(
+        occupancy: "dict[Peer, dict[str, list[str]]]",
+        source: Peer,
+        max_sessions: int = 0,
+    ) -> list[Move]:
+        """Move ``source`` down to ``max_sessions`` live sessions.
+
+        The evict-by-load hook: ``max_sessions=0`` empties the peer (a
+        rolling restart), a positive cap sheds overload.  Receivers are
+        the other peers, least-loaded first; each evicted session goes
+        to the least-loaded receiver that already hosts its cohort, or
+        the least-loaded outright.  Sessions leave smallest-cohort-first
+        (lexicographic ties), mirroring :meth:`plan_rebalance`.
+        """
+        if source not in occupancy:
+            raise ConfigurationError(f"unknown source peer {source.id}")
+        if max_sessions < 0:
+            raise ConfigurationError(
+                f"max_sessions must be >= 0, got {max_sessions}"
+            )
+        receivers = sorted(p for p in occupancy if p != source)
+        if not receivers:
+            raise ConfigurationError("eviction needs at least one other peer")
+        state = {
+            peer: {c: sorted(s) for c, s in sorted(occupancy[peer].items())}
+            for peer in sorted(occupancy)
+        }
+        loads = {p: sum(len(s) for s in state[p].values()) for p in state}
+        moves: list[Move] = []
+        while loads[source] > max_sessions:
+            # Least-loaded receiver hosting the would-be-donated cohort
+            # wins; otherwise plain least-loaded.
+            best: tuple | None = None
+            for receiver in receivers:
+                cohort, session_id = _pick_donation(
+                    state[source], state[receiver]
+                )
+                affinity = 0 if cohort in state[receiver] else 1
+                key = (affinity, loads[receiver], receiver, cohort, session_id)
+                if best is None or key < best[0]:
+                    best = (key, receiver, cohort, session_id)
+            _, receiver, cohort, session_id = best
+            moves.append(Move(session_id, source, receiver))
+            state[source][cohort].remove(session_id)
+            if not state[source][cohort]:
+                del state[source][cohort]
+            state[receiver].setdefault(cohort, []).append(session_id)
+            loads[source] -= 1
+            loads[receiver] += 1
+        return moves
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def execute(self, moves: list[Move]) -> list[MoveResult]:
+        """Drive planned moves one handoff at a time, timing blackouts.
+
+        One connection per distinct source is held open across its
+        moves.  A failed handoff (structured rejection, dead peer) is
+        recorded with ``ok=False`` — the source rolled the session back,
+        so execution continues with the remaining moves.
+        """
+        results: list[MoveResult] = []
+        clients: dict[Peer, OnlineClient] = {}
+        try:
+            for move in moves:
+                start = time.perf_counter()
+                try:
+                    client = clients.get(move.source)
+                    if client is None:
+                        client = await OnlineClient.connect(
+                            move.source.host, move.source.port
+                        )
+                        clients[move.source] = client
+                    await asyncio.wait_for(
+                        client.migrate(move.session_id, target=move.target.id),
+                        timeout=self.handoff_timeout_s,
+                    )
+                    results.append(
+                        MoveResult(move, True, time.perf_counter() - start)
+                    )
+                except (
+                    OnlineError,
+                    ProtocolError,
+                    OSError,
+                    asyncio.TimeoutError,
+                ) as exc:
+                    clients.pop(move.source, None)
+                    results.append(
+                        MoveResult(
+                            move,
+                            False,
+                            time.perf_counter() - start,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+        finally:
+            for client in clients.values():
+                await client.close()
+        return results
+
+    async def rebalance(self) -> list[MoveResult]:
+        """Observe the fleet, plan an equalizing shuffle, execute it."""
+        occupancy = self.occupancy_of(await self.fleet_stats())
+        return await self.execute(self.plan_rebalance(occupancy))
+
+    async def drain_peer(
+        self, source: "Peer | str", max_sessions: int = 0
+    ) -> list[MoveResult]:
+        """Evict ``source`` down to ``max_sessions`` across the fleet."""
+        if isinstance(source, str):
+            source = Peer.parse(source)
+        occupancy = self.occupancy_of(await self.fleet_stats())
+        return await self.execute(
+            self.plan_evict(occupancy, source, max_sessions)
+        )
+
+
+def _pick_donation(
+    donor: "dict[str, list[str]]", receiver: "dict[str, list[str]]"
+) -> tuple[str, str]:
+    """Which (cohort, session) the donor gives this receiver.
+
+    Prefer the donor's smallest cohort the receiver already hosts
+    (growing an existing stack instead of opening a new one); otherwise
+    the donor's smallest cohort outright, so minority cohorts evacuate
+    whole.  Lexicographic ties; the lowest session id in the chosen
+    cohort moves.
+    """
+    if not donor:
+        raise ConfigurationError("donor peer has no sessions to give")
+    shared = [c for c in donor if c in receiver]
+    pool = shared if shared else list(donor)
+    cohort = min(pool, key=lambda c: (len(donor[c]), c))
+    return cohort, min(donor[cohort])

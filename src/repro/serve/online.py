@@ -32,11 +32,29 @@ the server's memory and tick latency stay bounded no matter how fast
 clients push.  Below both sits transport backpressure: frames are read
 one at a time per connection and responses are written with ``drain()``.
 
+**Live migration.**  A session can move between servers without its
+client observing anything but a short blackout: ``drain`` freezes a
+session at its current frame boundary (new submissions answer the
+structured code ``draining``; its queued backlog is held, not served),
+``migrate`` ships the byte-stable snapshot plus the frozen queue count
+to a peer server's ``accept`` verb (admission-checked, cohort-aware —
+the restored session joins the target's ``(fingerprint, N)`` cohort
+stack), and on success the source forgets its copy.  If the target
+rejects the handoff or dies mid-``accept``, the source rolls back —
+``resume`` unfreezes the session and it keeps serving locally, so a
+failed migration is invisible in the trace.  Fleet-level policy
+(evict-by-load, rebalance-to-cohort) lives in
+:class:`repro.serve.migrate.MigrationCoordinator`.
+
 Everything served through the socket keeps the serve layer's bitwise
 contract: a session's trace returned by ``close`` decodes to arrays
 bit-for-bit identical to the same (scenario, variant, N, seed) executed
 alone through the reference backend (asserted end-to-end in
-``tests/serve/test_online.py`` and ``benchmarks/bench_serve_online.py``).
+``tests/serve/test_online.py`` and ``benchmarks/bench_serve_online.py``);
+a *migrated* session's trace is byte-identical to its uninterrupted solo
+run, including under injected handoff faults
+(``tests/serve/test_migration.py``, ``tests/serve/test_migration_chaos.py``,
+``benchmarks/bench_migrate.py``).
 """
 
 from __future__ import annotations
@@ -57,6 +75,7 @@ from .protocol import (
     ProtocolError,
     blob_from_json,
     blob_to_json,
+    parse_address,
     read_frame,
     trace_from_json,
     trace_to_json,
@@ -132,15 +151,27 @@ class OnlineServer:
         base_config: MclConfig | None = None,
         policy: AdmissionPolicy | None = None,
         manager: SessionManager | None = None,
+        peers: "list[tuple[str, int] | str] | None" = None,
+        handoff_timeout_s: float = 10.0,
     ) -> None:
         self.manager = manager or SessionManager(
             backend=backend, base_config=base_config
         )
         self.policy = policy or AdmissionPolicy()
+        #: Known peer servers; the ``migrate`` verb accepts ``"peer": i``
+        #: as an index into this list instead of an explicit address.
+        self.peers: list[tuple[str, int]] = [
+            parse_address(peer) if isinstance(peer, str) else (peer[0], int(peer[1]))
+            for peer in (peers or [])
+        ]
+        #: Cap on each network leg of one handoff (connect, accept
+        #: round-trip); an unresponsive target rolls the migration back.
+        self.handoff_timeout_s = handoff_timeout_s
         self._server: asyncio.AbstractServer | None = None
         self._step_task: asyncio.Task | None = None
         self._work = asyncio.Event()
         self._tick_waiters: list[asyncio.Future] = []
+        self._migrating: set[str] = set()
         self.stats = {
             "ticks": 0,
             "frames_served": 0,
@@ -150,6 +181,10 @@ class OnlineServer:
             "rejected_admission": 0,
             "rejected_overload": 0,
             "protocol_errors": 0,
+            "drains": 0,
+            "migrations_out": 0,
+            "migrations_in": 0,
+            "migrations_failed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -205,7 +240,9 @@ class OnlineServer:
         while True:
             await self._work.wait()
             self._work.clear()
-            while self.manager.pending_frames() > 0:
+            # Draining sessions' frozen queues are excluded: they are
+            # not servable here, so looping on them would busy-spin.
+            while self.manager.servable_frames() > 0:
                 report = self.manager.flush(max_ticks=1)
                 self.stats["ticks"] += report.ticks
                 self.stats["frames_served"] += report.frames
@@ -226,12 +263,19 @@ class OnlineServer:
         self._work.set()
 
     async def _wait_drained(self, session_ids: list[str]) -> None:
-        """Resolve when every named session's queue is empty."""
+        """Resolve when every named session's queue is empty.
+
+        Sessions that are draining (or have migrated away) count as
+        drained: their frozen frames will be served by the target server
+        after handoff, and waiting on them here would deadlock the
+        barrier against the migration.
+        """
 
         def pending() -> bool:
             return any(
                 sid in self.manager._sessions
                 and self.manager._sessions[sid].queued > 0
+                and not self.manager._sessions[sid].draining
                 for sid in session_ids
             )
 
@@ -369,6 +413,12 @@ class OnlineServer:
             )
         for sid in session_ids:  # validate before mutating anything
             self.manager._session(sid)
+            if self.manager.is_draining(sid):
+                raise _Rejection(
+                    ErrorCode.DRAINING,
+                    f"session {sid!r} is draining (migration in flight); "
+                    "retry after the handoff settles",
+                )
         self._admit_frames(frames * len(session_ids))
         queued = {sid: self.manager.submit(sid, frames) for sid in session_ids}
         self._kick()
@@ -395,7 +445,9 @@ class OnlineServer:
         return _ok(status=_status_to_json(status))
 
     async def _op_snapshot(self, request: dict) -> dict:
-        blob = self.manager.snapshot(_require(request, "session", str))
+        session_id = _require(request, "session", str)
+        self._guard_migrating(session_id)
+        blob = self.manager.snapshot(session_id)
         return _ok(snapshot=blob_to_json(blob))
 
     async def _op_restore(self, request: dict) -> dict:
@@ -405,7 +457,9 @@ class OnlineServer:
         return _ok(session_id=self.manager.restore(blob, session_id))
 
     async def _op_close(self, request: dict) -> dict:
-        result = self.manager.close(_require(request, "session", str))
+        session_id = _require(request, "session", str)
+        self._guard_migrating(session_id)
+        result = self.manager.close(session_id)
         return _ok(
             session_id=result.spec.session_id,
             scenario=result.spec.scenario,
@@ -422,10 +476,165 @@ class OnlineServer:
             sessions=len(self.manager),
             pending_frames=self.manager.pending_frames(),
             cohorts=self.manager.scheduler.cohort_count(),
+            cohort_occupancy={
+                f"{fingerprint}/{particles}": entry
+                for (fingerprint, particles), entry in sorted(
+                    self.manager.cohort_occupancy().items()
+                )
+            },
+            peers=[f"{host}:{port}" for host, port in self.peers],
             max_sessions=self.policy.max_sessions,
             max_pending_frames=self.policy.max_pending_frames,
             **self.stats,
         )
+
+    # ------------------------------------------------------------------
+    # Migration (drain / handoff / rollback)
+    # ------------------------------------------------------------------
+    def _guard_migrating(self, session_id: str) -> None:
+        """Reject state-changing verbs racing an in-flight handoff."""
+        if session_id in self._migrating:
+            raise _Rejection(
+                ErrorCode.DRAINING,
+                f"session {session_id!r} has a migration in flight; "
+                "retry after it settles",
+            )
+
+    def _resolve_target(self, request: dict) -> tuple[str, int]:
+        if "target" in request:
+            return parse_address(_require(request, "target", str))
+        peer = request.get("peer")
+        if isinstance(peer, int) and 0 <= peer < len(self.peers):
+            return self.peers[peer]
+        raise _Rejection(
+            ErrorCode.BAD_REQUEST,
+            "migrate needs 'target' (\"host:port\") or 'peer' (an index "
+            f"into the {len(self.peers)} configured peer(s)), got "
+            f"peer={peer!r}",
+        )
+
+    async def _op_drain(self, request: dict) -> dict:
+        session_id = _require(request, "session", str)
+        self._guard_migrating(session_id)
+        queued = self.manager.drain(session_id)
+        self.stats["drains"] += 1
+        return _ok(
+            session_id=session_id,
+            draining=True,
+            queued=queued,
+            cursor=self.manager._session(session_id).cursor,
+        )
+
+    async def _op_resume(self, request: dict) -> dict:
+        session_id = _require(request, "session", str)
+        self._guard_migrating(session_id)
+        queued = self.manager.resume(session_id)
+        self._kick()  # the frozen backlog is servable again
+        return _ok(session_id=session_id, draining=False, queued=queued)
+
+    async def _op_accept(self, request: dict) -> dict:
+        """Target side of a handoff: restore the blob, requeue frames.
+
+        Exactly the admission rules of ``create`` + ``submit`` apply —
+        a target at capacity answers ``admission_rejected`` and the
+        source rolls back.  The restored session joins this manager's
+        ``(fingerprint, N)`` cohort stack, so rebalancing preserves the
+        batching win by construction.
+        """
+        blob = blob_from_json(_require(request, "snapshot", str))
+        queued = request.get("queued", 0)
+        if not isinstance(queued, int) or queued < 0:
+            raise _Rejection(
+                ErrorCode.BAD_REQUEST,
+                f"queued must be an int >= 0, got {queued!r}",
+            )
+        self._admit_sessions(1)
+        self._admit_frames(queued)
+        session_id = self.manager.restore(blob, request.get("session_id"))
+        if queued:
+            self.manager.submit(session_id, queued)
+            self._kick()
+        self.stats["migrations_in"] += 1
+        return _ok(
+            session_id=session_id, queued=self.manager.queued(session_id)
+        )
+
+    async def _op_migrate(self, request: dict) -> dict:
+        """Source side of a handoff: drain, ship, redirect — or roll back.
+
+        The session is frozen at its current frame boundary, its
+        snapshot plus frozen queue count shipped to the target's
+        ``accept``.  Only a positive acknowledgement commits (the source
+        forgets its copy); *any* other outcome — structured rejection,
+        connection refused, target dying mid-``accept``, timeout — rolls
+        back, leaving the session serving here exactly as if the call
+        had never been made.  An ambiguous outcome (timeout after the
+        accept frame was sent) also rolls back: the source stays
+        authoritative, and a duplicate on the target is harmless because
+        traces are deterministic — close it.
+        """
+        session_id = _require(request, "session", str)
+        session = self.manager._session(session_id)
+        host, port = self._resolve_target(request)
+        self._guard_migrating(session_id)
+        self._migrating.add(session_id)
+        try:
+            queued = self.manager.drain(session_id)
+            self.stats["drains"] += 1
+            cursor = session.cursor
+            blob = self.manager.snapshot(session_id)
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port),
+                    timeout=self.handoff_timeout_s,
+                )
+                client = OnlineClient(reader, writer)
+                try:
+                    response = await asyncio.wait_for(
+                        client.request(
+                            "accept",
+                            snapshot=blob_to_json(blob),
+                            queued=queued,
+                            session_id=session_id,
+                        ),
+                        timeout=self.handoff_timeout_s,
+                    )
+                finally:
+                    await client.close()
+            except OnlineError as exc:
+                self._rollback(session_id)
+                raise _Rejection(
+                    ErrorCode.MIGRATION_FAILED,
+                    f"target {host}:{port} rejected the handoff "
+                    f"([{exc.code}] {exc}); session {session_id!r} "
+                    "rolled back and keeps serving here",
+                )
+            except (ProtocolError, OSError, asyncio.TimeoutError) as exc:
+                self._rollback(session_id)
+                raise _Rejection(
+                    ErrorCode.MIGRATION_FAILED,
+                    f"target {host}:{port} died mid-handoff "
+                    f"({type(exc).__name__}: {exc}); session "
+                    f"{session_id!r} rolled back and keeps serving here",
+                )
+            # Committed on the target: forget the source copy and wake
+            # any barrier waiting on this session's (now remote) queue.
+            self.manager.discard(session_id)
+            self._kick()
+            self.stats["migrations_out"] += 1
+            return _ok(
+                session_id=response.get("session_id", session_id),
+                target=f"{host}:{port}",
+                cursor=cursor,
+                queued=queued,
+            )
+        finally:
+            self._migrating.discard(session_id)
+
+    def _rollback(self, session_id: str) -> None:
+        self.stats["migrations_failed"] += 1
+        self.manager.resume(session_id)
+        self._kick()
 
     _HANDLERS = {
         "create": _op_create,
@@ -437,6 +646,10 @@ class OnlineServer:
         "restore": _op_restore,
         "close": _op_close,
         "stats": _op_stats,
+        "drain": _op_drain,
+        "resume": _op_resume,
+        "migrate": _op_migrate,
+        "accept": _op_accept,
     }
 
 
@@ -559,6 +772,40 @@ class OnlineClient:
             params["sessions"] = sessions
         return await self.request("submit", **params)
 
+    async def submit_with_retry(
+        self,
+        sessions: "str | list[str]",
+        frames: int = 1,
+        wait: bool = False,
+        attempts: int = 8,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 1.0,
+        retry_codes: tuple = (ErrorCode.OVERLOADED,),
+    ) -> dict:
+        """``submit`` with bounded retry on transient backpressure.
+
+        ``overloaded`` means the ingest bound would be exceeded and
+        *nothing was queued* — the correct response is to let the step
+        loop drain and retry, not to raise through a fleet driver.  The
+        backoff schedule is deterministic (no jitter, so fleet runs
+        replay identically): ``base_delay_s * 2**attempt`` capped at
+        ``max_delay_s``, for at most ``attempts`` submissions.  Any
+        other code — and ``retry_codes`` exhaustion — raises the
+        underlying :class:`OnlineError`.
+        """
+        if attempts < 1:
+            raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+        delay_s = base_delay_s
+        for attempt in range(attempts):
+            try:
+                return await self.submit(sessions, frames, wait)
+            except OnlineError as exc:
+                if exc.code not in retry_codes or attempt == attempts - 1:
+                    raise
+            await asyncio.sleep(min(delay_s, max_delay_s))
+            delay_s *= 2.0
+        raise AssertionError("unreachable")  # pragma: no cover
+
     async def flush(self, sessions: "list[str] | None" = None) -> dict:
         if sessions is None:
             return await self.request("flush")
@@ -578,6 +825,40 @@ class OnlineClient:
         if session_id is not None:
             params["session_id"] = session_id
         return (await self.request("restore", **params))["session_id"]
+
+    async def drain(self, session_id: str) -> dict:
+        return await self.request("drain", session=session_id)
+
+    async def resume(self, session_id: str) -> dict:
+        return await self.request("resume", session=session_id)
+
+    async def migrate(
+        self,
+        session_id: str,
+        target: "str | None" = None,
+        peer: "int | None" = None,
+    ) -> dict:
+        """Move one session to ``target`` (``"host:port"``) or the
+        source server's configured ``peer`` index; returns the redirect
+        (``target``, ``cursor``, ``queued``).  Raises ``OnlineError``
+        with code ``migration_failed`` if the handoff rolled back."""
+        params: dict = {"session": session_id}
+        if target is not None:
+            params["target"] = target
+        if peer is not None:
+            params["peer"] = peer
+        return await self.request("migrate", **params)
+
+    async def accept(
+        self,
+        blob: bytes,
+        queued: int = 0,
+        session_id: "str | None" = None,
+    ) -> str:
+        params: dict = {"snapshot": blob_to_json(blob), "queued": queued}
+        if session_id is not None:
+            params["session_id"] = session_id
+        return (await self.request("accept", **params))["session_id"]
 
     async def close_session(self, session_id: str) -> ClosedSession:
         response = await self.request("close", session=session_id)
@@ -667,7 +948,12 @@ async def drive_fleet(
             while any(remaining[sid] > 0 for sid in owned):
                 live = [sid for sid in owned if remaining[sid] > 0]
                 start = time.perf_counter()
-                await client.submit(live, frames=frames_per_round, wait=True)
+                # Bounded retry-after-drain: transient `overloaded`
+                # rejections (the ingest bound) drain and resolve rather
+                # than aborting the drive.
+                await client.submit_with_retry(
+                    live, frames=frames_per_round, wait=True
+                )
                 latencies.append(time.perf_counter() - start)
                 for sid in live:
                     remaining[sid] -= min(frames_per_round, remaining[sid])

@@ -58,6 +58,8 @@ class ErrorCode:
     EVALUATION = "evaluation"  # EvaluationError (unknown session, drift)
     ADMISSION_REJECTED = "admission_rejected"  # session cap reached
     OVERLOADED = "overloaded"  # ingest queue full (backpressure)
+    DRAINING = "draining"  # session is mid-drain/migration; not admitting
+    MIGRATION_FAILED = "migration_failed"  # handoff failed; rolled back
     INTERNAL = "internal"  # unexpected server-side failure
 
 
@@ -103,6 +105,12 @@ async def read_frame(reader: asyncio.StreamReader) -> dict | None:
         header = await reader.readline()
     except (ConnectionResetError, asyncio.IncompleteReadError):
         return None
+    except ValueError as exc:
+        # The stream's line limit tripped: a header longer than any
+        # legal decimal length (a hostile probe, or line noise with no
+        # newline).  Surface it as a framing error so the server answers
+        # once and hangs up instead of the connection task dying raw.
+        raise ProtocolError("frame header exceeds the line limit") from exc
     if not header:
         return None
     try:
@@ -128,6 +136,31 @@ async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
     """Encode and send one frame, honouring transport backpressure."""
     writer.write(encode_frame(message))
     await writer.drain()
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """Parse a ``host:port`` peer address (IPv6 hosts may be bracketed)."""
+    body = text.strip()
+    if body.startswith("["):  # [::1]:7410
+        host, _, rest = body[1:].partition("]")
+        if not rest.startswith(":"):
+            raise ProtocolError(f"malformed peer address {text!r}")
+        port_text = rest[1:]
+    else:
+        host, sep, port_text = body.rpartition(":")
+        if not sep:
+            raise ProtocolError(
+                f"malformed peer address {text!r} (expected host:port)"
+            )
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"malformed peer address {text!r} (bad port {port_text!r})"
+        ) from exc
+    if not host or not 0 < port < 65536:
+        raise ProtocolError(f"malformed peer address {text!r}")
+    return host, port
 
 
 # ----------------------------------------------------------------------

@@ -115,6 +115,23 @@ class StepScheduler:
         """How many live (fingerprint, N) cohort stacks exist right now."""
         return len(self._cohorts)
 
+    def occupancy(self) -> dict[tuple[str, int], dict[str, int]]:
+        """Per-cohort row usage, keyed by ``(fingerprint, N)``.
+
+        ``rows_allocated`` is the stack's grown capacity, ``rows_active``
+        the rows owned by live sessions, ``rows_free`` the recyclable
+        remainder — enough for placement policy (and tests) to reason
+        about packing without reaching into the cohort map.
+        """
+        return {
+            key: {
+                "rows_allocated": cohort.rows_used,
+                "rows_active": cohort.active_rows,
+                "rows_free": len(cohort.free_rows),
+            }
+            for key, cohort in sorted(self._cohorts.items())
+        }
+
     def stack(self, session: FilterSession) -> SessionStack:
         return self._cohorts[session.cohort_key].stack
 

@@ -150,6 +150,11 @@ class FilterSession:
         self.row = -1  # assigned by the scheduler
         self.cursor = 0
         self.queued = 0
+        # A draining session (migration in flight) admits no new frames
+        # and is skipped by flush ticks: its queued backlog is frozen at
+        # the value the handoff ships, and the filter state stays at the
+        # exact frame boundary the snapshot captured.
+        self.draining = False
         self.timestamps: list[float] = []
         self.position_errors: list[float] = []
         self.yaw_errors: list[float] = []
@@ -252,7 +257,13 @@ def snapshot_from_bytes(
     ``session_id`` optionally renames the restored session (state and
     results are id-independent — only scheduler packing order changes).
     """
-    with np.load(io.BytesIO(data)) as archive:
+    try:
+        archive = np.load(io.BytesIO(data))
+    except Exception as exc:  # zipfile.BadZipFile, ValueError, OSError
+        raise ConfigurationError(
+            "snapshot bytes are not a readable npz archive"
+        ) from exc
+    with archive:
         try:
             meta = json.loads(str(archive["serve_meta"]))
         except KeyError as exc:

@@ -1,0 +1,332 @@
+"""Migration under fault injection: every failed handoff rolls back
+bitwise-invisibly.
+
+The source's contract is that *any* outcome short of a positive
+acknowledgement from the target's ``accept`` — structured rejection,
+connection refused, the target dying mid-read, silence until the
+handoff timeout — leaves the session serving on the source exactly as
+if ``migrate`` had never been called.  These tests inject each of those
+faults (hostile raw-socket targets, capacity-starved real targets, a
+target whose restore rejects the blob as drifted) and assert both the
+structured ``migration_failed`` reply and, after the dust settles, the
+session's bit-exact solo trace.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.common.errors import EvaluationError
+from repro.core.config import ConfigSpec
+from repro.engine.backend import RunSpec
+from repro.engine.reference import ReferenceBackend
+from repro.maps.distance_field import DistanceField
+from repro.scenarios import build_scenario
+from repro.serve import (
+    AdmissionPolicy,
+    ErrorCode,
+    OnlineClient,
+    OnlineError,
+    OnlineServer,
+)
+
+SCENARIO = "office:1:flight_s=8"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def solo_reference_trace(scenario_id, variant, particles, seed):
+    scenario = build_scenario(scenario_id)
+    config = ConfigSpec.parse(variant).config(particle_count=particles)
+    field = DistanceField.build_for_mode(
+        scenario.grid, config.r_max, config.precision
+    )
+    return ReferenceBackend().execute(
+        scenario.grid, [RunSpec(scenario.sequence, seed)], config, field
+    )[0]
+
+
+def assert_traces_equal(served, solo):
+    assert served.update_count == solo.update_count
+    np.testing.assert_array_equal(served.timestamps, solo.timestamps)
+    np.testing.assert_array_equal(served.position_errors, solo.position_errors)
+    np.testing.assert_array_equal(served.yaw_errors, solo.yaw_errors)
+    np.testing.assert_array_equal(served.estimate_trace, solo.estimate_trace)
+
+
+async def finish_and_close(client, session_id):
+    status = await client.query(session_id)
+    remaining = status["frames_total"] - status["cursor"]
+    if remaining:
+        await client.submit(session_id, frames=remaining, wait=True)
+    return await client.close_session(session_id)
+
+
+async def hostile_target(behavior: str):
+    """A raw-socket 'server' injecting one transport fault, as
+    ``(asyncio.Server, "host:port")``.
+
+    ``refuse-late``  — accept the connection, read nothing, close.
+    ``die-mid-read`` — read part of the accept frame, then close.
+    ``garbage``      — reply with bytes that are not a protocol frame.
+    ``black-hole``   — read everything, never answer (forces timeout).
+    """
+
+    async def handle(reader, writer):
+        try:
+            if behavior == "refuse-late":
+                pass
+            elif behavior == "die-mid-read":
+                await reader.read(64)
+            elif behavior == "garbage":
+                await reader.readline()  # the frame header
+                writer.write(b"this is not a protocol frame\n")
+                await writer.drain()
+            elif behavior == "black-hole":
+                while await reader.read(65536):
+                    pass
+                return  # keep the socket open until cancelled
+        finally:
+            writer.close()
+
+    server = await asyncio.start_server(handle, host="127.0.0.1", port=0)
+    host, port = server.sockets[0].getsockname()[:2]
+    return server, f"{host}:{port}"
+
+
+async def assert_rolled_back_and_bitwise(server, client, session_id):
+    """The session is live, not draining, and completes bit-exactly."""
+    assert session_id in server.manager.session_ids()
+    assert not server.manager.is_draining(session_id)
+    assert not server._migrating
+    closed = await finish_and_close(client, session_id)
+    solo = solo_reference_trace(
+        closed.spec.scenario,
+        closed.spec.variant,
+        closed.spec.particle_count,
+        closed.spec.seed,
+    )
+    assert_traces_equal(closed.trace, solo)
+
+
+class TestHostileTargets:
+    @pytest.mark.parametrize(
+        "behavior", ["refuse-late", "die-mid-read", "garbage", "black-hole"]
+    )
+    def test_target_transport_fault_rolls_back_bitwise(self, behavior):
+        async def serve():
+            hostile, address = await hostile_target(behavior)
+            try:
+                async with OnlineServer(handoff_timeout_s=0.5) as server:
+                    async with await OnlineClient.connect(
+                        *server.address
+                    ) as client:
+                        (sid,) = await client.create_fleet(
+                            f"{SCENARIO}@fp32@64"
+                        )
+                        await client.submit(sid, frames=9, wait=True)
+                        with pytest.raises(OnlineError) as excinfo:
+                            await client.migrate(sid, target=address)
+                        await assert_rolled_back_and_bitwise(
+                            server, client, sid
+                        )
+                        return excinfo.value, server.stats
+            finally:
+                hostile.close()
+                await hostile.wait_closed()
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.MIGRATION_FAILED
+        assert "rolled back" in str(error)
+        assert stats["migrations_failed"] == 1
+        assert stats["migrations_out"] == 0
+
+    def test_connection_refused_rolls_back_bitwise(self):
+        async def serve():
+            # Bind-then-close guarantees a dead port.
+            probe = await asyncio.start_server(
+                lambda r, w: None, host="127.0.0.1", port=0
+            )
+            port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            async with OnlineServer(handoff_timeout_s=1.0) as server:
+                async with await OnlineClient.connect(*server.address) as c:
+                    (sid,) = await c.create_fleet(f"{SCENARIO}@fp32@64")
+                    await c.submit(sid, frames=5, wait=True)
+                    with pytest.raises(OnlineError) as excinfo:
+                        await c.migrate(sid, target=f"127.0.0.1:{port}")
+                    await assert_rolled_back_and_bitwise(server, c, sid)
+                    return excinfo.value
+
+        assert run(serve()).code == ErrorCode.MIGRATION_FAILED
+
+
+class TestStructuredRejections:
+    def test_target_at_capacity_rolls_back_bitwise(self):
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=1, max_pending_frames=1000)
+            async with (
+                OnlineServer() as source,
+                OnlineServer(policy=policy) as target,
+            ):
+                t_client = await OnlineClient.connect(*target.address)
+                s_client = await OnlineClient.connect(*source.address)
+                async with t_client, s_client:
+                    await t_client.create_fleet(f"{SCENARIO}@fp32@64~9")
+                    (sid,) = await s_client.create_fleet(f"{SCENARIO}@fp32@64")
+                    await s_client.submit(sid, frames=7, wait=True)
+                    with pytest.raises(OnlineError) as excinfo:
+                        await s_client.migrate(
+                            sid, target="%s:%d" % target.address
+                        )
+                    await assert_rolled_back_and_bitwise(
+                        source, s_client, sid
+                    )
+                    return excinfo.value, target.stats
+
+        error, target_stats = run(serve())
+        assert error.code == ErrorCode.MIGRATION_FAILED
+        assert ErrorCode.ADMISSION_REJECTED in str(error)
+        assert target_stats["migrations_in"] == 0
+
+    def test_restore_onto_drifted_scenario_rolls_back_bitwise(self):
+        """A target whose restore rejects the blob (scenario drift: the
+        target would replay different observations) commits nothing on
+        either side and the source session is untouched."""
+
+        async def serve():
+            async with OnlineServer() as source, OnlineServer() as target:
+
+                def drifted_restore(blob, session_id=None):
+                    raise EvaluationError(
+                        "snapshot scenario drifted from the serving world"
+                    )
+
+                target.manager.restore = drifted_restore
+                s_client = await OnlineClient.connect(*source.address)
+                async with s_client:
+                    (sid,) = await s_client.create_fleet(f"{SCENARIO}@fp32@64")
+                    await s_client.submit(sid, frames=11, wait=True)
+                    with pytest.raises(OnlineError) as excinfo:
+                        await s_client.migrate(
+                            sid, target="%s:%d" % target.address
+                        )
+                    await assert_rolled_back_and_bitwise(
+                        source, s_client, sid
+                    )
+                    return excinfo.value, target.manager.session_ids()
+
+        error, target_sessions = run(serve())
+        assert error.code == ErrorCode.MIGRATION_FAILED
+        assert "drifted" in str(error)
+        assert target_sessions == []
+
+    def test_duplicate_migrate_after_handoff_is_rejected(self):
+        """Once the session left, a second migrate finds nothing."""
+
+        async def serve():
+            async with OnlineServer() as a, OnlineServer() as b:
+                async with await OnlineClient.connect(*a.address) as c:
+                    (sid,) = await c.create_fleet(f"{SCENARIO}@fp32@64")
+                    await c.submit(sid, frames=4, wait=True)
+                    target = "%s:%d" % b.address
+                    await c.migrate(sid, target=target)
+                    with pytest.raises(OnlineError) as excinfo:
+                        await c.migrate(sid, target=target)
+                    return excinfo.value
+
+        assert run(serve()).code == ErrorCode.EVALUATION
+
+    def test_concurrent_migrates_of_one_session_commit_exactly_once(self):
+        """Two racing migrates: one wins, the loser gets a structured
+        rejection, and exactly one copy exists fleet-wide."""
+
+        async def serve():
+            async with OnlineServer() as a, OnlineServer() as b:
+                c1 = await OnlineClient.connect(*a.address)
+                c2 = await OnlineClient.connect(*a.address)
+                b_client = await OnlineClient.connect(*b.address)
+                async with c1, c2, b_client:
+                    (sid,) = await c1.create_fleet(f"{SCENARIO}@fp32@64")
+                    await c1.submit(sid, frames=6, wait=True)
+                    target = "%s:%d" % b.address
+                    outcomes = await asyncio.gather(
+                        c1.migrate(sid, target=target),
+                        c2.migrate(sid, target=target),
+                        return_exceptions=True,
+                    )
+                    copies = (sid in a.manager.session_ids()) + (
+                        sid in b.manager.session_ids()
+                    )
+                    closed = await finish_and_close(b_client, sid)
+                    return outcomes, copies, closed
+
+        outcomes, copies, closed = run(serve())
+        errors = [o for o in outcomes if isinstance(o, Exception)]
+        commits = [o for o in outcomes if isinstance(o, dict)]
+        assert len(commits) == 1 and len(errors) == 1
+        assert isinstance(errors[0], OnlineError)
+        assert errors[0].code in (ErrorCode.DRAINING, ErrorCode.EVALUATION)
+        assert copies == 1
+        solo = solo_reference_trace(
+            closed.spec.scenario, "fp32", 64, closed.spec.seed
+        )
+        assert_traces_equal(closed.trace, solo)
+
+
+class TestSourceLoss:
+    def test_source_death_after_handoff_leaves_target_serving(self):
+        """Dropping the source right after commit loses nothing: the
+        target owns the only copy and finishes it bit-exactly."""
+
+        async def serve():
+            async with OnlineServer() as b:
+                b_client = await OnlineClient.connect(*b.address)
+                async with b_client:
+                    a = OnlineServer()
+                    await a.start()
+                    async with await OnlineClient.connect(*a.address) as c:
+                        (sid,) = await c.create_fleet(f"{SCENARIO}@fp32@64")
+                        await c.submit(sid, frames=8, wait=True)
+                        await c.migrate(sid, target="%s:%d" % b.address)
+                    await a.stop()  # the source is gone for good
+                    return await finish_and_close(b_client, sid)
+
+        closed = run(serve())
+        solo = solo_reference_trace(SCENARIO, "fp32", 64, 0)
+        assert_traces_equal(closed.trace, solo)
+
+    def test_rollback_with_queued_frames_serves_them_on_source(self):
+        """Frames frozen for a handoff that fails are not lost: the
+        rollback re-opens the queue and the source serves them."""
+
+        async def serve():
+            hostile, address = await hostile_target("refuse-late")
+            try:
+                async with OnlineServer(handoff_timeout_s=0.5) as server:
+                    async with await OnlineClient.connect(
+                        *server.address
+                    ) as client:
+                        (sid,) = await client.create_fleet(
+                            f"{SCENARIO}@fp32@64"
+                        )
+                        await client.submit(sid, frames=6, wait=True)
+                        server.manager.submit(sid, 4)  # still queued
+                        with pytest.raises(OnlineError):
+                            await client.migrate(sid, target=address)
+                        await client.flush([sid])
+                        status = await client.query(sid)
+                        # The frozen backlog was served after rollback.
+                        assert status["cursor"] == 10
+                        return await finish_and_close(client, sid)
+            finally:
+                hostile.close()
+                await hostile.wait_closed()
+
+        closed = run(serve())
+        solo = solo_reference_trace(SCENARIO, "fp32", 64, 0)
+        assert_traces_equal(closed.trace, solo)

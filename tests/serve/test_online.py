@@ -406,3 +406,195 @@ class TestProtocolFraming:
                     return excinfo.value
 
         assert run(serve()).code == ErrorCode.BAD_REQUEST
+
+
+class TestRetryAfterDrain:
+    """``submit_with_retry``: the client-side answer to ``overloaded``."""
+
+    def test_retry_succeeds_once_the_backlog_drains(self):
+        """A frozen backlog deterministically occupies the whole ingest
+        budget; submit_with_retry keeps backing off until the budget
+        frees, then lands the submission."""
+
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=8, max_pending_frames=8)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    ids = await client.create_fleet(f"{SCENARIO}@fp32@64*2")
+                    # Fill the budget out-of-band: 8 frames queued on a
+                    # drained session are pending but never served, so
+                    # every submission overflows until the drain lifts.
+                    server.manager.submit(ids[0], 8)
+                    server.manager.drain(ids[0])
+
+                    async def lift_the_drain():
+                        await asyncio.sleep(0.2)
+                        server.manager.resume(ids[0])
+                        server._kick()
+
+                    lifter = asyncio.ensure_future(lift_the_drain())
+                    response = await client.submit_with_retry(
+                        ids[1], frames=4, wait=True, base_delay_s=0.05
+                    )
+                    await lifter
+                    stats = await client.stats()
+                    cursor = (await client.query(ids[1]))["cursor"]
+                    return response, stats, cursor
+
+        response, stats, cursor = run(serve())
+        assert sum(response["queued"].values()) == 4
+        assert cursor == 4
+        # At least one submission was turned away before the one that
+        # landed — the retry loop did real work.
+        assert stats["rejected_overload"] >= 1
+
+    def test_retry_budget_exhausts_with_the_structured_code(self):
+        """A backlog that never drains: the deterministic backoff
+        schedule runs out and the last ``overloaded`` surfaces."""
+
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=8, max_pending_frames=4)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    ids = await client.create_fleet(f"{SCENARIO}@fp32@64*2")
+                    server.manager.submit(ids[0], 4)
+                    server.manager.drain(ids[0])
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.submit_with_retry(
+                            ids[1],
+                            frames=2,
+                            attempts=3,
+                            base_delay_s=0.01,
+                        )
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.OVERLOADED
+        assert stats["rejected_overload"] == 3  # one per attempt
+
+    def test_non_retryable_codes_pass_through_immediately(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    with pytest.raises(OnlineError) as excinfo:
+                        await client.submit_with_retry("ghost", frames=1)
+                    stats = await client.stats()
+                    return excinfo.value, stats
+
+        error, stats = run(serve())
+        assert error.code == ErrorCode.EVALUATION
+        assert stats["requests"] == 2  # the one submit + the stats call
+
+    def test_fleet_drive_survives_forced_overflow_midrun(self):
+        """``drive_fleet`` under a tight ingest bound: a mid-run frozen
+        backlog forces ``overloaded`` onto the drivers, their retry
+        loops absorb it, and every trace still closes bit-exact."""
+
+        async def serve():
+            policy = AdmissionPolicy(max_sessions=16, max_pending_frames=8)
+            async with OnlineServer(policy=policy) as server:
+                host, port = server.address
+                # A parked session whose frozen queue eats 6/8 of the
+                # ingest budget: driver submissions of 2x2 frames now
+                # collide with it (2 + 6 <= 8 only when the drivers are
+                # perfectly alone, and they race each other too).
+                async with await OnlineClient.connect(host, port) as seed:
+                    (parked,) = await seed.create_fleet(
+                        "corridor:1:flight_s=8@fp32@64~7"
+                    )
+                server.manager.submit(parked, 6)
+                server.manager.drain(parked)
+
+                async def lift_the_drain():
+                    await asyncio.sleep(0.5)
+                    server.manager.resume(parked)
+                    server._kick()
+
+                lifter = asyncio.ensure_future(lift_the_drain())
+                report = await drive_fleet(
+                    host,
+                    port,
+                    f"{SCENARIO}@fp32@64*2,{SCENARIO}@fp16qm@96~2",
+                    connections=2,
+                    frames_per_round=2,
+                )
+                await lifter
+                return report, server.stats
+
+        report, stats = run(serve())
+        assert stats["rejected_overload"] >= 1  # the overflow happened
+        assert len(report.results) == 3
+        for closed in report.results.values():
+            solo = solo_reference_trace(
+                closed.spec.scenario,
+                closed.spec.variant,
+                closed.spec.particle_count,
+                closed.spec.seed,
+            )
+            assert_traces_equal(closed.trace, solo)
+
+    def test_attempts_must_be_positive(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    from repro.common.errors import ConfigurationError
+
+                    with pytest.raises(ConfigurationError):
+                        await client.submit_with_retry("x", attempts=0)
+
+        run(serve())
+
+
+class TestStatsOccupancy:
+    def test_stats_report_per_cohort_occupancy(self):
+        """``stats`` exposes ``(fingerprint, N) -> rows used/free`` so
+        operators (and the migration planner) see the packing."""
+
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    sids = await client.create_fleet(
+                        f"{SCENARIO}@fp32@64*3,{SCENARIO}@fp16qm@96~3"
+                    )
+                    before = (await client.stats())["cohort_occupancy"]
+                    # Closing one fp32 session frees its row; the
+                    # cohort keeps the slot for the next admission.
+                    await client.submit(sids, frames=1000, wait=True)
+                    await client.close_session(sids[0])
+                    after = (await client.stats())["cohort_occupancy"]
+                    return sids, before, after
+
+        sids, before, after = run(serve())
+        assert len(before) == 2  # two (fingerprint, N) cohorts
+        for key, entry in before.items():
+            fingerprint, _, particles = key.partition("/")
+            assert len(fingerprint) == 12 and particles in {"64", "96"}
+            assert entry["rows_active"] == len(entry["sessions"])
+            assert entry["rows_free"] == 0
+        by_particles = {k.split("/")[1]: v for k, v in before.items()}
+        assert by_particles["64"]["sessions"] == sids[:3]
+        assert by_particles["96"]["sessions"] == sids[3:]
+        after_64 = {k.split("/")[1]: v for k, v in after.items()}["64"]
+        assert after_64["rows_active"] == 2
+        assert after_64["rows_free"] == 1
+        assert after_64["rows_allocated"] == 3
+        assert sids[0] not in after_64["sessions"]
+
+    def test_retired_cohorts_leave_the_stats(self):
+        async def serve():
+            async with OnlineServer() as server:
+                host, port = server.address
+                async with await OnlineClient.connect(host, port) as client:
+                    sids = await client.create_fleet(f"{SCENARIO}@fp32@64*2")
+                    await client.submit(sids, frames=1000, wait=True)
+                    for sid in sids:
+                        await client.close_session(sid)
+                    return (await client.stats())["cohort_occupancy"]
+
+        assert run(serve()) == {}

@@ -1,0 +1,191 @@
+"""Property-based fuzzing of the wire protocol edge.
+
+Whatever bytes arrive on the socket — random junk, valid frames with
+mutated length prefixes, well-framed non-JSON payloads, oversized
+header probes, frames truncated at any byte — the server must either
+answer with a structured error frame or hang up cleanly.  It must
+never crash the connection task with an unhandled exception, never
+emit a half-frame, and must keep serving *other* connections as if
+nothing happened.
+
+Every example drives a real ``OnlineServer`` on a loopback port: the
+hostile bytes go down one raw connection, every byte the server sends
+back is checked to parse as complete well-formed frames, and a fresh
+``OnlineClient`` then exercises the full create/submit/close path to
+prove the server survived.
+
+The hypothesis profile is selectable via ``REPRO_HYPOTHESIS_PROFILE``
+(default ``repro-ci``: derandomized with a pinned example budget, so CI
+runs are reproducible and bounded; ``repro-dev`` explores more).
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.serve import OnlineClient, OnlineServer  # noqa: E402
+from repro.serve.protocol import MAX_FRAME_BYTES, encode_frame  # noqa: E402
+
+settings.register_profile(
+    "repro-ci",
+    settings(
+        max_examples=25,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.register_profile(
+    "repro-dev",
+    settings(
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "repro-ci"))
+
+#: A legal request the mutators start from.
+VALID_FRAME = encode_frame(
+    {"op": "create", "session_id": "x", "scenario": "office:1:flight_s=8"}
+)
+
+
+async def probe(hostile_bytes: bytes) -> None:
+    """One hostile connection against a live server.
+
+    Asserts the three survival properties: any reply parses as complete
+    structured frames, the connection ends (no hang), and a fresh
+    client still gets full service.
+    """
+    async with OnlineServer() as server:
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(hostile_bytes)
+            try:
+                await writer.drain()
+                writer.write_eof()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # server already hung up — that is a clean outcome
+            # Everything the server says back until it hangs up.
+            replied = await asyncio.wait_for(reader.read(), timeout=10.0)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        assert_complete_frames(replied)
+
+        # The server is unharmed: full service on a fresh connection.
+        async with await OnlineClient.connect(host, port) as client:
+            (sid,) = await client.create_fleet("office:1:flight_s=8@fp32@64")
+            await client.submit(sid, frames=1, wait=True)
+            stats = await client.stats()
+            assert stats["sessions"] == 1
+            await client.close_session(sid)
+
+
+def assert_complete_frames(data: bytes) -> None:
+    """Every byte the server wrote belongs to a well-formed frame —
+    a structured ok/error object — with nothing half-written."""
+    rest = data
+    while rest:
+        header, sep, body = rest.partition(b"\n")
+        assert sep, f"dangling partial header {header[:64]!r}"
+        length = int(header)  # the server never writes a junk header
+        assert 2 <= length <= MAX_FRAME_BYTES
+        payload, rest = body[:length], body[length:]
+        assert len(payload) == length, "half-written frame"
+        message = json.loads(payload)
+        assert isinstance(message, dict) and "ok" in message
+        if not message["ok"]:
+            assert {"code", "message"} <= set(message["error"])
+
+
+def run_probe(hostile_bytes: bytes) -> None:
+    asyncio.run(probe(hostile_bytes))
+
+
+class TestProtocolFuzz:
+    @given(st.binary(min_size=0, max_size=4096))
+    def test_random_junk(self, junk):
+        run_probe(junk)
+
+    @given(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.binary(max_size=64),
+    )
+    def test_mutated_length_prefix(self, length, tail):
+        """A declared length that disagrees with the real payload —
+        negative, zero, short, long, or astronomically large."""
+        _, _, payload = VALID_FRAME.partition(b"\n")
+        run_probe(str(length).encode() + b"\n" + payload + tail)
+
+    @given(st.binary(min_size=2, max_size=512))
+    def test_non_json_payload_with_valid_header(self, payload):
+        run_probe(str(len(payload)).encode() + b"\n" + payload)
+
+    @given(
+        st.text(
+            alphabet="0123456789abcdefXYZ \t+-.", min_size=1, max_size=64
+        )
+    )
+    def test_garbage_header_line(self, header):
+        run_probe(header.encode() + b"\n")
+
+    @given(st.integers(min_value=1, max_value=120_000))
+    def test_oversized_header_probe(self, digits):
+        """A header of N digits and no newline — for N past the stream's
+        64 KiB line limit this used to kill the connection task with a
+        raw ``ValueError`` instead of a structured hangup."""
+        run_probe(b"9" * digits)
+
+    @given(st.integers(min_value=0, max_value=len(VALID_FRAME) - 1))
+    def test_truncated_valid_frame(self, cut):
+        run_probe(VALID_FRAME[:cut])
+
+    @given(st.data())
+    def test_valid_traffic_then_junk(self, data):
+        """A well-behaved request followed by garbage on the same
+        connection: the good request is answered, then a clean hangup."""
+        junk = data.draw(st.binary(min_size=1, max_size=256))
+
+        async def scenario():
+            async with OnlineServer() as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(encode_frame({"op": "stats"}))
+                    await writer.drain()
+                    header = await asyncio.wait_for(
+                        reader.readline(), timeout=10.0
+                    )
+                    first = await asyncio.wait_for(
+                        reader.readexactly(int(header)), timeout=10.0
+                    )
+                    assert json.loads(first)["ok"] is True
+                    writer.write(b"\xff\xfe" + junk)  # never a valid header
+                    await writer.drain()
+                    writer.write_eof()
+                    replied = await asyncio.wait_for(
+                        reader.read(), timeout=10.0
+                    )
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                assert_complete_frames(replied)
+                async with await OnlineClient.connect(host, port) as client:
+                    assert (await client.stats())["protocol_errors"] >= 1
+
+        asyncio.run(scenario())
