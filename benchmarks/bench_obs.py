@@ -1,0 +1,197 @@
+"""Telemetry overhead benchmark: the obs subsystem must be ~free.
+
+The observability contract (``docs/observability.md``) has two halves:
+
+* **zero bitwise footprint** — enabling metrics/spans/events cannot
+  change a single bit of any trace, and
+* **near-zero cost** — fully instrumented serving must stay within a
+  few percent of the uninstrumented frame rate.
+
+This bench pins both on the serve-online driver, the most instrumented
+path in the tree (engine stage spans + scheduler tick spans + per-verb
+histograms + queue gauges + the per-server stats registry all fire per
+frame).  The same fleet is driven through a real socket gateway
+interleaved with telemetry **disabled** and **enabled** (registry +
+spans + JSONL event log), best-of-``ROUNDS`` each to shed scheduler
+noise.  Asserted:
+
+* every served trace is byte-identical across the two modes
+  (``equivalent=true`` in the report), and
+* the enabled frame rate is within ``MAX_OVERHEAD`` (3%) of disabled.
+
+Results go to ``results/BENCH_obs.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import tempfile
+
+import numpy as np
+
+from conftest import current_scale
+
+from repro import obs
+from repro.scenarios.fleet import FleetSpec
+from repro.serve import AdmissionPolicy, OnlineServer
+from repro.serve.online import drive_fleet
+from repro.viz.export import results_directory
+from repro.viz.tables import format_table
+
+FAMILIES = ("office", "corridor")
+VARIANT = "fp32"
+PARTICLES = 64
+CONNECTIONS = 4
+FRAMES_PER_ROUND = 8
+MAX_OVERHEAD = 0.03
+
+
+def _rounds() -> int:
+    """Best-of interleaved rounds per mode.
+
+    Smoke-scale drives finish in ~50 ms, so scheduler noise per round
+    is proportionally larger — buy more rounds there (they're cheap) to
+    keep the best-of estimate stable on shared CI runners.
+    """
+    return 8 if current_scale() == "smoke" else 4
+
+
+def _protocol() -> tuple[int, float]:
+    """(fleet size, flight seconds) by scale."""
+    if current_scale() == "smoke":
+        return 8, 6.0
+    if current_scale() == "paper":
+        return 32, 20.0
+    return 16, 10.0
+
+
+def _trace_signature(trace) -> tuple:
+    return (
+        trace.update_count,
+        np.asarray(trace.timestamps).tobytes(),
+        np.asarray(trace.position_errors).tobytes(),
+        np.asarray(trace.yaw_errors).tobytes(),
+        np.asarray(trace.estimate_trace).tobytes(),
+    )
+
+
+def test_obs_overhead_and_bitwise_footprint(benchmark):
+    size, flight_s = _protocol()
+    fleet = FleetSpec.mixed(
+        FAMILIES,
+        variant=VARIANT,
+        particle_count=PARTICLES,
+        replicas=size // len(FAMILIES),
+        flight_s=flight_s,
+    )
+
+    async def serve_fleet():
+        policy = AdmissionPolicy(max_sessions=max(1024, size))
+        async with OnlineServer(policy=policy) as server:
+            host, port = server.address
+            return await drive_fleet(
+                host,
+                port,
+                fleet,
+                connections=CONNECTIONS,
+                frames_per_round=FRAMES_PER_ROUND,
+            )
+
+    def drive_once() -> tuple[float, int, dict]:
+        drive = asyncio.run(serve_fleet())
+        signatures = {
+            sid: _trace_signature(closed.trace)
+            for sid, closed in sorted(drive.results.items())
+        }
+        return drive.serve_s, drive.stats["frames_served"], signatures
+
+    rounds = _rounds()
+
+    def run() -> dict:
+        best = {"off": float("inf"), "on": float("inf")}
+        frames = 0
+        equivalent = True
+        with tempfile.TemporaryDirectory(prefix="repro-obs-") as events_dir:
+            try:
+                # Warm both modes once (scenario build, EDT, allocator),
+                # then time interleaved so drift hits both equally.
+                obs.disable()
+                drive_once()
+                obs.enable(events_dir)
+                drive_once()
+                for _ in range(rounds):
+                    obs.disable()
+                    off_s, frames, off_sig = drive_once()
+                    obs.enable(events_dir)
+                    on_s, _, on_sig = drive_once()
+                    best["off"] = min(best["off"], off_s)
+                    best["on"] = min(best["on"], on_s)
+                    equivalent &= off_sig == on_sig
+                enabled_snapshot = obs.snapshot()
+            finally:
+                obs.reset()
+
+        overhead = best["on"] / best["off"] - 1.0
+        spans_recorded = sum(
+            s["count"] for s in enabled_snapshot["spans"].values()
+        )
+        return {
+            "protocol": {
+                "families": list(FAMILIES),
+                "variant": VARIANT,
+                "particle_count": PARTICLES,
+                "sessions": size,
+                "flight_s": flight_s,
+                "connections": CONNECTIONS,
+                "frames_per_round": FRAMES_PER_ROUND,
+                "rounds": rounds,
+            },
+            "frames_served": frames,
+            "disabled_s": best["off"],
+            "enabled_s": best["on"],
+            "frames_per_s_disabled": frames / best["off"],
+            "frames_per_s_enabled": frames / best["on"],
+            "overhead": overhead,
+            "max_overhead": MAX_OVERHEAD,
+            "engine_steps": enabled_snapshot["counters"].get(
+                "engine.steps", 0
+            ),
+            "spans_recorded": spans_recorded,
+            "equivalent": equivalent,
+        }
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    print(
+        format_table(
+            ["mode", "best s", "frames/s"],
+            [
+                ["disabled", f"{report['disabled_s']:.3f}",
+                 f"{report['frames_per_s_disabled']:.0f}"],
+                ["enabled", f"{report['enabled_s']:.3f}",
+                 f"{report['frames_per_s_enabled']:.0f}"],
+            ],
+            title=(
+                f"Telemetry overhead — {report['protocol']['sessions']} "
+                f"sessions, {report['frames_served']} frames served, "
+                f"{report['spans_recorded']} spans recorded"
+            ),
+            footnote=(
+                f"overhead {100 * report['overhead']:+.2f}% "
+                f"(budget {100 * MAX_OVERHEAD:.0f}%), "
+                f"traces {'byte-identical' if report['equivalent'] else 'DIVERGED'}"
+            ),
+        )
+    )
+
+    path = results_directory() / "BENCH_obs.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"report written to {path}")
+
+    assert report["equivalent"], "telemetry changed the numbers"
+    assert report["overhead"] < MAX_OVERHEAD, (
+        f"telemetry overhead {100 * report['overhead']:.2f}% exceeds "
+        f"{100 * MAX_OVERHEAD:.0f}%"
+    )

@@ -29,7 +29,15 @@ Subcommands:
 * ``bench-backends``  — time reference vs batched vs fast backends on
   one sweep (``fast`` joins wherever a fused provider is available)
 * ``perf``            — print the Table I / Table II model predictions
+* ``obs``             — inspect telemetry: ``obs report`` renders a
+  metrics/span snapshot (live registry, snapshot file, or a running
+  gateway's ``metrics`` verb) as a table, JSON or Prometheus text
 * ``docs-cli``        — emit the generated CLI reference (docs/cli.md)
+
+The global ``--obs`` / ``--obs-dir DIR`` flags enable the telemetry
+registry (and the JSONL event log) for any command — equivalent to the
+``REPRO_OBS`` / ``REPRO_OBS_DIR`` environment variables, and guaranteed
+not to change any numeric result (see ``docs/observability.md``).
 
 Commands that execute the filter accept ``--backend
 {reference,batched,fast}`` to pick the
@@ -52,7 +60,7 @@ import argparse
 import math
 import sys
 
-from . import __version__
+from . import __version__, obs
 from .common.errors import ConfigurationError
 from .core.config import (
     PAPER_PARTICLE_COUNTS,
@@ -538,15 +546,15 @@ def _parse_fleet(raw: str) -> FleetSpec:
 
 
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
-    import time
-
     from .serve import SessionManager
 
     manager = SessionManager(backend=args.backend)
     session_ids = manager.create_fleet(args.fleet)
-    start = time.perf_counter()
-    frames = manager.run_to_completion(frames_per_flush=args.frames_per_flush)
-    elapsed = time.perf_counter() - start
+    with obs.timed("cli.serve_sim") as serve_timer:
+        frames = manager.run_to_completion(
+            frames_per_flush=args.frames_per_flush
+        )
+    elapsed = serve_timer.elapsed_s
 
     rows = []
     successes = 0
@@ -670,7 +678,7 @@ def _cmd_serve_online(args: argparse.Namespace) -> int:
                 footnote="every trace travelled the socket bit-exactly",
             )
         )
-        latencies = np.array(report.step_latencies_s)
+        latency = report.step_latency
         frames = report.stats["frames_served"]
         print()
         print(
@@ -678,9 +686,9 @@ def _cmd_serve_online(args: argparse.Namespace) -> int:
             f"{frames} frames in {report.serve_s:.2f}s "
             f"({frames / report.serve_s:.0f} frames/s, "
             f"{len(rows) / report.serve_s:.2f} sessions/s); "
-            f"step latency p50 {1e3 * float(np.percentile(latencies, 50)):.2f} ms, "
-            f"p99 {1e3 * float(np.percentile(latencies, 99)):.2f} ms over "
-            f"{latencies.size} barriers; "
+            f"step latency p50 {1e3 * latency.percentile(0.50):.2f} ms, "
+            f"p99 {1e3 * latency.percentile(0.99):.2f} ms over "
+            f"{latency.count} barriers; "
             f"{report.stats['ticks']} ticks, {report.stats['updates']} updates"
         )
         return 0
@@ -993,12 +1001,69 @@ def _cmd_perf(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    if args.connect:
+        import asyncio
+
+        from .serve.online import OnlineClient
+        from .serve.protocol import parse_address
+
+        host, port = parse_address(args.connect)
+
+        async def fetch() -> dict:
+            async with await OnlineClient.connect(host, port) as client:
+                return await client.metrics()
+
+        snapshot = asyncio.run(fetch())["metrics"]
+    elif args.snapshot:
+        with open(args.snapshot, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    else:
+        snapshot = obs.snapshot()
+
+    if args.format == "json":
+        print(json.dumps(snapshot, sort_keys=True, indent=2))
+    elif args.format == "prom":
+        sys.stdout.write(obs.render_prometheus(snapshot))
+    else:
+        print(obs.render_table(snapshot))
+
+    if args.events:
+        counts: dict[str, int] = {}
+        for entry in obs.read_events(args.events):
+            name = entry.get("event", "?")
+            counts[name] = counts.get(name, 0) + 1
+        print()
+        if not counts:
+            print(f"(no events under {args.events})")
+        else:
+            print(f"events under {args.events}:")
+            width = max(len(k) for k in counts)
+            for name in sorted(counts):
+                print(f"  {name:<{width}}  {counts[name]}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Nano-UAV multizone-ToF Monte Carlo localization (DATE 2023 reproduction)",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable in-process telemetry (metrics + spans) for this command",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="enable telemetry and write JSONL event logs under DIR "
+        "(implies --obs)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="library and platform summary").set_defaults(
@@ -1488,6 +1553,40 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_perf
     )
 
+    obs_parser = sub.add_parser(
+        "obs", help="inspect telemetry (metrics, spans, event logs)"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="render a telemetry snapshot as a table, JSON or Prometheus text",
+    )
+    obs_report.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="FILE",
+        help="read a canonical snapshot JSON file instead of the live registry",
+    )
+    obs_report.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch the snapshot from a running gateway's `metrics` verb",
+    )
+    obs_report.add_argument(
+        "--events",
+        default=None,
+        metavar="DIR",
+        help="additionally summarize the JSONL event logs under DIR",
+    )
+    obs_report.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="output rendering (default: table)",
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
+
     # Hidden (no help string): emits the generated CLI reference; CI diffs
     # its output against docs/cli.md to catch documentation drift.
     docs_cli = sub.add_parser(
@@ -1500,6 +1599,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.obs_dir:
+        obs.enable(args.obs_dir)
+    elif args.obs:
+        obs.enable()
     return args.func(args)
 
 

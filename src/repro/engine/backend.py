@@ -187,6 +187,29 @@ class FilterBackend(Protocol):
 
 
 # ----------------------------------------------------------------------
+# Telemetry names
+# ----------------------------------------------------------------------
+# The engine layer's span and counter names live here, on the seam both
+# stack implementations import, so batched and fast report under one
+# catalog (docs/observability.md).  Instrumentation goes through
+# :mod:`repro.obs` accessors only — when telemetry is disabled they
+# return shared no-op singletons, and nothing here may ever touch RNG
+# or numeric state (the bitwise contract above extends to telemetry:
+# traces with spans active are bit-identical to spans off).
+SPAN_TRANSFORM = "engine.step.transform"
+SPAN_GATHER = "engine.step.gather"
+SPAN_WEIGHT = "engine.step.weight"
+SPAN_RESAMPLE = "engine.step.resample"
+SPAN_ESTIMATE = "engine.step.estimate"
+COUNTER_STEPS = "engine.steps"
+COUNTER_GATE_TRIGGERS = "engine.gate_triggers"
+COUNTER_RESAMPLES = "engine.resamples"
+COUNTER_RESAMPLE_SKIPS = "engine.resample_skips"
+COUNTER_PLAN_HITS = "engine.replay_plan.hits"
+COUNTER_PLAN_MISSES = "engine.replay_plan.misses"
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _FACTORIES: dict[str, Callable[[], FilterBackend]] = {}

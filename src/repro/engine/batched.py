@@ -41,6 +41,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..common.errors import ConfigurationError
 from ..common.geometry import Pose2D, wrap_angle
 from ..common.rng import make_rng
@@ -51,7 +52,22 @@ from ..dataset.recorder import RecordedSequence
 from ..maps.distance_field import DistanceField
 from ..maps.occupancy import OccupancyGrid
 from . import kernels
-from .backend import RunSpec, RunTrace, StepWork
+from .backend import (
+    COUNTER_GATE_TRIGGERS,
+    COUNTER_PLAN_HITS,
+    COUNTER_PLAN_MISSES,
+    COUNTER_RESAMPLE_SKIPS,
+    COUNTER_RESAMPLES,
+    COUNTER_STEPS,
+    RunSpec,
+    RunTrace,
+    SPAN_ESTIMATE,
+    SPAN_GATHER,
+    SPAN_RESAMPLE,
+    SPAN_TRANSFORM,
+    SPAN_WEIGHT,
+    StepWork,
+)
 from .replay import ReplayPlan, ReplayStep
 
 __all__ = [
@@ -233,11 +249,18 @@ class ParticleStack:
         if not triggered_list:
             return
         triggered = np.array(triggered_list, dtype=np.int64)
-        self._motion_update(triggered, work)
+        # Stage spans + gate counters (no-ops when telemetry is off);
+        # timing reads never feed back into the numeric state below.
+        obs.counter(COUNTER_STEPS).inc()
+        obs.counter(COUNTER_GATE_TRIGGERS).inc(len(triggered_list))
+        with obs.span(SPAN_TRANSFORM):
+            self._motion_update(triggered, work)
         observed = self._observation_update(work)
         if observed.size:
-            self._resample(observed)
-        self._refresh_estimates(triggered)
+            with obs.span(SPAN_RESAMPLE):
+                self._resample(observed)
+        with obs.span(SPAN_ESTIMATE):
+            self._refresh_estimates(triggered)
         self.update_count[triggered] += 1
 
     def _motion_update(
@@ -280,21 +303,23 @@ class ParticleStack:
             if step.beams is None:
                 continue
             for chunk in self._row_chunks(item.rows, step.beams.beam_count):
-                log_lik = kernels.beam_log_likelihoods(
-                    self.x[chunk].astype(np.float64),
-                    self.y[chunk].astype(np.float64),
-                    self.theta[chunk].astype(np.float64),
-                    step.end_x,
-                    step.end_y,
-                    item.field,
-                    config.sigma_obs,
-                )
-                updated = kernels.posterior_log_weights(
-                    self.weights[chunk], log_lik, config.beam_replication
-                )
-                stored = updated.astype(self.dtype)
-                kernels.normalize_weights(stored, self.dtype)
-                self.weights[chunk] = stored
+                with obs.span(SPAN_GATHER):
+                    log_lik = kernels.beam_log_likelihoods(
+                        self.x[chunk].astype(np.float64),
+                        self.y[chunk].astype(np.float64),
+                        self.theta[chunk].astype(np.float64),
+                        step.end_x,
+                        step.end_y,
+                        item.field,
+                        config.sigma_obs,
+                    )
+                with obs.span(SPAN_WEIGHT):
+                    updated = kernels.posterior_log_weights(
+                        self.weights[chunk], log_lik, config.beam_replication
+                    )
+                    stored = updated.astype(self.dtype)
+                    kernels.normalize_weights(stored, self.dtype)
+                    self.weights[chunk] = stored
             observed.extend(item.rows)
         return np.array(observed, dtype=np.int64)
 
@@ -311,10 +336,12 @@ class ParticleStack:
             np.asarray(kernels.effective_sample_size(self.weights[observed]))
         )
         uniform = np.asarray(1.0 / self.count, dtype=self.dtype)
+        resampled = 0
         for i, run in enumerate(observed):
             run = int(run)
             if ess[i] > threshold:
                 continue
+            resampled += 1
             u0 = kernels.draw_wheel_offset(self.rngs[run], self.count)
             indices = kernels.systematic_resample(
                 self.weights[run].astype(np.float64),
@@ -326,6 +353,8 @@ class ParticleStack:
             self.y[run] = self.y[run][indices]
             self.theta[run] = self.theta[run][indices]
             self.weights[run] = uniform
+        obs.counter(COUNTER_RESAMPLES).inc(resampled)
+        obs.counter(COUNTER_RESAMPLE_SKIPS).inc(len(observed) - resampled)
 
     # ------------------------------------------------------------------
     # State storage and pose estimates
@@ -459,8 +488,11 @@ class BatchedBackend:
         key = (id(sequence), ReplayPlan.signature(config))
         plan = self._plans.get(key)
         if plan is None or plan.sequence is not sequence:
+            obs.counter(COUNTER_PLAN_MISSES).inc()
             plan = ReplayPlan(sequence, config)
             self._plans[key] = plan
+        else:
+            obs.counter(COUNTER_PLAN_HITS).inc()
         return plan
 
 

@@ -68,13 +68,20 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import obs
 from ..common.errors import ConfigurationError
 from ..common.geometry import Pose2D
 from ..core.config import MclConfig
 from ..core.snapshot import FilterStateSnapshot
 from . import kernels
 from .batched import OBS_CHUNK_ELEMENTS, BatchedBackend, ParticleStack
-from .backend import StepWork
+from .backend import (
+    COUNTER_RESAMPLE_SKIPS,
+    COUNTER_RESAMPLES,
+    SPAN_GATHER,
+    SPAN_WEIGHT,
+    StepWork,
+)
 from .reductions import det_sum
 
 __all__ = ["FastBackend", "FastStack", "NumpyProvider", "resolve_provider"]
@@ -345,43 +352,45 @@ class FastStack(ParticleStack):
             for chunk in self._row_chunks(item.rows, step.beams.beam_count):
                 cos_t = self.cos64[chunk]
                 sin_t = self.sin64[chunk]
-                log_lik = self._provider.loglik_sums(
-                    self.x64[chunk],
-                    self.y64[chunk],
-                    cos_t,
-                    sin_t,
-                    step.end_x,
-                    step.end_y,
-                    item.field,
-                )
-                np.negative(log_lik, out=log_lik)
-                log_lik /= denom
-                if self._fused:
-                    # posterior_log_weights split at its one
-                    # transcendental: replication scale and per-row max
-                    # subtraction feed numpy's exp, then the provider
-                    # fuses prior multiply + storage cast + normalize +
-                    # shadow refresh per row.
-                    log_lik *= config.beam_replication
-                    log_lik -= log_lik.max(axis=-1, keepdims=True)
-                    like = np.exp(log_lik)
-                    for j, row in enumerate(chunk):
-                        row = int(row)
-                        self._provider.update_weights_row(
-                            self.w64[row],
-                            like[j],
-                            self.weights[row],
-                            inv_count,
-                            self._scratch_a,
-                        )
-                else:
-                    updated = kernels.posterior_log_weights(
-                        self.w64[chunk], log_lik, config.beam_replication
+                with obs.span(SPAN_GATHER):
+                    log_lik = self._provider.loglik_sums(
+                        self.x64[chunk],
+                        self.y64[chunk],
+                        cos_t,
+                        sin_t,
+                        step.end_x,
+                        step.end_y,
+                        item.field,
                     )
-                    stored = updated.astype(self.dtype)
-                    kernels.normalize_weights(stored, self.dtype)
-                    self.weights[chunk] = stored
-                    self.w64[chunk] = stored.astype(np.float64)
+                with obs.span(SPAN_WEIGHT):
+                    np.negative(log_lik, out=log_lik)
+                    log_lik /= denom
+                    if self._fused:
+                        # posterior_log_weights split at its one
+                        # transcendental: replication scale and per-row
+                        # max subtraction feed numpy's exp, then the
+                        # provider fuses prior multiply + storage cast +
+                        # normalize + shadow refresh per row.
+                        log_lik *= config.beam_replication
+                        log_lik -= log_lik.max(axis=-1, keepdims=True)
+                        like = np.exp(log_lik)
+                        for j, row in enumerate(chunk):
+                            row = int(row)
+                            self._provider.update_weights_row(
+                                self.w64[row],
+                                like[j],
+                                self.weights[row],
+                                inv_count,
+                                self._scratch_a,
+                            )
+                    else:
+                        updated = kernels.posterior_log_weights(
+                            self.w64[chunk], log_lik, config.beam_replication
+                        )
+                        stored = updated.astype(self.dtype)
+                        kernels.normalize_weights(stored, self.dtype)
+                        self.weights[chunk] = stored
+                        self.w64[chunk] = stored.astype(np.float64)
             observed.extend(item.rows)
         return np.array(observed, dtype=np.int64)
 
@@ -390,10 +399,12 @@ class FastStack(ParticleStack):
         ess = self._provider.ess_rows(self.w64[observed], self._scratch_a)
         uniform = np.asarray(1.0 / self.count, dtype=self.dtype)
         uniform64 = float(np.float64(uniform))
+        resampled = 0
         for i, run in enumerate(observed):
             run = int(run)
             if ess[i] > threshold:
                 continue
+            resampled += 1
             u0 = kernels.draw_wheel_offset(self.rngs[run], self.count)
             if self._fused:
                 # Fused wheel + gather of the three stored rows and
@@ -431,6 +442,8 @@ class FastStack(ParticleStack):
                 self.sin64[run] = self.sin64[run][indices]
             self.weights[run] = uniform
             self.w64[run] = uniform64
+        obs.counter(COUNTER_RESAMPLES).inc(resampled)
+        obs.counter(COUNTER_RESAMPLE_SKIPS).inc(len(observed) - resampled)
 
     def _refresh_estimates(self, triggered: np.ndarray) -> None:
         # Row views, no stacked gathers: every reduction here is per-row

@@ -21,6 +21,7 @@ import os
 import time
 from pathlib import Path
 
+from .. import obs
 from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import MclConfig
 from ..engine.backend import get_backend
@@ -133,16 +134,16 @@ def compare_backends(
         backend_signatures: list[tuple] = []
         total = 0.0
         for cell in cells:
-            start = time.perf_counter()
-            runs = _execute_cell(
-                grid,
-                used_sequences,
-                protocol.seeds,
-                cell,
-                fields[(cell.field_kind, cell.config.r_max)],
-                executor,
-            )
-            elapsed = time.perf_counter() - start
+            with obs.timed("bench.backend_cell") as cell_timer:
+                runs = _execute_cell(
+                    grid,
+                    used_sequences,
+                    protocol.seeds,
+                    cell,
+                    fields[(cell.field_kind, cell.config.r_max)],
+                    executor,
+                )
+            elapsed = cell_timer.elapsed_s
             total += elapsed
             cell_seconds[f"{cell.variant}/N={cell.particle_count}"] = elapsed
             backend_signatures.extend(_run_signature(run) for run in runs)
@@ -185,16 +186,16 @@ def compare_backends(
     if jobs > 1:
         parallel_backend = backends[-1]
         engine = SweepEngine(backend=parallel_backend, jobs=jobs)
-        start = time.perf_counter()
-        engine.run(
-            grid,
-            used_sequences,
-            variants,
-            particle_counts,
-            protocol=protocol,
-            base_config=base_config,
-        )
-        elapsed = time.perf_counter() - start
+        with obs.timed("bench.parallel_sweep") as sweep_timer:
+            engine.run(
+                grid,
+                used_sequences,
+                variants,
+                particle_counts,
+                protocol=protocol,
+                base_config=base_config,
+            )
+        elapsed = sweep_timer.elapsed_s
         report["parallel"] = {
             "backend": parallel_backend,
             "jobs": jobs,

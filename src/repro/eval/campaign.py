@@ -39,6 +39,7 @@ import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from .. import obs
 from ..common.atomics import atomic_create
 from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import ConfigSpec, MclConfig
@@ -337,8 +338,20 @@ def run_campaign(
     base_config = MclConfig()
     pending_ids = dict.fromkeys(cell.scenario for cell in pending)
 
+    obs.counter("campaign.cells_skipped").inc(skipped)
+
     def finish(cell: CampaignCell, runs: list[RunResult]) -> None:
-        store.put_cell(cell.key, cell_payload(cell, runs))
+        with obs.span("campaign.cell_store"):
+            store.put_cell(cell.key, cell_payload(cell, runs))
+        obs.counter("campaign.cells_executed").inc()
+        obs.event(
+            "campaign.cell",
+            campaign=spec.name,
+            key=cell.key,
+            scenario=cell.scenario,
+            variant=cell.variant,
+            particle_count=cell.particle_count,
+        )
         if progress is not None:
             done = sum(1 for r in runs if r.metrics.success)
             progress(

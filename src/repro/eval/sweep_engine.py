@@ -36,6 +36,7 @@ import hashlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import ConfigSpec, MclConfig
 from ..dataset.recorder import RecordedSequence
@@ -82,12 +83,15 @@ class DistanceFieldCache:
         key = (self.grid_key(grid), float(r_max), kind.value)
         if key not in self._fields:
             self.misses += 1
+            obs.counter("sweep.edt_cache.misses").inc()
             if self.limit is not None:
                 while len(self._fields) >= self.limit:
                     self._fields.pop(next(iter(self._fields)))
-            self._fields[key] = DistanceField.build(grid, r_max, kind)
+            with obs.span("sweep.edt_build"):
+                self._fields[key] = DistanceField.build(grid, r_max, kind)
         else:
             self.hits += 1
+            obs.counter("sweep.edt_cache.hits").inc()
         return self._fields[key]
 
     def __len__(self) -> int:
@@ -154,7 +158,17 @@ def _execute_cell(
         for sequence in sequences
         for seed in seeds
     ]
-    return run_localization_batch(grid, specs, cell.config, fld, backend)
+    with obs.span("sweep.cell"):
+        runs = run_localization_batch(grid, specs, cell.config, fld, backend)
+    obs.counter("sweep.cells").inc()
+    obs.counter("sweep.runs").inc(len(specs))
+    obs.event(
+        "sweep.cell",
+        variant=cell.variant,
+        particle_count=cell.particle_count,
+        runs=len(specs),
+    )
+    return runs
 
 
 def drain_futures(pending: dict, on_done) -> None:

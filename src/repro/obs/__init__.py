@@ -1,0 +1,267 @@
+"""Unified telemetry: metrics, spans, and event logs with zero bitwise footprint.
+
+This package is the one observability seam of the reproduction.  Every
+layer (engine step stages, sweep/campaign cells, the serving gateway)
+reports through the module-level accessors here; nothing else in
+``src/repro`` may call ``time.perf_counter`` directly (a tier-1 lint
+test enforces this, with :mod:`repro.eval.bench` exempted as the
+benchmark harness).
+
+The contract
+------------
+* **Telemetry never touches numerics.**  No function in this package
+  reads or advances an RNG, mutates a numpy array owned by the engine,
+  or feeds a measured value back into the pipeline.  Traces with
+  telemetry enabled are bitwise identical to telemetry disabled —
+  asserted by the golden cells and the serve fleet-vs-solo suite.
+* **Disabled means free.**  When telemetry is off, every accessor
+  returns a shared null singleton (``NULL_COUNTER``, ``NULL_SPAN``, ...)
+  whose methods are empty: no allocation, no clock reads, no dict
+  growth on hot paths.
+* **Deterministic shape.**  Histogram bucket bounds are fixed module
+  constants; snapshots sort every section, so snapshot JSON is
+  canonical and mergeable across processes.
+
+Enabling
+--------
+``REPRO_OBS=1`` turns on the in-process registry (metrics + spans).
+``REPRO_OBS_DIR=/path`` additionally opens the JSONL event log there
+(and implies ``REPRO_OBS``).  The ``repro`` CLI exposes the same pair
+as global ``--obs`` / ``--obs-dir`` flags.  Programmatic control:
+:func:`enable` / :func:`disable` / :func:`reset`.
+
+The process-global registry serves in-process instrumentation; the
+online gateway additionally owns a private always-on :class:`LocalObs`
+backing its ``stats`` and ``metrics`` verbs (per-server counters must
+not cross-talk when tests host several gateways in one process).
+"""
+
+from __future__ import annotations
+
+import os
+
+from .events import EventLog, read_events
+from .metrics import (
+    COUNT_BOUNDS,
+    LATENCY_BOUNDS_S,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    merge_snapshots,
+    render_prometheus,
+    render_table,
+)
+from .tracing import NULL_SPAN, SpanRecorder, Timer
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "timed",
+    "record_span",
+    "event",
+    "snapshot",
+    "events_dir",
+    "LocalObs",
+    "Registry",
+    "SpanRecorder",
+    "Timer",
+    "EventLog",
+    "read_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS_S",
+    "COUNT_BOUNDS",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SPAN",
+    "merge_snapshots",
+    "render_prometheus",
+    "render_table",
+]
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+# Process-global state.  ``_configured`` latches the first env read so
+# programmatic enable/disable is never clobbered by a late accessor.
+_configured = False
+_registry: Registry | None = None
+_recorder: SpanRecorder | None = None
+_events: EventLog | None = None
+
+
+def _configure_from_env() -> None:
+    global _configured
+    _configured = True
+    directory = os.environ.get("REPRO_OBS_DIR", "").strip()
+    flag = os.environ.get("REPRO_OBS", "").strip().lower()
+    if directory or flag in _TRUTHY:
+        enable(directory or None)
+
+
+def enabled() -> bool:
+    """Is the process-global telemetry registry active?"""
+    if not _configured:
+        _configure_from_env()
+    return _registry is not None
+
+
+def enable(directory: str | os.PathLike | None = None) -> Registry:
+    """Turn on the global registry (idempotent); optionally log events to ``directory``."""
+    global _configured, _registry, _recorder, _events
+    _configured = True
+    if _registry is None:
+        _registry = Registry()
+        _recorder = SpanRecorder(_registry)
+    if directory is not None and (
+        _events is None or _events.directory != EventLog(directory).directory
+    ):
+        if _events is not None:
+            _events.close()
+        _events = EventLog(directory)
+    return _registry
+
+
+def disable() -> None:
+    """Turn telemetry off; accessors hand out null singletons again."""
+    global _configured, _registry, _recorder, _events
+    _configured = True
+    _registry = None
+    _recorder = None
+    if _events is not None:
+        _events.close()
+        _events = None
+
+
+def reset() -> None:
+    """Drop all state and re-read the environment on next use (tests)."""
+    global _configured, _registry, _recorder, _events
+    if _events is not None:
+        _events.close()
+    _configured = False
+    _registry = None
+    _recorder = None
+    _events = None
+
+
+def counter(name: str):
+    """The named global counter, or the shared no-op when disabled."""
+    if not _configured:
+        _configure_from_env()
+    registry = _registry
+    return NULL_COUNTER if registry is None else registry.counter(name)
+
+
+def gauge(name: str):
+    """The named global gauge, or the shared no-op when disabled."""
+    if not _configured:
+        _configure_from_env()
+    registry = _registry
+    return NULL_GAUGE if registry is None else registry.gauge(name)
+
+
+def histogram(name: str, bounds=LATENCY_BOUNDS_S):
+    """The named global histogram, or the shared no-op when disabled."""
+    if not _configured:
+        _configure_from_env()
+    registry = _registry
+    return NULL_HISTOGRAM if registry is None else registry.histogram(name, bounds)
+
+
+def span(name: str):
+    """A wall-time span context manager; shared no-op singleton when disabled.
+
+    Hot-path callers must not rely on ``elapsed_s`` (the null span pins
+    it to 0.0) — use :func:`timed` when the duration is needed as a
+    value.
+    """
+    if not _configured:
+        _configure_from_env()
+    recorder = _recorder
+    return NULL_SPAN if recorder is None else recorder.span(name)
+
+
+def record_span(name: str, seconds: float) -> None:
+    """Record an externally measured duration under a span name."""
+    if not _configured:
+        _configure_from_env()
+    if _recorder is not None:
+        _recorder.record(name, seconds)
+
+
+def timed(name: str) -> Timer:
+    """An always-on timer whose duration is also recorded when enabled.
+
+    This is the sanctioned replacement for raw ``perf_counter`` pairs:
+    ``with obs.timed("cli.serve_sim") as t: ...`` then read
+    ``t.elapsed_s``.  The measurement always happens (call sites need
+    the value); only the span recording is conditional.
+    """
+    return Timer(name, on_done=record_span)
+
+
+def event(name: str, **fields) -> None:
+    """Emit a structured JSONL event (no-op unless an obs dir is set)."""
+    if not _configured:
+        _configure_from_env()
+    if _events is not None:
+        _events.emit(name, **fields)
+
+
+def events_dir():
+    """The active event-log directory, or ``None``."""
+    if not _configured:
+        _configure_from_env()
+    return None if _events is None else _events.directory
+
+
+def snapshot() -> dict:
+    """Canonical snapshot of the global registry (empty sections when off)."""
+    if not _configured:
+        _configure_from_env()
+    if _registry is None:
+        return {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+    return _registry.snapshot()
+
+
+class LocalObs:
+    """A private always-on registry + span recorder bundle.
+
+    The online gateway's ``stats`` counters predate this subsystem and
+    were always unconditional; they live here (one ``LocalObs`` per
+    server instance) so several servers in one process keep independent
+    counts while sharing the metric implementations and snapshot shape
+    with the global registry.
+    """
+
+    __slots__ = ("registry", "recorder")
+
+    def __init__(self) -> None:
+        self.registry = Registry()
+        self.recorder = SpanRecorder(self.registry)
+
+    def counter(self, name: str) -> Counter:
+        return self.registry.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.registry.gauge(name)
+
+    def histogram(self, name: str, bounds=LATENCY_BOUNDS_S) -> Histogram:
+        return self.registry.histogram(name, bounds)
+
+    def span(self, name: str):
+        return self.recorder.span(name)
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()

@@ -1,0 +1,73 @@
+"""Structured JSONL event log.
+
+Events are discrete, low-rate occurrences worth a permanent record —
+session admissions, migration handoffs, campaign cell completions — as
+opposed to metrics (aggregates) and spans (durations).  Each event is
+one canonical-JSON line appended to ``events-<pid>.jsonl`` under the
+directory given by ``REPRO_OBS_DIR`` (or ``repro --obs-dir``); the
+per-pid file name keeps multi-process sweeps from interleaving writes.
+
+The log is write-only from the pipeline's point of view: nothing in the
+numeric path ever reads it back, so (like all of :mod:`repro.obs`) it
+has zero bitwise footprint.  Timestamps are wall-clock telemetry only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import IO, Iterator
+
+__all__ = ["EventLog", "read_events"]
+
+
+class EventLog:
+    """Append-only JSONL writer, lazily opened, one file per process."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self._handle: IO[str] | None = None
+
+    @property
+    def path(self) -> Path:
+        return self.directory / f"events-{os.getpid()}.jsonl"
+
+    def emit(self, name: str, **fields) -> None:
+        """Append one event line: ``{"event": name, "ts": ..., **fields}``."""
+        handle = self._handle
+        if handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle = self._handle = open(self.path, "a", encoding="utf-8")
+        record = dict(fields)
+        record["event"] = name
+        record["ts"] = time.time()
+        handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_events(directory: str | os.PathLike) -> Iterator[dict]:
+    """Yield every event from every ``events-*.jsonl`` file in ``directory``.
+
+    Files are visited in sorted name order; malformed lines are skipped
+    (a crashed process may leave a torn final line).
+    """
+    root = Path(directory)
+    for path in sorted(root.glob("events-*.jsonl")):
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record

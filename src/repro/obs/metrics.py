@@ -1,0 +1,375 @@
+"""Telemetry metric primitives: counters, gauges, histograms.
+
+Design constraints (the subsystem contract, see ``docs/observability.md``):
+
+* **Zero bitwise footprint** — nothing in this module reads or writes
+  RNG state, numpy arrays owned by the engine, or any value that feeds
+  the numeric pipeline.  Metrics are pure Python scalars updated from
+  instrumentation seams; enabling telemetry must leave every trace
+  bit-for-bit identical.
+* **Deterministic shape** — histogram bucket bounds are fixed module
+  constants, never derived from observed data, so snapshots from any
+  two processes (or the same process on different days) are directly
+  mergeable and comparable.
+* **Cheap when off** — the ``Null*`` singletons implement the same
+  surface with empty methods and ``__slots__ = ()``; the disabled path
+  allocates nothing per call.
+
+The :class:`Registry` here is instantiable on purpose: the process
+global one (see :mod:`repro.obs`) serves engine/sweep instrumentation,
+while each :class:`~repro.serve.online.OnlineServer` owns a private
+always-on registry backing its ``stats``/``metrics`` verbs (several
+gateways can share one test process without cross-talking counters).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "LATENCY_BOUNDS_S",
+    "COUNT_BOUNDS",
+    "Registry",
+    "render_table",
+    "render_prometheus",
+]
+
+#: Fixed latency bucket upper bounds, in seconds.  1-2.5-5 decades from
+#: 10 microseconds to 10 seconds; chosen once, never data-dependent.
+LATENCY_BOUNDS_S: tuple[float, ...] = (
+    1e-05, 2.5e-05, 5e-05,
+    1e-04, 2.5e-04, 5e-04,
+    1e-03, 2.5e-03, 5e-03,
+    1e-02, 2.5e-02, 5e-02,
+    1e-01, 2.5e-01, 5e-01,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+#: Fixed bucket upper bounds for small nonnegative counts (frames per
+#: tick, queue depths sampled as distributions, ...).
+COUNT_BOUNDS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+
+class Counter:
+    """A monotonically increasing scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time scalar (queue depth, occupancy, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with bounded memory.
+
+    ``bounds`` are inclusive upper bounds; one implicit overflow bucket
+    (``+inf``) rides at the end, so ``len(counts) == len(bounds) + 1``.
+    Observations update ``count``/``total``/``min``/``max`` and one
+    bucket — O(log buckets), no sample retention (this is the "fixed
+    reservoir" that replaced the unbounded ``drive_fleet`` latency
+    list).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS_S) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds!r}")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: int | float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate quantile from bucket counts.
+
+        Returns the upper bound of the bucket holding the q-th sample
+        (clamped to the observed ``max`` so the overflow bucket and the
+        tail report a finite value).  Good enough for latency reporting;
+        exact samples are deliberately not retained.
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        rank = q * (self.count - 1)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen > rank:
+                if i >= len(self.bounds):
+                    return self.max
+                return min(self.bounds[i], self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def snapshot(self) -> int:
+        return 0
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    name = "null"
+    value = 0
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+    def snapshot(self) -> int:
+        return 0
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    name = "null"
+    bounds: tuple[float, ...] = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+#: Shared no-op instances — the disabled path hands these out so hot
+#: loops never allocate.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class Registry:
+    """A named collection of metrics with a canonical snapshot.
+
+    Lookups create on first use; names are flat dotted strings
+    (``layer.component.metric``).  ``snapshot()`` sorts every section by
+    name so two snapshots of identical activity are byte-identical
+    canonical JSON.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, object] = {}  # populated by tracing.SpanRecorder
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS_S
+    ) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name, bounds)
+        return metric
+
+    def snapshot(self) -> dict:
+        return {
+            "counters": {k: self._counters[k].snapshot() for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].snapshot() for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._histograms[k].snapshot() for k in sorted(self._histograms)
+            },
+            "spans": {k: self._spans[k].snapshot() for k in sorted(self._spans)},
+        }
+
+
+def merge_snapshots(*snapshots: Mapping) -> dict:
+    """Merge snapshot dicts section-wise (later snapshots win on name)."""
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}, "spans": {}}
+    for snap in snapshots:
+        for section in merged:
+            entries = snap.get(section, {})
+            merged[section].update(entries)
+    for section in merged:
+        merged[section] = dict(sorted(merged[section].items()))
+    return merged
+
+
+def render_table(snapshot: Mapping) -> str:
+    """Render a snapshot as the sorted plain-text table of ``repro obs report``."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    spans = snapshot.get("spans", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(k) for k in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            if not h or not h.get("count"):
+                lines.append(f"  {name:<{width}}  count=0")
+                continue
+            lines.append(
+                f"  {name:<{width}}  count={h['count']} mean={h['mean']:.6g} "
+                f"min={h['min']:.6g} max={h['max']:.6g}"
+            )
+    if spans:
+        lines.append("spans:")
+        width = max(len(k) for k in spans)
+        for name in sorted(spans):
+            s = spans[name]
+            lines.append(
+                f"  {name:<{width}}  count={s['count']} total_s={s['total_s']:.6g} "
+                f"mean_s={s['mean_s']:.6g} max_s={s['max_s']:.6g}"
+            )
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _prom_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a snapshot in the Prometheus text exposition format (v0.0.4)."""
+    out: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {_prom_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_prom_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        if not h:
+            continue
+        prom = _prom_name(name)
+        out.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, bucket in zip(
+            list(h["bounds"]) + [float("inf")], h["counts"]
+        ):
+            cumulative += bucket
+            out.append(f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}')
+        out.append(f"{prom}_sum {_prom_value(h['total'])}")
+        out.append(f"{prom}_count {h['count']}")
+    for name in sorted(snapshot.get("spans", {})):
+        s = snapshot["spans"][name]
+        prom = _prom_name(name + "_span")
+        out.append(f"# TYPE {prom}_seconds summary")
+        out.append(f"{prom}_seconds_sum {_prom_value(s['total_s'])}")
+        out.append(f"{prom}_seconds_count {s['count']}")
+    return "\n".join(out) + ("\n" if out else "")

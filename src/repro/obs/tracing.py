@@ -1,0 +1,167 @@
+"""Nestable wall-time spans over a metrics registry.
+
+A span measures the wall-clock duration of a code region with
+``time.perf_counter()`` and aggregates per span name (count / total /
+min / max) into the owning :class:`~repro.obs.metrics.Registry`.  Spans
+nest — the recorder keeps an explicit stack so instrumentation can ask
+for the current path — but aggregation is by the span's own name: the
+naming scheme (``layer.component.stage``, see ``docs/observability.md``)
+already encodes the hierarchy.
+
+Like every part of the obs subsystem, spans never touch RNG or numeric
+state: a span reads the clock, adds Python floats, and nothing else.
+Timing values must never flow back into the pipeline they measure.
+
+:class:`Timer` is the *always-on* variant for call sites that need the
+measured duration functionally (benchmark reports, migration blackout
+accounting in :class:`~repro.serve.migrate.MoveResult`): it measures
+regardless of whether telemetry is enabled and only the recording side
+is conditional.  Hot paths use :func:`repro.obs.span` instead, whose
+disabled form is a shared no-op singleton.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Callable
+
+__all__ = ["Span", "SpanStats", "SpanRecorder", "Timer", "NULL_SPAN"]
+
+
+class SpanStats:
+    """Aggregated wall-time statistics for one span name."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class Span:
+    """Context manager measuring one region; created by :class:`SpanRecorder`."""
+
+    __slots__ = ("name", "_recorder", "_start", "elapsed_s")
+
+    def __init__(self, name: str, recorder: "SpanRecorder") -> None:
+        self.name = name
+        self._recorder = recorder
+        self._start = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Span":
+        self._recorder._stack.append(self.name)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = perf_counter() - self._start
+        stack = self._recorder._stack
+        if stack and stack[-1] == self.name:
+            stack.pop()
+        self._recorder.record(self.name, self.elapsed_s)
+
+
+class SpanRecorder:
+    """Aggregates spans into a registry's span section."""
+
+    def __init__(self, registry) -> None:
+        self._stats: dict[str, SpanStats] = registry._spans  # type: ignore[assignment]
+        self._stack: list[str] = []
+
+    def span(self, name: str) -> Span:
+        return Span(name, self)
+
+    def record(self, name: str, seconds: float) -> None:
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SpanStats(name)
+        stats.add(seconds)
+
+    def current_path(self) -> tuple[str, ...]:
+        """The names of the currently open spans, outermost first."""
+        return tuple(self._stack)
+
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled hot path allocates nothing.
+
+    Reentrancy is safe because enter/exit carry no state; ``elapsed_s``
+    is always 0.0 (hot-path callers must not depend on it — use
+    :class:`Timer` when the duration is needed functionally).
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    elapsed_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Timer:
+    """Always-on wall-time measurement with optional recording.
+
+    The one sanctioned home for ``perf_counter`` timing outside
+    :mod:`repro.obs`: call sites that need the elapsed time as a value
+    (CLI summaries, benchmark rows, ``MoveResult.blackout_s``) wrap the
+    region in a ``Timer`` and read ``elapsed_s`` after exit.  When
+    telemetry is enabled the duration is also recorded as a span.
+    """
+
+    __slots__ = ("name", "_on_done", "_start", "elapsed_s")
+
+    def __init__(
+        self, name: str, on_done: Callable[[str, float], None] | None = None
+    ) -> None:
+        self.name = name
+        self._on_done = on_done
+        self._start = 0.0
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> "Timer":
+        self._start = perf_counter()
+        return self
+
+    def stop(self) -> float:
+        self.elapsed_s = perf_counter() - self._start
+        if self._on_done is not None:
+            self._on_done(self.name, self.elapsed_s)
+        return self.elapsed_s

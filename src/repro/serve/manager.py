@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..common.errors import ConfigurationError, EvaluationError
 from ..core.config import MclConfig
 from ..engine.backend import RunSpec
@@ -180,10 +181,13 @@ class SessionManager:
         """Resolve a spec's world, config, field and replay plan."""
         scenario = self._scenarios.get(spec.scenario)
         if scenario is None:
+            obs.counter("serve.scenario_cache.misses").inc()
             scenario = build_scenario(spec.scenario, cache=self.cache)
             while len(self._scenarios) >= _SCENARIO_CACHE_LIMIT:
                 self._scenarios.pop(next(iter(self._scenarios)))
             self._scenarios[spec.scenario] = scenario
+        else:
+            obs.counter("serve.scenario_cache.hits").inc()
         config = spec.config(self.base_config)
         field = self._field_cache.get(
             scenario.grid, config.r_max, FieldKind.for_mode(config.precision)
@@ -191,10 +195,13 @@ class SessionManager:
         plan_key = (spec.scenario, ReplayPlan.signature(config))
         plan = self._plans.get(plan_key)
         if plan is None:
+            obs.counter("serve.plan_cache.misses").inc()
             plan = ReplayPlan(scenario.sequence, config)
             while len(self._plans) >= _PLAN_CACHE_LIMIT:
                 self._plans.pop(next(iter(self._plans)))
             self._plans[plan_key] = plan
+        else:
+            obs.counter("serve.plan_cache.hits").inc()
         return FilterSession(spec, scenario, config, plan, field)
 
     # ------------------------------------------------------------------

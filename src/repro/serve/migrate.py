@@ -35,9 +35,9 @@ plane imposes at fleet sizes 64–256.
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass
 
+from .. import obs
 from ..common.errors import ConfigurationError
 from .online import OnlineClient
 from .protocol import OnlineError, ProtocolError, parse_address
@@ -255,7 +255,7 @@ class MigrationCoordinator:
         clients: dict[Peer, OnlineClient] = {}
         try:
             for move in moves:
-                start = time.perf_counter()
+                timer = obs.timed("migrate.blackout").start()
                 try:
                     client = clients.get(move.source)
                     if client is None:
@@ -267,24 +267,34 @@ class MigrationCoordinator:
                         client.migrate(move.session_id, target=move.target.id),
                         timeout=self.handoff_timeout_s,
                     )
-                    results.append(
-                        MoveResult(move, True, time.perf_counter() - start)
-                    )
+                    timer.stop()
+                    obs.counter("migrate.moves_ok").inc()
+                    results.append(MoveResult(move, True, timer.elapsed_s))
                 except (
                     OnlineError,
                     ProtocolError,
                     OSError,
                     asyncio.TimeoutError,
                 ) as exc:
+                    timer.stop()
                     clients.pop(move.source, None)
+                    obs.counter("migrate.moves_failed").inc()
                     results.append(
                         MoveResult(
                             move,
                             False,
-                            time.perf_counter() - start,
+                            timer.elapsed_s,
                             error=f"{type(exc).__name__}: {exc}",
                         )
                     )
+                obs.event(
+                    "migrate.move",
+                    session=move.session_id,
+                    source=move.source.id,
+                    target=move.target.id,
+                    ok=results[-1].ok,
+                    blackout_s=results[-1].blackout_s,
+                )
         finally:
             for client in clients.values():
                 await client.close()

@@ -62,6 +62,7 @@ from __future__ import annotations
 import asyncio
 from dataclasses import dataclass
 
+from .. import obs
 from ..common.errors import ConfigurationError, EvaluationError, ReproError
 from ..core.config import MclConfig
 from ..engine.backend import RunTrace
@@ -172,20 +173,45 @@ class OnlineServer:
         self._work = asyncio.Event()
         self._tick_waiters: list[asyncio.Future] = []
         self._migrating: set[str] = set()
-        self.stats = {
-            "ticks": 0,
-            "frames_served": 0,
-            "updates": 0,
-            "connections": 0,
-            "requests": 0,
-            "rejected_admission": 0,
-            "rejected_overload": 0,
-            "protocol_errors": 0,
-            "drains": 0,
-            "migrations_out": 0,
-            "migrations_in": 0,
-            "migrations_failed": 0,
+        # Per-server telemetry registry (always on — these counters
+        # predate the obs subsystem and the `stats` verb's wire format
+        # is pinned by tests).  A private registry, not the process
+        # global one, so several servers in one process never cross-talk.
+        self.obs = obs.LocalObs()
+        for key in self._STAT_KEYS:
+            self.obs.counter("serve." + key)
+
+    #: The legacy ``stats`` dict keys, in their historical order; the
+    #: ``stats`` verb's wire format is the flat projection of these.
+    _STAT_KEYS = (
+        "ticks",
+        "frames_served",
+        "updates",
+        "connections",
+        "requests",
+        "rejected_admission",
+        "rejected_overload",
+        "protocol_errors",
+        "drains",
+        "migrations_out",
+        "migrations_in",
+        "migrations_failed",
+    )
+
+    @property
+    def stats(self) -> dict:
+        """The legacy counter view, now a projection of the obs registry.
+
+        Same keys, same int values as the ad-hoc dict this replaced —
+        callers (benchmarks, the ``stats`` verb) are unchanged.
+        """
+        return {
+            key: int(self.obs.counter("serve." + key).value)
+            for key in self._STAT_KEYS
         }
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self.obs.counter("serve." + key).inc(amount)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -244,9 +270,18 @@ class OnlineServer:
             # not servable here, so looping on them would busy-spin.
             while self.manager.servable_frames() > 0:
                 report = self.manager.flush(max_ticks=1)
-                self.stats["ticks"] += report.ticks
-                self.stats["frames_served"] += report.frames
-                self.stats["updates"] += report.updates
+                self._count("ticks", report.ticks)
+                self._count("frames_served", report.frames)
+                self._count("updates", report.updates)
+                # Tick packing efficiency (frames coalesced per packed
+                # tick) and the post-tick ingest backlog.
+                if report.ticks:
+                    self.obs.histogram(
+                        "serve.tick.frames", obs.COUNT_BOUNDS
+                    ).observe(report.frames)
+                self.obs.gauge("serve.queue_depth").set(
+                    self.manager.pending_frames()
+                )
                 self._resolve_tick_waiters()
                 # Yield so connections can ingest new submissions; those
                 # frames join the *next* packed tick.
@@ -290,7 +325,7 @@ class OnlineServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        self.stats["connections"] += 1
+        self._count("connections")
         try:
             while True:
                 try:
@@ -299,7 +334,7 @@ class OnlineServer:
                     # Framing is broken — answer once and hang up; the
                     # sessions this connection touched are server-side
                     # state and keep serving.
-                    self.stats["protocol_errors"] += 1
+                    self._count("protocol_errors")
                     await self._safe_error(
                         writer, ErrorCode.BAD_REQUEST, str(exc)
                     )
@@ -330,7 +365,7 @@ class OnlineServer:
             pass
 
     async def _dispatch(self, request: dict) -> dict:
-        self.stats["requests"] += 1
+        self._count("requests")
         op = request.get("op")
         handler = self._HANDLERS.get(op)
         if handler is None:
@@ -346,27 +381,35 @@ class OnlineServer:
                 f"protocol version {version!r} is not supported "
                 f"(server speaks {PROTOCOL_VERSION})",
             )
-        try:
-            return await handler(self, request)
-        except _Rejection as exc:
-            return _error(exc.code, str(exc))
-        except ConfigurationError as exc:
-            return _error(ErrorCode.CONFIGURATION, str(exc))
-        except EvaluationError as exc:
-            return _error(ErrorCode.EVALUATION, str(exc))
-        except ReproError as exc:
-            return _error(ErrorCode.BAD_REQUEST, str(exc))
-        except Exception as exc:  # noqa: BLE001 — one request, not the server
-            return _error(
-                ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
-            )
+        # Per-verb latency: a span (count/total/min/max) plus a fixed-
+        # bound histogram, both under the same name.  The span measures
+        # the full handler, error paths included — rejections are real
+        # latency a client observed.
+        span = self.obs.span("serve.verb." + op)
+        with span:
+            try:
+                response = await handler(self, request)
+            except _Rejection as exc:
+                response = _error(exc.code, str(exc))
+            except ConfigurationError as exc:
+                response = _error(ErrorCode.CONFIGURATION, str(exc))
+            except EvaluationError as exc:
+                response = _error(ErrorCode.EVALUATION, str(exc))
+            except ReproError as exc:
+                response = _error(ErrorCode.BAD_REQUEST, str(exc))
+            except Exception as exc:  # noqa: BLE001 — one request, not the server
+                response = _error(
+                    ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+        self.obs.histogram("serve.verb." + op).observe(span.elapsed_s)
+        return response
 
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
     def _admit_sessions(self, new_sessions: int) -> None:
         if len(self.manager) + new_sessions > self.policy.max_sessions:
-            self.stats["rejected_admission"] += 1
+            self._count("rejected_admission")
             raise _Rejection(
                 ErrorCode.ADMISSION_REJECTED,
                 f"admitting {new_sessions} session(s) would exceed the "
@@ -377,7 +420,7 @@ class OnlineServer:
     def _admit_frames(self, new_frames: int) -> None:
         backlog = self.manager.pending_frames()
         if backlog + new_frames > self.policy.max_pending_frames:
-            self.stats["rejected_overload"] += 1
+            self._count("rejected_overload")
             raise _Rejection(
                 ErrorCode.OVERLOADED,
                 f"submitting {new_frames} frame(s) would exceed the "
@@ -435,8 +478,8 @@ class OnlineServer:
         self._kick()
         await self._wait_drained(session_ids)
         return _ok(
-            ticks=self.stats["ticks"],
-            frames_served=self.stats["frames_served"],
+            ticks=int(self.obs.counter("serve.ticks").value),
+            frames_served=int(self.obs.counter("serve.frames_served").value),
             pending=self.manager.pending_frames(),
         )
 
@@ -488,6 +531,22 @@ class OnlineServer:
             **self.stats,
         )
 
+    async def _op_metrics(self, request: dict) -> dict:
+        """Full telemetry snapshot: this server's registry merged over
+        the process-global one (engine/sweep instrumentation, when
+        enabled).  ``format="prom"`` returns the Prometheus text
+        exposition instead of the canonical JSON sections."""
+        fmt = request.get("format", "json")
+        snap = obs.merge_snapshots(obs.snapshot(), self.obs.snapshot())
+        if fmt == "prom":
+            return _ok(format="prom", exposition=obs.render_prometheus(snap))
+        if fmt != "json":
+            raise _Rejection(
+                ErrorCode.BAD_REQUEST,
+                f"unknown metrics format {fmt!r}; expected 'json' or 'prom'",
+            )
+        return _ok(format="json", metrics=snap)
+
     # ------------------------------------------------------------------
     # Migration (drain / handoff / rollback)
     # ------------------------------------------------------------------
@@ -517,7 +576,7 @@ class OnlineServer:
         session_id = _require(request, "session", str)
         self._guard_migrating(session_id)
         queued = self.manager.drain(session_id)
-        self.stats["drains"] += 1
+        self._count("drains")
         return _ok(
             session_id=session_id,
             draining=True,
@@ -550,11 +609,13 @@ class OnlineServer:
             )
         self._admit_sessions(1)
         self._admit_frames(queued)
-        session_id = self.manager.restore(blob, request.get("session_id"))
-        if queued:
-            self.manager.submit(session_id, queued)
-            self._kick()
-        self.stats["migrations_in"] += 1
+        with self.obs.span("serve.migrate.accept"):
+            session_id = self.manager.restore(blob, request.get("session_id"))
+            if queued:
+                self.manager.submit(session_id, queued)
+                self._kick()
+        self._count("migrations_in")
+        obs.event("serve.migrate.in", session=session_id, queued=queued)
         return _ok(
             session_id=session_id, queued=self.manager.queued(session_id)
         )
@@ -579,49 +640,63 @@ class OnlineServer:
         self._guard_migrating(session_id)
         self._migrating.add(session_id)
         try:
-            queued = self.manager.drain(session_id)
-            self.stats["drains"] += 1
-            cursor = session.cursor
-            blob = self.manager.snapshot(session_id)
-            try:
-                reader, writer = await asyncio.wait_for(
-                    asyncio.open_connection(host, port),
-                    timeout=self.handoff_timeout_s,
-                )
-                client = OnlineClient(reader, writer)
+            # The source-side blackout span covers drain through commit
+            # (or rollback) — the window in which this server will not
+            # admit frames for the session.
+            with self.obs.span("serve.migrate.blackout"):
+                with self.obs.span("serve.migrate.drain"):
+                    queued = self.manager.drain(session_id)
+                    self._count("drains")
+                    cursor = session.cursor
+                    blob = self.manager.snapshot(session_id)
+                handoff = self.obs.span("serve.migrate.handoff")
                 try:
-                    response = await asyncio.wait_for(
-                        client.request(
-                            "accept",
-                            snapshot=blob_to_json(blob),
-                            queued=queued,
-                            session_id=session_id,
-                        ),
-                        timeout=self.handoff_timeout_s,
+                    with handoff:
+                        reader, writer = await asyncio.wait_for(
+                            asyncio.open_connection(host, port),
+                            timeout=self.handoff_timeout_s,
+                        )
+                        client = OnlineClient(reader, writer)
+                        try:
+                            response = await asyncio.wait_for(
+                                client.request(
+                                    "accept",
+                                    snapshot=blob_to_json(blob),
+                                    queued=queued,
+                                    session_id=session_id,
+                                ),
+                                timeout=self.handoff_timeout_s,
+                            )
+                        finally:
+                            await client.close()
+                except OnlineError as exc:
+                    self._rollback(session_id)
+                    raise _Rejection(
+                        ErrorCode.MIGRATION_FAILED,
+                        f"target {host}:{port} rejected the handoff "
+                        f"([{exc.code}] {exc}); session {session_id!r} "
+                        "rolled back and keeps serving here",
                     )
-                finally:
-                    await client.close()
-            except OnlineError as exc:
-                self._rollback(session_id)
-                raise _Rejection(
-                    ErrorCode.MIGRATION_FAILED,
-                    f"target {host}:{port} rejected the handoff "
-                    f"([{exc.code}] {exc}); session {session_id!r} "
-                    "rolled back and keeps serving here",
-                )
-            except (ProtocolError, OSError, asyncio.TimeoutError) as exc:
-                self._rollback(session_id)
-                raise _Rejection(
-                    ErrorCode.MIGRATION_FAILED,
-                    f"target {host}:{port} died mid-handoff "
-                    f"({type(exc).__name__}: {exc}); session "
-                    f"{session_id!r} rolled back and keeps serving here",
-                )
-            # Committed on the target: forget the source copy and wake
-            # any barrier waiting on this session's (now remote) queue.
-            self.manager.discard(session_id)
-            self._kick()
-            self.stats["migrations_out"] += 1
+                except (ProtocolError, OSError, asyncio.TimeoutError) as exc:
+                    self._rollback(session_id)
+                    raise _Rejection(
+                        ErrorCode.MIGRATION_FAILED,
+                        f"target {host}:{port} died mid-handoff "
+                        f"({type(exc).__name__}: {exc}); session "
+                        f"{session_id!r} rolled back and keeps serving here",
+                    )
+                # Committed on the target: forget the source copy and
+                # wake any barrier waiting on this session's (now
+                # remote) queue.
+                self.manager.discard(session_id)
+                self._kick()
+                self._count("migrations_out")
+            obs.event(
+                "serve.migrate.out",
+                session=session_id,
+                target=f"{host}:{port}",
+                queued=queued,
+            )
             return _ok(
                 session_id=response.get("session_id", session_id),
                 target=f"{host}:{port}",
@@ -632,7 +707,8 @@ class OnlineServer:
             self._migrating.discard(session_id)
 
     def _rollback(self, session_id: str) -> None:
-        self.stats["migrations_failed"] += 1
+        self._count("migrations_failed")
+        obs.event("serve.migrate.rollback", session=session_id)
         self.manager.resume(session_id)
         self._kick()
 
@@ -646,6 +722,7 @@ class OnlineServer:
         "restore": _op_restore,
         "close": _op_close,
         "stats": _op_stats,
+        "metrics": _op_metrics,
         "drain": _op_drain,
         "resume": _op_resume,
         "migrate": _op_migrate,
@@ -877,6 +954,11 @@ class OnlineClient:
     async def stats(self) -> dict:
         return await self.request("stats")
 
+    async def metrics(self, format: str | None = None) -> dict:
+        if format is None:
+            return await self.request("metrics")
+        return await self.request("metrics", format=format)
+
     async def close(self) -> None:
         self._writer.close()
         try:
@@ -900,10 +982,11 @@ class FleetDriveReport:
 
     #: Closed sessions by id (full traces, decoded from the wire).
     results: dict
-    #: Wall-clock seconds per (connection, round) step barrier — each
-    #: sample is the latency from submitting one frame per owned session
-    #: to all of them being served.
-    step_latencies_s: list
+    #: Fixed-bound histogram of per-(connection, round) step-barrier
+    #: latency — each observation is the wall time from submitting one
+    #: frame per owned session to all of them being served.  Bounded
+    #: memory regardless of drive length (was an unbounded list).
+    step_latency: "obs.Histogram"
     #: Serving wall clock: first submit to last queue drained.
     serve_s: float
     #: Server-side counters at the end of the drive.
@@ -927,8 +1010,6 @@ async def drive_fleet(
     heavy mixed traffic at staggered replay positions and its tick
     coalescing is what keeps the cohort batching intact.
     """
-    import time
-
     control = await OnlineClient.connect(host, port)
     session_ids = await control.create_fleet(
         fleet if isinstance(fleet, str) else fleet.id
@@ -941,33 +1022,35 @@ async def drive_fleet(
         status = await control.query(sid)
         remaining[sid] = status["frames_total"]
 
-    latencies: list[float] = []
+    step_latency = obs.Histogram(
+        "serve.client.step_barrier", obs.LATENCY_BOUNDS_S
+    )
 
     async def run_group(owned: list[str]) -> None:
         async with await OnlineClient.connect(host, port) as client:
             while any(remaining[sid] > 0 for sid in owned):
                 live = [sid for sid in owned if remaining[sid] > 0]
-                start = time.perf_counter()
                 # Bounded retry-after-drain: transient `overloaded`
                 # rejections (the ingest bound) drain and resolve rather
                 # than aborting the drive.
-                await client.submit_with_retry(
-                    live, frames=frames_per_round, wait=True
-                )
-                latencies.append(time.perf_counter() - start)
+                with obs.timed("serve.client.step_barrier") as barrier:
+                    await client.submit_with_retry(
+                        live, frames=frames_per_round, wait=True
+                    )
+                step_latency.observe(barrier.elapsed_s)
                 for sid in live:
                     remaining[sid] -= min(frames_per_round, remaining[sid])
 
-    serve_start = time.perf_counter()
-    await asyncio.gather(*(run_group(group) for group in groups if group))
-    serve_s = time.perf_counter() - serve_start
+    with obs.timed("serve.client.drive_fleet") as drive_timer:
+        await asyncio.gather(*(run_group(group) for group in groups if group))
+    serve_s = drive_timer.elapsed_s
 
     results = {sid: await control.close_session(sid) for sid in session_ids}
     stats = await control.stats()
     await control.close()
     return FleetDriveReport(
         results=results,
-        step_latencies_s=latencies,
+        step_latency=step_latency,
         serve_s=serve_s,
         stats=stats,
     )

@@ -38,6 +38,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.config import MclConfig
 from ..engine.backend import FilterBackend, SessionStack, StepWork, get_backend
 from .session import FilterSession
@@ -173,25 +174,36 @@ class StepScheduler:
         current estimate against ground truth and moves its cursor.
         Returns the number of gated updates executed.
         """
-        ordered, packing = self.plan_tick(sessions)
-        fired = 0
-        for key, groups in packing.items():
-            stack = self._cohorts[key].stack
-            work = [
-                StepWork(
-                    rows=[s.row for s in group],
-                    step=group[0].plan.steps[group[0].cursor],
-                    field=group[0].field,
+        with obs.span("serve.sched.tick"):
+            ordered, packing = self.plan_tick(sessions)
+            fired = 0
+            stack_calls = 0
+            for key, groups in packing.items():
+                stack = self._cohorts[key].stack
+                work = [
+                    StepWork(
+                        rows=[s.row for s in group],
+                        step=group[0].plan.steps[group[0].cursor],
+                        field=group[0].field,
+                    )
+                    for group in groups
+                ]
+                stack.step(work)
+                stack_calls += len(work)
+                fired += sum(len(item.rows) for item in work)
+            for session in ordered:
+                if session.done:
+                    continue
+                stack = self._cohorts[session.cohort_key].stack
+                session.record(
+                    stack.estimate(session.row), stack.estimate_array(session.row)
                 )
-                for group in groups
-            ]
-            stack.step(work)
-            fired += sum(len(item.rows) for item in work)
-        for session in ordered:
-            if session.done:
-                continue
-            stack = self._cohorts[session.cohort_key].stack
-            session.record(
-                stack.estimate(session.row), stack.estimate_array(session.row)
+        obs.counter("serve.sched.ticks").inc()
+        obs.counter("serve.sched.fired").inc(fired)
+        obs.counter("serve.sched.stack_calls").inc(stack_calls)
+        if fired:
+            # Packing efficiency: gated updates per stacked kernel call.
+            obs.histogram("serve.sched.rows_per_call", obs.COUNT_BOUNDS).observe(
+                fired / stack_calls
             )
         return fired

@@ -1,0 +1,24 @@
+"""Obs-suite isolation: every test starts with telemetry unconfigured.
+
+``repro.obs`` keeps process-global state (registry, span recorder,
+event log) latched from the environment on first use.  Each test here
+gets a clean slate before and after, so enabling telemetry in one test
+can never leak counters — or an open JSONL handle — into the next.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,139 @@
+"""The gateway's ``metrics`` verb and the ``stats`` wire-format contract."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import ErrorCode, OnlineClient, OnlineError, OnlineServer
+
+FLEET = "office:1:flight_s=8@fp32@64*2"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestStatsCompatibility:
+    """``stats`` predates obs; its wire format must not move."""
+
+    #: The exact counter key set (and order) PR 7/8 clients depend on.
+    LEGACY_KEYS = (
+        "ticks",
+        "frames_served",
+        "updates",
+        "connections",
+        "requests",
+        "rejected_admission",
+        "rejected_overload",
+        "protocol_errors",
+        "drains",
+        "migrations_out",
+        "migrations_in",
+        "migrations_failed",
+    )
+
+    def test_stats_property_projects_every_legacy_key_as_int(self):
+        async def scenario():
+            async with OnlineServer() as server:
+                async with await OnlineClient.connect(*server.address) as c:
+                    ids = await c.create_fleet(FLEET)
+                    await c.submit(ids, frames=5, wait=True)
+                    payload = await c.stats()
+                return server.stats, payload
+
+        stats, payload = run(scenario())
+        assert tuple(stats) == self.LEGACY_KEYS
+        assert all(isinstance(v, int) for v in stats.values())
+        assert stats["frames_served"] == 10
+        assert stats["ticks"] > 0
+        # The wire payload carries the legacy keys flat, as always.
+        for key in self.LEGACY_KEYS:
+            assert payload[key] == stats[key]
+
+    def test_two_servers_keep_independent_counters(self):
+        async def scenario():
+            async with OnlineServer() as a, OnlineServer() as b:
+                async with await OnlineClient.connect(*a.address) as c:
+                    ids = await c.create_fleet(FLEET)
+                    await c.submit(ids, frames=3, wait=True)
+                return a.stats, b.stats
+
+        stats_a, stats_b = run(scenario())
+        assert stats_a["frames_served"] == 6
+        assert stats_b["frames_served"] == 0
+        assert stats_b["connections"] == 0
+
+
+class TestMetricsVerb:
+    async def _served_client(self, server):
+        client = await OnlineClient.connect(*server.address)
+        ids = await client.create_fleet(FLEET)
+        await client.submit(ids, frames=4, wait=True)
+        return client
+
+    def test_json_round_trip_includes_server_counters_and_spans(self):
+        async def scenario():
+            async with OnlineServer() as server:
+                client = await self._served_client(server)
+                try:
+                    return await client.metrics()
+                finally:
+                    await client.close()
+
+        response = run(scenario())
+        assert response["format"] == "json"
+        snap = response["metrics"]
+        assert list(snap) == ["counters", "gauges", "histograms", "spans"]
+        assert snap["counters"]["serve.frames_served"] == 8
+        assert snap["counters"]["serve.requests"] >= 2
+        assert snap["histograms"]["serve.verb.submit"]["count"] >= 1
+        assert snap["spans"]["serve.verb.submit"]["count"] >= 1
+        json.dumps(snap, sort_keys=True)  # wire-safe canonical JSON
+
+    def test_prometheus_format(self):
+        async def scenario():
+            async with OnlineServer() as server:
+                client = await self._served_client(server)
+                try:
+                    return await client.metrics(format="prom")
+                finally:
+                    await client.close()
+
+        response = run(scenario())
+        assert response["format"] == "prom"
+        text = response["exposition"]
+        assert "# TYPE repro_serve_frames_served counter" in text
+        assert "repro_serve_frames_served 8.0" in text
+        assert "# TYPE repro_serve_verb_submit histogram" in text
+
+    def test_unknown_format_is_a_structured_rejection(self):
+        async def scenario():
+            async with OnlineServer() as server:
+                async with await OnlineClient.connect(*server.address) as c:
+                    with pytest.raises(OnlineError) as excinfo:
+                        await c.metrics(format="xml")
+                    return excinfo.value.code
+
+        assert run(scenario()) == ErrorCode.BAD_REQUEST
+
+    def test_merges_global_registry_when_enabled(self):
+        obs.enable()
+        obs.counter("engine.steps").inc(0)  # ensure the name exists
+
+        async def scenario():
+            async with OnlineServer() as server:
+                client = await self._served_client(server)
+                try:
+                    return await client.metrics()
+                finally:
+                    await client.close()
+
+        snap = run(scenario())["metrics"]
+        # Global (engine/sched) and per-server (serve.*) sections merge.
+        assert "engine.steps" in snap["counters"]
+        assert snap["counters"]["serve.sched.ticks"] > 0
+        assert snap["counters"]["serve.frames_served"] == 8

@@ -1,0 +1,38 @@
+"""Lint: wall-clock timing stays on the one obs seam.
+
+``time.perf_counter`` may only be called inside ``src/repro/obs/``
+(the subsystem that owns the clock) and ``src/repro/eval/bench.py``
+(the benchmark harness, exempted by charter).  Everything else must go
+through ``obs.span`` / ``obs.timed`` so timings share one code path —
+a raw ``perf_counter`` pair anywhere else is instrumentation drifting
+off the seam, and this test is the tripwire.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Paths (relative to ``src/repro``) allowed to read the clock raw.
+ALLOWED = ("obs/", "eval/bench.py")
+
+
+def test_perf_counter_only_inside_the_obs_seam():
+    offenders: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        relative = path.relative_to(SRC).as_posix()
+        if any(
+            relative == allowed or relative.startswith(allowed)
+            for allowed in ALLOWED
+        ):
+            continue
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if "perf_counter" in line:
+                offenders.append(f"{relative}:{number}: {line.strip()}")
+    assert not offenders, (
+        "raw perf_counter outside the obs seam — route through "
+        "obs.span()/obs.timed() instead:\n" + "\n".join(offenders)
+    )

@@ -80,7 +80,7 @@ class TestSocketEquivalence:
             )
             assert_traces_equal(closed.trace, solo)
         # The driver produced real step barriers and the server ticked.
-        assert report.step_latencies_s
+        assert report.step_latency.count > 0
         assert report.stats["ticks"] > 0
         assert report.stats["frames_served"] == sum(
             len(c.trace.timestamps) for c in report.results.values()

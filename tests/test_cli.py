@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -245,6 +246,74 @@ class TestCommands:
         out = capsys.readouterr().out
         assert spec in out
         assert "success rate" in out
+
+
+class TestObsCli:
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self, monkeypatch):
+        from repro import obs
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+        obs.reset()
+        yield
+        obs.reset()
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+    def test_obs_report_rejects_unknown_format(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "report", "--format", "xml"])
+
+    def test_obs_report_without_telemetry_is_empty(self, capsys):
+        assert main(["obs", "report"]) == 0
+        assert "(empty snapshot)" in capsys.readouterr().out
+
+    def test_obs_report_renders_snapshot_file(self, tmp_path, capsys):
+        from repro import obs
+
+        registry = obs.Registry()
+        registry.counter("engine.steps").inc(42)
+        registry.histogram("serve.verb.submit").observe(0.002)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+
+        assert main(["obs", "report", "--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.steps" in out and "42" in out
+
+        assert main(
+            ["obs", "report", "--snapshot", str(path), "--format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_steps counter" in out
+        assert "repro_serve_verb_submit_count 1" in out
+
+        assert main(
+            ["obs", "report", "--snapshot", str(path), "--format", "json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["counters"] == {
+            "engine.steps": 42
+        }
+
+    def test_global_obs_flag_instruments_a_command(self, tmp_path, capsys):
+        from repro import obs
+
+        fleet = "corridor:2:flight_s=6.0@fp32@32*2"
+        assert (
+            main(["--obs-dir", str(tmp_path), "serve-sim", "--fleet", fleet])
+            == 0
+        )
+        capsys.readouterr()
+        # Same process: the registry is still live for `obs report`.
+        assert main(["obs", "report", "--events", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine.steps" in out
+        assert "serve.sched.tick" in out
+        assert "cli.serve_sim" in out
+        assert obs.enabled()
 
 
 class TestCliReference:
