@@ -1,0 +1,281 @@
+"""Store-tier benchmark: file vs packed at campaign scale.
+
+Builds the *same* synthetic campaign (cell payload bytes a pure function
+of the cell key, exactly as real campaigns guarantee) in both store
+tiers, then measures the three operations the packed tier exists for:
+
+1. **resume scan** — ``completed_keys()`` on a cold store: a directory
+   walk with per-file JSON validation (file tier) vs sealed-segment
+   index sidecar reads (packed tier),
+2. **streaming report** — a full ``stream_cells()`` +
+   :class:`~repro.eval.aggregate.RunningCellStats` fold, the
+   ``campaign report`` hot path,
+3. **byte equivalence** — every cell read back from both tiers must be
+   byte-identical (the cross-tier contract ``campaign compact`` and
+   tier-mixed shard merges rest on).
+
+Every measured phase runs in its own subprocess so the reported peak
+RSS (``ru_maxrss``) belongs to that phase alone; the streaming report is
+additionally run against a 10x smaller packed store to check that its
+memory is flat in cell count, not proportional to it.
+
+Scale: ``smoke`` = 2 000 cells, ``quick`` = 20 000, ``paper`` = 100 000.
+Results go to ``results/BENCH_store.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+SCENARIO_SLOTS = 40
+
+
+def synthetic_key(index: int) -> str:
+    return (
+        f"s{index % SCENARIO_SLOTS:03d}_fp32_N={64 << (index % 3)}"
+        f"_seed={index // SCENARIO_SLOTS}"
+    )
+
+
+def synthetic_payload_bytes(index: int) -> bytes:
+    """Deterministic cell bytes shaped like a real campaign payload."""
+    from repro.eval.store import canonical_json_bytes
+
+    key = synthetic_key(index)
+    digest = hashlib.sha256(key.encode("ascii")).hexdigest()
+    runs = 4
+    converged = int(digest[:2], 16) % (runs + 1)
+    payload = {
+        "cell": {
+            "scenario": f"s{index % SCENARIO_SLOTS:03d}",
+            "variant": "fp32",
+            "particle_count": 64 << (index % 3),
+            "seed": index // SCENARIO_SLOTS,
+        },
+        "aggregate": {
+            "runs": runs,
+            "converged": converged,
+            "success_rate": converged / runs,
+            "mean_ate_m": (int(digest[2:6], 16) % 1000) / 1000.0
+            if converged
+            else None,
+        },
+        "digest": digest,
+    }
+    return canonical_json_bytes(payload)
+
+
+# --------------------------------------------------------------------------
+# Subprocess phases: each prints one JSON line with its own timings + RSS.
+# --------------------------------------------------------------------------
+
+
+def _phase_write_file(root: Path, cells: int) -> dict:
+    """Populate the file tier (setup only — writes are never compared)."""
+    from repro.eval.store import CampaignStore
+
+    store = CampaignStore("bench", root=root, tier="file")
+    store.cells_dir.mkdir(parents=True, exist_ok=True)
+    elapsed = _timed()
+    for index in range(cells):
+        # Plain writes, not the atomic tmp+rename path: setup speed only.
+        path = store.cells_dir / f"{synthetic_key(index)}.json"
+        path.write_bytes(synthetic_payload_bytes(index))
+    return {"seconds": elapsed(), "cells": cells}
+
+
+def _phase_write_packed(root: Path, cells: int) -> dict:
+    from repro.eval.store import CampaignStore
+
+    store = CampaignStore("bench", root=root, tier="packed")
+    elapsed = _timed()
+    with store:
+        for index in range(cells):
+            store.put_cell_bytes(synthetic_key(index), synthetic_payload_bytes(index))
+    return {"seconds": elapsed(), "cells": cells}
+
+
+def _phase_scan(root: Path, cells: int) -> dict:
+    """Cold resume scan: what ``run_campaign(resume=True)`` pays first."""
+    from repro.eval.store import CampaignStore
+
+    elapsed = _timed()
+    keys = CampaignStore("bench", root=root).completed_keys()
+    return {"seconds": elapsed(), "keys": len(keys)}
+
+
+def _phase_report(root: Path, cells: int) -> dict:
+    """Streaming fold over every cell — the ``campaign report`` hot path."""
+    from repro.eval.aggregate import RunningCellStats
+    from repro.eval.store import CampaignStore
+
+    stats = RunningCellStats()
+    elapsed = _timed()
+    for __, payload in CampaignStore("bench", root=root).stream_cells():
+        stats.add(payload.get("aggregate") or {})
+    return {
+        "seconds": elapsed(),
+        "cells": stats.cells,
+        "success_rate": stats.success_rate,
+        "mean_ate_m": stats.mean_ate_m,
+    }
+
+
+def _phase_verify(roots: list[Path], cells: int) -> dict:
+    """Byte equivalence: the two tiers answer every key identically."""
+    from repro.eval.store import CampaignStore
+
+    elapsed = _timed()
+    first = dict(CampaignStore("bench", root=roots[0]).iter_cell_bytes())
+    second = dict(CampaignStore("bench", root=roots[1]).iter_cell_bytes())
+    return {
+        "seconds": elapsed(),
+        "equivalent": first == second and len(first) == cells,
+    }
+
+
+def _timed():
+    import time
+
+    start = time.perf_counter()
+    return lambda: time.perf_counter() - start
+
+
+PHASES = {
+    "write-file": _phase_write_file,
+    "write-packed": _phase_write_packed,
+    "scan": _phase_scan,
+    "report": _phase_report,
+}
+
+
+def _run_phase(phase: str, roots: list[Path], cells: int) -> dict:
+    """Execute one phase in a fresh subprocess and parse its JSON line."""
+    command = [sys.executable, __file__, phase, str(cells)]
+    command += [str(root) for root in roots]
+    result = subprocess.run(command, capture_output=True, text=True, check=True)
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+def _main() -> None:
+    phase, cells = sys.argv[1], int(sys.argv[2])
+    roots = [Path(arg) for arg in sys.argv[3:]]
+    if phase == "verify":
+        report = _phase_verify(roots, cells)
+    else:
+        report = PHASES[phase](roots[0], cells)
+    import resource
+
+    report["ru_maxrss_kb"] = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    print(json.dumps(report))
+
+
+# --------------------------------------------------------------------------
+# The benchmark proper.
+# --------------------------------------------------------------------------
+
+
+def store_cells() -> int:
+    from conftest import current_scale
+
+    if current_scale() == "smoke":
+        return 2_000
+    if current_scale() == "paper":
+        return 100_000
+    return 20_000
+
+
+def test_store_tiers(benchmark, tmp_path):
+    from conftest import current_scale
+
+    from repro.viz.export import results_directory
+    from repro.viz.tables import format_table
+
+    cells = store_cells()
+    small = max(cells // 10, 100)
+    file_root = tmp_path / "file"
+    packed_root = tmp_path / "packed"
+    small_root = tmp_path / "packed-small"
+
+    def run() -> dict:
+        report: dict = {"scale": current_scale(), "cells": cells}
+        report["write_file"] = _run_phase("write-file", [file_root], cells)
+        report["write_packed"] = _run_phase("write-packed", [packed_root], cells)
+        report["write_packed_small"] = _run_phase(
+            "write-packed", [small_root], small
+        )
+        report["scan_file"] = _run_phase("scan", [file_root], cells)
+        report["scan_packed"] = _run_phase("scan", [packed_root], cells)
+        report["report_file"] = _run_phase("report", [file_root], cells)
+        report["report_packed"] = _run_phase("report", [packed_root], cells)
+        report["report_packed_small"] = _run_phase("report", [small_root], small)
+        report["verify"] = _run_phase("verify", [file_root, packed_root], cells)
+        report["scan_speedup"] = (
+            report["scan_file"]["seconds"] / report["scan_packed"]["seconds"]
+        )
+        report["report_rss_ratio_10x_cells"] = (
+            report["report_packed"]["ru_maxrss_kb"]
+            / report["report_packed_small"]["ru_maxrss_kb"]
+        )
+        return report
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def row(name: str, block: dict) -> list:
+        return [
+            name,
+            f"{block['seconds']:.3f}",
+            f"{block['ru_maxrss_kb'] / 1024:.1f}",
+        ]
+
+    print()
+    print(
+        format_table(
+            ["phase", "seconds", "peak MiB"],
+            [
+                row(f"resume scan, file ({cells} cells)", report["scan_file"]),
+                row("resume scan, packed", report["scan_packed"]),
+                row("report, file", report["report_file"]),
+                row("report, packed", report["report_packed"]),
+                row(f"report, packed ({small} cells)", report["report_packed_small"]),
+            ],
+            title="Store tiers — cold resume scan and streaming report",
+            footnote=(
+                f"scan speedup {report['scan_speedup']:.1f}x; cross-tier "
+                f"byte equivalence: {report['verify']['equivalent']}; each "
+                "phase is its own subprocess (RSS is per-phase)"
+            ),
+        )
+    )
+
+    path = results_directory() / "BENCH_store.json"
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report: {path}")
+
+    assert report["verify"]["equivalent"], "tiers disagree on cell bytes"
+    assert report["scan_file"]["keys"] == cells
+    assert report["scan_packed"]["keys"] == cells
+    assert report["report_packed"]["cells"] == cells
+    # The index must beat the validating directory scan by a wide margin
+    # (>=10x at report scale; the floor is looser at smoke scale where
+    # both sides are milliseconds).
+    floor = 3.0 if current_scale() == "smoke" else 10.0
+    assert report["scan_speedup"] >= floor, (
+        f"packed resume scan only {report['scan_speedup']:.1f}x faster"
+    )
+    # Streaming report memory is flat in cell count: 10x the cells must
+    # not come anywhere near 10x the peak RSS.
+    assert report["report_rss_ratio_10x_cells"] < 2.0, (
+        f"report RSS grew {report['report_rss_ratio_10x_cells']:.2f}x "
+        "across a 10x cell-count increase"
+    )
+
+
+if __name__ == "__main__":
+    _main()

@@ -69,17 +69,18 @@ from .core.config import (
 )
 from .dataset.sequences import SEQUENCE_SCRIPTS, load_all_sequences, load_sequence
 from .engine.backend import available_backends
-from .eval.aggregate import SweepProtocol
+from .eval.aggregate import RunningCellStats, SweepProtocol
 from .eval.bench import compare_backends, write_backend_report
 from .eval.campaign import (
     CampaignSpec,
     aggregate_report,
     campaign_status,
     merge_campaign_stores,
+    pivot_report,
     run_campaign,
 )
 from .eval.runner import run_localization
-from .eval.store import CampaignStore, list_campaigns
+from .eval.store import STORE_TIERS, CampaignStore, list_campaigns
 from .eval.sweep_engine import SweepEngine
 from .maps.maze import build_drone_maze_world
 from .scenarios import (
@@ -230,12 +231,14 @@ def _parse_variants(raw: str) -> list[str]:
     return list(dict.fromkeys(variants))
 
 
-def _parse_ablate(raw: str) -> tuple[str, list[float]]:
+def _parse_ablate(raw: str) -> tuple[str, list[str]]:
     """Parse one ``--ablate key=v1,v2,...`` axis.
 
     Key and value validation is delegated to :class:`ConfigSpec` (the
     one config grammar), so ``--ablate`` accepts exactly the overrides
-    every other config-spec surface accepts.
+    every other config-spec surface accepts — numeric values for the
+    float fields, ``/``-separated rows for ``beam_rows``
+    (``--ablate beam_rows=2/3,2/3/4/5``).
     """
     key, sep, values_text = raw.partition("=")
     key = key.strip()
@@ -243,16 +246,10 @@ def _parse_ablate(raw: str) -> tuple[str, list[float]]:
         raise argparse.ArgumentTypeError(
             f"--ablate expects key=v1,v2,..., got {raw!r}"
         )
+    values = [part.strip() for part in values_text.split(",") if part.strip()]
     try:
-        values = [
-            float(part) for part in values_text.split(",") if part.strip()
-        ]
         for value in values:
             ConfigSpec("fp32", ((key, value),))
-    except ValueError as exc:
-        raise argparse.ArgumentTypeError(
-            f"--ablate values must be numeric: {exc}"
-        ) from exc
     except ConfigurationError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
     if not values:
@@ -261,7 +258,7 @@ def _parse_ablate(raw: str) -> tuple[str, list[float]]:
 
 
 def _expand_ablations(
-    variants: list[str], ablations: list[tuple[str, list[float]]] | None
+    variants: list[str], ablations: list[tuple[str, list[str]]] | None
 ) -> list[str]:
     """Cross every base config spec with every ``--ablate`` axis.
 
@@ -394,6 +391,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         resume=args.resume,
         progress=print if args.verbose else None,
+        store_tier=args.store_tier,
     )
     _print_campaign_summary(summary)
     return 0
@@ -440,7 +438,7 @@ def _cmd_campaign_shard(args: argparse.Namespace) -> int:
             )
         )
         return 0
-    store = CampaignStore(f"{spec.name}-shard{args.index}")
+    store = CampaignStore(f"{spec.name}-shard{args.index}", tier=args.store_tier)
     summary = run_campaign(
         spec,
         backend=args.backend,
@@ -478,12 +476,75 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pivot_column_order(values: set[str]) -> list[str]:
+    """Sort pivot columns numerically when possible, lexically otherwise."""
+
+    def sort_key(value: str):
+        try:
+            return (0, float(value), value)
+        except ValueError:
+            return (1, 0.0, value)
+
+    return sorted(values, key=sort_key)
+
+
+def _cmd_campaign_pivot_report(args: argparse.Namespace) -> int:
+    report = pivot_report(args.name, args.pivot)
+    printed = False
+    for scenario, rows in report.items():
+        if not rows:
+            continue
+        if printed:
+            print()
+        printed = True
+        row_names = [
+            f"{base} N={count}" for base, count in sorted(rows.keys())
+        ]
+        columns = _pivot_column_order(
+            {value for cells in rows.values() for value in cells}
+        )
+        ate_cells: dict[tuple[str, str], str] = {}
+        success_cells: dict[tuple[str, str], str] = {}
+        for (base, count), cells in rows.items():
+            row = f"{base} N={count}"
+            for value, aggregate in cells.items():
+                ate = aggregate["mean_ate_m"]
+                if ate is not None:
+                    ate_cells[(row, value)] = f"{ate:.3f}"
+                rate = aggregate["success_rate"]
+                if rate is not None:
+                    success_cells[(row, value)] = f"{100 * rate:.0f}%"
+        print(
+            format_matrix(
+                "config",
+                row_names,
+                columns,
+                ate_cells,
+                title=f"ATE (m) vs {args.pivot} — {scenario}",
+            )
+        )
+        print()
+        print(
+            format_matrix(
+                "config",
+                row_names,
+                columns,
+                success_cells,
+                title=f"success rate vs {args.pivot} — {scenario}",
+            )
+        )
+    return 0
+
+
 def _cmd_campaign_report(args: argparse.Namespace) -> int:
     from .eval.campaign import load_campaign
 
+    if args.pivot:
+        return _cmd_campaign_pivot_report(args)
     spec = load_campaign(args.name)
     report = aggregate_report(args.name)
     columns = [str(count) for count in spec.particle_counts]
+    overall = RunningCellStats()
     printed = False
     for scenario in spec.scenarios:
         cells = report[scenario]
@@ -496,6 +557,7 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         success_cells: dict[tuple[str, str], str] = {}
         runs = 0
         for (variant, count), aggregate in cells.items():
+            overall.add(aggregate)
             runs = max(runs, aggregate["runs"])
             ate = aggregate["mean_ate_m"]
             if ate is not None:
@@ -522,6 +584,32 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
                 title=f"success rate vs particle number — {scenario}",
             )
         )
+    if printed:
+        rate = overall.success_rate
+        ate = overall.mean_ate_m
+        print()
+        print(
+            f"overall: {overall.cells} cells, {overall.runs} runs, "
+            + (f"{100 * rate:.0f}% success" if rate is not None else "no runs")
+            + (f", mean ATE {ate:.3f} m" if ate is not None else "")
+        )
+    return 0
+
+
+def _cmd_campaign_compact(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.name)
+    if not store.exists():
+        print(f"error: campaign {args.name!r} not found", file=sys.stderr)
+        return 2
+    with store:
+        summary = store.compact()
+    print(
+        f"compacted campaign {args.name!r}: {summary.packed} cells packed "
+        f"into segments, {summary.already_packed} already packed, "
+        f"{summary.verified} byte-verified, {summary.removed_files} cell "
+        f"files removed, {summary.skipped_invalid} torn files left for "
+        "recovery"
+    )
     return 0
 
 
@@ -1250,6 +1338,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="skip cells already completed in the store (by content key)",
         )
         parser_.add_argument(
+            "--store-tier",
+            choices=list(STORE_TIERS),
+            default="auto",
+            help=(
+                "storage layout for a fresh store: 'packed' appends cells "
+                "into indexed segment files (the 10^5-cell shape), 'file' "
+                "writes one JSON file per cell; 'auto' (default) keeps "
+                "whatever tier the store already has (file for new stores). "
+                "Cell bytes are identical in every tier."
+            ),
+        )
+        parser_.add_argument(
             "--verbose", action="store_true", help="print one line per completed cell"
         )
 
@@ -1299,10 +1399,42 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status_parser.set_defaults(func=_cmd_campaign_status)
 
     campaign_report = campaign_sub.add_parser(
-        "report", help="render aggregate ATE / success tables from the store"
+        "report",
+        help="render aggregate ATE / success tables from the store",
+        description=(
+            "Stream the store once and render per-scenario ATE and success "
+            "tables (variant rows x particle-count columns). With --pivot, "
+            "rows become base config specs and columns the pivoted "
+            "override's values — the shape of an ablation study."
+        ),
     )
     campaign_report.add_argument("name", help="campaign name")
+    campaign_report.add_argument(
+        "--pivot",
+        default=None,
+        metavar="KEY",
+        help=(
+            "pivot the tables by this config override (e.g. sigma, r_max, "
+            "beam_rows): columns are the override's values across the "
+            "stored cells"
+        ),
+    )
     campaign_report.set_defaults(func=_cmd_campaign_report)
+
+    campaign_compact = campaign_sub.add_parser(
+        "compact",
+        help="fold a file-per-cell store into packed segments",
+        description=(
+            "Migrate a campaign store to the packed tier: every cell file "
+            "is appended into indexed segment files, byte-verified back "
+            "out of the segments, and only then removed. Interrupting at "
+            "any point leaves the file tier authoritative; cell bytes "
+            "never change. Subsequent runs of the campaign append packed "
+            "automatically."
+        ),
+    )
+    campaign_compact.add_argument("name", help="campaign name")
+    campaign_compact.set_defaults(func=_cmd_campaign_compact)
 
     campaign_sub.add_parser(
         "list", help="list stored campaigns and their progress"

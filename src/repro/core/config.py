@@ -211,10 +211,11 @@ class MclConfig:
 # ----------------------------------------------------------------------
 # The config-spec grammar: ``variant[+key=value...]``
 # ----------------------------------------------------------------------
-#: MclConfig fields the grammar may override.  ``particle_count`` is
-#: deliberately absent (N is its own axis everywhere), as are
-#: ``precision``/``use_rear_sensor`` (named by the variant) and
-#: ``beam_rows`` (a tuple — not expressible as one ``key=value``).
+#: MclConfig fields the grammar may override with one numeric value.
+#: ``particle_count`` is deliberately absent (N is its own axis
+#: everywhere), as are ``precision``/``use_rear_sensor`` (named by the
+#: variant).  ``beam_rows`` is the one tuple-valued override and has its
+#: own ``/``-separated value grammar (see :data:`TUPLE_OVERRIDE_FIELDS`).
 CONFIG_OVERRIDE_FIELDS: tuple[str, ...] = (
     "sigma_odom_xy",
     "sigma_odom_theta",
@@ -226,6 +227,14 @@ CONFIG_OVERRIDE_FIELDS: tuple[str, ...] = (
     "beam_replication",
     "resample_ess_fraction",
 )
+
+#: Tuple-valued overrides: values are ``/``-separated integers, e.g.
+#: ``fp32+beam_rows=2/3/4/5``.  Rows canonicalize to a sorted, deduped
+#: tuple; the materialized config carries exactly that tuple, so row
+#: gather order (and therefore the bitwise trace) is a function of the
+#: canonical spec — every spelling of one row set shares one
+#: fingerprint *and* one execution.
+TUPLE_OVERRIDE_FIELDS: tuple[str, ...] = ("beam_rows",)
 
 #: Grammar shorthands, resolved during parsing so aliased and full
 #: spellings canonicalize (and fingerprint) identically.
@@ -240,6 +249,62 @@ CONFIG_OVERRIDE_ALIASES: dict[str, str] = {
 _DEFAULT_CONFIG = MclConfig()
 
 
+def _coerce_row_tuple(name: str, value: object) -> tuple[int, ...]:
+    """Canonicalize a beam-row override to a sorted, deduped int tuple.
+
+    Accepts the grammar's ``/``-separated string (``"2/3"``), an already
+    materialized sequence of ints, or a lone integer.  Rows are bounded
+    to the 8x8 sensor grid here; geometry-dependent validity for smaller
+    frames stays in the observation model (``SensorError``), which sees
+    the actual zone count.
+    """
+    if isinstance(value, str):
+        parts = [part.strip() for part in value.split("/")]
+        try:
+            rows = [int(part) for part in parts]
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"config override {name!r} needs '/'-separated integer "
+                f"rows (e.g. 2/3/4), got {value!r}"
+            ) from exc
+    elif isinstance(value, (tuple, list)):
+        rows = []
+        for item in value:
+            if isinstance(item, bool) or int(item) != item:
+                raise ConfigurationError(
+                    f"config override {name!r} needs integer rows, "
+                    f"got {value!r}"
+                )
+            rows.append(int(item))
+    elif isinstance(value, int) and not isinstance(value, bool):
+        rows = [value]
+    else:
+        raise ConfigurationError(
+            f"config override {name!r} needs '/'-separated integer rows "
+            f"(e.g. 2/3/4), got {value!r}"
+        )
+    if not rows:
+        raise ConfigurationError(f"config override {name!r} needs >=1 row")
+    if any(row < 0 or row > 7 for row in rows):
+        raise ConfigurationError(
+            f"config override {name!r} rows must be within 0..7, "
+            f"got {value!r}"
+        )
+    return tuple(sorted(set(rows)))
+
+
+def format_override_value(value: "float | tuple[int, ...] | list") -> str:
+    """Render a canonical override value in the spec grammar's spelling.
+
+    Used for :attr:`ConfigSpec.id` and anywhere an override value labels
+    output (e.g. pivot-report columns): floats render as ``repr``, row
+    tuples as the ``/``-joined form the grammar parses back.
+    """
+    if isinstance(value, (tuple, list)):
+        return "/".join(str(row) for row in value)
+    return repr(value)
+
+
 @dataclass(frozen=True)
 class ConfigSpec:
     """One parsed config spec: a paper variant plus canonical overrides.
@@ -247,7 +312,9 @@ class ConfigSpec:
     This is the single grammar every configuration axis speaks —
     ``variant[+key=value...]``, e.g. ``fp32``, ``fp16qm+sigma=0.15``,
     ``fp32+r_max=2.0+d_xy=0.05``.  Construction canonicalizes: aliases
-    resolve to field names, values coerce to float (last spelling wins),
+    resolve to field names, values coerce to float — or, for
+    :data:`TUPLE_OVERRIDE_FIELDS`, to a sorted ``/``-separated row tuple
+    (``fp32+beam_rows=2/3``) — last spelling wins,
     overrides sort by name, and overrides equal to the paper default are
     dropped — so every spelling of one configuration shares one
     :attr:`id` and one :meth:`fingerprint`, and a spec with no effective
@@ -266,29 +333,39 @@ class ConfigSpec:
     """
 
     variant: str
-    overrides: tuple[tuple[str, float], ...] = ()
+    overrides: tuple[tuple[str, "float | tuple[int, ...]"], ...] = ()
 
     def __post_init__(self) -> None:
         if self.variant not in PAPER_VARIANTS:
             raise ConfigurationError(
                 f"unknown variant {self.variant!r}; expected from {PAPER_VARIANTS}"
             )
-        canonical: dict[str, float] = {}
+        canonical: dict[str, float | tuple[int, ...]] = {}
         for key, value in self.overrides:
             name = CONFIG_OVERRIDE_ALIASES.get(key, key)
-            if name not in CONFIG_OVERRIDE_FIELDS:
+            if name in TUPLE_OVERRIDE_FIELDS:
+                value = _coerce_row_tuple(name, value)
+            elif name in CONFIG_OVERRIDE_FIELDS:
+                try:
+                    value = float(value)
+                except (TypeError, ValueError) as exc:
+                    raise ConfigurationError(
+                        f"config override {key!r} needs a numeric value, "
+                        f"got {value!r}"
+                    ) from exc
+            else:
                 valid = ", ".join(
-                    sorted((*CONFIG_OVERRIDE_FIELDS, *CONFIG_OVERRIDE_ALIASES))
+                    sorted(
+                        (
+                            *CONFIG_OVERRIDE_FIELDS,
+                            *TUPLE_OVERRIDE_FIELDS,
+                            *CONFIG_OVERRIDE_ALIASES,
+                        )
+                    )
                 )
                 raise ConfigurationError(
                     f"unknown config override {key!r}; expected one of: {valid}"
                 )
-            try:
-                value = float(value)
-            except (TypeError, ValueError) as exc:
-                raise ConfigurationError(
-                    f"config override {key!r} needs a numeric value, got {value!r}"
-                ) from exc
             if value == getattr(_DEFAULT_CONFIG, name):
                 canonical.pop(name, None)  # no-op: equals the paper default
             else:
@@ -298,7 +375,13 @@ class ConfigSpec:
 
     @staticmethod
     def parse(text: "str | ConfigSpec") -> "ConfigSpec":
-        """Parse ``variant[+key=value...]`` (specs pass through)."""
+        """Parse ``variant[+key=value...]`` (specs pass through).
+
+        Values stay raw strings here; canonicalization (float coercion,
+        ``/``-separated row tuples, alias resolution, no-op dropping)
+        happens in ``__post_init__`` so every construction path — parse,
+        :meth:`with_override`, direct instantiation — speaks one rule.
+        """
         if isinstance(text, ConfigSpec):
             return text
         parts = [part.strip() for part in text.strip().split("+")]
@@ -312,15 +395,11 @@ class ConfigSpec:
                     f"(in spec {text!r})"
                 )
             key, raw = item.split("=", 1)
-            try:
-                value = float(raw.strip())
-            except ValueError as exc:
-                raise ConfigurationError(
-                    f"config override {key.strip()!r} needs a numeric value, "
-                    f"got {raw.strip()!r} (in spec {text!r})"
-                ) from exc
-            overrides.append((key.strip(), value))
-        return ConfigSpec(parts[0], tuple(overrides))
+            overrides.append((key.strip(), raw.strip()))
+        try:
+            return ConfigSpec(parts[0], tuple(overrides))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{exc} (in spec {text!r})") from exc
 
     @property
     def id(self) -> str:
@@ -328,7 +407,8 @@ class ConfigSpec:
         if not self.overrides:
             return self.variant
         return self.variant + "".join(
-            f"+{key}={value!r}" for key, value in self.overrides
+            f"+{key}={format_override_value(value)}"
+            for key, value in self.overrides
         )
 
     @property
@@ -336,7 +416,9 @@ class ConfigSpec:
         """True when this is a pure paper variant at default parameters."""
         return not self.overrides
 
-    def with_override(self, key: str, value: float) -> "ConfigSpec":
+    def with_override(
+        self, key: str, value: "float | str | tuple[int, ...]"
+    ) -> "ConfigSpec":
         """A copy with one more override (aliases and no-ops handled)."""
         return ConfigSpec(self.variant, (*self.overrides, (key, value)))
 

@@ -93,6 +93,49 @@ class SweepResult:
         return self.cells[(variant, particle_count)].aggregate.convergence_times
 
 
+@dataclass
+class RunningCellStats:
+    """O(1)-memory streaming fold over stored cell aggregates.
+
+    Consumes the ``aggregate`` block of campaign cell payloads one at a
+    time (see :func:`repro.eval.campaign.cell_payload`) and maintains
+    campaign-level totals without holding any cell: this is what lets
+    ``campaign report`` summarize a 10^5-cell packed store in memory
+    bounded by one segment.  Means are weighted by run count, matching
+    what a batch recomputation over all runs would produce.
+    """
+
+    cells: int = 0
+    runs: int = 0
+    converged: int = 0
+    success_weight: float = 0.0
+    ate_weight: int = 0
+    ate_sum: float = 0.0
+
+    def add(self, aggregate: dict) -> None:
+        runs = int(aggregate.get("runs") or 0)
+        self.cells += 1
+        self.runs += runs
+        converged = int(aggregate.get("converged") or 0)
+        self.converged += converged
+        success_rate = aggregate.get("success_rate")
+        if success_rate is not None:
+            self.success_weight += float(success_rate) * runs
+        mean_ate = aggregate.get("mean_ate_m")
+        if mean_ate is not None:
+            # mean_ate_m averages the *converged* runs of the cell.
+            self.ate_weight += converged
+            self.ate_sum += float(mean_ate) * converged
+
+    @property
+    def success_rate(self) -> float | None:
+        return self.success_weight / self.runs if self.runs else None
+
+    @property
+    def mean_ate_m(self) -> float | None:
+        return self.ate_sum / self.ate_weight if self.ate_weight else None
+
+
 def build_shared_fields(
     grid: OccupancyGrid, r_max: float, variants: list[str]
 ) -> dict[str, DistanceField]:

@@ -38,11 +38,19 @@ from __future__ import annotations
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 from .. import obs
 from ..common.atomics import atomic_create
 from ..common.errors import ConfigurationError, EvaluationError
-from ..core.config import ConfigSpec, MclConfig
+from ..core.config import (
+    CONFIG_OVERRIDE_ALIASES,
+    CONFIG_OVERRIDE_FIELDS,
+    TUPLE_OVERRIDE_FIELDS,
+    ConfigSpec,
+    MclConfig,
+    format_override_value,
+)
 from ..scenarios.base import ScenarioSpec
 from ..scenarios.registry import build_scenario, canonical_scenario_id
 from .runner import RunResult
@@ -53,8 +61,20 @@ from .sweep_engine import (
     SweepCellSpec,
     _execute_cell,
     _execute_scenario_cell_by_id,
+    _warm_scenario_cache,
     drain_futures,
 )
+
+
+@lru_cache(maxsize=4096)
+def _parse_spec(variant: str) -> ConfigSpec:
+    """Memoized config-spec parse for streaming paths.
+
+    A 10^5-cell scan sees each canonical variant id thousands of times;
+    parsing (which eagerly materializes and validates a config) is pure,
+    so one cache entry per distinct spec turns it into a dict hit.
+    """
+    return ConfigSpec.parse(variant)
 
 
 @dataclass(frozen=True)
@@ -75,16 +95,19 @@ class CampaignCell:
     particle_count: int
     seeds: tuple[int, ...]
 
-    @property
+    @cached_property
     def key(self) -> str:
         """Content key; folds the config fingerprint in for ablations.
 
         Pure paper variants at default parameters keep the exact key
         (identity dict *and* filename) the pre-config-axis store used,
         so existing campaign stores resume with zero recomputation;
-        ablated configs add the config fingerprint to both.
+        ablated configs add the config fingerprint to both.  Cached per
+        cell instance (the digest is pure): status/resume paths touch
+        every key at least twice, and at 10^5 cells the repeated hashing
+        would otherwise dominate the index read it gates.
         """
-        spec = ConfigSpec.parse(self.variant)
+        spec = _parse_spec(self.variant)
         identity = {
             "scenario": self.scenario,
             "variant": spec.id,
@@ -100,7 +123,7 @@ class CampaignCell:
         return f"{stem}-{label}-n{self.particle_count}-{digest}"
 
     def sweep_cell(self, base_config: MclConfig) -> SweepCellSpec:
-        spec = ConfigSpec.parse(self.variant)
+        spec = _parse_spec(self.variant)
         config = spec.config(base=base_config, particle_count=self.particle_count)
         return SweepCellSpec(spec.id, self.particle_count, config)
 
@@ -283,6 +306,7 @@ def run_campaign(
     store: CampaignStore | None = None,
     progress=None,
     shard: tuple[int, int] | None = None,
+    store_tier: str = "auto",
 ) -> CampaignRunSummary:
     """Execute a campaign, streaming each finished cell into the store.
 
@@ -312,11 +336,19 @@ def run_campaign(
     :class:`~repro.core.config.MclConfig` — so a cell's content key
     (which folds in the config fingerprint for ablated specs) fully
     determines its numbers.
+
+    ``store_tier`` selects the storage layout when the store is created
+    here (``"packed"`` for segment files — the 10^5-cell shape; the
+    ``"auto"`` default keeps whatever tier the store already has, file
+    tier for fresh stores).  The tier never affects cell bytes, only
+    where they live.  Even with ``jobs > 1``, all writes funnel through
+    this parent process — the packed tier's single-writer contract holds
+    by construction.
     """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if store is None:
-        store = CampaignStore(spec.name)
+        store = CampaignStore(spec.name, tier=store_tier)
     recovered = store.recover()
     store.write_manifest(spec.to_manifest())
 
@@ -356,53 +388,78 @@ def run_campaign(
             done = sum(1 for r in runs if r.metrics.success)
             progress(
                 f"{cell.scenario} {cell.variant} N={cell.particle_count}: "
-                f"{done}/{len(runs)} successful runs -> {cell.key}.json"
+                f"{done}/{len(runs)} successful runs -> {cell.key}"
             )
 
-    if jobs == 1:
-        # Resolve the backend once so its replay-plan cache serves every
-        # cell (mirrors SweepEngine.__post_init__); one local field
-        # cache shares each EDT across a scenario's cells.  Cells are
-        # scenario-major, so only one scenario is held in memory at a
-        # time — campaigns over hundreds of worlds stay bounded.
-        executor = get_backend(backend)
-        field_cache = DistanceFieldCache()
-        loaded_id, scenario = None, None
-        for cell in pending:
-            if cell.scenario != loaded_id:
-                scenario = build_scenario(cell.scenario, cache=True)
-                loaded_id = cell.scenario
-            sweep_cell = cell.sweep_cell(base_config)
-            fld = field_cache.get(
-                scenario.grid, sweep_cell.config.r_max, sweep_cell.field_kind
-            )
-            runs = _execute_cell(
-                scenario.grid,
-                [scenario.sequence],
-                cell.seeds,
-                sweep_cell,
-                fld,
-                executor,
-            )
-            finish(cell, runs)
-    else:
-        # Warm the byte-stable .npz cache in the parent (workers then
-        # only ever read it — no generation race); the Scenario objects
-        # themselves are dropped immediately, workers reload by id.
-        for scenario_id in pending_ids:
-            build_scenario(scenario_id, cache=True)
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(
-                    _execute_scenario_cell_by_id,
-                    cell.scenario,
+    try:
+        if jobs == 1:
+            # Resolve the backend once so its replay-plan cache serves
+            # every cell (mirrors SweepEngine.__post_init__); one local
+            # field cache shares each EDT across a scenario's cells.
+            # Cells are scenario-major, so only one scenario is held in
+            # memory at a time — campaigns over hundreds of worlds stay
+            # bounded.
+            executor = get_backend(backend)
+            field_cache = DistanceFieldCache()
+            loaded_id, scenario = None, None
+            for cell in pending:
+                if cell.scenario != loaded_id:
+                    scenario = build_scenario(cell.scenario, cache=True)
+                    loaded_id = cell.scenario
+                sweep_cell = cell.sweep_cell(base_config)
+                fld = field_cache.get(
+                    scenario.grid, sweep_cell.config.r_max, sweep_cell.field_kind
+                )
+                runs = _execute_cell(
+                    scenario.grid,
+                    [scenario.sequence],
                     cell.seeds,
-                    cell.sweep_cell(base_config),
-                    backend,
-                ): cell
-                for cell in pending
-            }
-            drain_futures(futures, finish)
+                    sweep_cell,
+                    fld,
+                    executor,
+                )
+                finish(cell, runs)
+        else:
+            # Cold-start as a futures chain: one warm-up task per
+            # scenario generates its byte-stable .npz cache *on the
+            # pool*, and that scenario's cell tasks are submitted the
+            # moment its warm-up completes — generation overlaps both
+            # other scenarios' generation and already-ready scenarios'
+            # cell execution, instead of serializing in the parent.
+            # Exactly one warm task per scenario means workers never
+            # race to generate; cells only ever read the cache.
+            cells_by_scenario: dict[str, list[CampaignCell]] = {}
+            for cell in pending:
+                cells_by_scenario.setdefault(cell.scenario, []).append(cell)
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures: dict = {}
+
+                def on_ready(scenario_id: str) -> None:
+                    for cell in cells_by_scenario[scenario_id]:
+                        futures[
+                            pool.submit(
+                                _execute_scenario_cell_by_id,
+                                cell.scenario,
+                                cell.seeds,
+                                cell.sweep_cell(base_config),
+                                backend,
+                            )
+                        ] = cell
+
+                def dispatch(tag, result) -> None:
+                    if isinstance(tag, CampaignCell):
+                        finish(tag, result)
+                    else:  # a scenario warm-up completed; fan its cells out
+                        obs.counter("campaign.scenarios_warmed").inc()
+                        on_ready(result)
+
+                for scenario_id in pending_ids:
+                    futures[
+                        pool.submit(_warm_scenario_cache, scenario_id)
+                    ] = scenario_id
+                drain_futures(futures, dispatch)
+    finally:
+        store.close()  # seal any active packed segment
 
     return CampaignRunSummary(
         name=spec.name,
@@ -445,6 +502,11 @@ def merge_campaign_stores(
     is byte-identical to one produced by a single host.  Torn source
     files (unparseable JSON) are skipped and counted, exactly as
     :meth:`CampaignStore.completed_keys` would ignore them.
+
+    Both stores may be either tier (or mid-migration mixes): the source
+    streams records via :meth:`CampaignStore.iter_cell_bytes` and the
+    destination appends through its own write tier, so shard hosts can
+    choose layouts independently and still merge byte-identically.
     """
     source_manifest = source.manifest_path
     if not source_manifest.exists():
@@ -469,12 +531,10 @@ def merge_campaign_stores(
 
     copied = verified = skipped = 0
     total = 0
-    if source.cells_dir.is_dir():
-        for path in sorted(source.cells_dir.glob("*.json")):
+    try:
+        for key, data in source.iter_cell_bytes():
             total += 1
-            data = path.read_bytes()
-            key = path.stem
-            existed = dest.cell_path(key).exists()
+            existed = dest.get_cell_bytes(key) is not None
             try:
                 dest.put_cell_bytes(key, data)
             except EvaluationError:
@@ -486,6 +546,8 @@ def merge_campaign_stores(
                 verified += 1
             else:
                 copied += 1
+    finally:
+        dest.close()  # seal any packed segment the merge appended
     return MergeSummary(
         dest=dest.name,
         source=source.name,
@@ -504,24 +566,51 @@ def load_campaign(name: str, store: CampaignStore | None = None) -> CampaignSpec
 
 
 def campaign_status(name: str, store: CampaignStore | None = None) -> dict:
-    """Progress of a campaign: completed vs expected cells, by scenario."""
+    """Progress of a campaign: completed vs expected cells, by scenario.
+
+    One pass: the store answers :meth:`~CampaignStore.completed_keys`
+    from its segment index (O(segments) reads on the packed tier), and
+    the expected grid is walked once with each cell's cached key — the
+    whole query is index-speed even at 10^5 cells.
+    """
     if store is None:
         store = CampaignStore(name)
     spec = load_campaign(name, store)
-    completed = store.completed_keys()
-    cells = spec.cells()
-    by_scenario: dict[str, dict[str, int]] = {}
-    for cell in cells:
-        entry = by_scenario.setdefault(cell.scenario, {"done": 0, "total": 0})
-        entry["total"] += 1
-        entry["done"] += 1 if cell.key in completed else 0
+    with obs.span("campaign.status"):
+        completed = store.completed_keys()
+        cells = spec.cells()
+        by_scenario: dict[str, dict[str, int]] = {}
+        done = 0
+        for cell in cells:
+            entry = by_scenario.setdefault(
+                cell.scenario, {"done": 0, "total": 0}
+            )
+            entry["total"] += 1
+            if cell.key in completed:
+                entry["done"] += 1
+                done += 1
     return {
         "name": name,
         "total": len(cells),
-        "completed": sum(1 for cell in cells if cell.key in completed),
+        "completed": done,
         "scenarios": by_scenario,
         "store_root": str(store.root),
     }
+
+
+def _cell_identity(payload: dict) -> tuple[str, str, int] | None:
+    """(scenario, variant, N) of a stored payload, or None if malformed."""
+    cell = payload.get("cell")
+    if not isinstance(cell, dict):
+        return None
+    try:
+        return (
+            str(cell["scenario"]),
+            str(cell["variant"]),
+            int(cell["particle_count"]),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 def aggregate_report(
@@ -529,24 +618,106 @@ def aggregate_report(
 ) -> dict[str, dict[tuple[str, int], dict]]:
     """Aggregate stored cells: scenario -> (variant, N) -> summary dict.
 
-    Reads only the store (no recomputation); cells not yet executed are
-    simply absent.  Raises if the campaign has no completed cells.
+    Reads only the store (no recomputation), in **one streaming pass**:
+    cells identify themselves from their stored payload, so the store is
+    scanned sequentially (memory bounded by one packed segment) instead
+    of randomly probed per expected key.  Cells not yet executed are
+    simply absent; stray payloads outside the campaign grid are ignored.
+    Raises if the campaign has no completed cells.
     """
     if store is None:
         store = CampaignStore(name)
     spec = load_campaign(name, store)
+    variants = set(spec.variants)
+    particle_counts = set(spec.particle_counts)
     report: dict[str, dict[tuple[str, int], dict]] = {
         scenario: {} for scenario in spec.scenarios
     }
     found = 0
-    for cell in spec.cells():
-        payload = store.get_cell(cell.key)
-        if payload is None:
-            continue
-        found += 1
-        report[cell.scenario][(cell.variant, cell.particle_count)] = payload[
-            "aggregate"
-        ]
+    with obs.span("campaign.report"):
+        for _key, payload in store.stream_cells():
+            identity = _cell_identity(payload)
+            if identity is None:
+                continue
+            scenario, variant, count = identity
+            if (
+                scenario not in report
+                or variant not in variants
+                or count not in particle_counts
+            ):
+                continue
+            found += 1
+            report[scenario][(variant, count)] = payload["aggregate"]
+    if not found:
+        raise EvaluationError(
+            f"campaign {name!r} has no completed cells to report"
+        )
+    return report
+
+
+def pivot_report(
+    name: str, pivot: str, store: CampaignStore | None = None
+) -> dict[str, dict[tuple[str, int], dict[str, dict]]]:
+    """Pivot stored cells by one config override's value.
+
+    Returns ``scenario -> (base_spec_id, N) -> {value: aggregate}``:
+    each cell's variant is parsed back through the config grammar, the
+    ``pivot`` override (alias-resolved) is factored out of the spec, and
+    the remaining *base* spec becomes the row while the override's value
+    — the spec's explicit value, or the paper default when the base spec
+    doesn't override it — becomes the column, rendered in the grammar's
+    own spelling (``0.5``, ``2/3``).  This turns an ablation campaign
+    (``--ablate sigma=...``) into the table the paper's sensitivity
+    figures plot, keyed off the same fingerprint machinery that keys the
+    cells.  Streaming and single-pass, like :func:`aggregate_report`.
+    """
+    if store is None:
+        store = CampaignStore(name)
+    field = CONFIG_OVERRIDE_ALIASES.get(pivot, pivot)
+    if field not in CONFIG_OVERRIDE_FIELDS + TUPLE_OVERRIDE_FIELDS:
+        valid = ", ".join(
+            sorted(
+                (
+                    *CONFIG_OVERRIDE_FIELDS,
+                    *TUPLE_OVERRIDE_FIELDS,
+                    *CONFIG_OVERRIDE_ALIASES,
+                )
+            )
+        )
+        raise ConfigurationError(
+            f"unknown pivot key {pivot!r}; expected one of: {valid}"
+        )
+    spec = load_campaign(name, store)
+    scenarios = set(spec.scenarios)
+    report: dict[str, dict[tuple[str, int], dict[str, dict]]] = {
+        scenario: {} for scenario in spec.scenarios
+    }
+    found = 0
+    with obs.span("campaign.report"):
+        for _key, payload in store.stream_cells():
+            identity = _cell_identity(payload)
+            if identity is None:
+                continue
+            scenario, variant, count = identity
+            if scenario not in scenarios:
+                continue
+            config_spec = _parse_spec(variant)
+            base = ConfigSpec(
+                config_spec.variant,
+                tuple(
+                    (key, value)
+                    for key, value in config_spec.overrides
+                    if key != field
+                ),
+            )
+            value = format_override_value(
+                getattr(config_spec.config(), field)
+            )
+            row = report[scenario].setdefault((base.id, count), {})
+            if value in row:
+                continue  # duplicate spelling cannot happen post-canonicalization
+            row[value] = payload["aggregate"]
+            found += 1
     if not found:
         raise EvaluationError(
             f"campaign {name!r} has no completed cells to report"

@@ -4,42 +4,74 @@ A campaign's results live under ``REPRO_RESULTS_DIR/campaigns/<name>/``:
 
 * ``manifest.json`` — the declarative campaign spec, written once when
   the campaign starts; resumed runs must present an identical spec.
-* ``cells/<key>.json`` — one file per completed cell, keyed by the
-  cell's stable content key (scenario spec id, canonical config spec,
-  particle count and protocol seeds; ablated configs additionally fold
-  in their :meth:`~repro.core.config.MclConfig.fingerprint`, while pure
-  paper variants at default parameters keep the legacy key so old
-  stores stay resumable; never the backend or job count — those only
-  pick an execution strategy).
+* ``cells/<key>.json`` — the **file tier**: one file per completed cell,
+  keyed by the cell's stable content key (scenario spec id, canonical
+  config spec, particle count and protocol seeds; ablated configs
+  additionally fold in their
+  :meth:`~repro.core.config.MclConfig.fingerprint`, while pure paper
+  variants at default parameters keep the legacy key so old stores stay
+  resumable; never the backend or job count — those only pick an
+  execution strategy).
+* ``segments/seg-NNNNNN.seg`` — the **packed tier**: append-only segment
+  files of length-prefixed cell records, each with a write-once
+  ``*.seg.idx.json`` sidecar mapping content keys to byte ranges.  This
+  is the million-cell shape: ``put_cell`` is an append instead of a file
+  create, ``completed_keys`` reads one sidecar per segment instead of
+  statting and parsing every cell, and :meth:`CampaignStore.stream_cells`
+  scans segments sequentially in memory bounded by one segment, not by
+  the store.
+
+**Two tiers, one contract.**  A record's payload bytes are exactly the
+canonical JSON the file tier would write for the same key, so the two
+tiers are byte-interchangeable: reads merge both, ``merge`` and
+``compact`` move cells between them byte-for-byte, and every invariant
+below holds regardless of tier.  Tier selection: ``tier="file"`` and
+``tier="packed"`` force a write tier; the default ``tier="auto"``
+appends packed iff ``segments/`` already exists — so legacy stores keep
+their layout and a store created packed stays packed, with no flag
+re-required on resume.
 
 **Invariants** (these are what make campaigns resumable and the store
 byte-comparable):
 
-* *Atomicity* — every file is written to a ``*.tmp`` sibling and
-  ``os.replace``-d into place, so a killed campaign leaves either a
-  complete cell file or no cell file, never a torn one.  Leftover
-  ``*.tmp`` files and unparseable cell files are treated as absent and
-  swept by :meth:`CampaignStore.recover`.
+* *Atomicity* — file-tier cells and index sidecars are written to a
+  ``*.tmp`` sibling and ``os.replace``-d into place; segments are
+  appended as ``seg-NNNNNN.open`` and renamed to ``.seg`` once sealed.
+  A killed campaign leaves either a complete record or a torn tail that
+  recovery truncates — completed cells are never lost, partial ones
+  never count.  Leftover ``*.tmp`` files, unparseable cell files and
+  torn segment tails are swept by :meth:`CampaignStore.recover`.
 * *Determinism* — payloads are serialized as canonical JSON (sorted
   keys, fixed indentation, NaN mapped to ``null`` before encoding, one
   trailing newline).  Because the filter backends are bitwise
   equivalent and run order inside a cell is fixed, the bytes of every
-  cell file are a pure function of the cell key: ``jobs=1`` vs
-  ``jobs=N``, fresh vs resumed, ``reference`` vs ``batched`` all
-  produce **byte-identical** stores.
+  cell payload are a pure function of the cell key: ``jobs=1`` vs
+  ``jobs=N``, fresh vs resumed, ``reference`` vs ``batched``, file tier
+  vs packed tier all produce **byte-identical** cells.
 * *Append-only* — a completed cell is never rewritten; re-putting an
   existing key verifies the bytes instead (a mismatch means the
   equivalence contract was broken and raises).
+
+The packed tier is **single-writer by contract**: ``run_campaign``
+funnels every ``put_cell`` through the parent process even when cells
+execute on a pool, and shards write disjoint stores that merge later.
+A second concurrent packed writer is detected (the ``.open`` segment is
+created with ``O_EXCL``) and refused.  Multi-process *readers* are
+always safe: sealed segments and sidecars are immutable once published.
 """
 
 from __future__ import annotations
 
 import json
 import math
+import os
+import re
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from .. import obs
 from ..common.atomics import atomic_create, atomic_write
 from ..common.errors import ConfigurationError, EvaluationError
 from ..viz.export import results_directory
@@ -48,10 +80,25 @@ from ..viz.export import results_directory
 STORE_VERSION = 1
 
 #: Minimum age before :meth:`CampaignStore.recover` treats a ``*.tmp``
-#: file as abandoned.  Younger tmp files may belong to a concurrently
-#: running writer mid-``atomic_write`` (several processes may legally
-#: share one store); deleting those would crash that writer's publish.
+#: file (or a torn ``*.open`` segment) as abandoned.  Younger ones may
+#: belong to a concurrently running writer mid-publish (several
+#: processes may legally share one *file-tier* store); deleting those
+#: would crash that writer's publish.
 TMP_GRACE_S = 300.0
+
+#: The write tiers a store can be asked for.  ``auto`` resolves to
+#: ``packed`` iff the store already has a ``segments/`` directory.
+STORE_TIERS = ("auto", "file", "packed")
+
+#: Seal thresholds for packed segments.  Small enough that a segment
+#: scan stays cache-friendly and a torn tail forfeits little work,
+#: large enough that a 10^6-cell store is ~10^3 segments, not 10^6
+#: files.
+SEGMENT_MAX_BYTES = 1 << 20
+SEGMENT_MAX_RECORDS = 1024
+
+_SEGMENT_NAME = re.compile(r"^seg-(\d{6})\.(seg|open)$")
+_KEY_PATTERN = re.compile(r"^[A-Za-z0-9._=-]+$")
 
 
 def campaigns_root() -> Path:
@@ -88,16 +135,258 @@ def canonical_json_bytes(payload: dict) -> bytes:
     return (text + "\n").encode("utf-8")
 
 
-class CampaignStore:
-    """One campaign's on-disk results: a manifest plus per-cell files."""
+# ----------------------------------------------------------------------
+# Packed-segment record format
+# ----------------------------------------------------------------------
+# One record per cell:  b"CELL <key> <payload_len>\n" + payload.  The
+# payload is byte-identical to the file the file tier would write for
+# the same key, so slicing a record out of a segment *is* reading the
+# cell file.  The header is self-delimiting ASCII: a sequential scan
+# needs no index, and a torn tail (crash mid-append) is detected as the
+# first record whose header is malformed or whose payload runs past
+# end-of-file — everything before it is intact by append order.
 
-    def __init__(self, name: str, root: str | Path | None = None) -> None:
+
+def _encode_record(key: str, data: bytes) -> bytes:
+    if not _KEY_PATTERN.match(key):
+        raise ConfigurationError(
+            f"cell key {key!r} is not a plain content key"
+        )
+    return b"CELL %s %d\n" % (key.encode("ascii"), len(data)) + data
+
+
+def _scan_records(
+    blob: bytes, validate_json: bool = False
+) -> tuple[list[tuple[str, int, int]], int]:
+    """Parse the valid record prefix of a segment blob.
+
+    Returns ``([(key, payload_offset, payload_length), ...], valid_bytes)``
+    — the scan stops at the first structural break (torn header, short
+    payload, or, with ``validate_json``, an unparseable payload), so
+    ``valid_bytes`` is the length recovery may truncate the segment to.
+    """
+    records: list[tuple[str, int, int]] = []
+    pos = 0
+    size = len(blob)
+    while pos < size:
+        newline = blob.find(b"\n", pos)
+        if newline == -1:
+            break
+        header = blob[pos:newline].split(b" ")
+        if len(header) != 3 or header[0] != b"CELL":
+            break
+        try:
+            key = header[1].decode("ascii")
+            length = int(header[2])
+        except (UnicodeDecodeError, ValueError):
+            break
+        start = newline + 1
+        end = start + length
+        if length < 0 or end > size:
+            break
+        if validate_json:
+            try:
+                json.loads(blob[start:end])
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+        records.append((key, start, length))
+        pos = end
+    return records, pos
+
+
+def _sidecar_path(segment: Path) -> Path:
+    return segment.with_name(segment.name + ".idx.json")
+
+
+def _load_sidecar_payload(segment: Path) -> dict | None:
+    """A sealed segment's raw sidecar payload, size-checked.
+
+    The sidecar is trusted only when its recorded size matches the
+    segment on disk — a mismatch (or a missing/torn sidecar, e.g. a
+    crash between seal and index publish) silently degrades to a
+    sequential rescan, so the index is a pure accelerator and never an
+    additional source of truth.
+    """
+    try:
+        payload = json.loads(_sidecar_path(segment).read_text())
+        if payload.get("bytes") != segment.stat().st_size:
+            return None
+        if not isinstance(payload.get("records"), dict):
+            return None
+        return payload
+    except (OSError, json.JSONDecodeError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _load_sidecar(segment: Path) -> dict[str, tuple[int, int]] | None:
+    """A sealed segment's key index, or ``None`` when it must be rescanned."""
+    payload = _load_sidecar_payload(segment)
+    if payload is None:
+        return None
+    try:
+        return {
+            key: (int(span[0]), int(span[1]))
+            for key, span in payload["records"].items()
+        }
+    except (ValueError, TypeError, IndexError):
+        return None
+
+
+def _seal_segment(
+    open_path: Path, records: list[tuple[str, int, int]], total_bytes: int
+) -> Path:
+    """Publish an ``.open`` segment: rename to ``.seg``, write its index."""
+    final = open_path.with_suffix(".seg")
+    os.replace(open_path, final)
+    sidecar = {
+        "bytes": total_bytes,
+        "records": {key: [offset, length] for key, offset, length in records},
+    }
+    atomic_write(_sidecar_path(final), canonical_json_bytes(sidecar))
+    obs.counter("store.segments_sealed").inc()
+    return final
+
+
+class _SegmentWriter:
+    """Appender for the packed tier (single-writer by contract).
+
+    Records go to a ``seg-NNNNNN.open`` file, flushed per append so a
+    crash loses at most the torn tail of the last record; the segment is
+    fsynced and renamed to ``.seg`` (then indexed) when it reaches the
+    seal thresholds or the writer closes.  On open, any abandoned
+    ``.open`` segment from a crashed predecessor is recovered: its valid
+    record prefix is sealed, its torn tail truncated away.
+    """
+
+    def __init__(self, store: "CampaignStore") -> None:
+        self._store = store
+        self._dir = store.segments_dir
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._path: Path | None = None
+        self._records: list[tuple[str, int, int]] = []
+        self._bytes = 0
+        self._recover_open_segments()
+
+    def _recover_open_segments(self) -> None:
+        for path in sorted(self._dir.glob("seg-*.open")):
+            blob = path.read_bytes()
+            records, valid = _scan_records(blob, validate_json=True)
+            if not records:
+                path.unlink(missing_ok=True)
+                continue
+            if valid != len(blob):
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid)
+                    os.fsync(handle.fileno())
+            _seal_segment(path, records, valid)
+
+    def _next_sequence(self) -> int:
+        highest = -1
+        for path in self._dir.iterdir():
+            match = _SEGMENT_NAME.match(path.name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return highest + 1
+
+    def _open_segment(self) -> None:
+        path = self._dir / f"seg-{self._next_sequence():06d}.open"
+        try:
+            self._handle = open(path, "xb")
+        except FileExistsError:
+            raise EvaluationError(
+                f"packed store {self._store.name!r} already has an active "
+                f"writer ({path.name} exists) — the packed tier is "
+                "single-writer; shard the campaign instead"
+            ) from None
+        self._path = path
+        self._records = []
+        self._bytes = 0
+
+    def append(self, key: str, data: bytes) -> tuple[Path, int, int]:
+        """Append one record; returns its ``(segment, offset, length)``."""
+        if self._handle is None:
+            self._open_segment()
+        record = _encode_record(key, data)
+        offset = self._bytes + (len(record) - len(data))
+        self._handle.write(record)
+        self._handle.flush()
+        self._records.append((key, offset, len(data)))
+        self._bytes = offset + len(data)
+        obs.counter("store.segment_appends").inc()
+        path = self._path
+        if (
+            self._bytes >= SEGMENT_MAX_BYTES
+            or len(self._records) >= SEGMENT_MAX_RECORDS
+        ):
+            path = self.seal()
+        return path, offset, len(data)
+
+    def seal(self) -> Path:
+        """Fsync, close and publish the active segment; returns its path."""
+        assert self._handle is not None and self._path is not None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        final = _seal_segment(self._path, self._records, self._bytes)
+        self._store._relocate_index(self._records, final)
+        self._handle = None
+        self._path = None
+        self._records = []
+        self._bytes = 0
+        return final
+
+    def close(self) -> None:
+        if self._handle is None:
+            return
+        if self._records:
+            self.seal()
+        else:
+            self._handle.close()
+            self._path.unlink(missing_ok=True)
+            self._handle = None
+            self._path = None
+
+
+@dataclass
+class CompactSummary:
+    """What one :meth:`CampaignStore.compact` call did."""
+
+    packed: int
+    already_packed: int
+    verified: int
+    removed_files: int
+    skipped_invalid: int
+
+
+class CampaignStore:
+    """One campaign's on-disk results: a manifest plus keyed cells.
+
+    Cells live in one or both of two tiers (file-per-cell and packed
+    segments — see the module docstring); every read merges them and
+    every cell's payload bytes are identical in either, so the tier is
+    an implementation detail of throughput, never of content.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        root: str | Path | None = None,
+        tier: str = "auto",
+    ) -> None:
         if not name or "/" in name or name.startswith("."):
             raise ConfigurationError(
                 f"campaign name must be a plain directory name, got {name!r}"
             )
+        if tier not in STORE_TIERS:
+            raise ConfigurationError(
+                f"store tier must be one of {STORE_TIERS}, got {tier!r}"
+            )
         self.name = name
+        self.tier = tier
         self.root = Path(root) if root is not None else campaigns_root() / name
+        self._index_cache: dict[str, tuple[Path, int, int]] | None = None
+        self._writer: _SegmentWriter | None = None
 
     # ------------------------------------------------------------------
     # Layout
@@ -110,11 +399,131 @@ class CampaignStore:
     def cells_dir(self) -> Path:
         return self.root / "cells"
 
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / "segments"
+
     def cell_path(self, key: str) -> Path:
         return self.cells_dir / f"{key}.json"
 
     def exists(self) -> bool:
         return self.manifest_path.exists()
+
+    def write_tier(self) -> str:
+        """The tier :meth:`put_cell` appends to (``file`` or ``packed``).
+
+        ``auto`` sticks to whatever the store already is: packed iff
+        ``segments/`` exists.  The marker directory (not the manifest)
+        carries the tier so shard stores of one campaign may mix tiers
+        and still merge — manifests stay byte-comparable.
+        """
+        if self.tier != "auto":
+            return self.tier
+        return "packed" if self.segments_dir.is_dir() else "file"
+
+    # ------------------------------------------------------------------
+    # Writer lifecycle (packed tier)
+    # ------------------------------------------------------------------
+    def _segment_writer(self) -> _SegmentWriter:
+        if self._writer is None:
+            self._writer = _SegmentWriter(self)
+            self._index_cache = None  # recovery may have sealed segments
+        return self._writer
+
+    def close(self) -> None:
+        """Seal any active segment.  Idempotent; reads need no close."""
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Packed-tier index
+    # ------------------------------------------------------------------
+    def _packed_index(self) -> dict[str, tuple[Path, int, int]]:
+        if self._index_cache is None:
+            self._index_cache = self._build_packed_index()
+        return self._index_cache
+
+    def _build_packed_index(self) -> dict[str, tuple[Path, int, int]]:
+        index: dict[str, tuple[Path, int, int]] = {}
+        if not self.segments_dir.is_dir():
+            return index
+        for segment in sorted(self.segments_dir.glob("seg-*.seg")):
+            sidecar = _load_sidecar(segment)
+            if sidecar is not None:
+                obs.counter("store.index_hits").inc()
+                for key, (offset, length) in sidecar.items():
+                    index[key] = (segment, offset, length)
+                continue
+            obs.counter("store.index_rescans").inc()
+            records, _ = _scan_records(segment.read_bytes(), validate_json=True)
+            for key, offset, length in records:
+                index[key] = (segment, offset, length)
+        for segment in sorted(self.segments_dir.glob("seg-*.open")):
+            records, _ = _scan_records(segment.read_bytes(), validate_json=True)
+            for key, offset, length in records:
+                index[key] = (segment, offset, length)
+        return index
+
+    def _packed_keys(self) -> set[str]:
+        """Keys of every packed record, without building the full index.
+
+        The resume-scan fast path: reads each sealed segment's sidecar
+        for its key set only, skipping the per-record ``(path, offset,
+        length)`` materialization of :meth:`_packed_index`.  Falls back
+        to the same sequential rescan on any untrusted sidecar, and to
+        the cached index when one is already built.
+        """
+        if self._index_cache is not None:
+            return set(self._index_cache)
+        keys: set[str] = set()
+        if not self.segments_dir.is_dir():
+            return keys
+        for segment in sorted(self.segments_dir.glob("seg-*.seg")):
+            payload = _load_sidecar_payload(segment)
+            if payload is not None:
+                obs.counter("store.index_hits").inc()
+                keys.update(payload["records"])
+                continue
+            obs.counter("store.index_rescans").inc()
+            records, _ = _scan_records(segment.read_bytes(), validate_json=True)
+            keys.update(key for key, _, _ in records)
+        for segment in sorted(self.segments_dir.glob("seg-*.open")):
+            records, _ = _scan_records(segment.read_bytes(), validate_json=True)
+            keys.update(key for key, _, _ in records)
+        return keys
+
+    def _relocate_index(
+        self, records: list[tuple[str, int, int]], segment: Path
+    ) -> None:
+        """Repoint just-sealed records from the ``.open`` path to ``.seg``."""
+        if self._index_cache is None:
+            return
+        for key, offset, length in records:
+            self._index_cache[key] = (segment, offset, length)
+
+    def _read_packed(self, location: tuple[Path, int, int]) -> bytes | None:
+        path, offset, length = location
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(length)
+        except OSError:
+            return None
+        return data if len(data) == length else None
+
+    def _segment_paths(self) -> list[Path]:
+        if not self.segments_dir.is_dir():
+            return []
+        return sorted(self.segments_dir.glob("seg-*.seg")) + sorted(
+            self.segments_dir.glob("seg-*.open")
+        )
 
     # ------------------------------------------------------------------
     # Manifest
@@ -128,6 +537,10 @@ class CampaignStore:
         """
         manifest = dict(manifest, store_version=STORE_VERSION)
         data = canonical_json_bytes(manifest)
+        if self.tier == "packed":
+            # Publish the tier marker with the manifest so resumed runs
+            # (tier="auto") keep appending packed without the flag.
+            self.segments_dir.mkdir(parents=True, exist_ok=True)
         if atomic_create(self.manifest_path, data):
             return
         # Exactly one racing creator wins; everyone else (including this
@@ -155,17 +568,11 @@ class CampaignStore:
         error when they do not — a byte mismatch for the same content key
         means determinism was lost somewhere below the store.
         """
-        path = self.cell_path(key)
-        data = canonical_json_bytes(payload)
-        if path.exists():
-            if path.read_bytes() != data:
-                raise EvaluationError(
-                    f"cell {key} already stored with different bytes — "
-                    "determinism violation (backend or protocol drift?)"
-                )
-            return path
-        atomic_write(path, data)
-        return path
+        return self._put_bytes(
+            key,
+            canonical_json_bytes(payload),
+            "determinism violation (backend or protocol drift?)",
+        )
 
     def put_cell_bytes(self, key: str, data: bytes) -> Path:
         """Append one cell's *already-canonical* bytes (merge/copy path).
@@ -182,61 +589,185 @@ class CampaignStore:
                 f"cell {key} bytes are not valid JSON — refusing to merge "
                 f"a torn source file: {exc}"
             ) from exc
+        return self._put_bytes(
+            key,
+            data,
+            "the two stores disagree (determinism violation or "
+            "mismatched campaign specs)",
+        )
+
+    def _put_bytes(self, key: str, data: bytes, mismatch: str) -> Path:
+        location = self._packed_index().get(key)
+        if location is not None:
+            if self._read_packed(location) != data:
+                raise EvaluationError(
+                    f"cell {key} already stored with different bytes — "
+                    f"{mismatch}"
+                )
+            return location[0]
         path = self.cell_path(key)
         if path.exists():
             if path.read_bytes() != data:
                 raise EvaluationError(
                     f"cell {key} already stored with different bytes — "
-                    "the two stores disagree (determinism violation or "
-                    "mismatched campaign specs)"
+                    f"{mismatch}"
                 )
             return path
+        if self.write_tier() == "packed":
+            segment, offset, length = self._segment_writer().append(key, data)
+            self._packed_index()[key] = (segment, offset, length)
+            return segment
         atomic_write(path, data)
         return path
 
+    def get_cell_bytes(self, key: str) -> bytes | None:
+        """One cell's raw payload bytes from either tier, or ``None``.
+
+        Packed records are preferred (both tiers hold identical bytes
+        for any key present in both); file-tier bytes are returned as-is
+        even if torn — callers that need validity use :meth:`get_cell`.
+        """
+        location = self._packed_index().get(key)
+        if location is not None:
+            data = self._read_packed(location)
+            if data is not None:
+                return data
+        try:
+            return self.cell_path(key).read_bytes()
+        except OSError:
+            return None
+
     def get_cell(self, key: str) -> dict | None:
         """Load one cell, or ``None`` if absent or unreadable (partial)."""
-        return self._load(self.cell_path(key))
+        data = self.get_cell_bytes(key)
+        if data is None:
+            return None
+        try:
+            return json.loads(data)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
 
     def has_cell(self, key: str) -> bool:
         return self.get_cell(key) is not None
 
     def completed_keys(self) -> set[str]:
-        """Keys of every *valid* completed cell file.
+        """Keys of every *valid* completed cell, across both tiers.
 
-        Unparseable files (torn writes from a crashed process that
+        On the packed tier this is one sidecar read per sealed segment —
+        O(segments), not O(cells) — which is what keeps ``--resume`` on
+        a 10^5-cell store at milliseconds instead of a directory scan.
+        File-tier cells are still parse-validated individually:
+        unparseable files (torn writes from a crashed process that
         somehow bypassed the atomic path) do not count as completed, so
         a resumed campaign re-executes them.
         """
-        keys = set()
+        keys = self._packed_keys()
         if not self.cells_dir.is_dir():
             return keys
         for path in sorted(self.cells_dir.glob("*.json")):
-            if self._load(path) is not None:
+            if path.stem not in keys and self._load(path) is not None:
                 keys.add(path.stem)
         return keys
 
     def iter_cells(self) -> Iterator[tuple[str, dict]]:
-        """Yield ``(key, payload)`` for every valid cell, sorted by key."""
-        if not self.cells_dir.is_dir():
-            return
-        for path in sorted(self.cells_dir.glob("*.json")):
-            payload = self._load(path)
-            if payload is not None:
-                yield path.stem, payload
+        """Yield ``(key, payload)`` for every valid cell, sorted by key.
 
+        Key-sorted means random access into segments; a per-call handle
+        cache keeps that at one open file per segment.  Prefer
+        :meth:`stream_cells` when order does not matter — it scans
+        sequentially in memory bounded by one segment.
+        """
+        index = self._packed_index()
+        keys = set(index)
+        if self.cells_dir.is_dir():
+            keys.update(path.stem for path in self.cells_dir.glob("*.json"))
+        handles: dict[Path, Any] = {}
+        try:
+            for key in sorted(keys):
+                location = index.get(key)
+                if location is not None:
+                    segment, offset, length = location
+                    handle = handles.get(segment)
+                    if handle is None:
+                        handle = handles[segment] = open(segment, "rb")
+                    handle.seek(offset)
+                    data = handle.read(length)
+                    payload = self._parse(data)
+                else:
+                    payload = self._load(self.cell_path(key))
+                if payload is not None:
+                    yield key, payload
+        finally:
+            for handle in handles.values():
+                handle.close()
+
+    def iter_cell_bytes(self) -> Iterator[tuple[str, bytes]]:
+        """Stream ``(key, raw payload bytes)`` across both tiers.
+
+        Packed records come first via sequential segment scans (memory
+        bounded by one segment); file-tier cells follow, skipping keys
+        the packed tier already yielded (their bytes are identical by
+        the append-only verify).  Torn *file* cells are yielded raw so
+        merge accounting can count them; torn *segment tails* never
+        yield — a record either scans whole or does not exist yet.
+        """
+        has_files = self.cells_dir.is_dir() and any(
+            self.cells_dir.glob("*.json")
+        )
+        segments = self._segment_paths()
+        packed_keys: set[str] | None = (
+            set() if (has_files and segments) else None
+        )
+        for segment in segments:
+            blob = segment.read_bytes()
+            records, _ = _scan_records(blob, validate_json=True)
+            for key, offset, length in records:
+                if packed_keys is not None:
+                    packed_keys.add(key)
+                yield key, blob[offset : offset + length]
+        if has_files:
+            for path in sorted(self.cells_dir.glob("*.json")):
+                if packed_keys is not None and path.stem in packed_keys:
+                    continue
+                yield path.stem, path.read_bytes()
+
+    def stream_cells(self) -> Iterator[tuple[str, dict]]:
+        """Yield ``(key, payload)`` in storage order, streaming.
+
+        The workhorse of streaming ``status``/``report``: sequential
+        segment scans, peak memory bounded by one segment (plus, only
+        for transitional mixed-tier stores, a set of packed keys for
+        cross-tier dedup).  Unparseable cells are skipped, matching
+        :meth:`completed_keys`.
+        """
+        for key, data in self.iter_cell_bytes():
+            payload = self._parse(data)
+            if payload is not None:
+                yield key, payload
+
+    # ------------------------------------------------------------------
+    # Maintenance: recovery and tier migration
+    # ------------------------------------------------------------------
     def recover(self, tmp_grace_s: float = TMP_GRACE_S) -> list[str]:
-        """Sweep partial files; returns the names of removed files.
+        """Sweep partial artifacts; returns the names of repaired files.
 
         Removes abandoned ``*.tmp`` leftovers (interrupted atomic writes
         older than ``tmp_grace_s`` — younger ones may belong to a live
         concurrent writer and are left alone) and cell files that no
-        longer parse as JSON.  Safe to call at the start of every run —
-        a healthy store loses nothing.
+        longer parse as JSON.  Packed-tier repairs: torn segment tails
+        are truncated to the valid record prefix (same grace rule for
+        ``.open`` segments, which a live writer may be appending), empty
+        torn segments are removed, and missing or stale index sidecars
+        are rebuilt from a rescan.  Safe to call at the start of every
+        run — a healthy store loses nothing.
         """
         removed = []
         now = time.time()
-        tmp_dirs = [d for d in (self.root, self.cells_dir) if d.is_dir()]
+        tmp_dirs = [
+            d
+            for d in (self.root, self.cells_dir, self.segments_dir)
+            if d.is_dir()
+        ]
         for path in sorted(p for d in tmp_dirs for p in d.glob("*.tmp")):
             try:
                 if now - path.stat().st_mtime < tmp_grace_s:
@@ -245,6 +776,7 @@ class CampaignStore:
             except OSError:
                 continue  # already published or swept by another process
             removed.append(path.name)
+        removed.extend(self._recover_segments(now, tmp_grace_s))
         if not self.cells_dir.is_dir():
             return removed
         for path in sorted(self.cells_dir.glob("*.json")):
@@ -252,6 +784,126 @@ class CampaignStore:
                 path.unlink(missing_ok=True)
                 removed.append(path.name)
         return removed
+
+    def _recover_segments(self, now: float, tmp_grace_s: float) -> list[str]:
+        repaired = []
+        for segment in self._segment_paths():
+            is_open = segment.suffix == ".open"
+            try:
+                if is_open and now - segment.stat().st_mtime < tmp_grace_s:
+                    continue  # may be a live writer's active segment
+                blob = segment.read_bytes()
+            except OSError:
+                continue
+            records, valid = _scan_records(blob, validate_json=True)
+            torn = valid != len(blob)
+            if torn:
+                if not records:
+                    segment.unlink(missing_ok=True)
+                    _sidecar_path(segment).unlink(missing_ok=True)
+                    repaired.append(segment.name)
+                    continue
+                with open(segment, "r+b") as handle:
+                    handle.truncate(valid)
+                    os.fsync(handle.fileno())
+                repaired.append(segment.name)
+            if not is_open and _load_sidecar(segment) is None:
+                sidecar = {
+                    "bytes": valid,
+                    "records": {
+                        key: [offset, length]
+                        for key, offset, length in records
+                    },
+                }
+                atomic_write(
+                    _sidecar_path(segment), canonical_json_bytes(sidecar)
+                )
+                if segment.name not in repaired:
+                    repaired.append(_sidecar_path(segment).name)
+        if repaired:
+            self._index_cache = None
+        return repaired
+
+    def compact(self) -> CompactSummary:
+        """Fold file-tier cells into packed segments (tier migration).
+
+        Interruption-safe by ordering: every file cell is appended to
+        segments and **byte-verified back out of the packed tier before
+        any file is removed** — a crash at any point leaves the file
+        tier authoritative and the packed copies byte-equal, so rerunning
+        ``compact`` (or just reading the store) is always correct.
+        Unparseable file cells are left for :meth:`recover`.
+        """
+        with obs.span("store.compact"):
+            packed = already = skipped = 0
+            names: list[str] = []
+            cell_files = (
+                sorted(self.cells_dir.glob("*.json"))
+                if self.cells_dir.is_dir()
+                else []
+            )
+            index = self._packed_index()
+            for path in cell_files:
+                data = path.read_bytes()
+                if self._parse(data) is None:
+                    skipped += 1
+                    continue
+                key = path.stem
+                names.append(key)
+                location = index.get(key)
+                if location is not None:
+                    if self._read_packed(location) != data:
+                        raise EvaluationError(
+                            f"cell {key} already packed with different "
+                            "bytes — determinism violation"
+                        )
+                    already += 1
+                    continue
+                segment, offset, length = self._segment_writer().append(
+                    key, data
+                )
+                index[key] = (segment, offset, length)
+                packed += 1
+            self.close()  # seal: everything durable before removing sources
+            verified = 0
+            for key in names:
+                location = self._packed_index().get(key)
+                data = (
+                    self._read_packed(location)
+                    if location is not None
+                    else None
+                )
+                if data is None or data != self.cell_path(key).read_bytes():
+                    raise EvaluationError(
+                        f"compaction verify failed for cell {key} — file "
+                        "tier left authoritative"
+                    )
+                verified += 1
+            removed = 0
+            for key in names:
+                self.cell_path(key).unlink(missing_ok=True)
+                removed += 1
+            obs.event(
+                "store.compact",
+                campaign=self.name,
+                packed=packed,
+                verified=verified,
+                removed_files=removed,
+            )
+            return CompactSummary(
+                packed=packed,
+                already_packed=already,
+                verified=verified,
+                removed_files=removed,
+                skipped_invalid=skipped,
+            )
+
+    @staticmethod
+    def _parse(data: bytes) -> dict | None:
+        try:
+            return json.loads(data)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
 
     @staticmethod
     def _load(path: Path) -> dict | None:

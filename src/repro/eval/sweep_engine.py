@@ -267,6 +267,26 @@ def _execute_scenario_cell_by_id(
     )
 
 
+def _warm_scenario_cache(scenario_id: str) -> str:
+    """Pool task: generate one scenario into the byte-stable ``.npz`` cache.
+
+    The campaign cold-start chains this ahead of the scenario's cell
+    tasks (generation itself runs on the pool, in parallel across
+    scenarios, instead of serially in the parent).  Exactly one warm
+    task is submitted per scenario, so cache generation never races; the
+    warmed world also lands in this worker's :data:`_WORKER_SCENARIOS`
+    since the worker is likely to execute some of the scenario's cells.
+    Returns the id so the completion handler knows what became ready.
+    """
+    from ..scenarios.registry import build_scenario
+
+    scenario = build_scenario(scenario_id, cache=True)
+    while len(_WORKER_SCENARIOS) >= _WORKER_SCENARIO_LIMIT:
+        _WORKER_SCENARIOS.pop(next(iter(_WORKER_SCENARIOS)))
+    _WORKER_SCENARIOS[scenario_id] = scenario
+    return scenario_id
+
+
 @dataclass
 class SweepEngine:
     """Executes sweep grids cell-by-cell through a filter backend.

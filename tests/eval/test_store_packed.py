@@ -1,0 +1,325 @@
+"""Packed store tier: segments, index sidecars, crash-safety, tier mixes.
+
+The contract under test: cell payload bytes are a pure function of the
+cell key in *either* tier, resume is exact (zero recomputation for
+intact cells, re-execution only of lost ones), and every crash mode —
+torn segment tail, lost sidecar, interrupted compaction — degrades to a
+recoverable state where the surviving tier is authoritative.
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError, EvaluationError
+from repro.core.config import MclConfig, format_override_value
+from repro.eval.campaign import (
+    CampaignSpec,
+    merge_campaign_stores,
+    pivot_report,
+    run_campaign,
+    shard_cells,
+)
+from repro.eval.store import CampaignStore, canonical_json_bytes
+
+#: Same tiny worlds as test_campaign.py, so the session-cached .npz
+#: scenarios are shared and only the first touch simulates flights.
+SCENARIOS = ("corridor:2:flight_s=6.0", "office:1:flight_s=6.0")
+
+
+def tiny_spec(name: str, scenarios=SCENARIOS) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        scenarios=scenarios,
+        variants=("fp32",),
+        particle_counts=(16, 32),
+        seeds=(0, 1),
+    )
+
+
+def cell_bytes(store: CampaignStore) -> dict[str, bytes]:
+    return dict(store.iter_cell_bytes())
+
+
+@pytest.fixture(scope="module")
+def reference_stores(tmp_path_factory):
+    """One tiny campaign executed twice: once per write tier."""
+    root = tmp_path_factory.mktemp("packed-ref")
+    spec = tiny_spec("packed-ref")
+    file_store = CampaignStore(spec.name, root=root / "file", tier="file")
+    packed_store = CampaignStore(spec.name, root=root / "packed", tier="packed")
+    run_campaign(spec, store=file_store)
+    run_campaign(spec, store=packed_store)
+    return spec, file_store, packed_store
+
+
+class TestPackedTier:
+    def test_cell_bytes_identical_across_tiers(self, reference_stores):
+        spec, file_store, packed_store = reference_stores
+        file_cells = cell_bytes(file_store)
+        packed_cells = cell_bytes(packed_store)
+        assert file_cells == packed_cells
+        assert set(file_cells) == {cell.key for cell in spec.cells()}
+        # The packed run wrote segments, not cell files ...
+        assert list(packed_store.segments_dir.glob("seg-*.seg"))
+        assert not list(packed_store.cells_dir.glob("*.json"))
+        # ... and the file run did the inverse.
+        assert not file_store.segments_dir.exists()
+
+    def test_completed_keys_and_gets_match(self, reference_stores):
+        spec, file_store, packed_store = reference_stores
+        expected = {cell.key for cell in spec.cells()}
+        assert packed_store.completed_keys() == expected
+        assert file_store.completed_keys() == expected
+        for cell in spec.cells():
+            assert packed_store.get_cell(cell.key) == file_store.get_cell(
+                cell.key
+            )
+
+    def test_iter_cells_sorted(self, reference_stores):
+        __, __, packed_store = reference_stores
+        keys = [key for key, __ in packed_store.iter_cells()]
+        assert keys == sorted(keys) and keys
+
+    def test_auto_tier_sticks_to_existing_layout(self, reference_stores):
+        __, file_store, packed_store = reference_stores
+        assert CampaignStore("x", root=file_store.root).write_tier() == "file"
+        assert (
+            CampaignStore("x", root=packed_store.root).write_tier() == "packed"
+        )
+
+    def test_invalid_tier_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="store tier"):
+            CampaignStore("c", root=tmp_path, tier="zip")
+
+    def test_resume_is_exact_zero_recomputation(self, reference_stores):
+        spec, __, packed_store = reference_stores
+        summary = run_campaign(spec, store=packed_store, resume=True)
+        assert summary.executed == 0
+        assert summary.skipped == summary.total_cells == len(spec.cells())
+
+    def test_put_mismatch_raises_in_packed_tier(self, tmp_path):
+        store = CampaignStore("c", root=tmp_path / "c", tier="packed")
+        store.put_cell("k-1", {"v": 1})
+        store.put_cell("k-1", {"v": 1})  # byte-equal re-put is a no-op
+        with pytest.raises(EvaluationError, match="different bytes"):
+            store.put_cell("k-1", {"v": 2})
+
+    def test_single_writer_conflict_detected(self, tmp_path, monkeypatch):
+        store = CampaignStore("c", root=tmp_path / "c", tier="packed")
+        writer = store._segment_writer()
+        # Simulate a racing writer grabbing the same sequence number
+        # between recovery and open.
+        (store.segments_dir / "seg-000000.open").write_bytes(b"")
+        monkeypatch.setattr(writer, "_next_sequence", lambda: 0)
+        with pytest.raises(EvaluationError, match="single-writer"):
+            store.put_cell("k-1", {"v": 1})
+
+
+class TestCrashSafety:
+    def build(self, root: Path, cells: int = 40) -> CampaignStore:
+        store = CampaignStore("crash", root=root, tier="packed")
+        with store:
+            for index in range(cells):
+                store.put_cell(f"cell-{index:04d}", {"index": index})
+        return CampaignStore("crash", root=root)
+
+    def test_torn_sealed_tail_truncated_and_reindexed(self, tmp_path):
+        store = self.build(tmp_path / "s")
+        segment = sorted(store.segments_dir.glob("seg-*.seg"))[-1]
+        intact = segment.read_bytes()
+        segment.write_bytes(intact + b"CELL cell-9999 64\n{torn")
+        # The stale sidecar (size mismatch) downgrades to a rescan that
+        # stops at the tear: the half-written cell never counts.
+        fresh = CampaignStore("crash", root=store.root)
+        assert "cell-9999" not in fresh.completed_keys()
+        assert len(fresh.completed_keys()) == 40
+        repaired = fresh.recover(tmp_grace_s=0.0)
+        assert segment.name in repaired
+        assert segment.read_bytes() == intact
+        assert len(CampaignStore("crash", root=store.root)) == 40
+
+    def test_torn_open_segment_sealed_by_next_writer(self, tmp_path):
+        root = tmp_path / "s"
+        store = CampaignStore("crash", root=root, tier="packed")
+        for index in range(5):
+            store.put_cell(f"cell-{index:04d}", {"index": index})
+        # Crash: writer never closed; its .open segment gets a torn tail.
+        active = next(store.segments_dir.glob("seg-*.open"))
+        store._writer._handle.close()
+        store._writer = None
+        active.write_bytes(active.read_bytes() + b"CELL half 999\n{")
+        resumed = CampaignStore("crash", root=root)
+        resumed.put_cell("cell-new", {"index": 99})
+        resumed.close()
+        assert not list(resumed.segments_dir.glob("seg-*.open"))
+        final = CampaignStore("crash", root=root)
+        assert final.completed_keys() == {
+            f"cell-{index:04d}" for index in range(5)
+        } | {"cell-new"}
+        assert "half" not in final.completed_keys()
+
+    def test_missing_sidecar_self_heals(self, tmp_path):
+        store = self.build(tmp_path / "s")
+        segment = sorted(store.segments_dir.glob("seg-*.seg"))[0]
+        sidecar = segment.with_name(segment.name + ".idx.json")
+        sidecar.unlink()
+        fresh = CampaignStore("crash", root=store.root)
+        assert len(fresh.completed_keys()) == 40  # rescan fallback
+        fresh.recover(tmp_grace_s=0.0)
+        payload = json.loads(sidecar.read_text())
+        assert payload["bytes"] == segment.stat().st_size
+        assert len(payload["records"]) > 0
+
+    def test_interrupted_compaction_leaves_source_authoritative(
+        self, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "s"
+        store = CampaignStore("crash", root=root, tier="file")
+        payloads = {f"cell-{index:04d}": {"index": index} for index in range(12)}
+        for key, payload in payloads.items():
+            store.put_cell(key, payload)
+        before = cell_bytes(store)
+
+        # Crash mid-deletion: verification has passed, some (but not
+        # all) source files are gone.  Packed copies were byte-verified
+        # before the first delete, so nothing is lost either way.
+        real_unlink = Path.unlink
+        state = {"deletes": 0}
+
+        def crashy_unlink(self, *args, **kwargs):
+            if self.suffix == ".json" and self.parent.name == "cells":
+                state["deletes"] += 1
+                if state["deletes"] > 3:
+                    raise OSError("simulated crash mid-compaction")
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", crashy_unlink)
+        victim = CampaignStore("crash", root=root)
+        with pytest.raises(OSError, match="simulated crash"):
+            victim.compact()
+        monkeypatch.setattr(Path, "unlink", real_unlink)
+
+        # The store still answers every key with the original bytes.
+        survivor = CampaignStore("crash", root=root)
+        assert cell_bytes(survivor) == before
+        assert survivor.completed_keys() == set(payloads)
+        remaining = len(list(survivor.cells_dir.glob("*.json")))
+        assert remaining == len(payloads) - 3
+        # Re-running compaction completes the migration byte-identically:
+        # every surviving file is already packed (verified pre-delete).
+        summary = CampaignStore("crash", root=root).compact()
+        assert summary.already_packed == remaining
+        assert summary.removed_files == remaining
+        compacted = CampaignStore("crash", root=root)
+        assert cell_bytes(compacted) == before
+        assert not list(compacted.cells_dir.glob("*.json"))
+
+    def test_partially_packed_store_reads_consistently(self, tmp_path):
+        # The moment *before* compaction deletes anything: every cell in
+        # the file tier, half also packed.  Reads dedupe and agree.
+        root = tmp_path / "s"
+        store = CampaignStore("crash", root=root, tier="file")
+        for index in range(10):
+            store.put_cell(f"cell-{index:04d}", {"index": index})
+        before = cell_bytes(store)
+        half = CampaignStore("crash", root=root, tier="packed")
+        with half:
+            for index in range(5):
+                half.put_cell_bytes(
+                    f"cell-{index:04d}",
+                    canonical_json_bytes({"index": index}),
+                )
+        mixed = CampaignStore("crash", root=root)
+        assert cell_bytes(mixed) == before
+        assert len(mixed.completed_keys()) == 10
+
+
+class TestTierMixes:
+    def test_shard_merge_round_trip_across_tiers(
+        self, reference_stores, tmp_path
+    ):
+        spec, file_store, __ = reference_stores
+        reference = cell_bytes(file_store)
+        shards = shard_cells(spec, 2)
+        shard_stores = []
+        for index, tier in enumerate(("file", "packed")):
+            shard_store = CampaignStore(
+                spec.name, root=tmp_path / f"shard{index}", tier=tier
+            )
+            run_campaign(spec, store=shard_store, shard=(index, 2))
+            shard_stores.append(shard_store)
+            assert len(cell_bytes(shard_store)) == len(shards[index])
+        for tier in ("file", "packed"):
+            dest = CampaignStore(
+                spec.name, root=tmp_path / f"dest-{tier}", tier=tier
+            )
+            first = merge_campaign_stores(dest, shard_stores[0])
+            second = merge_campaign_stores(dest, shard_stores[1])
+            assert first.copied == len(shards[0])
+            assert second.copied == len(shards[1])
+            assert cell_bytes(dest) == reference
+
+    def test_resume_after_partial_segment_loss(
+        self, reference_stores, tmp_path
+    ):
+        spec, file_store, packed_store = reference_stores
+        reference = cell_bytes(file_store)
+        root = tmp_path / "lossy"
+        shutil.copytree(packed_store.root, root)
+        store = CampaignStore(spec.name, root=root)
+        segment = sorted(store.segments_dir.glob("seg-*.seg"))[-1]
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[: len(blob) - 10])  # tear the last record
+        segment.with_name(segment.name + ".idx.json").unlink()
+        lost = len(reference) - len(store.completed_keys())
+        assert lost >= 1
+        summary = run_campaign(spec, store=store, resume=True)
+        assert summary.executed == lost
+        assert summary.skipped == len(reference) - lost
+        assert cell_bytes(CampaignStore(spec.name, root=root)) == reference
+
+
+class TestPivotReport:
+    @pytest.fixture(scope="class")
+    def ablation_store(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("pivot")
+        spec = CampaignSpec(
+            name="pivot-tiny",
+            scenarios=(SCENARIOS[1],),
+            variants=("fp32", "fp32+sigma=1.0", "fp32+beam_rows=2/3"),
+            particle_counts=(16,),
+            seeds=(0,),
+        )
+        store = CampaignStore(spec.name, root=root / "s", tier="packed")
+        run_campaign(spec, store=store)
+        return spec, store
+
+    def test_pivot_by_sigma(self, ablation_store):
+        spec, store = ablation_store
+        report = pivot_report(spec.name, "sigma", store=store)
+        rows = report[spec.scenarios[0]]
+        default = format_override_value(MclConfig().sigma_obs)
+        # fp32 and its sigma ablation share one base row; the beam_rows
+        # variant keeps its override and forms its own row at the
+        # default sigma column.
+        assert set(rows[("fp32", 16)]) == {default, "1.0"}
+        assert set(rows[("fp32+beam_rows=2/3", 16)]) == {default}
+        for cells in rows.values():
+            for aggregate in cells.values():
+                assert aggregate["runs"] == 1
+
+    def test_pivot_by_beam_rows(self, ablation_store):
+        spec, store = ablation_store
+        report = pivot_report(spec.name, "beam_rows", store=store)
+        rows = report[spec.scenarios[0]]
+        default = format_override_value(MclConfig().beam_rows)
+        assert set(rows[("fp32", 16)]) == {default, "2/3"}
+        assert set(rows[("fp32+sigma_obs=1.0", 16)]) == {default}
+
+    def test_unknown_pivot_key_rejected(self, ablation_store):
+        spec, store = ablation_store
+        with pytest.raises(ConfigurationError, match="unknown pivot key"):
+            pivot_report(spec.name, "warp", store=store)

@@ -46,8 +46,14 @@ class TestParser:
         args = build_parser().parse_args(
             ["sweep", "--ablate", "sigma=1.0,2.0", "--ablate", "r_max=1.5"]
         )
-        assert args.ablate == [("sigma", [1.0, 2.0]), ("r_max", [1.5])]
-        for bad in ("sigma", "warp=9", "sigma=fast", "sigma="):
+        # Values stay raw strings; ConfigSpec coerces when the axes are
+        # crossed into specs, so tuple-valued overrides parse too.
+        assert args.ablate == [("sigma", ["1.0", "2.0"]), ("r_max", ["1.5"])]
+        rows = build_parser().parse_args(
+            ["sweep", "--ablate", "beam_rows=2/3,2/3/4/5"]
+        )
+        assert rows.ablate == [("beam_rows", ["2/3", "2/3/4/5"])]
+        for bad in ("sigma", "warp=9", "sigma=fast", "sigma=", "beam_rows=9"):
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["sweep", "--ablate", bad])
 
